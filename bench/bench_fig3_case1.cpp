@@ -1,0 +1,102 @@
+// Fig. 3 (case study 1): actual environment-log data vs the I-mrDMD
+// reconstruction, for the 871 job nodes of two projects; 1,000 initial time
+// steps + 1,000 incrementally added, 6 levels, modes kept in the 0-60 Hz
+// band. Paper numbers: initial step 12.49 s, incremental update ~7.6 s,
+// Frobenius norm of (actual - reconstruction) = 3958.58.
+//
+// Shape to reproduce: the reconstruction tracks the data but with less
+// high-frequency noise (we quantify noise as first-difference energy), and
+// the Frobenius difference is a modest fraction of the data norm.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/timer.hpp"
+#include "core/imrdmd.hpp"
+#include "linalg/blas.hpp"
+#include "telemetry/scenario.hpp"
+
+using namespace imrdmd;
+using bench::BenchArgs;
+
+namespace {
+
+// Energy of the first differences along time: the "high-frequency" content.
+double roughness(const linalg::Mat& m) {
+  double sum = 0.0;
+  for (std::size_t p = 0; p < m.rows(); ++p) {
+    for (std::size_t t = 1; t < m.cols(); ++t) {
+      const double d = m(p, t) - m(p, t - 1);
+      sum += d * d;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  bench::banner("Fig. 3 (actual vs I-mrDMD reconstruction, case study 1)",
+                "reconstruction tracks the data with less high-frequency "
+                "noise; Frobenius diff << data norm (paper: 3958.58)");
+
+  telemetry::ScenarioOptions scenario_options;
+  scenario_options.machine_scale = args.full ? 1.0 : 0.1;
+  scenario_options.horizon = 2000;
+  telemetry::Scenario scenario =
+      telemetry::make_case_study_1(scenario_options);
+  const std::size_t nodes = scenario.analyzed_nodes.size();
+  std::printf("analyzed nodes: %zu (paper: 871)\n", nodes);
+
+  const linalg::Mat data = scenario.sensors->window_for(
+      std::span<const std::size_t>(scenario.analyzed_nodes.data(), nodes), 0,
+      2000);
+
+  core::ImrdmdOptions options;
+  options.mrdmd.max_levels = 6;
+  options.mrdmd.dt = scenario.machine.dt_seconds;
+  core::IncrementalMrdmd model(options);
+
+  WallTimer timer;
+  model.initial_fit(data.block(0, 0, nodes, 1000));
+  const double initial_s = timer.seconds();
+  timer.reset();
+  model.partial_fit(data.block(0, 1000, nodes, 1000));
+  const double partial_s = timer.seconds();
+
+  dmd::ModeBand band;
+  band.max_frequency_hz = 60.0;  // the paper's 0-60 Hz isolation
+  const linalg::Mat recon = model.reconstruct(0, 2000, &band);
+
+  const double frob = linalg::frobenius_diff(recon, data);
+  const double data_norm = linalg::frobenius_norm(data);
+  const double rough_data = roughness(data);
+  const double rough_recon = roughness(recon);
+
+  std::printf("\ninitial fit:        %8.3f s   (paper: 12.49 s)\n", initial_s);
+  std::printf("incremental update: %8.3f s   (paper: ~7.6 s)\n", partial_s);
+  std::printf("||actual - recon||_F = %.2f  (paper: 3958.58; data norm "
+              "%.2f -> %.1f%%)\n",
+              frob, data_norm, 100.0 * frob / data_norm);
+  std::printf("first-difference energy: data %.2f vs reconstruction %.2f "
+              "(noise reduction %.1fx)\n",
+              rough_data, rough_recon, rough_data / rough_recon);
+
+  // The figure's content: a band of example time series, actual + recon.
+  CsvWriter csv(args.out_dir + "/fig3_series.csv",
+                {"node", "t", "actual", "reconstruction"});
+  for (std::size_t row = 0; row < std::min<std::size_t>(8, nodes); ++row) {
+    for (std::size_t t = 0; t < 2000; t += 4) {
+      csv.write_row_numeric({static_cast<double>(scenario.analyzed_nodes[row]),
+                             static_cast<double>(t), data(row, t),
+                             recon(row, t)});
+    }
+  }
+  csv.close();
+  std::printf("\nwrote %s/fig3_series.csv\n", args.out_dir.c_str());
+
+  const bool shape_holds = rough_recon < rough_data && frob < data_norm;
+  std::printf("shape claim %s\n", shape_holds ? "HOLDS" : "VIOLATED");
+  return shape_holds ? 0 : 1;
+}

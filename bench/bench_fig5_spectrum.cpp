@@ -1,0 +1,103 @@
+// Fig. 5 (case study 1): the I-mrDMD spectrum — mode amplitude as a function
+// of frequency (Eq. 9/10) for the case-study-1 data. The paper plots modes
+// across a 0-100 Hz range with amplitudes up to ~1.4 and most mass at low
+// frequency.
+//
+// Shape to reproduce: a dense cluster of high-amplitude modes at the lowest
+// frequencies (the slow facility/diurnal dynamics) with amplitude decaying
+// toward the high-frequency end.
+#include <algorithm>
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "core/imrdmd.hpp"
+#include "telemetry/scenario.hpp"
+
+using namespace imrdmd;
+using bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  bench::banner("Fig. 5 (I-mrDMD spectrum: amplitude vs frequency)",
+                "amplitude mass concentrates at low frequency and decays "
+                "toward high frequency");
+
+  telemetry::ScenarioOptions scenario_options;
+  scenario_options.machine_scale = args.full ? 1.0 : 0.1;
+  scenario_options.horizon = 2000;
+  telemetry::Scenario scenario =
+      telemetry::make_case_study_1(scenario_options);
+  const std::size_t nodes = scenario.analyzed_nodes.size();
+  const linalg::Mat data = scenario.sensors->window_for(
+      std::span<const std::size_t>(scenario.analyzed_nodes.data(), nodes), 0,
+      2000);
+
+  core::ImrdmdOptions options;
+  options.mrdmd.max_levels = 6;
+  options.mrdmd.dt = scenario.machine.dt_seconds;
+  core::IncrementalMrdmd model(options);
+  model.initial_fit(data.block(0, 0, nodes, 1000));
+  model.partial_fit(data.block(0, 1000, nodes, 1000));
+
+  std::vector<dmd::SpectrumPoint> points = model.spectrum();
+  std::sort(points.begin(), points.end(),
+            [](const auto& a, const auto& b) {
+              return a.frequency_hz < b.frequency_hz;
+            });
+
+  // Normalize amplitudes for comparability with the paper's axis (0-1.4ish).
+  double amp_max = 0.0;
+  for (const auto& sp : points) amp_max = std::max(amp_max, sp.amplitude);
+  CsvWriter csv(args.out_dir + "/fig5_spectrum.csv",
+                {"frequency_hz", "amplitude", "normalized_amplitude", "power",
+                 "growth_rate", "level"});
+  for (const auto& sp : points) {
+    csv.write_row_numeric({sp.frequency_hz, sp.amplitude,
+                           sp.amplitude / amp_max, sp.power, sp.growth_rate,
+                           static_cast<double>(sp.level)});
+  }
+  csv.close();
+
+  // Text rendition: amplitude histogram over frequency deciles.
+  const double f_max =
+      points.empty() ? 1.0 : points.back().frequency_hz + 1e-12;
+  double bins[10] = {0};
+  for (const auto& sp : points) {
+    const int bin = std::min(9, static_cast<int>(10.0 * sp.frequency_hz /
+                                                 f_max));
+    bins[bin] = std::max(bins[bin], sp.amplitude / amp_max);
+  }
+  std::printf("modes: %zu, frequency range: [0, %.4g] Hz\n", points.size(),
+              f_max);
+  std::printf("max normalized amplitude per frequency decile:\n");
+  for (int b = 0; b < 10; ++b) {
+    std::printf("  %4.0f%%-%3.0f%% |", b * 10.0, (b + 1) * 10.0);
+    for (int bar = 0; bar < static_cast<int>(bins[b] * 40); ++bar) {
+      std::printf("#");
+    }
+    std::printf(" %.3f\n", bins[b]);
+  }
+
+  // Shape check: mean amplitude in the lowest fifth of the range exceeds
+  // the mean in the highest fifth.
+  double low_sum = 0.0, high_sum = 0.0;
+  std::size_t low_count = 0, high_count = 0;
+  for (const auto& sp : points) {
+    if (sp.frequency_hz < 0.2 * f_max) {
+      low_sum += sp.amplitude;
+      ++low_count;
+    } else if (sp.frequency_hz > 0.8 * f_max) {
+      high_sum += sp.amplitude;
+      ++high_count;
+    }
+  }
+  const double low_mean = low_count ? low_sum / low_count : 0.0;
+  const double high_mean = high_count ? high_sum / high_count : 0.0;
+  std::printf("\nmean amplitude: lowest fifth %.4f vs highest fifth %.4f\n",
+              low_mean, high_mean);
+  std::printf("wrote %s/fig5_spectrum.csv\n", args.out_dir.c_str());
+  const bool shape_holds = low_mean > high_mean;
+  std::printf("shape claim %s\n", shape_holds ? "HOLDS" : "VIOLATED");
+  return shape_holds ? 0 : 1;
+}

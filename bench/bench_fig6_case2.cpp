@@ -1,0 +1,162 @@
+// Fig. 6 (case study 2): all 4,392 nodes over 16 hours in two 8-hour
+// windows. Window (a) is hot and busy (baselines picked at 45-60 C); window
+// (b) is cooler and less utilized (baselines 30-45 C); nodes persistently
+// reporting hardware errors are outlined. Paper: initial mrDMD 21.12 s,
+// incremental updates ~20.45 s, Frobenius diff 3423.847; z-scores are
+// computed per-window against per-window baselines.
+//
+// Shape to reproduce: window (a) is hotter than (b) in raw temperature, yet
+// per-window baselines keep both windows' z-score populations centered —
+// the relative view adapts to the machine state (the paper's point).
+#include <algorithm>
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/timer.hpp"
+#include "core/imrdmd.hpp"
+#include "core/zscore.hpp"
+#include "linalg/blas.hpp"
+#include "rack/render.hpp"
+#include "telemetry/scenario.hpp"
+
+using namespace imrdmd;
+using bench::BenchArgs;
+
+namespace {
+
+double mean_of(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return values.empty() ? 0.0 : sum / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  bench::banner("Fig. 6 (two 8-hour windows, whole machine, per-window "
+                "baselines)",
+                "window (a) hotter than (b); per-window baselines re-center "
+                "both z-score populations");
+
+  telemetry::ScenarioOptions scenario_options;
+  scenario_options.machine_scale = args.full ? 1.0 : 0.15;
+  scenario_options.horizon = args.full ? 3840 : 2048;  // 16 h at 15 s
+  telemetry::Scenario scenario =
+      telemetry::make_case_study_2(scenario_options);
+  const std::size_t nodes = scenario.machine.node_count;
+  const std::size_t half = scenario.horizon / 2;
+
+  const linalg::Mat data = scenario.sensors->window(0, scenario.horizon);
+
+  // mrDMD fit: initial fit on the first window ("first 7 hours"), then
+  // incremental updates across the second (the paper uses 1,000-step
+  // increments).
+  core::ImrdmdOptions options;
+  options.mrdmd.max_levels = 7;
+  options.mrdmd.dt = scenario.machine.dt_seconds;
+  core::IncrementalMrdmd model(options);
+  WallTimer timer;
+  model.initial_fit(data.block(0, 0, nodes, half));
+  const double initial_s = timer.seconds();
+  timer.reset();
+  const std::size_t step = 1000;
+  for (std::size_t t0 = half; t0 < scenario.horizon; t0 += step) {
+    const std::size_t w = std::min(step, scenario.horizon - t0);
+    model.partial_fit(data.block(0, t0, nodes, w));
+  }
+  const double update_s = timer.seconds();
+  const double frob =
+      linalg::frobenius_diff(model.reconstruct(), data);
+
+  std::printf("initial fit: %.3f s (paper: 21.120 s), updates: %.3f s "
+              "(paper: ~20.452 s)\n",
+              initial_s, update_s);
+  std::printf("||actual - recon||_F = %.2f (paper: 3423.847; data norm "
+              "%.2f)\n",
+              frob, linalg::frobenius_norm(data));
+
+  // Per-window z-scores with per-window baseline ranges. The paper uses
+  // absolute ranges (45-60 C hot window, 30-45 C cool window); our synthetic
+  // machine's absolute levels differ slightly, so each window's range is the
+  // quantile-equivalent band of its own temperature distribution — the same
+  // "baselines chosen relative to the system state" policy.
+  struct Window {
+    const char* name;
+    std::size_t t0, t1;
+    core::BaselineRange range;  // filled from window quantiles below
+  };
+  Window windows[2] = {
+      {"a (hot)", 0, half, {0.0, 0.0}},
+      {"b (cool)", half, scenario.horizon, {0.0, 0.0}},
+  };
+  for (Window& window : windows) {
+    const linalg::Mat slice =
+        data.block(0, window.t0, nodes, window.t1 - window.t0);
+    std::vector<double> means = core::row_means(slice);
+    std::sort(means.begin(), means.end());
+    window.range.value_min = means[means.size() / 5];          // P20
+    window.range.value_max = means[(means.size() * 4) / 5];    // P80
+  }
+
+  CsvWriter csv(args.out_dir + "/fig6_windows.csv",
+                {"window", "node", "mean_temp", "zscore"});
+  double window_mean_temp[2] = {0, 0};
+  double window_mean_z[2] = {0, 0};
+  for (int w = 0; w < 2; ++w) {
+    const Window& window = windows[w];
+    const linalg::Mat slice =
+        data.block(0, window.t0, nodes, window.t1 - window.t0);
+    const std::vector<double> means = core::row_means(slice);
+    const auto baseline = core::select_baseline_sensors(
+        std::span<const double>(means.data(), means.size()), window.range);
+    // Magnitudes from the nodes' modes restricted to this window's span.
+    const linalg::Mat recon_window =
+        model.reconstruct(window.t0, window.t1, nullptr);
+    // Window-local magnitude: mean reconstructed level per sensor relative
+    // to the fit; z-scores computed from the window means (temperature
+    // domain), mirroring "baselines chosen from each dataset".
+    const core::ZscoreAnalysis analysis = core::zscore_from_baseline(
+        std::span<const double>(means.data(), means.size()),
+        std::span<const std::size_t>(baseline.data(), baseline.size()));
+    window_mean_temp[w] = mean_of(means);
+    window_mean_z[w] = mean_of(analysis.zscores);
+
+    for (std::size_t node = 0; node < nodes; ++node) {
+      csv.write_row_numeric({static_cast<double>(w),
+                             static_cast<double>(node), means[node],
+                             analysis.zscores[node]});
+    }
+
+    rack::RackViewData view;
+    view.values = analysis.zscores;
+    view.populated = nodes;
+    view.outlined = scenario.memory_error_nodes;
+    rack::RenderOptions render_options;
+    render_options.title = std::string("Fig. 6") + window.name;
+    const rack::LayoutSpec layout =
+        rack::parse_layout(scenario.machine.layout_string);
+    rack::write_svg_file(args.out_dir + "/fig6_window_" +
+                             std::string(w == 0 ? "a" : "b") + ".svg",
+                         rack::render_svg(layout, view, render_options));
+  }
+  csv.close();
+
+  std::printf("\nwindow      mean temp   baseline range     mean z\n");
+  for (int w = 0; w < 2; ++w) {
+    std::printf("  %-9s %8.2f C  [%5.1f, %5.1f] C  %+8.3f\n", windows[w].name,
+                window_mean_temp[w], windows[w].range.value_min,
+                windows[w].range.value_max, window_mean_z[w]);
+  }
+  std::printf("\nwrote fig6_window_a.svg, fig6_window_b.svg, "
+              "fig6_windows.csv in %s\n",
+              args.out_dir.c_str());
+
+  // Shape: raw temps differ, z-populations both re-centered near zero.
+  const bool shape_holds =
+      window_mean_temp[0] > window_mean_temp[1] + 1.0 &&
+      std::abs(window_mean_z[0]) < 1.5 && std::abs(window_mean_z[1]) < 1.5;
+  std::printf("shape claim %s\n", shape_holds ? "HOLDS" : "VIOLATED");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// Fig. 7 (case study 2): overlaid I-mrDMD spectra of the hot window (a) and
+// the cool window (b). Paper: "the blue color representing the cooler state
+// shows mode magnitudes in the lower frequency range, while the hotter
+// system shows mode magnitudes in the higher frequency range".
+//
+// Shape to reproduce: the amplitude-weighted mean frequency of the hot
+// window's spectrum exceeds the cool window's.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "core/mrdmd.hpp"
+#include "telemetry/scenario.hpp"
+
+using namespace imrdmd;
+using bench::BenchArgs;
+
+namespace {
+
+double weighted_mean_frequency(const std::vector<dmd::SpectrumPoint>& points) {
+  double weighted = 0.0, total = 0.0;
+  for (const auto& sp : points) {
+    weighted += sp.frequency_hz * sp.amplitude;
+    total += sp.amplitude;
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  bench::banner("Fig. 7 (hot-window vs cool-window spectra)",
+                "hot window's amplitude sits at higher frequencies than the "
+                "cool window's");
+
+  telemetry::ScenarioOptions scenario_options;
+  scenario_options.machine_scale = args.full ? 1.0 : 0.15;
+  scenario_options.horizon = 2048;
+  telemetry::Scenario scenario =
+      telemetry::make_case_study_2(scenario_options);
+  const std::size_t nodes = scenario.machine.node_count;
+  const std::size_t half = scenario.horizon / 2;
+
+  // Separate mrDMD fits of the two windows, as the paper computes each
+  // window's modes against its own state.
+  core::MrdmdOptions options;
+  options.max_levels = 7;
+  options.dt = scenario.machine.dt_seconds;
+
+  core::MrdmdTree hot(options), cool(options);
+  hot.fit(scenario.sensors->window(0, half));
+  cool.fit(scenario.sensors->window(half, half));
+
+  const auto hot_points = hot.spectrum();
+  const auto cool_points = cool.spectrum();
+
+  CsvWriter csv(args.out_dir + "/fig7_spectra.csv",
+                {"window", "frequency_hz", "amplitude", "growth_rate",
+                 "level"});
+  for (const auto& sp : hot_points) {
+    csv.write_row_numeric({0.0, sp.frequency_hz, sp.amplitude,
+                           sp.growth_rate, static_cast<double>(sp.level)});
+  }
+  for (const auto& sp : cool_points) {
+    csv.write_row_numeric({1.0, sp.frequency_hz, sp.amplitude,
+                           sp.growth_rate, static_cast<double>(sp.level)});
+  }
+  csv.close();
+
+  const double hot_mean_f = weighted_mean_frequency(hot_points);
+  const double cool_mean_f = weighted_mean_frequency(cool_points);
+  std::printf("hot window:  %zu modes, amplitude-weighted mean frequency "
+              "%.6g Hz\n",
+              hot_points.size(), hot_mean_f);
+  std::printf("cool window: %zu modes, amplitude-weighted mean frequency "
+              "%.6g Hz\n",
+              cool_points.size(), cool_mean_f);
+  std::printf("ratio hot/cool: %.2f (paper: hot > cool)\n",
+              hot_mean_f / (cool_mean_f > 0 ? cool_mean_f : 1.0));
+  std::printf("wrote %s/fig7_spectra.csv\n", args.out_dir.c_str());
+
+  const bool shape_holds = hot_mean_f > cool_mean_f;
+  std::printf("shape claim %s\n", shape_holds ? "HOLDS" : "VIOLATED");
+  return shape_holds ? 0 : 1;
+}

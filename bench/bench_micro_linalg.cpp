@@ -1,0 +1,123 @@
+// Microbenchmarks of the numeric substrates (google-benchmark): GEMM, QR,
+// Jacobi SVD, randomized SVD, the complex eigensolver, incremental SVD
+// updates, TSQR, and one mrDMD bin fit. Not a paper artifact — these track
+// the kernels every experiment above is built from.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/mrdmd.hpp"
+#include "dist/communicator.hpp"
+#include "isvd/isvd.hpp"
+#include "isvd/tsqr.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/eig.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+
+using namespace imrdmd;
+
+namespace {
+
+linalg::Mat random_matrix(std::size_t rows, std::size_t cols,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Mat m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal();
+  return m;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const linalg::Mat a = random_matrix(n, n, 1);
+  const linalg::Mat b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ThinQr(benchmark::State& state) {
+  const linalg::Mat a =
+      random_matrix(static_cast<std::size_t>(state.range(0)), 32, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::thin_qr(a));
+  }
+}
+BENCHMARK(BM_ThinQr)->Arg(256)->Arg(1024);
+
+void BM_JacobiSvd(benchmark::State& state) {
+  // The mrDMD workhorse shape: tall-and-skinny after subsampling.
+  const linalg::Mat a =
+      random_matrix(static_cast<std::size_t>(state.range(0)), 16, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::svd(a));
+  }
+}
+BENCHMARK(BM_JacobiSvd)->Arg(512)->Arg(4096);
+
+void BM_RandomizedSvd(benchmark::State& state) {
+  const linalg::Mat a = random_matrix(1000,
+                                      static_cast<std::size_t>(state.range(0)),
+                                      5);
+  for (auto _ : state) {
+    Rng rng(6);
+    benchmark::DoNotOptimize(linalg::randomized_svd(a, 2, rng));
+  }
+}
+BENCHMARK(BM_RandomizedSvd)->Arg(1000)->Arg(5000);
+
+void BM_ComplexEig(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const linalg::Mat a = random_matrix(n, n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::eig(a));
+  }
+}
+BENCHMARK(BM_ComplexEig)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_IsvdUpdate(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const linalg::Mat initial = random_matrix(p, 16, 8);
+  const linalg::Mat update = random_matrix(p, 4, 9);
+  for (auto _ : state) {
+    state.PauseTiming();
+    isvd::IsvdOptions options;
+    options.max_rank = 16;
+    isvd::Isvd isvd(options);
+    isvd.initialize(initial);
+    state.ResumeTiming();
+    isvd.update(update);
+  }
+}
+BENCHMARK(BM_IsvdUpdate)->Arg(1000)->Arg(4392);
+
+void BM_Tsqr(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const linalg::Mat block = random_matrix(512, 16, 10);
+  for (auto _ : state) {
+    dist::World world(ranks);
+    world.run([&](dist::Communicator& comm) {
+      benchmark::DoNotOptimize(isvd::tsqr(comm, block));
+    });
+  }
+}
+BENCHMARK(BM_Tsqr)->Arg(2)->Arg(4);
+
+void BM_MrdmdFit(benchmark::State& state) {
+  const std::size_t t = static_cast<std::size_t>(state.range(0));
+  const linalg::Mat data = random_matrix(256, t, 11);
+  for (auto _ : state) {
+    core::MrdmdOptions options;
+    options.max_levels = 4;
+    core::MrdmdTree tree(options);
+    tree.fit(data);
+    benchmark::DoNotOptimize(tree.total_modes());
+  }
+}
+BENCHMARK(BM_MrdmdFit)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Q2 (Sec. I / Sec. III-A.1): "What is the difference in accuracy between
+// online and regular mrDMD?" The paper: the reconstruction difference
+// between I-mrDMD and mrDMD "increases only by a sum of 10-5000, depending
+// on the underlying dynamics and the time step upgrades" — small for weeks
+// of data but accumulating over many updates.
+//
+// Shapes to reproduce: the I-mrDMD-vs-mrDMD reconstruction gap (i) stays a
+// small fraction of the data norm, (ii) grows (weakly) with the number of
+// incremental updates, and (iii) collapses when recompute_on_drift refits
+// the stale levels.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "core/imrdmd.hpp"
+#include "core/mrdmd.hpp"
+#include "linalg/blas.hpp"
+#include "telemetry/machine.hpp"
+#include "telemetry/sensor_model.hpp"
+
+using namespace imrdmd;
+using bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  bench::banner("Q2 (accuracy gap: I-mrDMD vs batch mrDMD)",
+                "gap is a small, slowly accumulating fraction of the data "
+                "norm; recompute-on-drift closes it");
+
+  const std::size_t p = args.full ? 1000 : 300;
+  const std::size_t t_initial = 1000;
+  const std::size_t increments = args.full ? 8 : 5;
+  const std::size_t chunk = 1000;
+
+  telemetry::MachineSpec machine = telemetry::MachineSpec::theta();
+  machine.node_count = std::min(machine.slots(), p);
+  telemetry::SensorModelOptions sensor_options;
+  sensor_options.seed = 31;
+  telemetry::SensorModel model(machine, sensor_options);
+  std::vector<std::size_t> ids(p);
+  for (std::size_t i = 0; i < p; ++i) ids[i] = i % machine.sensor_count();
+  const linalg::Mat data = model.window_for(
+      std::span<const std::size_t>(ids.data(), p), 0,
+      t_initial + increments * chunk);
+
+  core::MrdmdOptions mrdmd_options;
+  mrdmd_options.max_levels = 5;
+  mrdmd_options.dt = machine.dt_seconds;
+
+  core::ImrdmdOptions inc_options;
+  inc_options.mrdmd = mrdmd_options;
+  core::IncrementalMrdmd inc(inc_options);
+  inc.initial_fit(data.block(0, 0, p, t_initial));
+
+  core::ImrdmdOptions fresh_options = inc_options;
+  fresh_options.recompute_on_drift = true;
+  fresh_options.drift_threshold = 0.0;
+  core::IncrementalMrdmd inc_recompute(fresh_options);
+  inc_recompute.initial_fit(data.block(0, 0, p, t_initial));
+
+  CsvWriter csv(args.out_dir + "/q2_accuracy.csv",
+                {"updates", "T", "gap_stale", "gap_recompute",
+                 "err_imrdmd", "err_batch", "data_norm"});
+  std::printf("%8s %8s %12s %14s %12s %12s\n", "updates", "T", "gap(stale)",
+              "gap(recompute)", "err(inc)", "err(batch)");
+
+  double prev_gap = 0.0;
+  bool monotone_ish = true;
+  for (std::size_t k = 1; k <= increments; ++k) {
+    const std::size_t t0 = t_initial + (k - 1) * chunk;
+    inc.partial_fit(data.block(0, t0, p, chunk));
+    inc_recompute.partial_fit(data.block(0, t0, p, chunk));
+
+    const std::size_t t_total = t_initial + k * chunk;
+    const linalg::Mat window = data.block(0, 0, p, t_total);
+    core::MrdmdTree batch(mrdmd_options);
+    batch.fit(window);
+
+    const linalg::Mat recon_inc = inc.reconstruct();
+    const linalg::Mat recon_rec = inc_recompute.reconstruct();
+    const linalg::Mat recon_batch = batch.reconstruct();
+    const double gap_stale = linalg::frobenius_diff(recon_inc, recon_batch);
+    const double gap_recompute =
+        linalg::frobenius_diff(recon_rec, recon_batch);
+    const double err_inc = linalg::frobenius_diff(recon_inc, window);
+    const double err_batch = linalg::frobenius_diff(recon_batch, window);
+    const double norm = linalg::frobenius_norm(window);
+
+    std::printf("%8zu %8zu %12.2f %14.2f %12.2f %12.2f\n", k, t_total,
+                gap_stale, gap_recompute, err_inc, err_batch);
+    csv.write_row_numeric({static_cast<double>(k),
+                           static_cast<double>(t_total), gap_stale,
+                           gap_recompute, err_inc, err_batch, norm});
+    if (k > 2 && gap_stale < 0.3 * prev_gap) monotone_ish = false;
+    prev_gap = gap_stale;
+  }
+  csv.close();
+
+  const linalg::Mat final_window = data.block(0, 0, p, data.cols());
+  const double norm = linalg::frobenius_norm(final_window);
+  std::printf("\nfinal stale gap = %.2f (= %.2f%% of data norm %.1f; paper "
+              "reports absolute sums of 10-5000 at comparable scales)\n",
+              prev_gap, 100.0 * prev_gap / norm, norm);
+  std::printf("wrote %s/q2_accuracy.csv\n", args.out_dir.c_str());
+
+  const bool shape_holds = prev_gap < 0.5 * norm;
+  std::printf("shape claim %s%s\n", shape_holds ? "HOLDS" : "VIOLATED",
+              monotone_ish ? "" : " (gap non-monotone across updates)");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+// Table I: completion time (seconds) of the initial data fit and the
+// incremental addition of 1,000 time points, for the SC Log (supercomputer
+// temperatures, 6 levels) and GPU Metrics (7 levels) datasets,
+// N = 1,000 series, T in {2,000, 5,000, 10,000, 16,000}.
+//
+// Shape to reproduce: Initial Fit grows steeply with T while Partial Fit
+// stays roughly flat (~constant per 1,000 added points), for both datasets;
+// the GPU preset (deeper tree, more modes) costs more across the board.
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/timer.hpp"
+#include "core/imrdmd.hpp"
+#include "telemetry/machine.hpp"
+#include "telemetry/sensor_model.hpp"
+
+using namespace imrdmd;
+using bench::BenchArgs;
+
+namespace {
+
+// N=1000 series cut from a preset machine's sensor model.
+linalg::Mat dataset(const telemetry::MachineSpec& base, std::size_t n,
+                    std::size_t t, std::uint64_t seed) {
+  telemetry::MachineSpec spec = base;
+  // Enough slots for n sensors.
+  while (spec.slots() * spec.sensors_per_node < n) spec.racks *= 2;
+  spec.node_count = (n + spec.sensors_per_node - 1) / spec.sensors_per_node;
+  telemetry::SensorModelOptions options;
+  options.seed = seed;
+  telemetry::SensorModel model(spec, options);
+  std::vector<std::size_t> sensors(n);
+  for (std::size_t i = 0; i < n; ++i) sensors[i] = i;
+  return model.window_for(
+      std::span<const std::size_t>(sensors.data(), sensors.size()), 0, t);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  bench::banner(
+      "Table I (completion time of Initial Fit vs Partial Fit)",
+      "initial fit grows with T; +1,000-point partial fit stays ~flat");
+
+  const std::size_t n = args.full ? 1000 : 250;
+  const std::vector<std::size_t> t_values =
+      args.full ? std::vector<std::size_t>{2000, 5000, 10000, 16000}
+                : std::vector<std::size_t>{2000, 5000, 10000, 16000};
+  const std::size_t increment = 1000;
+
+  struct Preset {
+    const char* name;
+    telemetry::MachineSpec machine;
+    std::size_t levels;
+  };
+  const std::vector<Preset> presets = {
+      {"SC Log", telemetry::MachineSpec::theta(), 6},
+      {"GPU Metrics", telemetry::MachineSpec::polaris(), 7},
+  };
+
+  CsvWriter csv(args.out_dir + "/table1.csv",
+                {"dataset", "N", "T", "initial_fit_s", "partial_fit_s"});
+  std::printf("%-12s %6s %7s %12s %12s   (paper: init grows, partial flat)\n",
+              "Dataset", "N", "T", "InitialFit", "PartialFit");
+
+  for (const Preset& preset : presets) {
+    for (std::size_t t : t_values) {
+      const linalg::Mat data =
+          dataset(preset.machine, n, t + increment, 7 + t);
+
+      double initial_seconds = 0.0;
+      double partial_seconds = 0.0;
+      for (std::size_t rep = 0; rep < args.repeats; ++rep) {
+        core::ImrdmdOptions options;
+        options.mrdmd.max_levels = preset.levels;
+        options.mrdmd.dt = preset.machine.dt_seconds;
+        core::IncrementalMrdmd model(options);
+
+        WallTimer timer;
+        model.initial_fit(data.block(0, 0, n, t));
+        initial_seconds += timer.seconds();
+
+        timer.reset();
+        model.partial_fit(data.block(0, t, n, increment));
+        partial_seconds += timer.seconds();
+      }
+      initial_seconds /= static_cast<double>(args.repeats);
+      partial_seconds /= static_cast<double>(args.repeats);
+
+      std::printf("%-12s %6zu %7zu %12.4f %12.4f\n", preset.name, n, t + increment,
+                  initial_seconds, partial_seconds);
+      csv.write_row({preset.name, std::to_string(n), std::to_string(t + increment),
+                     std::to_string(initial_seconds),
+                     std::to_string(partial_seconds)});
+    }
+  }
+  csv.close();
+  std::printf("\nwrote %s/table1.csv\n", args.out_dir.c_str());
+  if (!args.full) {
+    std::printf("(CI scale N=%zu; run with --full for the paper's N=1000)\n",
+                n);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Shared plumbing for the per-figure/per-table bench harnesses.
+//
+// Every bench binary:
+//   * prints the paper artifact it reproduces and the shape claim to check,
+//   * accepts --full (paper-scale sizes), --repeats N, --out DIR,
+//   * writes its series/rows as CSV next to the stdout report.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/strings.hpp"
+
+namespace imrdmd::bench {
+
+struct BenchArgs {
+  bool full = false;        // paper-scale sizes instead of CI-scale
+  std::size_t repeats = 1;  // timing repetitions (paper averages 10)
+  std::string out_dir = ".";
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--full")) {
+        args.full = true;
+      } else if (!std::strcmp(argv[i], "--repeats") && i + 1 < argc) {
+        args.repeats =
+            static_cast<std::size_t>(parse_long(argv[++i], "--repeats"));
+      } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+        args.out_dir = argv[++i];
+      } else if (!std::strcmp(argv[i], "--help")) {
+        std::printf("usage: %s [--full] [--repeats N] [--out DIR]\n", argv[0]);
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+};
+
+inline void banner(const char* artifact, const char* claim) {
+  std::printf("================================================================\n");
+  std::printf("Reproduces: %s\n", artifact);
+  std::printf("Shape claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace imrdmd::bench

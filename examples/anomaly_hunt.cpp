@@ -1,0 +1,168 @@
+// Anomaly hunt: case-study-style forensic session on the multifidelity logs.
+//
+// Runs the full case-study-1 scenario, then answers the paper's Q3: do the
+// patterns extracted from the environment log correlate with hardware and
+// job log events? The program prints a per-suspect dossier — z-score,
+// thermal state, hardware events, owning jobs — and writes the Fig. 4-style
+// SVG rack view.
+//
+// Usage: anomaly_hunt [--scale S] [--out DIR]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/strings.hpp"
+#include "core/align.hpp"
+#include "core/pipeline.hpp"
+#include "rack/render.hpp"
+#include "telemetry/env_stream.hpp"
+#include "telemetry/log_io.hpp"
+#include "telemetry/scenario.hpp"
+
+using namespace imrdmd;
+
+int main(int argc, char** argv) {
+  double scale = 0.08;
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
+      scale = parse_double(argv[++i], "--scale");
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::printf("usage: %s [--scale S] [--out DIR]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  telemetry::ScenarioOptions scenario_options;
+  scenario_options.machine_scale = scale;
+  scenario_options.horizon = 1024;
+  telemetry::Scenario scenario =
+      telemetry::make_case_study_1(scenario_options);
+
+  // Stream the analyzed nodes through the pipeline (initial 512 + 4 x 128).
+  core::PipelineOptions options;
+  options.imrdmd.mrdmd.max_levels = 4;
+  options.imrdmd.mrdmd.dt = scenario.machine.dt_seconds;
+  options.baseline = {44.0, 58.0};
+  options.band.max_frequency_hz = 1.0;
+  core::OnlineAssessmentPipeline pipeline(options);
+
+  telemetry::EnvStreamOptions stream_options;
+  stream_options.initial_snapshots = 512;
+  stream_options.chunk_snapshots = 128;
+  stream_options.total_snapshots = scenario.horizon;
+  stream_options.sensor_subset = scenario.analyzed_nodes;
+  telemetry::EnvLogStream stream(*scenario.sensors, stream_options);
+  const auto snapshots = pipeline.run(stream);
+  const core::PipelineSnapshot& last = snapshots.back();
+
+  // Gather suspects: anything not near baseline.
+  struct Suspect {
+    std::size_t node;
+    double z;
+    core::ThermalState state;
+  };
+  std::vector<Suspect> suspects;
+  for (std::size_t row = 0; row < last.zscores.zscores.size(); ++row) {
+    const core::ThermalState state = last.zscores.state(row);
+    if (state == core::ThermalState::NearBaseline) continue;
+    suspects.push_back(
+        {scenario.analyzed_nodes[row], last.zscores.zscores[row], state});
+  }
+  std::sort(suspects.begin(), suspects.end(),
+            [](const Suspect& a, const Suspect& b) {
+              return std::abs(a.z) > std::abs(b.z);
+            });
+
+  std::printf("=== anomaly hunt: %zu suspects among %zu analyzed nodes ===\n",
+              suspects.size(), scenario.analyzed_nodes.size());
+  const char* state_names[] = {"COLD/stalled", "near-baseline", "elevated",
+                               "HOT"};
+  for (const Suspect& suspect :
+       std::vector<Suspect>(suspects.begin(),
+                            suspects.begin() +
+                                std::min<std::size_t>(10, suspects.size()))) {
+    std::printf("\nnode %zu  z=%+.2f  [%s]\n", suspect.node, suspect.z,
+                state_names[static_cast<int>(suspect.state)]);
+    // Hardware log evidence.
+    bool any_event = false;
+    for (const auto* event :
+         scenario.hardware->events_in_window(0, scenario.horizon)) {
+      if (event->node != suspect.node) continue;
+      if (!any_event) std::printf("  hardware log:\n");
+      any_event = true;
+      std::printf("    t=%zu %s: %s\n", event->t,
+                  telemetry::to_string(event->category),
+                  event->message.c_str());
+      break;  // one line per node is enough for the dossier
+    }
+    if (!any_event) std::printf("  hardware log: clean\n");
+    // Job log evidence.
+    for (const auto* job :
+         scenario.jobs->jobs_in_window(0, scenario.horizon)) {
+      if (suspect.node >= job->node_begin &&
+          suspect.node < job->node_begin + job->node_count) {
+        std::printf("  job log: job %zu (%s) nodes [%zu, %zu) t=[%zu, %zu)\n",
+                    job->job_id, job->project.c_str(), job->node_begin,
+                    job->node_begin + job->node_count, job->t_start,
+                    job->t_end);
+        break;
+      }
+    }
+    // Ground truth (the simulator knows).
+    const bool truly_hot = std::count(scenario.hot_nodes.begin(),
+                                      scenario.hot_nodes.end(), suspect.node);
+    const bool truly_stalled =
+        std::count(scenario.stalled_nodes.begin(),
+                   scenario.stalled_nodes.end(), suspect.node);
+    std::printf("  ground truth: %s\n",
+                truly_hot ? "injected overheat"
+                          : (truly_stalled ? "injected stall"
+                                           : "no injected fault"));
+  }
+
+  // Q3 answer: association tables.
+  std::vector<std::size_t> hot_rows =
+      last.zscores.sensors_in_state(core::ThermalState::Hot);
+  std::vector<std::size_t> hot_nodes;
+  for (std::size_t row : hot_rows) {
+    hot_nodes.push_back(scenario.analyzed_nodes[row]);
+  }
+  const auto memory_nodes = scenario.hardware->nodes_with(
+      telemetry::HardwareEventCategory::CorrectableMemory, 0,
+      scenario.horizon);
+  const core::AlignmentStats stats = core::align_events(
+      std::span<const std::size_t>(hot_nodes.data(), hot_nodes.size()),
+      std::span<const std::size_t>(memory_nodes.data(), memory_nodes.size()),
+      scenario.machine.node_count);
+  std::printf("\nQ3 — hot nodes vs correctable-memory nodes: %s\n",
+              stats.to_string().c_str());
+  std::printf("(the paper's case study 1 finds exactly this: memory-error "
+              "nodes are near-baseline or cold, not hot)\n");
+
+  // Artifacts: Fig.4-style SVG + the three logs as CSV.
+  rack::RackViewData view;
+  view.values.assign(scenario.machine.node_count,
+                     std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t row = 0; row < last.zscores.zscores.size(); ++row) {
+    view.values[scenario.analyzed_nodes[row]] = last.zscores.zscores[row];
+  }
+  view.populated = scenario.machine.node_count;
+  view.outlined = memory_nodes;
+  rack::RenderOptions render_options;
+  render_options.title = "anomaly_hunt: z-scores with memory-error outlines";
+  const rack::LayoutSpec layout =
+      rack::parse_layout(scenario.machine.layout_string);
+  rack::write_svg_file(out_dir + "/anomaly_hunt_rack.svg",
+                       rack::render_svg(layout, view, render_options));
+  telemetry::write_job_log_csv(out_dir + "/anomaly_hunt_jobs.csv",
+                               scenario.jobs->jobs());
+  telemetry::write_hardware_log_csv(out_dir + "/anomaly_hunt_hardware.csv",
+                                    scenario.hardware->events());
+  std::printf("\nwrote %s/anomaly_hunt_rack.svg and the job/hardware CSVs\n",
+              out_dir.c_str());
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Distributed incremental SVD demo: the "spatially parallel / temporally
+// serial" decomposition of Kühl et al. [46] that underpins I-mrDMD's level-1
+// update (paper Algo 1, line 3), run SPMD-style across thread ranks.
+//
+// Rows (sensors) are partitioned across ranks; column blocks (time) arrive
+// serially. The demo verifies the distributed factors against a serial
+// reference and reports per-rank sizes and the communication pattern.
+//
+// Usage: distributed_isvd_demo [--ranks R]
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "dist/communicator.hpp"
+#include "isvd/distributed_isvd.hpp"
+#include "isvd/isvd.hpp"
+#include "linalg/blas.hpp"
+
+using namespace imrdmd;
+
+int main(int argc, char** argv) {
+  int ranks = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--ranks") && i + 1 < argc) {
+      ranks = static_cast<int>(parse_long(argv[++i], "--ranks"));
+    } else {
+      std::printf("usage: %s [--ranks R]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::size_t rows_per_rank = 256;
+  const std::size_t total_rows = rows_per_rank * static_cast<std::size_t>(ranks);
+  const std::size_t initial_cols = 24;
+  const std::size_t update_cols = 8;
+  const std::size_t updates = 6;
+
+  // Synthetic sensor block: low-rank structure + noise, like an environment
+  // log window after subsampling.
+  Rng rng(42);
+  linalg::Mat data(total_rows, initial_cols + updates * update_cols);
+  {
+    const std::size_t rank_true = 5;
+    linalg::Mat left(total_rows, rank_true), right(rank_true, data.cols());
+    for (std::size_t i = 0; i < left.size(); ++i) left.data()[i] = rng.normal();
+    for (std::size_t i = 0; i < right.size(); ++i) right.data()[i] = rng.normal();
+    data = linalg::matmul(left, right);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data.data()[i] += 0.01 * rng.normal();
+    }
+  }
+
+  std::printf("distributed iSVD: %d ranks x %zu rows, %zu initial cols, "
+              "%zu updates of %zu cols\n",
+              ranks, rows_per_rank, initial_cols, updates, update_cols);
+
+  // Serial reference.
+  isvd::IsvdOptions options;
+  options.max_rank = 8;
+  isvd::Isvd serial(options);
+  serial.initialize(data.block(0, 0, total_rows, initial_cols));
+  for (std::size_t u = 0; u < updates; ++u) {
+    serial.update(data.block(0, initial_cols + u * update_cols, total_rows,
+                             update_cols));
+  }
+
+  // SPMD run.
+  std::mutex print_mutex;
+  std::vector<std::vector<double>> rank_spectra(static_cast<std::size_t>(ranks));
+  dist::World world(ranks);
+  world.run([&](dist::Communicator& comm) {
+    const std::size_t r0 = static_cast<std::size_t>(comm.rank()) * rows_per_rank;
+    isvd::DistributedIsvd disvd(comm, options);
+    disvd.initialize(data.block(r0, 0, rows_per_rank, initial_cols));
+    for (std::size_t u = 0; u < updates; ++u) {
+      disvd.update(data.block(r0, initial_cols + u * update_cols,
+                              rows_per_rank, update_cols));
+    }
+    rank_spectra[static_cast<std::size_t>(comm.rank())] = disvd.s();
+    {
+      std::lock_guard<std::mutex> lock(print_mutex);
+      std::printf("  rank %d: local U is %zux%zu, saw %zu columns\n",
+                  comm.rank(), disvd.u_local().rows(),
+                  disvd.u_local().cols(), disvd.cols_seen());
+    }
+  });
+
+  // Verify: replicated spectra match the serial reference.
+  double worst = 0.0;
+  for (const auto& spectrum : rank_spectra) {
+    for (std::size_t i = 0; i < spectrum.size(); ++i) {
+      worst = std::max(worst, std::abs(spectrum[i] - serial.s()[i]));
+    }
+  }
+  std::printf("\nleading singular values (distributed == serial):\n  ");
+  for (std::size_t i = 0; i < std::min<std::size_t>(6, serial.s().size());
+       ++i) {
+    std::printf("%.4f ", serial.s()[i]);
+  }
+  std::printf("\nmax |distributed - serial| = %.3e  %s\n", worst,
+              worst < 1e-8 ? "(OK)" : "(MISMATCH)");
+  std::printf("\ncommunication per update: 2 allreduce(r x c) + 1 allgather "
+              "of %zux%zu R factors — independent of the %zu global rows.\n",
+              update_cols, update_cols, total_rows);
+  return worst < 1e-8 ? 0 : 1;
+}

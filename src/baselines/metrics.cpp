@@ -1,0 +1,100 @@
+#include "baselines/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "baselines/tsne.hpp"
+
+namespace imrdmd::baselines {
+
+double silhouette_score(const linalg::Mat& embedding,
+                        std::span<const int> labels) {
+  const std::size_t n = embedding.rows();
+  IMRDMD_REQUIRE_DIMS(labels.size() == n, "label count mismatch");
+  std::size_t count[2] = {0, 0};
+  for (int label : labels) {
+    IMRDMD_REQUIRE_ARG(label == 0 || label == 1, "labels must be 0/1");
+    ++count[label];
+  }
+  IMRDMD_REQUIRE_ARG(count[0] >= 2 && count[1] >= 2,
+                     "silhouette needs >= 2 points per class");
+
+  const linalg::Mat d2 = pairwise_sq_distances(embedding);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum_same = 0.0, sum_other = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double d = std::sqrt(d2(i, j));
+      if (labels[j] == labels[i]) {
+        sum_same += d;
+      } else {
+        sum_other += d;
+      }
+    }
+    const double a = sum_same / static_cast<double>(count[labels[i]] - 1);
+    const double b =
+        sum_other / static_cast<double>(count[1 - labels[i]]);
+    const double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+  }
+  return total / static_cast<double>(n);
+}
+
+double cohens_d(std::span<const double> values, std::span<const int> labels) {
+  IMRDMD_REQUIRE_DIMS(values.size() == labels.size(), "label count mismatch");
+  double sum[2] = {0.0, 0.0};
+  double sum_sq[2] = {0.0, 0.0};
+  std::size_t count[2] = {0, 0};
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    IMRDMD_REQUIRE_ARG(labels[i] == 0 || labels[i] == 1, "labels must be 0/1");
+    sum[labels[i]] += values[i];
+    sum_sq[labels[i]] += values[i] * values[i];
+    ++count[labels[i]];
+  }
+  IMRDMD_REQUIRE_ARG(count[0] >= 2 && count[1] >= 2,
+                     "cohens_d needs >= 2 points per class");
+  const double mean0 = sum[0] / count[0];
+  const double mean1 = sum[1] / count[1];
+  const double var0 =
+      (sum_sq[0] - sum[0] * mean0) / static_cast<double>(count[0] - 1);
+  const double var1 =
+      (sum_sq[1] - sum[1] * mean1) / static_cast<double>(count[1] - 1);
+  const double pooled = std::sqrt(
+      ((count[0] - 1) * var0 + (count[1] - 1) * var1) /
+      static_cast<double>(count[0] + count[1] - 2));
+  if (pooled == 0.0) return mean0 == mean1 ? 0.0 : 1e9;
+  return std::abs(mean1 - mean0) / pooled;
+}
+
+double knn_accuracy(const linalg::Mat& embedding, std::span<const int> labels,
+                    std::size_t k) {
+  const std::size_t n = embedding.rows();
+  IMRDMD_REQUIRE_DIMS(labels.size() == n, "label count mismatch");
+  IMRDMD_REQUIRE_ARG(k >= 1 && k < n, "k must be in [1, n)");
+  const linalg::Mat d2 = pairwise_sq_distances(embedding);
+  std::size_t correct = 0;
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + k + 1, order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        return d2(i, a) < d2(i, b);
+                      });
+    std::size_t votes = 0;
+    std::size_t seen = 0;
+    for (std::size_t m = 0; m < n && seen < k; ++m) {
+      if (order[m] == i) continue;
+      votes += static_cast<std::size_t>(labels[order[m]]);
+      ++seen;
+    }
+    const int predicted = 2 * votes > k ? 1 : 0;
+    correct += (predicted == labels[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace imrdmd::baselines

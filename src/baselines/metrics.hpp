@@ -1,0 +1,29 @@
+// Embedding-quality metrics used to quantify the paper's Fig. 8 claim
+// (only mrDMD/I-mrDMD separate baseline from non-baseline readings).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace imrdmd::baselines {
+
+/// Mean silhouette coefficient of a 2-class labeling over an embedding
+/// (rows = points). Returns a value in [-1, 1]; higher = better separated.
+/// Requires at least 2 points per class.
+double silhouette_score(const linalg::Mat& embedding,
+                        std::span<const int> labels);
+
+/// 1-D separation score for scalar summaries (e.g. z-scores):
+/// |mean_1 - mean_0| / pooled standard deviation (Cohen's d).
+double cohens_d(std::span<const double> values, std::span<const int> labels);
+
+/// Leave-one-out k-NN classification accuracy of a 0/1 labeling over an
+/// embedding: the local class purity. Robust to multi-modal classes (e.g.
+/// "anomalous" readings split between hot and cold extremes), which
+/// silhouette punishes. Ties broken toward label 0.
+double knn_accuracy(const linalg::Mat& embedding, std::span<const int> labels,
+                    std::size_t k = 1);
+
+}  // namespace imrdmd::baselines

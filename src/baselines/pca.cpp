@@ -1,0 +1,148 @@
+#include "baselines/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/svd.hpp"
+
+namespace imrdmd::baselines {
+
+namespace {
+
+std::vector<double> feature_means(const Mat& samples) {
+  std::vector<double> mean(samples.cols(), 0.0);
+  for (std::size_t i = 0; i < samples.rows(); ++i) {
+    const double* row = samples.data() + i * samples.cols();
+    for (std::size_t j = 0; j < samples.cols(); ++j) mean[j] += row[j];
+  }
+  const double inv = 1.0 / static_cast<double>(samples.rows());
+  for (double& m : mean) m *= inv;
+  return mean;
+}
+
+Mat centered(const Mat& samples, const std::vector<double>& mean) {
+  Mat out = samples;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    double* row = out.data() + i * out.cols();
+    for (std::size_t j = 0; j < out.cols(); ++j) row[j] -= mean[j];
+  }
+  return out;
+}
+
+}  // namespace
+
+Pca::Pca(PcaOptions options) : options_(options) {
+  IMRDMD_REQUIRE_ARG(options_.components >= 1, "need >= 1 component");
+}
+
+void Pca::fit(const Mat& samples) {
+  IMRDMD_REQUIRE_DIMS(samples.rows() >= 2, "PCA needs >= 2 samples");
+  const std::size_t k =
+      std::min(options_.components, std::min(samples.rows(), samples.cols()));
+  mean_ = feature_means(samples);
+  const Mat x = centered(samples, mean_);
+
+  linalg::SvdResult f;
+  const std::size_t min_dim = std::min(x.rows(), x.cols());
+  if (options_.allow_randomized && min_dim > 4 * k && min_dim > 32) {
+    Rng rng(options_.seed);
+    f = linalg::randomized_svd(x, k, rng);
+  } else {
+    f = linalg::svd(x);
+    f.truncate(k);
+  }
+  components_ = f.v.transposed();  // k x f
+  explained_variance_.assign(f.s.size(), 0.0);
+  for (std::size_t i = 0; i < f.s.size(); ++i) {
+    explained_variance_[i] =
+        f.s[i] * f.s[i] / static_cast<double>(samples.rows() - 1);
+  }
+  fitted_ = true;
+}
+
+Mat Pca::transform(const Mat& samples) const {
+  IMRDMD_REQUIRE_ARG(fitted_, "PCA transform before fit");
+  IMRDMD_REQUIRE_DIMS(samples.cols() == mean_.size(),
+                      "PCA feature count mismatch");
+  const Mat x = centered(samples, mean_);
+  return linalg::matmul_a_bt(x, components_);
+}
+
+Mat Pca::fit_transform(const Mat& samples) {
+  fit(samples);
+  return transform(samples);
+}
+
+IncrementalPca::IncrementalPca(IncrementalPcaOptions options)
+    : options_(options) {
+  IMRDMD_REQUIRE_ARG(options_.components >= 1, "need >= 1 component");
+}
+
+void IncrementalPca::partial_fit(const Mat& batch) {
+  IMRDMD_REQUIRE_DIMS(batch.rows() >= 1, "empty IPCA batch");
+  const std::size_t n_new = batch.rows();
+  const std::size_t f = batch.cols();
+
+  if (samples_seen_ == 0) {
+    mean_.assign(f, 0.0);
+  } else {
+    IMRDMD_REQUIRE_DIMS(f == mean_.size(), "IPCA feature count changed");
+  }
+  const std::size_t n_total = samples_seen_ + n_new;
+
+  // Updated mean and the mean-correction row of Ross et al. (2008).
+  const std::vector<double> batch_mean = feature_means(batch);
+  std::vector<double> new_mean(f);
+  for (std::size_t j = 0; j < f; ++j) {
+    new_mean[j] = (mean_[j] * static_cast<double>(samples_seen_) +
+                   batch_mean[j] * static_cast<double>(n_new)) /
+                  static_cast<double>(n_total);
+  }
+
+  // Stack: [ diag(s) * components ; batch - batch_mean ; correction ].
+  const std::size_t k_prev = singular_values_.size();
+  const bool correction =
+      samples_seen_ > 0;  // rank-1 term linking old and new means
+  Mat stack(k_prev + n_new + (correction ? 1 : 0), f);
+  for (std::size_t i = 0; i < k_prev; ++i) {
+    const double s = singular_values_[i];
+    for (std::size_t j = 0; j < f; ++j) {
+      stack(i, j) = s * components_(i, j);
+    }
+  }
+  for (std::size_t i = 0; i < n_new; ++i) {
+    for (std::size_t j = 0; j < f; ++j) {
+      stack(k_prev + i, j) = batch(i, j) - batch_mean[j];
+    }
+  }
+  if (correction) {
+    const double scale = std::sqrt(static_cast<double>(samples_seen_) *
+                                   static_cast<double>(n_new) /
+                                   static_cast<double>(n_total));
+    for (std::size_t j = 0; j < f; ++j) {
+      stack(k_prev + n_new, j) = scale * (mean_[j] - batch_mean[j]);
+    }
+  }
+
+  linalg::SvdResult fsvd = linalg::svd(stack);
+  const std::size_t keep =
+      std::min(options_.components, std::min(fsvd.s.size(), n_total));
+  fsvd.truncate(keep);
+  components_ = fsvd.v.transposed();
+  singular_values_ = std::move(fsvd.s);
+  mean_ = std::move(new_mean);
+  samples_seen_ = n_total;
+}
+
+Mat IncrementalPca::transform(const Mat& samples) const {
+  IMRDMD_REQUIRE_ARG(samples_seen_ > 0, "IPCA transform before partial_fit");
+  IMRDMD_REQUIRE_DIMS(samples.cols() == mean_.size(),
+                      "IPCA feature count mismatch");
+  const Mat x = centered(samples, mean_);
+  return linalg::matmul_a_bt(x, components_);
+}
+
+}  // namespace imrdmd::baselines

@@ -1,0 +1,92 @@
+// PCA and incremental PCA — two of the comparison methods in the paper's
+// Figs. 8/9 (scikit-learn's PCA(svd_solver='auto') and IncrementalPCA).
+//
+// Convention (scikit-learn's): rows are samples, columns are features.
+// fit() centers features and keeps the leading right singular vectors;
+// transform() projects. PCA switches to randomized SVD for large inputs,
+// mirroring sklearn's 'auto' policy. IncrementalPca implements the
+// mean-corrected SVD update of Ross et al. (2008), processing sample
+// batches with O(batch x features) work per call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace imrdmd::baselines {
+
+using linalg::Mat;
+
+struct PcaOptions {
+  std::size_t components = 2;
+  /// Use randomized SVD when min(shape) exceeds 4x components (sklearn's
+  /// 'auto' heuristic); exact Jacobi otherwise.
+  bool allow_randomized = true;
+  std::uint64_t seed = 17;
+};
+
+class Pca {
+ public:
+  explicit Pca(PcaOptions options = {});
+
+  /// Fits on samples (n x f). Requires n >= 2.
+  void fit(const Mat& samples);
+
+  /// Projects samples onto the fitted components (n x k).
+  Mat transform(const Mat& samples) const;
+
+  Mat fit_transform(const Mat& samples);
+
+  bool fitted() const { return fitted_; }
+  /// k x f row-space basis.
+  const Mat& components() const { return components_; }
+  /// Per-feature mean.
+  const std::vector<double>& mean() const { return mean_; }
+  /// Variance explained by each component.
+  const std::vector<double>& explained_variance() const {
+    return explained_variance_;
+  }
+
+ private:
+  PcaOptions options_;
+  bool fitted_ = false;
+  Mat components_;
+  std::vector<double> mean_;
+  std::vector<double> explained_variance_;
+};
+
+struct IncrementalPcaOptions {
+  std::size_t components = 2;
+};
+
+class IncrementalPca {
+ public:
+  explicit IncrementalPca(IncrementalPcaOptions options = {});
+
+  /// Folds a batch of samples (n_b x f) into the model. The first call
+  /// initializes; later calls must keep the feature count. Batches must
+  /// satisfy n_b >= 1 (and the cumulative sample count must reach
+  /// `components` before transform()).
+  void partial_fit(const Mat& batch);
+
+  Mat transform(const Mat& samples) const;
+
+  bool fitted() const { return samples_seen_ > 0; }
+  std::size_t samples_seen() const { return samples_seen_; }
+  const Mat& components() const { return components_; }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& singular_values() const {
+    return singular_values_;
+  }
+
+ private:
+  IncrementalPcaOptions options_;
+  std::size_t samples_seen_ = 0;
+  Mat components_;  // k x f
+  std::vector<double> singular_values_;
+  std::vector<double> mean_;
+};
+
+}  // namespace imrdmd::baselines

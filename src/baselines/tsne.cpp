@@ -1,0 +1,203 @@
+#include "baselines/tsne.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/pca.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+
+namespace imrdmd::baselines {
+
+Mat pairwise_sq_distances(const Mat& samples) {
+  const std::size_t n = samples.rows();
+  // ||xi - xj||^2 = ||xi||^2 + ||xj||^2 - 2 xi.xj through one GEMM.
+  const Mat gram = linalg::matmul_a_bt(samples, samples);
+  Mat d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double v = gram(i, i) + gram(j, j) - 2.0 * gram(i, j);
+      d(i, j) = v > 0.0 ? v : 0.0;
+    }
+  }
+  return d;
+}
+
+namespace {
+
+// Row-stochastic conditional affinities at the target perplexity (binary
+// search over the Gaussian bandwidth beta = 1/(2 sigma^2) per point).
+Mat conditional_affinities(const Mat& d2, double perplexity) {
+  const std::size_t n = d2.rows();
+  const double target_entropy = std::log(perplexity);
+  Mat p(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double beta = 1.0;
+    double beta_lo = 0.0;
+    double beta_hi = std::numeric_limits<double>::infinity();
+    for (int iter = 0; iter < 64; ++iter) {
+      // Entropy and affinities at the current beta.
+      double sum = 0.0;
+      double weighted = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double w = std::exp(-beta * d2(i, j));
+        sum += w;
+        weighted += w * d2(i, j);
+      }
+      if (sum <= 0.0) {
+        beta_hi = beta;
+        beta = 0.5 * (beta_lo + (std::isfinite(beta_hi) ? beta_hi : beta * 2));
+        continue;
+      }
+      const double entropy = std::log(sum) + beta * weighted / sum;
+      const double diff = entropy - target_entropy;
+      if (std::abs(diff) < 1e-5) break;
+      if (diff > 0.0) {
+        beta_lo = beta;
+        beta = std::isfinite(beta_hi) ? 0.5 * (beta + beta_hi) : beta * 2.0;
+      } else {
+        beta_hi = beta;
+        beta = 0.5 * (beta + beta_lo);
+      }
+    }
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      p(i, j) = std::exp(-beta * d2(i, j));
+      sum += p(i, j);
+    }
+    const double inv = sum > 0.0 ? 1.0 / sum : 0.0;
+    for (std::size_t j = 0; j < n; ++j) p(i, j) *= inv;
+  }
+  return p;
+}
+
+}  // namespace
+
+Tsne::Tsne(TsneOptions options) : options_(options) {
+  IMRDMD_REQUIRE_ARG(options_.components >= 1, "need >= 1 component");
+  IMRDMD_REQUIRE_ARG(options_.perplexity > 1.0, "perplexity must exceed 1");
+}
+
+Mat Tsne::fit_transform(const Mat& samples) {
+  const std::size_t n = samples.rows();
+  IMRDMD_REQUIRE_DIMS(n >= 4, "t-SNE needs at least 4 samples");
+  IMRDMD_REQUIRE_ARG(options_.perplexity < static_cast<double>(n),
+                     "perplexity must be below the sample count");
+
+  // Optional PCA pre-reduction for wide inputs.
+  Mat x = samples;
+  if (options_.pca_dims > 0 && samples.cols() > options_.pca_dims &&
+      n > options_.pca_dims) {
+    PcaOptions pca_options;
+    pca_options.components = options_.pca_dims;
+    pca_options.seed = options_.seed;
+    Pca pca(pca_options);
+    x = pca.fit_transform(samples);
+  }
+
+  // Symmetrized joint affinities with early exaggeration.
+  const Mat d2 = pairwise_sq_distances(x);
+  const Mat cond = conditional_affinities(d2, options_.perplexity);
+  Mat p(n, n);
+  double p_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      p(i, j) = cond(i, j) + cond(j, i);
+      p_sum += p(i, j);
+    }
+  }
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p.data()[i] = std::max(p.data()[i] / p_sum, 1e-12);
+  }
+
+  // Random small init (sklearn default scale 1e-4).
+  const std::size_t k = options_.components;
+  Rng rng(options_.seed);
+  Mat y(n, k);
+  for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] = 1e-4 * rng.normal();
+
+  Mat velocity(n, k);
+  Mat gains(n, k, 1.0);
+  Mat gradient(n, k);
+  std::vector<double> q_num(n * n);
+
+  // learning_rate == 0 selects sklearn's 'auto' heuristic:
+  // max(n / early_exaggeration / 4, 50).
+  const double eta =
+      options_.learning_rate > 0.0
+          ? options_.learning_rate
+          : std::max(static_cast<double>(n) /
+                         (4.0 * options_.early_exaggeration),
+                     50.0);
+
+  for (std::size_t iter = 0; iter < options_.iterations; ++iter) {
+    const double exaggeration =
+        iter < options_.exaggeration_iters ? options_.early_exaggeration : 1.0;
+    const double momentum = iter < options_.exaggeration_iters
+                                ? options_.initial_momentum
+                                : options_.final_momentum;
+
+    // Student-t low-dimensional affinities.
+    double q_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) {
+          q_num[i * n + j] = 0.0;
+          continue;
+        }
+        double dist = 0.0;
+        for (std::size_t c = 0; c < k; ++c) {
+          const double d = y(i, c) - y(j, c);
+          dist += d * d;
+        }
+        const double w = 1.0 / (1.0 + dist);
+        q_num[i * n + j] = w;
+        q_sum += w;
+      }
+    }
+    const double q_inv = q_sum > 0.0 ? 1.0 / q_sum : 0.0;
+
+    // Full-batch gradient: 4 sum_j (p_ij*ex - q_ij) w_ij (y_i - y_j).
+    // All gradients are computed from the same snapshot of y — interleaving
+    // updates with gradient evaluation is violently unstable at the tiny
+    // initialization scale (stale kernel sums meet moved points).
+    kl_ = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < k; ++c) gradient(i, c) = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double w = q_num[i * n + j];
+        const double qij = std::max(w * q_inv, 1e-12);
+        const double coeff = 4.0 * (exaggeration * p(i, j) - qij) * w;
+        for (std::size_t c = 0; c < k; ++c) {
+          gradient(i, c) += coeff * (y(i, c) - y(j, c));
+        }
+        if (exaggeration == 1.0) kl_ += p(i, j) * std::log(p(i, j) / qij);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < k; ++c) {
+        // Adaptive gains (Jacobs rule), as in the reference implementation.
+        const bool same_sign = (gradient(i, c) > 0.0) == (velocity(i, c) > 0.0);
+        gains(i, c) = std::max(0.01, same_sign ? gains(i, c) * 0.8
+                                               : gains(i, c) + 0.2);
+        velocity(i, c) =
+            momentum * velocity(i, c) - eta * gains(i, c) * gradient(i, c);
+        y(i, c) += velocity(i, c);
+      }
+    }
+    // Re-center to keep the embedding from drifting.
+    for (std::size_t c = 0; c < k; ++c) {
+      double mean = 0.0;
+      for (std::size_t i = 0; i < n; ++i) mean += y(i, c);
+      mean /= static_cast<double>(n);
+      for (std::size_t i = 0; i < n; ++i) y(i, c) -= mean;
+    }
+  }
+  return y;
+}
+
+}  // namespace imrdmd::baselines

@@ -1,0 +1,56 @@
+// Exact t-SNE (van der Maaten & Hinton), one of the paper's Fig. 8/9
+// comparison methods (scikit-learn TSNE(n_components=2, perplexity=30,
+// learning_rate=0.01) in the paper's settings).
+//
+// Implementation notes: exact O(N^2) gradients (the sample counts in the
+// paper's comparisons are ~10^3), per-point bandwidths by binary search to
+// the target perplexity, early exaggeration, momentum gradient descent.
+// Inputs with many features are pre-reduced by PCA (sklearn's standard
+// pipeline for wide data) — controlled by `pca_dims`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+
+namespace imrdmd::baselines {
+
+using linalg::Mat;
+
+struct TsneOptions {
+  std::size_t components = 2;
+  double perplexity = 30.0;
+  /// 0 = sklearn's 'auto' heuristic (max(n / (4 early_exaggeration), 50)).
+  double learning_rate = 0.0;
+  std::size_t iterations = 500;
+  std::size_t exaggeration_iters = 250;
+  double early_exaggeration = 12.0;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  /// Pre-reduce features with PCA when wider than this (0 disables).
+  std::size_t pca_dims = 50;
+  std::uint64_t seed = 23;
+};
+
+class Tsne {
+ public:
+  explicit Tsne(TsneOptions options = {});
+
+  /// Embeds samples (n x f) into n x components. Requires n >= 4 and
+  /// perplexity < n.
+  Mat fit_transform(const Mat& samples);
+
+  /// Final Kullback-Leibler divergence of the fit.
+  double kl_divergence() const { return kl_; }
+
+ private:
+  TsneOptions options_;
+  double kl_ = 0.0;
+};
+
+/// Squared Euclidean distance matrix between sample rows (shared by t-SNE
+/// and UMAP).
+Mat pairwise_sq_distances(const Mat& samples);
+
+}  // namespace imrdmd::baselines

@@ -1,0 +1,249 @@
+#include "baselines/umap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "baselines/pca.hpp"
+#include "baselines/tsne.hpp"  // pairwise_sq_distances
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace imrdmd::baselines {
+
+namespace {
+
+struct Edge {
+  std::size_t i;
+  std::size_t j;
+  double weight;
+};
+
+// Reference membership curve the (a, b) parameters approximate.
+double target_curve(double d, double min_dist, double spread) {
+  return d <= min_dist ? 1.0 : std::exp(-(d - min_dist) / spread);
+}
+
+double curve_error(double a, double b, double min_dist, double spread) {
+  double err = 0.0;
+  for (int s = 1; s <= 60; ++s) {
+    const double d = 3.0 * spread * s / 60.0;
+    const double fit = 1.0 / (1.0 + a * std::pow(d, 2.0 * b));
+    const double want = target_curve(d, min_dist, spread);
+    err += (fit - want) * (fit - want);
+  }
+  return err;
+}
+
+}  // namespace
+
+void fit_umap_curve(double min_dist, double spread, double& a, double& b) {
+  // Coarse-to-fine grid search; the surface is smooth and unimodal in the
+  // region of interest.
+  double best_a = 1.0, best_b = 1.0;
+  double best = curve_error(best_a, best_b, min_dist, spread);
+  double a_lo = 0.2, a_hi = 4.0, b_lo = 0.4, b_hi = 2.5;
+  for (int refine = 0; refine < 4; ++refine) {
+    for (int ia = 0; ia <= 24; ++ia) {
+      for (int ib = 0; ib <= 24; ++ib) {
+        const double ca = a_lo + (a_hi - a_lo) * ia / 24.0;
+        const double cb = b_lo + (b_hi - b_lo) * ib / 24.0;
+        const double err = curve_error(ca, cb, min_dist, spread);
+        if (err < best) {
+          best = err;
+          best_a = ca;
+          best_b = cb;
+        }
+      }
+    }
+    const double a_span = (a_hi - a_lo) / 6.0;
+    const double b_span = (b_hi - b_lo) / 6.0;
+    a_lo = std::max(0.05, best_a - a_span);
+    a_hi = best_a + a_span;
+    b_lo = std::max(0.1, best_b - b_span);
+    b_hi = best_b + b_span;
+  }
+  a = best_a;
+  b = best_b;
+}
+
+Umap::Umap(UmapOptions options) : options_(options) {
+  IMRDMD_REQUIRE_ARG(options_.n_neighbors >= 2, "n_neighbors must be >= 2");
+  IMRDMD_REQUIRE_ARG(options_.components >= 1, "need >= 1 component");
+}
+
+Mat Umap::fit_transform(const Mat& samples) {
+  return fit_transform_anchored(samples, Mat(), 0.0);
+}
+
+Mat Umap::fit_transform_anchored(const Mat& samples, const Mat& anchor,
+                                 double anchor_weight) {
+  const std::size_t n = samples.rows();
+  const std::size_t k_neighbors = std::min(options_.n_neighbors, n - 1);
+  IMRDMD_REQUIRE_DIMS(n > options_.n_neighbors,
+                      "UMAP needs more samples than n_neighbors");
+  if (!anchor.empty()) {
+    IMRDMD_REQUIRE_DIMS(anchor.rows() == n &&
+                            anchor.cols() == options_.components,
+                        "anchor shape mismatch");
+  }
+
+  // Exact k-NN.
+  const Mat d2 = pairwise_sq_distances(samples);
+  std::vector<std::vector<std::size_t>> knn(n);
+  std::vector<std::vector<double>> knn_d(n);
+  {
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::iota(order.begin(), order.end(), 0);
+      std::partial_sort(order.begin(), order.begin() + k_neighbors + 1,
+                        order.end(), [&](std::size_t a, std::size_t b) {
+                          return d2(i, a) < d2(i, b);
+                        });
+      for (std::size_t m = 0; m <= k_neighbors; ++m) {
+        if (order[m] == i) continue;
+        knn[i].push_back(order[m]);
+        knn_d[i].push_back(std::sqrt(d2(i, order[m])));
+        if (knn[i].size() == k_neighbors) break;
+      }
+    }
+  }
+
+  // Smooth-kNN-distances: rho_i = nearest distance, sigma_i by binary
+  // search so sum_j exp(-(d_ij - rho_i)_+ / sigma_i) = log2(k).
+  const double target = std::log2(static_cast<double>(k_neighbors));
+  std::vector<double> rho(n, 0.0), sigma(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    rho[i] = *std::min_element(knn_d[i].begin(), knn_d[i].end());
+    double lo = 1e-8, hi = 1e4;
+    for (int iter = 0; iter < 64; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      double sum = 0.0;
+      for (double d : knn_d[i]) {
+        sum += std::exp(-std::max(0.0, d - rho[i]) / mid);
+      }
+      if (sum > target) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    sigma[i] = 0.5 * (lo + hi);
+  }
+
+  // Fuzzy simplicial set: directed weights, then probabilistic union.
+  Mat w(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t m = 0; m < knn[i].size(); ++m) {
+      const std::size_t j = knn[i][m];
+      w(i, j) = std::exp(-std::max(0.0, knn_d[i][m] - rho[i]) / sigma[i]);
+    }
+  }
+  std::vector<Edge> edges;
+  double w_max = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double weight = w(i, j) + w(j, i) - w(i, j) * w(j, i);
+      if (weight > 1e-6) {
+        edges.push_back({i, j, weight});
+        w_max = std::max(w_max, weight);
+      }
+    }
+  }
+
+  double a, b;
+  fit_umap_curve(options_.min_dist, options_.spread, a, b);
+
+  // PCA init scaled into a ~[-10, 10] box (spectral-init scale).
+  const std::size_t kc = options_.components;
+  Mat y;
+  {
+    PcaOptions pca_options;
+    pca_options.components = kc;
+    pca_options.seed = options_.seed;
+    Pca pca(pca_options);
+    y = pca.fit_transform(samples);
+    double extent = 1e-12;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      extent = std::max(extent, std::abs(y.data()[i]));
+    }
+    y *= 10.0 / extent;
+  }
+
+  Rng rng(options_.seed);
+  const double clip = 4.0;
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    const double alpha =
+        options_.learning_rate *
+        (1.0 - static_cast<double>(epoch) / static_cast<double>(options_.epochs));
+    for (const Edge& edge : edges) {
+      // Edge-strength-proportional update (reference schedules whole-epoch
+      // passes per edge; scaling the step by w/w_max is the dense-graph
+      // equivalent).
+      const double strength = edge.weight / w_max;
+      double dist2 = 0.0;
+      for (std::size_t c = 0; c < kc; ++c) {
+        const double d = y(edge.i, c) - y(edge.j, c);
+        dist2 += d * d;
+      }
+      // Attractive force along the edge.
+      if (dist2 > 0.0) {
+        const double pd = std::pow(dist2, b - 1.0);
+        const double coeff = -2.0 * a * b * pd / (1.0 + a * pd * dist2);
+        for (std::size_t c = 0; c < kc; ++c) {
+          const double g = std::clamp(
+              coeff * (y(edge.i, c) - y(edge.j, c)), -clip, clip);
+          y(edge.i, c) += alpha * strength * g;
+          y(edge.j, c) -= alpha * strength * g;
+        }
+      }
+      // Negative samples repel edge.i.
+      for (std::size_t s = 0; s < options_.negative_samples; ++s) {
+        const std::size_t j = rng.uniform_index(n);
+        if (j == edge.i) continue;
+        double nd2 = 0.0;
+        for (std::size_t c = 0; c < kc; ++c) {
+          const double d = y(edge.i, c) - y(j, c);
+          nd2 += d * d;
+        }
+        const double coeff =
+            2.0 * b / ((0.001 + nd2) * (1.0 + a * std::pow(nd2, b)));
+        for (std::size_t c = 0; c < kc; ++c) {
+          const double g =
+              std::clamp(coeff * (y(edge.i, c) - y(j, c)), -clip, clip);
+          y(edge.i, c) += alpha * strength * g;
+        }
+      }
+    }
+    // Anchor pull (Aligned-UMAP's longitudinal regularization).
+    if (!anchor.empty() && anchor_weight > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t c = 0; c < kc; ++c) {
+          y(i, c) += alpha * anchor_weight * (anchor(i, c) - y(i, c));
+        }
+      }
+    }
+  }
+  return y;
+}
+
+AlignedUmap::AlignedUmap(AlignedUmapOptions options) : options_(options) {}
+
+Mat AlignedUmap::fit(const Mat& samples) {
+  Umap umap(options_.umap);
+  embedding_ = umap.fit_transform(samples);
+  fitted_ = true;
+  return embedding_;
+}
+
+Mat AlignedUmap::update(const Mat& samples) {
+  IMRDMD_REQUIRE_ARG(fitted_, "AlignedUmap::update before fit");
+  IMRDMD_REQUIRE_DIMS(samples.rows() == embedding_.rows(),
+                      "AlignedUmap window sample count changed");
+  Umap umap(options_.umap);
+  embedding_ = umap.fit_transform_anchored(samples, embedding_,
+                                           options_.alignment_weight);
+  return embedding_;
+}
+
+}  // namespace imrdmd::baselines

@@ -1,0 +1,83 @@
+// UMAP (McInnes et al.) and Aligned-UMAP (Dadu et al. [64]) — the remaining
+// comparison methods of the paper's Figs. 8/9.
+//
+// This is a faithful compact implementation of the reference algorithm on
+// exact k-NN (sample counts here are ~10^3): smooth-kNN-distance bandwidth
+// search (target log2(k)), fuzzy simplicial set union w = w1 + w2 - w1 w2,
+// PCA initialization, and negative-sampling SGD on the cross-entropy with
+// the standard (a, b) curve fitted from min_dist/spread.
+//
+// AlignedUmap embeds a *sequence* of windows over the same points, adding an
+// anchor term that pulls each point toward its position in the previous
+// window's embedding — the longitudinal alignment the paper's comparison
+// uses for streaming data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace imrdmd::baselines {
+
+using linalg::Mat;
+
+struct UmapOptions {
+  std::size_t components = 2;
+  std::size_t n_neighbors = 15;
+  double min_dist = 0.1;
+  double spread = 1.0;
+  std::size_t epochs = 200;
+  double learning_rate = 1.0;
+  std::size_t negative_samples = 5;
+  std::uint64_t seed = 29;
+};
+
+class Umap {
+ public:
+  explicit Umap(UmapOptions options = {});
+
+  /// Embeds samples (n x f) into n x components; requires n > n_neighbors.
+  Mat fit_transform(const Mat& samples);
+
+  /// Embed with an anchor: each row i is pulled toward `anchor` row i with
+  /// strength `anchor_weight` (used by AlignedUmap; anchor may be empty).
+  Mat fit_transform_anchored(const Mat& samples, const Mat& anchor,
+                             double anchor_weight);
+
+ private:
+  UmapOptions options_;
+};
+
+struct AlignedUmapOptions {
+  UmapOptions umap;
+  /// Pull strength toward the previous window's embedding.
+  double alignment_weight = 0.05;
+};
+
+class AlignedUmap {
+ public:
+  explicit AlignedUmap(AlignedUmapOptions options = {});
+
+  /// Initial window (like the paper's initial fit).
+  Mat fit(const Mat& samples);
+
+  /// Subsequent window over the same points (partial fit): aligned to the
+  /// previous embedding.
+  Mat update(const Mat& samples);
+
+  bool fitted() const { return fitted_; }
+  const Mat& embedding() const { return embedding_; }
+
+ private:
+  AlignedUmapOptions options_;
+  bool fitted_ = false;
+  Mat embedding_;
+};
+
+/// Fits the UMAP (a, b) curve parameters from min_dist and spread by
+/// least-squares on the reference curve (exposed for tests).
+void fit_umap_curve(double min_dist, double spread, double& a, double& b);
+
+}  // namespace imrdmd::baselines

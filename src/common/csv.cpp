@@ -1,0 +1,127 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace imrdmd {
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  if (!needs_quoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    out += c;
+    if (c == '"') out += '"';
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), stream_(path), arity_(header.size()) {
+  if (!stream_) throw Error("cannot open CSV for writing: " + path);
+  IMRDMD_REQUIRE_ARG(!header.empty(), "CSV header must not be empty");
+  write_row(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  if (!stream_.is_open()) throw Error("write on closed CSV: " + path_);
+  IMRDMD_REQUIRE_DIMS(fields.size() == arity_,
+                      "CSV row arity mismatch in " + path_);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) stream_ << ',';
+    stream_ << quote(fields[i]);
+  }
+  stream_ << '\n';
+}
+
+void CsvWriter::write_row_numeric(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.17g", v);
+    fields.emplace_back(buffer);
+  }
+  write_row(fields);
+}
+
+void CsvWriter::close() {
+  if (stream_.is_open()) stream_.close();
+}
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw ParseError("CSV column not found: " + name);
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream stream(path);
+  if (!stream) throw Error("cannot open CSV for reading: " + path);
+
+  CsvTable table;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_started = false;
+  char c;
+
+  auto end_field = [&] {
+    row.push_back(field);
+    field.clear();
+  };
+  auto end_row = [&] {
+    end_field();
+    if (table.header.empty()) {
+      table.header = row;
+    } else {
+      if (row.size() != table.header.size()) {
+        throw ParseError("ragged CSV row in " + path);
+      }
+      table.rows.push_back(row);
+    }
+    row.clear();
+    row_started = false;
+  };
+
+  while (stream.get(c)) {
+    row_started = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (stream.peek() == '"') {
+          stream.get(c);
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      end_field();
+    } else if (c == '\n') {
+      end_row();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  if (in_quotes) throw ParseError("unterminated quote in " + path);
+  if (row_started) end_row();
+  return table;
+}
+
+}  // namespace imrdmd

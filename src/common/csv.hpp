@@ -1,0 +1,51 @@
+// Minimal CSV writer/reader for experiment artifacts.
+//
+// Every bench emits its table/series as CSV next to its stdout report so the
+// figures can be re-plotted without re-running; this is the one shared
+// serialization format in the repository.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace imrdmd {
+
+/// Streams rows to a CSV file. Fields containing separators/quotes/newlines
+/// are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes `header` as the first row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one row of string fields; must match the header arity.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with enough digits to round-trip.
+  void write_row_numeric(const std::vector<double>& values);
+
+  /// Flushes and closes; subsequent writes throw.
+  void close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream stream_;
+  std::size_t arity_;
+};
+
+/// In-memory parse result of a CSV file.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Column index by name; throws ParseError when absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Reads a whole CSV file (RFC 4180 quoting). Throws ParseError on ragged
+/// rows or unterminated quotes.
+CsvTable read_csv(const std::string& path);
+
+}  // namespace imrdmd

@@ -1,0 +1,71 @@
+// Error handling primitives shared by every imrdmd module.
+//
+// Numeric code fails in two distinct ways and we keep them separate:
+//   * programmer errors (bad shapes, out-of-range indices) -> DimensionError /
+//     InvalidArgument, raised by the IMRDMD_REQUIRE macro family;
+//   * data-dependent numerical breakdowns (rank collapse, non-convergence)
+//     -> NumericalError, raised explicitly at the failure site.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace imrdmd {
+
+/// Base class for all library exceptions so callers can catch one type.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Shape mismatch between operands (e.g. GEMM inner dimensions disagree).
+class DimensionError : public Error {
+ public:
+  explicit DimensionError(const std::string& what) : Error(what) {}
+};
+
+/// A parameter value outside its documented domain.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Data-dependent numerical failure (iteration did not converge, matrix is
+/// numerically singular where an inverse is required, ...).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed external input (layout spec string, CSV file, ...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_dimension_error(const char* expr, const char* file,
+                                        int line, const std::string& msg);
+[[noreturn]] void throw_invalid_argument(const char* expr, const char* file,
+                                         int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace imrdmd
+
+/// Validate a shape/size relation; throws DimensionError when `cond` is false.
+#define IMRDMD_REQUIRE_DIMS(cond, msg)                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::imrdmd::detail::throw_dimension_error(#cond, __FILE__, __LINE__,   \
+                                              (msg));                      \
+    }                                                                      \
+  } while (0)
+
+/// Validate a parameter's domain; throws InvalidArgument when false.
+#define IMRDMD_REQUIRE_ARG(cond, msg)                                      \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::imrdmd::detail::throw_invalid_argument(#cond, __FILE__, __LINE__,  \
+                                               (msg));                     \
+    }                                                                      \
+  } while (0)

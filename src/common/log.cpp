@@ -1,0 +1,35 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace imrdmd {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_mutex;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "[debug] ";
+    case LogLevel::Info: return "[info ] ";
+    case LogLevel::Warn: return "[warn ] ";
+    case LogLevel::ErrorLevel: return "[error] ";
+    case LogLevel::Off: return "";
+  }
+  return "";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = static_cast<int>(level); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < g_level.load()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << tag(level) << message << '\n';
+}
+
+}  // namespace imrdmd

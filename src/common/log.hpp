@@ -1,0 +1,52 @@
+// Leveled diagnostic logging.
+//
+// The pipeline emits progress/drift diagnostics through this logger; tests
+// silence it, examples run at Info, `--verbose` flags lift it to Debug.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace imrdmd {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, ErrorLevel = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+
+/// Current threshold.
+LogLevel log_level();
+
+/// Emits `message` at `level` to stderr with a level tag. Thread-safe.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Builds the message lazily; operator<< payloads are only evaluated when the
+/// level passes the threshold (see the IMRDMD_LOG macro).
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace imrdmd
+
+#define IMRDMD_LOG(level)                           \
+  if (static_cast<int>(level) <                     \
+      static_cast<int>(::imrdmd::log_level())) {    \
+  } else                                            \
+    ::imrdmd::detail::LogLine(level)
+
+#define IMRDMD_DEBUG IMRDMD_LOG(::imrdmd::LogLevel::Debug)
+#define IMRDMD_INFO IMRDMD_LOG(::imrdmd::LogLevel::Info)
+#define IMRDMD_WARN IMRDMD_LOG(::imrdmd::LogLevel::Warn)

@@ -1,0 +1,72 @@
+// Deterministic random number generation.
+//
+// Standard-library distributions are not bit-reproducible across
+// implementations, and this repository's tests and synthetic telemetry must
+// generate identical data everywhere. We therefore ship our own generator
+// (xoshiro256**, seeded through splitmix64) and our own uniform / normal /
+// exponential / Poisson transforms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace imrdmd {
+
+/// xoshiro256** pseudo-random generator with deterministic seeding.
+///
+/// Satisfies UniformRandomBitGenerator so it can also feed <random> if a
+/// caller accepts non-portable streams.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state by iterating splitmix64 from `seed`.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  /// Next raw 64-bit word.
+  std::uint64_t operator()();
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given rate (lambda > 0).
+  double exponential(double rate);
+
+  /// Poisson count (Knuth's method for small mean, normal approx for large).
+  std::uint64_t poisson(double mean);
+
+  /// Derives an independent child stream; child sequences do not overlap the
+  /// parent's for any practical draw count.
+  Rng split();
+
+  /// Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace imrdmd

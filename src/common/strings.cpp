@@ -1,0 +1,84 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace imrdmd {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      parts.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::vector<std::string> split_ws(std::string_view text) {
+  std::vector<std::string> parts;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) parts.emplace_back(text.substr(start, i - start));
+  }
+  return parts;
+}
+
+std::string trim(std::string_view text) {
+  std::size_t lo = 0;
+  std::size_t hi = text.size();
+  while (lo < hi && std::isspace(static_cast<unsigned char>(text[lo]))) ++lo;
+  while (hi > lo && std::isspace(static_cast<unsigned char>(text[hi - 1]))) --hi;
+  return std::string(text.substr(lo, hi - lo));
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+long parse_long(std::string_view text, std::string_view context) {
+  const std::string buffer(text);
+  char* end = nullptr;
+  const long value = std::strtol(buffer.c_str(), &end, 10);
+  if (end == buffer.c_str() || *end != '\0') {
+    throw ParseError("expected integer in " + std::string(context) + ": '" +
+                     buffer + "'");
+  }
+  return value;
+}
+
+double parse_double(std::string_view text, std::string_view context) {
+  const std::string buffer(text);
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (end == buffer.c_str() || *end != '\0') {
+    throw ParseError("expected number in " + std::string(context) + ": '" +
+                     buffer + "'");
+  }
+  return value;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) os << sep;
+    os << parts[i];
+  }
+  return os.str();
+}
+
+}  // namespace imrdmd

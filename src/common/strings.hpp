@@ -1,0 +1,34 @@
+// Small string helpers used by the rack layout parser and CSV I/O.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace imrdmd {
+
+/// Splits on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on runs of whitespace, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Removes leading/trailing whitespace.
+std::string trim(std::string_view text);
+
+/// True when `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Lower-cases ASCII characters.
+std::string to_lower(std::string_view text);
+
+/// Parses a long; throws ParseError with `context` on failure or trailing junk.
+long parse_long(std::string_view text, std::string_view context);
+
+/// Parses a double; throws ParseError with `context` on failure.
+double parse_double(std::string_view text, std::string_view context);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace imrdmd

@@ -1,0 +1,50 @@
+#include "common/timer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace imrdmd {
+
+RunStats RunStats::from_samples(const std::vector<double>& seconds) {
+  RunStats stats;
+  stats.runs = seconds.size();
+  if (seconds.empty()) return stats;
+  stats.min = *std::min_element(seconds.begin(), seconds.end());
+  stats.max = *std::max_element(seconds.begin(), seconds.end());
+  double sum = 0.0;
+  for (double s : seconds) sum += s;
+  stats.mean = sum / static_cast<double>(seconds.size());
+  double ss = 0.0;
+  for (double s : seconds) ss += (s - stats.mean) * (s - stats.mean);
+  stats.stddev = seconds.size() > 1
+                     ? std::sqrt(ss / static_cast<double>(seconds.size() - 1))
+                     : 0.0;
+  return stats;
+}
+
+std::string RunStats::to_string() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed << "mean=" << mean << "s sd=" << stddev << "s min=" << min
+     << "s max=" << max << "s (n=" << runs << ")";
+  return os.str();
+}
+
+RunStats time_repeated(const std::function<void(std::size_t)>& fn,
+                       std::size_t repeats, std::size_t warmup) {
+  IMRDMD_REQUIRE_ARG(repeats > 0, "time_repeated needs at least one run");
+  for (std::size_t i = 0; i < warmup; ++i) fn(i);
+  std::vector<double> samples;
+  samples.reserve(repeats);
+  for (std::size_t i = 0; i < repeats; ++i) {
+    WallTimer timer;
+    fn(i);
+    samples.push_back(timer.seconds());
+  }
+  return RunStats::from_samples(samples);
+}
+
+}  // namespace imrdmd

@@ -1,0 +1,54 @@
+// Wall-clock timing and repeated-run statistics.
+//
+// Every performance number in the paper (Table I, Fig. 9, Sec. IV) is an
+// average over 10 executions; RunStats/time_repeated reproduce that protocol.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace imrdmd {
+
+/// Monotonic stopwatch measuring elapsed seconds.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Summary statistics over a set of timed runs.
+struct RunStats {
+  std::size_t runs = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Computes stats from raw per-run seconds. Empty input yields zeros.
+  static RunStats from_samples(const std::vector<double>& seconds);
+
+  /// "mean=1.234s sd=0.010s min=1.220s max=1.250s (n=10)"
+  std::string to_string() const;
+};
+
+/// Runs `fn` `repeats` times (after `warmup` unmeasured runs) and returns the
+/// timing statistics. `fn` receives the 0-based measured-run index so callers
+/// can reset state between runs.
+RunStats time_repeated(const std::function<void(std::size_t)>& fn,
+                       std::size_t repeats, std::size_t warmup = 0);
+
+}  // namespace imrdmd

@@ -1,0 +1,52 @@
+#include "core/align.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace imrdmd::core {
+
+std::string AlignmentStats::to_string() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << "flagged&event=" << flagged_with_event
+     << " flagged-only=" << flagged_without_event
+     << " event-only=" << event_only << " neither=" << neither
+     << " precision=" << precision << " recall=" << recall << " phi=" << phi;
+  return os.str();
+}
+
+AlignmentStats align_events(std::span<const std::size_t> flagged,
+                            std::span<const std::size_t> event_sensors,
+                            std::size_t sensor_count) {
+  std::vector<char> is_flagged(sensor_count, 0);
+  std::vector<char> has_event(sensor_count, 0);
+  for (std::size_t p : flagged) {
+    IMRDMD_REQUIRE_DIMS(p < sensor_count, "flagged sensor out of range");
+    is_flagged[p] = 1;
+  }
+  for (std::size_t p : event_sensors) {
+    IMRDMD_REQUIRE_DIMS(p < sensor_count, "event sensor out of range");
+    has_event[p] = 1;
+  }
+
+  AlignmentStats stats;
+  for (std::size_t p = 0; p < sensor_count; ++p) {
+    if (is_flagged[p] && has_event[p]) ++stats.flagged_with_event;
+    else if (is_flagged[p]) ++stats.flagged_without_event;
+    else if (has_event[p]) ++stats.event_only;
+    else ++stats.neither;
+  }
+  const double a = static_cast<double>(stats.flagged_with_event);
+  const double b = static_cast<double>(stats.flagged_without_event);
+  const double c = static_cast<double>(stats.event_only);
+  const double d = static_cast<double>(stats.neither);
+  if (a + b > 0.0) stats.precision = a / (a + b);
+  if (a + c > 0.0) stats.recall = a / (a + c);
+  const double denom = std::sqrt((a + b) * (a + c) * (b + d) * (c + d));
+  if (denom > 0.0) stats.phi = (a * d - b * c) / denom;
+  return stats;
+}
+
+}  // namespace imrdmd::core

@@ -1,0 +1,47 @@
+// Multifidelity log alignment (paper Q3 / Sec. V).
+//
+// The case studies overlay three log streams on the rack view: environment
+// z-scores, hardware error events, and job placements. This module holds the
+// log-agnostic part: given the set of sensors an event source flags (e.g.
+// "reported correctable memory errors during the window") and the z-score
+// analysis, it quantifies how the two populations relate — the contingency
+// table, precision/recall of "thermal anomaly predicts event", and the phi
+// coefficient. The paper's case study 1 narrative ("memory-error nodes were
+// near-baseline or negative; the hot nodes showed no hardware errors") is
+// exactly a low/negative association read off this table.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/zscore.hpp"
+
+namespace imrdmd::core {
+
+struct AlignmentStats {
+  /// Contingency counts over all sensors.
+  std::size_t flagged_with_event = 0;     // thermal anomaly & event
+  std::size_t flagged_without_event = 0;  // thermal anomaly only
+  std::size_t event_only = 0;             // event, thermally unremarkable
+  std::size_t neither = 0;
+
+  /// Of the thermally flagged sensors, the fraction with events.
+  double precision = 0.0;
+  /// Of the event sensors, the fraction thermally flagged.
+  double recall = 0.0;
+  /// Phi (Matthews) coefficient in [-1, 1]; ~0 = independent populations.
+  double phi = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Computes the association between `flagged` (sensor indices the z-score
+/// analysis marks anomalous — pass e.g. Hot + Cold sets) and the sensors
+/// named by an event log. `sensor_count` bounds both index sets.
+AlignmentStats align_events(std::span<const std::size_t> flagged,
+                            std::span<const std::size_t> event_sensors,
+                            std::size_t sensor_count);
+
+}  // namespace imrdmd::core

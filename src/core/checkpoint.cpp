@@ -1,0 +1,242 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace imrdmd::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'I', 'M', 'R', 'D', 'M', 'D', '1', '\n'};
+
+// --- primitive writers/readers (little-endian native; the format is not
+// exchanged across architectures) -------------------------------------
+
+void put_u64(std::ostream& out, std::uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+void put_f64(std::ostream& out, double value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  std::uint64_t value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw ParseError("checkpoint truncated (u64)");
+  return value;
+}
+
+double get_f64(std::istream& in) {
+  double value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw ParseError("checkpoint truncated (f64)");
+  return value;
+}
+
+void put_mat(std::ostream& out, const linalg::Mat& m) {
+  put_u64(out, m.rows());
+  put_u64(out, m.cols());
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(double)));
+}
+
+linalg::Mat get_mat(std::istream& in) {
+  const std::uint64_t rows = get_u64(in);
+  const std::uint64_t cols = get_u64(in);
+  if (rows > (1u << 26) || cols > (1u << 26)) {
+    throw ParseError("checkpoint matrix shape implausible");
+  }
+  linalg::Mat m(rows, cols);
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(double)));
+  if (!in) throw ParseError("checkpoint truncated (matrix)");
+  return m;
+}
+
+void put_cmat(std::ostream& out, const linalg::CMat& m) {
+  put_u64(out, m.rows());
+  put_u64(out, m.cols());
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(linalg::Complex)));
+}
+
+linalg::CMat get_cmat(std::istream& in) {
+  const std::uint64_t rows = get_u64(in);
+  const std::uint64_t cols = get_u64(in);
+  if (rows > (1u << 26) || cols > (1u << 26)) {
+    throw ParseError("checkpoint matrix shape implausible");
+  }
+  linalg::CMat m(rows, cols);
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(linalg::Complex)));
+  if (!in) throw ParseError("checkpoint truncated (complex matrix)");
+  return m;
+}
+
+void put_node(std::ostream& out, const MrdmdNode& node) {
+  put_u64(out, node.level);
+  put_u64(out, node.bin_index);
+  put_u64(out, node.t_begin);
+  put_u64(out, node.t_end);
+  put_u64(out, node.stride);
+  put_f64(out, node.rho);
+  put_u64(out, node.svd_rank);
+  put_cmat(out, node.modes);
+  put_u64(out, node.eigenvalues.size());
+  for (const auto& value : node.eigenvalues) {
+    put_f64(out, value.real());
+    put_f64(out, value.imag());
+  }
+  for (const auto& value : node.amplitudes) {
+    put_f64(out, value.real());
+    put_f64(out, value.imag());
+  }
+}
+
+MrdmdNode get_node(std::istream& in) {
+  MrdmdNode node;
+  node.level = get_u64(in);
+  node.bin_index = get_u64(in);
+  node.t_begin = get_u64(in);
+  node.t_end = get_u64(in);
+  node.stride = get_u64(in);
+  node.rho = get_f64(in);
+  node.svd_rank = get_u64(in);
+  node.modes = get_cmat(in);
+  const std::uint64_t modes = get_u64(in);
+  node.eigenvalues.resize(modes);
+  node.amplitudes.resize(modes);
+  for (auto& value : node.eigenvalues) {
+    const double re = get_f64(in);
+    const double im = get_f64(in);
+    value = {re, im};
+  }
+  for (auto& value : node.amplitudes) {
+    const double re = get_f64(in);
+    const double im = get_f64(in);
+    value = {re, im};
+  }
+  return node;
+}
+
+}  // namespace
+
+void save_checkpoint(std::ostream& out, const IncrementalMrdmd& model) {
+  IMRDMD_REQUIRE_ARG(model.fitted(), "cannot checkpoint an unfitted model");
+  out.write(kMagic, sizeof kMagic);
+
+  // Options.
+  const ImrdmdOptions& options = model.options_;
+  put_u64(out, options.mrdmd.max_levels);
+  put_u64(out, options.mrdmd.max_cycles);
+  put_u64(out, options.mrdmd.use_svht ? 1 : 0);
+  put_u64(out, options.mrdmd.max_rank);
+  put_f64(out, options.mrdmd.dt);
+  put_u64(out, static_cast<std::uint64_t>(options.mrdmd.criterion));
+  put_u64(out, options.mrdmd.parallel_bins ? 1 : 0);
+  put_u64(out, static_cast<std::uint64_t>(options.mrdmd.amplitude_fit));
+  put_u64(out, options.isvd.max_rank);
+  put_f64(out, options.isvd.truncation_tol);
+  put_f64(out, options.drift_threshold);
+  put_u64(out, options.recompute_on_drift ? 1 : 0);
+  put_u64(out, options.keep_history ? 1 : 0);
+
+  // Scalars.
+  put_u64(out, model.sensors_);
+  put_u64(out, model.time_steps_);
+  put_u64(out, model.stride1_);
+
+  // Level-1 state.
+  put_mat(out, model.grid_);
+  put_mat(out, model.isvd_.u());
+  put_u64(out, model.isvd_.s().size());
+  for (double s : model.isvd_.s()) put_f64(out, s);
+  put_mat(out, model.isvd_.v());
+  put_u64(out, model.isvd_.cols_seen());
+
+  // Tree + caches.
+  put_u64(out, model.nodes_.size());
+  for (const MrdmdNode& node : model.nodes_) put_node(out, node);
+  put_mat(out, model.cached_grid_recon_);
+  put_mat(out, model.history_);
+
+  if (!out) throw Error("checkpoint write failed");
+}
+
+IncrementalMrdmd load_checkpoint(std::istream& in) {
+  char magic[sizeof kMagic];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw ParseError("not an imrdmd checkpoint (bad magic)");
+  }
+
+  ImrdmdOptions options;
+  options.mrdmd.max_levels = get_u64(in);
+  options.mrdmd.max_cycles = get_u64(in);
+  options.mrdmd.use_svht = get_u64(in) != 0;
+  options.mrdmd.max_rank = get_u64(in);
+  options.mrdmd.dt = get_f64(in);
+  options.mrdmd.criterion = static_cast<SlowModeCriterion>(get_u64(in));
+  options.mrdmd.parallel_bins = get_u64(in) != 0;
+  options.mrdmd.amplitude_fit = static_cast<dmd::AmplitudeFit>(get_u64(in));
+  options.isvd.max_rank = get_u64(in);
+  options.isvd.truncation_tol = get_f64(in);
+  options.drift_threshold = get_f64(in);
+  options.recompute_on_drift = get_u64(in) != 0;
+  options.keep_history = get_u64(in) != 0;
+
+  IncrementalMrdmd model(options);
+  model.sensors_ = get_u64(in);
+  model.time_steps_ = get_u64(in);
+  model.stride1_ = get_u64(in);
+
+  model.grid_ = get_mat(in);
+  linalg::Mat u = get_mat(in);
+  const std::uint64_t rank = get_u64(in);
+  std::vector<double> s(rank);
+  for (auto& value : s) value = get_f64(in);
+  linalg::Mat v = get_mat(in);
+  const std::uint64_t cols_seen = get_u64(in);
+  model.isvd_ = isvd::Isvd::from_state(options.isvd, std::move(u),
+                                       std::move(s), std::move(v), cols_seen);
+
+  const std::uint64_t node_count = get_u64(in);
+  if (node_count == 0) throw ParseError("checkpoint has no tree nodes");
+  model.nodes_.reserve(node_count);
+  for (std::uint64_t i = 0; i < node_count; ++i) {
+    model.nodes_.push_back(get_node(in));
+  }
+  model.cached_grid_recon_ = get_mat(in);
+  model.history_ = get_mat(in);
+  model.fitted_ = true;
+
+  // Consistency checks: the restored state must be internally coherent.
+  if (model.nodes_[0].t_end != model.time_steps_ ||
+      model.nodes_[0].level != 1) {
+    throw ParseError("checkpoint root node inconsistent");
+  }
+  if (model.isvd_.v().rows() + 1 != model.grid_.cols()) {
+    throw ParseError("checkpoint iSVD out of sync with the level-1 grid");
+  }
+  return model;
+}
+
+void save_checkpoint_file(const std::string& path,
+                          const IncrementalMrdmd& model) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open checkpoint for writing: " + path);
+  save_checkpoint(out, model);
+}
+
+IncrementalMrdmd load_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open checkpoint for reading: " + path);
+  return load_checkpoint(in);
+}
+
+}  // namespace imrdmd::core

@@ -1,0 +1,30 @@
+// Checkpointing of I-mrDMD state.
+//
+// The paper's deployment story is a long-running online analysis; a crash
+// must not force re-ingesting weeks of telemetry. save_checkpoint writes a
+// versioned binary image of the model (options, level-1 grid + incremental
+// SVD factors, every tree node, optional history); load_checkpoint restores
+// a model that continues partial_fit'ing exactly where the original left
+// off (round-trip tested to bit-equality of reconstructions).
+//
+// Format: little-endian, magic "IMRDMD1\n", then length-prefixed sections.
+// The format is an implementation detail — only this module reads it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/imrdmd.hpp"
+
+namespace imrdmd::core {
+
+/// Serializes `model` (must be fitted).
+void save_checkpoint(std::ostream& out, const IncrementalMrdmd& model);
+void save_checkpoint_file(const std::string& path,
+                          const IncrementalMrdmd& model);
+
+/// Restores a model; throws ParseError on malformed/mismatched input.
+IncrementalMrdmd load_checkpoint(std::istream& in);
+IncrementalMrdmd load_checkpoint_file(const std::string& path);
+
+}  // namespace imrdmd::core

@@ -1,0 +1,388 @@
+#include "core/imrdmd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
+#include "dmd/dmd.hpp"
+#include "linalg/blas.hpp"
+
+namespace imrdmd::core {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925287;
+
+// Batch-refits the descendant levels (>= 2) of a tree whose root is given:
+// subtract the root's reconstruction from `data`, split the timeline in
+// half, and run the level recursion on each half (the batch tree layout).
+std::vector<MrdmdNode> fit_descendants(const Mat& data, const MrdmdNode& root,
+                                       const MrdmdOptions& options) {
+  std::vector<MrdmdNode> nodes;
+  if (options.max_levels <= 1) return nodes;
+  const std::size_t sensors = data.rows();
+  const std::size_t steps = data.cols();
+  Mat residual = data;
+  {
+    Mat window(sensors, steps);
+    accumulate_node(root, options.dt, nullptr, window, 0);
+    residual -= window;
+  }
+  const std::size_t mid = steps / 2;
+  Mat left = residual.block(0, 0, sensors, mid);
+  Mat right = residual.block(0, mid, sensors, steps - mid);
+  nodes = fit_levels(left, 0, 2, options.max_levels - 1, options);
+  auto right_nodes =
+      fit_levels(right, mid, 2, options.max_levels - 1, options);
+  for (auto& node : right_nodes) {
+    node.bin_index += std::size_t{1} << (node.level - 2);
+  }
+  nodes.insert(nodes.end(), std::make_move_iterator(right_nodes.begin()),
+               std::make_move_iterator(right_nodes.end()));
+  return nodes;
+}
+
+}  // namespace
+
+IncrementalMrdmd::IncrementalMrdmd(ImrdmdOptions options)
+    : options_(options), isvd_(options.isvd) {
+  // Recomputation refits levels >= 2 from raw data, so history is implied.
+  if (options_.recompute_on_drift) options_.keep_history = true;
+}
+
+void IncrementalMrdmd::initial_fit(const Mat& data) {
+  IMRDMD_REQUIRE_ARG(!fitted_, "initial_fit called twice");
+  const std::size_t nyq = options_.mrdmd.nyquist_snapshots();
+  IMRDMD_REQUIRE_DIMS(data.cols() >= nyq,
+                      "initial_fit needs at least 8*max_cycles snapshots");
+  sensors_ = data.rows();
+  time_steps_ = data.cols();
+  stride1_ = data.cols() / nyq;
+
+  // Level-1 subsample grid and its incrementally maintained SVD.
+  const std::size_t k = (data.cols() + stride1_ - 1) / stride1_;
+  grid_ = Mat(sensors_, k);
+  for (std::size_t r = 0; r < sensors_; ++r) {
+    for (std::size_t j = 0; j < k; ++j) {
+      grid_(r, j) = data(r, j * stride1_);
+    }
+  }
+  isvd_.initialize(grid_.block(0, 0, sensors_, k - 1));  // X = grid[:, :-1]
+
+  nodes_.clear();
+  nodes_.emplace_back();  // root placeholder; refresh_root fills it
+  refresh_root();
+
+  // Deeper levels: batch recursion on the residual after the root (level 2
+  // starts from the halves of [0, T), matching the batch tree).
+  auto descendants = fit_descendants(data, nodes_[0], options_.mrdmd);
+  nodes_.insert(nodes_.end(), std::make_move_iterator(descendants.begin()),
+                std::make_move_iterator(descendants.end()));
+
+  cached_grid_recon_ = root_grid_reconstruction(grid_.cols());
+  if (options_.keep_history) history_ = data;
+  fitted_ = true;
+}
+
+PartialFitReport IncrementalMrdmd::partial_fit(const Mat& new_cols) {
+  IMRDMD_REQUIRE_ARG(fitted_, "partial_fit before initial_fit");
+  IMRDMD_REQUIRE_DIMS(new_cols.rows() == sensors_,
+                      "partial_fit sensor count mismatch");
+  PartialFitReport report;
+  report.new_snapshots = new_cols.cols();
+  if (new_cols.cols() == 0) {
+    report.total_snapshots = time_steps_;
+    return report;
+  }
+  const std::size_t t_prev = time_steps_;
+  const std::size_t t_new = t_prev + new_cols.cols();
+  const std::size_t k_old = grid_.cols();
+
+  // 1. Extend the level-1 grid with the fixed initial stride. Every multiple
+  // of stride1_ below t_prev is already gridded, so new grid snapshots index
+  // into new_cols.
+  std::vector<std::size_t> fresh;
+  for (std::size_t g = k_old * stride1_; g < t_new; g += stride1_) {
+    fresh.push_back(g);
+  }
+  if (!fresh.empty()) {
+    Mat extended(sensors_, k_old + fresh.size());
+    extended.set_block(0, 0, grid_);
+    for (std::size_t j = 0; j < fresh.size(); ++j) {
+      IMRDMD_REQUIRE_DIMS(fresh[j] >= t_prev, "grid invariant violated");
+      for (std::size_t r = 0; r < sensors_; ++r) {
+        extended(r, k_old + j) = new_cols(r, fresh[j] - t_prev);
+      }
+    }
+    grid_ = std::move(extended);
+  }
+  const std::size_t k_new = grid_.cols();
+
+  // 2. Incremental SVD update with the new X columns (X = grid[:, :-1], so
+  // columns k_old-1 .. k_new-2 are new to X).
+  if (k_new > k_old) {
+    const std::size_t first_new_x = k_old - 1;
+    const std::size_t new_x_cols = (k_new - 1) - first_new_x;
+    if (new_x_cols > 0) {
+      isvd_.update(grid_.block(0, first_new_x, sensors_, new_x_cols));
+      report.new_grid_columns = new_x_cols;
+    }
+  }
+
+  // 3. Drift statistic: the root's slow field before vs after the update,
+  // compared at the old grid points.
+  time_steps_ = t_new;  // refresh_root uses the new span for rho
+  refresh_root();
+  const Mat new_grid_recon = root_grid_reconstruction(k_new);
+  {
+    const Mat old_slice = cached_grid_recon_;
+    const Mat new_slice = new_grid_recon.block(0, 0, sensors_, k_old);
+    report.drift_grid = linalg::frobenius_diff(new_slice, old_slice);
+    report.drift_estimate =
+        report.drift_grid * std::sqrt(static_cast<double>(stride1_));
+  }
+  cached_grid_recon_ = new_grid_recon;
+  report.drift_exceeded = report.drift_estimate > options_.drift_threshold;
+
+  // 4. Level shift (Algo 1 lines 7-9): the old descendants drop one level.
+  for (std::size_t i = 1; i < nodes_.size(); ++i) nodes_[i].level += 1;
+
+  // 5. Fresh sub-fit of the new span on the residual after the new root.
+  {
+    Mat residual = new_cols;
+    Mat window(sensors_, new_cols.cols());
+    accumulate_node(nodes_[0], options_.mrdmd.dt, nullptr, window, t_prev);
+    residual -= window;
+    if (options_.mrdmd.max_levels > 1) {
+      auto fresh_nodes = fit_levels(residual, t_prev, 2,
+                                    options_.mrdmd.max_levels - 1,
+                                    options_.mrdmd);
+      report.new_nodes = fresh_nodes.size();
+      nodes_.insert(nodes_.end(),
+                    std::make_move_iterator(fresh_nodes.begin()),
+                    std::make_move_iterator(fresh_nodes.end()));
+    }
+  }
+
+  if (options_.keep_history) {
+    Mat extended(sensors_, t_new);
+    extended.set_block(0, 0, history_);
+    extended.set_block(0, t_prev, new_cols);
+    history_ = std::move(extended);
+  }
+
+  // 6. Optional stale-level recomputation (the paper's deferred step).
+  if (report.drift_exceeded && options_.recompute_on_drift) {
+    IMRDMD_REQUIRE_ARG(!history_.empty(),
+                       "recompute_on_drift requires keep_history");
+    IMRDMD_INFO << "I-mrDMD drift " << report.drift_estimate
+                << " exceeded threshold; refitting levels >= 2";
+    replace_descendants(fit_descendants(history_, nodes_[0], options_.mrdmd));
+    report.recomputed = true;
+  }
+
+  report.total_snapshots = time_steps_;
+  return report;
+}
+
+std::future<std::vector<MrdmdNode>> IncrementalMrdmd::recompute_stale_async()
+    const {
+  IMRDMD_REQUIRE_ARG(fitted_, "recompute_stale_async before initial_fit");
+  IMRDMD_REQUIRE_ARG(!history_.empty(),
+                     "recompute_stale_async requires keep_history");
+  // Snapshot the inputs; the background task must not touch *this.
+  auto history = std::make_shared<Mat>(history_);
+  auto root = std::make_shared<MrdmdNode>(nodes_[0]);
+  MrdmdOptions options = options_.mrdmd;
+  // The task runs on a pool worker; letting it fan bins back out onto the
+  // same pool would have a worker blocking on its own queue.
+  options.parallel_bins = false;
+
+  auto promise = std::make_shared<std::promise<std::vector<MrdmdNode>>>();
+  std::future<std::vector<MrdmdNode>> future = promise->get_future();
+  global_pool().submit([history, root, options, promise] {
+    try {
+      promise->set_value(fit_descendants(*history, *root, options));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
+void IncrementalMrdmd::replace_descendants(std::vector<MrdmdNode> descendants) {
+  IMRDMD_REQUIRE_ARG(fitted_, "replace_descendants before initial_fit");
+  for (const MrdmdNode& node : descendants) {
+    IMRDMD_REQUIRE_ARG(node.level >= 2, "descendants must have level >= 2");
+    IMRDMD_REQUIRE_DIMS(node.mode_count() == 0 ||
+                            node.modes.rows() == sensors_,
+                        "descendant sensor count mismatch");
+  }
+  MrdmdNode root = std::move(nodes_[0]);
+  nodes_.clear();
+  nodes_.push_back(std::move(root));
+  nodes_.insert(nodes_.end(), std::make_move_iterator(descendants.begin()),
+                std::make_move_iterator(descendants.end()));
+}
+
+void IncrementalMrdmd::add_sensors(const Mat& new_rows_history) {
+  IMRDMD_REQUIRE_ARG(fitted_, "add_sensors before initial_fit");
+  IMRDMD_REQUIRE_ARG(options_.keep_history,
+                     "add_sensors requires keep_history (descendant levels "
+                     "are refit from history)");
+  IMRDMD_REQUIRE_DIMS(new_rows_history.cols() == time_steps_,
+                      "add_sensors history must cover all time steps");
+  const std::size_t w = new_rows_history.rows();
+  if (w == 0) return;
+
+  // Extend the raw history and the level-1 grid.
+  Mat history(sensors_ + w, time_steps_);
+  history.set_block(0, 0, history_);
+  history.set_block(sensors_, 0, new_rows_history);
+  history_ = std::move(history);
+
+  const std::size_t k = grid_.cols();
+  Mat grid(sensors_ + w, k);
+  grid.set_block(0, 0, grid_);
+  for (std::size_t r = 0; r < w; ++r) {
+    for (std::size_t j = 0; j < k; ++j) {
+      grid(sensors_ + r, j) = new_rows_history(r, j * stride1_);
+    }
+  }
+  grid_ = std::move(grid);
+
+  // Incremental row update of the level-1 SVD (X = grid[:, :-1]).
+  isvd_.add_rows(grid_.block(sensors_, 0, w, k - 1));
+  sensors_ += w;
+
+  // Refresh the root from the extended factors, then refit descendants.
+  refresh_root();
+  cached_grid_recon_ = root_grid_reconstruction(k);
+  replace_descendants(fit_descendants(history_, nodes_[0], options_.mrdmd));
+}
+
+void IncrementalMrdmd::refresh_root() {
+  const std::size_t k = grid_.cols();
+  const Mat y = grid_.block(0, 1, sensors_, k - 1);
+
+  dmd::DmdOptions dmd_options;
+  dmd_options.use_svht = options_.mrdmd.use_svht;
+  dmd_options.max_rank = options_.mrdmd.max_rank;
+  dmd_options.amplitude_fit = options_.mrdmd.amplitude_fit;
+  // The iSVD's V spans the X columns seen so far; it must match Y's width.
+  IMRDMD_REQUIRE_DIMS(isvd_.v().rows() == k - 1,
+                      "iSVD state out of sync with the level-1 grid");
+  const dmd::DmdResult fit = dmd::dmd_from_svd(
+      isvd_.u(), isvd_.s(), isvd_.v(), y, grid_,
+      options_.mrdmd.dt * static_cast<double>(stride1_), dmd_options);
+
+  MrdmdNode& root = nodes_[0];
+  root.level = 1;
+  root.bin_index = 0;
+  root.t_begin = 0;
+  root.t_end = time_steps_;
+  root.stride = stride1_;
+  root.rho = static_cast<double>(options_.mrdmd.max_cycles) /
+             static_cast<double>(time_steps_);
+  root.svd_rank = fit.svd_rank;
+
+  std::vector<std::size_t> slow;
+  for (std::size_t i = 0; i < fit.mode_count(); ++i) {
+    const Complex log_lambda = std::log(fit.eigenvalues[i]);
+    const double magnitude =
+        options_.mrdmd.criterion == SlowModeCriterion::AbsLog
+            ? std::abs(log_lambda)
+            : std::abs(log_lambda.imag());
+    const double cycles_per_snapshot =
+        magnitude / (kTwoPi * static_cast<double>(stride1_));
+    if (cycles_per_snapshot <= root.rho) slow.push_back(i);
+  }
+  root.modes = CMat(sensors_, slow.size());
+  root.eigenvalues.assign(slow.size(), Complex{});
+  for (std::size_t j = 0; j < slow.size(); ++j) {
+    for (std::size_t r = 0; r < sensors_; ++r) {
+      root.modes(r, j) = fit.modes(r, slow[j]);
+    }
+    root.eigenvalues[j] = fit.eigenvalues[slow[j]];
+  }
+  // Slow-only amplitude re-fit over the whole grid (see MrdmdOptions).
+  root.amplitudes = dmd::fit_amplitudes(root.modes, root.eigenvalues, grid_,
+                                        options_.mrdmd.amplitude_fit);
+}
+
+Mat IncrementalMrdmd::root_grid_reconstruction(std::size_t count) const {
+  const MrdmdNode& root = nodes_[0];
+  Mat out(sensors_, count);
+  const std::size_t m = root.mode_count();
+  if (m == 0) return out;
+  // Grid column j sits at snapshot j*stride1, i.e. lambda^j exactly.
+  CMat dyn(m, count);
+  for (std::size_t i = 0; i < m; ++i) {
+    const Complex log_lambda = std::log(root.eigenvalues[i]);
+    for (std::size_t j = 0; j < count; ++j) {
+      dyn(i, j) =
+          root.amplitudes[i] * std::exp(log_lambda * static_cast<double>(j));
+    }
+  }
+  Mat re_phi(sensors_, m), im_phi(sensors_, m);
+  for (std::size_t r = 0; r < sensors_; ++r) {
+    for (std::size_t i = 0; i < m; ++i) {
+      re_phi(r, i) = root.modes(r, i).real();
+      im_phi(r, i) = root.modes(r, i).imag();
+    }
+  }
+  Mat re_dyn(m, count), im_dyn(m, count);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < count; ++j) {
+      re_dyn(i, j) = dyn(i, j).real();
+      im_dyn(i, j) = dyn(i, j).imag();
+    }
+  }
+  out = linalg::matmul(re_phi, re_dyn);
+  out -= linalg::matmul(im_phi, im_dyn);
+  return out;
+}
+
+const MrdmdNode& IncrementalMrdmd::root() const {
+  IMRDMD_REQUIRE_ARG(fitted_, "root() before initial_fit");
+  return nodes_[0];
+}
+
+std::size_t IncrementalMrdmd::total_modes() const {
+  std::size_t count = 0;
+  for (const auto& node : nodes_) count += node.mode_count();
+  return count;
+}
+
+Mat IncrementalMrdmd::reconstruct(const dmd::ModeBand* band) const {
+  return reconstruct(0, time_steps_, band);
+}
+
+Mat IncrementalMrdmd::reconstruct(std::size_t t0, std::size_t t1,
+                                  const dmd::ModeBand* band,
+                                  std::size_t level_min,
+                                  std::size_t level_max) const {
+  IMRDMD_REQUIRE_ARG(fitted_, "reconstruct before initial_fit");
+  return reconstruct_nodes(nodes_, sensors_, t0, t1, options_.mrdmd.dt, band,
+                           level_min, level_max);
+}
+
+std::vector<dmd::SpectrumPoint> IncrementalMrdmd::spectrum() const {
+  std::vector<dmd::SpectrumPoint> points;
+  for (const auto& node : nodes_) {
+    const auto node_points = node.spectrum(options_.mrdmd.dt);
+    points.insert(points.end(), node_points.begin(), node_points.end());
+  }
+  return points;
+}
+
+std::vector<double> IncrementalMrdmd::magnitudes(
+    const dmd::ModeBand* band) const {
+  IMRDMD_REQUIRE_ARG(fitted_, "magnitudes before initial_fit");
+  return mode_magnitudes(nodes_, sensors_, options_.mrdmd.dt, band);
+}
+
+}  // namespace imrdmd::core

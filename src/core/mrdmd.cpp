@@ -1,0 +1,203 @@
+#include "core/mrdmd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "dmd/dmd.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/svd.hpp"
+
+namespace imrdmd::core {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925287;
+
+struct Bin {
+  std::size_t lo = 0;  // global snapshot indices
+  std::size_t hi = 0;
+  std::size_t index = 0;
+};
+
+// Gathers residual columns lo, lo+stride, ... (< hi) into a dense block.
+Mat subsample(const Mat& residual, std::size_t lo, std::size_t hi,
+              std::size_t stride) {
+  const std::size_t count = (hi - lo + stride - 1) / stride;
+  Mat out(residual.rows(), count);
+  for (std::size_t r = 0; r < residual.rows(); ++r) {
+    const double* src = residual.data() + r * residual.cols();
+    double* dst = out.data() + r * count;
+    for (std::size_t j = 0; j < count; ++j) dst[j] = src[lo + j * stride];
+  }
+  return out;
+}
+
+// Fits one bin on residual[:, lo:hi), subtracts its slow reconstruction in
+// place, and returns the node (nullopt when the bin is too short or yields
+// no usable snapshot pair).
+std::optional<MrdmdNode> process_bin(Mat& residual, std::size_t t_offset,
+                                     std::size_t lo, std::size_t hi,
+                                     std::size_t level, std::size_t bin_index,
+                                     const MrdmdOptions& options) {
+  const std::size_t bin = hi - lo;
+  const std::size_t nyq = options.nyquist_snapshots();
+  if (bin < nyq) return std::nullopt;
+  const std::size_t stride = bin / nyq;  // >= 1 since bin >= nyq
+
+  const Mat grid = subsample(residual, lo, hi, stride);
+  const std::size_t k = grid.cols();
+  if (k < 2) return std::nullopt;
+
+  const Mat x = grid.block(0, 0, grid.rows(), k - 1);
+  const Mat y = grid.block(0, 1, grid.rows(), k - 1);
+
+  linalg::SvdResult f = linalg::svd(x);
+  dmd::DmdOptions dmd_options;
+  dmd_options.use_svht = options.use_svht;
+  dmd_options.max_rank = options.max_rank;
+  dmd_options.amplitude_fit = options.amplitude_fit;
+  const dmd::DmdResult fit =
+      dmd::dmd_from_svd(f.u, f.s, f.v, y, grid,
+                        options.dt * static_cast<double>(stride), dmd_options);
+
+  MrdmdNode node;
+  node.level = level;
+  node.bin_index = bin_index;
+  node.t_begin = t_offset + lo;
+  node.t_end = t_offset + hi;
+  node.stride = stride;
+  node.rho = static_cast<double>(options.max_cycles) / static_cast<double>(bin);
+  node.svd_rank = fit.svd_rank;
+
+  // Slow-mode selection: frequency in cycles per original-resolution
+  // snapshot must not exceed rho.
+  std::vector<std::size_t> slow;
+  for (std::size_t i = 0; i < fit.mode_count(); ++i) {
+    const Complex log_lambda = std::log(fit.eigenvalues[i]);
+    const double magnitude = options.criterion == SlowModeCriterion::AbsLog
+                                 ? std::abs(log_lambda)
+                                 : std::abs(log_lambda.imag());
+    const double cycles_per_snapshot =
+        magnitude / (kTwoPi * static_cast<double>(stride));
+    if (cycles_per_snapshot <= node.rho) slow.push_back(i);
+  }
+  if (!slow.empty()) {
+    node.modes = CMat(fit.modes.rows(), slow.size());
+    node.eigenvalues.resize(slow.size());
+    for (std::size_t j = 0; j < slow.size(); ++j) {
+      for (std::size_t r = 0; r < fit.modes.rows(); ++r) {
+        node.modes(r, j) = fit.modes(r, slow[j]);
+      }
+      node.eigenvalues[j] = fit.eigenvalues[slow[j]];
+    }
+    // Amplitudes are re-fitted against the bin's snapshots using only the
+    // retained slow modes (reference implementation order): the slow field
+    // must be the best slow-only explanation of the bin.
+    node.amplitudes = dmd::fit_amplitudes(node.modes, node.eigenvalues, grid,
+                                          options.amplitude_fit);
+    // Subtract the slow reconstruction over the FULL bin (original
+    // resolution), leaving faster dynamics for the children.
+    Mat window(residual.rows(), bin);
+    accumulate_node(node, options.dt, nullptr, window, node.t_begin);
+    for (std::size_t r = 0; r < residual.rows(); ++r) {
+      double* dst = residual.data() + r * residual.cols() + lo;
+      const double* src = window.data() + r * bin;
+      for (std::size_t t = 0; t < bin; ++t) dst[t] -= src[t];
+    }
+  } else {
+    node.modes = CMat(residual.rows(), 0);
+  }
+  return node;
+}
+
+}  // namespace
+
+std::vector<MrdmdNode> fit_levels(Mat& residual, std::size_t t0,
+                                  std::size_t level0, std::size_t levels,
+                                  const MrdmdOptions& options) {
+  IMRDMD_REQUIRE_ARG(options.max_cycles >= 1, "max_cycles must be >= 1");
+  IMRDMD_REQUIRE_ARG(level0 >= 1, "levels are 1-based");
+  std::vector<MrdmdNode> nodes;
+  if (residual.empty() || levels == 0) return nodes;
+
+  std::vector<Bin> bins{{0, residual.cols(), 0}};
+  for (std::size_t depth = 0; depth < levels && !bins.empty(); ++depth) {
+    const std::size_t level = level0 + depth;
+    std::vector<std::optional<MrdmdNode>> produced(bins.size());
+    auto work = [&](std::size_t b) {
+      produced[b] = process_bin(residual, t0, bins[b].lo, bins[b].hi, level,
+                                bins[b].index, options);
+    };
+    if (options.parallel_bins && bins.size() > 1) {
+      parallel_for(0, bins.size(), work);
+    } else {
+      for (std::size_t b = 0; b < bins.size(); ++b) work(b);
+    }
+    std::vector<Bin> next;
+    next.reserve(bins.size() * 2);
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      if (produced[b].has_value()) nodes.push_back(std::move(*produced[b]));
+      // Split in half; children below the Nyquist floor die in process_bin,
+      // but avoid queueing them at all when obviously too small.
+      const Bin& bin = bins[b];
+      const std::size_t mid = bin.lo + (bin.hi - bin.lo) / 2;
+      if (mid - bin.lo >= options.nyquist_snapshots()) {
+        next.push_back({bin.lo, mid, bin.index * 2});
+      }
+      if (bin.hi - mid >= options.nyquist_snapshots()) {
+        next.push_back({mid, bin.hi, bin.index * 2 + 1});
+      }
+    }
+    bins = std::move(next);
+  }
+  return nodes;
+}
+
+MrdmdTree::MrdmdTree(MrdmdOptions options) : options_(options) {}
+
+void MrdmdTree::fit(const Mat& data) {
+  IMRDMD_REQUIRE_DIMS(data.cols() >= options_.nyquist_snapshots(),
+                      "mrDMD needs at least 8*max_cycles snapshots");
+  Mat residual = data;
+  nodes_ = fit_levels(residual, 0, 1, options_.max_levels, options_);
+  sensors_ = data.rows();
+  time_steps_ = data.cols();
+  fitted_ = true;
+}
+
+std::size_t MrdmdTree::total_modes() const {
+  std::size_t count = 0;
+  for (const auto& node : nodes_) count += node.mode_count();
+  return count;
+}
+
+Mat MrdmdTree::reconstruct(const dmd::ModeBand* band) const {
+  return reconstruct(0, time_steps_, band);
+}
+
+Mat MrdmdTree::reconstruct(std::size_t t0, std::size_t t1,
+                           const dmd::ModeBand* band, std::size_t level_min,
+                           std::size_t level_max) const {
+  IMRDMD_REQUIRE_ARG(fitted_, "reconstruct before fit");
+  return reconstruct_nodes(nodes_, sensors_, t0, t1, options_.dt, band,
+                           level_min, level_max);
+}
+
+std::vector<dmd::SpectrumPoint> MrdmdTree::spectrum() const {
+  std::vector<dmd::SpectrumPoint> points;
+  for (const auto& node : nodes_) {
+    const auto node_points = node.spectrum(options_.dt);
+    points.insert(points.end(), node_points.begin(), node_points.end());
+  }
+  return points;
+}
+
+std::vector<double> MrdmdTree::magnitudes(const dmd::ModeBand* band) const {
+  IMRDMD_REQUIRE_ARG(fitted_, "magnitudes before fit");
+  return mode_magnitudes(nodes_, sensors_, options_.dt, band);
+}
+
+}  // namespace imrdmd::core

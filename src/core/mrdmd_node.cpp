@@ -1,0 +1,150 @@
+#include "core/mrdmd_node.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+
+namespace imrdmd::core {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925287;
+}
+
+double MrdmdNode::frequency_hz(std::size_t i, double dt) const {
+  const Complex log_lambda = std::log(eigenvalues[i]);
+  return std::abs(log_lambda.imag()) /
+         (kTwoPi * static_cast<double>(stride) * dt);
+}
+
+double MrdmdNode::growth_rate(std::size_t i, double dt) const {
+  const Complex log_lambda = std::log(eigenvalues[i]);
+  return log_lambda.real() / (static_cast<double>(stride) * dt);
+}
+
+double MrdmdNode::power(std::size_t i) const {
+  double sum = 0.0;
+  for (std::size_t p = 0; p < modes.rows(); ++p) sum += std::norm(modes(p, i));
+  return sum;
+}
+
+std::vector<dmd::SpectrumPoint> MrdmdNode::spectrum(double dt) const {
+  std::vector<dmd::SpectrumPoint> points(mode_count());
+  for (std::size_t i = 0; i < mode_count(); ++i) {
+    points[i].frequency_hz = frequency_hz(i, dt);
+    points[i].power = power(i);
+    points[i].amplitude = std::sqrt(points[i].power);
+    points[i].growth_rate = growth_rate(i, dt);
+    points[i].mode_index = i;
+    points[i].level = level;
+  }
+  return points;
+}
+
+void accumulate_node(const MrdmdNode& node, double dt,
+                     const dmd::ModeBand* band, Mat& out, std::size_t out_t0) {
+  IMRDMD_REQUIRE_DIMS(out.rows() == node.modes.rows() || node.mode_count() == 0,
+                      "accumulate_node sensor count mismatch");
+  const std::size_t lo = std::max(node.t_begin, out_t0);
+  const std::size_t hi = std::min(node.t_end, out_t0 + out.cols());
+  if (lo >= hi || node.mode_count() == 0) return;
+
+  // Band-filtered mode subset.
+  std::vector<std::size_t> kept;
+  for (std::size_t i = 0; i < node.mode_count(); ++i) {
+    if (band == nullptr ||
+        band->contains(node.frequency_hz(i, dt), node.power(i))) {
+      kept.push_back(i);
+    }
+  }
+  if (kept.empty()) return;
+  const std::size_t m = kept.size();
+  const std::size_t p = node.modes.rows();
+  const std::size_t w = hi - lo;
+
+  // Dynamics over the overlap: dyn(i, t) = b_i lambda_i^{(t - t_begin)/stride}.
+  Mat re_dyn(m, w), im_dyn(m, w);
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::size_t i = kept[k];
+    const Complex log_lambda = std::log(node.eigenvalues[i]);
+    const Complex b = node.amplitudes[i];
+    for (std::size_t t = 0; t < w; ++t) {
+      const double local = static_cast<double>(lo + t - node.t_begin) /
+                           static_cast<double>(node.stride);
+      const Complex value = b * std::exp(log_lambda * local);
+      re_dyn(k, t) = value.real();
+      im_dyn(k, t) = value.imag();
+    }
+  }
+  // Re(Phi dyn) = Re(Phi) Re(dyn) - Im(Phi) Im(dyn).
+  Mat re_phi(p, m), im_phi(p, m);
+  for (std::size_t r = 0; r < p; ++r) {
+    for (std::size_t k = 0; k < m; ++k) {
+      const Complex value = node.modes(r, kept[k]);
+      re_phi(r, k) = value.real();
+      im_phi(r, k) = value.imag();
+    }
+  }
+  Mat contribution = linalg::matmul(re_phi, re_dyn);
+  contribution -= linalg::matmul(im_phi, im_dyn);
+  for (std::size_t r = 0; r < p; ++r) {
+    double* dst = out.data() + r * out.cols() + (lo - out_t0);
+    const double* src = contribution.data() + r * w;
+    for (std::size_t t = 0; t < w; ++t) dst[t] += src[t];
+  }
+}
+
+Mat reconstruct_nodes(const std::vector<MrdmdNode>& nodes, std::size_t sensors,
+                      std::size_t t0, std::size_t t1, double dt,
+                      const dmd::ModeBand* band, std::size_t level_min,
+                      std::size_t level_max) {
+  IMRDMD_REQUIRE_ARG(t1 >= t0, "reconstruct_nodes needs t1 >= t0");
+  Mat out(sensors, t1 - t0);
+  for (const MrdmdNode& node : nodes) {
+    if (level_min > 0 && node.level < level_min) continue;
+    if (level_max > 0 && node.level > level_max) continue;
+    accumulate_node(node, dt, band, out, t0);
+  }
+  return out;
+}
+
+std::vector<double> band_level_means(const std::vector<MrdmdNode>& nodes,
+                                     std::size_t sensors, double dt,
+                                     const dmd::ModeBand* band,
+                                     std::size_t t0, std::size_t t1) {
+  IMRDMD_REQUIRE_ARG(t1 > t0, "band_level_means needs a non-empty window");
+  const Mat recon = reconstruct_nodes(nodes, sensors, t0, t1, dt, band);
+  std::vector<double> level(sensors, 0.0);
+  const double inv = 1.0 / static_cast<double>(t1 - t0);
+  for (std::size_t p = 0; p < sensors; ++p) {
+    double sum = 0.0;
+    const double* row = recon.data() + p * recon.cols();
+    for (std::size_t t = 0; t < recon.cols(); ++t) sum += row[t];
+    level[p] = sum * inv;
+  }
+  return level;
+}
+
+std::vector<double> mode_magnitudes(const std::vector<MrdmdNode>& nodes,
+                                    std::size_t sensors, double dt,
+                                    const dmd::ModeBand* band) {
+  std::vector<double> magnitude(sensors, 0.0);
+  for (const MrdmdNode& node : nodes) {
+    IMRDMD_REQUIRE_DIMS(node.modes.rows() == sensors || node.mode_count() == 0,
+                        "mode_magnitudes sensor count mismatch");
+    for (std::size_t i = 0; i < node.mode_count(); ++i) {
+      if (band != nullptr &&
+          !band->contains(node.frequency_hz(i, dt), node.power(i))) {
+        continue;
+      }
+      const double weight = std::abs(node.amplitudes[i]);
+      for (std::size_t p = 0; p < sensors; ++p) {
+        magnitude[p] += weight * std::abs(node.modes(p, i));
+      }
+    }
+  }
+  return magnitude;
+}
+
+}  // namespace imrdmd::core

@@ -1,0 +1,57 @@
+#include "core/pipeline.hpp"
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace imrdmd::core {
+
+OnlineAssessmentPipeline::OnlineAssessmentPipeline(PipelineOptions options)
+    : options_(options), model_(options.imrdmd) {}
+
+PipelineSnapshot OnlineAssessmentPipeline::process(const Mat& chunk) {
+  PipelineSnapshot snapshot;
+  snapshot.chunk_index = chunks_processed_;
+  snapshot.chunk_snapshots = chunk.cols();
+
+  WallTimer timer;
+  if (!model_.fitted()) {
+    model_.initial_fit(chunk);
+  } else {
+    snapshot.report = model_.partial_fit(chunk);
+  }
+  snapshot.fit_seconds = timer.seconds();
+  snapshot.total_snapshots = model_.time_steps();
+
+  snapshot.magnitudes = model_.magnitudes(&options_.band);
+  snapshot.sensor_means = row_means(chunk);
+  if (chunks_processed_ == 0 || options_.reselect_baseline_per_chunk) {
+    baseline_sensors_ = select_baseline_sensors(
+        std::span<const double>(snapshot.sensor_means.data(),
+                                snapshot.sensor_means.size()),
+        options_.baseline);
+  }
+  snapshot.zscores = zscore_from_baseline(
+      std::span<const double>(snapshot.magnitudes.data(),
+                              snapshot.magnitudes.size()),
+      std::span<const std::size_t>(baseline_sensors_.data(),
+                                   baseline_sensors_.size()),
+      options_.zscore);
+
+  ++chunks_processed_;
+  return snapshot;
+}
+
+std::vector<PipelineSnapshot> OnlineAssessmentPipeline::run(
+    ChunkSource& source, std::size_t max_chunks) {
+  std::vector<PipelineSnapshot> snapshots;
+  while (max_chunks == 0 || snapshots.size() < max_chunks) {
+    std::optional<Mat> chunk = source.next_chunk();
+    if (!chunk.has_value()) break;
+    IMRDMD_REQUIRE_DIMS(chunk->rows() == source.sensors(),
+                        "source chunk sensor count changed mid-stream");
+    snapshots.push_back(process(*chunk));
+  }
+  return snapshots;
+}
+
+}  // namespace imrdmd::core

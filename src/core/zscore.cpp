@@ -1,0 +1,85 @@
+#include "core/zscore.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace imrdmd::core {
+
+ThermalState ZscoreAnalysis::state(std::size_t sensor) const {
+  const double z = zscores.at(sensor);
+  if (z < -options.near_band) return ThermalState::Cold;
+  if (z <= options.near_band) return ThermalState::NearBaseline;
+  if (z <= options.hot_threshold) return ThermalState::Elevated;
+  return ThermalState::Hot;
+}
+
+std::vector<std::size_t> ZscoreAnalysis::sensors_in_state(
+    ThermalState query) const {
+  std::vector<std::size_t> out;
+  for (std::size_t p = 0; p < zscores.size(); ++p) {
+    if (state(p) == query) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<double> row_means(const linalg::Mat& window) {
+  IMRDMD_REQUIRE_DIMS(window.cols() > 0, "row_means of an empty window");
+  std::vector<double> means(window.rows(), 0.0);
+  const double inv = 1.0 / static_cast<double>(window.cols());
+  for (std::size_t r = 0; r < window.rows(); ++r) {
+    double sum = 0.0;
+    const double* row = window.data() + r * window.cols();
+    for (std::size_t t = 0; t < window.cols(); ++t) sum += row[t];
+    means[r] = sum * inv;
+  }
+  return means;
+}
+
+std::vector<std::size_t> select_baseline_sensors(
+    std::span<const double> values, const BaselineRange& range) {
+  IMRDMD_REQUIRE_ARG(range.value_min <= range.value_max,
+                     "baseline range is inverted");
+  std::vector<std::size_t> selected;
+  for (std::size_t p = 0; p < values.size(); ++p) {
+    if (values[p] >= range.value_min && values[p] <= range.value_max) {
+      selected.push_back(p);
+    }
+  }
+  return selected;
+}
+
+ZscoreAnalysis zscore_from_baseline(std::span<const double> magnitudes,
+                                    std::span<const std::size_t> baseline,
+                                    const ZscoreOptions& options) {
+  ZscoreAnalysis analysis;
+  analysis.options = options;
+  analysis.baseline_sensors.assign(baseline.begin(), baseline.end());
+  analysis.zscores.assign(magnitudes.size(), 0.0);
+  for (std::size_t p : baseline) {
+    IMRDMD_REQUIRE_DIMS(p < magnitudes.size(),
+                        "baseline sensor index out of range");
+  }
+
+  if (baseline.size() < 2) return analysis;
+  double mean = 0.0;
+  for (std::size_t p : baseline) mean += magnitudes[p];
+  mean /= static_cast<double>(baseline.size());
+  double var = 0.0;
+  for (std::size_t p : baseline) {
+    const double d = magnitudes[p] - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(baseline.size() - 1);
+  analysis.baseline_mean = mean;
+  analysis.baseline_stddev = std::sqrt(var);
+  if (analysis.baseline_stddev == 0.0) return analysis;
+
+  const double inv = 1.0 / analysis.baseline_stddev;
+  for (std::size_t p = 0; p < magnitudes.size(); ++p) {
+    analysis.zscores[p] = (magnitudes[p] - mean) * inv;
+  }
+  return analysis;
+}
+
+}  // namespace imrdmd::core

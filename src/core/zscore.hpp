@@ -1,0 +1,67 @@
+// Baseline z-score analysis (paper Sec. III-A.2, after Brunton et al. [1]).
+//
+// The paper's workflow: pick a *baseline* population of sensors by a value
+// range ("baselines are chosen so that they lie between 46C and 57C"),
+// aggregate each sensor's band-filtered mrDMD mode magnitude, and z-score
+// every sensor against the baseline population's magnitude statistics:
+//     z_p = (m_p - mean_B) / std_B.
+// Interpretation used throughout the case studies: |z| <= 1.5 is "near
+// baseline", z > 2 flags overheating, negative z flags idle/stalled nodes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace imrdmd::core {
+
+/// Value-range rule for picking baseline sensors.
+struct BaselineRange {
+  double value_min = 0.0;
+  double value_max = 0.0;
+};
+
+struct ZscoreOptions {
+  /// |z| below this is "near baseline" (paper: 1.5).
+  double near_band = 1.5;
+  /// z above this is critically hot (paper: 2).
+  double hot_threshold = 2.0;
+};
+
+enum class ThermalState {
+  Cold,          // z < -near_band: under-utilized / stalled
+  NearBaseline,  // |z| <= near_band
+  Elevated,      // near_band < z <= hot_threshold
+  Hot            // z > hot_threshold: overheating risk
+};
+
+struct ZscoreAnalysis {
+  std::vector<double> zscores;
+  std::vector<std::size_t> baseline_sensors;
+  double baseline_mean = 0.0;
+  double baseline_stddev = 0.0;
+  ZscoreOptions options;
+
+  ThermalState state(std::size_t sensor) const;
+  std::vector<std::size_t> sensors_in_state(ThermalState state) const;
+};
+
+/// Per-sensor mean of a data window (the representative value the range
+/// rule filters on).
+std::vector<double> row_means(const linalg::Mat& window);
+
+/// Sensors whose representative value lies in [value_min, value_max].
+std::vector<std::size_t> select_baseline_sensors(
+    std::span<const double> values, const BaselineRange& range);
+
+/// Z-scores `magnitudes` against the statistics of the baseline subset.
+/// A degenerate baseline (fewer than two sensors, or zero variance) yields
+/// all-zero z-scores with baseline_stddev = 0 — callers can detect and widen
+/// the range.
+ZscoreAnalysis zscore_from_baseline(std::span<const double> magnitudes,
+                                    std::span<const std::size_t> baseline,
+                                    const ZscoreOptions& options = {});
+
+}  // namespace imrdmd::core

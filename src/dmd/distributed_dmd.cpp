@@ -1,0 +1,126 @@
+#include "dmd/distributed_dmd.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "isvd/tsqr.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/eig.hpp"
+#include "linalg/svd.hpp"
+
+namespace imrdmd::dmd {
+
+namespace {
+
+// Allreduces a complex matrix in place (interleaved re/im doubles).
+void allreduce_cmat(dist::Communicator& comm, CMat& m) {
+  // std::complex<double> is layout-compatible with double[2].
+  comm.allreduce_sum(std::span<double>(
+      reinterpret_cast<double*>(m.data()), m.size() * 2));
+}
+
+}  // namespace
+
+DistributedDmdResult distributed_dmd(dist::Communicator& comm,
+                                     const Mat& local_data, double dt,
+                                     const DmdOptions& options) {
+  IMRDMD_REQUIRE_ARG(dt > 0.0, "distributed_dmd requires dt > 0");
+  IMRDMD_REQUIRE_DIMS(local_data.cols() >= 2,
+                      "distributed_dmd needs at least two snapshots");
+  const std::size_t k = local_data.cols() - 1;
+  const Mat x_local = local_data.block(0, 0, local_data.rows(), k);
+  const Mat y_local = local_data.block(0, 1, local_data.rows(), k);
+
+  // Global sensor count (SVHT's aspect ratio needs it).
+  std::vector<double> rows_buf{static_cast<double>(local_data.rows())};
+  comm.allreduce_sum(std::span<double>(rows_buf.data(), 1));
+  const std::size_t global_rows = static_cast<std::size_t>(rows_buf[0]);
+
+  // SVD of the distributed X. Two paths, chosen collectively:
+  //  * TSQR (more accurate) when every rank's block is tall enough;
+  //  * Gram (X^T X allreduce, K x K eigenproblem) otherwise — K is small
+  //    after mrDMD subsampling, and SVHT truncates aggressively, so the
+  //    squared conditioning is acceptable.
+  const double min_rows =
+      comm.allreduce_min(static_cast<double>(local_data.rows()));
+  const bool use_tsqr = static_cast<std::size_t>(min_rows) >= k;
+
+  std::vector<double> sigma;  // singular values of X, replicated
+  Mat v;                      // right singular vectors (k x r0), replicated
+  Mat u_local_full;           // local rows of U (computed after truncation
+                              // for the Gram path)
+  isvd::TsqrResult qr;
+  if (use_tsqr) {
+    qr = isvd::tsqr(comm, x_local);
+    linalg::SvdResult core_svd = linalg::svd(qr.r);
+    sigma = std::move(core_svd.s);
+    v = std::move(core_svd.v);
+    u_local_full = linalg::matmul(qr.q_local, core_svd.u);
+  } else {
+    Mat gram = linalg::matmul_at_b(x_local, x_local);  // k x k partial
+    comm.allreduce_sum(std::span<double>(gram.data(), gram.size()));
+    linalg::SvdResult gram_svd = linalg::svd(gram);  // symmetric PSD
+    v = std::move(gram_svd.u);
+    sigma.resize(v.cols());
+    for (std::size_t i = 0; i < sigma.size(); ++i) {
+      sigma[i] = std::sqrt(std::max(0.0, gram_svd.s[i]));
+    }
+    // U_local = X_local V S^-1, formed after the rank is known (below).
+  }
+
+  std::size_t rank = std::min(sigma.size(), k);
+  if (options.use_svht) {
+    rank = std::min(rank, linalg::svht_rank(sigma, global_rows, k));
+  }
+  if (options.max_rank > 0) rank = std::min(rank, options.max_rank);
+  // The Gram path squares the conditioning: its numerical-noise singular
+  // values sit near sqrt(eps) of the maximum, so its floor must be wider.
+  const double floor_rel = use_tsqr ? 1e-12 : 1e-7;
+  const double floor = sigma.empty() ? 0.0 : floor_rel * sigma.front();
+  while (rank > 0 && sigma[rank - 1] <= floor) --rank;
+
+  DistributedDmdResult result;
+  result.dt = dt;
+  result.svd_rank = rank;
+  if (rank == 0) {
+    result.modes_local = CMat(local_data.rows(), 0);
+    return result;
+  }
+
+  const Mat vr = v.block(0, 0, v.rows(), rank);
+  Mat u_local;
+  if (use_tsqr) {
+    u_local = u_local_full.block(0, 0, u_local_full.rows(), rank);
+  } else {
+    u_local = linalg::matmul(x_local, vr);
+    for (std::size_t j = 0; j < rank; ++j) {
+      linalg::scale_col(u_local, j, 1.0 / sigma[j]);
+    }
+  }
+  // YV = Y V_r S_r^-1 (local rows); Atilde = sum_ranks U_local^T YV_local.
+  Mat yv_local = linalg::matmul(y_local, vr);
+  for (std::size_t j = 0; j < rank; ++j) {
+    linalg::scale_col(yv_local, j, 1.0 / sigma[j]);
+  }
+  Mat atilde = linalg::matmul_at_b(u_local, yv_local);  // r x r partial
+  comm.allreduce_sum(std::span<double>(atilde.data(), atilde.size()));
+
+  // Identical small eigenproblem on every rank (deterministic solver).
+  const linalg::EigResult eigen = linalg::eig(atilde, true);
+  result.eigenvalues = eigen.values;
+  result.modes_local =
+      linalg::matmul(linalg::to_complex(yv_local), eigen.vectors);
+
+  // Amplitudes from allreduced inner products (see fit_amplitudes_from_
+  // products): gram and proj are sums over sensor rows.
+  CMat gram = linalg::matmul_ah_b(result.modes_local, result.modes_local);
+  CMat proj = linalg::matmul_ah_b(result.modes_local,
+                                  linalg::to_complex(x_local));
+  allreduce_cmat(comm, gram);
+  allreduce_cmat(comm, proj);
+  result.amplitudes =
+      fit_amplitudes_from_products(gram, proj, result.eigenvalues);
+  return result;
+}
+
+}  // namespace imrdmd::dmd

@@ -1,0 +1,101 @@
+// Exact Dynamic Mode Decomposition (Sec. III-A of the paper, Eqs. 1-6).
+//
+// Given snapshots x_1..x_T sampled every dt, DMD approximates the best-fit
+// linear propagator A with Y = A X (X = snapshots 1..T-1, Y = 2..T) through
+// the SVD of X, and returns its leading eigenstructure:
+//   modes Phi = Y V S^-1 W,  discrete eigenvalues lambda,  amplitudes b
+// with x(t) ~= Phi diag(lambda^t) b.
+//
+// Two entry points: dmd() factors the snapshot matrix itself; dmd_from_svd()
+// accepts externally maintained SVD factors of X — the hook through which
+// I-mrDMD feeds its incrementally updated decomposition (Algo 1, line 3).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace imrdmd::dmd {
+
+using linalg::CMat;
+using linalg::Complex;
+using linalg::Mat;
+
+/// How mode amplitudes b are fitted.
+enum class AmplitudeFit {
+  /// b = argmin ||Phi b - x_0||: the classic choice (Kutz et al.), cheap but
+  /// sensitive to noise in the single snapshot.
+  FirstSnapshot,
+  /// b = argmin sum_t ||Phi diag(lambda^t) b - x_t||^2 over every snapshot:
+  /// the optimized amplitudes of Jovanovic et al. [44]; robust to noise.
+  AllSnapshots,
+};
+
+struct DmdOptions {
+  /// Truncate the SVD rank with the Gavish-Donoho optimal hard threshold.
+  bool use_svht = true;
+  /// Additional hard cap on the rank (0 = none).
+  std::size_t max_rank = 0;
+  AmplitudeFit amplitude_fit = AmplitudeFit::AllSnapshots;
+};
+
+struct DmdResult {
+  /// DMD modes as columns (P x r).
+  CMat modes;
+  /// Discrete-time eigenvalues lambda_i of the propagator.
+  std::vector<Complex> eigenvalues;
+  /// Mode amplitudes b_i (least-squares fit of the first snapshot).
+  std::vector<Complex> amplitudes;
+  /// Snapshot spacing in seconds.
+  double dt = 1.0;
+  /// SVD rank retained for the projected operator.
+  std::size_t svd_rank = 0;
+
+  std::size_t mode_count() const { return eigenvalues.size(); }
+
+  /// Continuous eigenvalues psi_i = ln(lambda_i) / dt.
+  std::vector<Complex> continuous_eigenvalues() const;
+
+  /// Oscillation frequency per mode in Hz (paper Eq. 9): |Im psi| / 2 pi.
+  std::vector<double> frequencies() const;
+
+  /// mrDMD "power" per mode (paper Eq. 10): ||phi_i||_2^2.
+  std::vector<double> powers() const;
+
+  /// Reconstructs `steps` snapshots at t = 0, dt, 2 dt, ...:
+  /// x(t) = Re( Phi diag(lambda^{t/dt}) b ).
+  Mat reconstruct(std::size_t steps) const;
+};
+
+/// Exact DMD of a snapshot matrix `data` (P sensors x T snapshots, T >= 2).
+DmdResult dmd(const Mat& data, double dt, const DmdOptions& options = {});
+
+/// DMD from precomputed SVD factors of X (u diag(s) v^T ~= X) plus the
+/// shifted snapshot matrix y; amplitudes are fitted against `snapshots`
+/// (the unshifted columns x_0.. at unit eigenvalue steps — pass X, or the
+/// full snapshot matrix). `s` may be longer than the factors' rank; rank
+/// selection (SVHT/cap) happens here.
+DmdResult dmd_from_svd(const Mat& u, const std::vector<double>& s,
+                       const Mat& v, const Mat& y, const Mat& snapshots,
+                       double dt, const DmdOptions& options = {});
+
+/// Fits amplitudes for an explicit (modes, eigenvalues) set against
+/// `snapshots`, whose column t is assumed to sit at eigenvalue power t.
+/// Used by mrDMD to re-fit amplitudes after slow-mode selection (the
+/// reference implementation's order of operations).
+std::vector<Complex> fit_amplitudes(const CMat& modes,
+                                    const std::vector<Complex>& eigenvalues,
+                                    const Mat& snapshots, AmplitudeFit method);
+
+/// Amplitude fit from precomputed inner products: gram = Phi^H Phi (r x r)
+/// and proj = Phi^H X (r x T). This is the reduction-friendly form the
+/// distributed DMD uses (both products are sums over sensor rows, so ranks
+/// allreduce their local contributions and solve the identical small
+/// problem). Implements the AllSnapshots objective.
+std::vector<Complex> fit_amplitudes_from_products(
+    const CMat& gram, const CMat& proj,
+    const std::vector<Complex>& eigenvalues);
+
+}  // namespace imrdmd::dmd

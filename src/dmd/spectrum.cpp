@@ -1,0 +1,33 @@
+#include "dmd/spectrum.hpp"
+
+#include <cmath>
+
+namespace imrdmd::dmd {
+
+std::vector<SpectrumPoint> spectrum(const DmdResult& result) {
+  const std::vector<double> freq = result.frequencies();
+  const std::vector<double> pow = result.powers();
+  const std::vector<Complex> psi = result.continuous_eigenvalues();
+  std::vector<SpectrumPoint> points(freq.size());
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    points[i].frequency_hz = freq[i];
+    points[i].power = pow[i];
+    points[i].amplitude = std::sqrt(pow[i]);
+    points[i].growth_rate = psi[i].real();
+    points[i].mode_index = i;
+  }
+  return points;
+}
+
+std::vector<std::size_t> select_modes(const DmdResult& result,
+                                      const ModeBand& band) {
+  const std::vector<double> freq = result.frequencies();
+  const std::vector<double> pow = result.powers();
+  std::vector<std::size_t> kept;
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    if (band.contains(freq[i], pow[i])) kept.push_back(i);
+  }
+  return kept;
+}
+
+}  // namespace imrdmd::dmd

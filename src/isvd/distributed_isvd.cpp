@@ -1,0 +1,103 @@
+#include "isvd/distributed_isvd.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "isvd/tsqr.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/svd.hpp"
+
+namespace imrdmd::isvd {
+
+using linalg::Mat;
+
+DistributedIsvd::DistributedIsvd(dist::Communicator& comm,
+                                 IsvdOptions options)
+    : comm_(comm), options_(options) {}
+
+void DistributedIsvd::initialize(const Mat& local_block) {
+  IMRDMD_REQUIRE_ARG(!initialized_, "DistributedIsvd::initialize called twice");
+  // A = Q R (TSQR), R = Ur S V^T  =>  A = (Q Ur) S V^T.
+  TsqrResult qr = tsqr(comm_, local_block);
+  linalg::SvdResult core = linalg::svd(qr.r);
+  u_local_ = linalg::matmul(qr.q_local, core.u);
+  s_ = std::move(core.s);
+  v_ = std::move(core.v);
+  cols_seen_ = local_block.cols();
+  initialized_ = true;
+  truncate();
+}
+
+void DistributedIsvd::update(const Mat& local_new_cols) {
+  IMRDMD_REQUIRE_ARG(initialized_, "DistributedIsvd::update before initialize");
+  IMRDMD_REQUIRE_DIMS(local_new_cols.rows() == u_local_.rows(),
+                      "DistributedIsvd::update local row mismatch");
+  const std::size_t r = s_.size();
+  const std::size_t c = local_new_cols.cols();
+  if (c == 0) return;
+  // TSQR needs every rank's local rows >= c; fold wider blocks serially.
+  // The chunk width must be agreed collectively, hence the allreduce.
+  const double min_rows =
+      comm_.allreduce_min(static_cast<double>(u_local_.rows()));
+  const std::size_t chunk = static_cast<std::size_t>(min_rows);
+  if (c > chunk) {
+    IMRDMD_REQUIRE_ARG(chunk > 0, "DistributedIsvd rank with zero rows");
+    for (std::size_t c0 = 0; c0 < c; c0 += chunk) {
+      const std::size_t w = std::min(chunk, c - c0);
+      update(local_new_cols.block(0, c0, local_new_cols.rows(), w));
+    }
+    return;
+  }
+
+  // Global projection M = sum_ranks U_i^T B_i, replicated by allreduce.
+  Mat m = linalg::matmul_at_b(u_local_, local_new_cols);  // r x c
+  comm_.allreduce_sum(std::span<double>(m.data(), m.size()));
+
+  Mat residual = local_new_cols - linalg::matmul(u_local_, m);
+  {
+    Mat m2 = linalg::matmul_at_b(u_local_, residual);
+    comm_.allreduce_sum(std::span<double>(m2.data(), m2.size()));
+    residual -= linalg::matmul(u_local_, m2);
+    m += m2;
+  }
+
+  // Orthonormalize the distributed residual via TSQR.
+  TsqrResult qr = tsqr(comm_, residual);
+
+  // Replicated core problem, identical on every rank.
+  Mat k(r + c, r + c);
+  for (std::size_t i = 0; i < r; ++i) k(i, i) = s_[i];
+  k.set_block(0, r, m);
+  k.set_block(r, r, qr.r);
+  linalg::SvdResult core = linalg::svd(k);
+
+  Mat u_ext(u_local_.rows(), r + c);
+  u_ext.set_block(0, 0, u_local_);
+  u_ext.set_block(0, r, qr.q_local);
+  u_local_ = linalg::matmul(u_ext, core.u);
+
+  if (options_.track_v) {
+    Mat v_ext(cols_seen_ + c, r + c);
+    v_ext.set_block(0, 0, v_);
+    for (std::size_t j = 0; j < c; ++j) v_ext(cols_seen_ + j, r + j) = 1.0;
+    v_ = linalg::matmul(v_ext, core.v);
+  }
+  s_ = std::move(core.s);
+  cols_seen_ += c;
+  truncate();
+}
+
+void DistributedIsvd::truncate() {
+  std::size_t keep = s_.size();
+  if (!s_.empty() && options_.truncation_tol > 0.0) {
+    const double cutoff = options_.truncation_tol * s_.front();
+    while (keep > 1 && s_[keep - 1] <= cutoff) --keep;
+  }
+  if (options_.max_rank > 0) keep = std::min(keep, options_.max_rank);
+  if (keep == s_.size()) return;
+  s_.resize(keep);
+  u_local_ = u_local_.block(0, 0, u_local_.rows(), keep);
+  if (options_.track_v && !v_.empty()) v_ = v_.block(0, 0, v_.rows(), keep);
+}
+
+}  // namespace imrdmd::isvd

@@ -1,0 +1,58 @@
+// Spatially-parallel / temporally-serial incremental SVD (Kühl et al. [46]).
+//
+// The sensor dimension (rows) is partitioned across the ranks of a
+// dist::Communicator; each rank holds only its rows of U while the small
+// factors (s, V, and every core-matrix computation) are replicated. Column
+// blocks arrive serially in time, exactly like the serial Isvd. All methods
+// are collective: every rank of the world must call them in the same order.
+//
+// Communication per update: one allreduce of an r x c projection, one
+// allreduce for the reorthogonalization pass, and one TSQR (allgather of
+// c x c R factors) — independent of the global row count, which is what
+// makes the scheme scale to full-machine sensor counts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/communicator.hpp"
+#include "isvd/isvd.hpp"
+#include "linalg/matrix.hpp"
+
+namespace imrdmd::isvd {
+
+class DistributedIsvd {
+ public:
+  /// `comm` must outlive the object.
+  DistributedIsvd(dist::Communicator& comm, IsvdOptions options = {});
+
+  /// Collective batch factorization of the first block (this rank's rows).
+  void initialize(const linalg::Mat& local_block);
+
+  /// Collective column update with this rank's rows of the new block.
+  void update(const linalg::Mat& local_new_cols);
+
+  bool initialized() const { return initialized_; }
+  std::size_t rank_of_factorization() const { return s_.size(); }
+  std::size_t cols_seen() const { return cols_seen_; }
+
+  /// This rank's rows of U.
+  const linalg::Mat& u_local() const { return u_local_; }
+  /// Replicated singular values.
+  const std::vector<double>& s() const { return s_; }
+  /// Replicated right factor (cols_seen x rank).
+  const linalg::Mat& v() const { return v_; }
+
+ private:
+  void truncate();
+
+  dist::Communicator& comm_;
+  IsvdOptions options_;
+  bool initialized_ = false;
+  std::size_t cols_seen_ = 0;
+  linalg::Mat u_local_;
+  std::vector<double> s_;
+  linalg::Mat v_;
+};
+
+}  // namespace imrdmd::isvd

@@ -1,0 +1,172 @@
+#include "isvd/isvd.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+
+namespace imrdmd::isvd {
+
+using linalg::Mat;
+
+Isvd::Isvd(IsvdOptions options) : options_(options) {
+  IMRDMD_REQUIRE_ARG(options_.truncation_tol >= 0.0,
+                     "truncation_tol must be non-negative");
+}
+
+Isvd Isvd::from_state(IsvdOptions options, linalg::Mat u,
+                      std::vector<double> s, linalg::Mat v,
+                      std::size_t cols_seen) {
+  IMRDMD_REQUIRE_DIMS(u.cols() == s.size(), "from_state U/s rank mismatch");
+  IMRDMD_REQUIRE_DIMS(!options.track_v || v.cols() == s.size(),
+                      "from_state V/s rank mismatch");
+  IMRDMD_REQUIRE_DIMS(!options.track_v || v.rows() == cols_seen,
+                      "from_state V rows must equal cols_seen");
+  Isvd isvd(options);
+  isvd.u_ = std::move(u);
+  isvd.s_ = std::move(s);
+  isvd.v_ = std::move(v);
+  isvd.cols_seen_ = cols_seen;
+  isvd.initialized_ = true;
+  return isvd;
+}
+
+void Isvd::initialize(const Mat& block) {
+  IMRDMD_REQUIRE_ARG(!initialized_, "Isvd::initialize called twice");
+  IMRDMD_REQUIRE_DIMS(!block.empty(), "Isvd::initialize on empty block");
+  linalg::SvdResult f = linalg::svd(block);
+  u_ = std::move(f.u);
+  s_ = std::move(f.s);
+  if (options_.track_v) v_ = std::move(f.v);
+  cols_seen_ = block.cols();
+  initialized_ = true;
+  truncate();
+}
+
+void Isvd::update(const Mat& new_cols) {
+  IMRDMD_REQUIRE_ARG(initialized_, "Isvd::update before initialize");
+  IMRDMD_REQUIRE_DIMS(new_cols.rows() == u_.rows(),
+                      "Isvd::update row count mismatch");
+  if (new_cols.cols() == 0) return;
+  // The residual QR needs P >= c; fold wider blocks in as a sequence of
+  // narrower updates (mathematically identical).
+  if (new_cols.cols() > u_.rows()) {
+    for (std::size_t c0 = 0; c0 < new_cols.cols(); c0 += u_.rows()) {
+      const std::size_t w = std::min(u_.rows(), new_cols.cols() - c0);
+      update(new_cols.block(0, c0, new_cols.rows(), w));
+    }
+    return;
+  }
+  const std::size_t r = rank();
+  const std::size_t c = new_cols.cols();
+
+  // Projection onto the current left subspace and out-of-subspace residual,
+  // with one classical reorthogonalization pass (Kühl et al. recommend it;
+  // without it the residual loses orthogonality once s spans many decades).
+  Mat m = linalg::matmul_at_b(u_, new_cols);       // r x c
+  Mat residual = new_cols - linalg::matmul(u_, m);  // P x c
+  {
+    const Mat m2 = linalg::matmul_at_b(u_, residual);
+    residual -= linalg::matmul(u_, m2);
+    m += m2;
+  }
+  linalg::QrResult qr = linalg::thin_qr(residual);  // Q: P x c, R: c x c
+
+  // Core matrix K = [diag(s), M; 0, R] of size (r+c) x (r+c).
+  Mat k(r + c, r + c);
+  for (std::size_t i = 0; i < r; ++i) k(i, i) = s_[i];
+  k.set_block(0, r, m);
+  k.set_block(r, r, qr.r);
+  linalg::SvdResult core = linalg::svd(k);
+
+  // Rotate the outer factors: U <- [U Q] Uk, V <- [[V 0];[0 I]] Vk.
+  Mat u_ext(u_.rows(), r + c);
+  u_ext.set_block(0, 0, u_);
+  u_ext.set_block(0, r, qr.q);
+  u_ = linalg::matmul(u_ext, core.u);
+
+  s_ = std::move(core.s);
+
+  if (options_.track_v) {
+    Mat v_ext(cols_seen_ + c, r + c);
+    v_ext.set_block(0, 0, v_);
+    for (std::size_t j = 0; j < c; ++j) v_ext(cols_seen_ + j, r + j) = 1.0;
+    v_ = linalg::matmul(v_ext, core.v);
+  }
+  cols_seen_ += c;
+  truncate();
+}
+
+void Isvd::add_rows(const Mat& new_rows) {
+  IMRDMD_REQUIRE_ARG(initialized_, "Isvd::add_rows before initialize");
+  IMRDMD_REQUIRE_ARG(options_.track_v,
+                     "add_rows needs track_v (it projects onto V)");
+  IMRDMD_REQUIRE_DIMS(new_rows.cols() == cols_seen_,
+                      "Isvd::add_rows column count mismatch");
+  if (new_rows.rows() == 0) return;
+  // The row-space residual QR needs cols_seen >= w; split taller blocks.
+  if (new_rows.rows() > cols_seen_) {
+    for (std::size_t r0 = 0; r0 < new_rows.rows(); r0 += cols_seen_) {
+      const std::size_t h = std::min(cols_seen_, new_rows.rows() - r0);
+      add_rows(new_rows.block(r0, 0, h, new_rows.cols()));
+    }
+    return;
+  }
+  const std::size_t r = rank();
+  const std::size_t w = new_rows.rows();
+
+  // [X; W] = [U 0; 0 I] [diag(s), 0; W V, R_w^T] [V Q_w]^T where
+  // (I - V V^T) W^T = Q_w R_w orthogonalizes the new rows' row space.
+  Mat wv = linalg::matmul(new_rows, v_);            // w x r
+  Mat wt = new_rows.transposed();                   // T x w
+  Mat residual = wt - linalg::matmul(v_, wv.transposed());
+  {
+    const Mat m2 = linalg::matmul_at_b(v_, residual);
+    residual -= linalg::matmul(v_, m2);
+    wv += m2.transposed();
+  }
+  linalg::QrResult qr = linalg::thin_qr(residual);  // Q_w: T x w, R_w: w x w
+
+  Mat k(r + w, r + w);
+  for (std::size_t i = 0; i < r; ++i) k(i, i) = s_[i];
+  k.set_block(r, 0, wv);
+  k.set_block(r, r, qr.r.transposed());
+  linalg::SvdResult core = linalg::svd(k);
+
+  Mat u_ext(u_.rows() + w, r + w);
+  u_ext.set_block(0, 0, u_);
+  for (std::size_t i = 0; i < w; ++i) u_ext(u_.rows() + i, r + i) = 1.0;
+  u_ = linalg::matmul(u_ext, core.u);
+
+  Mat v_ext(cols_seen_, r + w);
+  v_ext.set_block(0, 0, v_);
+  v_ext.set_block(0, r, qr.q);
+  v_ = linalg::matmul(v_ext, core.v);
+
+  s_ = std::move(core.s);
+  truncate();
+}
+
+linalg::Mat Isvd::reconstruct() const {
+  IMRDMD_REQUIRE_ARG(initialized_ && options_.track_v,
+                     "reconstruct needs an initialized, V-tracking Isvd");
+  Mat us = u_;
+  for (std::size_t j = 0; j < s_.size(); ++j) linalg::scale_col(us, j, s_[j]);
+  return linalg::matmul_a_bt(us, v_);
+}
+
+void Isvd::truncate() {
+  std::size_t keep = s_.size();
+  if (!s_.empty() && options_.truncation_tol > 0.0) {
+    const double cutoff = options_.truncation_tol * s_.front();
+    while (keep > 1 && s_[keep - 1] <= cutoff) --keep;
+  }
+  if (options_.max_rank > 0) keep = std::min(keep, options_.max_rank);
+  if (keep == s_.size()) return;
+  s_.resize(keep);
+  u_ = u_.block(0, 0, u_.rows(), keep);
+  if (options_.track_v && !v_.empty()) v_ = v_.block(0, 0, v_.rows(), keep);
+}
+
+}  // namespace imrdmd::isvd

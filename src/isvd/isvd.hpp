@@ -1,0 +1,80 @@
+// Incremental (streaming) truncated SVD.
+//
+// This is the enabling kernel of the paper's contribution: I-mrDMD replaces
+// the per-update batch SVD at mrDMD level 1 with an incremental update in
+// the style of Brand (2006) / Kühl et al. (2024) [46]. Columns arrive in
+// blocks (temporally serial); the maintained factors are
+//     X_seen  ~=  U diag(s) V^T,   U: P x r,  V: T_seen x r.
+//
+// Column updates:   project the new block onto span(U), orthogonalize the
+// residual (with one reorthogonalization pass), assemble the small core
+// matrix K = [diag(s), U^T B; 0, R_resid], take its dense SVD and rotate the
+// outer factors. Cost per update: O(P r c + (r+c)^3), independent of T_seen.
+//
+// Row updates (add_rows) implement the paper's "future work" extension of
+// adding entire new sensors to an existing decomposition.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+
+namespace imrdmd::isvd {
+
+struct IsvdOptions {
+  /// Hard cap on retained rank (0 = keep everything numerically nonzero).
+  std::size_t max_rank = 0;
+  /// Drop singular values <= truncation_tol * s_max after each update.
+  double truncation_tol = 1e-12;
+  /// Maintain V (needed by DMD); disable for PCA-style uses to save memory.
+  bool track_v = true;
+};
+
+class Isvd {
+ public:
+  explicit Isvd(IsvdOptions options = {});
+
+  /// Reconstitutes an Isvd from externally persisted factors (checkpoint
+  /// restore). The factors are trusted as-is (shapes validated).
+  static Isvd from_state(IsvdOptions options, linalg::Mat u,
+                         std::vector<double> s, linalg::Mat v,
+                         std::size_t cols_seen);
+
+  /// Batch-decomposes the first column block. Must be called exactly once,
+  /// before any update().
+  void initialize(const linalg::Mat& block);
+
+  /// Folds `new_cols` (P x c) into the decomposition.
+  void update(const linalg::Mat& new_cols);
+
+  /// Extends the decomposition with `new_rows` (w x cols_seen()): the
+  /// new-sensor extension. V gains no rows; U gains w rows.
+  void add_rows(const linalg::Mat& new_rows);
+
+  bool initialized() const { return initialized_; }
+  std::size_t rank() const { return s_.size(); }
+  std::size_t rows() const { return u_.rows(); }
+  std::size_t cols_seen() const { return cols_seen_; }
+
+  const linalg::Mat& u() const { return u_; }
+  const std::vector<double>& s() const { return s_; }
+  /// V is only valid when options.track_v; rows correspond to seen columns.
+  const linalg::Mat& v() const { return v_; }
+
+  /// U diag(s) V^T — for tests and small problems only (forms the product).
+  linalg::Mat reconstruct() const;
+
+ private:
+  void truncate();
+
+  IsvdOptions options_;
+  bool initialized_ = false;
+  std::size_t cols_seen_ = 0;
+  linalg::Mat u_;
+  std::vector<double> s_;
+  linalg::Mat v_;
+};
+
+}  // namespace imrdmd::isvd

@@ -1,0 +1,42 @@
+#include "isvd/tsqr.hpp"
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+
+namespace imrdmd::isvd {
+
+using linalg::Mat;
+
+TsqrResult tsqr(dist::Communicator& comm, const Mat& local_block) {
+  const std::size_t n = local_block.cols();
+  IMRDMD_REQUIRE_DIMS(local_block.rows() >= n,
+                      "tsqr local block must have rows >= cols");
+
+  // Stage 1: local factorization.
+  linalg::QrResult local = linalg::thin_qr(local_block);
+
+  // Stage 2: gather all R factors (n x n each, flattened row-major) and
+  // re-factor the stack. Every rank performs the identical computation on
+  // identical data, so the replicated R needs no broadcast.
+  std::vector<double> flat(local.r.data(), local.r.data() + local.r.size());
+  const std::vector<double> all = comm.allgather(flat);
+  const std::size_t ranks = static_cast<std::size_t>(comm.size());
+  IMRDMD_REQUIRE_DIMS(all.size() == ranks * n * n,
+                      "tsqr: ranks disagree on column count");
+
+  Mat stacked(ranks * n, n);
+  std::copy(all.begin(), all.end(), stacked.data());
+  linalg::QrResult second = linalg::thin_qr(stacked);
+
+  // Stage 3: patch the local Q with this rank's n x n slice of stage-2 Q.
+  const Mat q2_slice =
+      second.q.block(static_cast<std::size_t>(comm.rank()) * n, 0, n, n);
+
+  TsqrResult result;
+  result.q_local = linalg::matmul(local.q, q2_slice);
+  result.r = std::move(second.r);
+  return result;
+}
+
+}  // namespace imrdmd::isvd

@@ -1,0 +1,31 @@
+// TSQR: QR factorization of a tall-skinny matrix row-partitioned across the
+// ranks of a dist::Communicator.
+//
+// Each rank factors its local block, the small R factors are allgathered and
+// re-factored identically on every rank (deterministic — thin_qr's
+// non-negative-diagonal convention makes R unique), and the local Q is
+// patched with that rank's slice of the second-stage Q. This is the
+// communication pattern of the "spatially parallel" incremental SVD of
+// Kühl et al. [46].
+#pragma once
+
+#include "dist/communicator.hpp"
+#include "linalg/matrix.hpp"
+
+namespace imrdmd::isvd {
+
+struct TsqrResult {
+  /// This rank's rows of the global Q (local_rows x n).
+  linalg::Mat q_local;
+  /// Global R factor (n x n), replicated on every rank.
+  linalg::Mat r;
+};
+
+/// Collective. `local_block` is this rank's rows (local_rows x n); the
+/// logical matrix is the rank-ordered stack of all local blocks and must be
+/// tall: sum(local_rows) >= n and every local_rows >= n (blocks skinnier
+/// than n would need a tree with padding; the library always partitions
+/// sensors, of which there are far more than SVD columns).
+TsqrResult tsqr(dist::Communicator& comm, const linalg::Mat& local_block);
+
+}  // namespace imrdmd::isvd

@@ -1,0 +1,236 @@
+#include "linalg/blas.hpp"
+
+#include <cmath>
+
+namespace imrdmd::linalg {
+
+namespace {
+
+// Row-panel blocking: each OpenMP thread owns a stripe of C rows; the inner
+// k-j loop order streams B rows sequentially, which is the cache-friendly
+// order for row-major storage.
+template <typename T>
+Matrix<T> matmul_impl(const Matrix<T>& a, const Matrix<T>& b) {
+  IMRDMD_REQUIRE_DIMS(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  Matrix<T> c(a.rows(), b.cols());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  if (m == 0 || k == 0 || n == 0) return c;
+  const T* __restrict__ bp = b.data();
+#pragma omp parallel for schedule(static) if (m * n * k > 1u << 14)
+  for (std::size_t i = 0; i < m; ++i) {
+    const T* __restrict__ arow = a.data() + i * k;
+    T* __restrict__ crow = c.data() + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const T aik = arow[kk];
+      if (aik == T{}) continue;
+      const T* __restrict__ brow = bp + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Mat matmul(const Mat& a, const Mat& b) { return matmul_impl(a, b); }
+CMat matmul(const CMat& a, const CMat& b) { return matmul_impl(a, b); }
+
+Mat matmul_at_b(const Mat& a, const Mat& b) {
+  IMRDMD_REQUIRE_DIMS(a.rows() == b.rows(), "matmul_at_b dimension mismatch");
+  const std::size_t m = a.cols();
+  const std::size_t k = a.rows();
+  const std::size_t n = b.cols();
+  Mat c(m, n);
+  if (m == 0 || k == 0 || n == 0) return c;
+  // C += a_row(kk)^T * b_row(kk): rank-1 accumulation keeps both inputs in
+  // row-major streaming order. Parallelizing over kk would race on C, so we
+  // parallelize over output rows with a transposed access into A instead
+  // when the problem is big enough.
+#pragma omp parallel for schedule(static) if (m * n * k > 1u << 14)
+  for (std::size_t i = 0; i < m; ++i) {
+    double* __restrict__ crow = c.data() + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aki = a(kk, i);
+      if (aki == 0.0) continue;
+      const double* __restrict__ brow = b.data() + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Mat matmul_a_bt(const Mat& a, const Mat& b) {
+  IMRDMD_REQUIRE_DIMS(a.cols() == b.cols(), "matmul_a_bt dimension mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.rows();
+  Mat c(m, n);
+  if (m == 0 || k == 0 || n == 0) return c;
+#pragma omp parallel for schedule(static) if (m * n * k > 1u << 14)
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* __restrict__ arow = a.data() + i * k;
+    double* __restrict__ crow = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* __restrict__ brow = b.data() + j * k;
+      double sum = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) sum += arow[kk] * brow[kk];
+      crow[j] = sum;
+    }
+  }
+  return c;
+}
+
+CMat matmul_ah_b(const CMat& a, const CMat& b) {
+  IMRDMD_REQUIRE_DIMS(a.rows() == b.rows(), "matmul_ah_b dimension mismatch");
+  const std::size_t m = a.cols();
+  const std::size_t k = a.rows();
+  const std::size_t n = b.cols();
+  CMat c(m, n);
+  if (m == 0 || k == 0 || n == 0) return c;
+#pragma omp parallel for schedule(static) if (m * n * k > 1u << 14)
+  for (std::size_t i = 0; i < m; ++i) {
+    Complex* __restrict__ crow = c.data() + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const Complex aki = std::conj(a(kk, i));
+      const Complex* __restrict__ brow = b.data() + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+std::vector<double> matvec(const Mat& a, std::span<const double> x) {
+  IMRDMD_REQUIRE_DIMS(a.cols() == x.size(), "matvec dimension mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* __restrict__ arow = a.data() + i * a.cols();
+    double sum = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) sum += arow[j] * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+std::vector<Complex> matvec(const CMat& a, std::span<const Complex> x) {
+  IMRDMD_REQUIRE_DIMS(a.cols() == x.size(), "matvec dimension mismatch");
+  std::vector<Complex> y(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const Complex* __restrict__ arow = a.data() + i * a.cols();
+    Complex sum{};
+    for (std::size_t j = 0; j < a.cols(); ++j) sum += arow[j] * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+std::vector<double> matvec_t(const Mat& a, std::span<const double> x) {
+  IMRDMD_REQUIRE_DIMS(a.rows() == x.size(), "matvec_t dimension mismatch");
+  std::vector<double> y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* __restrict__ arow = a.data() + i * a.cols();
+    const double xi = x[i];
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += arow[j] * xi;
+  }
+  return y;
+}
+
+std::vector<Complex> matvec_h(const CMat& a, std::span<const Complex> x) {
+  IMRDMD_REQUIRE_DIMS(a.rows() == x.size(), "matvec_h dimension mismatch");
+  std::vector<Complex> y(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const Complex* __restrict__ arow = a.data() + i * a.cols();
+    const Complex xi = x[i];
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += std::conj(arow[j]) * xi;
+  }
+  return y;
+}
+
+double frobenius_norm(const Mat& m) {
+  double sum = 0.0;
+  const double* p = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) sum += p[i] * p[i];
+  return std::sqrt(sum);
+}
+
+double frobenius_norm(const CMat& m) {
+  double sum = 0.0;
+  const Complex* p = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) sum += std::norm(p[i]);
+  return std::sqrt(sum);
+}
+
+double frobenius_diff(const Mat& a, const Mat& b) {
+  IMRDMD_REQUIRE_DIMS(a.rows() == b.rows() && a.cols() == b.cols(),
+                      "frobenius_diff shape mismatch");
+  double sum = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = pa[i] - pb[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double norm2(std::span<const double> x) {
+  double sum = 0.0;
+  for (double v : x) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double norm2(std::span<const Complex> x) {
+  double sum = 0.0;
+  for (const Complex& v : x) sum += std::norm(v);
+  return std::sqrt(sum);
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  IMRDMD_REQUIRE_DIMS(a.size() == b.size(), "dot length mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+Complex cdot(std::span<const Complex> a, std::span<const Complex> b) {
+  IMRDMD_REQUIRE_DIMS(a.size() == b.size(), "cdot length mismatch");
+  Complex sum{};
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::conj(a[i]) * b[i];
+  return sum;
+}
+
+std::vector<double> col_norms(const Mat& m) {
+  std::vector<double> norms(m.cols(), 0.0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.data() + i * m.cols();
+    for (std::size_t j = 0; j < m.cols(); ++j) norms[j] += row[j] * row[j];
+  }
+  for (auto& n : norms) n = std::sqrt(n);
+  return norms;
+}
+
+void scale_col(Mat& m, std::size_t j, double s) {
+  IMRDMD_REQUIRE_DIMS(j < m.cols(), "scale_col index out of range");
+  for (std::size_t i = 0; i < m.rows(); ++i) m(i, j) *= s;
+}
+
+CMat to_complex(const Mat& m) {
+  CMat out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) out.data()[i] = m.data()[i];
+  return out;
+}
+
+Mat real_part(const CMat& m) {
+  Mat out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) out.data()[i] = m.data()[i].real();
+  return out;
+}
+
+Mat abs_part(const CMat& m) {
+  Mat out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) out.data()[i] = std::abs(m.data()[i]);
+  return out;
+}
+
+}  // namespace imrdmd::linalg

@@ -1,0 +1,308 @@
+#include "linalg/eig.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+
+namespace imrdmd::linalg {
+
+namespace {
+
+// Reduces A to upper Hessenberg form H = Q^H A Q with complex Householder
+// reflectors, accumulating Q (so A = Q H Q^H).
+void hessenberg(CMat& h, CMat& q) {
+  const std::size_t n = h.rows();
+  q = to_complex(Mat::identity(n));
+  if (n < 3) return;
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    // Reflector annihilating h(k+2..n-1, k).
+    double norm_x = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) norm_x += std::norm(h(i, k));
+    norm_x = std::sqrt(norm_x);
+    if (norm_x == 0.0) continue;
+    const Complex x0 = h(k + 1, k);
+    const double ax0 = std::abs(x0);
+    // alpha = -e^{i arg(x0)} ||x||, the standard stable choice.
+    const Complex phase = ax0 > 0.0 ? x0 / ax0 : Complex(1.0, 0.0);
+    const Complex alpha = -phase * norm_x;
+    std::vector<Complex> v(n, Complex{});
+    v[k + 1] = x0 - alpha;
+    for (std::size_t i = k + 2; i < n; ++i) v[i] = h(i, k);
+    double vnorm_sq = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) vnorm_sq += std::norm(v[i]);
+    if (vnorm_sq == 0.0) continue;
+    const double beta = 2.0 / vnorm_sq;
+
+    // H <- (I - beta v v^H) H : updates rows k+1..n-1.
+    for (std::size_t j = 0; j < n; ++j) {
+      Complex s{};
+      for (std::size_t i = k + 1; i < n; ++i) s += std::conj(v[i]) * h(i, j);
+      s *= beta;
+      for (std::size_t i = k + 1; i < n; ++i) h(i, j) -= s * v[i];
+    }
+    // H <- H (I - beta v v^H) : updates columns k+1..n-1.
+    for (std::size_t i = 0; i < n; ++i) {
+      Complex s{};
+      for (std::size_t j = k + 1; j < n; ++j) s += h(i, j) * v[j];
+      s *= beta;
+      for (std::size_t j = k + 1; j < n; ++j) h(i, j) -= s * std::conj(v[j]);
+    }
+    // Q <- Q (I - beta v v^H).
+    for (std::size_t i = 0; i < n; ++i) {
+      Complex s{};
+      for (std::size_t j = k + 1; j < n; ++j) s += q(i, j) * v[j];
+      s *= beta;
+      for (std::size_t j = k + 1; j < n; ++j) q(i, j) -= s * std::conj(v[j]);
+    }
+    // The reflector maps column k exactly onto alpha e_{k+1}.
+    h(k + 1, k) = alpha;
+    for (std::size_t i = k + 2; i < n; ++i) h(i, k) = Complex{};
+  }
+}
+
+// Complex Givens rotation G = [c, s; -conj(s), c] (c real) chosen so that
+// G * (a, b)^T = (r, 0)^T.
+void givens(Complex a, Complex b, double& c, Complex& s) {
+  const double ab = std::abs(b);
+  if (ab == 0.0) {
+    c = 1.0;
+    s = Complex{};
+    return;
+  }
+  const double aa = std::abs(a);
+  if (aa == 0.0) {
+    c = 0.0;
+    s = std::conj(b) / ab;
+    return;
+  }
+  const double r = std::hypot(aa, ab);
+  c = aa / r;
+  s = std::conj(b) * (a / aa) / r;
+}
+
+// Wilkinson shift: eigenvalue of the trailing 2x2 block closest to h(hi,hi).
+Complex wilkinson_shift(const CMat& h, std::size_t hi) {
+  const Complex a = h(hi - 1, hi - 1);
+  const Complex b = h(hi - 1, hi);
+  const Complex c = h(hi, hi - 1);
+  const Complex d = h(hi, hi);
+  const Complex tr = a + d;
+  const Complex det = a * d - b * c;
+  const Complex disc = std::sqrt(tr * tr - 4.0 * det);
+  const Complex l1 = 0.5 * (tr + disc);
+  const Complex l2 = 0.5 * (tr - disc);
+  return std::abs(l1 - d) < std::abs(l2 - d) ? l1 : l2;
+}
+
+// One explicit shifted QR step on the active block [lo, hi]:
+//   H - sI = Q R,  H <- R Q + sI  (applied through Givens rotations),
+// accumulating the same right-rotations into q for the Schur vectors.
+void qr_sweep(CMat& h, CMat* q, std::size_t lo, std::size_t hi,
+              Complex shift) {
+  const std::size_t n = h.rows();
+  for (std::size_t i = lo; i <= hi; ++i) h(i, i) -= shift;
+
+  std::vector<double> cs(hi - lo, 0.0);
+  std::vector<Complex> ss(hi - lo, Complex{});
+  // Left sweep: G_k zeroes the subdiagonal entry h(k+1, k).
+  for (std::size_t k = lo; k < hi; ++k) {
+    double c;
+    Complex s;
+    givens(h(k, k), h(k + 1, k), c, s);
+    cs[k - lo] = c;
+    ss[k - lo] = s;
+    for (std::size_t j = k; j < n; ++j) {
+      const Complex hkj = h(k, j);
+      const Complex hk1j = h(k + 1, j);
+      h(k, j) = c * hkj + s * hk1j;
+      h(k + 1, j) = -std::conj(s) * hkj + c * hk1j;
+    }
+    h(k + 1, k) = Complex{};
+  }
+  // Right sweep: H <- H G_k^H restores the Hessenberg profile.
+  for (std::size_t k = lo; k < hi; ++k) {
+    const double c = cs[k - lo];
+    const Complex s = ss[k - lo];
+    for (std::size_t i = 0; i <= k + 1; ++i) {
+      const Complex hik = h(i, k);
+      const Complex hik1 = h(i, k + 1);
+      h(i, k) = c * hik + std::conj(s) * hik1;
+      h(i, k + 1) = -s * hik + c * hik1;
+    }
+    if (q != nullptr) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const Complex qik = (*q)(i, k);
+        const Complex qik1 = (*q)(i, k + 1);
+        (*q)(i, k) = c * qik + std::conj(s) * qik1;
+        (*q)(i, k + 1) = -s * qik + c * qik1;
+      }
+    }
+  }
+  for (std::size_t i = lo; i <= hi; ++i) h(i, i) += shift;
+}
+
+// Reduces the Hessenberg matrix to upper triangular (Schur) form in place.
+void schur(CMat& h, CMat* q) {
+  const std::size_t n = h.rows();
+  if (n == 0) return;
+  const double eps = 1e-15;
+  std::size_t hi = n - 1;
+  std::size_t iterations_on_block = 0;
+
+  while (hi > 0) {
+    // Deflation scan: shrink the active block from the bottom and find its
+    // top (the first negligible subdiagonal above hi).
+    const double off_hi = std::abs(h(hi, hi - 1));
+    const double scale_hi = std::abs(h(hi - 1, hi - 1)) + std::abs(h(hi, hi));
+    if (off_hi <= eps * (scale_hi > 0.0 ? scale_hi : 1.0)) {
+      h(hi, hi - 1) = Complex{};
+      --hi;
+      iterations_on_block = 0;
+      continue;
+    }
+    std::size_t lo = hi;
+    while (lo > 0) {
+      const double off = std::abs(h(lo, lo - 1));
+      const double scale = std::abs(h(lo - 1, lo - 1)) + std::abs(h(lo, lo));
+      if (off <= eps * (scale > 0.0 ? scale : 1.0)) {
+        h(lo, lo - 1) = Complex{};
+        break;
+      }
+      --lo;
+    }
+
+    Complex shift = wilkinson_shift(h, hi);
+    if (iterations_on_block > 0 && iterations_on_block % 20 == 0) {
+      // Exceptional shift to break limit cycles.
+      shift = Complex(std::abs(h(hi, hi - 1)) + std::abs(h(hi, hi)), 0.0);
+    }
+    qr_sweep(h, q, lo, hi, shift);
+    if (++iterations_on_block > 100 * (hi - lo + 1)) {
+      throw NumericalError("complex QR iteration failed to converge");
+    }
+  }
+}
+
+// Right eigenvectors of the Schur form T via back substitution, rotated back
+// through Q (columns of the result are eigenvectors of the original matrix).
+CMat triangular_eigenvectors(const CMat& t, const CMat& q) {
+  const std::size_t n = t.rows();
+  CMat vectors(n, n);
+  const double tnorm = frobenius_norm(t);
+  const double small = 1e-300 + 1e-15 * tnorm;
+  for (std::size_t k = 0; k < n; ++k) {
+    const Complex lambda = t(k, k);
+    std::vector<Complex> y(n, Complex{});
+    y[k] = Complex(1.0, 0.0);
+    for (std::size_t ii = k; ii-- > 0;) {
+      Complex s{};
+      for (std::size_t j = ii + 1; j <= k; ++j) s += t(ii, j) * y[j];
+      Complex denom = t(ii, ii) - lambda;
+      if (std::abs(denom) < small) {
+        // Repeated/defective eigenvalue: perturb to keep the solve finite;
+        // the result is one representative from the eigenspace.
+        denom = Complex(small, small);
+      }
+      y[ii] = -s / denom;
+    }
+    std::vector<Complex> x = matvec(q, std::span<const Complex>(y.data(), n));
+    const double nrm = norm2(std::span<const Complex>(x.data(), n));
+    const double inv = nrm > 0.0 ? 1.0 / nrm : 0.0;
+    for (std::size_t i = 0; i < n; ++i) vectors(i, k) = x[i] * inv;
+  }
+  return vectors;
+}
+
+}  // namespace
+
+EigResult eig(const CMat& a, bool compute_vectors) {
+  IMRDMD_REQUIRE_DIMS(a.rows() == a.cols(), "eig requires a square matrix");
+  const std::size_t n = a.rows();
+  EigResult result;
+  if (n == 0) return result;
+  if (n == 1) {
+    result.values = {a(0, 0)};
+    if (compute_vectors) {
+      result.vectors = CMat(1, 1);
+      result.vectors(0, 0) = Complex(1.0, 0.0);
+    }
+    return result;
+  }
+
+  CMat h = a;
+  CMat q;
+  hessenberg(h, q);
+  schur(h, compute_vectors ? &q : nullptr);
+
+  result.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.values[i] = h(i, i);
+  if (compute_vectors) result.vectors = triangular_eigenvectors(h, q);
+  return result;
+}
+
+EigResult eig(const Mat& a, bool compute_vectors) {
+  return eig(to_complex(a), compute_vectors);
+}
+
+std::vector<Complex> complex_solve(const CMat& a, std::vector<Complex> b) {
+  IMRDMD_REQUIRE_DIMS(a.rows() == a.cols() && a.rows() == b.size(),
+                      "complex_solve shape mismatch");
+  const std::size_t n = a.rows();
+  CMat lu = a;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting.
+    std::size_t pivot = k;
+    double best = std::abs(lu(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mag = std::abs(lu(i, k));
+      if (mag > best) {
+        best = mag;
+        pivot = i;
+      }
+    }
+    if (best == 0.0) throw NumericalError("complex_solve: singular matrix");
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu(k, j), lu(pivot, j));
+      std::swap(b[k], b[pivot]);
+    }
+    const Complex inv = Complex(1.0, 0.0) / lu(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const Complex factor = lu(i, k) * inv;
+      lu(i, k) = factor;
+      for (std::size_t j = k + 1; j < n; ++j) lu(i, j) -= factor * lu(k, j);
+      b[i] -= factor * b[k];
+    }
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    Complex s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu(ii, j) * b[j];
+    b[ii] = s / lu(ii, ii);
+  }
+  return b;
+}
+
+std::vector<Complex> lstsq_complex(const CMat& a, std::span<const Complex> b) {
+  IMRDMD_REQUIRE_DIMS(a.rows() == b.size(), "lstsq_complex shape mismatch");
+  CMat gram = matmul_ah_b(a, a);
+  CMat bm(b.size(), 1);
+  for (std::size_t i = 0; i < b.size(); ++i) bm(i, 0) = b[i];
+  const CMat rhs_m = matmul_ah_b(a, bm);
+  std::vector<Complex> rhs(a.cols());
+  for (std::size_t i = 0; i < a.cols(); ++i) rhs[i] = rhs_m(i, 0);
+  try {
+    return complex_solve(gram, rhs);
+  } catch (const NumericalError&) {
+    // Ridge fallback: a singular Gram matrix means collinear modes; a tiny
+    // diagonal shift yields a stable (near-minimum-norm) solution instead of
+    // failing the whole decomposition.
+    double trace = 0.0;
+    for (std::size_t i = 0; i < gram.rows(); ++i) trace += gram(i, i).real();
+    const double ridge = 1e-12 * (trace > 0.0 ? trace : 1.0);
+    for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += ridge;
+    return complex_solve(gram, rhs);
+  }
+}
+
+}  // namespace imrdmd::linalg

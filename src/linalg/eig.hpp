@@ -1,0 +1,41 @@
+// Dense complex eigensolver for small matrices.
+//
+// DMD reduces the dynamics operator to an r x r projected matrix (r = SVHT
+// rank, typically < 30), so a robust small-matrix solver is all the pipeline
+// needs: Householder Hessenberg reduction, explicit Wilkinson-shifted QR
+// iteration to Schur form, then triangular back-substitution for the
+// eigenvectors.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace imrdmd::linalg {
+
+struct EigResult {
+  /// Eigenvalues (unordered beyond the deflation sequence).
+  std::vector<Complex> values;
+  /// Unit-norm right eigenvectors as columns; empty when not requested.
+  CMat vectors;
+};
+
+/// Eigendecomposition of a square complex matrix.
+/// Throws NumericalError if the QR iteration fails to deflate (non-finite
+/// input is the only practical trigger).
+EigResult eig(const CMat& a, bool compute_vectors = true);
+
+/// Convenience overload widening a real matrix.
+EigResult eig(const Mat& a, bool compute_vectors = true);
+
+/// Solves the square complex system A x = b by LU with partial pivoting.
+std::vector<Complex> complex_solve(const CMat& a,
+                                   std::vector<Complex> b);
+
+/// Complex least squares: minimizes ||A x - b||_2 for tall A via the normal
+/// equations (A is r-column slim everywhere this is used; conditioning is
+/// guarded by a scaled ridge retry on singular systems).
+std::vector<Complex> lstsq_complex(const CMat& a,
+                                   std::span<const Complex> b);
+
+}  // namespace imrdmd::linalg

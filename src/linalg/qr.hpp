@@ -1,0 +1,29 @@
+// Householder QR factorizations (real).
+//
+// Thin QR underpins the incremental SVD (orthogonalizing the out-of-subspace
+// residual of each new column block) and TSQR's per-rank local factor.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace imrdmd::linalg {
+
+/// Thin QR of an m x n matrix with m >= n: A = Q R, Q m x n with
+/// orthonormal columns, R n x n upper triangular with non-negative diagonal
+/// (sign-normalized so factorizations are unique and comparable in tests).
+struct QrResult {
+  Mat q;
+  Mat r;
+};
+
+/// Computes the thin QR of `a`. Requires rows >= cols.
+QrResult thin_qr(const Mat& a);
+
+/// R factor only (same sign convention); cheaper when Q is not needed.
+Mat qr_r_only(const Mat& a);
+
+/// Solves the upper-triangular system R x = b by back substitution.
+/// Throws NumericalError when a diagonal entry is ~0 relative to ||R||.
+std::vector<double> solve_upper(const Mat& r, std::span<const double> b);
+
+}  // namespace imrdmd::linalg

@@ -1,0 +1,198 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+
+namespace imrdmd::linalg {
+
+void SvdResult::truncate(std::size_t rank) {
+  rank = std::min(rank, s.size());
+  u = u.block(0, 0, u.rows(), rank);
+  v = v.block(0, 0, v.rows(), rank);
+  s.resize(rank);
+}
+
+namespace {
+
+// One-sided Jacobi on a tall matrix A (m >= n): rotates column pairs until
+// they are mutually orthogonal; the rotations accumulate into V, the final
+// column norms are the singular values and the normalized columns form U.
+SvdResult jacobi_svd_tall(const Mat& input) {
+  const std::size_t m = input.rows();
+  const std::size_t n = input.cols();
+  Mat a = input;
+  // Pre-scale so squared column norms can neither overflow nor underflow
+  // for inputs anywhere near the double range; undone on the spectrum.
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_abs = std::max(max_abs, std::abs(a.data()[i]));
+  }
+  const double prescale = max_abs > 0.0 ? 1.0 / max_abs : 1.0;
+  if (prescale != 1.0) a *= prescale;
+  Mat v = Mat::identity(n);
+
+  const double eps = 1e-15;
+  // Columns whose squared norm has fallen to rounding-noise level (relative
+  // to the matrix norm) are numerically zero; rotating against them chases
+  // correlated cancellation residue forever, so they are skipped.
+  double total_sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) total_sq += a.data()[i] * a.data()[i];
+  const double noise_floor_sq = (eps * eps) * total_sq;
+  const std::size_t max_sweeps = 60;
+  bool converged = false;
+  for (std::size_t sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Column moments. Column-pair access in a row-major matrix walks the
+        // rows once for all three sums.
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double* row = a.data() + i * n;
+          app += row[p] * row[p];
+          aqq += row[q] * row[q];
+          apq += row[p] * row[q];
+        }
+        if (app <= noise_floor_sq || aqq <= noise_floor_sq) continue;
+        if (std::abs(apq) <= eps * std::sqrt(app * aqq) || apq == 0.0) {
+          continue;
+        }
+        converged = false;
+        // Closed-form Jacobi rotation diagonalizing [[app, apq], [apq, aqq]].
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          double* row = a.data() + i * n;
+          const double ap = row[p];
+          const double aq = row[q];
+          row[p] = c * ap - s * aq;
+          row[q] = s * ap + c * aq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          double* row = v.data() + i * n;
+          const double vp = row[p];
+          const double vq = row[q];
+          row[p] = c * vp - s * vq;
+          row[q] = s * vp + c * vq;
+        }
+      }
+    }
+  }
+  if (!converged) {
+    // Jacobi converges quadratically; 60 sweeps not sufficing signals NaNs
+    // or infinities in the input rather than a hard problem.
+    throw NumericalError("jacobi_svd did not converge (input finite?)");
+  }
+
+  std::vector<double> norms = col_norms(a);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t i, std::size_t j) { return norms[i] > norms[j]; });
+
+  SvdResult result;
+  result.s.resize(n);
+  result.u.assign_zero(m, n);
+  result.v.assign_zero(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t j = order[k];
+    result.s[k] = norms[j] * (max_abs > 0.0 ? max_abs : 1.0);
+    if (norms[j] > 0.0) {
+      const double inv = 1.0 / norms[j];
+      for (std::size_t i = 0; i < m; ++i) result.u(i, k) = a(i, j) * inv;
+    }
+    for (std::size_t i = 0; i < n; ++i) result.v(i, k) = v(i, j);
+  }
+  return result;
+}
+
+}  // namespace
+
+SvdResult svd(const Mat& x) {
+  IMRDMD_REQUIRE_DIMS(!x.empty(), "svd of an empty matrix");
+  if (x.rows() >= x.cols()) return jacobi_svd_tall(x);
+  // Factor the transpose and swap the singular vector roles.
+  SvdResult t = jacobi_svd_tall(x.transposed());
+  SvdResult result;
+  result.u = std::move(t.v);
+  result.v = std::move(t.u);
+  result.s = std::move(t.s);
+  return result;
+}
+
+SvdResult randomized_svd(const Mat& x, std::size_t k, Rng& rng,
+                         std::size_t oversample, std::size_t power_iters) {
+  IMRDMD_REQUIRE_DIMS(!x.empty(), "randomized_svd of an empty matrix");
+  IMRDMD_REQUIRE_ARG(k >= 1, "randomized_svd rank must be >= 1");
+  const std::size_t m = x.rows();
+  const std::size_t n = x.cols();
+  const std::size_t sketch = std::min(std::min(m, n), k + oversample);
+
+  Mat omega(n, sketch);
+  for (std::size_t i = 0; i < omega.size(); ++i) omega.data()[i] = rng.normal();
+
+  Mat y = matmul(x, omega);            // m x sketch range sample
+  Mat q = thin_qr(y).q;
+  for (std::size_t it = 0; it < power_iters; ++it) {
+    // Subspace iteration sharpens the spectrum: Q <- orth(X X^T Q).
+    Mat z = matmul_at_b(x, q);         // n x sketch
+    z = thin_qr(z).q;
+    y = matmul(x, z);
+    q = thin_qr(y).q;
+  }
+
+  Mat b = matmul_at_b(q, x);           // sketch x n projected problem
+  SvdResult small = svd(b);
+  SvdResult result;
+  result.u = matmul(q, small.u);
+  result.s = std::move(small.s);
+  result.v = std::move(small.v);
+  result.truncate(std::min(k, result.s.size()));
+  return result;
+}
+
+Mat pinv(const Mat& x, double rcond) {
+  SvdResult f = svd(x);
+  const double cutoff = f.s.empty() ? 0.0 : rcond * f.s.front();
+  // pinv = V diag(1/s) U^T, dropping negligible singular values.
+  Mat vs = f.v;  // n x r, columns scaled by 1/s
+  for (std::size_t j = 0; j < f.s.size(); ++j) {
+    const double inv = f.s[j] > cutoff ? 1.0 / f.s[j] : 0.0;
+    scale_col(vs, j, inv);
+  }
+  return matmul_a_bt(vs, f.u);
+}
+
+std::size_t svht_rank(const std::vector<double>& singular_values,
+                      std::size_t rows, std::size_t cols) {
+  if (singular_values.empty() || singular_values.front() <= 0.0) return 0;
+  IMRDMD_REQUIRE_ARG(rows > 0 && cols > 0, "svht_rank needs a real shape");
+  const double beta =
+      static_cast<double>(std::min(rows, cols)) / static_cast<double>(std::max(rows, cols));
+  // Gavish-Donoho rational approximation of omega(beta) for unknown noise.
+  const double omega = 0.56 * beta * beta * beta - 0.95 * beta * beta +
+                       1.82 * beta + 1.43;
+  // Median of the (descending) spectrum.
+  std::vector<double> sorted = singular_values;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  const double median = n % 2 == 1
+                            ? sorted[n / 2]
+                            : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  const double tau = omega * median;
+  std::size_t rank = 0;
+  for (double s : singular_values) {
+    if (s > tau) ++rank;
+  }
+  return std::max<std::size_t>(rank, 1);
+}
+
+}  // namespace imrdmd::linalg

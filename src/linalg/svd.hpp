@@ -1,0 +1,55 @@
+// Singular value decompositions.
+//
+// Two algorithms cover the repository's needs:
+//   * svd(): one-sided Jacobi — high accuracy, O(max_dim * min_dim^2) per
+//     sweep. Every mrDMD bin is tall-and-skinny after the 4x-Nyquist
+//     subsampling (a handful of columns), so Jacobi is both simple and fast
+//     where it matters.
+//   * randomized_svd(): Halko-Martinsson-Tropp sketching for low-rank
+//     approximations of large matrices (used by PCA with n_components=2,
+//     mirroring scikit-learn's svd_solver='auto'->'randomized' choice).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace imrdmd::linalg {
+
+/// Thin SVD: x = U diag(s) V^T with s descending, U: m x r0, V: n x r0 where
+/// r0 = min(m, n). Columns of U/V matching exactly-zero singular values are
+/// zero vectors (callers truncate via svht_rank or a tolerance).
+struct SvdResult {
+  Mat u;
+  std::vector<double> s;
+  Mat v;
+
+  /// Keeps only the leading `rank` triplets.
+  void truncate(std::size_t rank);
+};
+
+/// Full-accuracy thin SVD by one-sided Jacobi (on the transposed input when
+/// cols > rows, so the iteration always runs on the skinny side).
+SvdResult svd(const Mat& x);
+
+/// Rank-k approximate SVD by randomized range finding.
+/// `oversample` extra sketch columns and `power_iters` subspace iterations
+/// trade time for accuracy (defaults follow Halko et al.'s recommendations).
+SvdResult randomized_svd(const Mat& x, std::size_t k, Rng& rng,
+                         std::size_t oversample = 8,
+                         std::size_t power_iters = 2);
+
+/// Moore-Penrose pseudoinverse via svd(); singular values below
+/// rcond * s_max are treated as zero.
+Mat pinv(const Mat& x, double rcond = 1e-13);
+
+/// Optimal singular value hard threshold of Gavish & Donoho (2014) for
+/// unknown noise level: rank = #{ s_i > omega(beta) * median(s) } where
+/// beta is the matrix aspect ratio. Returns at least 1 when s[0] > 0 so a
+/// DMD step on a noisy-but-nonzero bin always retains one mode; returns 0
+/// for an all-zero spectrum.
+std::size_t svht_rank(const std::vector<double>& singular_values,
+                      std::size_t rows, std::size_t cols);
+
+}  // namespace imrdmd::linalg

@@ -1,0 +1,34 @@
+#include "rack/colormap.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace imrdmd::rack {
+
+std::string Rgb::hex() const {
+  char buffer[8];
+  std::snprintf(buffer, sizeof buffer, "#%02x%02x%02x", r, g, b);
+  return buffer;
+}
+
+Rgb turbo(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  // Polynomial fit published with the Turbo colormap.
+  const double r = 0.13572138 + t * (4.61539260 + t * (-42.66032258 +
+                   t * (132.13108234 + t * (-152.94239396 + t * 59.28637943))));
+  const double g = 0.09140261 + t * (2.19418839 + t * (4.84296658 +
+                   t * (-14.18503333 + t * (4.27729857 + t * 2.82956604))));
+  const double b = 0.10667330 + t * (12.64194608 + t * (-60.58204836 +
+                   t * (110.36276771 + t * (-89.90310912 + t * 27.34824973))));
+  auto quantize = [](double v) {
+    return static_cast<std::uint8_t>(std::clamp(v, 0.0, 1.0) * 255.0 + 0.5);
+  };
+  return {quantize(r), quantize(g), quantize(b)};
+}
+
+Rgb turbo_diverging(double value, double lo, double hi) {
+  if (hi <= lo) return turbo(0.5);
+  return turbo((value - lo) / (hi - lo));
+}
+
+}  // namespace imrdmd::rack

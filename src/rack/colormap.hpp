@@ -1,0 +1,27 @@
+// The Turbo colormap (Google's improved rainbow) used by the paper's rack
+// views: blue hues for negative z-scores, green near baseline, red hues for
+// positive (Figs. 4/6, colorbar -5..5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace imrdmd::rack {
+
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  /// "#rrggbb".
+  std::string hex() const;
+};
+
+/// Turbo at t in [0, 1] (clamped); polynomial approximation.
+Rgb turbo(double t);
+
+/// Maps value in [lo, hi] onto Turbo (clamped); the paper's rack views use
+/// lo = -5, hi = +5 on z-scores.
+Rgb turbo_diverging(double value, double lo, double hi);
+
+}  // namespace imrdmd::rack

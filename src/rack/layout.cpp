@@ -1,0 +1,226 @@
+#include "rack/layout.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace imrdmd::rack {
+
+namespace {
+
+// Parses "A-B" or "A" into an inclusive count.
+std::size_t parse_range_count(std::string_view text, std::string_view what) {
+  const auto dash = text.find('-');
+  if (dash == std::string_view::npos) {
+    parse_long(text, what);  // validation only
+    return 1;
+  }
+  const long lo = parse_long(text.substr(0, dash), what);
+  const long hi = parse_long(text.substr(dash + 1), what);
+  if (hi < lo) throw ParseError("inverted range in " + std::string(what));
+  return static_cast<std::size_t>(hi - lo + 1);
+}
+
+int parse_alignment(const std::string& token) {
+  const long value = parse_long(token, "alignment");
+  if (value == -1 || value == 1 || value == 2) return static_cast<int>(value);
+  return 0;  // paper: "default is top-to-bottom"
+}
+
+bool is_integer_token(const std::string& token) {
+  if (token.empty()) return false;
+  std::size_t i = token[0] == '-' ? 1 : 0;
+  if (i == token.size()) return false;
+  for (; i < token.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(token[i]))) return false;
+  }
+  return true;
+}
+
+struct Dims {
+  double w = 0.0;
+  double h = 0.0;
+};
+
+bool is_horizontal(int alignment) { return alignment == 1 || alignment == -1; }
+
+Dims pack_size(std::size_t count, Dims child, int alignment, double gap) {
+  const double n = static_cast<double>(count);
+  if (is_horizontal(alignment)) {
+    return {n * child.w + (n - 1.0) * gap, child.h};
+  }
+  return {child.w, n * child.h + (n - 1.0) * gap};
+}
+
+// Offset of child i within its packed parent.
+Dims child_offset(std::size_t i, std::size_t count, Dims child, int alignment,
+                  double gap) {
+  if (is_horizontal(alignment)) {
+    const std::size_t idx = alignment == -1 ? count - 1 - i : i;
+    return {static_cast<double>(idx) * (child.w + gap), 0.0};
+  }
+  const std::size_t idx = alignment == 2 ? count - 1 - i : i;
+  return {0.0, static_cast<double>(idx) * (child.h + gap)};
+}
+
+}  // namespace
+
+LayoutSpec parse_layout(const std::string& text) {
+  const std::vector<std::string> tokens = split_ws(text);
+  if (tokens.size() < 4) {
+    throw ParseError("layout spec too short: '" + text + "'");
+  }
+  LayoutSpec spec;
+  spec.system = tokens[0];
+  spec.rack_row_alignment = parse_alignment(tokens[1]);
+  spec.rack_col_alignment = parse_alignment(tokens[2]);
+
+  // Row segment: "row<r0>-<r1>:<c0>-<c1>".
+  const std::string& rows = tokens[3];
+  if (!starts_with(to_lower(rows), "row")) {
+    throw ParseError("expected row segment, got '" + rows + "'");
+  }
+  const auto colon = rows.find(':');
+  if (colon == std::string::npos) {
+    throw ParseError("row segment missing ':' in '" + rows + "'");
+  }
+  spec.rack_rows = parse_range_count(
+      std::string_view(rows).substr(3, colon - 3), "rack rows");
+  spec.racks_per_row = parse_range_count(
+      std::string_view(rows).substr(colon + 1), "racks per row");
+
+  // Remaining segments: optional alignment numbers followed by
+  // "<letter>:<range>".
+  int pending_alignment = 0;
+  bool have_pending = false;
+  bool saw[4] = {false, false, false, false};
+  for (std::size_t i = 4; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (is_integer_token(token)) {
+      // One or two alignment numbers may precede a segment; the first wins.
+      if (!have_pending) {
+        pending_alignment = parse_alignment(token);
+        have_pending = true;
+      }
+      continue;
+    }
+    const auto seg_colon = token.find(':');
+    if (seg_colon == std::string::npos) {
+      throw ParseError("malformed layout segment '" + token + "'");
+    }
+    const std::string key = to_lower(token.substr(0, seg_colon));
+    const std::size_t count = parse_range_count(
+        std::string_view(token).substr(seg_colon + 1), "segment " + key);
+    LayoutLevel level{count, have_pending ? pending_alignment : 0};
+    if (key == "c" || key == "cabinets" || key == "cages") {
+      spec.cabinets = level;
+      saw[0] = true;
+    } else if (key == "s" || key == "slots") {
+      spec.slots = level;
+      saw[1] = true;
+    } else if (key == "b" || key == "blades") {
+      spec.blades = level;
+      saw[2] = true;
+    } else if (key == "n" || key == "nodes") {
+      spec.nodes = level;
+      saw[3] = true;
+    } else {
+      throw ParseError("unknown layout segment '" + token + "'");
+    }
+    pending_alignment = 0;
+    have_pending = false;
+  }
+  if (!saw[0] || !saw[1] || !saw[2] || !saw[3]) {
+    throw ParseError("layout spec missing a c:/s:/b:/n: segment: '" + text +
+                     "'");
+  }
+  return spec;
+}
+
+std::string to_string(const LayoutSpec& spec) {
+  std::ostringstream os;
+  os << spec.system << ' ' << spec.rack_row_alignment << ' '
+     << spec.rack_col_alignment << " row0-" << spec.rack_rows - 1 << ":0-"
+     << spec.racks_per_row - 1 << ' ' << spec.cabinets.alignment << " c:0-"
+     << spec.cabinets.count - 1 << ' ' << spec.slots.alignment << " s:0-"
+     << spec.slots.count - 1 << ' ' << spec.blades.alignment << " b:0-"
+     << spec.blades.count - 1 << ' ' << spec.nodes.alignment << " n:0-"
+     << spec.nodes.count - 1;
+  return os.str();
+}
+
+RackGeometry compute_geometry(const LayoutSpec& spec,
+                              const GeometryOptions& options) {
+  IMRDMD_REQUIRE_ARG(options.node_size > 0.0, "node_size must be positive");
+
+  const Dims node_dims{options.node_size, options.node_size};
+  const Dims blade_dims = pack_size(spec.nodes.count, node_dims,
+                                    spec.nodes.alignment, options.node_gap);
+  const Dims slot_dims = pack_size(spec.blades.count, blade_dims,
+                                   spec.blades.alignment, options.blade_gap);
+  const Dims cabinet_dims = pack_size(spec.slots.count, slot_dims,
+                                      spec.slots.alignment, options.slot_gap);
+  const Dims rack_dims =
+      pack_size(spec.cabinets.count, cabinet_dims, spec.cabinets.alignment,
+                options.cabinet_gap);
+
+  RackGeometry geometry;
+  geometry.node_cells.resize(spec.total_nodes());
+  geometry.rack_frames.resize(spec.total_racks());
+  geometry.width = options.margin * 2.0 +
+                   static_cast<double>(spec.racks_per_row) * rack_dims.w +
+                   static_cast<double>(spec.racks_per_row - 1) *
+                       options.rack_gap;
+  geometry.height = options.margin * 2.0 +
+                    static_cast<double>(spec.rack_rows) * rack_dims.h +
+                    static_cast<double>(spec.rack_rows - 1) * options.rack_gap;
+
+  std::size_t node_id = 0;
+  for (std::size_t row = 0; row < spec.rack_rows; ++row) {
+    for (std::size_t col = 0; col < spec.racks_per_row; ++col) {
+      // Rack placement honoring the machine-level alignments.
+      const std::size_t draw_col =
+          spec.rack_row_alignment == -1 ? spec.racks_per_row - 1 - col : col;
+      const std::size_t draw_row =
+          spec.rack_col_alignment == 2 ? spec.rack_rows - 1 - row : row;
+      const double rack_x = options.margin +
+                            static_cast<double>(draw_col) *
+                                (rack_dims.w + options.rack_gap);
+      const double rack_y = options.margin +
+                            static_cast<double>(draw_row) *
+                                (rack_dims.h + options.rack_gap);
+      geometry.rack_frames[row * spec.racks_per_row + col] = {
+          rack_x, rack_y, rack_dims.w, rack_dims.h};
+
+      for (std::size_t cab = 0; cab < spec.cabinets.count; ++cab) {
+        const Dims cab_off = child_offset(cab, spec.cabinets.count,
+                                          cabinet_dims,
+                                          spec.cabinets.alignment,
+                                          options.cabinet_gap);
+        for (std::size_t slot = 0; slot < spec.slots.count; ++slot) {
+          const Dims slot_off =
+              child_offset(slot, spec.slots.count, slot_dims,
+                           spec.slots.alignment, options.slot_gap);
+          for (std::size_t blade = 0; blade < spec.blades.count; ++blade) {
+            const Dims blade_off =
+                child_offset(blade, spec.blades.count, blade_dims,
+                             spec.blades.alignment, options.blade_gap);
+            for (std::size_t node = 0; node < spec.nodes.count; ++node) {
+              const Dims node_off =
+                  child_offset(node, spec.nodes.count, node_dims,
+                               spec.nodes.alignment, options.node_gap);
+              geometry.node_cells[node_id++] = {
+                  rack_x + cab_off.w + slot_off.w + blade_off.w + node_off.w,
+                  rack_y + cab_off.h + slot_off.h + blade_off.h + node_off.h,
+                  node_dims.w, node_dims.h};
+            }
+          }
+        }
+      }
+    }
+  }
+  return geometry;
+}
+
+}  // namespace imrdmd::rack

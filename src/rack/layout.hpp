@@ -1,0 +1,93 @@
+// Parser and geometry engine for the paper's rack-layout specification
+// string (Sec. III-B):
+//
+//   "<system> <rack-row-align> <rack-col-align> row<r0>-<r1>:<c0>-<c1>
+//    <align...> c:<a>-<b>  <align...> s:<a>-<b>  <align...> b:<a>-<b>
+//    n:<a>-<b>"
+//
+// e.g. "xc40 1 2 row0-1:0-10 2 c:0-7 1 s:0-7 1 b:0 n:0" — an XC40 with two
+// rack rows of eleven racks, rows left-to-right and bottom-to-top, eight
+// cabinets stacked bottom-to-top, eight slots left-to-right, one blade, one
+// node per blade.
+//
+// Alignment codes (paper): -1 right-to-left, 1 left-to-right, 2 bottom-to-
+// top; anything else / omitted = top-to-bottom (encoded 0). Each of the
+// c/s/b segments accepts one or two leading alignment numbers (the paper's
+// prose names two, its example uses one; both appear in the wild) — with
+// two, the first is used.
+//
+// Node ids follow hierarchical order (rack-major), matching
+// telemetry::MachineSpec, so telemetry rows map onto layout cells directly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace imrdmd::rack {
+
+/// Child count + packing direction of one hierarchy level.
+struct LayoutLevel {
+  std::size_t count = 1;
+  /// -1 right-to-left, 1 left-to-right, 2 bottom-to-top, 0 top-to-bottom.
+  int alignment = 0;
+};
+
+struct LayoutSpec {
+  std::string system;
+  int rack_row_alignment = 1;
+  int rack_col_alignment = 0;
+  std::size_t rack_rows = 1;
+  std::size_t racks_per_row = 1;
+  LayoutLevel cabinets;
+  LayoutLevel slots;
+  LayoutLevel blades;
+  LayoutLevel nodes;
+
+  std::size_t total_racks() const { return rack_rows * racks_per_row; }
+  std::size_t nodes_per_rack() const {
+    return cabinets.count * slots.count * blades.count * nodes.count;
+  }
+  std::size_t total_nodes() const {
+    return total_racks() * nodes_per_rack();
+  }
+};
+
+/// Parses the layout grammar; throws ParseError with context on malformed
+/// input.
+LayoutSpec parse_layout(const std::string& text);
+
+/// Serializes back to the grammar (round-trip tested).
+std::string to_string(const LayoutSpec& spec);
+
+/// Axis-aligned cell in abstract layout units (y grows downward, SVG-style).
+struct CellRect {
+  double x = 0.0;
+  double y = 0.0;
+  double w = 0.0;
+  double h = 0.0;
+};
+
+struct GeometryOptions {
+  double node_size = 8.0;   // square node cell edge
+  double node_gap = 1.0;    // spacing between node cells
+  double blade_gap = 2.0;   // spacing between blades
+  double slot_gap = 2.0;
+  double cabinet_gap = 4.0;
+  double rack_gap = 12.0;   // spacing between racks
+  double margin = 14.0;     // outer margin
+};
+
+/// Full geometry: one cell per node slot, in hierarchical node-id order.
+struct RackGeometry {
+  double width = 0.0;
+  double height = 0.0;
+  std::vector<CellRect> node_cells;
+  std::vector<CellRect> rack_frames;  // one per rack, row-major
+};
+
+/// Lays out every node cell of the spec.
+RackGeometry compute_geometry(const LayoutSpec& spec,
+                              const GeometryOptions& options = {});
+
+}  // namespace imrdmd::rack

@@ -1,0 +1,205 @@
+#include "rack/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace imrdmd::rack {
+
+namespace {
+
+bool has_value(const RackViewData& data, std::size_t node) {
+  return node < data.populated && node < data.values.size() &&
+         std::isfinite(data.values[node]);
+}
+
+bool is_outlined(const RackViewData& data, std::size_t node) {
+  return std::find(data.outlined.begin(), data.outlined.end(), node) !=
+         data.outlined.end();
+}
+
+}  // namespace
+
+std::string render_svg(const LayoutSpec& spec, const RackViewData& data,
+                       const RenderOptions& options,
+                       const GeometryOptions& geometry_options) {
+  const RackGeometry geometry = compute_geometry(spec, geometry_options);
+  const double legend_height = options.draw_legend ? 42.0 : 0.0;
+  const double title_height = options.title.empty() ? 0.0 : 24.0;
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << geometry.width << "\" height=\""
+      << geometry.height + legend_height + title_height << "\" viewBox=\"0 0 "
+      << geometry.width << ' ' << geometry.height + legend_height + title_height
+      << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n";
+
+  double y_offset = 0.0;
+  if (!options.title.empty()) {
+    svg << "<text x=\"" << geometry.width / 2.0
+        << "\" y=\"16\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+           "font-size=\"14\">"
+        << options.title << "</text>\n";
+    y_offset = title_height;
+  }
+
+  if (options.draw_rack_frames) {
+    for (const CellRect& frame : geometry.rack_frames) {
+      svg << "<rect x=\"" << frame.x - 2 << "\" y=\"" << frame.y + y_offset - 2
+          << "\" width=\"" << frame.w + 4 << "\" height=\"" << frame.h + 4
+          << "\" fill=\"none\" stroke=\"#bbbbbb\" stroke-width=\"1\"/>\n";
+    }
+  }
+
+  for (std::size_t node = 0; node < geometry.node_cells.size(); ++node) {
+    const CellRect& cell = geometry.node_cells[node];
+    std::string fill = "#dddddd";  // unpopulated / missing
+    if (has_value(data, node)) {
+      fill = turbo_diverging(data.values[node], options.value_min,
+                             options.value_max)
+                 .hex();
+    }
+    svg << "<rect x=\"" << cell.x << "\" y=\"" << cell.y + y_offset
+        << "\" width=\"" << cell.w << "\" height=\"" << cell.h << "\" fill=\""
+        << fill << '"';
+    if (is_outlined(data, node)) {
+      svg << " stroke=\"" << options.outline_color << "\" stroke-width=\""
+          << options.outline_width << '"';
+    }
+    svg << "><title>node " << node;
+    if (has_value(data, node)) svg << " value " << data.values[node];
+    svg << "</title></rect>\n";
+  }
+
+  if (options.draw_legend) {
+    // Horizontal Turbo colorbar with min/mid/max tick labels.
+    const double bar_w = std::min(220.0, geometry.width - 40.0);
+    const double bar_x = 20.0;
+    const double bar_y = geometry.height + y_offset + 10.0;
+    const int steps = 64;
+    for (int i = 0; i < steps; ++i) {
+      const double t = static_cast<double>(i) / (steps - 1);
+      svg << "<rect x=\"" << bar_x + t * (bar_w - bar_w / steps) << "\" y=\""
+          << bar_y << "\" width=\"" << bar_w / steps + 0.5
+          << "\" height=\"10\" fill=\"" << turbo(t).hex() << "\"/>\n";
+    }
+    auto tick = [&](double frac, double value) {
+      svg << "<text x=\"" << bar_x + frac * bar_w << "\" y=\"" << bar_y + 22
+          << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+             "font-size=\"10\">"
+          << value << "</text>\n";
+    };
+    tick(0.0, options.value_min);
+    tick(0.5, 0.5 * (options.value_min + options.value_max));
+    tick(1.0, options.value_max);
+    svg << "<text x=\"" << bar_x + bar_w + 12 << "\" y=\"" << bar_y + 9
+        << "\" font-family=\"sans-serif\" font-size=\"10\">z-score</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void write_svg_file(const std::string& path, const std::string& svg) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open SVG for writing: " + path);
+  out << svg;
+}
+
+std::string render_ansi(const LayoutSpec& spec, const RackViewData& data,
+                        const AnsiOptions& options) {
+  // Choose aggregation so a rack row fits in max_width: per node, per blade
+  // group (slot), or per chassis.
+  const std::size_t per_rack_nodes = spec.nodes_per_rack();
+  const std::size_t per_chassis =
+      spec.slots.count * spec.blades.count * spec.nodes.count;
+
+  // Aggregation unit sizes to try, finest first.
+  std::size_t unit = 1;
+  for (std::size_t candidate :
+       {std::size_t{1}, spec.nodes.count * spec.blades.count, per_chassis}) {
+    if (candidate == 0) continue;
+    const std::size_t cells_per_rack =
+        (per_rack_nodes + candidate - 1) / candidate;
+    const std::size_t row_width = spec.racks_per_row * (cells_per_rack + 1);
+    unit = candidate;
+    if (row_width <= options.max_width) break;
+  }
+
+  std::ostringstream out;
+  const std::size_t cells_per_rack = (per_rack_nodes + unit - 1) / unit;
+  for (std::size_t row = 0; row < spec.rack_rows; ++row) {
+    for (std::size_t col = 0; col < spec.racks_per_row; ++col) {
+      const std::size_t rack = row * spec.racks_per_row + col;
+      const std::size_t base = rack * per_rack_nodes;
+      for (std::size_t cell = 0; cell < cells_per_rack; ++cell) {
+        double sum = 0.0;
+        std::size_t count = 0;
+        bool outlined = false;
+        for (std::size_t k = 0; k < unit; ++k) {
+          const std::size_t node = base + cell * unit + k;
+          if (node >= base + per_rack_nodes) break;
+          if (has_value(data, node)) {
+            sum += data.values[node];
+            ++count;
+          }
+          outlined = outlined || is_outlined(data, node);
+        }
+        if (count == 0) {
+          out << (options.use_color ? "\x1b[90m.\x1b[0m" : ".");
+          continue;
+        }
+        const double mean = sum / static_cast<double>(count);
+        if (options.use_color) {
+          const Rgb color =
+              turbo_diverging(mean, options.value_min, options.value_max);
+          out << "\x1b[38;2;" << static_cast<int>(color.r) << ';'
+              << static_cast<int>(color.g) << ';' << static_cast<int>(color.b)
+              << 'm' << (outlined ? "#" : "▇") << "\x1b[0m";
+        } else {
+          // Monochrome fallback: bucket by magnitude.
+          const char* glyphs = " .:-=+*%@";
+          const double t = std::clamp((mean - options.value_min) /
+                                          (options.value_max -
+                                           options.value_min),
+                                      0.0, 1.0);
+          out << (outlined ? '#' : glyphs[static_cast<int>(t * 8.0)]);
+        }
+      }
+      out << ' ';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string sparkline(std::span<const double> series, std::size_t width) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (series.empty() || width == 0) return "";
+  double lo = series[0], hi = series[0];
+  for (double v : series) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double range = hi > lo ? hi - lo : 1.0;
+  std::ostringstream out;
+  const std::size_t bins = std::min(width, series.size());
+  for (std::size_t b = 0; b < bins; ++b) {
+    // Mean over this bin's slice of the series.
+    const std::size_t begin = b * series.size() / bins;
+    const std::size_t end = std::max(begin + 1, (b + 1) * series.size() / bins);
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) sum += series[i];
+    const double mean = sum / static_cast<double>(end - begin);
+    const int level = std::clamp(
+        static_cast<int>((mean - lo) / range * 7.0 + 0.5), 0, 7);
+    out << kBlocks[level];
+  }
+  return out.str();
+}
+
+}  // namespace imrdmd::rack

@@ -1,0 +1,69 @@
+// Rack-view rendering: the D3-in-Jupyter substitute.
+//
+// SVG output reproduces the content of the paper's Figs. 2/4/6 — a node
+// grid colored by value (Turbo, -5..5 z-scores by default), darker outlines
+// on event nodes, unpopulated slots greyed, a colorbar legend, and a title.
+// The ANSI renderer puts the same view in a terminal (one glyph per node,
+// or aggregated per chassis when the machine exceeds the terminal), which
+// is what the streaming examples use as their live display.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rack/colormap.hpp"
+#include "rack/layout.hpp"
+
+namespace imrdmd::rack {
+
+struct RenderOptions {
+  std::string title;
+  /// Color scale bounds (paper colorbar: z in [-5, 5]).
+  double value_min = -5.0;
+  double value_max = 5.0;
+  bool draw_legend = true;
+  bool draw_rack_frames = true;
+  /// Stroke color for outlined (event) nodes.
+  std::string outline_color = "#000000";
+  double outline_width = 1.6;
+};
+
+/// Per-node inputs for a rack view. All vectors are indexed by layout node
+/// id; shorter vectors are treated as "absent" (unpopulated slots render
+/// grey, un-outlined).
+struct RackViewData {
+  /// Value per node (z-score); NaN renders grey.
+  std::vector<double> values;
+  /// Nodes drawn with a dark outline (e.g. hardware-error nodes).
+  std::vector<std::size_t> outlined;
+  /// Populated node count (node ids >= this render as empty slots).
+  std::size_t populated = 0;
+};
+
+/// Renders the rack view to an SVG document string.
+std::string render_svg(const LayoutSpec& spec, const RackViewData& data,
+                       const RenderOptions& options = {},
+                       const GeometryOptions& geometry = {});
+
+/// Writes `svg` to `path` (throws Error on I/O failure).
+void write_svg_file(const std::string& path, const std::string& svg);
+
+struct AnsiOptions {
+  /// Maximum character columns available.
+  std::size_t max_width = 150;
+  double value_min = -5.0;
+  double value_max = 5.0;
+  bool use_color = true;
+};
+
+/// Renders an ANSI (24-bit color) view. One "▇" per node when it fits;
+/// otherwise nodes aggregate (mean) per chassis, then per rack.
+std::string render_ansi(const LayoutSpec& spec, const RackViewData& data,
+                        const AnsiOptions& options = {});
+
+/// A one-line unicode sparkline of a time series (the "hover" detail view).
+std::string sparkline(std::span<const double> series, std::size_t width = 60);
+
+}  // namespace imrdmd::rack

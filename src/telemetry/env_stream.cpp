@@ -1,0 +1,43 @@
+#include "telemetry/env_stream.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace imrdmd::telemetry {
+
+EnvLogStream::EnvLogStream(const SensorModel& model, EnvStreamOptions options)
+    : model_(model), options_(std::move(options)) {
+  IMRDMD_REQUIRE_ARG(options_.chunk_snapshots > 0,
+                     "chunk_snapshots must be positive");
+  if (options_.initial_snapshots == 0) {
+    options_.initial_snapshots = options_.chunk_snapshots;
+  }
+  for (std::size_t s : options_.sensor_subset) {
+    IMRDMD_REQUIRE_ARG(s < model_.sensors(), "sensor subset out of range");
+  }
+}
+
+std::size_t EnvLogStream::sensors() const {
+  return options_.sensor_subset.empty() ? model_.sensors()
+                                        : options_.sensor_subset.size();
+}
+
+std::optional<Mat> EnvLogStream::next_chunk() {
+  if (position_ >= options_.total_snapshots) return std::nullopt;
+  const std::size_t want =
+      position_ == 0 ? options_.initial_snapshots : options_.chunk_snapshots;
+  const std::size_t count =
+      std::min(want, options_.total_snapshots - position_);
+  Mat chunk =
+      options_.sensor_subset.empty()
+          ? model_.window(position_, count)
+          : model_.window_for(
+                std::span<const std::size_t>(options_.sensor_subset.data(),
+                                             options_.sensor_subset.size()),
+                position_, count);
+  position_ += count;
+  return chunk;
+}
+
+}  // namespace imrdmd::telemetry

@@ -1,0 +1,47 @@
+// Streaming replay of the environment log: a core::ChunkSource that yields
+// fixed-width windows from a SensorModel, simulating the online arrival of
+// sensor data that the paper's evaluation reproduces ("we simulate a
+// practical streaming analysis context by introducing new time points").
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "telemetry/sensor_model.hpp"
+
+namespace imrdmd::telemetry {
+
+struct EnvStreamOptions {
+  /// First chunk width (the initial-fit window); 0 = same as chunk width.
+  std::size_t initial_snapshots = 0;
+  /// Width of each subsequent chunk.
+  std::size_t chunk_snapshots = 1000;
+  /// Total snapshots to stream (the horizon).
+  std::size_t total_snapshots = 2000;
+  /// Restrict the stream to a sensor subset (empty = all sensors).
+  std::vector<std::size_t> sensor_subset;
+};
+
+class EnvLogStream final : public core::ChunkSource {
+ public:
+  /// `model` must outlive the stream.
+  EnvLogStream(const SensorModel& model, EnvStreamOptions options);
+
+  std::optional<Mat> next_chunk() override;
+  std::size_t sensors() const override;
+
+  /// Snapshots emitted so far.
+  std::size_t position() const { return position_; }
+
+  /// Resets the stream to the beginning.
+  void rewind() { position_ = 0; }
+
+ private:
+  const SensorModel& model_;
+  EnvStreamOptions options_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace imrdmd::telemetry

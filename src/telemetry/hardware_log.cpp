@@ -1,0 +1,101 @@
+#include "telemetry/hardware_log.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace imrdmd::telemetry {
+
+const char* to_string(HardwareEventCategory category) {
+  switch (category) {
+    case HardwareEventCategory::CorrectableMemory:
+      return "correctable-memory";
+    case HardwareEventCategory::ThermalWarning:
+      return "thermal-warning";
+    case HardwareEventCategory::NodeDown:
+      return "node-down";
+    case HardwareEventCategory::PcieError:
+      return "pcie-error";
+  }
+  return "unknown";
+}
+
+HardwareLogSimulator::HardwareLogSimulator(const SensorModel& model,
+                                           std::size_t horizon,
+                                           HardwareLogOptions options) {
+  Rng rng(options.seed);
+
+  // Fault-correlated events.
+  for (const FaultSpec& fault : model.faults()) {
+    const std::size_t t_end = std::min<std::size_t>(fault.t_end, horizon);
+    for (std::size_t t = fault.t_begin; t < t_end; ++t) {
+      switch (fault.kind) {
+        case FaultSpec::Kind::MemoryErrors: {
+          const std::uint64_t burst = rng.poisson(options.memory_burst_rate);
+          for (std::uint64_t i = 0; i < burst; ++i) {
+            events_.push_back({t, fault.node,
+                               HardwareEventCategory::CorrectableMemory,
+                               "MCE: corrected DRAM ECC error"});
+          }
+          break;
+        }
+        case FaultSpec::Kind::Overheat:
+          if (rng.uniform() < options.thermal_warning_rate) {
+            events_.push_back({t, fault.node,
+                               HardwareEventCategory::ThermalWarning,
+                               "thermal threshold warning"});
+          }
+          break;
+        case FaultSpec::Kind::SensorDropout:
+          if (t == fault.t_begin) {
+            events_.push_back({t, fault.node, HardwareEventCategory::NodeDown,
+                               "node heartbeat lost"});
+          }
+          break;
+        case FaultSpec::Kind::Stall:
+          break;  // stalls are software-visible only
+      }
+    }
+  }
+
+  // Background noise: a thin scatter of uncorrelated PCIe errors.
+  const double expected = options.background_rate *
+                          static_cast<double>(model.machine().node_count) *
+                          static_cast<double>(horizon);
+  const std::uint64_t background = rng.poisson(expected);
+  for (std::uint64_t i = 0; i < background; ++i) {
+    events_.push_back(
+        {static_cast<std::size_t>(rng.uniform_index(horizon)),
+         static_cast<std::size_t>(rng.uniform_index(model.machine().node_count)),
+         HardwareEventCategory::PcieError, "PCIe link correctable error"});
+  }
+
+  std::sort(events_.begin(), events_.end(),
+            [](const HardwareEvent& a, const HardwareEvent& b) {
+              return a.t < b.t;
+            });
+}
+
+std::vector<const HardwareEvent*> HardwareLogSimulator::events_in_window(
+    std::size_t t0, std::size_t t1) const {
+  std::vector<const HardwareEvent*> result;
+  for (const HardwareEvent& event : events_) {
+    if (event.t >= t0 && event.t < t1) result.push_back(&event);
+  }
+  return result;
+}
+
+std::vector<std::size_t> HardwareLogSimulator::nodes_with(
+    HardwareEventCategory category, std::size_t t0, std::size_t t1) const {
+  std::vector<std::size_t> nodes;
+  for (const HardwareEvent& event : events_) {
+    if (event.category == category && event.t >= t0 && event.t < t1) {
+      nodes.push_back(event.node);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+}  // namespace imrdmd::telemetry

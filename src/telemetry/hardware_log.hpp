@@ -1,0 +1,66 @@
+// Hardware error log substrate (paper's fidelity (iii)).
+//
+// Emits discrete error events correlated with the sensor model's injected
+// faults: MemoryErrors faults produce bursts of correctable-memory events
+// (with NO thermal signature — the case-study-1 situation), Overheat faults
+// may produce thermal warnings, SensorDropout produces node-down events.
+// A low-rate background of uncorrelated events is mixed in so the alignment
+// analysis (core::align_events) has realistic negatives.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "telemetry/sensor_model.hpp"
+
+namespace imrdmd::telemetry {
+
+enum class HardwareEventCategory {
+  CorrectableMemory,
+  ThermalWarning,
+  NodeDown,
+  PcieError,
+};
+
+const char* to_string(HardwareEventCategory category);
+
+struct HardwareEvent {
+  std::size_t t = 0;  // snapshot index
+  std::size_t node = 0;
+  HardwareEventCategory category = HardwareEventCategory::CorrectableMemory;
+  std::string message;
+};
+
+struct HardwareLogOptions {
+  /// Mean events per fault snapshot for a MemoryErrors fault.
+  double memory_burst_rate = 0.2;
+  /// Probability an Overheat fault snapshot emits a thermal warning.
+  double thermal_warning_rate = 0.02;
+  /// Background uncorrelated event rate per node per snapshot.
+  double background_rate = 2e-6;
+  std::uint64_t seed = 4242;
+};
+
+class HardwareLogSimulator {
+ public:
+  /// Generates the event log for `model`'s faults over [0, horizon).
+  HardwareLogSimulator(const SensorModel& model, std::size_t horizon,
+                       HardwareLogOptions options = {});
+
+  const std::vector<HardwareEvent>& events() const { return events_; }
+
+  /// Events in [t0, t1), optionally category-filtered.
+  std::vector<const HardwareEvent*> events_in_window(std::size_t t0,
+                                                     std::size_t t1) const;
+
+  /// Distinct nodes reporting `category` events within [t0, t1).
+  std::vector<std::size_t> nodes_with(HardwareEventCategory category,
+                                      std::size_t t0, std::size_t t1) const;
+
+ private:
+  std::vector<HardwareEvent> events_;
+};
+
+}  // namespace imrdmd::telemetry

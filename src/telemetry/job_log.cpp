@@ -1,0 +1,124 @@
+#include "telemetry/job_log.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace imrdmd::telemetry {
+
+JobLogSimulator::JobLogSimulator(const MachineSpec& machine,
+                                 JobLogOptions options)
+    : machine_(machine), options_(std::move(options)), rng_(options_.seed) {
+  IMRDMD_REQUIRE_ARG(options_.mean_interarrival > 0.0,
+                     "mean_interarrival must be positive");
+  IMRDMD_REQUIRE_ARG(options_.mean_duration > 0.0,
+                     "mean_duration must be positive");
+  IMRDMD_REQUIRE_ARG(!options_.projects.empty(), "need at least one project");
+  next_arrival_ = rng_.exponential(1.0 / options_.mean_interarrival);
+}
+
+void JobLogSimulator::simulate_until(std::size_t horizon) {
+  while (next_arrival_ < static_cast<double>(horizon)) {
+    const std::size_t t = static_cast<std::size_t>(next_arrival_);
+    next_arrival_ += rng_.exponential(1.0 / options_.mean_interarrival);
+    if (options_.arrival_cutoff > 0 && t >= options_.arrival_cutoff) continue;
+
+    // Node request: power-law-ish — most jobs are small, a few span a large
+    // slice of the machine.
+    const double u = rng_.uniform();
+    const double frac = options_.max_fraction * u * u * u;
+    std::size_t count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(frac * static_cast<double>(
+                                               machine_.node_count)));
+    const std::size_t duration = std::max<std::size_t>(
+        8, static_cast<std::size_t>(rng_.exponential(
+               1.0 / options_.mean_duration)));
+
+    const auto start = first_fit(count, t);
+    if (!start.has_value()) continue;  // machine full: job bounces
+
+    JobRecord job;
+    job.job_id = next_job_id_++;
+    job.project = options_.projects[job.job_id % options_.projects.size()];
+    job.node_begin = *start;
+    job.node_count = count;
+    job.t_start = t;
+    job.t_end = t + duration;
+    jobs_.push_back(std::move(job));
+  }
+  simulated_until_ = std::max(simulated_until_, horizon);
+}
+
+std::optional<std::size_t> JobLogSimulator::first_fit(std::size_t count,
+                                                      std::size_t t) const {
+  if (count > machine_.node_count) return std::nullopt;
+  // Occupancy profile at time t from jobs still running.
+  std::vector<char> busy(machine_.node_count, 0);
+  for (const JobRecord& job : jobs_) {
+    if (t >= job.t_start && t < job.t_end) {
+      for (std::size_t n = job.node_begin;
+           n < job.node_begin + job.node_count; ++n) {
+        busy[n] = 1;
+      }
+    }
+  }
+  std::size_t run = 0;
+  for (std::size_t n = 0; n < machine_.node_count; ++n) {
+    run = busy[n] ? 0 : run + 1;
+    if (run >= count) return n + 1 - count;
+  }
+  return std::nullopt;
+}
+
+std::vector<const JobRecord*> JobLogSimulator::jobs_in_window(
+    std::size_t t0, std::size_t t1) const {
+  std::vector<const JobRecord*> result;
+  for (const JobRecord& job : jobs_) {
+    if (job.t_start < t1 && job.t_end > t0) result.push_back(&job);
+  }
+  return result;
+}
+
+std::vector<std::size_t> JobLogSimulator::nodes_busy_at(std::size_t t) const {
+  std::vector<char> busy(machine_.node_count, 0);
+  for (const JobRecord& job : jobs_) {
+    if (t >= job.t_start && t < job.t_end) {
+      for (std::size_t n = job.node_begin;
+           n < job.node_begin + job.node_count; ++n) {
+        busy[n] = 1;
+      }
+    }
+  }
+  std::vector<std::size_t> nodes;
+  for (std::size_t n = 0; n < busy.size(); ++n) {
+    if (busy[n]) nodes.push_back(n);
+  }
+  return nodes;
+}
+
+std::vector<std::size_t> JobLogSimulator::nodes_of_project(
+    const std::string& project, std::size_t t0, std::size_t t1) const {
+  std::vector<char> used(machine_.node_count, 0);
+  for (const JobRecord& job : jobs_) {
+    if (job.project != project || job.t_start >= t1 || job.t_end <= t0) {
+      continue;
+    }
+    for (std::size_t n = job.node_begin; n < job.node_begin + job.node_count;
+         ++n) {
+      used[n] = 1;
+    }
+  }
+  std::vector<std::size_t> nodes;
+  for (std::size_t n = 0; n < used.size(); ++n) {
+    if (used[n]) nodes.push_back(n);
+  }
+  return nodes;
+}
+
+double JobLogSimulator::utilization_at(std::size_t t) const {
+  return static_cast<double>(nodes_busy_at(t).size()) /
+         static_cast<double>(machine_.node_count);
+}
+
+}  // namespace imrdmd::telemetry

@@ -1,0 +1,115 @@
+#include "telemetry/log_io.hpp"
+
+#include <cstdio>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace imrdmd::telemetry {
+
+void write_env_window_csv(const std::string& path, const linalg::Mat& window,
+                          std::size_t t0) {
+  std::vector<std::string> header;
+  header.reserve(window.cols() + 1);
+  header.push_back("sensor");
+  for (std::size_t t = 0; t < window.cols(); ++t) {
+    header.push_back("t" + std::to_string(t0 + t));
+  }
+  CsvWriter writer(path, header);
+  std::vector<std::string> row(window.cols() + 1);
+  for (std::size_t p = 0; p < window.rows(); ++p) {
+    row[0] = std::to_string(p);
+    for (std::size_t t = 0; t < window.cols(); ++t) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, "%.10g", window(p, t));
+      row[t + 1] = buffer;
+    }
+    writer.write_row(row);
+  }
+  writer.close();
+}
+
+linalg::Mat read_env_window_csv(const std::string& path, std::size_t& t0) {
+  const CsvTable table = read_csv(path);
+  if (table.header.size() < 2 || !starts_with(table.header[1], "t")) {
+    throw ParseError("not an env window CSV: " + path);
+  }
+  t0 = static_cast<std::size_t>(
+      parse_long(std::string_view(table.header[1]).substr(1), path));
+  linalg::Mat window(table.rows.size(), table.header.size() - 1);
+  for (std::size_t p = 0; p < table.rows.size(); ++p) {
+    for (std::size_t t = 0; t + 1 < table.header.size(); ++t) {
+      window(p, t) = parse_double(table.rows[p][t + 1], path);
+    }
+  }
+  return window;
+}
+
+void write_job_log_csv(const std::string& path,
+                       const std::vector<JobRecord>& jobs) {
+  CsvWriter writer(path, {"job_id", "project", "node_begin", "node_count",
+                          "t_start", "t_end"});
+  for (const JobRecord& job : jobs) {
+    writer.write_row({std::to_string(job.job_id), job.project,
+                      std::to_string(job.node_begin),
+                      std::to_string(job.node_count),
+                      std::to_string(job.t_start), std::to_string(job.t_end)});
+  }
+  writer.close();
+}
+
+std::vector<JobRecord> read_job_log_csv(const std::string& path) {
+  const CsvTable table = read_csv(path);
+  std::vector<JobRecord> jobs;
+  jobs.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    JobRecord job;
+    job.job_id = static_cast<std::size_t>(parse_long(row[0], path));
+    job.project = row[1];
+    job.node_begin = static_cast<std::size_t>(parse_long(row[2], path));
+    job.node_count = static_cast<std::size_t>(parse_long(row[3], path));
+    job.t_start = static_cast<std::size_t>(parse_long(row[4], path));
+    job.t_end = static_cast<std::size_t>(parse_long(row[5], path));
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void write_hardware_log_csv(const std::string& path,
+                            const std::vector<HardwareEvent>& events) {
+  CsvWriter writer(path, {"t", "node", "category", "message"});
+  for (const HardwareEvent& event : events) {
+    writer.write_row({std::to_string(event.t), std::to_string(event.node),
+                      to_string(event.category), event.message});
+  }
+  writer.close();
+}
+
+std::vector<HardwareEvent> read_hardware_log_csv(const std::string& path) {
+  const CsvTable table = read_csv(path);
+  std::vector<HardwareEvent> events;
+  events.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    HardwareEvent event;
+    event.t = static_cast<std::size_t>(parse_long(row[0], path));
+    event.node = static_cast<std::size_t>(parse_long(row[1], path));
+    const std::string& category = row[2];
+    if (category == "correctable-memory") {
+      event.category = HardwareEventCategory::CorrectableMemory;
+    } else if (category == "thermal-warning") {
+      event.category = HardwareEventCategory::ThermalWarning;
+    } else if (category == "node-down") {
+      event.category = HardwareEventCategory::NodeDown;
+    } else if (category == "pcie-error") {
+      event.category = HardwareEventCategory::PcieError;
+    } else {
+      throw ParseError("unknown hardware event category: " + category);
+    }
+    event.message = row[3];
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+}  // namespace imrdmd::telemetry

@@ -1,0 +1,35 @@
+// CSV persistence for the three log fidelities.
+//
+// The paper's pipeline consumes logs collected by facility infrastructure;
+// this module is the interchange layer: environment windows, job records,
+// and hardware events round-trip through plain CSV so external data can be
+// substituted for the simulators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "telemetry/hardware_log.hpp"
+#include "telemetry/job_log.hpp"
+
+namespace imrdmd::telemetry {
+
+/// Writes an environment window (sensors x snapshots) with a header of
+/// snapshot indices starting at t0; one row per sensor.
+void write_env_window_csv(const std::string& path, const linalg::Mat& window,
+                          std::size_t t0);
+
+/// Reads a window written by write_env_window_csv; returns the matrix and
+/// fills t0.
+linalg::Mat read_env_window_csv(const std::string& path, std::size_t& t0);
+
+void write_job_log_csv(const std::string& path,
+                       const std::vector<JobRecord>& jobs);
+std::vector<JobRecord> read_job_log_csv(const std::string& path);
+
+void write_hardware_log_csv(const std::string& path,
+                            const std::vector<HardwareEvent>& events);
+std::vector<HardwareEvent> read_hardware_log_csv(const std::string& path);
+
+}  // namespace imrdmd::telemetry

@@ -1,0 +1,111 @@
+#include "telemetry/machine.hpp"
+
+#include "common/error.hpp"
+
+namespace imrdmd::telemetry {
+
+MachineSpec MachineSpec::theta() {
+  MachineSpec spec;
+  spec.name = "theta-xc40";
+  spec.racks = 24;
+  spec.chassis_per_rack = 3;
+  spec.blades_per_chassis = 16;
+  spec.nodes_per_blade = 4;
+  spec.node_count = 4392;  // 4,608 slots, 4,392 populated (paper Sec. IV)
+  spec.sensors_per_node = 1;
+  spec.dt_seconds = 15.0;
+  // Two rows of twelve racks, chassis stacked bottom-to-top, sixteen blades
+  // left-to-right, four nodes per blade (paper Sec. III-B grammar).
+  spec.layout_string = "xc40 1 2 row0-1:0-11 2 c:0-2 1 s:0-15 1 b:0-3 n:0";
+  return spec;
+}
+
+MachineSpec MachineSpec::polaris() {
+  MachineSpec spec;
+  spec.name = "polaris-apollo6500";
+  spec.racks = 40;
+  spec.chassis_per_rack = 7;
+  spec.blades_per_chassis = 2;
+  spec.nodes_per_blade = 1;
+  spec.node_count = 560;
+  spec.sensors_per_node = 4;  // one temperature channel per A100 GPU
+  spec.dt_seconds = 3.0;
+  spec.layout_string = "apollo 1 2 row0-3:0-9 2 c:0-6 1 s:0-1 1 b:0 n:0";
+  return spec;
+}
+
+MachineSpec MachineSpec::testbed() {
+  MachineSpec spec;
+  spec.name = "testbed";
+  spec.racks = 4;
+  spec.chassis_per_rack = 2;
+  spec.blades_per_chassis = 4;
+  spec.nodes_per_blade = 2;
+  spec.node_count = 64;
+  spec.sensors_per_node = 1;
+  spec.dt_seconds = 15.0;
+  spec.layout_string = "testbed 1 2 row0-1:0-1 2 c:0-1 1 s:0-3 1 b:0-1 n:0";
+  return spec;
+}
+
+NodePlace place_of(const MachineSpec& spec, std::size_t node_id) {
+  IMRDMD_REQUIRE_ARG(node_id < spec.slots(), "node id beyond machine slots");
+  NodePlace place;
+  const std::size_t per_rack =
+      spec.chassis_per_rack * spec.blades_per_chassis * spec.nodes_per_blade;
+  const std::size_t per_chassis =
+      spec.blades_per_chassis * spec.nodes_per_blade;
+  place.rack = node_id / per_rack;
+  std::size_t rest = node_id % per_rack;
+  place.chassis = rest / per_chassis;
+  rest %= per_chassis;
+  place.blade = rest / spec.nodes_per_blade;
+  place.node_in_blade = rest % spec.nodes_per_blade;
+  return place;
+}
+
+bool same_blade(const MachineSpec& spec, std::size_t a, std::size_t b) {
+  const NodePlace pa = place_of(spec, a);
+  const NodePlace pb = place_of(spec, b);
+  return pa.rack == pb.rack && pa.chassis == pb.chassis &&
+         pa.blade == pb.blade;
+}
+
+bool same_chassis(const MachineSpec& spec, std::size_t a, std::size_t b) {
+  const NodePlace pa = place_of(spec, a);
+  const NodePlace pb = place_of(spec, b);
+  return pa.rack == pb.rack && pa.chassis == pb.chassis;
+}
+
+std::vector<std::size_t> neighbors_of(const MachineSpec& spec,
+                                      std::size_t node_id) {
+  const NodePlace place = place_of(spec, node_id);
+  std::vector<std::size_t> neighbors;
+  const std::size_t per_chassis =
+      spec.blades_per_chassis * spec.nodes_per_blade;
+  const std::size_t chassis_base =
+      (place.rack * spec.chassis_per_rack + place.chassis) * per_chassis;
+  // Blade mates.
+  const std::size_t blade_base =
+      chassis_base + place.blade * spec.nodes_per_blade;
+  for (std::size_t n = 0; n < spec.nodes_per_blade; ++n) {
+    const std::size_t id = blade_base + n;
+    if (id != node_id && id < spec.node_count) neighbors.push_back(id);
+  }
+  // Matching node position in the adjacent blades (above/below airflow).
+  for (int delta : {-1, 1}) {
+    const long blade = static_cast<long>(place.blade) + delta;
+    if (blade < 0 ||
+        blade >= static_cast<long>(spec.blades_per_chassis)) {
+      continue;
+    }
+    const std::size_t id = chassis_base +
+                           static_cast<std::size_t>(blade) *
+                               spec.nodes_per_blade +
+                           place.node_in_blade;
+    if (id < spec.node_count) neighbors.push_back(id);
+  }
+  return neighbors;
+}
+
+}  // namespace imrdmd::telemetry

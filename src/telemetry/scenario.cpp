@@ -1,0 +1,186 @@
+#include "telemetry/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace imrdmd::telemetry {
+
+MachineSpec scale_machine(const MachineSpec& spec, double scale) {
+  IMRDMD_REQUIRE_ARG(scale > 0.0 && scale <= 1.0,
+                     "machine scale must be in (0, 1]");
+  if (scale == 1.0) return spec;
+  MachineSpec scaled = spec;
+  scaled.racks = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(scale * spec.racks)));
+  const double keep = static_cast<double>(scaled.racks) /
+                      static_cast<double>(spec.racks);
+  scaled.node_count = std::min(
+      scaled.slots(),
+      std::max<std::size_t>(
+          2, static_cast<std::size_t>(keep * spec.node_count)));
+  return scaled;
+}
+
+Scenario make_case_study_1(ScenarioOptions options) {
+  Scenario scenario;
+  scenario.machine = scale_machine(MachineSpec::theta(), options.machine_scale);
+  scenario.horizon = options.horizon;
+
+  JobLogOptions job_options;
+  job_options.seed = options.seed;
+  job_options.projects = {"climate-sim", "qcd-lattice"};
+  job_options.mean_interarrival = 30.0;
+  job_options.mean_duration =
+      static_cast<double>(options.horizon) * 0.4;
+  scenario.jobs =
+      std::make_unique<JobLogSimulator>(scenario.machine, job_options);
+  scenario.jobs->simulate_until(options.horizon);
+
+  SensorModelOptions sensor_options;
+  sensor_options.seed = options.seed * 1000003;
+  scenario.sensors =
+      std::make_unique<SensorModel>(scenario.machine, sensor_options);
+  scenario.sensors->attach_jobs(scenario.jobs.get());
+
+  // The analyzed population: nodes used by the two projects (871 in the
+  // paper; proportional here).
+  scenario.analyzed_nodes = scenario.jobs->nodes_of_project(
+      "climate-sim", 0, options.horizon);
+  const auto qcd =
+      scenario.jobs->nodes_of_project("qcd-lattice", 0, options.horizon);
+  scenario.analyzed_nodes.insert(scenario.analyzed_nodes.end(), qcd.begin(),
+                                 qcd.end());
+  std::sort(scenario.analyzed_nodes.begin(), scenario.analyzed_nodes.end());
+  scenario.analyzed_nodes.erase(std::unique(scenario.analyzed_nodes.begin(),
+                                            scenario.analyzed_nodes.end()),
+                                scenario.analyzed_nodes.end());
+  if (scenario.analyzed_nodes.empty()) {
+    // Degenerate tiny machines: analyze everything.
+    for (std::size_t n = 0; n < scenario.machine.node_count; ++n) {
+      scenario.analyzed_nodes.push_back(n);
+    }
+  }
+
+  // Faults: ~1% of analyzed nodes overheat, ~0.5% stall, and a disjoint
+  // ~1% report correctable memory errors with no thermal signature.
+  Rng rng(options.seed * 77);
+  const std::size_t population = scenario.analyzed_nodes.size();
+  auto pick = [&](std::size_t count, std::vector<std::size_t>& out,
+                  const std::vector<std::size_t>& avoid) {
+    std::size_t guard = 0;
+    while (out.size() < count && guard++ < population * 20) {
+      const std::size_t node =
+          scenario.analyzed_nodes[rng.uniform_index(population)];
+      if (std::find(out.begin(), out.end(), node) != out.end()) continue;
+      if (std::find(avoid.begin(), avoid.end(), node) != avoid.end()) continue;
+      out.push_back(node);
+    }
+  };
+  const std::size_t hot_count = std::max<std::size_t>(2, population / 100);
+  const std::size_t stall_count = std::max<std::size_t>(1, population / 200);
+  const std::size_t mem_count = std::max<std::size_t>(2, population / 100);
+  pick(hot_count, scenario.hot_nodes, {});
+  pick(stall_count, scenario.stalled_nodes, scenario.hot_nodes);
+  {
+    std::vector<std::size_t> avoid = scenario.hot_nodes;
+    avoid.insert(avoid.end(), scenario.stalled_nodes.begin(),
+                 scenario.stalled_nodes.end());
+    pick(mem_count, scenario.memory_error_nodes, avoid);
+  }
+
+  const std::size_t fault_start = options.horizon / 8;
+  for (std::size_t node : scenario.hot_nodes) {
+    scenario.sensors->add_fault({FaultSpec::Kind::Overheat, node, fault_start,
+                                 options.horizon, 12.0});
+  }
+  for (std::size_t node : scenario.stalled_nodes) {
+    scenario.sensors->add_fault(
+        {FaultSpec::Kind::Stall, node, fault_start, options.horizon, 0.0});
+  }
+  for (std::size_t node : scenario.memory_error_nodes) {
+    scenario.sensors->add_fault({FaultSpec::Kind::MemoryErrors, node,
+                                 fault_start, options.horizon, 0.0});
+  }
+
+  scenario.hardware = std::make_unique<HardwareLogSimulator>(
+      *scenario.sensors, options.horizon);
+  return scenario;
+}
+
+Scenario make_case_study_2(ScenarioOptions options) {
+  Scenario scenario;
+  scenario.machine = scale_machine(MachineSpec::theta(), options.machine_scale);
+  scenario.horizon = options.horizon;
+
+  // Busy, churning first half vs a drained second half: many short jobs
+  // arrive early (fast transients -> higher-frequency dynamics, the Fig. 7
+  // contrast), and arrivals stop early enough that almost everything ends
+  // by mid-horizon.
+  JobLogOptions job_options;
+  job_options.seed = options.seed;
+  job_options.mean_interarrival = 6.0;
+  job_options.mean_duration = static_cast<double>(options.horizon) * 0.06;
+  job_options.max_fraction = 0.4;
+  // Only let jobs arrive during the first (hot) window, with margin for
+  // their tails to drain before the cool window starts.
+  job_options.arrival_cutoff = (options.horizon * 2) / 5;
+  scenario.jobs =
+      std::make_unique<JobLogSimulator>(scenario.machine, job_options);
+  scenario.jobs->simulate_until(options.horizon / 2);
+
+  SensorModelOptions sensor_options;
+  sensor_options.seed = options.seed * 1000003 + 1;
+  // The facility cools machine-wide between the two windows (Fig. 6(a) hot
+  // state -> Fig. 6(b) cool state).
+  sensor_options.regime_shift_c = 8.0;
+  sensor_options.regime_mid_t = options.horizon / 2;
+  sensor_options.regime_width_t =
+      static_cast<double>(options.horizon) / 40.0;
+  scenario.sensors =
+      std::make_unique<SensorModel>(scenario.machine, sensor_options);
+  scenario.sensors->attach_jobs(scenario.jobs.get());
+
+  for (std::size_t n = 0; n < scenario.machine.node_count; ++n) {
+    scenario.analyzed_nodes.push_back(n);
+  }
+
+  // Persistent hardware-error nodes (the Fig. 6(b) outlined nodes).
+  Rng rng(options.seed * 31);
+  const std::size_t mem_count =
+      std::max<std::size_t>(3, scenario.machine.node_count / 150);
+  while (scenario.memory_error_nodes.size() < mem_count) {
+    const std::size_t node = rng.uniform_index(scenario.machine.node_count);
+    if (std::find(scenario.memory_error_nodes.begin(),
+                  scenario.memory_error_nodes.end(),
+                  node) == scenario.memory_error_nodes.end()) {
+      scenario.memory_error_nodes.push_back(node);
+    }
+  }
+  for (std::size_t node : scenario.memory_error_nodes) {
+    scenario.sensors->add_fault(
+        {FaultSpec::Kind::MemoryErrors, node, 0, options.horizon, 0.0});
+  }
+  // A few overheating nodes in the first (hot) window only.
+  const std::size_t hot_count =
+      std::max<std::size_t>(2, scenario.machine.node_count / 200);
+  while (scenario.hot_nodes.size() < hot_count) {
+    const std::size_t node = rng.uniform_index(scenario.machine.node_count);
+    if (std::find(scenario.hot_nodes.begin(), scenario.hot_nodes.end(),
+                  node) == scenario.hot_nodes.end()) {
+      scenario.hot_nodes.push_back(node);
+    }
+  }
+  for (std::size_t node : scenario.hot_nodes) {
+    scenario.sensors->add_fault({FaultSpec::Kind::Overheat, node,
+                                 options.horizon / 16, options.horizon / 2,
+                                 10.0});
+  }
+
+  scenario.hardware = std::make_unique<HardwareLogSimulator>(
+      *scenario.sensors, options.horizon);
+  return scenario;
+}
+
+}  // namespace imrdmd::telemetry

@@ -1,0 +1,61 @@
+// Canned case-study scenarios (paper Sec. V) shared by benches, examples,
+// and integration tests.
+//
+// Scenario 1 ("case study 1"): a Theta-like machine where two projects
+// occupy 871 nodes; a handful of nodes overheat, a few idle-stall, and a
+// disjoint cluster reports correctable memory errors with no thermal
+// signature.
+//
+// Scenario 2 ("case study 2"): the full machine over two 8-hour windows —
+// a hot, busy first window and a cooler, less-utilized second window (the
+// Fig. 6(a)/(b) contrast), with per-window baseline ranges.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "telemetry/hardware_log.hpp"
+#include "telemetry/job_log.hpp"
+#include "telemetry/sensor_model.hpp"
+
+namespace imrdmd::telemetry {
+
+/// Owns the coupled simulators of one scenario.
+struct Scenario {
+  MachineSpec machine;
+  std::unique_ptr<JobLogSimulator> jobs;
+  std::unique_ptr<SensorModel> sensors;
+  std::unique_ptr<HardwareLogSimulator> hardware;
+
+  /// Nodes analyzed by the case study (subset or whole machine).
+  std::vector<std::size_t> analyzed_nodes;
+  /// Snapshot horizon the hardware log was generated for.
+  std::size_t horizon = 0;
+
+  /// Ground-truth fault node sets (for verification in tests/benches).
+  std::vector<std::size_t> hot_nodes;
+  std::vector<std::size_t> stalled_nodes;
+  std::vector<std::size_t> memory_error_nodes;
+};
+
+struct ScenarioOptions {
+  /// Scale factor on the machine's node count (1.0 = paper size). Benches
+  /// default below 1 so the suite runs on small machines; `--full` restores
+  /// paper scale.
+  double machine_scale = 1.0;
+  std::size_t horizon = 2000;
+  std::uint64_t seed = 7;
+};
+
+/// Case study 1: two projects on ~20% of the machine, faults injected.
+Scenario make_case_study_1(ScenarioOptions options = {});
+
+/// Case study 2: whole machine, hot-then-cool regime across two windows of
+/// horizon/2 snapshots each.
+Scenario make_case_study_2(ScenarioOptions options = {});
+
+/// Shrinks a MachineSpec by `scale` (keeps the hierarchy, reduces racks).
+MachineSpec scale_machine(const MachineSpec& spec, double scale);
+
+}  // namespace imrdmd::telemetry

@@ -1,0 +1,218 @@
+#include "telemetry/sensor_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace imrdmd::telemetry {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925287;
+
+// Counter-based hashing: stateless, O(1) pseudo-randomness per key.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double hash_uniform(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t h = mix(seed ^ mix(a ^ mix(b)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double hash_normal(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  double u1 = hash_uniform(seed, a, b * 2);
+  if (u1 <= 1e-300) u1 = 1e-300;
+  const double u2 = hash_uniform(seed, a, b * 2 + 1);
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+// First-order thermal envelope of a job interval evaluated at time t
+// (snapshot units); tau in snapshots.
+double thermal_envelope(double t, double t_start, double t_end, double tau) {
+  if (t < t_start) return 0.0;
+  const double rise_at = [&](double x) {
+    return 1.0 - std::exp(-(x - t_start) / tau);
+  }(std::min(t, t_end));
+  if (t < t_end) return rise_at;
+  return rise_at * std::exp(-(t - t_end) / tau);
+}
+
+}  // namespace
+
+SensorModel::SensorModel(MachineSpec spec, SensorModelOptions options)
+    : spec_(std::move(spec)), options_(options) {
+  IMRDMD_REQUIRE_ARG(spec_.node_count >= 1, "machine needs nodes");
+  IMRDMD_REQUIRE_ARG(spec_.sensors_per_node >= 1, "machine needs sensors");
+  IMRDMD_REQUIRE_ARG(options_.thermal_tau_s > 0.0, "thermal_tau_s > 0");
+}
+
+void SensorModel::add_fault(const FaultSpec& fault) {
+  IMRDMD_REQUIRE_ARG(fault.node < spec_.node_count,
+                     "fault node beyond machine");
+  IMRDMD_REQUIRE_ARG(fault.t_begin <= fault.t_end, "fault window inverted");
+  faults_.push_back(fault);
+}
+
+std::vector<std::size_t> SensorModel::fault_nodes(FaultSpec::Kind kind,
+                                                  std::size_t t0,
+                                                  std::size_t t1) const {
+  std::vector<std::size_t> nodes;
+  for (const FaultSpec& fault : faults_) {
+    if (fault.kind == kind && fault.t_begin < t1 && fault.t_end > t0) {
+      nodes.push_back(fault.node);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+double SensorModel::job_heat_at(std::size_t node, double t) const {
+  if (jobs_ == nullptr) return 0.0;
+  const double tau = options_.thermal_tau_s / spec_.dt_seconds;
+  double heat = 0.0;
+  for (const JobRecord& job : jobs_->jobs()) {
+    if (node < job.node_begin || node >= job.node_begin + job.node_count) {
+      continue;
+    }
+    heat += thermal_envelope(t, static_cast<double>(job.t_start),
+                             static_cast<double>(job.t_end), tau);
+  }
+  return options_.job_heat_c * std::min(heat, 1.5);  // saturating stack-up
+}
+
+double SensorModel::raw_value(std::size_t sensor, std::size_t t) const {
+  const std::size_t node = sensor / spec_.sensors_per_node;
+  const std::size_t channel = sensor % spec_.sensors_per_node;
+  const NodePlace place = place_of(spec_, node);
+  const double seconds = static_cast<double>(t) * spec_.dt_seconds;
+  const std::uint64_t seed = options_.seed;
+
+  // Static offsets.
+  double value = options_.base_temp_c;
+  value += options_.node_spread_c * (2.0 * hash_uniform(seed, node, 0) - 1.0);
+  value += options_.channel_step_c * static_cast<double>(channel);
+
+  // Facility trend and rack-phased diurnal cycle.
+  const double trend_phase = kTwoPi * hash_uniform(seed, 1, 1);
+  value += options_.trend_amplitude_c *
+           std::sin(kTwoPi * seconds / options_.trend_period_s + trend_phase);
+  const double rack_phase =
+      kTwoPi * static_cast<double>(place.rack) /
+      std::max<double>(1.0, static_cast<double>(spec_.racks));
+  value += options_.diurnal_amplitude_c *
+           std::sin(kTwoPi * seconds / options_.diurnal_period_s + rack_phase);
+
+  // Job heat with spatial leak from chassis neighbors.
+  const double td = static_cast<double>(t);
+  double heat = job_heat_at(node, td);
+  bool stalled = false;
+  for (const FaultSpec& fault : faults_) {
+    if (fault.node != node) continue;
+    if (t < fault.t_begin || t >= fault.t_end) continue;
+    switch (fault.kind) {
+      case FaultSpec::Kind::Overheat: {
+        const double tau = options_.thermal_tau_s / spec_.dt_seconds;
+        value += fault.magnitude *
+                 thermal_envelope(td, static_cast<double>(fault.t_begin),
+                                  static_cast<double>(fault.t_end), tau);
+        break;
+      }
+      case FaultSpec::Kind::Stall:
+        stalled = true;
+        break;
+      case FaultSpec::Kind::MemoryErrors:
+      case FaultSpec::Kind::SensorDropout:
+        break;  // no direct thermal effect here
+    }
+  }
+  if (stalled) {
+    heat = 0.0;  // the job is pinned but doing no work
+    value -= options_.stall_cool_c;
+  }
+  value += heat;
+  if (options_.spatial_coupling > 0.0 && jobs_ != nullptr) {
+    const auto neighbors = neighbors_of(spec_, node);
+    if (!neighbors.empty()) {
+      double leak = 0.0;
+      for (std::size_t n : neighbors) leak += job_heat_at(n, td);
+      value += options_.spatial_coupling * leak /
+               static_cast<double>(neighbors.size());
+    }
+  }
+
+  // Machine-wide regime shift (hot -> cool across a sigmoid).
+  if (options_.regime_shift_c != 0.0) {
+    const double z = (td - static_cast<double>(options_.regime_mid_t)) /
+                     options_.regime_width_t;
+    value -= options_.regime_shift_c / (1.0 + std::exp(-z));
+  }
+
+  // Mid-frequency cooling oscillation, phase- and amplitude-hashed per node.
+  const double osc_phase = kTwoPi * hash_uniform(seed, node, 2);
+  const double osc_spread =
+      1.0 + options_.oscillation_amplitude_spread *
+                (2.0 * hash_uniform(seed, node, 3) - 1.0);
+  value += options_.oscillation_amplitude_c * osc_spread *
+           std::sin(kTwoPi * seconds / options_.oscillation_period_s +
+                    osc_phase);
+
+  // Colored noise: three random-phase tones per sensor.
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    const double period =
+        options_.colored_min_period_s +
+        (options_.colored_max_period_s - options_.colored_min_period_s) *
+            hash_uniform(seed, sensor, 10 + 2 * k);
+    const double phase = kTwoPi * hash_uniform(seed, sensor, 11 + 2 * k);
+    value += (options_.colored_noise_c / 3.0) *
+             std::sin(kTwoPi * seconds / period + phase);
+  }
+
+  // White measurement noise.
+  value += options_.white_noise_c * hash_normal(seed, sensor, 1000003 + t);
+  return value;
+}
+
+double SensorModel::value(std::size_t sensor, std::size_t t) const {
+  IMRDMD_REQUIRE_ARG(sensor < sensors(), "sensor index beyond machine");
+  const std::size_t node = sensor / spec_.sensors_per_node;
+  // A dropout freezes the reading at its window-start value.
+  for (const FaultSpec& fault : faults_) {
+    if (fault.kind == FaultSpec::Kind::SensorDropout && fault.node == node &&
+        t >= fault.t_begin && t < fault.t_end) {
+      return raw_value(sensor, fault.t_begin);
+    }
+  }
+  return raw_value(sensor, t);
+}
+
+Mat SensorModel::window(std::size_t t0, std::size_t count) const {
+  if (jobs_ != nullptr) jobs_->simulate_until(t0 + count);
+  Mat out(sensors(), count);
+  parallel_for(0, sensors(), [&](std::size_t p) {
+    double* row = out.data() + p * count;
+    for (std::size_t t = 0; t < count; ++t) row[t] = value(p, t0 + t);
+  });
+  return out;
+}
+
+Mat SensorModel::window_for(std::span<const std::size_t> sensor_ids,
+                            std::size_t t0, std::size_t count) const {
+  if (jobs_ != nullptr) jobs_->simulate_until(t0 + count);
+  Mat out(sensor_ids.size(), count);
+  parallel_for(0, sensor_ids.size(), [&](std::size_t i) {
+    double* row = out.data() + i * count;
+    for (std::size_t t = 0; t < count; ++t) {
+      row[t] = value(sensor_ids[i], t0 + t);
+    }
+  });
+  return out;
+}
+
+}  // namespace imrdmd::telemetry

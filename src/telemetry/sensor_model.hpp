@@ -1,0 +1,133 @@
+// Generative environment-log model (the repository's substitute for the
+// proprietary Theta/Polaris sensor datasets — see DESIGN.md, substitutions).
+//
+// Each sensor reading is a deterministic function of (seed, sensor, t):
+//
+//   value = base(node) + facility_trend(t) + diurnal(t, rack)
+//         + job_heat(node, t)           (attached job schedule, thermal ramp)
+//         + neighbor_leak(node, t)      (spatial coupling within the chassis)
+//         + cooling_oscillation(t, node)     (mid-frequency)
+//         + colored_noise(t, sensor) + white_noise(t, sensor)   (fast)
+//         + fault effects               (overheat ramp / stall / dropout)
+//
+// Every term is O(1) to evaluate at any (sensor, t) — no temporal recursion
+// — so a streaming consumer can pull arbitrary chunk boundaries and always
+// observe the same series (tested). The timescale split (trend, diurnal,
+// job transients, oscillation, noise) mirrors what the paper's mrDMD levels
+// are designed to separate.
+//
+// Fault kinds and their observable signatures:
+//   Overheat      -> sustained +magnitude on the node (z > 2 in Fig. 4/6)
+//   Stall         -> job heat suppressed, slight cooling (negative z)
+//   MemoryErrors  -> NO thermal signature; hardware-log events only
+//                    (the case-study-1 narrative: error nodes are not hot)
+//   SensorDropout -> the reading freezes at its t_begin value
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "telemetry/job_log.hpp"
+#include "telemetry/machine.hpp"
+
+namespace imrdmd::telemetry {
+
+using linalg::Mat;
+
+struct FaultSpec {
+  enum class Kind { Overheat, Stall, MemoryErrors, SensorDropout };
+  Kind kind = Kind::Overheat;
+  std::size_t node = 0;
+  /// Snapshot extent [t_begin, t_end).
+  std::size_t t_begin = 0;
+  std::size_t t_end = 0;
+  /// Degrees C for Overheat; ignored otherwise.
+  double magnitude = 10.0;
+};
+
+struct SensorModelOptions {
+  double base_temp_c = 48.0;
+  /// Per-node static offset range (uniform +-).
+  double node_spread_c = 1.5;
+  /// Per-channel (GPU) static offset step.
+  double channel_step_c = 1.0;
+  /// Slow facility trend.
+  double trend_amplitude_c = 2.0;
+  double trend_period_s = 6.0 * 3600.0;
+  /// Diurnal cycle, phase-shifted per rack (cooling loop order).
+  double diurnal_amplitude_c = 3.0;
+  double diurnal_period_s = 24.0 * 3600.0;
+  /// Heat added by a running job, with first-order thermal ramp.
+  double job_heat_c = 9.0;
+  double thermal_tau_s = 180.0;
+  /// Fraction of neighbor job heat leaking into a node.
+  double spatial_coupling = 0.25;
+  /// Cooling-loop oscillation (mid frequency).
+  double oscillation_amplitude_c = 0.8;
+  double oscillation_period_s = 600.0;
+  /// Per-node heterogeneity of the oscillation amplitude: the effective
+  /// amplitude is amplitude_c * (1 + spread * u), u hashed in [-1, 1].
+  /// Real fleets show wildly different swing sizes per sensor; this is what
+  /// makes raw-series variance dynamics-dominated (Fig. 8's setting).
+  double oscillation_amplitude_spread = 0.0;
+  /// Colored noise: three random-phase tones per sensor in this period
+  /// band (short periods = the "high-frequency noise" mrDMD strips).
+  double colored_noise_c = 0.35;
+  double colored_min_period_s = 45.0;
+  double colored_max_period_s = 240.0;
+  /// White measurement noise.
+  double white_noise_c = 0.25;
+  /// Stall fault cooling offset (negative pull toward idle).
+  double stall_cool_c = 4.0;
+  /// Machine-wide regime shift: the facility cools by `regime_shift_c`
+  /// degrees across a sigmoid centered at snapshot `regime_mid_t` with the
+  /// given width (0 disables). Models the hot-then-cool day of case study 2.
+  double regime_shift_c = 0.0;
+  std::size_t regime_mid_t = 0;
+  double regime_width_t = 50.0;
+  std::uint64_t seed = 99;
+};
+
+class SensorModel {
+ public:
+  explicit SensorModel(MachineSpec spec, SensorModelOptions options = {});
+
+  /// Attaches a job schedule whose allocations produce heat; the simulator
+  /// is advanced lazily as windows are generated. May be null.
+  void attach_jobs(JobLogSimulator* jobs) { jobs_ = jobs; }
+
+  void add_fault(const FaultSpec& fault);
+  const std::vector<FaultSpec>& faults() const { return faults_; }
+
+  /// Nodes with a fault of `kind` intersecting [t0, t1).
+  std::vector<std::size_t> fault_nodes(FaultSpec::Kind kind, std::size_t t0,
+                                       std::size_t t1) const;
+
+  const MachineSpec& machine() const { return spec_; }
+  std::size_t sensors() const { return spec_.sensor_count(); }
+  double dt_seconds() const { return spec_.dt_seconds; }
+
+  /// Reading of sensor `sensor` at snapshot `t`. O(1).
+  double value(std::size_t sensor, std::size_t t) const;
+
+  /// Dense window: all sensors x [t0, t0 + count).
+  Mat window(std::size_t t0, std::size_t count) const;
+
+  /// Window restricted to a sensor subset (rows in subset order).
+  Mat window_for(std::span<const std::size_t> sensors, std::size_t t0,
+                 std::size_t count) const;
+
+ private:
+  double raw_value(std::size_t sensor, std::size_t t) const;
+  double job_heat_at(std::size_t node, double t) const;
+
+  MachineSpec spec_;
+  SensorModelOptions options_;
+  JobLogSimulator* jobs_ = nullptr;
+  std::vector<FaultSpec> faults_;
+};
+
+}  // namespace imrdmd::telemetry

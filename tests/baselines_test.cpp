@@ -1,0 +1,328 @@
+// Tests for the comparison methods: PCA, incremental PCA, t-SNE, UMAP,
+// Aligned-UMAP, and the embedding metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/metrics.hpp"
+#include "baselines/pca.hpp"
+#include "baselines/tsne.hpp"
+#include "baselines/umap.hpp"
+#include "linalg/blas.hpp"
+#include "test_util.hpp"
+
+namespace imrdmd::baselines {
+namespace {
+
+using imrdmd::testing::random_matrix;
+
+// Two well-separated Gaussian blobs in `dims` dimensions; labels 0/1.
+Mat two_blobs(std::size_t per_class, std::size_t dims, double separation,
+              Rng& rng, std::vector<int>& labels) {
+  Mat x(2 * per_class, dims);
+  labels.assign(2 * per_class, 0);
+  for (std::size_t i = 0; i < 2 * per_class; ++i) {
+    const int label = i < per_class ? 0 : 1;
+    labels[i] = label;
+    for (std::size_t j = 0; j < dims; ++j) {
+      x(i, j) = rng.normal() + (label == 1 && j < 3 ? separation : 0.0);
+    }
+  }
+  return x;
+}
+
+TEST(Pca, RecoversPlantedDirection) {
+  // Points along a line in 5D + small noise: component 0 ~ the line.
+  Rng rng(1);
+  Mat x(100, 5);
+  const double direction[5] = {0.5, -0.5, 0.5, -0.3, 0.4};
+  for (std::size_t i = 0; i < 100; ++i) {
+    const double t = rng.normal() * 10.0;
+    for (std::size_t j = 0; j < 5; ++j) {
+      x(i, j) = t * direction[j] + 0.01 * rng.normal();
+    }
+  }
+  Pca pca;
+  pca.fit(x);
+  // First component is parallel to the planted direction.
+  double dot = 0.0, norm_d = 0.0;
+  for (std::size_t j = 0; j < 5; ++j) {
+    dot += pca.components()(0, j) * direction[j];
+    norm_d += direction[j] * direction[j];
+  }
+  EXPECT_GT(std::abs(dot) / std::sqrt(norm_d), 0.999);
+  // Explained variance concentrated in the first component.
+  EXPECT_GT(pca.explained_variance()[0],
+            100.0 * pca.explained_variance()[1]);
+}
+
+TEST(Pca, TransformCentersData) {
+  Rng rng(2);
+  const Mat x = random_matrix(50, 8, rng);
+  Pca pca;
+  const Mat y = pca.fit_transform(x);
+  ASSERT_EQ(y.cols(), 2u);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < y.rows(); ++i) mean += y(i, c);
+    EXPECT_NEAR(mean / y.rows(), 0.0, 1e-9);
+  }
+}
+
+TEST(Pca, RandomizedAndExactAgree) {
+  Rng rng(3);
+  const Mat x = imrdmd::testing::random_low_rank(200, 64, 3, rng);
+  PcaOptions exact_options;
+  exact_options.allow_randomized = false;
+  Pca exact(exact_options);
+  Pca randomized;  // will take the randomized path (min dim 64 > 8)
+  exact.fit(x);
+  randomized.fit(x);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(randomized.explained_variance()[i],
+                exact.explained_variance()[i],
+                1e-6 * exact.explained_variance()[0]);
+  }
+}
+
+TEST(Pca, MisuseThrows) {
+  Pca pca;
+  Rng rng(4);
+  EXPECT_THROW(pca.transform(random_matrix(3, 3, rng)), InvalidArgument);
+  EXPECT_THROW(pca.fit(Mat(1, 5)), DimensionError);
+  pca.fit(random_matrix(10, 5, rng));
+  EXPECT_THROW(pca.transform(random_matrix(3, 4, rng)), DimensionError);
+}
+
+TEST(IncrementalPca, MatchesBatchPcaOnStationaryData) {
+  // On (near) low-rank data, the per-batch rank-k truncation loses almost
+  // nothing, so IPCA must agree with batch PCA. (On full-rank noise the two
+  // legitimately differ — sklearn's IncrementalPCA does too.)
+  Rng rng(5);
+  Mat x = imrdmd::testing::random_low_rank(120, 10, 2, rng);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] += 0.01 * rng.normal();
+  }
+  Pca batch;
+  batch.fit(x);
+  IncrementalPca ipca;
+  for (std::size_t r = 0; r < 120; r += 10) {
+    ipca.partial_fit(x.block(r, 0, 10, 10));
+  }
+  // Means agree.
+  for (std::size_t j = 0; j < 10; ++j) {
+    EXPECT_NEAR(ipca.mean()[j], batch.mean()[j], 1e-9);
+  }
+  // Leading subspaces agree: projections of the data through both maps have
+  // the same Gram structure (signs/rotations may differ).
+  const Mat yb = batch.transform(x);
+  const Mat yi = ipca.transform(x);
+  const Mat gb = linalg::matmul_at_b(yb, yb);
+  const Mat gi = linalg::matmul_at_b(yi, yi);
+  // Compare total captured variance.
+  EXPECT_NEAR(gb(0, 0) + gb(1, 1), gi(0, 0) + gi(1, 1),
+              0.05 * (gb(0, 0) + gb(1, 1)));
+}
+
+TEST(IncrementalPca, HandlesUnevenBatches) {
+  Rng rng(6);
+  const Mat x = random_matrix(57, 6, rng);
+  IncrementalPca ipca;
+  std::size_t r = 0;
+  for (std::size_t width : {7u, 13u, 1u, 20u, 16u}) {
+    ipca.partial_fit(x.block(r, 0, width, 6));
+    r += width;
+  }
+  EXPECT_EQ(ipca.samples_seen(), 57u);
+  EXPECT_EQ(ipca.components().rows(), 2u);
+}
+
+TEST(IncrementalPca, FeatureCountChangeThrows) {
+  Rng rng(7);
+  IncrementalPca ipca;
+  ipca.partial_fit(random_matrix(10, 5, rng));
+  EXPECT_THROW(ipca.partial_fit(random_matrix(10, 6, rng)), DimensionError);
+}
+
+TEST(Tsne, SeparatesTwoBlobs) {
+  Rng rng(8);
+  std::vector<int> labels;
+  const Mat x = two_blobs(30, 10, 12.0, rng, labels);
+  TsneOptions options;
+  options.perplexity = 10.0;
+  options.iterations = 300;
+  options.exaggeration_iters = 100;
+  Tsne tsne(options);
+  const Mat y = tsne.fit_transform(x);
+  ASSERT_EQ(y.rows(), 60u);
+  ASSERT_EQ(y.cols(), 2u);
+  const double score =
+      silhouette_score(y, std::span<const int>(labels.data(), labels.size()));
+  EXPECT_GT(score, 0.5);
+  EXPECT_TRUE(std::isfinite(tsne.kl_divergence()));
+}
+
+TEST(Tsne, WideInputGoesThroughPcaReduction) {
+  Rng rng(9);
+  std::vector<int> labels;
+  const Mat x = two_blobs(20, 200, 10.0, rng, labels);  // 200 features
+  TsneOptions options;
+  options.perplexity = 8.0;
+  options.iterations = 250;
+  options.exaggeration_iters = 80;
+  options.pca_dims = 20;
+  Tsne tsne(options);
+  const Mat y = tsne.fit_transform(x);
+  const double score =
+      silhouette_score(y, std::span<const int>(labels.data(), labels.size()));
+  EXPECT_GT(score, 0.4);
+}
+
+TEST(Tsne, MisuseThrows) {
+  Tsne tsne;
+  Rng rng(10);
+  EXPECT_THROW(tsne.fit_transform(random_matrix(3, 4, rng)), DimensionError);
+  TsneOptions bad;
+  bad.perplexity = 100.0;
+  Tsne tsne_bad(bad);
+  EXPECT_THROW(tsne_bad.fit_transform(random_matrix(20, 4, rng)),
+               InvalidArgument);
+}
+
+TEST(UmapCurve, FitMatchesKnownValues) {
+  // Reference values for min_dist=0.1, spread=1.0: a ~ 1.577, b ~ 0.895.
+  double a = 0.0, b = 0.0;
+  fit_umap_curve(0.1, 1.0, a, b);
+  EXPECT_NEAR(a, 1.577, 0.15);
+  EXPECT_NEAR(b, 0.895, 0.1);
+}
+
+TEST(Umap, SeparatesTwoBlobs) {
+  Rng rng(11);
+  std::vector<int> labels;
+  const Mat x = two_blobs(30, 10, 12.0, rng, labels);
+  UmapOptions options;
+  options.n_neighbors = 10;
+  options.epochs = 150;
+  Umap umap(options);
+  const Mat y = umap.fit_transform(x);
+  const double score =
+      silhouette_score(y, std::span<const int>(labels.data(), labels.size()));
+  EXPECT_GT(score, 0.5);
+}
+
+TEST(Umap, RequiresEnoughSamples) {
+  Rng rng(12);
+  UmapOptions options;
+  options.n_neighbors = 15;
+  Umap umap(options);
+  EXPECT_THROW(umap.fit_transform(random_matrix(10, 4, rng)), DimensionError);
+}
+
+TEST(AlignedUmap, UpdatesStayNearPreviousEmbedding) {
+  Rng rng(13);
+  std::vector<int> labels;
+  const Mat window1 = two_blobs(25, 8, 10.0, rng, labels);
+  // Window 2: same structure, small perturbation.
+  Mat window2 = window1;
+  for (std::size_t i = 0; i < window2.size(); ++i) {
+    window2.data()[i] += 0.1 * rng.normal();
+  }
+  AlignedUmapOptions options;
+  options.umap.n_neighbors = 10;
+  options.umap.epochs = 100;
+  options.alignment_weight = 0.2;
+  AlignedUmap aligned(options);
+  const Mat e1 = aligned.fit(window1);
+  const Mat e2 = aligned.update(window2);
+
+  // Unaligned re-fit of the perturbed window for comparison.
+  UmapOptions uo = options.umap;
+  uo.seed = 999;  // different init
+  Umap fresh(uo);
+  const Mat unaligned = fresh.fit_transform(window2);
+
+  const double drift_aligned = linalg::frobenius_diff(e1, e2);
+  const double drift_fresh = linalg::frobenius_diff(e1, unaligned);
+  EXPECT_LT(drift_aligned, drift_fresh);
+  // Separation is preserved.
+  const double score =
+      silhouette_score(e2, std::span<const int>(labels.data(), labels.size()));
+  EXPECT_GT(score, 0.4);
+}
+
+TEST(AlignedUmap, UpdateBeforeFitThrows) {
+  AlignedUmap aligned;
+  Rng rng(14);
+  EXPECT_THROW(aligned.update(random_matrix(30, 4, rng)), InvalidArgument);
+}
+
+TEST(Metrics, SilhouettePerfectSeparation) {
+  Mat y(6, 2);
+  for (int i = 0; i < 3; ++i) {
+    y(i, 0) = 0.0 + 0.01 * i;
+    y(3 + i, 0) = 100.0 + 0.01 * i;
+  }
+  const std::vector<int> labels{0, 0, 0, 1, 1, 1};
+  EXPECT_GT(silhouette_score(y, std::span<const int>(labels.data(), 6)), 0.99);
+}
+
+TEST(Metrics, SilhouetteInterleavedIsLow) {
+  Rng rng(15);
+  Mat y(40, 2);
+  std::vector<int> labels(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    y(i, 0) = rng.normal();
+    y(i, 1) = rng.normal();
+    labels[i] = static_cast<int>(i % 2);
+  }
+  EXPECT_LT(silhouette_score(y, std::span<const int>(labels.data(), 40)),
+            0.15);
+}
+
+TEST(Metrics, CohensDReflectsSeparation) {
+  const std::vector<double> values{0.0, 0.1, -0.1, 0.05, 5.0, 5.1, 4.9, 5.05};
+  const std::vector<int> labels{0, 0, 0, 0, 1, 1, 1, 1};
+  EXPECT_GT(cohens_d(std::span<const double>(values.data(), 8),
+                     std::span<const int>(labels.data(), 8)),
+            10.0);
+  const std::vector<double> same{1, 2, 3, 4, 1, 2, 3, 4};
+  EXPECT_LT(cohens_d(std::span<const double>(same.data(), 8),
+                     std::span<const int>(labels.data(), 8)),
+            0.1);
+}
+
+// Property sweep: PCA projection must capture at least as much variance as
+// any fixed axis pair, across sizes.
+class PcaSizes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PcaSizes, CapturesMoreVarianceThanAxes) {
+  const auto [n, f] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 31 + f));
+  const Mat x = random_matrix(n, f, rng);
+  Pca pca;
+  const Mat y = pca.fit_transform(x);
+  double captured = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    captured += y.data()[i] * y.data()[i];
+  }
+  // Variance of the first two raw coordinates (centered).
+  double axis_var = 0.0;
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0.0;
+    for (int i = 0; i < n; ++i) mean += x(i, c);
+    mean /= n;
+    for (int i = 0; i < n; ++i) {
+      axis_var += (x(i, c) - mean) * (x(i, c) - mean);
+    }
+  }
+  EXPECT_GE(captured, axis_var - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PcaSizes,
+    ::testing::Values(std::make_tuple(10, 4), std::make_tuple(50, 20),
+                      std::make_tuple(100, 3), std::make_tuple(30, 100)));
+
+}  // namespace
+}  // namespace imrdmd::baselines

@@ -1,0 +1,303 @@
+// Unit tests for the common substrate: RNG, timers, thread pool, strings,
+// CSV round-trips, and logging.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <thread>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+
+namespace imrdmd {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, NormalMomentsAreSane) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, UniformIndexCoversDomainWithoutBias) {
+  Rng rng(3);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_index(0), InvalidArgument);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(5);
+  for (double mean : {0.5, 4.0, 50.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, 0.1 * mean + 0.05);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, SplitProducesDecorrelatedStream) {
+  Rng parent(123);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent() == child());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(77);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto original = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.seconds(), 0.015);
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 0.015);
+}
+
+TEST(RunStats, ComputesSummary) {
+  const RunStats stats = RunStats::from_samples({1.0, 2.0, 3.0});
+  EXPECT_EQ(stats.runs, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 3.0);
+  EXPECT_NEAR(stats.stddev, 1.0, 1e-12);
+}
+
+TEST(RunStats, EmptyInputYieldsZeros) {
+  const RunStats stats = RunStats::from_samples({});
+  EXPECT_EQ(stats.runs, 0u);
+  EXPECT_EQ(stats.mean, 0.0);
+}
+
+TEST(RunStats, TimeRepeatedRunsCorrectCount) {
+  std::size_t calls = 0;
+  const RunStats stats =
+      time_repeated([&](std::size_t) { ++calls; }, 5, 2);
+  EXPECT_EQ(calls, 7u);  // 2 warmup + 5 measured
+  EXPECT_EQ(stats.runs, 5u);
+}
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      counter.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(0, 100,
+                   [](std::size_t i) {
+                     if (i == 50) throw std::runtime_error("bad index");
+                   }),
+      std::runtime_error);
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  const auto parts = split_ws("  alpha \t beta\ngamma  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "alpha");
+  EXPECT_EQ(parts[2], "gamma");
+}
+
+TEST(Strings, TrimRemovesEdges) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+}
+
+TEST(Strings, ParseLongValidatesInput) {
+  EXPECT_EQ(parse_long("-42", "test"), -42);
+  EXPECT_THROW(parse_long("4x", "test"), ParseError);
+  EXPECT_THROW(parse_long("", "test"), ParseError);
+}
+
+TEST(Strings, ParseDoubleValidatesInput) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5e3", "test"), 2500.0);
+  EXPECT_THROW(parse_double("abc", "test"), ParseError);
+}
+
+TEST(Strings, JoinConcatenates) {
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(Csv, RoundTripsQuotedFields) {
+  const std::string path = ::testing::TempDir() + "/round_trip.csv";
+  {
+    CsvWriter writer(path, {"name", "value"});
+    writer.write_row({"plain", "1"});
+    writer.write_row({"with,comma", "2"});
+    writer.write_row({"with\"quote", "3"});
+    writer.write_row({"with\nnewline", "4"});
+    writer.close();
+  }
+  const CsvTable table = read_csv(path);
+  ASSERT_EQ(table.header.size(), 2u);
+  ASSERT_EQ(table.rows.size(), 4u);
+  EXPECT_EQ(table.rows[1][0], "with,comma");
+  EXPECT_EQ(table.rows[2][0], "with\"quote");
+  EXPECT_EQ(table.rows[3][0], "with\nnewline");
+  EXPECT_EQ(table.column("value"), 1u);
+  EXPECT_THROW(table.column("missing"), ParseError);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, NumericRowsRoundTripExactly) {
+  const std::string path = ::testing::TempDir() + "/numeric.csv";
+  {
+    CsvWriter writer(path, {"x", "y"});
+    writer.write_row_numeric({0.1, 1e-300});
+    writer.close();
+  }
+  const CsvTable table = read_csv(path);
+  EXPECT_DOUBLE_EQ(parse_double(table.rows[0][0], "x"), 0.1);
+  EXPECT_DOUBLE_EQ(parse_double(table.rows[0][1], "y"), 1e-300);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsRaggedRows) {
+  const std::string path = ::testing::TempDir() + "/ragged.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n1,2,3\n";
+  }
+  EXPECT_THROW(read_csv(path), ParseError);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ArityMismatchThrows) {
+  const std::string path = ::testing::TempDir() + "/arity.csv";
+  CsvWriter writer(path, {"a", "b"});
+  EXPECT_THROW(writer.write_row({"only-one"}), DimensionError);
+  writer.close();
+  std::remove(path.c_str());
+}
+
+TEST(Log, LevelFiltering) {
+  const LogLevel old_level = log_level();
+  set_log_level(LogLevel::Off);
+  IMRDMD_WARN << "this must not crash while disabled";
+  set_log_level(old_level);
+}
+
+TEST(Errors, MacroThrowsWithContext) {
+  try {
+    IMRDMD_REQUIRE_DIMS(1 == 2, "shapes disagree");
+    FAIL() << "expected DimensionError";
+  } catch (const DimensionError& e) {
+    EXPECT_NE(std::string(e.what()).find("shapes disagree"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace imrdmd

@@ -1,0 +1,172 @@
+// Tests for the thread-SPMD communicator and TSQR.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "dist/communicator.hpp"
+#include "isvd/tsqr.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+#include "test_util.hpp"
+
+namespace imrdmd {
+namespace {
+
+using imrdmd::testing::max_abs_diff;
+using imrdmd::testing::orthogonality_defect;
+using imrdmd::testing::random_matrix;
+using linalg::Mat;
+
+TEST(World, RunsOneFunctionPerRank) {
+  dist::World world(4);
+  std::atomic<int> mask{0};
+  world.run([&](dist::Communicator& comm) {
+    mask.fetch_or(1 << comm.rank());
+    EXPECT_EQ(comm.size(), 4);
+  });
+  EXPECT_EQ(mask.load(), 0b1111);
+}
+
+TEST(World, RethrowsRankExceptions) {
+  dist::World world(3);
+  EXPECT_THROW(world.run([](dist::Communicator& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("rank 1 failed");
+  }),
+               std::runtime_error);
+}
+
+TEST(World, RejectsZeroRanks) {
+  EXPECT_THROW(dist::World(0), InvalidArgument);
+}
+
+TEST(Communicator, BarrierSynchronizesPhases) {
+  dist::World world(4);
+  std::atomic<int> phase_counter{0};
+  std::atomic<bool> violated{false};
+  world.run([&](dist::Communicator& comm) {
+    for (int phase = 0; phase < 10; ++phase) {
+      phase_counter.fetch_add(1);
+      comm.barrier();
+      // After the barrier every rank must have bumped this phase's counter.
+      if (phase_counter.load() < (phase + 1) * 4) violated = true;
+      comm.barrier();
+    }
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Communicator, BroadcastReplicatesRoot) {
+  dist::World world(3);
+  world.run([&](dist::Communicator& comm) {
+    std::vector<double> buffer(5, static_cast<double>(comm.rank()));
+    comm.broadcast(std::span<double>(buffer.data(), buffer.size()), 2);
+    for (double v : buffer) EXPECT_EQ(v, 2.0);
+  });
+}
+
+TEST(Communicator, AllreduceSumAddsContributions) {
+  dist::World world(4);
+  world.run([&](dist::Communicator& comm) {
+    std::vector<double> buffer{static_cast<double>(comm.rank()), 1.0};
+    comm.allreduce_sum(std::span<double>(buffer.data(), 2));
+    EXPECT_EQ(buffer[0], 0.0 + 1.0 + 2.0 + 3.0);
+    EXPECT_EQ(buffer[1], 4.0);
+  });
+}
+
+TEST(Communicator, AllreduceMinMax) {
+  dist::World world(5);
+  world.run([&](dist::Communicator& comm) {
+    const double r = static_cast<double>(comm.rank());
+    EXPECT_EQ(comm.allreduce_max(r), 4.0);
+    EXPECT_EQ(comm.allreduce_min(r), 0.0);
+  });
+}
+
+TEST(Communicator, AllgatherConcatenatesInRankOrder) {
+  dist::World world(3);
+  world.run([&](dist::Communicator& comm) {
+    // Variable-length contributions: rank r contributes r+1 values.
+    std::vector<double> local(comm.rank() + 1,
+                              static_cast<double>(comm.rank()));
+    const auto all =
+        comm.allgather(std::span<const double>(local.data(), local.size()));
+    ASSERT_EQ(all.size(), 1u + 2u + 3u);
+    EXPECT_EQ(all[0], 0.0);
+    EXPECT_EQ(all[1], 1.0);
+    EXPECT_EQ(all[2], 1.0);
+    EXPECT_EQ(all[5], 2.0);
+  });
+}
+
+TEST(Communicator, GatherOnlyRootReceives) {
+  dist::World world(3);
+  world.run([&](dist::Communicator& comm) {
+    std::vector<double> local{static_cast<double>(comm.rank())};
+    const auto gathered =
+        comm.gather(std::span<const double>(local.data(), 1), 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(gathered.size(), 3u);
+      EXPECT_EQ(gathered[2], 2.0);
+    } else {
+      EXPECT_TRUE(gathered.empty());
+    }
+  });
+}
+
+TEST(Communicator, RepeatedCollectivesStayConsistent) {
+  dist::World world(4);
+  world.run([&](dist::Communicator& comm) {
+    for (int round = 0; round < 50; ++round) {
+      std::vector<double> buffer{static_cast<double>(comm.rank() + round)};
+      comm.allreduce_sum(std::span<double>(buffer.data(), 1));
+      EXPECT_EQ(buffer[0], 6.0 + 4.0 * round);
+    }
+  });
+}
+
+// TSQR: factor a tall matrix partitioned across ranks, compare with the
+// serial QR of the stacked matrix.
+class TsqrRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(TsqrRanks, MatchesSerialQr) {
+  const int ranks = GetParam();
+  const std::size_t rows_per_rank = 16;
+  const std::size_t cols = 5;
+  Rng rng(static_cast<std::uint64_t>(100 + ranks));
+  const Mat full = random_matrix(rows_per_rank * ranks, cols, rng);
+
+  const Mat serial_r = linalg::qr_r_only(full);
+
+  std::vector<Mat> q_blocks(static_cast<std::size_t>(ranks));
+  std::vector<Mat> r_results(static_cast<std::size_t>(ranks));
+  dist::World world(ranks);
+  world.run([&](dist::Communicator& comm) {
+    const Mat local = full.block(
+        static_cast<std::size_t>(comm.rank()) * rows_per_rank, 0,
+        rows_per_rank, cols);
+    const isvd::TsqrResult result = isvd::tsqr(comm, local);
+    q_blocks[static_cast<std::size_t>(comm.rank())] = result.q_local;
+    r_results[static_cast<std::size_t>(comm.rank())] = result.r;
+  });
+
+  // R replicated and equal to the serial factor (same sign convention).
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_LT(max_abs_diff(r_results[static_cast<std::size_t>(r)], serial_r),
+              1e-10);
+  }
+  // Stacked Q reconstructs the input and is orthonormal.
+  Mat q(full.rows(), cols);
+  for (int r = 0; r < ranks; ++r) {
+    q.set_block(static_cast<std::size_t>(r) * rows_per_rank, 0,
+                q_blocks[static_cast<std::size_t>(r)]);
+  }
+  EXPECT_LT(max_abs_diff(linalg::matmul(q, serial_r), full), 1e-10);
+  EXPECT_LT(orthogonality_defect(q), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, TsqrRanks, ::testing::Values(1, 2, 3, 4, 7));
+
+}  // namespace
+}  // namespace imrdmd

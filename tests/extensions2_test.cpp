@@ -1,0 +1,253 @@
+// Tests for the future-work extensions: checkpointing, asynchronous
+// stale-level recomputation, incremental sensor addition, and the
+// distributed (row-partitioned) DMD.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/checkpoint.hpp"
+#include "core/imrdmd.hpp"
+#include "dist/communicator.hpp"
+#include "dmd/distributed_dmd.hpp"
+#include "linalg/blas.hpp"
+#include "test_util.hpp"
+
+namespace imrdmd {
+namespace {
+
+using core::Mat;
+using imrdmd::testing::planted_multiscale;
+
+core::ImrdmdOptions small_options() {
+  core::ImrdmdOptions options;
+  options.mrdmd.max_levels = 4;
+  options.mrdmd.dt = 1.0;
+  return options;
+}
+
+TEST(Checkpoint, RoundTripsReconstructionExactly) {
+  Rng rng(1);
+  const Mat data = planted_multiscale(12, 512, 0.02, rng);
+  core::IncrementalMrdmd model(small_options());
+  model.initial_fit(data);
+
+  std::stringstream buffer;
+  core::save_checkpoint(buffer, model);
+  core::IncrementalMrdmd restored = core::load_checkpoint(buffer);
+
+  EXPECT_EQ(restored.sensors(), model.sensors());
+  EXPECT_EQ(restored.time_steps(), model.time_steps());
+  EXPECT_EQ(restored.nodes().size(), model.nodes().size());
+  EXPECT_EQ(restored.level1_stride(), model.level1_stride());
+  const Mat a = model.reconstruct();
+  const Mat b = restored.reconstruct();
+  EXPECT_EQ(imrdmd::testing::max_abs_diff(a, b), 0.0);  // bit-exact
+}
+
+TEST(Checkpoint, RestoredModelContinuesStreaming) {
+  Rng rng(2);
+  const Mat data = planted_multiscale(10, 768, 0.02, rng);
+  core::IncrementalMrdmd model(small_options());
+  model.initial_fit(data.block(0, 0, 10, 512));
+
+  std::stringstream buffer;
+  core::save_checkpoint(buffer, model);
+  core::IncrementalMrdmd restored = core::load_checkpoint(buffer);
+
+  // Both continue with the same chunk; results stay identical.
+  const Mat chunk = data.block(0, 512, 10, 256);
+  const auto r1 = model.partial_fit(chunk);
+  const auto r2 = restored.partial_fit(chunk);
+  EXPECT_EQ(r1.new_grid_columns, r2.new_grid_columns);
+  EXPECT_NEAR(r1.drift_estimate, r2.drift_estimate, 1e-9);
+  EXPECT_EQ(imrdmd::testing::max_abs_diff(model.reconstruct(),
+                                          restored.reconstruct()),
+            0.0);
+}
+
+TEST(Checkpoint, FileRoundTripAndBadInputs) {
+  Rng rng(3);
+  const Mat data = planted_multiscale(6, 256, 0.02, rng);
+  core::IncrementalMrdmd model(small_options());
+  model.initial_fit(data);
+  const std::string path = ::testing::TempDir() + "/model.ckpt";
+  core::save_checkpoint_file(path, model);
+  const core::IncrementalMrdmd restored = core::load_checkpoint_file(path);
+  EXPECT_EQ(restored.time_steps(), 256u);
+  std::remove(path.c_str());
+
+  std::stringstream garbage("not a checkpoint at all");
+  EXPECT_THROW(core::load_checkpoint(garbage), ParseError);
+  std::stringstream truncated;
+  core::save_checkpoint(truncated, model);
+  std::string bytes = truncated.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream half(bytes);
+  EXPECT_THROW(core::load_checkpoint(half), ParseError);
+}
+
+TEST(Checkpoint, UnfittedModelRejected) {
+  core::IncrementalMrdmd model(small_options());
+  std::stringstream buffer;
+  EXPECT_THROW(core::save_checkpoint(buffer, model), InvalidArgument);
+}
+
+TEST(AsyncRecompute, MatchesSynchronousRefit) {
+  Rng rng(4);
+  const Mat data = planted_multiscale(10, 1024, 0.02, rng);
+  core::ImrdmdOptions options = small_options();
+  options.keep_history = true;
+  core::IncrementalMrdmd model(options);
+  model.initial_fit(data.block(0, 0, 10, 512));
+  model.partial_fit(data.block(0, 512, 10, 512));
+
+  auto future = model.recompute_stale_async();
+  std::vector<core::MrdmdNode> fresh = future.get();
+  ASSERT_FALSE(fresh.empty());
+  model.replace_descendants(std::move(fresh));
+
+  // Same layout as a recompute_on_drift run.
+  core::ImrdmdOptions sync_options = options;
+  sync_options.recompute_on_drift = true;
+  sync_options.drift_threshold = 0.0;
+  core::IncrementalMrdmd sync_model(sync_options);
+  sync_model.initial_fit(data.block(0, 0, 10, 512));
+  sync_model.partial_fit(data.block(0, 512, 10, 512));
+
+  ASSERT_EQ(model.nodes().size(), sync_model.nodes().size());
+  EXPECT_LT(linalg::frobenius_diff(model.reconstruct(),
+                                   sync_model.reconstruct()),
+            1e-8 * (linalg::frobenius_norm(data) + 1.0));
+}
+
+TEST(AsyncRecompute, RequiresHistory) {
+  Rng rng(5);
+  const Mat data = planted_multiscale(6, 256, 0.02, rng);
+  core::IncrementalMrdmd model(small_options());  // keep_history = false
+  model.initial_fit(data);
+  EXPECT_THROW(model.recompute_stale_async(), InvalidArgument);
+}
+
+TEST(ReplaceDescendants, ValidatesInput) {
+  Rng rng(6);
+  const Mat data = planted_multiscale(6, 256, 0.02, rng);
+  core::IncrementalMrdmd model(small_options());
+  model.initial_fit(data);
+  core::MrdmdNode bad;
+  bad.level = 1;  // roots are not descendants
+  EXPECT_THROW(model.replace_descendants({bad}), InvalidArgument);
+}
+
+TEST(AddSensors, ExtendsModelConsistently) {
+  Rng rng(7);
+  const Mat data = planted_multiscale(16, 512, 0.02, rng);
+  core::ImrdmdOptions options = small_options();
+  options.keep_history = true;
+  core::IncrementalMrdmd model(options);
+  model.initial_fit(data.block(0, 0, 12, 512));  // first 12 sensors
+  model.add_sensors(data.block(12, 0, 4, 512));  // add the other 4
+
+  EXPECT_EQ(model.sensors(), 16u);
+  const Mat recon = model.reconstruct();
+  EXPECT_EQ(recon.rows(), 16u);
+  // The extended model explains the full matrix about as well as a model
+  // fitted on all 16 sensors from scratch.
+  core::IncrementalMrdmd reference(options);
+  reference.initial_fit(data);
+  const double err_extended = linalg::frobenius_diff(recon, data);
+  const double err_reference =
+      linalg::frobenius_diff(reference.reconstruct(), data);
+  EXPECT_LT(err_extended, err_reference * 1.5 + 1e-6);
+  // Streaming continues after the extension.
+  Rng rng2(8);
+  const Mat more = planted_multiscale(16, 640, 0.02, rng2);
+  const auto report = model.partial_fit(more.block(0, 512, 16, 128));
+  EXPECT_EQ(report.total_snapshots, 640u);
+}
+
+TEST(AddSensors, ValidatesArguments) {
+  Rng rng(9);
+  const Mat data = planted_multiscale(8, 256, 0.02, rng);
+  core::IncrementalMrdmd no_history(small_options());
+  no_history.initial_fit(data);
+  EXPECT_THROW(no_history.add_sensors(Mat(2, 256)), InvalidArgument);
+
+  core::ImrdmdOptions options = small_options();
+  options.keep_history = true;
+  core::IncrementalMrdmd model(options);
+  model.initial_fit(data);
+  EXPECT_THROW(model.add_sensors(Mat(2, 100)), DimensionError);  // short
+}
+
+class DistributedDmdRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedDmdRanks, MatchesSerialDmd) {
+  const int ranks = GetParam();
+  const std::size_t rows_per_rank = 24;
+  const std::size_t p = rows_per_rank * static_cast<std::size_t>(ranks);
+  // LTI data so the serial spectrum is clean.
+  Rng rng(static_cast<std::uint64_t>(700 + ranks));
+  Mat data(p, 60);
+  {
+    const linalg::Complex lambda =
+        0.98 * std::exp(linalg::Complex(0, 0.4));
+    std::vector<linalg::Complex> v(p);
+    for (auto& value : v) value = {rng.normal(), rng.normal()};
+    for (std::size_t t = 0; t < 60; ++t) {
+      const linalg::Complex scale =
+          std::pow(lambda, static_cast<double>(t));
+      for (std::size_t i = 0; i < p; ++i) {
+        data(i, t) = (scale * v[i]).real() * 2.0;
+      }
+    }
+  }
+  const dmd::DmdResult serial = dmd::dmd(data, 1.0);
+
+  std::vector<dmd::DistributedDmdResult> results(
+      static_cast<std::size_t>(ranks));
+  dist::World world(ranks);
+  world.run([&](dist::Communicator& comm) {
+    const std::size_t r0 =
+        static_cast<std::size_t>(comm.rank()) * rows_per_rank;
+    results[static_cast<std::size_t>(comm.rank())] = dmd::distributed_dmd(
+        comm, data.block(r0, 0, rows_per_rank, 60), 1.0);
+  });
+
+  // Eigenvalues replicated and equal to serial (order-insensitive match).
+  for (const auto& result : results) {
+    ASSERT_EQ(result.mode_count(), serial.mode_count());
+    for (const auto& want : serial.eigenvalues) {
+      double best = 1e300;
+      for (const auto& got : result.eigenvalues) {
+        best = std::min(best, std::abs(got - want));
+      }
+      EXPECT_LT(best, 1e-8);
+    }
+  }
+  // Stacked local reconstructions reproduce the data.
+  Mat recon(p, 60);
+  for (int r = 0; r < ranks; ++r) {
+    const auto& result = results[static_cast<std::size_t>(r)];
+    // x(t) = Re(Phi_local diag(lambda^t) b).
+    for (std::size_t t = 0; t < 60; ++t) {
+      for (std::size_t i = 0; i < rows_per_rank; ++i) {
+        linalg::Complex sum{};
+        for (std::size_t m = 0; m < result.mode_count(); ++m) {
+          sum += result.modes_local(i, m) * result.amplitudes[m] *
+                 std::pow(result.eigenvalues[m], static_cast<double>(t));
+        }
+        recon(static_cast<std::size_t>(r) * rows_per_rank + i, t) =
+            sum.real();
+      }
+    }
+  }
+  EXPECT_LT(linalg::frobenius_diff(recon, data),
+            1e-6 * linalg::frobenius_norm(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistributedDmdRanks,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace imrdmd

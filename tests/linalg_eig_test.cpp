@@ -1,0 +1,228 @@
+// Unit + property tests for the complex eigensolver and complex solves.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "linalg/blas.hpp"
+#include "linalg/eig.hpp"
+#include "test_util.hpp"
+
+namespace imrdmd::linalg {
+namespace {
+
+using imrdmd::testing::random_matrix;
+
+// Sorts complex values by (real, imag) for order-insensitive comparison.
+std::vector<Complex> sorted(std::vector<Complex> values) {
+  std::sort(values.begin(), values.end(), [](Complex a, Complex b) {
+    if (a.real() != b.real()) return a.real() < b.real();
+    return a.imag() < b.imag();
+  });
+  return values;
+}
+
+double eigenpair_residual(const CMat& a, const EigResult& e) {
+  // max_i || A v_i - lambda_i v_i ||.
+  double worst = 0.0;
+  const std::size_t n = a.rows();
+  for (std::size_t k = 0; k < e.values.size(); ++k) {
+    std::vector<Complex> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = e.vectors(i, k);
+    const auto av = matvec(a, std::span<const Complex>(v.data(), n));
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      norm += std::norm(av[i] - e.values[k] * v[i]);
+    }
+    worst = std::max(worst, std::sqrt(norm));
+  }
+  return worst;
+}
+
+TEST(Eig, DiagonalMatrix) {
+  CMat a(3, 3);
+  a(0, 0) = Complex(2, 0);
+  a(1, 1) = Complex(-1, 0);
+  a(2, 2) = Complex(0, 3);
+  const EigResult e = eig(a);
+  const auto values = sorted(e.values);
+  EXPECT_NEAR(std::abs(values[0] - Complex(-1, 0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(values[1] - Complex(0, 3)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(values[2] - Complex(2, 0)), 0.0, 1e-12);
+}
+
+TEST(Eig, RotationMatrixHasConjugatePair) {
+  // 2D rotation by theta: eigenvalues e^{+-i theta}.
+  const double theta = 0.7;
+  Mat a{{std::cos(theta), -std::sin(theta)},
+        {std::sin(theta), std::cos(theta)}};
+  const EigResult e = eig(a);
+  ASSERT_EQ(e.values.size(), 2u);
+  std::vector<double> imags{e.values[0].imag(), e.values[1].imag()};
+  std::sort(imags.begin(), imags.end());
+  EXPECT_NEAR(imags[0], -std::sin(theta), 1e-12);
+  EXPECT_NEAR(imags[1], std::sin(theta), 1e-12);
+  EXPECT_NEAR(e.values[0].real(), std::cos(theta), 1e-12);
+}
+
+TEST(Eig, CompanionMatrixRoots) {
+  // Companion of p(x) = x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3).
+  Mat a{{6, -11, 6}, {1, 0, 0}, {0, 1, 0}};
+  const EigResult e = eig(a);
+  auto values = sorted(e.values);
+  EXPECT_NEAR(values[0].real(), 1.0, 1e-10);
+  EXPECT_NEAR(values[1].real(), 2.0, 1e-10);
+  EXPECT_NEAR(values[2].real(), 3.0, 1e-10);
+  for (const auto& v : values) EXPECT_NEAR(v.imag(), 0.0, 1e-10);
+}
+
+TEST(Eig, TraceAndDeterminantInvariants) {
+  Rng rng(21);
+  const Mat a = random_matrix(8, 8, rng);
+  const EigResult e = eig(a);
+  Complex trace_sum{};
+  Complex det_prod{1.0, 0.0};
+  for (const auto& v : e.values) {
+    trace_sum += v;
+    det_prod *= v;
+  }
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) trace += a(i, i);
+  EXPECT_NEAR(trace_sum.real(), trace, 1e-9);
+  EXPECT_NEAR(trace_sum.imag(), 0.0, 1e-9);
+  // Real matrix: determinant (product of eigenvalues) is real.
+  EXPECT_NEAR(det_prod.imag() / (std::abs(det_prod) + 1.0), 0.0, 1e-8);
+}
+
+TEST(Eig, EigenpairsSatisfyDefinition) {
+  Rng rng(22);
+  Mat a = random_matrix(10, 10, rng);
+  const CMat ac = to_complex(a);
+  const EigResult e = eig(ac);
+  EXPECT_LT(eigenpair_residual(ac, e), 1e-8);
+}
+
+TEST(Eig, ComplexEntriesSupported) {
+  Rng rng(23);
+  CMat a(6, 6);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = Complex(rng.normal(), rng.normal());
+  }
+  const EigResult e = eig(a);
+  EXPECT_LT(eigenpair_residual(a, e), 1e-8);
+}
+
+TEST(Eig, UpperTriangularEigenvaluesAreDiagonal) {
+  CMat a(4, 4);
+  Rng rng(24);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i; j < 4; ++j) {
+      a(i, j) = Complex(rng.normal(), rng.normal());
+    }
+  }
+  const EigResult e = eig(a);
+  std::vector<Complex> expected;
+  for (std::size_t i = 0; i < 4; ++i) expected.push_back(a(i, i));
+  const auto got = sorted(e.values);
+  const auto want = sorted(expected);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(got[i] - want[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Eig, RepeatedEigenvaluesDoNotCrash) {
+  const CMat a = to_complex(Mat::identity(5));
+  const EigResult e = eig(a);
+  for (const auto& v : e.values) {
+    EXPECT_NEAR(std::abs(v - Complex(1, 0)), 0.0, 1e-12);
+  }
+}
+
+TEST(Eig, DefectiveJordanBlockEigenvalues) {
+  // Jordan block: eigenvalue 2 with algebraic multiplicity 3.
+  Mat a{{2, 1, 0}, {0, 2, 1}, {0, 0, 2}};
+  const EigResult e = eig(a);
+  for (const auto& v : e.values) {
+    EXPECT_NEAR(std::abs(v - Complex(2, 0)), 0.0, 1e-7);
+  }
+}
+
+TEST(Eig, SizeOneAndEmpty) {
+  CMat a1(1, 1);
+  a1(0, 0) = Complex(4, -1);
+  const EigResult e1 = eig(a1);
+  EXPECT_EQ(e1.values[0], Complex(4, -1));
+  const EigResult e0 = eig(CMat(0, 0));
+  EXPECT_TRUE(e0.values.empty());
+}
+
+TEST(Eig, NonSquareThrows) {
+  EXPECT_THROW(eig(CMat(2, 3)), DimensionError);
+}
+
+TEST(ComplexSolve, SolvesKnownSystem) {
+  CMat a(2, 2);
+  a(0, 0) = Complex(2, 0);
+  a(0, 1) = Complex(0, 1);
+  a(1, 0) = Complex(0, -1);
+  a(1, 1) = Complex(3, 0);
+  const std::vector<Complex> b{Complex(1, 0), Complex(0, 1)};
+  const auto x = complex_solve(a, b);
+  const auto back = matvec(a, std::span<const Complex>(x.data(), 2));
+  EXPECT_NEAR(std::abs(back[0] - b[0]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(back[1] - b[1]), 0.0, 1e-12);
+}
+
+TEST(ComplexSolve, SingularThrows) {
+  CMat a(2, 2);  // all zeros
+  EXPECT_THROW(complex_solve(a, {Complex(1, 0), Complex(0, 0)}),
+               NumericalError);
+}
+
+TEST(LstsqComplex, RecoversExactSolution) {
+  Rng rng(25);
+  CMat a(10, 3);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = Complex(rng.normal(), rng.normal());
+  }
+  std::vector<Complex> x_true{Complex(1, 2), Complex(-3, 0), Complex(0, 1)};
+  const auto b = matvec(a, std::span<const Complex>(x_true.data(), 3));
+  const auto x = lstsq_complex(a, std::span<const Complex>(b.data(), 10));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(std::abs(x[i] - x_true[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(LstsqComplex, CollinearColumnsFallBackToRidge) {
+  CMat a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = Complex(1.0, 0.0);
+    a(i, 1) = Complex(1.0, 0.0);  // exactly collinear
+  }
+  const std::vector<Complex> b{Complex(2, 0), Complex(2, 0), Complex(2, 0),
+                               Complex(2, 0)};
+  const auto x = lstsq_complex(a, std::span<const Complex>(b.data(), 4));
+  // Any solution with x0 + x1 = 2 is acceptable.
+  EXPECT_NEAR(std::abs(x[0] + x[1] - Complex(2, 0)), 0.0, 1e-6);
+}
+
+// Property sweep over sizes: residuals of random real and complex matrices.
+class EigSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigSizes, ResidualSmall) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(31 + n));
+  CMat a(n, n);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = Complex(rng.normal(), rng.normal());
+  }
+  const EigResult e = eig(a);
+  EXPECT_LT(eigenpair_residual(a, e), 1e-7 * std::sqrt(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigSizes,
+                         ::testing::Values(2, 3, 4, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace imrdmd::linalg

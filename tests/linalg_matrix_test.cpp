@@ -1,0 +1,196 @@
+// Unit tests for Matrix and the BLAS-like kernels.
+#include <gtest/gtest.h>
+
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+#include "test_util.hpp"
+
+namespace imrdmd::linalg {
+namespace {
+
+using imrdmd::testing::max_abs_diff;
+using imrdmd::testing::random_matrix;
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Mat m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0);
+  m(1, 2) = 5.0;
+  EXPECT_EQ(m(1, 2), 5.0);
+}
+
+TEST(Matrix, InitializerListValidatesShape) {
+  const Mat m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_THROW((Mat{{1.0}, {2.0, 3.0}}), DimensionError);
+}
+
+TEST(Matrix, IdentityHasUnitDiagonal) {
+  const Mat eye = Mat::identity(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, AtChecksBounds) {
+  Mat m(2, 2);
+  EXPECT_THROW(m.at(2, 0), DimensionError);
+  EXPECT_THROW(m.at(0, 2), DimensionError);
+}
+
+TEST(Matrix, BlockExtractsAndSets) {
+  Mat m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const Mat block = m.block(1, 1, 2, 2);
+  EXPECT_EQ(block(0, 0), 5.0);
+  EXPECT_EQ(block(1, 1), 9.0);
+  Mat patch{{-1, -2}, {-3, -4}};
+  m.set_block(0, 0, patch);
+  EXPECT_EQ(m(0, 0), -1.0);
+  EXPECT_EQ(m(1, 1), -4.0);
+  EXPECT_THROW(m.block(2, 2, 2, 2), DimensionError);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Rng rng(1);
+  const Mat m = random_matrix(5, 3, rng);
+  EXPECT_EQ(max_abs_diff(m.transposed().transposed(), m), 0.0);
+}
+
+TEST(Matrix, ColumnAccessors) {
+  Mat m{{1, 2}, {3, 4}};
+  const auto col = m.col(1);
+  EXPECT_EQ(col[0], 2.0);
+  EXPECT_EQ(col[1], 4.0);
+  const std::vector<double> fresh{9.0, 10.0};
+  m.set_col(0, std::span<const double>(fresh.data(), 2));
+  EXPECT_EQ(m(0, 0), 9.0);
+  EXPECT_EQ(m(1, 0), 10.0);
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  const Mat a{{1, 2}, {3, 4}};
+  const Mat b{{5, 6}, {7, 8}};
+  const Mat sum = a + b;
+  EXPECT_EQ(sum(1, 1), 12.0);
+  const Mat diff = b - a;
+  EXPECT_EQ(diff(0, 0), 4.0);
+  const Mat scaled = a * 2.0;
+  EXPECT_EQ(scaled(1, 0), 6.0);
+  Mat c = a;
+  EXPECT_THROW(c += Mat(3, 3), DimensionError);
+}
+
+TEST(Blas, MatmulMatchesHandComputation) {
+  const Mat a{{1, 2}, {3, 4}};
+  const Mat b{{5, 6}, {7, 8}};
+  const Mat c = matmul(a, b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Blas, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(matmul(Mat(2, 3), Mat(2, 3)), DimensionError);
+}
+
+TEST(Blas, TransposedVariantsAgreeWithExplicitTranspose) {
+  Rng rng(2);
+  const Mat a = random_matrix(7, 4, rng);
+  const Mat b = random_matrix(7, 5, rng);
+  EXPECT_LT(max_abs_diff(matmul_at_b(a, b), matmul(a.transposed(), b)), 1e-12);
+  const Mat c = random_matrix(4, 7, rng);
+  const Mat d = random_matrix(5, 7, rng);
+  EXPECT_LT(max_abs_diff(matmul_a_bt(c, d), matmul(c, d.transposed())), 1e-12);
+}
+
+TEST(Blas, ComplexAdjointProduct) {
+  CMat a(2, 2);
+  a(0, 0) = Complex(1, 1);
+  a(1, 0) = Complex(0, 2);
+  a(0, 1) = Complex(3, 0);
+  a(1, 1) = Complex(1, -1);
+  const CMat g = matmul_ah_b(a, a);
+  // Diagonal of A^H A = squared column norms (real).
+  EXPECT_NEAR(g(0, 0).real(), 2.0 + 4.0, 1e-14);
+  EXPECT_NEAR(g(1, 1).real(), 9.0 + 2.0, 1e-14);
+  EXPECT_NEAR(g(0, 0).imag(), 0.0, 1e-14);
+}
+
+TEST(Blas, MatvecVariants) {
+  const Mat a{{1, 2, 3}, {4, 5, 6}};
+  const std::vector<double> x{1, 0, -1};
+  const auto y = matvec(a, std::span<const double>(x.data(), 3));
+  EXPECT_EQ(y[0], -2.0);
+  EXPECT_EQ(y[1], -2.0);
+  const std::vector<double> z{1, 1};
+  const auto w = matvec_t(a, std::span<const double>(z.data(), 2));
+  EXPECT_EQ(w[0], 5.0);
+  EXPECT_EQ(w[2], 9.0);
+}
+
+TEST(Blas, NormsAndDots) {
+  const Mat m{{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(frobenius_norm(m), 5.0);
+  EXPECT_DOUBLE_EQ(frobenius_diff(m, Mat(2, 2)), 5.0);
+  const std::vector<double> v{3, 4};
+  EXPECT_DOUBLE_EQ(norm2(std::span<const double>(v.data(), 2)), 5.0);
+  const std::vector<double> u{1, 2};
+  EXPECT_DOUBLE_EQ(
+      dot(std::span<const double>(u.data(), 2), std::span<const double>(v.data(), 2)),
+      11.0);
+}
+
+TEST(Blas, ColNormsAndScale) {
+  Mat m{{3, 1}, {4, 1}};
+  const auto norms = col_norms(m);
+  EXPECT_DOUBLE_EQ(norms[0], 5.0);
+  scale_col(m, 0, 0.2);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.6);
+  EXPECT_DOUBLE_EQ(m(1, 0), 0.8);
+}
+
+TEST(Blas, ComplexRealConversions) {
+  const Mat m{{1, -2}, {3, 4}};
+  const CMat c = to_complex(m);
+  EXPECT_EQ(c(0, 1).real(), -2.0);
+  EXPECT_EQ(c(0, 1).imag(), 0.0);
+  EXPECT_EQ(max_abs_diff(real_part(c), m), 0.0);
+  const Mat a = abs_part(c);
+  EXPECT_EQ(a(0, 1), 2.0);
+}
+
+// Property sweep: matmul against a naive reference over many shapes.
+class MatmulShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulShapes, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 10007 + k * 101 + n));
+  const Mat a = random_matrix(m, k, rng);
+  const Mat b = random_matrix(k, n, rng);
+  const Mat c = matmul(a, b);
+  Mat ref(m, n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (int kk = 0; kk < k; ++kk) sum += a(i, kk) * b(kk, j);
+      ref(i, j) = sum;
+    }
+  }
+  EXPECT_LT(max_abs_diff(c, ref), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 7, 3),
+                      std::make_tuple(16, 16, 16), std::make_tuple(33, 5, 49),
+                      std::make_tuple(64, 1, 64), std::make_tuple(5, 128, 2),
+                      std::make_tuple(100, 30, 70)));
+
+}  // namespace
+}  // namespace imrdmd::linalg

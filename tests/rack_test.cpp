@@ -1,0 +1,245 @@
+// Tests for the rack layout parser, geometry, colormap, and renderers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "common/error.hpp"
+#include "rack/colormap.hpp"
+#include "rack/layout.hpp"
+#include "rack/render.hpp"
+
+namespace imrdmd::rack {
+namespace {
+
+TEST(Layout, ParsesPaperExample) {
+  // From Sec. III-B: two rows (0-1), eleven racks (0-10), rows left-to-right
+  // and bottom-to-top, eight cabinets bottom-to-top, eight slots
+  // left-to-right, one blade, one node per blade.
+  const LayoutSpec spec = parse_layout("xc40 1 2 row0-1:0-10 2 c:0-7 1 s:0-7 1 b:0 n:0");
+  EXPECT_EQ(spec.system, "xc40");
+  EXPECT_EQ(spec.rack_row_alignment, 1);
+  EXPECT_EQ(spec.rack_col_alignment, 2);
+  EXPECT_EQ(spec.rack_rows, 2u);
+  EXPECT_EQ(spec.racks_per_row, 11u);
+  EXPECT_EQ(spec.cabinets.count, 8u);
+  EXPECT_EQ(spec.cabinets.alignment, 2);
+  EXPECT_EQ(spec.slots.count, 8u);
+  EXPECT_EQ(spec.slots.alignment, 1);
+  EXPECT_EQ(spec.blades.count, 1u);
+  EXPECT_EQ(spec.nodes.count, 1u);
+  EXPECT_EQ(spec.total_racks(), 22u);
+  EXPECT_EQ(spec.nodes_per_rack(), 64u);
+  EXPECT_EQ(spec.total_nodes(), 1408u);
+}
+
+TEST(Layout, AcceptsTwoAlignmentNumbersPerSegment) {
+  const LayoutSpec spec =
+      parse_layout("sys 1 2 row0-0:0-1 1 2 c:0-3 2 1 s:0-1 1 b:0 n:0-1");
+  EXPECT_EQ(spec.cabinets.count, 4u);
+  EXPECT_EQ(spec.cabinets.alignment, 1);  // first of the two numbers wins
+  EXPECT_EQ(spec.nodes.count, 2u);
+}
+
+TEST(Layout, AcceptsWordSegmentNames) {
+  const LayoutSpec spec = parse_layout(
+      "sys 1 0 row0-0:0-0 0 cabinets:0-1 0 slots:0-2 0 blades:0-1 nodes:0-3");
+  EXPECT_EQ(spec.cabinets.count, 2u);
+  EXPECT_EQ(spec.slots.count, 3u);
+  EXPECT_EQ(spec.blades.count, 2u);
+  EXPECT_EQ(spec.nodes.count, 4u);
+}
+
+TEST(Layout, DefaultAlignmentIsTopToBottom) {
+  const LayoutSpec spec =
+      parse_layout("sys 1 0 row0-0:0-0 c:0-1 s:0-1 b:0 n:0");
+  EXPECT_EQ(spec.cabinets.alignment, 0);
+  EXPECT_EQ(spec.slots.alignment, 0);
+}
+
+TEST(Layout, RoundTripsThroughToString) {
+  const std::string text = "xc40 1 2 row0-1:0-10 2 c:0-7 1 s:0-7 1 b:0-3 n:0-1";
+  const LayoutSpec spec = parse_layout(text);
+  const LayoutSpec again = parse_layout(to_string(spec));
+  EXPECT_EQ(again.total_nodes(), spec.total_nodes());
+  EXPECT_EQ(again.cabinets.alignment, spec.cabinets.alignment);
+  EXPECT_EQ(again.rack_rows, spec.rack_rows);
+}
+
+TEST(Layout, MalformedInputsThrow) {
+  EXPECT_THROW(parse_layout(""), ParseError);
+  EXPECT_THROW(parse_layout("sys 1 2"), ParseError);
+  EXPECT_THROW(parse_layout("sys 1 2 norow c:0 s:0 b:0 n:0"), ParseError);
+  EXPECT_THROW(parse_layout("sys 1 2 row0-1:0-3 c:0 s:0 b:0"), ParseError);
+  EXPECT_THROW(parse_layout("sys 1 2 row0-1:0-3 q:0 s:0 b:0 n:0"), ParseError);
+  EXPECT_THROW(parse_layout("sys 1 2 row1-0:0-3 c:0 s:0 b:0 n:0"), ParseError);
+}
+
+TEST(Geometry, OneCellPerNodeAllInsideCanvas) {
+  const LayoutSpec spec =
+      parse_layout("sys 1 2 row0-1:0-2 2 c:0-2 1 s:0-3 1 b:0-1 n:0-1");
+  const RackGeometry geometry = compute_geometry(spec);
+  EXPECT_EQ(geometry.node_cells.size(), spec.total_nodes());
+  for (const CellRect& cell : geometry.node_cells) {
+    EXPECT_GE(cell.x, 0.0);
+    EXPECT_GE(cell.y, 0.0);
+    EXPECT_LE(cell.x + cell.w, geometry.width + 1e-9);
+    EXPECT_LE(cell.y + cell.h, geometry.height + 1e-9);
+    EXPECT_GT(cell.w, 0.0);
+  }
+}
+
+TEST(Geometry, CellsDoNotOverlap) {
+  const LayoutSpec spec =
+      parse_layout("sys 1 0 row0-0:0-1 2 c:0-1 1 s:0-1 1 b:0-1 n:0-1");
+  const RackGeometry geometry = compute_geometry(spec);
+  const auto& cells = geometry.node_cells;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t j = i + 1; j < cells.size(); ++j) {
+      const bool separated = cells[i].x + cells[i].w <= cells[j].x + 1e-9 ||
+                             cells[j].x + cells[j].w <= cells[i].x + 1e-9 ||
+                             cells[i].y + cells[i].h <= cells[j].y + 1e-9 ||
+                             cells[j].y + cells[j].h <= cells[i].y + 1e-9;
+      EXPECT_TRUE(separated) << "cells " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+TEST(Geometry, BottomToTopAlignmentFlipsVerticalOrder) {
+  // Two cabinets; alignment 2 puts cabinet 0 *below* cabinet 1.
+  const LayoutSpec up = parse_layout("sys 1 0 row0-0:0-0 2 c:0-1 1 s:0 1 b:0 n:0");
+  const LayoutSpec down = parse_layout("sys 1 0 row0-0:0-0 0 c:0-1 1 s:0 1 b:0 n:0");
+  const RackGeometry geom_up = compute_geometry(up);
+  const RackGeometry geom_down = compute_geometry(down);
+  // Node 0 = cabinet 0. Bottom-to-top: y(cab0) > y(cab1).
+  EXPECT_GT(geom_up.node_cells[0].y, geom_up.node_cells[1].y);
+  EXPECT_LT(geom_down.node_cells[0].y, geom_down.node_cells[1].y);
+}
+
+TEST(Geometry, RightToLeftAlignmentFlipsHorizontalOrder) {
+  const LayoutSpec ltr = parse_layout("sys 1 0 row0-0:0-0 0 c:0 1 s:0-1 1 b:0 n:0");
+  const LayoutSpec rtl = parse_layout("sys 1 0 row0-0:0-0 0 c:0 -1 s:0-1 1 b:0 n:0");
+  const RackGeometry geom_ltr = compute_geometry(ltr);
+  const RackGeometry geom_rtl = compute_geometry(rtl);
+  EXPECT_LT(geom_ltr.node_cells[0].x, geom_ltr.node_cells[1].x);
+  EXPECT_GT(geom_rtl.node_cells[0].x, geom_rtl.node_cells[1].x);
+}
+
+TEST(Colormap, TurboEndpointsAndMonotoneRed) {
+  // Turbo is blue at the low end and red at the high end (the polynomial
+  // approximation is least accurate exactly at t=0, so sample just inside).
+  const Rgb low = turbo(0.1);
+  const Rgb high = turbo(0.95);
+  EXPECT_GT(low.b, low.r);
+  EXPECT_GT(high.r, high.b);
+  // Red channel grows from t=0.3 to t=0.9.
+  EXPECT_LT(turbo(0.3).r, turbo(0.9).r);
+  // Clamping.
+  EXPECT_EQ(turbo(-1.0).hex(), turbo(0.0).hex());
+  EXPECT_EQ(turbo(2.0).hex(), turbo(1.0).hex());
+}
+
+TEST(Colormap, DivergingMapsMidpointToGreenish) {
+  const Rgb mid = turbo_diverging(0.0, -5.0, 5.0);
+  EXPECT_GT(mid.g, mid.r);
+  EXPECT_GT(mid.g, mid.b);
+}
+
+TEST(Colormap, HexFormat) {
+  const Rgb color{255, 0, 16};
+  EXPECT_EQ(color.hex(), "#ff0010");
+}
+
+TEST(Render, SvgContainsOneRectPerNodeAndLegend) {
+  const LayoutSpec spec =
+      parse_layout("sys 1 0 row0-0:0-1 0 c:0-1 1 s:0-1 1 b:0 n:0-1");
+  RackViewData data;
+  data.populated = spec.total_nodes();
+  data.values.assign(spec.total_nodes(), 1.0);
+  data.outlined = {0};
+  RenderOptions options;
+  options.title = "test view";
+  const std::string svg = render_svg(spec, data, options);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("test view"), std::string::npos);
+  // node rects + background + rack frames + legend steps; count node titles.
+  std::size_t titles = 0;
+  for (std::size_t pos = svg.find("<title>"); pos != std::string::npos;
+       pos = svg.find("<title>", pos + 1)) {
+    ++titles;
+  }
+  EXPECT_EQ(titles, spec.total_nodes());
+  // The outlined node gets a stroke.
+  EXPECT_NE(svg.find("stroke=\"#000000\""), std::string::npos);
+}
+
+TEST(Render, UnpopulatedAndNanNodesRenderGrey) {
+  const LayoutSpec spec = parse_layout("sys 1 0 row0-0:0-0 0 c:0 1 s:0-3 1 b:0 n:0");
+  RackViewData data;
+  data.populated = 2;  // nodes 2,3 unpopulated
+  data.values = {1.0, std::nan("")};
+  const std::string svg = render_svg(spec, data);
+  std::size_t grey = 0;
+  for (std::size_t pos = svg.find("#dddddd"); pos != std::string::npos;
+       pos = svg.find("#dddddd", pos + 1)) {
+    ++grey;
+  }
+  EXPECT_EQ(grey, 3u);  // NaN + two unpopulated
+}
+
+TEST(Render, WriteSvgFileCreatesFile) {
+  const LayoutSpec spec = parse_layout("sys 1 0 row0-0:0-0 0 c:0 1 s:0 1 b:0 n:0");
+  RackViewData data;
+  data.populated = 1;
+  data.values = {0.0};
+  const std::string path = ::testing::TempDir() + "/view.svg";
+  write_svg_file(path, render_svg(spec, data));
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+}
+
+TEST(Render, AnsiRendersOneRowPerRackRow) {
+  const LayoutSpec spec =
+      parse_layout("sys 1 0 row0-1:0-2 0 c:0-1 1 s:0-1 1 b:0 n:0");
+  RackViewData data;
+  data.populated = spec.total_nodes();
+  data.values.assign(spec.total_nodes(), 0.0);
+  AnsiOptions options;
+  options.use_color = false;
+  const std::string text = render_ansi(spec, data, options);
+  std::size_t newlines = 0;
+  for (char c : text) newlines += (c == '\n');
+  EXPECT_EQ(newlines, spec.rack_rows);
+}
+
+TEST(Render, AnsiAggregatesWhenTooWide) {
+  const LayoutSpec spec =
+      parse_layout("sys 1 0 row0-0:0-3 0 c:0-2 1 s:0-15 1 b:0-3 n:0");
+  RackViewData data;
+  data.populated = spec.total_nodes();
+  data.values.assign(spec.total_nodes(), 0.0);
+  AnsiOptions options;
+  options.use_color = false;
+  options.max_width = 60;  // forces aggregation
+  const std::string text = render_ansi(spec, data, options);
+  const std::size_t first_line = text.find('\n');
+  EXPECT_LE(first_line, 60u);
+}
+
+TEST(Render, SparklineShapesFollowData) {
+  const std::vector<double> rising{0, 1, 2, 3, 4, 5, 6, 7};
+  const std::string line =
+      sparkline(std::span<const double>(rising.data(), rising.size()), 8);
+  EXPECT_FALSE(line.empty());
+  // First glyph is the lowest block, last is the highest.
+  EXPECT_EQ(line.substr(0, 3), "▁");
+  EXPECT_EQ(line.substr(line.size() - 3), "█");
+  EXPECT_EQ(sparkline({}, 10), "");
+}
+
+}  // namespace
+}  // namespace imrdmd::rack

@@ -1,0 +1,393 @@
+// Tests for the telemetry substrate: machine topology, job scheduler,
+// sensor generative model, hardware log, streaming, and CSV I/O.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "telemetry/env_stream.hpp"
+#include "telemetry/hardware_log.hpp"
+#include "telemetry/job_log.hpp"
+#include "telemetry/log_io.hpp"
+#include "telemetry/machine.hpp"
+#include "telemetry/scenario.hpp"
+#include "telemetry/sensor_model.hpp"
+
+namespace imrdmd::telemetry {
+namespace {
+
+TEST(Machine, PresetsAreConsistent) {
+  const MachineSpec theta = MachineSpec::theta();
+  EXPECT_EQ(theta.racks, 24u);
+  EXPECT_EQ(theta.slots(), 4608u);
+  EXPECT_EQ(theta.node_count, 4392u);
+  EXPECT_LE(theta.node_count, theta.slots());
+
+  const MachineSpec polaris = MachineSpec::polaris();
+  EXPECT_EQ(polaris.node_count, 560u);
+  EXPECT_EQ(polaris.sensor_count(), 2240u);  // 4 GPUs per node
+  EXPECT_LE(polaris.node_count, polaris.slots());
+}
+
+TEST(Machine, PlaceOfRoundTrips) {
+  const MachineSpec spec = MachineSpec::theta();
+  const std::size_t per_rack =
+      spec.chassis_per_rack * spec.blades_per_chassis * spec.nodes_per_blade;
+  for (std::size_t id : {0ul, 1ul, 191ul, 192ul, 4391ul}) {
+    const NodePlace place = place_of(spec, id);
+    const std::size_t reconstructed =
+        place.rack * per_rack +
+        place.chassis * spec.blades_per_chassis * spec.nodes_per_blade +
+        place.blade * spec.nodes_per_blade + place.node_in_blade;
+    EXPECT_EQ(reconstructed, id);
+    EXPECT_LT(place.rack, spec.racks);
+    EXPECT_LT(place.chassis, spec.chassis_per_rack);
+  }
+  EXPECT_THROW(place_of(spec, spec.slots()), InvalidArgument);
+}
+
+TEST(Machine, NeighborsAreSymmetricAndLocal) {
+  const MachineSpec spec = MachineSpec::testbed();
+  for (std::size_t node = 0; node < spec.node_count; ++node) {
+    for (std::size_t other : neighbors_of(spec, node)) {
+      EXPECT_NE(other, node);
+      EXPECT_TRUE(same_chassis(spec, node, other));
+      const auto back = neighbors_of(spec, other);
+      EXPECT_NE(std::find(back.begin(), back.end(), node), back.end())
+          << "asymmetric neighbor relation " << node << " <-> " << other;
+    }
+  }
+}
+
+TEST(Machine, SameBladeImpliesSameChassis) {
+  const MachineSpec spec = MachineSpec::theta();
+  EXPECT_TRUE(same_blade(spec, 0, 1));     // nodes 0-3 share blade 0
+  EXPECT_TRUE(same_chassis(spec, 0, 5));   // same chassis, different blade
+  EXPECT_FALSE(same_blade(spec, 0, 5));
+  EXPECT_FALSE(same_chassis(spec, 0, 200));  // different rack
+}
+
+TEST(JobLog, JobsNeverOverlapOnNodes) {
+  const MachineSpec machine = MachineSpec::testbed();
+  JobLogSimulator sim(machine, {});
+  sim.simulate_until(3000);
+  ASSERT_FALSE(sim.jobs().empty());
+  // At any sampled instant, each node hosts at most one job.
+  for (std::size_t t = 0; t < 3000; t += 97) {
+    std::vector<int> claims(machine.node_count, 0);
+    for (const JobRecord& job : sim.jobs()) {
+      if (t >= job.t_start && t < job.t_end) {
+        for (std::size_t n = job.node_begin;
+             n < job.node_begin + job.node_count; ++n) {
+          ++claims[n];
+        }
+      }
+    }
+    for (int c : claims) EXPECT_LE(c, 1);
+  }
+}
+
+TEST(JobLog, DeterministicForSameSeed) {
+  const MachineSpec machine = MachineSpec::testbed();
+  JobLogSimulator a(machine, {}), b(machine, {});
+  a.simulate_until(2000);
+  b.simulate_until(2000);
+  ASSERT_EQ(a.jobs().size(), b.jobs().size());
+  for (std::size_t i = 0; i < a.jobs().size(); ++i) {
+    EXPECT_EQ(a.jobs()[i].node_begin, b.jobs()[i].node_begin);
+    EXPECT_EQ(a.jobs()[i].t_start, b.jobs()[i].t_start);
+  }
+}
+
+TEST(JobLog, IncrementalSimulationMatchesOneShot) {
+  const MachineSpec machine = MachineSpec::testbed();
+  JobLogSimulator once(machine, {});
+  once.simulate_until(2000);
+  JobLogSimulator steps(machine, {});
+  for (std::size_t t = 250; t <= 2000; t += 250) steps.simulate_until(t);
+  ASSERT_EQ(once.jobs().size(), steps.jobs().size());
+  for (std::size_t i = 0; i < once.jobs().size(); ++i) {
+    EXPECT_EQ(once.jobs()[i].t_start, steps.jobs()[i].t_start);
+    EXPECT_EQ(once.jobs()[i].node_begin, steps.jobs()[i].node_begin);
+  }
+}
+
+TEST(JobLog, WindowAndProjectQueries) {
+  const MachineSpec machine = MachineSpec::testbed();
+  JobLogOptions options;
+  options.projects = {"alpha", "beta"};
+  JobLogSimulator sim(machine, options);
+  sim.simulate_until(2000);
+  const auto in_window = sim.jobs_in_window(500, 1000);
+  for (const JobRecord* job : in_window) {
+    EXPECT_LT(job->t_start, 1000u);
+    EXPECT_GT(job->t_end, 500u);
+  }
+  const auto alpha = sim.nodes_of_project("alpha", 0, 2000);
+  const auto gamma = sim.nodes_of_project("gamma", 0, 2000);
+  EXPECT_TRUE(gamma.empty());
+  EXPECT_FALSE(alpha.empty());
+  const double util = sim.utilization_at(1000);
+  EXPECT_GE(util, 0.0);
+  EXPECT_LE(util, 1.0);
+}
+
+TEST(SensorModel, DeterministicAndChunkInvariant) {
+  const MachineSpec machine = MachineSpec::testbed();
+  SensorModel model(machine, {});
+  const Mat whole = model.window(0, 200);
+  const Mat part = model.window(120, 50);
+  for (std::size_t p = 0; p < machine.sensor_count(); ++p) {
+    for (std::size_t t = 0; t < 50; ++t) {
+      EXPECT_DOUBLE_EQ(part(p, t), whole(p, 120 + t));
+    }
+  }
+}
+
+TEST(SensorModel, ValuesInPlausibleTemperatureRange) {
+  const MachineSpec machine = MachineSpec::testbed();
+  SensorModel model(machine, {});
+  const Mat window = model.window(0, 500);
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    EXPECT_GT(window.data()[i], 20.0);
+    EXPECT_LT(window.data()[i], 90.0);
+  }
+}
+
+TEST(SensorModel, JobsRaiseTemperatures) {
+  const MachineSpec machine = MachineSpec::testbed();
+  JobLogOptions job_options;
+  job_options.mean_interarrival = 10.0;
+  job_options.mean_duration = 500.0;
+  JobLogSimulator jobs(machine, job_options);
+  SensorModel idle(machine, {});
+  SensorModel busy(machine, {});
+  busy.attach_jobs(&jobs);
+  const Mat idle_window = idle.window(0, 600);
+  const Mat busy_window = busy.window(0, 600);
+  double idle_sum = 0.0, busy_sum = 0.0;
+  for (std::size_t i = 0; i < idle_window.size(); ++i) {
+    idle_sum += idle_window.data()[i];
+    busy_sum += busy_window.data()[i];
+  }
+  EXPECT_GT(busy_sum, idle_sum + 1.0);
+}
+
+TEST(SensorModel, OverheatFaultShowsInReadings) {
+  const MachineSpec machine = MachineSpec::testbed();
+  SensorModel model(machine, {});
+  model.add_fault({FaultSpec::Kind::Overheat, 7, 100, 400, 15.0});
+  SensorModel clean(machine, {});
+  const Mat faulty = model.window(0, 400);
+  const Mat normal = clean.window(0, 400);
+  // Late in the fault window the ramp has saturated near +15 C.
+  EXPECT_NEAR(faulty(7, 390) - normal(7, 390), 15.0, 2.0);
+  // Before the fault, identical.
+  EXPECT_DOUBLE_EQ(faulty(7, 50), normal(7, 50));
+  // Other nodes unaffected.
+  EXPECT_DOUBLE_EQ(faulty(3, 390), normal(3, 390));
+}
+
+TEST(SensorModel, StallFaultCoolsNode) {
+  const MachineSpec machine = MachineSpec::testbed();
+  SensorModel model(machine, {});
+  model.add_fault({FaultSpec::Kind::Stall, 2, 0, 300, 0.0});
+  SensorModel clean(machine, {});
+  EXPECT_LT(model.value(2, 150), clean.value(2, 150));
+}
+
+TEST(SensorModel, DropoutFreezesReading) {
+  const MachineSpec machine = MachineSpec::testbed();
+  SensorModel model(machine, {});
+  model.add_fault({FaultSpec::Kind::SensorDropout, 4, 100, 200, 0.0});
+  const double frozen = model.value(4, 100);
+  for (std::size_t t = 100; t < 200; t += 13) {
+    EXPECT_DOUBLE_EQ(model.value(4, t), frozen);
+  }
+  EXPECT_NE(model.value(4, 205), frozen);
+}
+
+TEST(SensorModel, MemoryErrorFaultHasNoThermalSignature) {
+  const MachineSpec machine = MachineSpec::testbed();
+  SensorModel model(machine, {});
+  model.add_fault({FaultSpec::Kind::MemoryErrors, 9, 0, 500, 0.0});
+  SensorModel clean(machine, {});
+  for (std::size_t t = 0; t < 500; t += 50) {
+    EXPECT_DOUBLE_EQ(model.value(9, t), clean.value(9, t));
+  }
+}
+
+TEST(SensorModel, FaultNodeQueries) {
+  const MachineSpec machine = MachineSpec::testbed();
+  SensorModel model(machine, {});
+  model.add_fault({FaultSpec::Kind::Overheat, 1, 100, 200, 10.0});
+  model.add_fault({FaultSpec::Kind::Overheat, 2, 300, 400, 10.0});
+  const auto in_early = model.fault_nodes(FaultSpec::Kind::Overheat, 0, 250);
+  EXPECT_EQ(in_early, (std::vector<std::size_t>{1}));
+  const auto all = model.fault_nodes(FaultSpec::Kind::Overheat, 0, 500);
+  EXPECT_EQ(all, (std::vector<std::size_t>{1, 2}));
+  EXPECT_TRUE(model.fault_nodes(FaultSpec::Kind::Stall, 0, 500).empty());
+}
+
+TEST(HardwareLog, MemoryFaultsEmitCorrelatedBursts) {
+  const MachineSpec machine = MachineSpec::testbed();
+  SensorModel model(machine, {});
+  model.add_fault({FaultSpec::Kind::MemoryErrors, 5, 100, 600, 0.0});
+  HardwareLogSimulator log(model, 1000);
+  const auto nodes =
+      log.nodes_with(HardwareEventCategory::CorrectableMemory, 0, 1000);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0], 5u);
+  // Events confined to the fault window.
+  for (const HardwareEvent& event : log.events()) {
+    if (event.category == HardwareEventCategory::CorrectableMemory) {
+      EXPECT_GE(event.t, 100u);
+      EXPECT_LT(event.t, 600u);
+    }
+  }
+}
+
+TEST(HardwareLog, EventsSortedByTime) {
+  const MachineSpec machine = MachineSpec::testbed();
+  SensorModel model(machine, {});
+  model.add_fault({FaultSpec::Kind::MemoryErrors, 5, 0, 500, 0.0});
+  model.add_fault({FaultSpec::Kind::SensorDropout, 3, 250, 400, 0.0});
+  HardwareLogSimulator log(model, 500);
+  for (std::size_t i = 1; i < log.events().size(); ++i) {
+    EXPECT_LE(log.events()[i - 1].t, log.events()[i].t);
+  }
+  // NodeDown emitted at dropout start.
+  const auto down = log.nodes_with(HardwareEventCategory::NodeDown, 0, 500);
+  EXPECT_EQ(down, (std::vector<std::size_t>{3}));
+}
+
+TEST(EnvStream, ChunksTileTheHorizon) {
+  const MachineSpec machine = MachineSpec::testbed();
+  SensorModel model(machine, {});
+  EnvStreamOptions options;
+  options.initial_snapshots = 128;
+  options.chunk_snapshots = 50;
+  options.total_snapshots = 300;
+  EnvLogStream stream(model, options);
+  std::vector<std::size_t> widths;
+  while (auto chunk = stream.next_chunk()) {
+    EXPECT_EQ(chunk->rows(), machine.sensor_count());
+    widths.push_back(chunk->cols());
+  }
+  EXPECT_EQ(widths, (std::vector<std::size_t>{128, 50, 50, 50, 22}));
+  EXPECT_FALSE(stream.next_chunk().has_value());
+  stream.rewind();
+  EXPECT_TRUE(stream.next_chunk().has_value());
+}
+
+TEST(EnvStream, SensorSubsetSelectsRows) {
+  const MachineSpec machine = MachineSpec::testbed();
+  SensorModel model(machine, {});
+  EnvStreamOptions options;
+  options.chunk_snapshots = 40;
+  options.total_snapshots = 40;
+  options.sensor_subset = {3, 10, 20};
+  EnvLogStream stream(model, options);
+  EXPECT_EQ(stream.sensors(), 3u);
+  const auto chunk = stream.next_chunk();
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->rows(), 3u);
+  EXPECT_DOUBLE_EQ((*chunk)(1, 7), model.value(10, 7));
+}
+
+TEST(LogIo, EnvWindowRoundTrips) {
+  const MachineSpec machine = MachineSpec::testbed();
+  SensorModel model(machine, {});
+  const Mat window = model.window(37, 20);
+  const std::string path = ::testing::TempDir() + "/env.csv";
+  write_env_window_csv(path, window, 37);
+  std::size_t t0 = 0;
+  const Mat loaded = read_env_window_csv(path, t0);
+  EXPECT_EQ(t0, 37u);
+  ASSERT_EQ(loaded.rows(), window.rows());
+  ASSERT_EQ(loaded.cols(), window.cols());
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    EXPECT_NEAR(loaded.data()[i], window.data()[i], 1e-8);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LogIo, JobAndHardwareLogsRoundTrip) {
+  const MachineSpec machine = MachineSpec::testbed();
+  JobLogSimulator jobs(machine, {});
+  jobs.simulate_until(1000);
+  const std::string job_path = ::testing::TempDir() + "/jobs.csv";
+  write_job_log_csv(job_path, jobs.jobs());
+  const auto loaded_jobs = read_job_log_csv(job_path);
+  ASSERT_EQ(loaded_jobs.size(), jobs.jobs().size());
+  for (std::size_t i = 0; i < loaded_jobs.size(); ++i) {
+    EXPECT_EQ(loaded_jobs[i].project, jobs.jobs()[i].project);
+    EXPECT_EQ(loaded_jobs[i].t_end, jobs.jobs()[i].t_end);
+  }
+  std::remove(job_path.c_str());
+
+  SensorModel model(machine, {});
+  model.add_fault({FaultSpec::Kind::MemoryErrors, 5, 0, 500, 0.0});
+  HardwareLogSimulator hw(model, 500);
+  const std::string hw_path = ::testing::TempDir() + "/hw.csv";
+  write_hardware_log_csv(hw_path, hw.events());
+  const auto loaded_events = read_hardware_log_csv(hw_path);
+  ASSERT_EQ(loaded_events.size(), hw.events().size());
+  for (std::size_t i = 0; i < loaded_events.size(); ++i) {
+    EXPECT_EQ(loaded_events[i].category, hw.events()[i].category);
+    EXPECT_EQ(loaded_events[i].node, hw.events()[i].node);
+  }
+  std::remove(hw_path.c_str());
+}
+
+TEST(Scenario, CaseStudy1HasDisjointFaultSets) {
+  ScenarioOptions options;
+  options.machine_scale = 0.05;
+  options.horizon = 600;
+  const Scenario scenario = make_case_study_1(options);
+  EXPECT_FALSE(scenario.analyzed_nodes.empty());
+  EXPECT_FALSE(scenario.hot_nodes.empty());
+  EXPECT_FALSE(scenario.memory_error_nodes.empty());
+  for (std::size_t node : scenario.memory_error_nodes) {
+    EXPECT_EQ(std::count(scenario.hot_nodes.begin(), scenario.hot_nodes.end(),
+                         node),
+              0);
+  }
+  // Hardware log contains the memory-error nodes.
+  const auto reported = scenario.hardware->nodes_with(
+      HardwareEventCategory::CorrectableMemory, 0, options.horizon);
+  for (std::size_t node : scenario.memory_error_nodes) {
+    EXPECT_NE(std::find(reported.begin(), reported.end(), node),
+              reported.end());
+  }
+}
+
+TEST(Scenario, CaseStudy2FirstWindowIsHotter) {
+  ScenarioOptions options;
+  options.machine_scale = 0.05;
+  options.horizon = 800;
+  const Scenario scenario = make_case_study_2(options);
+  const Mat first = scenario.sensors->window(0, options.horizon / 2);
+  const Mat second =
+      scenario.sensors->window(options.horizon / 2, options.horizon / 2);
+  double mean_first = 0.0, mean_second = 0.0;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    mean_first += first.data()[i];
+    mean_second += second.data()[i];
+  }
+  EXPECT_GT(mean_first, mean_second + 0.5 * static_cast<double>(first.size()));
+}
+
+TEST(Scenario, MachineScaleShrinks) {
+  const MachineSpec full = MachineSpec::theta();
+  const MachineSpec half = scale_machine(full, 0.5);
+  EXPECT_LT(half.node_count, full.node_count);
+  EXPECT_GE(half.racks, 1u);
+  EXPECT_THROW(scale_machine(full, 0.0), InvalidArgument);
+  EXPECT_THROW(scale_machine(full, 1.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace imrdmd::telemetry

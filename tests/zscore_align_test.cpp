@@ -1,0 +1,155 @@
+// Tests for baseline z-scoring and multifidelity alignment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/align.hpp"
+#include "core/zscore.hpp"
+#include "test_util.hpp"
+
+namespace imrdmd::core {
+namespace {
+
+TEST(Zscore, RowMeansComputed) {
+  const linalg::Mat window{{1, 2, 3}, {4, 4, 4}};
+  const auto means = row_means(window);
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(means[1], 4.0);
+}
+
+TEST(Zscore, BaselineSelectionByRange) {
+  const std::vector<double> values{45.0, 50.0, 57.0, 60.0, 46.0};
+  const auto baseline = select_baseline_sensors(
+      std::span<const double>(values.data(), values.size()), {46.0, 57.0});
+  EXPECT_EQ(baseline, (std::vector<std::size_t>{1, 2, 4}));
+}
+
+TEST(Zscore, InvertedRangeThrows) {
+  const std::vector<double> values{1.0};
+  EXPECT_THROW(select_baseline_sensors(
+                   std::span<const double>(values.data(), 1), {5.0, 2.0}),
+               InvalidArgument);
+}
+
+TEST(Zscore, ZscoresAgainstBaselineStatistics) {
+  // Baseline magnitudes: {10, 12, 14, 16, 18} -> mean 14, sd ~3.162.
+  const std::vector<double> magnitudes{10, 12, 14, 16, 18, 14, 30, 2};
+  const std::vector<std::size_t> baseline{0, 1, 2, 3, 4};
+  const ZscoreAnalysis analysis = zscore_from_baseline(
+      std::span<const double>(magnitudes.data(), magnitudes.size()),
+      std::span<const std::size_t>(baseline.data(), baseline.size()));
+  EXPECT_NEAR(analysis.baseline_mean, 14.0, 1e-12);
+  EXPECT_NEAR(analysis.baseline_stddev, std::sqrt(10.0), 1e-12);
+  EXPECT_NEAR(analysis.zscores[5], 0.0, 1e-12);
+  EXPECT_GT(analysis.zscores[6], 2.0);   // magnitude 30 is hot
+  EXPECT_LT(analysis.zscores[7], -1.5);  // magnitude 2 is cold
+}
+
+TEST(Zscore, StateClassificationMatchesPaperThresholds) {
+  ZscoreAnalysis analysis;
+  analysis.options = ZscoreOptions{};  // near=1.5, hot=2.0
+  analysis.zscores = {-3.0, -1.0, 0.0, 1.2, 1.8, 2.5};
+  EXPECT_EQ(analysis.state(0), ThermalState::Cold);
+  EXPECT_EQ(analysis.state(1), ThermalState::NearBaseline);
+  EXPECT_EQ(analysis.state(2), ThermalState::NearBaseline);
+  EXPECT_EQ(analysis.state(3), ThermalState::NearBaseline);
+  EXPECT_EQ(analysis.state(4), ThermalState::Elevated);
+  EXPECT_EQ(analysis.state(5), ThermalState::Hot);
+  EXPECT_EQ(analysis.sensors_in_state(ThermalState::Hot),
+            (std::vector<std::size_t>{5}));
+  EXPECT_EQ(analysis.sensors_in_state(ThermalState::Cold),
+            (std::vector<std::size_t>{0}));
+}
+
+TEST(Zscore, DegenerateBaselineYieldsZeroScores) {
+  const std::vector<double> magnitudes{1.0, 2.0, 3.0};
+  // Single baseline sensor: not enough for a stddev.
+  const std::vector<std::size_t> one{0};
+  const auto a = zscore_from_baseline(
+      std::span<const double>(magnitudes.data(), 3),
+      std::span<const std::size_t>(one.data(), 1));
+  EXPECT_EQ(a.baseline_stddev, 0.0);
+  for (double z : a.zscores) EXPECT_EQ(z, 0.0);
+  // Zero-variance baseline.
+  const std::vector<double> flat{5.0, 5.0, 9.0};
+  const std::vector<std::size_t> two{0, 1};
+  const auto b = zscore_from_baseline(
+      std::span<const double>(flat.data(), 3),
+      std::span<const std::size_t>(two.data(), 2));
+  EXPECT_EQ(b.baseline_stddev, 0.0);
+  for (double z : b.zscores) EXPECT_EQ(z, 0.0);
+}
+
+TEST(Zscore, OutOfRangeBaselineIndexThrows) {
+  const std::vector<double> magnitudes{1.0};
+  const std::vector<std::size_t> bad{5};
+  EXPECT_THROW(zscore_from_baseline(
+                   std::span<const double>(magnitudes.data(), 1),
+                   std::span<const std::size_t>(bad.data(), 1)),
+               DimensionError);
+}
+
+TEST(Align, PerfectOverlap) {
+  const std::vector<std::size_t> flagged{1, 3, 5};
+  const AlignmentStats stats = align_events(
+      std::span<const std::size_t>(flagged.data(), 3),
+      std::span<const std::size_t>(flagged.data(), 3), 10);
+  EXPECT_EQ(stats.flagged_with_event, 3u);
+  EXPECT_EQ(stats.flagged_without_event, 0u);
+  EXPECT_EQ(stats.event_only, 0u);
+  EXPECT_EQ(stats.neither, 7u);
+  EXPECT_DOUBLE_EQ(stats.precision, 1.0);
+  EXPECT_DOUBLE_EQ(stats.recall, 1.0);
+  EXPECT_NEAR(stats.phi, 1.0, 1e-12);
+}
+
+TEST(Align, DisjointPopulationsHaveNegativePhi) {
+  const std::vector<std::size_t> flagged{0, 1, 2, 3, 4};
+  const std::vector<std::size_t> events{5, 6, 7, 8, 9};
+  const AlignmentStats stats = align_events(
+      std::span<const std::size_t>(flagged.data(), 5),
+      std::span<const std::size_t>(events.data(), 5), 10);
+  EXPECT_EQ(stats.flagged_with_event, 0u);
+  EXPECT_DOUBLE_EQ(stats.precision, 0.0);
+  EXPECT_DOUBLE_EQ(stats.recall, 0.0);
+  EXPECT_LT(stats.phi, -0.9);
+}
+
+TEST(Align, CaseStudy1Narrative) {
+  // Paper case study 1: memory-error nodes are near-baseline/cold, hot nodes
+  // show no hardware errors -> weak/negative association.
+  const std::vector<std::size_t> hot{0, 1, 2};
+  const std::vector<std::size_t> memory_errors{10, 11, 12, 13};
+  const AlignmentStats stats = align_events(
+      std::span<const std::size_t>(hot.data(), hot.size()),
+      std::span<const std::size_t>(memory_errors.data(),
+                                   memory_errors.size()),
+      100);
+  EXPECT_EQ(stats.flagged_with_event, 0u);
+  EXPECT_LE(stats.phi, 0.0);
+}
+
+TEST(Align, EmptySetsAreSafe) {
+  const AlignmentStats stats = align_events({}, {}, 50);
+  EXPECT_EQ(stats.neither, 50u);
+  EXPECT_EQ(stats.precision, 0.0);
+  EXPECT_EQ(stats.phi, 0.0);
+}
+
+TEST(Align, OutOfRangeThrows) {
+  const std::vector<std::size_t> bad{100};
+  EXPECT_THROW(
+      align_events(std::span<const std::size_t>(bad.data(), 1), {}, 50),
+      DimensionError);
+}
+
+TEST(Align, ToStringContainsCounts) {
+  const std::vector<std::size_t> flagged{0};
+  const AlignmentStats stats =
+      align_events(std::span<const std::size_t>(flagged.data(), 1), {}, 3);
+  const std::string text = stats.to_string();
+  EXPECT_NE(text.find("flagged-only=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace imrdmd::core
