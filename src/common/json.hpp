@@ -1,0 +1,142 @@
+// Minimal streaming JSON writer for machine-readable bench/telemetry output
+// (BENCH_*.json). Write-only by design: the repo consumes CSV/JSON with
+// external tooling and only ever needs to *emit* well-formed documents.
+//
+// Usage:
+//   JsonWriter json;
+//   json.begin_object();
+//   json.field("bench", "isvd_update");
+//   json.key("workload"); json.begin_object();
+//   json.field("sensors", 1024);
+//   json.end_object();
+//   json.end_object();
+//   json.write_file("BENCH_isvd.json");
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace imrdmd {
+
+class JsonWriter {
+ public:
+  void begin_object() {
+    prefix();
+    out_ += '{';
+    fresh_.push_back(true);
+  }
+  void end_object() {
+    IMRDMD_REQUIRE_ARG(!fresh_.empty(), "JsonWriter: unbalanced end_object");
+    fresh_.pop_back();
+    out_ += '}';
+  }
+  void begin_array() {
+    prefix();
+    out_ += '[';
+    fresh_.push_back(true);
+  }
+  void end_array() {
+    IMRDMD_REQUIRE_ARG(!fresh_.empty(), "JsonWriter: unbalanced end_array");
+    fresh_.pop_back();
+    out_ += ']';
+  }
+
+  /// Emits the key of the next value inside an object.
+  void key(const std::string& name) {
+    separate();
+    out_ += '"';
+    escape(name);
+    out_ += "\":";
+    pending_key_ = true;
+  }
+
+  void value(const std::string& text) {
+    prefix();
+    out_ += '"';
+    escape(text);
+    out_ += '"';
+  }
+  void value(const char* text) { value(std::string(text)); }
+  void value(double number) {
+    prefix();
+    if (!std::isfinite(number)) {  // JSON has no inf/nan
+      out_ += "null";
+      return;
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", number);
+    out_ += buffer;
+  }
+  void value(std::size_t number) {
+    prefix();
+    out_ += std::to_string(number);
+  }
+  void value(bool flag) {
+    prefix();
+    out_ += flag ? "true" : "false";
+  }
+
+  template <typename T>
+  void field(const std::string& name, T v) {
+    key(name);
+    value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+  /// Writes the document (plus a trailing newline) to `path`.
+  void write_file(const std::string& path) const {
+    IMRDMD_REQUIRE_ARG(fresh_.empty(),
+                       "JsonWriter: unbalanced document at write_file");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) throw Error("JsonWriter: cannot open " + path);
+    std::fwrite(out_.data(), 1, out_.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+
+ private:
+  /// Comma-separates siblings inside the innermost container.
+  void separate() {
+    if (!fresh_.empty()) {
+      if (!fresh_.back()) out_ += ',';
+      fresh_.back() = false;
+    }
+  }
+  /// A value directly after key() attaches; otherwise it is a sibling.
+  void prefix() {
+    if (pending_key_) {
+      pending_key_ = false;
+    } else {
+      separate();
+    }
+  }
+  void escape(const std::string& text) {
+    for (char ch : text) {
+      switch (ch) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", ch);
+            out_ += buffer;
+          } else {
+            out_ += ch;
+          }
+      }
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> fresh_;  // per open container: no sibling emitted yet
+  bool pending_key_ = false;
+};
+
+}  // namespace imrdmd

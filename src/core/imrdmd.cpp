@@ -18,7 +18,13 @@ constexpr double kTwoPi = 6.283185307179586476925287;
 
 // Batch-refits the descendant levels (>= 2) of a tree whose root is given:
 // subtract the root's reconstruction from `data`, split the timeline in
-// half, and run the level recursion on each half (the batch tree layout).
+// half, and run the level recursion on both halves (the batch tree layout).
+//
+// The two halves are independent sub-trees; seeding one worklist with both
+// half-bins lets fit_levels drive every bin of a level — across both
+// sub-trees — through a single ThreadPool::parallel_for on the shared
+// residual, instead of fitting the halves serially on copied blocks.
+// Node order and bin indices match the natural level-ordered recursion.
 std::vector<MrdmdNode> fit_descendants(const Mat& data, const MrdmdNode& root,
                                        const MrdmdOptions& options) {
   std::vector<MrdmdNode> nodes;
@@ -32,17 +38,11 @@ std::vector<MrdmdNode> fit_descendants(const Mat& data, const MrdmdNode& root,
     residual -= window;
   }
   const std::size_t mid = steps / 2;
-  Mat left = residual.block(0, 0, sensors, mid);
-  Mat right = residual.block(0, mid, sensors, steps - mid);
-  nodes = fit_levels(left, 0, 2, options.max_levels - 1, options);
-  auto right_nodes =
-      fit_levels(right, mid, 2, options.max_levels - 1, options);
-  for (auto& node : right_nodes) {
-    node.bin_index += std::size_t{1} << (node.level - 2);
-  }
-  nodes.insert(nodes.end(), std::make_move_iterator(right_nodes.begin()),
-               std::make_move_iterator(right_nodes.end()));
-  return nodes;
+  std::vector<LevelBin> halves;
+  if (mid > 0) halves.push_back({0, mid, 0});
+  if (steps > mid) halves.push_back({mid, steps, 1});
+  return fit_levels(residual, 0, 2, options.max_levels - 1, options,
+                    std::move(halves));
 }
 
 }  // namespace

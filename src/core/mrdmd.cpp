@@ -16,12 +16,6 @@ namespace {
 
 constexpr double kTwoPi = 6.283185307179586476925287;
 
-struct Bin {
-  std::size_t lo = 0;  // global snapshot indices
-  std::size_t hi = 0;
-  std::size_t index = 0;
-};
-
 // Gathers residual columns lo, lo+stride, ... (< hi) into a dense block.
 Mat subsample(const Mat& residual, std::size_t lo, std::size_t hi,
               std::size_t stride) {
@@ -54,7 +48,11 @@ std::optional<MrdmdNode> process_bin(Mat& residual, std::size_t t_offset,
   const Mat x = grid.block(0, 0, grid.rows(), k - 1);
   const Mat y = grid.block(0, 1, grid.rows(), k - 1);
 
-  linalg::SvdResult f = linalg::svd(x);
+  // Per-thread scratch: pool workers and the main thread keep their SVD
+  // buffers warm across the many bins each processes.
+  thread_local linalg::SvdWorkspace svd_ws;
+  thread_local linalg::SvdResult f;
+  linalg::svd_into(x, f, svd_ws);
   dmd::DmdOptions dmd_options;
   dmd_options.use_svht = options.use_svht;
   dmd_options.max_rank = options.max_rank;
@@ -118,12 +116,28 @@ std::optional<MrdmdNode> process_bin(Mat& residual, std::size_t t_offset,
 std::vector<MrdmdNode> fit_levels(Mat& residual, std::size_t t0,
                                   std::size_t level0, std::size_t levels,
                                   const MrdmdOptions& options) {
+  std::vector<LevelBin> bins{{0, residual.cols(), 0}};
+  return fit_levels(residual, t0, level0, levels, options, std::move(bins));
+}
+
+std::vector<MrdmdNode> fit_levels(Mat& residual, std::size_t t0,
+                                  std::size_t level0, std::size_t levels,
+                                  const MrdmdOptions& options,
+                                  std::vector<LevelBin> bins) {
   IMRDMD_REQUIRE_ARG(options.max_cycles >= 1, "max_cycles must be >= 1");
   IMRDMD_REQUIRE_ARG(level0 >= 1, "levels are 1-based");
   std::vector<MrdmdNode> nodes;
   if (residual.empty() || levels == 0) return nodes;
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    IMRDMD_REQUIRE_DIMS(bins[b].lo <= bins[b].hi &&
+                            bins[b].hi <= residual.cols(),
+                        "fit_levels seed bin out of range");
+    // Overlapping bins would race on the shared residual in the parallel
+    // pass below; require sorted, disjoint column ranges.
+    IMRDMD_REQUIRE_DIMS(b == 0 || bins[b - 1].hi <= bins[b].lo,
+                        "fit_levels seed bins must be disjoint and sorted");
+  }
 
-  std::vector<Bin> bins{{0, residual.cols(), 0}};
   for (std::size_t depth = 0; depth < levels && !bins.empty(); ++depth) {
     const std::size_t level = level0 + depth;
     std::vector<std::optional<MrdmdNode>> produced(bins.size());
@@ -131,18 +145,21 @@ std::vector<MrdmdNode> fit_levels(Mat& residual, std::size_t t0,
       produced[b] = process_bin(residual, t0, bins[b].lo, bins[b].hi, level,
                                 bins[b].index, options);
     };
+    // Bins of one level touch disjoint residual columns, so they run
+    // concurrently on the global pool; gathering `produced` in worklist
+    // order keeps the node sequence deterministic for any thread count.
     if (options.parallel_bins && bins.size() > 1) {
       parallel_for(0, bins.size(), work);
     } else {
       for (std::size_t b = 0; b < bins.size(); ++b) work(b);
     }
-    std::vector<Bin> next;
+    std::vector<LevelBin> next;
     next.reserve(bins.size() * 2);
     for (std::size_t b = 0; b < bins.size(); ++b) {
       if (produced[b].has_value()) nodes.push_back(std::move(*produced[b]));
       // Split in half; children below the Nyquist floor die in process_bin,
       // but avoid queueing them at all when obviously too small.
-      const Bin& bin = bins[b];
+      const LevelBin& bin = bins[b];
       const std::size_t mid = bin.lo + (bin.hi - bin.lo) / 2;
       if (mid - bin.lo >= options.nyquist_snapshots()) {
         next.push_back({bin.lo, mid, bin.index * 2});

@@ -57,6 +57,14 @@ struct MrdmdOptions {
   std::size_t nyquist_snapshots() const { return 8 * max_cycles; }
 };
 
+/// A seed bin of the level recursion: column range [lo, hi) of the residual
+/// and the bin's index within `level0`.
+struct LevelBin {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  std::size_t index = 0;
+};
+
 /// Runs the level-ordered recursion on `residual` **in place** (the slow
 /// reconstructions are subtracted bin by bin; on return `residual` holds
 /// what no retained mode explains). Produced nodes carry global snapshot
@@ -68,6 +76,18 @@ struct MrdmdOptions {
 std::vector<MrdmdNode> fit_levels(Mat& residual, std::size_t t0,
                                   std::size_t level0, std::size_t levels,
                                   const MrdmdOptions& options);
+
+/// As above, but seeded with an explicit worklist of level0 bins instead of
+/// the single whole-span bin. Bins must cover disjoint column ranges. This
+/// lets a caller with several independent sub-trees (I-mrDMD's descendant
+/// refits: the two halves of the shifted timeline) drive every bin of a
+/// level through one ThreadPool::parallel_for instead of fitting the
+/// sub-trees serially. Nodes are gathered in (level, worklist) order, so the
+/// output is deterministic and independent of thread scheduling.
+std::vector<MrdmdNode> fit_levels(Mat& residual, std::size_t t0,
+                                  std::size_t level0, std::size_t levels,
+                                  const MrdmdOptions& options,
+                                  std::vector<LevelBin> bins);
 
 /// Convenience owner of a batch mrDMD decomposition.
 class MrdmdTree {

@@ -1,0 +1,138 @@
+#include "dist/communicator.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace imrdmd::dist {
+
+int Communicator::size() const { return world_->ranks_; }
+
+void World::barrier_wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::size_t gen = generation_;
+  if (++arrived_ == static_cast<std::size_t>(ranks_)) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return generation_ != gen; });
+  }
+}
+
+void Communicator::barrier() { world_->barrier_wait(); }
+
+void Communicator::exchange(
+    std::span<const double> local,
+    const std::function<void(const std::vector<std::vector<double>>&)>&
+        combine) {
+  auto& slots = world_->slots_;
+  slots[static_cast<std::size_t>(rank_)].assign(local.begin(), local.end());
+  world_->barrier_wait();  // every deposit visible
+  combine(slots);
+  world_->barrier_wait();  // every read done; slots reusable
+}
+
+void Communicator::broadcast(std::span<double> buffer, int root) {
+  IMRDMD_REQUIRE_ARG(root >= 0 && root < size(), "broadcast root out of range");
+  exchange(buffer, [&](const std::vector<std::vector<double>>& slots) {
+    // Validate against *every* slot, not just the root's: on a size
+    // mismatch all ranks then throw together and none is left blocking in
+    // the exit barrier on a rank that bailed out.
+    for (const auto& slot : slots) {
+      IMRDMD_REQUIRE_DIMS(slot.size() == buffer.size(),
+                          "broadcast buffer sizes disagree across ranks");
+    }
+    const auto& src = slots[static_cast<std::size_t>(root)];
+    std::copy(src.begin(), src.end(), buffer.begin());
+  });
+}
+
+void Communicator::allreduce_sum(std::span<double> buffer) {
+  exchange(buffer, [&](const std::vector<std::vector<double>>& slots) {
+    std::fill(buffer.begin(), buffer.end(), 0.0);
+    for (const auto& slot : slots) {  // rank order: deterministic FP sums
+      IMRDMD_REQUIRE_DIMS(slot.size() == buffer.size(),
+                          "allreduce_sum buffer sizes disagree across ranks");
+      for (std::size_t i = 0; i < buffer.size(); ++i) buffer[i] += slot[i];
+    }
+  });
+}
+
+double Communicator::allreduce_min(double value) {
+  exchange(std::span<const double>(&value, 1),
+           [&](const std::vector<std::vector<double>>& slots) {
+             for (const auto& slot : slots) {
+               value = std::min(value, slot.at(0));
+             }
+           });
+  return value;
+}
+
+double Communicator::allreduce_max(double value) {
+  exchange(std::span<const double>(&value, 1),
+           [&](const std::vector<std::vector<double>>& slots) {
+             for (const auto& slot : slots) {
+               value = std::max(value, slot.at(0));
+             }
+           });
+  return value;
+}
+
+std::vector<double> Communicator::allgather(std::span<const double> local) {
+  std::vector<double> all;
+  exchange(local, [&](const std::vector<std::vector<double>>& slots) {
+    std::size_t total = 0;
+    for (const auto& slot : slots) total += slot.size();
+    all.reserve(total);
+    for (const auto& slot : slots) {
+      all.insert(all.end(), slot.begin(), slot.end());
+    }
+  });
+  return all;
+}
+
+std::vector<double> Communicator::gather(std::span<const double> local,
+                                         int root) {
+  IMRDMD_REQUIRE_ARG(root >= 0 && root < size(), "gather root out of range");
+  std::vector<double> all;
+  exchange(local, [&](const std::vector<std::vector<double>>& slots) {
+    if (rank_ != root) return;
+    std::size_t total = 0;
+    for (const auto& slot : slots) total += slot.size();
+    all.reserve(total);
+    for (const auto& slot : slots) {
+      all.insert(all.end(), slot.begin(), slot.end());
+    }
+  });
+  return all;
+}
+
+World::World(int ranks) : ranks_(ranks) {
+  IMRDMD_REQUIRE_ARG(ranks >= 1, "World needs at least one rank");
+  slots_.resize(static_cast<std::size_t>(ranks));
+}
+
+void World::run(const std::function<void(Communicator&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks_));
+  threads.reserve(static_cast<std::size_t>(ranks_));
+  for (int r = 0; r < ranks_; ++r) {
+    threads.emplace_back([this, &fn, &errors, r] {
+      Communicator comm(*this, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace imrdmd::dist

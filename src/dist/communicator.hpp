@@ -1,0 +1,99 @@
+// Thread-SPMD "distributed" runtime: a World of N ranks, each a thread
+// running the same function, talking through a Communicator of MPI-shaped
+// collectives (barrier, broadcast, allreduce, allgather, gather).
+//
+// The point is to exercise the *communication pattern* of the spatially
+// parallel algorithms (TSQR, DistributedIsvd, distributed_dmd) with
+// deterministic, testable semantics on one node. Every collective combines
+// contributions in rank order, so results are bitwise identical across
+// ranks and across runs — a drop-in MPI backend only has to preserve that
+// ordering contract.
+//
+// All collectives are, as in MPI, *collective*: every rank of the world
+// must call them in the same order with agreeing root arguments. A rank
+// that exits (or throws) between two collectives while its peers are
+// blocked inside one is a program bug, mirrored from the MPI semantics;
+// World::run rethrows the first (lowest-rank) exception after the join.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace imrdmd::dist {
+
+class World;
+
+/// One rank's endpoint into the world's collectives. Created by World::run;
+/// valid only for the duration of the ranked function.
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Blocks until every rank has entered the barrier.
+  void barrier();
+
+  /// Replicates `buffer` from `root` to every rank (in place).
+  void broadcast(std::span<double> buffer, int root);
+
+  /// Element-wise sum over ranks, result replicated in place. Contributions
+  /// are added in rank order (deterministic floating point).
+  void allreduce_sum(std::span<double> buffer);
+
+  /// Scalar min/max over ranks.
+  double allreduce_min(double value);
+  double allreduce_max(double value);
+
+  /// Concatenates every rank's contribution in rank order, replicated on
+  /// all ranks. Contributions may differ in length.
+  std::vector<double> allgather(std::span<const double> local);
+
+  /// Like allgather, but only `root` receives; other ranks get {}.
+  std::vector<double> gather(std::span<const double> local, int root);
+
+ private:
+  friend class World;
+  Communicator(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  /// Deposits this rank's contribution, waits for all ranks, then applies
+  /// `combine` (reading every slot) before the exit barrier releases the
+  /// slots for the next collective.
+  void exchange(std::span<const double> local,
+                const std::function<void(const std::vector<std::vector<double>>&)>& combine);
+
+  World* world_;
+  int rank_;
+};
+
+/// Owns the shared collective state for `ranks` SPMD participants.
+class World {
+ public:
+  /// Throws InvalidArgument when ranks == 0.
+  explicit World(int ranks);
+
+  int size() const { return ranks_; }
+
+  /// Spawns one thread per rank, runs `fn(comm)` on each, joins all, and
+  /// rethrows the lowest-rank exception if any rank threw.
+  void run(const std::function<void(Communicator&)>& fn);
+
+ private:
+  friend class Communicator;
+
+  void barrier_wait();
+
+  int ranks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t arrived_ = 0;
+  std::size_t generation_ = 0;
+  /// Per-rank deposit slots, stable between the two barriers of a
+  /// collective (write -> barrier -> read -> barrier).
+  std::vector<std::vector<double>> slots_;
+};
+
+}  // namespace imrdmd::dist

@@ -44,55 +44,72 @@ void Isvd::initialize(const Mat& block) {
   truncate();
 }
 
-void Isvd::update(const Mat& new_cols) {
+void Isvd::update(const Mat& new_cols) { update(new_cols, workspace_); }
+
+void Isvd::update(const Mat& new_cols, IsvdWorkspace& ws) {
   IMRDMD_REQUIRE_ARG(initialized_, "Isvd::update before initialize");
   IMRDMD_REQUIRE_DIMS(new_cols.rows() == u_.rows(),
                       "Isvd::update row count mismatch");
-  if (new_cols.cols() == 0) return;
-  // The residual QR needs P >= c; fold wider blocks in as a sequence of
-  // narrower updates (mathematically identical).
-  if (new_cols.cols() > u_.rows()) {
-    for (std::size_t c0 = 0; c0 < new_cols.cols(); c0 += u_.rows()) {
-      const std::size_t w = std::min(u_.rows(), new_cols.cols() - c0);
-      update(new_cols.block(0, c0, new_cols.rows(), w));
-    }
-    return;
+  // The residual QR needs P >= c; wider inputs fold in as a loop of
+  // full-width blocks (mathematically identical, one core SVD per block).
+  const std::size_t width = u_.rows();
+  for (std::size_t c0 = 0; c0 < new_cols.cols(); c0 += width) {
+    update_block(new_cols, c0, std::min(width, new_cols.cols() - c0), ws);
   }
-  const std::size_t r = rank();
-  const std::size_t c = new_cols.cols();
+}
 
-  // Projection onto the current left subspace and out-of-subspace residual,
-  // with one classical reorthogonalization pass (Kühl et al. recommend it;
-  // without it the residual loses orthogonality once s spans many decades).
-  Mat m = linalg::matmul_at_b(u_, new_cols);       // r x c
-  Mat residual = new_cols - linalg::matmul(u_, m);  // P x c
-  {
-    const Mat m2 = linalg::matmul_at_b(u_, residual);
-    residual -= linalg::matmul(u_, m2);
-    m += m2;
+void Isvd::update_block(const Mat& src, std::size_t c0, std::size_t c,
+                        IsvdWorkspace& ws) {
+  const std::size_t p = u_.rows();
+  const std::size_t r = rank();
+  const Mat* block = &src;
+  if (c0 != 0 || c != src.cols()) {
+    ws.block.assign_zero(p, c);
+    for (std::size_t i = 0; i < p; ++i) {
+      const double* from = src.data() + i * src.cols() + c0;
+      std::copy(from, from + c, ws.block.data() + i * c);
+    }
+    block = &ws.block;
   }
-  linalg::QrResult qr = linalg::thin_qr(residual);  // Q: P x c, R: c x c
+
+  // Projection onto the current left subspace and out-of-subspace residual:
+  // two passes of the fused project_out primitive — the second is the
+  // classical reorthogonalization (Kühl et al. recommend it; without it the
+  // residual loses orthogonality once s spans many decades).
+  ws.coeff.assign_zero(r, c);
+  ws.residual = *block;
+  linalg::project_out(u_, ws.residual, ws.coeff, ws.coeff_pass);
+  linalg::project_out(u_, ws.residual, ws.coeff, ws.coeff_pass);
+  linalg::thin_qr_into(ws.residual, ws.qr, ws.qr_ws);  // Q: P x c, R: c x c
 
   // Core matrix K = [diag(s), M; 0, R] of size (r+c) x (r+c).
-  Mat k(r + c, r + c);
-  for (std::size_t i = 0; i < r; ++i) k(i, i) = s_[i];
-  k.set_block(0, r, m);
-  k.set_block(r, r, qr.r);
-  linalg::SvdResult core = linalg::svd(k);
+  ws.core.assign_zero(r + c, r + c);
+  for (std::size_t i = 0; i < r; ++i) ws.core(i, i) = s_[i];
+  ws.core.set_block(0, r, ws.coeff);
+  ws.core.set_block(r, r, ws.qr.r);
+  linalg::svd_into(ws.core, ws.core_svd, ws.svd_ws);
 
-  // Rotate the outer factors: U <- [U Q] Uk, V <- [[V 0];[0 I]] Vk.
-  Mat u_ext(u_.rows(), r + c);
-  u_ext.set_block(0, 0, u_);
-  u_ext.set_block(0, r, qr.q);
-  u_ = linalg::matmul(u_ext, core.u);
+  // Rotate the outer factors: U <- [U Q] Uk, V <- [[V 0];[0 I]] Vk. The
+  // rotated factor is built in a workspace buffer and swapped into place.
+  ws.u_ext.assign_zero(p, r + c);
+  ws.u_ext.set_block(0, 0, u_);
+  ws.u_ext.set_block(0, r, ws.qr.q);
+  linalg::matmul_into(ws.u_ext, ws.core_svd.u, ws.u_next);
+  std::swap(u_, ws.u_next);
 
-  s_ = std::move(core.s);
+  s_.assign(ws.core_svd.s.begin(), ws.core_svd.s.end());
 
   if (options_.track_v) {
-    Mat v_ext(cols_seen_ + c, r + c);
-    v_ext.set_block(0, 0, v_);
-    for (std::size_t j = 0; j < c; ++j) v_ext(cols_seen_ + j, r + j) = 1.0;
-    v_ = linalg::matmul(v_ext, core.v);
+    // V gains a row per seen column; reserve geometrically so the growth
+    // allocations amortize away in steady state.
+    const std::size_t need = (cols_seen_ + c) * (r + c);
+    if (ws.v_ext.capacity() < need) ws.v_ext.reserve(2 * need);
+    if (ws.v_next.capacity() < need) ws.v_next.reserve(2 * need);
+    ws.v_ext.assign_zero(cols_seen_ + c, r + c);
+    ws.v_ext.set_block(0, 0, v_);
+    for (std::size_t j = 0; j < c; ++j) ws.v_ext(cols_seen_ + j, r + j) = 1.0;
+    linalg::matmul_into(ws.v_ext, ws.core_svd.v, ws.v_next);
+    std::swap(v_, ws.v_next);
   }
   cols_seen_ += c;
   truncate();
@@ -165,8 +182,8 @@ void Isvd::truncate() {
   if (options_.max_rank > 0) keep = std::min(keep, options_.max_rank);
   if (keep == s_.size()) return;
   s_.resize(keep);
-  u_ = u_.block(0, 0, u_.rows(), keep);
-  if (options_.track_v && !v_.empty()) v_ = v_.block(0, 0, v_.rows(), keep);
+  u_.shrink_cols(keep);
+  if (options_.track_v && !v_.empty()) v_.shrink_cols(keep);
 }
 
 }  // namespace imrdmd::isvd

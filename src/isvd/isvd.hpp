@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
 #include "linalg/svd.hpp"
 
 namespace imrdmd::isvd {
@@ -30,6 +31,30 @@ struct IsvdOptions {
   double truncation_tol = 1e-12;
   /// Maintain V (needed by DMD); disable for PCA-style uses to save memory.
   bool track_v = true;
+};
+
+/// Scratch for Isvd::update. Every temporary of the blocked fast path —
+/// projection coefficients, residual, core matrix, extended/rotated outer
+/// factors, and the QR/SVD workspaces — lives here and is reused across
+/// updates, so once the buffers have warmed to the steady-state rank a
+/// column update performs no heap allocation (V's unbounded growth is
+/// amortized by geometric reservation). Isvd owns one internally; callers
+/// interleaving updates of many decompositions can share an external one
+/// via the two-argument update().
+struct IsvdWorkspace {
+  linalg::Mat block;         // gathered slice of a wider-than-P input
+  linalg::Mat coeff;         // r x c projection coefficients ("M")
+  linalg::Mat coeff_pass;    // per-pass coefficients of project_out
+  linalg::Mat residual;      // P x c out-of-subspace residual
+  linalg::Mat core;          // (r+c) x (r+c) core matrix K
+  linalg::Mat u_ext;         // [U Q]
+  linalg::Mat v_ext;         // [[V 0]; [0 I]]
+  linalg::Mat u_next;        // rotated factors, swapped into the Isvd
+  linalg::Mat v_next;
+  linalg::QrResult qr;
+  linalg::QrWorkspace qr_ws;
+  linalg::SvdResult core_svd;
+  linalg::SvdWorkspace svd_ws;
 };
 
 class Isvd {
@@ -46,8 +71,14 @@ class Isvd {
   /// before any update().
   void initialize(const linalg::Mat& block);
 
-  /// Folds `new_cols` (P x c) into the decomposition.
+  /// Folds `new_cols` (P x c) into the decomposition using the internal
+  /// workspace. One core SVD per P-column block; cost O(P r c + (r+c)^3),
+  /// independent of cols_seen().
   void update(const linalg::Mat& new_cols);
+
+  /// Same update through a caller-owned workspace (shareable across Isvd
+  /// instances that update in turn; never concurrently).
+  void update(const linalg::Mat& new_cols, IsvdWorkspace& workspace);
 
   /// Extends the decomposition with `new_rows` (w x cols_seen()): the
   /// new-sensor extension. V gains no rows; U gains w rows.
@@ -67,6 +98,10 @@ class Isvd {
   linalg::Mat reconstruct() const;
 
  private:
+  /// Folds columns [c0, c0 + c) of `src` (one block, c <= rows) into the
+  /// factors; the blocked core of update().
+  void update_block(const linalg::Mat& src, std::size_t c0, std::size_t c,
+                    IsvdWorkspace& ws);
   void truncate();
 
   IsvdOptions options_;
@@ -75,6 +110,7 @@ class Isvd {
   linalg::Mat u_;
   std::vector<double> s_;
   linalg::Mat v_;
+  IsvdWorkspace workspace_;
 };
 
 }  // namespace imrdmd::isvd

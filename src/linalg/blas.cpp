@@ -8,15 +8,16 @@ namespace {
 
 // Row-panel blocking: each OpenMP thread owns a stripe of C rows; the inner
 // k-j loop order streams B rows sequentially, which is the cache-friendly
-// order for row-major storage.
+// order for row-major storage. Each output row is owned by exactly one
+// thread, so results are bitwise deterministic for any thread count.
 template <typename T>
-Matrix<T> matmul_impl(const Matrix<T>& a, const Matrix<T>& b) {
+void matmul_into_impl(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c) {
   IMRDMD_REQUIRE_DIMS(a.cols() == b.rows(), "matmul inner dimension mismatch");
-  Matrix<T> c(a.rows(), b.cols());
+  c.assign_zero(a.rows(), b.cols());
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
-  if (m == 0 || k == 0 || n == 0) return c;
+  if (m == 0 || k == 0 || n == 0) return;
   const T* __restrict__ bp = b.data();
 #pragma omp parallel for schedule(static) if (m * n * k > 1u << 14)
   for (std::size_t i = 0; i < m; ++i) {
@@ -29,6 +30,12 @@ Matrix<T> matmul_impl(const Matrix<T>& a, const Matrix<T>& b) {
       for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
     }
   }
+}
+
+template <typename T>
+Matrix<T> matmul_impl(const Matrix<T>& a, const Matrix<T>& b) {
+  Matrix<T> c;
+  matmul_into_impl(a, b, c);
   return c;
 }
 
@@ -37,20 +44,27 @@ Matrix<T> matmul_impl(const Matrix<T>& a, const Matrix<T>& b) {
 Mat matmul(const Mat& a, const Mat& b) { return matmul_impl(a, b); }
 CMat matmul(const CMat& a, const CMat& b) { return matmul_impl(a, b); }
 
-Mat matmul_at_b(const Mat& a, const Mat& b) {
+void matmul_into(const Mat& a, const Mat& b, Mat& out) {
+  matmul_into_impl(a, b, out);
+}
+void matmul_into(const CMat& a, const CMat& b, CMat& out) {
+  matmul_into_impl(a, b, out);
+}
+
+void matmul_at_b_into(const Mat& a, const Mat& b, Mat& out) {
   IMRDMD_REQUIRE_DIMS(a.rows() == b.rows(), "matmul_at_b dimension mismatch");
   const std::size_t m = a.cols();
   const std::size_t k = a.rows();
   const std::size_t n = b.cols();
-  Mat c(m, n);
-  if (m == 0 || k == 0 || n == 0) return c;
+  out.assign_zero(m, n);
+  if (m == 0 || k == 0 || n == 0) return;
   // C += a_row(kk)^T * b_row(kk): rank-1 accumulation keeps both inputs in
   // row-major streaming order. Parallelizing over kk would race on C, so we
   // parallelize over output rows with a transposed access into A instead
   // when the problem is big enough.
 #pragma omp parallel for schedule(static) if (m * n * k > 1u << 14)
   for (std::size_t i = 0; i < m; ++i) {
-    double* __restrict__ crow = c.data() + i * n;
+    double* __restrict__ crow = out.data() + i * n;
     for (std::size_t kk = 0; kk < k; ++kk) {
       const double aki = a(kk, i);
       if (aki == 0.0) continue;
@@ -58,20 +72,19 @@ Mat matmul_at_b(const Mat& a, const Mat& b) {
       for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
     }
   }
-  return c;
 }
 
-Mat matmul_a_bt(const Mat& a, const Mat& b) {
+void matmul_a_bt_into(const Mat& a, const Mat& b, Mat& out) {
   IMRDMD_REQUIRE_DIMS(a.cols() == b.cols(), "matmul_a_bt dimension mismatch");
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.rows();
-  Mat c(m, n);
-  if (m == 0 || k == 0 || n == 0) return c;
+  out.assign_zero(m, n);
+  if (m == 0 || k == 0 || n == 0) return;
 #pragma omp parallel for schedule(static) if (m * n * k > 1u << 14)
   for (std::size_t i = 0; i < m; ++i) {
     const double* __restrict__ arow = a.data() + i * k;
-    double* __restrict__ crow = c.data() + i * n;
+    double* __restrict__ crow = out.data() + i * n;
     for (std::size_t j = 0; j < n; ++j) {
       const double* __restrict__ brow = b.data() + j * k;
       double sum = 0.0;
@@ -79,6 +92,46 @@ Mat matmul_a_bt(const Mat& a, const Mat& b) {
       crow[j] = sum;
     }
   }
+}
+
+void matmul_sub(const Mat& a, const Mat& b, Mat& out) {
+  IMRDMD_REQUIRE_DIMS(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  IMRDMD_REQUIRE_DIMS(out.rows() == a.rows() && out.cols() == b.cols(),
+                      "matmul_sub output shape mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  if (m == 0 || k == 0 || n == 0) return;
+  const double* __restrict__ bp = b.data();
+#pragma omp parallel for schedule(static) if (m * n * k > 1u << 14)
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* __restrict__ arow = a.data() + i * k;
+    double* __restrict__ crow = out.data() + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = arow[kk];
+      if (aik == 0.0) continue;
+      const double* __restrict__ brow = bp + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] -= aik * brow[j];
+    }
+  }
+}
+
+void project_out(const Mat& u, Mat& residual, Mat& coeff_accum,
+                 Mat& coeff_ws) {
+  matmul_at_b_into(u, residual, coeff_ws);
+  matmul_sub(u, coeff_ws, residual);
+  coeff_accum += coeff_ws;
+}
+
+Mat matmul_at_b(const Mat& a, const Mat& b) {
+  Mat c;
+  matmul_at_b_into(a, b, c);
+  return c;
+}
+
+Mat matmul_a_bt(const Mat& a, const Mat& b) {
+  Mat c;
+  matmul_a_bt_into(a, b, c);
   return c;
 }
 

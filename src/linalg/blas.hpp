@@ -22,6 +22,35 @@ Mat matmul_at_b(const Mat& a, const Mat& b);
 /// C = A * B^T (real).
 Mat matmul_a_bt(const Mat& a, const Mat& b);
 
+// --- Workspace-accepting variants ----------------------------------------
+// Write into `out`, reshaping it as needed; the backing storage is reused
+// when capacity suffices, so a caller cycling the same `out` through these
+// entry points performs zero heap allocations in steady state. The hot
+// streaming paths (isvd::Isvd::update, the per-bin mrDMD fits) funnel their
+// products through these instead of the value-returning forms above.
+
+/// out = A * B.
+void matmul_into(const Mat& a, const Mat& b, Mat& out);
+void matmul_into(const CMat& a, const CMat& b, CMat& out);
+
+/// out = A^T * B.
+void matmul_at_b_into(const Mat& a, const Mat& b, Mat& out);
+
+/// out = A * B^T.
+void matmul_a_bt_into(const Mat& a, const Mat& b, Mat& out);
+
+/// out -= A * B; `out` must already have shape (A.rows x B.cols).
+void matmul_sub(const Mat& a, const Mat& b, Mat& out);
+
+/// One fused (re)orthogonalization pass of the incremental SVD:
+///   coeff_ws    = U^T residual      (projection onto span(U))
+///   residual   -= U * coeff_ws      (out-of-subspace remainder)
+///   coeff_accum += coeff_ws         (accumulated projection coefficients)
+/// Calling it twice is the classical "project + one reorthogonalization"
+/// recipe; every temporary lives in the caller's workspace.
+void project_out(const Mat& u, Mat& residual, Mat& coeff_accum,
+                 Mat& coeff_ws);
+
 /// C = A^H * B (complex adjoint).
 CMat matmul_ah_b(const CMat& a, const CMat& b);
 

@@ -12,6 +12,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <cstring>
 #include <initializer_list>
 #include <span>
 #include <vector>
@@ -136,11 +137,40 @@ class Matrix {
     return out;
   }
 
-  /// Resizes destructively; contents become zero.
+  /// Resizes destructively; contents become zero. Backing storage is
+  /// reused when capacity suffices, so workspace buffers cycled through
+  /// assign_zero are allocation-free once warmed to their peak size.
   void assign_zero(std::size_t rows, std::size_t cols) {
     rows_ = rows;
     cols_ = cols;
     data_.assign(rows * cols, T{});
+  }
+
+  /// Pre-allocates backing storage for `elements` values without changing
+  /// the shape (the Matrix analogue of std::vector::reserve).
+  void reserve(std::size_t elements) { data_.reserve(elements); }
+  std::size_t capacity() const { return data_.capacity(); }
+
+  /// Keeps only the leading `keep` columns, repacking rows in place —
+  /// no allocation, unlike block().
+  void shrink_cols(std::size_t keep) {
+    IMRDMD_REQUIRE_DIMS(keep <= cols_, "shrink_cols beyond column count");
+    if (keep == cols_) return;
+    for (std::size_t i = 0; i < rows_; ++i) {
+      T* dst = data_.data() + i * keep;
+      const T* src = data_.data() + i * cols_;
+      std::memmove(dst, src, keep * sizeof(T));
+    }
+    cols_ = keep;
+    data_.resize(rows_ * keep);
+  }
+
+  /// Writes this matrix's transpose into `out` (reusing its storage).
+  void transposed_into(Matrix& out) const {
+    out.assign_zero(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+    }
   }
 
   Matrix& operator+=(const Matrix& other) {

@@ -45,11 +45,12 @@ void householder_factor(Mat& work, std::vector<double>& taus) {
   }
 }
 
-// Accumulates the thin Q (m x n) from the factored form.
-Mat accumulate_q(const Mat& work, const std::vector<double>& taus) {
+// Accumulates the thin Q (m x n) from the factored form into `q`.
+void accumulate_q_into(const Mat& work, const std::vector<double>& taus,
+                       Mat& q) {
   const std::size_t m = work.rows();
   const std::size_t n = work.cols();
-  Mat q(m, n);
+  q.assign_zero(m, n);
   for (std::size_t j = 0; j < n; ++j) q(j, j) = 1.0;
   // Apply reflectors in reverse order: Q = H_0 H_1 ... H_{n-1} E.
   for (std::size_t kk = n; kk-- > 0;) {
@@ -63,37 +64,38 @@ Mat accumulate_q(const Mat& work, const std::vector<double>& taus) {
       for (std::size_t i = kk + 1; i < m; ++i) q(i, j) -= s * work(i, kk);
     }
   }
-  return q;
 }
 
-// Extracts R (n x n upper triangle); flips signs so diag(R) >= 0 and flips
-// the matching Q columns via the returned sign vector.
-Mat extract_r(const Mat& work, std::vector<double>& signs) {
+// Extracts R (n x n upper triangle) into `r`; flips signs so diag(R) >= 0
+// and flips the matching Q columns via the sign vector.
+void extract_r_into(const Mat& work, std::vector<double>& signs, Mat& r) {
   const std::size_t n = work.cols();
-  Mat r(n, n);
+  r.assign_zero(n, n);
   signs.assign(n, 1.0);
   for (std::size_t i = 0; i < n; ++i) {
     if (work(i, i) < 0.0) signs[i] = -1.0;
     for (std::size_t j = i; j < n; ++j) r(i, j) = signs[i] * work(i, j);
   }
-  return r;
 }
 
 }  // namespace
 
-QrResult thin_qr(const Mat& a) {
+void thin_qr_into(const Mat& a, QrResult& out, QrWorkspace& ws) {
   IMRDMD_REQUIRE_DIMS(a.rows() >= a.cols(), "thin_qr requires rows >= cols");
-  Mat work = a;
-  std::vector<double> taus;
-  householder_factor(work, taus);
-  std::vector<double> signs;
-  QrResult result;
-  result.r = extract_r(work, signs);
-  result.q = accumulate_q(work, taus);
+  ws.work = a;
+  householder_factor(ws.work, ws.taus);
+  extract_r_into(ws.work, ws.signs, out.r);
+  accumulate_q_into(ws.work, ws.taus, out.q);
   // Apply the diagonal sign normalization to Q columns: A = (Q S)(S R).
-  for (std::size_t j = 0; j < result.q.cols(); ++j) {
-    if (signs[j] < 0.0) scale_col(result.q, j, -1.0);
+  for (std::size_t j = 0; j < out.q.cols(); ++j) {
+    if (ws.signs[j] < 0.0) scale_col(out.q, j, -1.0);
   }
+}
+
+QrResult thin_qr(const Mat& a) {
+  QrResult result;
+  QrWorkspace ws;
+  thin_qr_into(a, result, ws);
   return result;
 }
 
@@ -103,7 +105,9 @@ Mat qr_r_only(const Mat& a) {
   std::vector<double> taus;
   householder_factor(work, taus);
   std::vector<double> signs;
-  return extract_r(work, signs);
+  Mat r;
+  extract_r_into(work, signs, r);
+  return r;
 }
 
 std::vector<double> solve_upper(const Mat& r, std::span<const double> b) {

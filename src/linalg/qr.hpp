@@ -19,6 +19,19 @@ struct QrResult {
 /// Computes the thin QR of `a`. Requires rows >= cols.
 QrResult thin_qr(const Mat& a);
 
+/// Reusable scratch for thin_qr_into; buffers grow on demand and are never
+/// shrunk, so repeated factorizations of same-or-smaller shapes allocate
+/// nothing.
+struct QrWorkspace {
+  Mat work;
+  std::vector<double> taus;
+  std::vector<double> signs;
+};
+
+/// Workspace variant of thin_qr: identical algorithm and results, but every
+/// temporary and both output factors reuse caller-provided storage.
+void thin_qr_into(const Mat& a, QrResult& out, QrWorkspace& ws);
+
 /// R factor only (same sign convention); cheaper when Q is not needed.
 Mat qr_r_only(const Mat& a);
 

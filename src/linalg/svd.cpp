@@ -22,10 +22,14 @@ namespace {
 // One-sided Jacobi on a tall matrix A (m >= n): rotates column pairs until
 // they are mutually orthogonal; the rotations accumulate into V, the final
 // column norms are the singular values and the normalized columns form U.
-SvdResult jacobi_svd_tall(const Mat& input) {
+// Every temporary lives in `ws` and the factors land in `result`, both
+// reused across calls by the streaming hot paths.
+void jacobi_svd_tall_into(const Mat& input, SvdResult& result,
+                          SvdWorkspace& ws) {
   const std::size_t m = input.rows();
   const std::size_t n = input.cols();
-  Mat a = input;
+  Mat& a = ws.a;
+  a = input;
   // Pre-scale so squared column norms can neither overflow nor underflow
   // for inputs anywhere near the double range; undone on the spectrum.
   double max_abs = 0.0;
@@ -34,7 +38,9 @@ SvdResult jacobi_svd_tall(const Mat& input) {
   }
   const double prescale = max_abs > 0.0 ? 1.0 / max_abs : 1.0;
   if (prescale != 1.0) a *= prescale;
-  Mat v = Mat::identity(n);
+  Mat& v = ws.v;
+  v.assign_zero(n, n);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
 
   const double eps = 1e-15;
   // Columns whose squared norm has fallen to rounding-noise level (relative
@@ -92,13 +98,19 @@ SvdResult jacobi_svd_tall(const Mat& input) {
     throw NumericalError("jacobi_svd did not converge (input finite?)");
   }
 
-  std::vector<double> norms = col_norms(a);
-  std::vector<std::size_t> order(n);
+  std::vector<double>& norms = ws.norms;
+  norms.assign(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* row = a.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) norms[j] += row[j] * row[j];
+  }
+  for (auto& norm : norms) norm = std::sqrt(norm);
+  std::vector<std::size_t>& order = ws.order;
+  order.resize(n);
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(),
                    [&](std::size_t i, std::size_t j) { return norms[i] > norms[j]; });
 
-  SvdResult result;
   result.s.resize(n);
   result.u.assign_zero(m, n);
   result.v.assign_zero(n, n);
@@ -111,20 +123,26 @@ SvdResult jacobi_svd_tall(const Mat& input) {
     }
     for (std::size_t i = 0; i < n; ++i) result.v(i, k) = v(i, j);
   }
-  return result;
 }
 
 }  // namespace
 
-SvdResult svd(const Mat& x) {
+void svd_into(const Mat& x, SvdResult& out, SvdWorkspace& ws) {
   IMRDMD_REQUIRE_DIMS(!x.empty(), "svd of an empty matrix");
-  if (x.rows() >= x.cols()) return jacobi_svd_tall(x);
+  if (x.rows() >= x.cols()) {
+    jacobi_svd_tall_into(x, out, ws);
+    return;
+  }
   // Factor the transpose and swap the singular vector roles.
-  SvdResult t = jacobi_svd_tall(x.transposed());
+  x.transposed_into(ws.xt);
+  jacobi_svd_tall_into(ws.xt, out, ws);
+  std::swap(out.u, out.v);
+}
+
+SvdResult svd(const Mat& x) {
   SvdResult result;
-  result.u = std::move(t.v);
-  result.v = std::move(t.u);
-  result.s = std::move(t.s);
+  SvdWorkspace ws;
+  svd_into(x, result, ws);
   return result;
 }
 

@@ -33,6 +33,22 @@ struct SvdResult {
 /// cols > rows, so the iteration always runs on the skinny side).
 SvdResult svd(const Mat& x);
 
+/// Reusable scratch for svd_into; buffers grow on demand and are never
+/// shrunk, so repeated decompositions of same-or-smaller shapes (the
+/// steady-state core matrices of the incremental SVD, the per-bin mrDMD
+/// factorizations) allocate nothing.
+struct SvdWorkspace {
+  Mat a;
+  Mat v;
+  Mat xt;
+  std::vector<double> norms;
+  std::vector<std::size_t> order;
+};
+
+/// Workspace variant of svd(): identical algorithm and results, but every
+/// temporary and all three output factors reuse caller-provided storage.
+void svd_into(const Mat& x, SvdResult& out, SvdWorkspace& ws);
+
 /// Rank-k approximate SVD by randomized range finding.
 /// `oversample` extra sketch columns and `power_iters` subspace iterations
 /// trade time for accuracy (defaults follow Halko et al.'s recommendations).

@@ -1,0 +1,107 @@
+// Determinism of the parallel I-mrDMD paths: with a fixed thread count,
+// repeated runs and serial-vs-parallel runs must produce bitwise-identical
+// results. Every parallel_for gathers per-bin results in worklist order and
+// every OpenMP kernel assigns each output row to exactly one thread, so the
+// floating-point evaluation order never depends on scheduling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/imrdmd.hpp"
+#include "core/pipeline.hpp"
+#include "test_util.hpp"
+
+namespace imrdmd::core {
+namespace {
+
+using imrdmd::testing::planted_multiscale;
+
+ImrdmdOptions imrdmd_options(bool parallel) {
+  ImrdmdOptions options;
+  options.mrdmd.max_levels = 5;
+  options.mrdmd.max_cycles = 2;
+  options.mrdmd.dt = 1.0;
+  options.mrdmd.parallel_bins = parallel;
+  options.recompute_on_drift = true;
+  options.drift_threshold = 0.0;  // force the descendant refit every update
+  return options;
+}
+
+// Fits + streams the planted signal, returning every node's eigenvalues
+// (the most scheduling-sensitive quantities: they sit at the end of the
+// per-bin pipeline).
+std::vector<Complex> run_model(const Mat& data, bool parallel) {
+  IncrementalMrdmd model(imrdmd_options(parallel));
+  const std::size_t split = 384;
+  model.initial_fit(data.block(0, 0, data.rows(), split));
+  for (std::size_t t0 = split; t0 < data.cols(); t0 += 64) {
+    model.partial_fit(data.block(0, t0, data.rows(), 64));
+  }
+  std::vector<Complex> eigenvalues;
+  for (const auto& node : model.nodes()) {
+    eigenvalues.insert(eigenvalues.end(), node.eigenvalues.begin(),
+                       node.eigenvalues.end());
+  }
+  return eigenvalues;
+}
+
+TEST(ParallelDeterminism, RepeatedParallelRunsAreBitwiseIdentical) {
+  Rng rng(21);
+  const Mat data = planted_multiscale(16, 512, 0.01, rng);
+  const auto first = run_model(data, true);
+  const auto second = run_model(data, true);
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_FALSE(first.empty());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].real(), second[i].real());
+    EXPECT_EQ(first[i].imag(), second[i].imag());
+  }
+}
+
+TEST(ParallelDeterminism, ParallelMatchesSerialBitwise) {
+  Rng rng(22);
+  const Mat data = planted_multiscale(16, 512, 0.01, rng);
+  const auto parallel = run_model(data, true);
+  const auto serial = run_model(data, false);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_EQ(parallel[i].real(), serial[i].real());
+    EXPECT_EQ(parallel[i].imag(), serial[i].imag());
+  }
+}
+
+// End-to-end: the full assessment pipeline (stream -> I-mrDMD -> band
+// isolation -> z-scores) must emit identical PipelineSnapshots whether the
+// descendant bins were fitted serially or in parallel.
+TEST(ParallelDeterminism, PipelineSnapshotsMatchSerialBitwise) {
+  Rng rng(23);
+  const Mat data = planted_multiscale(12, 640, 0.02, rng);
+
+  auto run_pipeline = [&](bool parallel) {
+    PipelineOptions options;
+    options.imrdmd = imrdmd_options(parallel);
+    options.baseline = {-10.0, 10.0};
+    std::vector<PipelineSnapshot> snapshots;
+    OnlineAssessmentPipeline pipeline(options);
+    for (std::size_t t0 = 0; t0 + 128 <= data.cols(); t0 += 128) {
+      snapshots.push_back(
+          pipeline.process(data.block(0, t0, data.rows(), 128)));
+    }
+    return snapshots;
+  };
+
+  const auto parallel = run_pipeline(true);
+  const auto serial = run_pipeline(false);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t c = 0; c < parallel.size(); ++c) {
+    ASSERT_EQ(parallel[c].magnitudes.size(), serial[c].magnitudes.size());
+    for (std::size_t p = 0; p < parallel[c].magnitudes.size(); ++p) {
+      EXPECT_EQ(parallel[c].magnitudes[p], serial[c].magnitudes[p]);
+      EXPECT_EQ(parallel[c].zscores.zscores[p], serial[c].zscores.zscores[p]);
+    }
+    EXPECT_EQ(parallel[c].report.drift_grid, serial[c].report.drift_grid);
+  }
+}
+
+}  // namespace
+}  // namespace imrdmd::core
