@@ -1,0 +1,175 @@
+// Fleet sharding bench: chunk throughput of the sharded FleetAssessment
+// driver as the shard (lane) count grows over a fixed group partition.
+//
+// Workload: G independent sensor groups streaming together as one machine
+// (low-rank-plus-noise structure per group, like the telemetry the paper
+// ingests). The group partition is held fixed — so every run computes the
+// bitwise-identical FleetSnapshots, verified here — and only the number of
+// concurrent worker lanes varies: 1, 2, 4, ... up to the group count.
+// Emits BENCH_fleet.json with the shards-vs-throughput curve; the headline
+// figure is speedup at 4 shards vs 1 (expect ~min(4, cores) on an idle
+// multi-core box, 1x on a single-core CI runner — hardware_concurrency is
+// recorded alongside so the curve can be interpreted).
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "common/timer.hpp"
+#include "core/fleet.hpp"
+
+using namespace imrdmd;
+
+namespace {
+
+// Per-group coherent modes plus deterministic pseudo-noise; groups get
+// distinct phases so their models do real, slightly uneven work.
+linalg::Mat make_fleet_stream(std::size_t sensors, std::size_t cols) {
+  linalg::Mat data(sensors, cols);
+  std::uint64_t state = 0x2545f4914f6cdd1dull;
+  auto noise = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<double>(state >> 11) / 9007199254740992.0 - 0.5;
+  };
+  for (std::size_t p = 0; p < sensors; ++p) {
+    const double phase = 0.11 * static_cast<double>(p);
+    for (std::size_t t = 0; t < cols; ++t) {
+      const double x = static_cast<double>(t) / 192.0;
+      double value = 48.0 + 4.0 * std::sin(2.0 * M_PI * 0.35 * x + phase);
+      value += 1.2 * std::sin(2.0 * M_PI * 5.0 * x + 2.0 * phase);
+      value += 0.3 * noise();
+      data(p, t) = value;
+    }
+  }
+  return data;
+}
+
+struct ShardResult {
+  std::size_t shards = 0;
+  double seconds = 0.0;
+  double chunks_per_sec = 0.0;
+  double snapshots_per_sec = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::banner(
+      "Fleet sharding: per-group I-mrDMD models, global z-score reconciliation",
+      "chunk throughput scales with shard lanes; results are shard-count "
+      "invariant (bitwise)");
+
+  const std::size_t group_count = args.full ? 16 : 8;
+  const std::size_t sensors_per_group = args.full ? 256 : 96;
+  const std::size_t initial = args.full ? 512 : 256;
+  const std::size_t chunk = args.full ? 256 : 128;
+  const std::size_t stream_chunks = args.full ? 8 : 4;
+  const std::size_t sensors = group_count * sensors_per_group;
+  const std::size_t total = initial + chunk * stream_chunks;
+  const std::size_t repeats = std::max<std::size_t>(args.repeats, 1);
+
+  std::printf("workload: %zu sensors in %zu groups, %zu+%zux%zu snapshots, "
+              "%zu repeats, hardware_concurrency=%u\n",
+              sensors, group_count, initial, stream_chunks, chunk, repeats,
+              std::thread::hardware_concurrency());
+
+  const linalg::Mat data = make_fleet_stream(sensors, total);
+  const auto groups = core::contiguous_groups(sensors, group_count);
+
+  std::vector<std::size_t> shard_counts{1, 2, 4};
+  if (group_count >= 8) shard_counts.push_back(8);
+  if (group_count >= 16) shard_counts.push_back(16);
+
+  std::vector<ShardResult> results;
+  std::vector<double> reference_z;  // last-chunk z-scores at 1 shard
+  bool invariant = true;
+  for (std::size_t shards : shard_counts) {
+    ShardResult result;
+    result.shards = shards;
+    double total_seconds = 0.0;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      core::FleetOptions options;
+      options.pipeline.imrdmd.mrdmd.max_levels = 4;
+      options.pipeline.imrdmd.mrdmd.dt = 15.0;
+      options.pipeline.baseline = {40.0, 60.0};
+      options.groups = groups;
+      options.shards = shards;
+      core::FleetAssessment fleet(options, sensors);
+      core::MatrixChunkSource source(data, initial, chunk);
+      WallTimer timer;
+      const auto snapshots = fleet.run(source);
+      total_seconds += timer.seconds();
+      if (rep + 1 == repeats) {
+        const auto& z = snapshots.back().zscores.zscores;
+        if (reference_z.empty()) {
+          reference_z = z;
+        } else {
+          for (std::size_t i = 0; i < z.size(); ++i) {
+            if (z[i] != reference_z[i]) invariant = false;
+          }
+        }
+      }
+    }
+    result.seconds = total_seconds / static_cast<double>(repeats);
+    result.chunks_per_sec =
+        static_cast<double>(1 + stream_chunks) / result.seconds;
+    result.snapshots_per_sec = static_cast<double>(total) / result.seconds;
+    results.push_back(result);
+    std::printf("  shards=%-3zu %8.3f s  %8.2f chunks/sec  %10.0f snaps/sec\n",
+                result.shards, result.seconds, result.chunks_per_sec,
+                result.snapshots_per_sec);
+  }
+
+  double speedup_4v1 = 0.0;
+  for (const ShardResult& r : results) {
+    if (r.shards == 4) speedup_4v1 = results.front().seconds / r.seconds;
+  }
+  std::printf("\nspeedup 4 shards vs 1: %.2fx  (shard-count invariant: %s)\n",
+              speedup_4v1, invariant ? "yes" : "NO");
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "fleet");
+  json.field("mode", args.full ? "full" : "default");
+  json.key("workload");
+  json.begin_object();
+  json.field("sensors", sensors);
+  json.field("groups", group_count);
+  json.field("initial_snapshots", initial);
+  json.field("chunk_snapshots", chunk);
+  json.field("stream_chunks", stream_chunks);
+  json.field("repeats", repeats);
+  json.end_object();
+  json.field("hardware_concurrency",
+             static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  json.key("curve");
+  json.begin_array();
+  for (const ShardResult& r : results) {
+    json.begin_object();
+    json.field("shards", r.shards);
+    json.field("seconds", r.seconds);
+    json.field("chunks_per_sec", r.chunks_per_sec);
+    json.field("snapshots_per_sec", r.snapshots_per_sec);
+    json.field("speedup_vs_1", results.front().seconds / r.seconds);
+    json.end_object();
+  }
+  json.end_array();
+  json.field("speedup_4_vs_1", speedup_4v1);
+  json.field("shard_count_invariant", invariant);
+  json.end_object();
+  const std::string path = args.out_dir + "/BENCH_fleet.json";
+  json.write_file(path);
+  std::printf("wrote %s\n", path.c_str());
+
+  return invariant ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

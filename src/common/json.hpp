@@ -13,6 +13,7 @@
 //   json.write_file("BENCH_isvd.json");
 #pragma once
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -67,9 +68,12 @@ class JsonWriter {
       out_ += "null";
       return;
     }
+    // Shortest round-trip form: a reader parsing the emitted text recovers
+    // the exact double (%.9g silently lost the low bits of timings).
     char buffer[32];
-    std::snprintf(buffer, sizeof(buffer), "%.9g", number);
-    out_ += buffer;
+    const std::to_chars_result result =
+        std::to_chars(buffer, buffer + sizeof(buffer), number);
+    out_.append(buffer, result.ptr);
   }
   void value(std::size_t number) {
     prefix();

@@ -90,7 +90,19 @@ void parallel_for(std::size_t begin, std::size_t end,
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& future : futures) future.get();  // rethrows chunk exceptions
+  wait_all(futures);  // chunks hold &fn: drain them all before unwinding
+}
+
+void wait_all(std::vector<std::future<void>>& futures) {
+  std::exception_ptr failure;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!failure) failure = std::current_exception();
+    }
+  }
+  if (failure) std::rethrow_exception(failure);
 }
 
 }  // namespace imrdmd

@@ -56,6 +56,13 @@ class ThreadPool {
 /// Process-wide pool shared by library components (lazily constructed).
 ThreadPool& global_pool();
 
+/// Waits for every future, then rethrows the first captured exception (if
+/// any). Use this instead of a get()-in-a-loop when the tasks reference
+/// caller state: packaged_task futures do not block on destruction, so
+/// rethrowing at the first failure would unwind the referenced stack while
+/// later tasks are still queued or running.
+void wait_all(std::vector<std::future<void>>& futures);
+
 /// Runs fn(i) for i in [begin, end) across `pool` (or the global pool when
 /// null), blocking until complete. Exceptions from any chunk are rethrown.
 /// `grain` is the minimum indices per chunk.

@@ -1,5 +1,6 @@
 #include "core/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -24,17 +25,64 @@ void put_f64(std::ostream& out, double value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof value);
 }
 
-std::uint64_t get_u64(std::istream& in) {
+// Reader that tracks how many bytes remain in the stream so every
+// length-prefixed section can be bounded *before* it drives an allocation or
+// a read past EOF: a truncated or corrupted header then yields the
+// documented ParseError instead of a huge allocation / bad_alloc.
+class BoundedReader {
+ public:
+  static constexpr std::uint64_t kUnknown = ~std::uint64_t{0};
+
+  explicit BoundedReader(std::istream& in) : in_(in) {
+    const std::istream::pos_type pos = in_.tellg();
+    if (pos == std::istream::pos_type(-1)) return;  // non-seekable
+    in_.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in_.tellg();
+    in_.seekg(pos);
+    if (end != std::istream::pos_type(-1) && end >= pos) {
+      remaining_ = static_cast<std::uint64_t>(end - pos);
+    }
+  }
+
+  /// Bytes left in the stream (kUnknown when the stream is not seekable).
+  std::uint64_t remaining() const { return remaining_; }
+
+  /// Throws ParseError unless `bytes` more bytes are known to be available.
+  /// A non-seekable stream has no exact size, so sections there are held to
+  /// a hard ceiling instead — a corrupted header may still waste up to the
+  /// ceiling, but never a fantasy-sized allocation.
+  void require(std::uint64_t bytes, const char* what) const {
+    constexpr std::uint64_t kMaxUnknownSection = std::uint64_t{1} << 30;
+    const std::uint64_t limit =
+        remaining_ == kUnknown ? kMaxUnknownSection : remaining_;
+    if (bytes > limit) {
+      throw ParseError(std::string("checkpoint truncated (") + what + ")");
+    }
+  }
+
+  void read(char* dst, std::uint64_t bytes, const char* what) {
+    require(bytes, what);
+    in_.read(dst, static_cast<std::streamsize>(bytes));
+    if (!in_) {
+      throw ParseError(std::string("checkpoint truncated (") + what + ")");
+    }
+    if (remaining_ != kUnknown) remaining_ -= bytes;
+  }
+
+ private:
+  std::istream& in_;
+  std::uint64_t remaining_ = kUnknown;
+};
+
+std::uint64_t get_u64(BoundedReader& in) {
   std::uint64_t value = 0;
-  in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in) throw ParseError("checkpoint truncated (u64)");
+  in.read(reinterpret_cast<char*>(&value), sizeof value, "u64");
   return value;
 }
 
-double get_f64(std::istream& in) {
+double get_f64(BoundedReader& in) {
   double value = 0;
-  in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in) throw ParseError("checkpoint truncated (f64)");
+  in.read(reinterpret_cast<char*>(&value), sizeof value, "f64");
   return value;
 }
 
@@ -45,16 +93,16 @@ void put_mat(std::ostream& out, const linalg::Mat& m) {
             static_cast<std::streamsize>(m.size() * sizeof(double)));
 }
 
-linalg::Mat get_mat(std::istream& in) {
+linalg::Mat get_mat(BoundedReader& in) {
   const std::uint64_t rows = get_u64(in);
   const std::uint64_t cols = get_u64(in);
   if (rows > (1u << 26) || cols > (1u << 26)) {
     throw ParseError("checkpoint matrix shape implausible");
   }
+  in.require(rows * cols * sizeof(double), "matrix");
   linalg::Mat m(rows, cols);
-  in.read(reinterpret_cast<char*>(m.data()),
-          static_cast<std::streamsize>(m.size() * sizeof(double)));
-  if (!in) throw ParseError("checkpoint truncated (matrix)");
+  in.read(reinterpret_cast<char*>(m.data()), m.size() * sizeof(double),
+          "matrix");
   return m;
 }
 
@@ -65,16 +113,16 @@ void put_cmat(std::ostream& out, const linalg::CMat& m) {
             static_cast<std::streamsize>(m.size() * sizeof(linalg::Complex)));
 }
 
-linalg::CMat get_cmat(std::istream& in) {
+linalg::CMat get_cmat(BoundedReader& in) {
   const std::uint64_t rows = get_u64(in);
   const std::uint64_t cols = get_u64(in);
   if (rows > (1u << 26) || cols > (1u << 26)) {
     throw ParseError("checkpoint matrix shape implausible");
   }
+  in.require(rows * cols * sizeof(linalg::Complex), "complex matrix");
   linalg::CMat m(rows, cols);
   in.read(reinterpret_cast<char*>(m.data()),
-          static_cast<std::streamsize>(m.size() * sizeof(linalg::Complex)));
-  if (!in) throw ParseError("checkpoint truncated (complex matrix)");
+          m.size() * sizeof(linalg::Complex), "complex matrix");
   return m;
 }
 
@@ -98,7 +146,7 @@ void put_node(std::ostream& out, const MrdmdNode& node) {
   }
 }
 
-MrdmdNode get_node(std::istream& in) {
+MrdmdNode get_node(BoundedReader& in) {
   MrdmdNode node;
   node.level = get_u64(in);
   node.bin_index = get_u64(in);
@@ -109,6 +157,10 @@ MrdmdNode get_node(std::istream& in) {
   node.svd_rank = get_u64(in);
   node.modes = get_cmat(in);
   const std::uint64_t modes = get_u64(in);
+  // Each mode carries 4 doubles (eigenvalue + amplitude, re/im); bound the
+  // count before resize so a garbage prefix cannot drive the allocation.
+  if (modes > (1u << 26)) throw ParseError("checkpoint mode count implausible");
+  in.require(modes * 4 * sizeof(double), "node modes");
   node.eigenvalues.resize(modes);
   node.amplitudes.resize(modes);
   for (auto& value : node.eigenvalues) {
@@ -168,10 +220,11 @@ void save_checkpoint(std::ostream& out, const IncrementalMrdmd& model) {
   if (!out) throw Error("checkpoint write failed");
 }
 
-IncrementalMrdmd load_checkpoint(std::istream& in) {
+IncrementalMrdmd load_checkpoint(std::istream& raw) {
+  BoundedReader in(raw);
   char magic[sizeof kMagic];
-  in.read(magic, sizeof magic);
-  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+  in.read(magic, sizeof magic, "magic");
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
     throw ParseError("not an imrdmd checkpoint (bad magic)");
   }
 
@@ -198,6 +251,8 @@ IncrementalMrdmd load_checkpoint(std::istream& in) {
   model.grid_ = get_mat(in);
   linalg::Mat u = get_mat(in);
   const std::uint64_t rank = get_u64(in);
+  if (rank > (1u << 26)) throw ParseError("checkpoint rank implausible");
+  in.require(rank * sizeof(double), "singular values");
   std::vector<double> s(rank);
   for (auto& value : s) value = get_f64(in);
   linalg::Mat v = get_mat(in);
@@ -207,7 +262,16 @@ IncrementalMrdmd load_checkpoint(std::istream& in) {
 
   const std::uint64_t node_count = get_u64(in);
   if (node_count == 0) throw ParseError("checkpoint has no tree nodes");
-  model.nodes_.reserve(node_count);
+  // A node serializes to at least its 7 fixed words; bound the count before
+  // reserving so a corrupted header cannot drive a huge allocation.
+  if (node_count > (1u << 26)) {
+    throw ParseError("checkpoint node count implausible");
+  }
+  in.require(node_count * 7 * sizeof(std::uint64_t), "tree nodes");
+  // Cap the up-front reservation: the stream-byte bound above says nothing
+  // about in-memory node size, so a garbage count within it could still
+  // reserve GiBs. Growth past the cap amortizes normally.
+  model.nodes_.reserve(std::min<std::uint64_t>(node_count, 1u << 16));
   for (std::uint64_t i = 0; i < node_count; ++i) {
     model.nodes_.push_back(get_node(in));
   }

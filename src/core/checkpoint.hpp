@@ -23,7 +23,12 @@ void save_checkpoint(std::ostream& out, const IncrementalMrdmd& model);
 void save_checkpoint_file(const std::string& path,
                           const IncrementalMrdmd& model);
 
-/// Restores a model; throws ParseError on malformed/mismatched input.
+/// Restores a model; throws ParseError on malformed/mismatched input
+/// (including truncated streams and corrupted section lengths, which are
+/// bounded against the remaining stream size before any allocation). On a
+/// non-seekable stream the size is unknown, so sections are instead held to
+/// a 1 GiB ceiling — pipe-fed checkpoints larger than that must be staged
+/// to a file (load_checkpoint_file has no such limit).
 IncrementalMrdmd load_checkpoint(std::istream& in);
 IncrementalMrdmd load_checkpoint_file(const std::string& path);
 

@@ -1,0 +1,211 @@
+#include "core/fleet.hpp"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace imrdmd::core {
+
+namespace {
+
+/// Gathers the rows listed in `group` out of `chunk` (group order).
+Mat gather_rows(const Mat& chunk, const std::vector<std::size_t>& group) {
+  Mat out(group.size(), chunk.cols());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const double* src = chunk.data() + group[i] * chunk.cols();
+    std::copy(src, src + chunk.cols(), out.data() + i * chunk.cols());
+  }
+  return out;
+}
+
+/// Runs source.next_chunk() on a dedicated thread, so ingestion overlaps
+/// compute. Deliberately NOT a pool task: sources are free to use
+/// parallel_for themselves (SensorModel::window does), and a pool task that
+/// fans back out onto its own pool would block a worker on work only that
+/// worker can run. At most one prefetch is in flight per source; the caller
+/// must not touch the source until the future resolves.
+std::future<std::optional<Mat>> prefetch_chunk(ChunkSource& source) {
+  return std::async(std::launch::async,
+                    [&source] { return source.next_chunk(); });
+}
+
+}  // namespace
+
+FleetAssessment::FleetAssessment(FleetOptions options, std::size_t sensors)
+    : options_(std::move(options)),
+      sensors_(sensors),
+      zscore_stage_(options_.pipeline.baseline, options_.pipeline.zscore,
+                    options_.pipeline.reselect_baseline_per_chunk) {
+  IMRDMD_REQUIRE_ARG(sensors_ > 0, "fleet needs at least one sensor");
+
+  groups_ = options_.groups;
+  if (groups_.empty()) {
+    groups_ = contiguous_groups(sensors_, 1);
+  }
+  // The groups must partition [0, sensors) exactly: every magnitude slot is
+  // written once, so the merged vectors are total and unambiguous.
+  std::vector<bool> covered(sensors_, false);
+  for (const auto& group : groups_) {
+    IMRDMD_REQUIRE_ARG(!group.empty(), "fleet group is empty");
+    for (std::size_t p : group) {
+      IMRDMD_REQUIRE_ARG(p < sensors_, "fleet group sensor index out of range");
+      IMRDMD_REQUIRE_ARG(!covered[p], "fleet groups overlap");
+      covered[p] = true;
+    }
+  }
+  IMRDMD_REQUIRE_ARG(
+      std::all_of(covered.begin(), covered.end(), [](bool c) { return c; }),
+      "fleet groups do not cover every sensor");
+
+  shards_ = options_.shards == 0 ? groups_.size() : options_.shards;
+  shards_ = std::min(shards_, groups_.size());
+  if (groups_.size() == 1) {
+    identity_partition_ = true;
+    for (std::size_t i = 0; i < groups_[0].size(); ++i) {
+      if (groups_[0][i] != i) identity_partition_ = false;
+    }
+  }
+
+  ImrdmdOptions model_options = options_.pipeline.imrdmd;
+  // A single lane runs on the caller thread, where the model may keep its
+  // parallel-bin fits (bitwise serial-identical per the determinism suite);
+  // with real lanes the updates are pool tasks and must not nest the pool.
+  if (shards_ > 1) model_options.mrdmd.parallel_bins = false;
+  models_.reserve(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    models_.push_back(std::make_unique<IncrementalMrdmd>(model_options));
+  }
+}
+
+ThreadPool& FleetAssessment::pool() const {
+  return options_.pool != nullptr ? *options_.pool : global_pool();
+}
+
+const IncrementalMrdmd& FleetAssessment::model(std::size_t group) const {
+  IMRDMD_REQUIRE_ARG(group < models_.size(), "fleet group index out of range");
+  return *models_[group];
+}
+
+FleetSnapshot FleetAssessment::process(const Mat& chunk) {
+  IMRDMD_REQUIRE_ARG(chunk.cols() > 0, "fleet chunk has no snapshot columns");
+  IMRDMD_REQUIRE_ARG(chunk.rows() == sensors_,
+                     "fleet chunk row count differs from the fleet's sensors");
+
+  FleetSnapshot snapshot;
+  snapshot.chunk_index = chunks_processed_;
+  snapshot.chunk_snapshots = chunk.cols();
+
+  WallTimer timer;
+  std::vector<MagnitudeUpdate> updates(groups_.size());
+  // Lane l walks groups l, l + shards, ... serially; lanes run concurrently.
+  // Each group's update touches only its own model and slot, and the merge
+  // below reads the slots in group order, so results do not depend on how
+  // the lanes interleave.
+  auto run_lane = [this, &chunk, &updates](std::size_t lane) {
+    for (std::size_t g = lane; g < groups_.size(); g += shards_) {
+      // The identity partition (one group of all sensors, in order) feeds
+      // the chunk straight through — no per-chunk gather copy.
+      updates[g] = identity_partition_
+                       ? update_magnitudes(*models_[g], chunk,
+                                           options_.pipeline.band)
+                       : update_magnitudes(*models_[g],
+                                           gather_rows(chunk, groups_[g]),
+                                           options_.pipeline.band);
+    }
+  };
+  if (shards_ <= 1) {
+    run_lane(0);
+  } else {
+    std::vector<std::future<void>> lanes;
+    lanes.reserve(shards_);
+    for (std::size_t lane = 0; lane < shards_; ++lane) {
+      lanes.push_back(pool().submit([&run_lane, lane] { run_lane(lane); }));
+    }
+    wait_all(lanes);  // lanes hold stack locals: drain before unwinding
+  }
+
+  // Merge in deterministic group order: scatter each group's magnitudes and
+  // means back to machine sensor indices, then reconcile globally.
+  snapshot.magnitudes.assign(sensors_, 0.0);
+  snapshot.sensor_means.assign(sensors_, 0.0);
+  snapshot.reports.reserve(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const auto& group = groups_[g];
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      snapshot.magnitudes[group[i]] = updates[g].magnitudes[i];
+      snapshot.sensor_means[group[i]] = updates[g].sensor_means[i];
+    }
+    snapshot.reports.push_back(updates[g].report);
+  }
+  snapshot.total_snapshots = models_[0]->time_steps();
+  snapshot.fit_seconds = timer.seconds();
+
+  snapshot.zscores = zscore_stage_.apply(
+      std::span<const double>(snapshot.magnitudes.data(),
+                              snapshot.magnitudes.size()),
+      std::span<const double>(snapshot.sensor_means.data(),
+                              snapshot.sensor_means.size()));
+
+  ++chunks_processed_;
+  return snapshot;
+}
+
+std::vector<FleetSnapshot> FleetAssessment::run(ChunkSource& source,
+                                                std::size_t max_chunks) {
+  std::vector<FleetSnapshot> snapshots;
+  std::optional<Mat> current =
+      carry_.has_value() ? std::exchange(carry_, std::nullopt)
+                         : source.next_chunk();
+  while (current.has_value() &&
+         (max_chunks == 0 || snapshots.size() < max_chunks)) {
+    const bool want_more =
+        max_chunks == 0 || snapshots.size() + 1 < max_chunks;
+    // Double buffering: the next chunk is produced on its own thread while
+    // the lanes chew on the current one.
+    std::future<std::optional<Mat>> next;
+    if (options_.async_prefetch && want_more) {
+      next = prefetch_chunk(source);
+    }
+    try {
+      snapshots.push_back(process(*current));
+    } catch (...) {
+      // The in-flight prefetch references `source`, so it must finish
+      // before unwinding — and it has already consumed a chunk the caller
+      // never saw. Park that chunk so a later run() resumes with it,
+      // matching the sync path's no-data-loss semantics.
+      if (next.valid()) {
+        try {
+          carry_ = next.get();
+        } catch (...) {
+          // The prefetch itself failed; the processing error below is the
+          // primary failure to surface.
+        }
+      }
+      throw;
+    }
+    if (!want_more) break;
+    current = next.valid() ? next.get() : source.next_chunk();
+  }
+  return snapshots;
+}
+
+std::vector<std::vector<std::size_t>> contiguous_groups(std::size_t sensors,
+                                                        std::size_t count) {
+  IMRDMD_REQUIRE_ARG(count > 0 && count <= sensors,
+                     "group count must be in [1, sensors]");
+  std::vector<std::vector<std::size_t>> groups(count);
+  const std::size_t base = sensors / count;
+  const std::size_t extra = sensors % count;
+  std::size_t next = 0;
+  for (std::size_t g = 0; g < count; ++g) {
+    const std::size_t size = base + (g < extra ? 1 : 0);
+    groups[g].reserve(size);
+    for (std::size_t i = 0; i < size; ++i) groups[g].push_back(next++);
+  }
+  return groups;
+}
+
+}  // namespace imrdmd::core

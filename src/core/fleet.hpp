@@ -1,0 +1,131 @@
+// Sharded fleet-scale assessment driver (ROADMAP: sharding / batching /
+// async).
+//
+// The monolithic OnlineAssessmentPipeline fits one I-mrDMD over every sensor
+// of the machine. FleetAssessment instead partitions the P sensors into
+// disjoint groups (explicit index lists, or rack/contiguous groupings — see
+// telemetry::ShardedEnvSource), maintains one cheap IncrementalMrdmd per
+// group, and spreads the per-group chunk updates across `shards` concurrent
+// worker lanes on a ThreadPool, overlapping ingestion with compute through a
+// double-buffered asynchronous prefetch of the next chunk. This is the
+// multifidelity structure of Peherstorfer et al.'s survey applied to the
+// assessment problem itself: many independent low-cost local models, one
+// global reconciliation.
+//
+// Reconciliation stays global: each group's model produces band-filtered
+// mode magnitudes for its rows only; the driver scatters them back into
+// machine sensor order (deterministic group order, independent of lane
+// assignment or completion order) and runs the same BaselineZscoreStage the
+// monolithic pipeline uses, so baseline selection and z-scoring see the
+// whole fleet at once. Consequences, both covered by the shard-count
+// invariance suite:
+//   * for a fixed group partition, FleetSnapshot is bitwise-identical for
+//     any shard (lane) count and for sync vs async-prefetch ingestion;
+//   * with the trivial single-group partition the fleet is bitwise-identical
+//     to OnlineAssessmentPipeline on the same stream, for any shard count.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/pipeline.hpp"
+
+namespace imrdmd::core {
+
+struct FleetOptions {
+  /// Per-group model options plus the global baseline/z-score stage. With
+  /// more than one lane the per-group models force mrdmd.parallel_bins =
+  /// false: group updates run as pool tasks, and a pool task must not fan
+  /// out onto (and then block on) its own pool. A single lane runs on the
+  /// caller thread and keeps the configured setting.
+  PipelineOptions pipeline;
+  /// Disjoint sensor groups that together cover [0, P) exactly once. Empty
+  /// means one group of all sensors (the monolithic pipeline, sharded only
+  /// in its ingestion overlap).
+  std::vector<std::vector<std::size_t>> groups;
+  /// Concurrent worker lanes the group updates are spread across; lane l
+  /// processes groups l, l + shards, l + 2*shards, ... in order.
+  /// 0 = one lane per group; values above the group count are clamped to it
+  /// (extra lanes would have no groups to work on).
+  std::size_t shards = 0;
+  /// Overlap source.next_chunk() with compute in run(). The prefetch runs
+  /// on its own thread (not the pool): sources may parallel_for internally.
+  bool async_prefetch = true;
+  /// Pool the worker lanes run on; null = global_pool().
+  ThreadPool* pool = nullptr;
+};
+
+/// Everything produced by one chunk's worth of fleet-wide processing.
+struct FleetSnapshot {
+  std::size_t chunk_index = 0;
+  std::size_t chunk_snapshots = 0;
+  std::size_t total_snapshots = 0;
+  /// Per-group partial-fit diagnostics, in group order.
+  std::vector<PartialFitReport> reports;
+  /// Merged band-filtered magnitudes, machine sensor order.
+  std::vector<double> magnitudes;
+  /// Merged per-sensor chunk means, machine sensor order.
+  std::vector<double> sensor_means;
+  /// Global z-scores over the merged magnitudes (machine sensor order).
+  ZscoreAnalysis zscores;
+  /// Wall time of the sharded fit + merge (not per group).
+  double fit_seconds = 0.0;
+};
+
+class FleetAssessment {
+ public:
+  /// `sensors` is the fleet-wide sensor count P; options.groups must
+  /// partition [0, P) (validated here, InvalidArgument otherwise).
+  FleetAssessment(FleetOptions options, std::size_t sensors);
+
+  /// Processes one P x T_chunk chunk (the first call performs the initial
+  /// fit of every group model). Rejects zero-column chunks and row-count
+  /// changes with InvalidArgument, like the monolithic pipeline.
+  FleetSnapshot process(const Mat& chunk);
+
+  /// Pulls chunks from `source` until exhaustion (or `max_chunks` > 0),
+  /// prefetching the next chunk asynchronously while the current one is
+  /// being processed (FleetOptions::async_prefetch). If process() throws
+  /// mid-run, a chunk the prefetch already consumed is parked and consumed
+  /// first by the next run() call — async mode loses no more data on
+  /// failure than the synchronous path does.
+  std::vector<FleetSnapshot> run(ChunkSource& source,
+                                 std::size_t max_chunks = 0);
+
+  std::size_t sensors() const { return sensors_; }
+  std::size_t group_count() const { return groups_.size(); }
+  const std::vector<std::vector<std::size_t>>& groups() const {
+    return groups_;
+  }
+  /// Worker lanes process() spreads the group updates across.
+  std::size_t shards() const { return shards_; }
+  const IncrementalMrdmd& model(std::size_t group) const;
+
+ private:
+  ThreadPool& pool() const;
+
+  FleetOptions options_;
+  std::size_t sensors_ = 0;
+  std::vector<std::vector<std::size_t>> groups_;
+  std::size_t shards_ = 1;
+  /// True for the trivial partition {0..P-1}: chunks bypass the row gather.
+  bool identity_partition_ = false;
+  /// Chunk consumed by a prefetch whose process() failed; the next run()
+  /// starts here instead of advancing the source.
+  std::optional<Mat> carry_;
+  /// unique_ptr: group models are handed to pool tasks by raw pointer and
+  /// must not move when the driver itself is moved.
+  std::vector<std::unique_ptr<IncrementalMrdmd>> models_;
+  BaselineZscoreStage zscore_stage_;
+  std::size_t chunks_processed_ = 0;
+};
+
+/// Partitions [0, sensors) into `count` contiguous, near-equal groups (the
+/// first `sensors % count` groups get one extra sensor).
+std::vector<std::vector<std::size_t>> contiguous_groups(std::size_t sensors,
+                                                        std::size_t count);
+
+}  // namespace imrdmd::core

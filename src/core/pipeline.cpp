@@ -1,41 +1,71 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/timer.hpp"
 
 namespace imrdmd::core {
 
+MatrixChunkSource::MatrixChunkSource(const Mat& data,
+                                     std::size_t initial_snapshots,
+                                     std::size_t chunk_snapshots)
+    : data_(data), initial_(initial_snapshots), chunk_(chunk_snapshots) {
+  IMRDMD_REQUIRE_ARG(chunk_ > 0, "chunk_snapshots must be positive");
+  if (initial_ == 0) initial_ = chunk_;
+}
+
+std::optional<Mat> MatrixChunkSource::next_chunk() {
+  if (position_ >= data_.cols()) return std::nullopt;
+  const std::size_t want = position_ == 0 ? initial_ : chunk_;
+  const std::size_t count = std::min(want, data_.cols() - position_);
+  Mat out = data_.block(0, position_, data_.rows(), count);
+  position_ += count;
+  return out;
+}
+
 OnlineAssessmentPipeline::OnlineAssessmentPipeline(PipelineOptions options)
-    : options_(options), model_(options.imrdmd) {}
+    : options_(options),
+      model_(options.imrdmd),
+      zscore_stage_(options.baseline, options.zscore,
+                    options.reselect_baseline_per_chunk) {}
+
+MagnitudeUpdate update_magnitudes(IncrementalMrdmd& model, const Mat& chunk,
+                                  const dmd::ModeBand& band) {
+  MagnitudeUpdate update;
+  WallTimer timer;
+  if (!model.fitted()) {
+    model.initial_fit(chunk);
+  } else {
+    update.report = model.partial_fit(chunk);
+  }
+  update.fit_seconds = timer.seconds();
+  update.magnitudes = model.magnitudes(&band);
+  update.sensor_means = row_means(chunk);
+  return update;
+}
 
 PipelineSnapshot OnlineAssessmentPipeline::process(const Mat& chunk) {
+  IMRDMD_REQUIRE_ARG(chunk.cols() > 0,
+                     "pipeline chunk has no snapshot columns");
+  IMRDMD_REQUIRE_ARG(!model_.fitted() || chunk.rows() == model_.sensors(),
+                     "pipeline chunk row count differs from the first chunk");
+
   PipelineSnapshot snapshot;
   snapshot.chunk_index = chunks_processed_;
   snapshot.chunk_snapshots = chunk.cols();
 
-  WallTimer timer;
-  if (!model_.fitted()) {
-    model_.initial_fit(chunk);
-  } else {
-    snapshot.report = model_.partial_fit(chunk);
-  }
-  snapshot.fit_seconds = timer.seconds();
+  MagnitudeUpdate update = update_magnitudes(model_, chunk, options_.band);
+  snapshot.report = update.report;
+  snapshot.fit_seconds = update.fit_seconds;
   snapshot.total_snapshots = model_.time_steps();
-
-  snapshot.magnitudes = model_.magnitudes(&options_.band);
-  snapshot.sensor_means = row_means(chunk);
-  if (chunks_processed_ == 0 || options_.reselect_baseline_per_chunk) {
-    baseline_sensors_ = select_baseline_sensors(
-        std::span<const double>(snapshot.sensor_means.data(),
-                                snapshot.sensor_means.size()),
-        options_.baseline);
-  }
-  snapshot.zscores = zscore_from_baseline(
+  snapshot.magnitudes = std::move(update.magnitudes);
+  snapshot.sensor_means = std::move(update.sensor_means);
+  snapshot.zscores = zscore_stage_.apply(
       std::span<const double>(snapshot.magnitudes.data(),
                               snapshot.magnitudes.size()),
-      std::span<const std::size_t>(baseline_sensors_.data(),
-                                   baseline_sensors_.size()),
-      options_.zscore);
+      std::span<const double>(snapshot.sensor_means.data(),
+                              snapshot.sensor_means.size()));
 
   ++chunks_processed_;
   return snapshot;

@@ -26,6 +26,29 @@ class ChunkSource {
   virtual std::size_t sensors() const = 0;
 };
 
+/// ChunkSource replaying a prebuilt in-memory matrix in fixed-width chunks;
+/// the first chunk may use a different width (the initial-fit window).
+/// `data` is borrowed and must outlive the source. Shared by the fleet
+/// bench and the shard-invariance tests so both replay identical streams.
+class MatrixChunkSource final : public ChunkSource {
+ public:
+  MatrixChunkSource(const Mat& data, std::size_t initial_snapshots,
+                    std::size_t chunk_snapshots);
+
+  std::optional<Mat> next_chunk() override;
+  std::size_t sensors() const override { return data_.rows(); }
+
+  /// Snapshots emitted so far.
+  std::size_t position() const { return position_; }
+  void rewind() { position_ = 0; }
+
+ private:
+  const Mat& data_;
+  std::size_t initial_;
+  std::size_t chunk_;
+  std::size_t position_ = 0;
+};
+
 struct PipelineOptions {
   ImrdmdOptions imrdmd;
   /// Frequency/power isolation applied before z-scoring (e.g. 0-60 Hz in
@@ -39,6 +62,26 @@ struct PipelineOptions {
   /// (case study 2); when false the initial chunk's population is kept.
   bool reselect_baseline_per_chunk = true;
 };
+
+/// Result of the shard-local half of a chunk's processing: fit the chunk
+/// into one model and read off the band-filtered magnitudes and per-sensor
+/// chunk means. Exposed separately from the global baseline/z-score stage so
+/// the sharded fleet driver (core/fleet.hpp) can run one of these per shard
+/// model and reconcile globally.
+struct MagnitudeUpdate {
+  /// Partial-fit diagnostics (default-initialized on the initial fit).
+  PartialFitReport report;
+  /// Band-filtered per-sensor mode magnitudes (model row order).
+  std::vector<double> magnitudes;
+  /// Per-sensor chunk means (the values the baseline rule filters).
+  std::vector<double> sensor_means;
+  double fit_seconds = 0.0;
+};
+
+/// Fits `chunk` into `model` (initial fit when unfitted, incremental
+/// otherwise) and computes the band-filtered magnitudes and chunk means.
+MagnitudeUpdate update_magnitudes(IncrementalMrdmd& model, const Mat& chunk,
+                                  const dmd::ModeBand& band);
 
 /// Everything produced by one chunk's worth of processing.
 struct PipelineSnapshot {
@@ -60,6 +103,8 @@ class OnlineAssessmentPipeline {
   explicit OnlineAssessmentPipeline(PipelineOptions options);
 
   /// Processes one chunk (the first call performs the initial fit).
+  /// Rejects a zero-column chunk, or one whose row count differs from the
+  /// first chunk's, with InvalidArgument at this API boundary.
   PipelineSnapshot process(const Mat& chunk);
 
   /// Pulls chunks from `source` until exhaustion (or `max_chunks` > 0).
@@ -72,7 +117,7 @@ class OnlineAssessmentPipeline {
  private:
   PipelineOptions options_;
   IncrementalMrdmd model_;
-  std::vector<std::size_t> baseline_sensors_;
+  BaselineZscoreStage zscore_stage_;
   std::size_t chunks_processed_ = 0;
 };
 

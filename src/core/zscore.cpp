@@ -8,6 +8,10 @@ namespace imrdmd::core {
 
 ThermalState ZscoreAnalysis::state(std::size_t sensor) const {
   const double z = zscores.at(sensor);
+  // A non-finite z carries no thermal evidence (dead sensor, NaN reading,
+  // poisoned baseline); without this guard NaN falls through every
+  // comparison below and lands on Hot, raising a spurious alarm.
+  if (!std::isfinite(z)) return ThermalState::NearBaseline;
   if (z < -options.near_band) return ThermalState::Cold;
   if (z <= options.near_band) return ThermalState::NearBaseline;
   if (z <= options.hot_threshold) return ThermalState::Elevated;
@@ -80,6 +84,21 @@ ZscoreAnalysis zscore_from_baseline(std::span<const double> magnitudes,
     analysis.zscores[p] = (magnitudes[p] - mean) * inv;
   }
   return analysis;
+}
+
+ZscoreAnalysis BaselineZscoreStage::apply(
+    std::span<const double> magnitudes, std::span<const double> sensor_means) {
+  IMRDMD_REQUIRE_DIMS(magnitudes.size() == sensor_means.size(),
+                      "magnitude / sensor-mean length mismatch");
+  if (!selected_once_ || reselect_per_chunk_) {
+    baseline_sensors_ = select_baseline_sensors(sensor_means, baseline_);
+    selected_once_ = true;
+  }
+  return zscore_from_baseline(
+      magnitudes,
+      std::span<const std::size_t>(baseline_sensors_.data(),
+                                   baseline_sensors_.size()),
+      zscore_);
 }
 
 }  // namespace imrdmd::core

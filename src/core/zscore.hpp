@@ -32,7 +32,7 @@ struct ZscoreOptions {
 
 enum class ThermalState {
   Cold,          // z < -near_band: under-utilized / stalled
-  NearBaseline,  // |z| <= near_band
+  NearBaseline,  // |z| <= near_band, or z is non-finite (no evidence)
   Elevated,      // near_band < z <= hot_threshold
   Hot            // z > hot_threshold: overheating risk
 };
@@ -63,5 +63,38 @@ std::vector<std::size_t> select_baseline_sensors(
 ZscoreAnalysis zscore_from_baseline(std::span<const double> magnitudes,
                                     std::span<const std::size_t> baseline,
                                     const ZscoreOptions& options = {});
+
+/// The stateful baseline-selection + z-scoring stage of the assessment
+/// pipeline, factored out so the monolithic OnlineAssessmentPipeline and the
+/// sharded FleetAssessment driver run the *same* global reconciliation over
+/// a per-sensor magnitude vector: the baseline population is (re)selected
+/// from the chunk's per-sensor means on the first call — and on every call
+/// when `reselect_per_chunk` — then every sensor is z-scored against that
+/// population's magnitude statistics.
+class BaselineZscoreStage {
+ public:
+  BaselineZscoreStage(const BaselineRange& baseline,
+                      const ZscoreOptions& zscore, bool reselect_per_chunk)
+      : baseline_(baseline),
+        zscore_(zscore),
+        reselect_per_chunk_(reselect_per_chunk) {}
+
+  /// One chunk's worth of global z-scoring; `magnitudes` and `sensor_means`
+  /// are indexed by sensor (machine order) and must agree in length.
+  ZscoreAnalysis apply(std::span<const double> magnitudes,
+                       std::span<const double> sensor_means);
+
+  /// Baseline population of the most recent apply().
+  const std::vector<std::size_t>& baseline_sensors() const {
+    return baseline_sensors_;
+  }
+
+ private:
+  BaselineRange baseline_;
+  ZscoreOptions zscore_;
+  bool reselect_per_chunk_ = true;
+  bool selected_once_ = false;
+  std::vector<std::size_t> baseline_sensors_;
+};
 
 }  // namespace imrdmd::core

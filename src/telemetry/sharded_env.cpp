@@ -1,0 +1,46 @@
+#include "telemetry/sharded_env.hpp"
+
+#include "common/error.hpp"
+#include "core/fleet.hpp"
+
+namespace imrdmd::telemetry {
+
+std::vector<std::vector<std::size_t>> rack_groups(const MachineSpec& spec) {
+  std::vector<std::vector<std::size_t>> groups(spec.racks);
+  for (std::size_t node = 0; node < spec.node_count; ++node) {
+    const std::size_t rack = place_of(spec, node).rack;
+    for (std::size_t c = 0; c < spec.sensors_per_node; ++c) {
+      groups[rack].push_back(node * spec.sensors_per_node + c);
+    }
+  }
+  std::erase_if(groups, [](const auto& group) { return group.empty(); });
+  return groups;
+}
+
+ShardedEnvSource::ShardedEnvSource(const SensorModel& model,
+                                   ShardedEnvOptions options)
+    : model_(model), stream_(model, options.stream) {
+  IMRDMD_REQUIRE_ARG(options.stream.sensor_subset.empty(),
+                     "ShardedEnvSource streams the whole machine; restrict "
+                     "sensors through the groups instead");
+  groups_ = options.group_by == ShardedEnvOptions::GroupBy::Rack
+                ? rack_groups(model_.machine())
+                : core::contiguous_groups(model_.sensors(),
+                                          options.group_count);
+}
+
+std::optional<Mat> ShardedEnvSource::next_chunk() {
+  return stream_.next_chunk();
+}
+
+std::size_t ShardedEnvSource::sensors() const { return model_.sensors(); }
+
+Mat ShardedEnvSource::group_window(std::size_t g, std::size_t t0,
+                                   std::size_t count) const {
+  IMRDMD_REQUIRE_ARG(g < groups_.size(), "group index out of range");
+  return model_.window_for(
+      std::span<const std::size_t>(groups_[g].data(), groups_[g].size()), t0,
+      count);
+}
+
+}  // namespace imrdmd::telemetry

@@ -1,0 +1,68 @@
+// Sensor-group slicing adapter over SensorModel for the fleet driver
+// (core/fleet.hpp): derives shard groupings from the machine topology and
+// streams whole-machine chunks, while also exposing per-group windows so a
+// consumer can materialize just one shard's rows.
+//
+// Grouping rules:
+//   * Rack — one group per populated rack (node ids are rack-major, so each
+//     group is a contiguous sensor range). The natural fleet partition: the
+//     paper's case studies reason rack-by-rack, and rack-local models keep
+//     the strongest thermal couplings (blade/chassis neighbors) together.
+//   * Contiguous — `group_count` near-equal contiguous index blocks,
+//     topology-blind; useful for load-balancing experiments.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "telemetry/env_stream.hpp"
+#include "telemetry/sensor_model.hpp"
+
+namespace imrdmd::telemetry {
+
+/// Sensor groups by rack: group r holds the sensors of every populated node
+/// whose place_of().rack == r, in machine sensor order. Racks without
+/// populated nodes are omitted.
+std::vector<std::vector<std::size_t>> rack_groups(const MachineSpec& spec);
+
+struct ShardedEnvOptions {
+  /// Chunking/horizon of the underlying stream (sensor_subset must stay
+  /// empty — the fleet driver consumes whole-machine chunks).
+  EnvStreamOptions stream;
+  /// How the machine's sensors are partitioned into groups.
+  enum class GroupBy { Rack, Contiguous };
+  GroupBy group_by = GroupBy::Rack;
+  /// Group count for GroupBy::Contiguous (ignored for Rack).
+  std::size_t group_count = 1;
+};
+
+class ShardedEnvSource final : public core::ChunkSource {
+ public:
+  /// `model` must outlive the source.
+  ShardedEnvSource(const SensorModel& model, ShardedEnvOptions options);
+
+  /// Whole-machine chunk (all sensors), as the fleet driver expects.
+  std::optional<Mat> next_chunk() override;
+  std::size_t sensors() const override;
+
+  /// The derived sensor partition, ready for FleetOptions::groups.
+  const std::vector<std::vector<std::size_t>>& groups() const {
+    return groups_;
+  }
+
+  /// Rows of group `g` over snapshots [t0, t0 + count), generated directly
+  /// from the sensor model without materializing the full machine window.
+  Mat group_window(std::size_t g, std::size_t t0, std::size_t count) const;
+
+  std::size_t position() const { return stream_.position(); }
+  void rewind() { stream_.rewind(); }
+
+ private:
+  const SensorModel& model_;
+  std::vector<std::vector<std::size_t>> groups_;
+  EnvLogStream stream_;
+};
+
+}  // namespace imrdmd::telemetry

@@ -5,11 +5,14 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <set>
 #include <thread>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
@@ -193,6 +196,21 @@ TEST(ParallelFor, PropagatesExceptions) {
       std::runtime_error);
 }
 
+TEST(ParallelFor, ExceptionWaitsForPendingChunks) {
+  // Regression: rethrowing on the first failed chunk used to unwind while
+  // later chunks were still queued holding a reference to the caller's
+  // function object — an intermittent use-after-free segfault. Repeating
+  // the throwing-first-chunk path makes the old flake near-certain.
+  for (int repeat = 0; repeat < 50; ++repeat) {
+    EXPECT_THROW(
+        parallel_for(0, 100,
+                     [](std::size_t i) {
+                       if (i == 0) throw std::runtime_error("first chunk");
+                     }),
+        std::runtime_error);
+  }
+}
+
 TEST(Strings, SplitKeepsEmptyFields) {
   const auto parts = split("a,,b,", ',');
   ASSERT_EQ(parts.size(), 4u);
@@ -280,6 +298,49 @@ TEST(Csv, ArityMismatchThrows) {
   EXPECT_THROW(writer.write_row({"only-one"}), DimensionError);
   writer.close();
   std::remove(path.c_str());
+}
+
+TEST(Json, DoublesRoundTripBitExactly) {
+  // Regression: %.9g formatting did not round-trip, so BENCH_*.json timing
+  // fields silently lost precision. The writer now emits the shortest form
+  // that parses back to the identical double.
+  Rng rng(11);
+  std::vector<double> values{0.1,
+                             1.0 / 3.0,
+                             6.02214076e23,
+                             -2.2250738585072014e-308,
+                             5e-324,  // smallest denormal
+                             1.7976931348623157e308,
+                             123456789.123456789,
+                             0.0,
+                             -0.0,
+                             1.5};
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(rng.normal() * std::pow(10.0, rng.uniform(-12.0, 12.0)));
+  }
+  for (double value : values) {
+    JsonWriter json;
+    json.begin_array();
+    json.value(value);
+    json.end_array();
+    const std::string& text = json.str();
+    ASSERT_GE(text.size(), 3u);
+    const std::string number = text.substr(1, text.size() - 2);
+    const double parsed = std::strtod(number.c_str(), nullptr);
+    EXPECT_EQ(parsed, value) << "emitted " << number;
+    // Bit-level check distinguishes -0.0 from 0.0 too.
+    EXPECT_EQ(std::signbit(parsed), std::signbit(value)) << number;
+  }
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(std::nan(""));
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(-std::numeric_limits<double>::infinity());
+  json.end_array();
+  EXPECT_EQ(json.str(), "[null,null,null]");
 }
 
 TEST(Log, LevelFiltering) {

@@ -3,7 +3,10 @@
 // distributed (row-partitioned) DMD.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "core/checkpoint.hpp"
@@ -85,6 +88,98 @@ TEST(Checkpoint, FileRoundTripAndBadInputs) {
   bytes.resize(bytes.size() / 2);
   std::stringstream half(bytes);
   EXPECT_THROW(core::load_checkpoint(half), ParseError);
+}
+
+TEST(Checkpoint, EveryTruncationPointYieldsParseError) {
+  // Regression: a truncated stream used to be detected only after the
+  // length-prefixed section had already driven an allocation / over-read;
+  // every prefix must now fail with the documented ParseError.
+  Rng rng(5);
+  const Mat data = planted_multiscale(6, 256, 0.02, rng);
+  core::IncrementalMrdmd model(small_options());
+  model.initial_fit(data);
+  std::stringstream full;
+  core::save_checkpoint(full, model);
+  const std::string bytes = full.str();
+  ASSERT_GT(bytes.size(), 64u);
+
+  const std::size_t step = std::max<std::size_t>(1, bytes.size() / 97);
+  for (std::size_t cut = 0; cut < bytes.size(); cut += step) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    EXPECT_THROW(core::load_checkpoint(truncated), ParseError)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(Checkpoint, CorruptSectionLengthsRejectedWithoutHugeAllocation) {
+  Rng rng(6);
+  const Mat data = planted_multiscale(6, 256, 0.02, rng);
+  core::IncrementalMrdmd model(small_options());
+  model.initial_fit(data);
+  std::stringstream full;
+  core::save_checkpoint(full, model);
+  const std::string bytes = full.str();
+
+  // The level-1 grid header sits at a fixed offset: magic (8) + 13 option
+  // words (104) + 3 scalar words (24). Plant a shape that passes the
+  // per-dimension plausibility cap but would demand ~2^55 bytes — only the
+  // remaining-stream bound can reject it before the allocation.
+  {
+    std::string corrupt = bytes;
+    const std::uint64_t big = std::uint64_t{1} << 25;
+    std::memcpy(corrupt.data() + 136, &big, sizeof big);
+    std::memcpy(corrupt.data() + 144, &big, sizeof big);
+    std::stringstream in(corrupt);
+    EXPECT_THROW(core::load_checkpoint(in), ParseError);
+  }
+
+  // Fuzz every u64-aligned position with an all-ones word: loads must
+  // either succeed or throw a library Error — never exhaust memory or
+  // crash on a garbage length prefix.
+  for (std::size_t offset = 8; offset + 8 <= bytes.size(); offset += 8) {
+    std::string corrupt = bytes;
+    const std::uint64_t garbage = ~std::uint64_t{0};
+    std::memcpy(corrupt.data() + offset, &garbage, sizeof garbage);
+    std::stringstream in(corrupt);
+    try {
+      core::load_checkpoint(in);
+    } catch (const Error&) {
+      // Expected for most offsets.
+    }
+  }
+}
+
+TEST(Checkpoint, NonSeekableStreamStillBoundsCorruptSections) {
+  // A stream without a known size (pipe-like) cannot be bounded exactly;
+  // sections are then held to a hard ceiling so a corrupted header still
+  // fails with ParseError instead of a fantasy-sized allocation.
+  class NoSeekBuf : public std::streambuf {
+   public:
+    explicit NoSeekBuf(std::string bytes) : bytes_(std::move(bytes)) {
+      setg(bytes_.data(), bytes_.data(), bytes_.data() + bytes_.size());
+    }
+    // seekoff/seekpos keep the std::streambuf defaults, which fail —
+    // exactly the non-seekable behavior under test.
+
+   private:
+    std::string bytes_;
+  };
+
+  Rng rng(7);
+  const Mat data = planted_multiscale(6, 256, 0.02, rng);
+  core::IncrementalMrdmd model(small_options());
+  model.initial_fit(data);
+  std::stringstream full;
+  core::save_checkpoint(full, model);
+  std::string corrupt = full.str();
+  const std::uint64_t big = std::uint64_t{1} << 25;
+  std::memcpy(corrupt.data() + 136, &big, sizeof big);  // grid rows
+  std::memcpy(corrupt.data() + 144, &big, sizeof big);  // grid cols
+
+  NoSeekBuf buffer(corrupt);
+  std::istream in(&buffer);
+  EXPECT_EQ(in.tellg(), std::istream::pos_type(-1));  // truly non-seekable
+  EXPECT_THROW(core::load_checkpoint(in), ParseError);
 }
 
 TEST(Checkpoint, UnfittedModelRejected) {

@@ -220,6 +220,7 @@ TEST(PipelineIntegration, DriftReportsAccumulateSanely) {
 }
 
 TEST(PipelineIntegration, MidStreamSensorCountChangeRejected) {
+  // Typed rejection at the API boundary, not a shape error deep in the fit.
   core::PipelineOptions options = scenario_pipeline_options();
   OnlineAssessmentPipeline pipeline(options);
   Rng rng(3);
@@ -229,7 +230,23 @@ TEST(PipelineIntegration, MidStreamSensorCountChangeRejected) {
   }
   pipeline.process(first);
   linalg::Mat bad(9, 64);
-  EXPECT_THROW(pipeline.process(bad), DimensionError);
+  EXPECT_THROW(pipeline.process(bad), InvalidArgument);
+  linalg::Mat fewer(7, 64);
+  EXPECT_THROW(pipeline.process(fewer), InvalidArgument);
+}
+
+TEST(PipelineIntegration, ZeroColumnChunkRejected) {
+  core::PipelineOptions options = scenario_pipeline_options();
+  OnlineAssessmentPipeline pipeline(options);
+  EXPECT_THROW(pipeline.process(linalg::Mat(8, 0)), InvalidArgument);
+  // Also rejected after a successful initial fit.
+  Rng rng(4);
+  linalg::Mat first(8, 512);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    first.data()[i] = 50.0 + rng.normal();
+  }
+  pipeline.process(first);
+  EXPECT_THROW(pipeline.process(linalg::Mat(8, 0)), InvalidArgument);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/align.hpp"
 #include "core/zscore.hpp"
@@ -59,6 +60,71 @@ TEST(Zscore, StateClassificationMatchesPaperThresholds) {
             (std::vector<std::size_t>{5}));
   EXPECT_EQ(analysis.sensors_in_state(ThermalState::Cold),
             (std::vector<std::size_t>{0}));
+}
+
+TEST(Zscore, NonFiniteZscoreIsNearBaselineNotHot) {
+  // Regression: a NaN z-score fell through every threshold comparison in
+  // state() and was classified Hot — a dead/NaN sensor raised a spurious
+  // overheating alarm.
+  ZscoreAnalysis analysis;
+  analysis.options = ZscoreOptions{};
+  analysis.zscores = {std::nan(""), std::numeric_limits<double>::infinity(),
+                      -std::numeric_limits<double>::infinity(), 3.0};
+  EXPECT_EQ(analysis.state(0), ThermalState::NearBaseline);
+  EXPECT_EQ(analysis.state(1), ThermalState::NearBaseline);
+  EXPECT_EQ(analysis.state(2), ThermalState::NearBaseline);
+  EXPECT_EQ(analysis.state(3), ThermalState::Hot);
+  EXPECT_EQ(analysis.sensors_in_state(ThermalState::Hot),
+            (std::vector<std::size_t>{3}));
+}
+
+TEST(Zscore, NanMagnitudeFlowsThroughWithoutHotFlag) {
+  // A NaN magnitude outside the baseline population produces a NaN z-score
+  // for that sensor only; it must not be flagged Hot.
+  const std::vector<double> magnitudes{10, 12, 14, 16, 18, std::nan("")};
+  const std::vector<std::size_t> baseline{0, 1, 2, 3, 4};
+  const ZscoreAnalysis analysis = zscore_from_baseline(
+      std::span<const double>(magnitudes.data(), magnitudes.size()),
+      std::span<const std::size_t>(baseline.data(), baseline.size()));
+  EXPECT_TRUE(std::isnan(analysis.zscores[5]));
+  EXPECT_EQ(analysis.state(5), ThermalState::NearBaseline);
+  EXPECT_TRUE(analysis.sensors_in_state(ThermalState::Hot).empty());
+
+  // A NaN *inside* the baseline poisons the population statistics; every
+  // sensor degrades to NearBaseline rather than fleet-wide Hot alarms.
+  const std::vector<double> poisoned{10, std::nan(""), 14, 16, 18, 40};
+  const ZscoreAnalysis worst = zscore_from_baseline(
+      std::span<const double>(poisoned.data(), poisoned.size()),
+      std::span<const std::size_t>(baseline.data(), baseline.size()));
+  EXPECT_TRUE(worst.sensors_in_state(ThermalState::Hot).empty());
+}
+
+TEST(Zscore, BaselineZscoreStageMatchesManualComposition) {
+  const std::vector<double> means{50.0, 51.0, 52.0, 70.0};
+  const std::vector<double> magnitudes{10.0, 12.0, 14.0, 30.0};
+  BaselineZscoreStage stage({46.0, 57.0}, ZscoreOptions{}, true);
+  const ZscoreAnalysis staged = stage.apply(
+      std::span<const double>(magnitudes.data(), magnitudes.size()),
+      std::span<const double>(means.data(), means.size()));
+  const auto baseline = select_baseline_sensors(
+      std::span<const double>(means.data(), means.size()), {46.0, 57.0});
+  EXPECT_EQ(stage.baseline_sensors(), baseline);
+  const ZscoreAnalysis manual = zscore_from_baseline(
+      std::span<const double>(magnitudes.data(), magnitudes.size()),
+      std::span<const std::size_t>(baseline.data(), baseline.size()));
+  ASSERT_EQ(staged.zscores.size(), manual.zscores.size());
+  for (std::size_t i = 0; i < staged.zscores.size(); ++i) {
+    EXPECT_EQ(staged.zscores[i], manual.zscores[i]);
+  }
+
+  // With reselect disabled, the first population is kept for later chunks.
+  BaselineZscoreStage sticky({46.0, 57.0}, ZscoreOptions{}, false);
+  sticky.apply(std::span<const double>(magnitudes.data(), magnitudes.size()),
+               std::span<const double>(means.data(), means.size()));
+  const std::vector<double> shifted{90.0, 91.0, 92.0, 93.0};
+  sticky.apply(std::span<const double>(magnitudes.data(), magnitudes.size()),
+               std::span<const double>(shifted.data(), shifted.size()));
+  EXPECT_EQ(sticky.baseline_sensors(), baseline);
 }
 
 TEST(Zscore, DegenerateBaselineYieldsZeroScores) {
