@@ -1,0 +1,183 @@
+// Fleet checkpoint bench: save/load throughput of the fleet checkpoint
+// container as the group count grows over a fixed sensor population.
+//
+// Workload: the bench_fleet-style synthetic stream partitioned into G
+// contiguous groups, streamed into a FleetAssessment, then checkpointed.
+// Per-group model images are serialized concurrently across the fleet's
+// worker lanes and concatenated in deterministic group order, so more
+// groups mean more lane parallelism during save (and smaller per-group
+// models) at a roughly constant total byte size. Emits
+// BENCH_checkpoint.json with the groups-vs-throughput curve; the fidelity
+// gate is that re-serializing a loaded checkpoint reproduces the container
+// byte for byte (exit status reflects it).
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "common/timer.hpp"
+#include "core/checkpoint.hpp"
+#include "core/fleet.hpp"
+
+using namespace imrdmd;
+
+namespace {
+
+// Per-group coherent modes plus deterministic pseudo-noise (the same
+// low-rank-plus-noise structure the fleet bench streams).
+linalg::Mat make_fleet_stream(std::size_t sensors, std::size_t cols) {
+  linalg::Mat data(sensors, cols);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto noise = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<double>(state >> 11) / 9007199254740992.0 - 0.5;
+  };
+  for (std::size_t p = 0; p < sensors; ++p) {
+    const double phase = 0.13 * static_cast<double>(p);
+    for (std::size_t t = 0; t < cols; ++t) {
+      const double x = static_cast<double>(t) / 192.0;
+      double value = 48.0 + 4.0 * std::sin(2.0 * M_PI * 0.35 * x + phase);
+      value += 1.2 * std::sin(2.0 * M_PI * 5.0 * x + 2.0 * phase);
+      value += 0.3 * noise();
+      data(p, t) = value;
+    }
+  }
+  return data;
+}
+
+struct GroupResult {
+  std::size_t groups = 0;
+  std::size_t bytes = 0;
+  double save_seconds = 0.0;
+  double load_seconds = 0.0;
+  double save_mb_per_sec = 0.0;
+  double load_mb_per_sec = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::banner(
+      "Fleet checkpoint container: parallel per-group sections, atomic files",
+      "save/load throughput holds as the group count grows; a loaded "
+      "checkpoint re-serializes byte-identically");
+
+  const std::size_t sensors = args.full ? 2048 : 512;
+  const std::size_t initial = args.full ? 512 : 256;
+  const std::size_t chunk = args.full ? 256 : 128;
+  const std::size_t stream_chunks = 2;
+  const std::size_t total = initial + chunk * stream_chunks;
+  const std::size_t repeats = std::max<std::size_t>(args.repeats, 1);
+
+  std::printf("workload: %zu sensors, %zu+%zux%zu snapshots, %zu repeats, "
+              "hardware_concurrency=%u\n",
+              sensors, initial, stream_chunks, chunk, repeats,
+              std::thread::hardware_concurrency());
+
+  const linalg::Mat data = make_fleet_stream(sensors, total);
+
+  std::vector<std::size_t> group_counts{1, 2, 4};
+  if (sensors >= 512) group_counts.push_back(8);
+
+  std::vector<GroupResult> results;
+  bool resave_identical = true;
+  for (std::size_t group_count : group_counts) {
+    core::FleetOptions options;
+    options.pipeline.imrdmd.mrdmd.max_levels = 4;
+    options.pipeline.imrdmd.mrdmd.dt = 15.0;
+    options.pipeline.baseline = {40.0, 60.0};
+    options.groups = core::contiguous_groups(sensors, group_count);
+    core::FleetAssessment fleet(options, sensors);
+    core::MatrixChunkSource source(data, initial, chunk);
+    fleet.run(source);
+
+    GroupResult result;
+    result.groups = group_count;
+    std::string bytes;
+    {
+      double save_total = 0.0;
+      for (std::size_t rep = 0; rep < repeats; ++rep) {
+        std::ostringstream buffer;
+        WallTimer timer;
+        core::save_fleet_checkpoint(buffer, fleet);
+        save_total += timer.seconds();
+        if (rep + 1 == repeats) bytes = buffer.str();
+      }
+      result.save_seconds = save_total / static_cast<double>(repeats);
+    }
+    result.bytes = bytes.size();
+    {
+      double load_total = 0.0;
+      for (std::size_t rep = 0; rep < repeats; ++rep) {
+        std::istringstream buffer(bytes);
+        WallTimer timer;
+        core::RestoredFleet restored = core::load_fleet_checkpoint(buffer);
+        load_total += timer.seconds();
+        if (rep + 1 == repeats) {
+          std::ostringstream resaved;
+          core::save_fleet_checkpoint(resaved, restored.fleet);
+          if (resaved.str() != bytes) resave_identical = false;
+        }
+      }
+      result.load_seconds = load_total / static_cast<double>(repeats);
+    }
+    const double mb = static_cast<double>(result.bytes) / (1024.0 * 1024.0);
+    result.save_mb_per_sec = mb / result.save_seconds;
+    result.load_mb_per_sec = mb / result.load_seconds;
+    results.push_back(result);
+    std::printf(
+        "  groups=%-3zu %8.2f KiB  save %8.3f ms (%7.1f MiB/s)  load %8.3f "
+        "ms (%7.1f MiB/s)\n",
+        result.groups, static_cast<double>(result.bytes) / 1024.0,
+        result.save_seconds * 1e3, result.save_mb_per_sec,
+        result.load_seconds * 1e3, result.load_mb_per_sec);
+  }
+
+  std::printf("\nresave byte-identical: %s\n",
+              resave_identical ? "yes" : "NO");
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "checkpoint");
+  json.field("mode", args.full ? "full" : "default");
+  json.key("workload");
+  json.begin_object();
+  json.field("sensors", sensors);
+  json.field("initial_snapshots", initial);
+  json.field("chunk_snapshots", chunk);
+  json.field("stream_chunks", stream_chunks);
+  json.field("repeats", repeats);
+  json.end_object();
+  json.field("hardware_concurrency",
+             static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  json.key("curve");
+  json.begin_array();
+  for (const GroupResult& r : results) {
+    json.begin_object();
+    json.field("groups", r.groups);
+    json.field("bytes", r.bytes);
+    json.field("save_seconds", r.save_seconds);
+    json.field("load_seconds", r.load_seconds);
+    json.field("save_mb_per_sec", r.save_mb_per_sec);
+    json.field("load_mb_per_sec", r.load_mb_per_sec);
+    json.end_object();
+  }
+  json.end_array();
+  json.field("resave_identical", resave_identical);
+  json.end_object();
+  const std::string path = args.out_dir + "/BENCH_checkpoint.json";
+  json.write_file(path);
+  std::printf("wrote %s\n", path.c_str());
+
+  return resave_identical ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -7,11 +7,25 @@
 // stage. After every chunk it prints per-rack fit diagnostics and the
 // fleet-wide thermal census.
 //
+// Durability: with --checkpoint PATH the driver atomically rewrites PATH
+// after every --every N-th chunk; kill the process at any point and rerun
+// with --resume to continue from the latest checkpoint — the resumed run's
+// snapshots are bitwise identical to the uninterrupted run's. Restate the
+// original --chunks on resume: the horizon shapes the simulated stream
+// (fault windows included), so a different value would replay a different
+// machine. Try:
+//
+//   fleet_monitor --checkpoint /tmp/fleet.ckpt --every 1 --chunks 2
+//   fleet_monitor --checkpoint /tmp/fleet.ckpt --resume --chunks 2
+//
 // Usage: fleet_monitor [--shards N] [--chunks N] [--sync]
+//                      [--checkpoint PATH] [--every N] [--resume]
 #include <cstdio>
 #include <cstring>
+#include <optional>
 
 #include "common/strings.hpp"
+#include "core/checkpoint.hpp"
 #include "core/fleet.hpp"
 #include "telemetry/sharded_env.hpp"
 
@@ -21,6 +35,9 @@ int main(int argc, char** argv) try {
   std::size_t shards = 0;  // 0 = one lane per rack
   std::size_t chunks = 4;
   bool async = true;
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--shards") && i + 1 < argc) {
       shards = static_cast<std::size_t>(parse_long(argv[++i], "--shards"));
@@ -28,10 +45,24 @@ int main(int argc, char** argv) try {
       chunks = static_cast<std::size_t>(parse_long(argv[++i], "--chunks"));
     } else if (!std::strcmp(argv[i], "--sync")) {
       async = false;
+    } else if (!std::strcmp(argv[i], "--checkpoint") && i + 1 < argc) {
+      checkpoint_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--every") && i + 1 < argc) {
+      checkpoint_every =
+          static_cast<std::size_t>(parse_long(argv[++i], "--every"));
+    } else if (!std::strcmp(argv[i], "--resume")) {
+      resume = true;
     } else {
-      std::printf("usage: %s [--shards N] [--chunks N] [--sync]\n", argv[0]);
+      std::printf(
+          "usage: %s [--shards N] [--chunks N] [--sync] [--checkpoint PATH] "
+          "[--every N] [--resume]\n",
+          argv[0]);
       return 2;
     }
+  }
+  if (resume && checkpoint_path.empty()) {
+    std::fprintf(stderr, "error: --resume requires --checkpoint PATH\n");
+    return 2;
   }
 
   const telemetry::MachineSpec spec = telemetry::MachineSpec::testbed();
@@ -57,21 +88,53 @@ int main(int argc, char** argv) try {
   source_options.stream.total_snapshots = horizon;
   telemetry::ShardedEnvSource source(model, source_options);
 
-  core::FleetOptions options;
-  options.pipeline.imrdmd.mrdmd.max_levels = 4;
-  options.pipeline.imrdmd.mrdmd.dt = spec.dt_seconds;
-  options.pipeline.baseline = {40.0, 60.0};
-  options.groups = source.groups();
-  options.shards = shards;
-  options.async_prefetch = async;
-  core::FleetAssessment fleet(options, source.sensors());
+  core::FleetCheckpointPolicy policy;
+  policy.every_n = checkpoint_path.empty() ? 0 : checkpoint_every;
+  policy.path = checkpoint_path;
+
+  std::optional<core::FleetAssessment> fleet;
+  if (resume) {
+    // Continue from the latest complete checkpoint: restore the fleet and
+    // reposition the telemetry stream at the recorded snapshot index.
+    core::FleetResumeOptions resume_options;
+    resume_options.shards = shards;
+    resume_options.async_prefetch = async;
+    resume_options.checkpoint = policy;
+    core::RestoredFleet restored =
+        core::load_fleet_checkpoint_file(checkpoint_path, resume_options);
+    if (restored.stream_position > horizon) {
+      std::fprintf(stderr,
+                   "error: checkpoint is at snapshot %llu but --chunks %zu "
+                   "only spans %zu; restate the original run's --chunks\n",
+                   static_cast<unsigned long long>(restored.stream_position),
+                   chunks, horizon);
+      return 2;
+    }
+    source.seek(static_cast<std::size_t>(restored.stream_position));
+    std::printf("resumed from %s: chunk %zu, snapshot %llu of %zu\n",
+                checkpoint_path.c_str(), restored.fleet.chunks_processed(),
+                static_cast<unsigned long long>(restored.stream_position),
+                horizon);
+    fleet.emplace(std::move(restored.fleet));
+  } else {
+    core::FleetOptions options;
+    options.pipeline.imrdmd.mrdmd.max_levels = 4;
+    options.pipeline.imrdmd.mrdmd.dt = spec.dt_seconds;
+    options.pipeline.baseline = {40.0, 60.0};
+    options.groups = source.groups();
+    options.shards = shards;
+    options.async_prefetch = async;
+    options.checkpoint = policy;
+    fleet.emplace(std::move(options), source.sensors());
+  }
 
   std::printf("fleet: %s, %zu sensors in %zu rack groups, %zu shard lanes, "
-              "prefetch %s\n",
-              spec.name.c_str(), source.sensors(), fleet.group_count(),
-              fleet.shards(), async ? "async" : "sync");
+              "prefetch %s%s\n",
+              spec.name.c_str(), source.sensors(), fleet->group_count(),
+              fleet->shards(), async ? "async" : "sync",
+              policy.every_n > 0 ? ", checkpointing" : "");
 
-  const auto snapshots = fleet.run(source);
+  const auto snapshots = fleet->run(source);
   for (const core::FleetSnapshot& snapshot : snapshots) {
     std::printf("\nchunk %zu: %zu snapshots (total %zu), fit %.3fs\n",
                 snapshot.chunk_index, snapshot.chunk_snapshots,
@@ -91,6 +154,10 @@ int main(int argc, char** argv) try {
       std::printf("    HOT sensor %zu  z=%.2f\n", sensor,
                   snapshot.zscores.zscores[sensor]);
     }
+  }
+  if (policy.every_n > 0 && !snapshots.empty()) {
+    std::printf("\nlatest checkpoint: %s (kill + --resume continues here)\n",
+                checkpoint_path.c_str());
   }
   return 0;
 } catch (const std::exception& e) {

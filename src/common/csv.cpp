@@ -43,6 +43,9 @@ void CsvWriter::write_row(const std::vector<std::string>& fields) {
     stream_ << quote(fields[i]);
   }
   stream_ << '\n';
+  // An unchecked stream swallows ENOSPC and silently drops telemetry rows;
+  // surface it at the write that failed, naming the file.
+  if (stream_.fail()) throw Error("CSV write failed (disk full?): " + path_);
 }
 
 void CsvWriter::write_row_numeric(const std::vector<double>& values) {
@@ -57,7 +60,12 @@ void CsvWriter::write_row_numeric(const std::vector<double>& values) {
 }
 
 void CsvWriter::close() {
-  if (stream_.is_open()) stream_.close();
+  if (!stream_.is_open()) return;
+  stream_.flush();
+  stream_.close();
+  // close() flushes buffered rows; a failure here is the last chance to
+  // notice that the tail of the file never reached the disk.
+  if (stream_.fail()) throw Error("CSV close failed (disk full?): " + path_);
 }
 
 std::size_t CsvTable::column(const std::string& name) const {
@@ -97,7 +105,6 @@ CsvTable read_csv(const std::string& path) {
   };
 
   while (stream.get(c)) {
-    row_started = true;
     if (in_quotes) {
       if (c == '"') {
         if (stream.peek() == '"') {
@@ -111,12 +118,19 @@ CsvTable read_csv(const std::string& path) {
       }
     } else if (c == '"') {
       in_quotes = true;
+      row_started = true;
     } else if (c == ',') {
       end_field();
+      row_started = true;
     } else if (c == '\n') {
-      end_row();
+      // A newline on an empty row (blank line, doubled trailing newline,
+      // or a bare CRLF) is skipped, not parsed as a one-empty-field row:
+      // row_started is set only by characters that contribute to a row,
+      // so end_row() never sees a spurious empty record.
+      if (row_started) end_row();
     } else if (c != '\r') {
       field += c;
+      row_started = true;
     }
   }
   if (in_quotes) throw ParseError("unterminated quote in " + path);

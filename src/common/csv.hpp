@@ -18,13 +18,16 @@ class CsvWriter {
   /// Opens (truncates) `path` and writes `header` as the first row.
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
 
-  /// Writes one row of string fields; must match the header arity.
+  /// Writes one row of string fields; must match the header arity. Throws
+  /// Error (naming the path) when the stream fails, e.g. on a full disk —
+  /// telemetry rows are never dropped silently.
   void write_row(const std::vector<std::string>& fields);
 
   /// Convenience: formats doubles with enough digits to round-trip.
   void write_row_numeric(const std::vector<double>& values);
 
-  /// Flushes and closes; subsequent writes throw.
+  /// Flushes and closes; throws Error if the flush fails (disk full),
+  /// subsequent writes throw.
   void close();
 
   const std::string& path() const { return path_; }
@@ -44,8 +47,9 @@ struct CsvTable {
   std::size_t column(const std::string& name) const;
 };
 
-/// Reads a whole CSV file (RFC 4180 quoting). Throws ParseError on ragged
-/// rows or unterminated quotes.
+/// Reads a whole CSV file (RFC 4180 quoting). Blank lines — including a
+/// doubled trailing newline or bare CRLF lines — are skipped. Throws
+/// ParseError on ragged rows or unterminated quotes.
 CsvTable read_csv(const std::string& path);
 
 }  // namespace imrdmd

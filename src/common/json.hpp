@@ -15,10 +15,11 @@
 
 #include <charconv>
 #include <cmath>
-#include <cstdio>
+#include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.hpp"
 #include "common/error.hpp"
 
 namespace imrdmd {
@@ -92,15 +93,16 @@ class JsonWriter {
 
   const std::string& str() const { return out_; }
 
-  /// Writes the document (plus a trailing newline) to `path`.
+  /// Writes the document (plus a trailing newline) to `path`, atomically
+  /// (write-temp-then-rename): a crash mid-write never leaves a torn JSON
+  /// at the final path.
   void write_file(const std::string& path) const {
     IMRDMD_REQUIRE_ARG(fresh_.empty(),
                        "JsonWriter: unbalanced document at write_file");
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) throw Error("JsonWriter: cannot open " + path);
-    std::fwrite(out_.data(), 1, out_.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
+    write_file_atomic(path, [this](std::ostream& out) {
+      out.write(out_.data(), static_cast<std::streamsize>(out_.size()));
+      out.put('\n');
+    });
   }
 
  private:

@@ -3,16 +3,23 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <istream>
 #include <ostream>
+#include <sstream>
+#include <utility>
 
+#include "common/atomic_file.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace imrdmd::core {
 
 namespace {
 
 constexpr char kMagic[8] = {'I', 'M', 'R', 'D', 'M', 'D', '1', '\n'};
+constexpr char kPipelineMagic[8] = {'I', 'M', 'R', 'D', 'P', 'L', '1', '\n'};
+constexpr char kFleetMagic[8] = {'I', 'M', 'R', 'D', 'F', 'L', '1', '\n'};
 
 // --- primitive writers/readers (little-endian native; the format is not
 // exchanged across architectures) -------------------------------------
@@ -176,9 +183,213 @@ MrdmdNode get_node(BoundedReader& in) {
   return node;
 }
 
+// --- stage options / stage state (shared by pipeline + fleet headers) ---
+
+void put_stage_options(std::ostream& out, const PipelineOptions& options) {
+  put_f64(out, options.band.min_frequency_hz);
+  put_f64(out, options.band.max_frequency_hz);
+  put_f64(out, options.band.min_power);
+  put_f64(out, options.baseline.value_min);
+  put_f64(out, options.baseline.value_max);
+  put_f64(out, options.zscore.near_band);
+  put_f64(out, options.zscore.hot_threshold);
+  put_u64(out, options.reselect_baseline_per_chunk ? 1 : 0);
+}
+
+void get_stage_options(BoundedReader& in, PipelineOptions& options) {
+  options.band.min_frequency_hz = get_f64(in);
+  options.band.max_frequency_hz = get_f64(in);
+  options.band.min_power = get_f64(in);
+  options.baseline.value_min = get_f64(in);
+  options.baseline.value_max = get_f64(in);
+  options.zscore.near_band = get_f64(in);
+  options.zscore.hot_threshold = get_f64(in);
+  options.reselect_baseline_per_chunk = get_u64(in) != 0;
+}
+
+void put_stage_state(std::ostream& out,
+                     const BaselineZscoreStage::State& state) {
+  put_u64(out, state.selected_once ? 1 : 0);
+  put_u64(out, state.baseline_sensors.size());
+  for (std::size_t sensor : state.baseline_sensors) put_u64(out, sensor);
+}
+
+BaselineZscoreStage::State get_stage_state(BoundedReader& in) {
+  BaselineZscoreStage::State state;
+  state.selected_once = get_u64(in) != 0;
+  const std::uint64_t count = get_u64(in);
+  if (count > (1u << 26)) {
+    throw ParseError("checkpoint baseline population implausible");
+  }
+  in.require(count * sizeof(std::uint64_t), "baseline population");
+  state.baseline_sensors.resize(count);
+  for (auto& sensor : state.baseline_sensors) {
+    sensor = static_cast<std::size_t>(get_u64(in));
+  }
+  return state;
+}
+
+/// Everything a pipeline or fleet container parses before assembly. A
+/// pipeline-kind parse holds one model and the trivial identity partition,
+/// so either kind can assemble into either driver.
+struct ParsedCheckpoint {
+  PipelineOptions stage_options;  // band/baseline/zscore/reselect only
+  std::uint64_t chunks_processed = 0;
+  std::uint64_t stream_position = 0;
+  BaselineZscoreStage::State stage_state;
+  std::uint64_t sensors = 0;
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<IncrementalMrdmd> models;
+};
+
+void put_header(std::ostream& out, const PipelineOptions& options,
+                std::uint64_t chunks_processed, std::uint64_t stream_position,
+                const BaselineZscoreStage::State& state) {
+  put_stage_options(out, options);
+  put_u64(out, chunks_processed);
+  put_u64(out, stream_position);
+  put_stage_state(out, state);
+}
+
+void get_header(BoundedReader& in, ParsedCheckpoint& parsed) {
+  get_stage_options(in, parsed.stage_options);
+  parsed.chunks_processed = get_u64(in);
+  parsed.stream_position = get_u64(in);
+  parsed.stage_state = get_stage_state(in);
+  if (parsed.chunks_processed == 0) {
+    throw ParseError("checkpoint has no processed chunks");
+  }
+}
+
 }  // namespace
 
-void save_checkpoint(std::ostream& out, const IncrementalMrdmd& model) {
+/// Single access point for every private member the checkpoint module
+/// serializes: the model internals (IncrementalMrdmd), the pipeline's stage
+/// and counters (OnlineAssessmentPipeline), and the fleet's models, stage,
+/// and lane structure (FleetAssessment). Defined only in this translation
+/// unit.
+struct CheckpointAccess {
+  static void put_model(std::ostream& out, const IncrementalMrdmd& model);
+  static IncrementalMrdmd get_model(BoundedReader& in);
+  static void save_pipeline(std::ostream& out,
+                            const OnlineAssessmentPipeline& pipeline);
+  static RestoredPipeline assemble_pipeline(ParsedCheckpoint parsed);
+  static void save_fleet(std::ostream& out, const FleetAssessment& fleet);
+  static RestoredFleet assemble_fleet(ParsedCheckpoint parsed,
+                                      const FleetResumeOptions& resume);
+};
+
+namespace {
+
+/// Reads one length-prefixed model image, bounding the declared length
+/// against the remaining stream before parsing and verifying afterwards
+/// that the parse consumed exactly the declared bytes.
+/// Load-time validation of the restored baseline selection: the fail-fast
+/// contract is ParseError *at load*, not a DimensionError chunks later
+/// inside the resumed stream's first z-scoring. The saved population is
+/// strictly ascending (select_baseline_sensors walks sensors in order), so
+/// anything else is corruption.
+void check_stage_state(const ParsedCheckpoint& parsed) {
+  const auto& sensors = parsed.stage_state.baseline_sensors;
+  for (std::size_t i = 0; i < sensors.size(); ++i) {
+    if (sensors[i] >= parsed.sensors ||
+        (i > 0 && sensors[i] <= sensors[i - 1])) {
+      throw ParseError("checkpoint baseline population corrupt");
+    }
+  }
+}
+
+IncrementalMrdmd get_model_section(BoundedReader& in, const char* what) {
+  const std::uint64_t length = get_u64(in);
+  in.require(length, what);
+  const std::uint64_t before = in.remaining();
+  IncrementalMrdmd model = CheckpointAccess::get_model(in);
+  if (before != BoundedReader::kUnknown && before - in.remaining() != length) {
+    throw ParseError(std::string("checkpoint section length mismatch (") +
+                     what + ")");
+  }
+  return model;
+}
+
+ParsedCheckpoint parse_pipeline_body(BoundedReader& in) {
+  ParsedCheckpoint parsed;
+  get_header(in, parsed);
+  parsed.models.push_back(get_model_section(in, "pipeline model section"));
+  if (parsed.models[0].time_steps() != parsed.stream_position) {
+    throw ParseError("checkpoint stream position disagrees with the model");
+  }
+  parsed.sensors = parsed.models[0].sensors();
+  parsed.groups.emplace_back();
+  parsed.groups[0].reserve(parsed.sensors);
+  for (std::size_t p = 0; p < parsed.sensors; ++p) {
+    parsed.groups[0].push_back(p);
+  }
+  check_stage_state(parsed);
+  return parsed;
+}
+
+ParsedCheckpoint parse_fleet_body(BoundedReader& in) {
+  ParsedCheckpoint parsed;
+  get_header(in, parsed);
+  parsed.sensors = get_u64(in);
+  if (parsed.sensors == 0 || parsed.sensors > (std::uint64_t{1} << 32)) {
+    throw ParseError("fleet checkpoint sensor count implausible");
+  }
+  const std::uint64_t group_count = get_u64(in);
+  if (group_count == 0 || group_count > parsed.sensors) {
+    throw ParseError("fleet checkpoint group count implausible");
+  }
+  // Every group carries at least its size word; a partition of `sensors`
+  // carries exactly `sensors` index words in total. Bound both before any
+  // group drives an allocation.
+  in.require((group_count + parsed.sensors) * sizeof(std::uint64_t),
+             "fleet groups");
+  parsed.groups.resize(group_count);
+  for (auto& group : parsed.groups) {
+    const std::uint64_t size = get_u64(in);
+    if (size > parsed.sensors) {
+      throw ParseError("fleet checkpoint group size implausible");
+    }
+    in.require(size * sizeof(std::uint64_t), "fleet group");
+    group.resize(size);
+    for (auto& sensor : group) {
+      sensor = static_cast<std::size_t>(get_u64(in));
+      if (sensor >= parsed.sensors) {
+        throw ParseError("fleet checkpoint group sensor index out of range");
+      }
+    }
+  }
+  parsed.models.reserve(group_count);
+  for (std::uint64_t g = 0; g < group_count; ++g) {
+    parsed.models.push_back(get_model_section(in, "fleet model section"));
+    if (parsed.models.back().sensors() != parsed.groups[g].size()) {
+      throw ParseError("fleet section row count disagrees with its group");
+    }
+    if (parsed.models.back().time_steps() != parsed.stream_position) {
+      throw ParseError("fleet checkpoint stream position disagrees with a "
+                       "group model");
+    }
+  }
+  check_stage_state(parsed);
+  return parsed;
+}
+
+ParsedCheckpoint parse_any(BoundedReader& in) {
+  char magic[sizeof kMagic];
+  in.read(magic, sizeof magic, "magic");
+  if (std::memcmp(magic, kPipelineMagic, sizeof magic) == 0) {
+    return parse_pipeline_body(in);
+  }
+  if (std::memcmp(magic, kFleetMagic, sizeof magic) == 0) {
+    return parse_fleet_body(in);
+  }
+  throw ParseError("not an imrdmd pipeline/fleet checkpoint (bad magic)");
+}
+
+}  // namespace
+
+void CheckpointAccess::put_model(std::ostream& out,
+                                 const IncrementalMrdmd& model) {
   IMRDMD_REQUIRE_ARG(model.fitted(), "cannot checkpoint an unfitted model");
   out.write(kMagic, sizeof kMagic);
 
@@ -216,12 +427,9 @@ void save_checkpoint(std::ostream& out, const IncrementalMrdmd& model) {
   for (const MrdmdNode& node : model.nodes_) put_node(out, node);
   put_mat(out, model.cached_grid_recon_);
   put_mat(out, model.history_);
-
-  if (!out) throw Error("checkpoint write failed");
 }
 
-IncrementalMrdmd load_checkpoint(std::istream& raw) {
-  BoundedReader in(raw);
+IncrementalMrdmd CheckpointAccess::get_model(BoundedReader& in) {
   char magic[sizeof kMagic];
   in.read(magic, sizeof magic, "magic");
   if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
@@ -290,17 +498,190 @@ IncrementalMrdmd load_checkpoint(std::istream& raw) {
   return model;
 }
 
+void CheckpointAccess::save_pipeline(std::ostream& out,
+                                     const OnlineAssessmentPipeline& pipeline) {
+  IMRDMD_REQUIRE_ARG(pipeline.model_.fitted(),
+                     "cannot checkpoint a pipeline before its first chunk");
+  out.write(kPipelineMagic, sizeof kPipelineMagic);
+  put_header(out, pipeline.options_, pipeline.chunks_processed_,
+             pipeline.model_.time_steps(), pipeline.zscore_stage_.state());
+  std::ostringstream buffer;
+  put_model(buffer, pipeline.model_);
+  const std::string bytes = std::move(buffer).str();
+  put_u64(out, bytes.size());
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw Error("pipeline checkpoint write failed");
+}
+
+RestoredPipeline CheckpointAccess::assemble_pipeline(ParsedCheckpoint parsed) {
+  if (parsed.models.size() != 1) {
+    throw ParseError(
+        "fleet checkpoint has multiple groups; resume it with "
+        "load_fleet_checkpoint");
+  }
+  bool identity = parsed.groups.size() == 1 &&
+                  parsed.groups[0].size() == parsed.sensors;
+  if (identity) {
+    for (std::size_t p = 0; p < parsed.sensors; ++p) {
+      if (parsed.groups[0][p] != p) identity = false;
+    }
+  }
+  if (!identity) {
+    throw ParseError(
+        "fleet checkpoint partition is not the identity; resume it with "
+        "load_fleet_checkpoint");
+  }
+  PipelineOptions options = parsed.stage_options;
+  options.imrdmd = parsed.models[0].options();
+  OnlineAssessmentPipeline pipeline(options);
+  pipeline.model_ = std::move(parsed.models[0]);
+  pipeline.zscore_stage_.restore(std::move(parsed.stage_state));
+  pipeline.chunks_processed_ =
+      static_cast<std::size_t>(parsed.chunks_processed);
+  return {std::move(pipeline), parsed.stream_position};
+}
+
+void CheckpointAccess::save_fleet(std::ostream& out,
+                                  const FleetAssessment& fleet) {
+  IMRDMD_REQUIRE_ARG(fleet.chunks_processed_ >= 1,
+                     "cannot checkpoint a fleet before its first chunk");
+  out.write(kFleetMagic, sizeof kFleetMagic);
+  put_header(out, fleet.options_.pipeline, fleet.chunks_processed_,
+             fleet.snapshots_processed(), fleet.zscore_stage_.state());
+  put_u64(out, fleet.sensors_);
+  put_u64(out, fleet.groups_.size());
+  for (const auto& group : fleet.groups_) {
+    put_u64(out, group.size());
+    for (std::size_t sensor : group) put_u64(out, sensor);
+  }
+
+  // Serialize the per-group model images concurrently across the fleet's
+  // worker lanes (the same lane structure process() uses); the images are
+  // then concatenated in deterministic group order, so the bytes are
+  // identical for any lane count.
+  const std::size_t group_count = fleet.groups_.size();
+  std::vector<std::string> sections(group_count);
+  auto run_lane = [&fleet, &sections, group_count](std::size_t lane) {
+    for (std::size_t g = lane; g < group_count; g += fleet.shards_) {
+      std::ostringstream buffer;
+      put_model(buffer, *fleet.models_[g]);
+      sections[g] = std::move(buffer).str();
+    }
+  };
+  if (fleet.shards_ <= 1) {
+    run_lane(0);
+  } else {
+    std::vector<std::future<void>> lanes;
+    lanes.reserve(fleet.shards_);
+    for (std::size_t lane = 0; lane < fleet.shards_; ++lane) {
+      lanes.push_back(
+          fleet.pool().submit([&run_lane, lane] { run_lane(lane); }));
+    }
+    wait_all(lanes);  // lanes hold stack locals: drain before unwinding
+  }
+  for (const std::string& section : sections) {
+    put_u64(out, section.size());
+    out.write(section.data(), static_cast<std::streamsize>(section.size()));
+  }
+  if (!out) throw Error("fleet checkpoint write failed");
+}
+
+RestoredFleet CheckpointAccess::assemble_fleet(
+    ParsedCheckpoint parsed, const FleetResumeOptions& resume) {
+  FleetOptions options;
+  options.pipeline = parsed.stage_options;
+  options.pipeline.imrdmd = parsed.models[0].options();
+  options.groups = parsed.groups;
+  options.shards = resume.shards;
+  options.async_prefetch = resume.async_prefetch;
+  options.pool = resume.pool;
+  options.checkpoint = resume.checkpoint;
+  // The constructor re-validates the partition (disjoint, total cover), so
+  // a corrupted-but-parseable partition still cannot assemble.
+  FleetAssessment fleet(std::move(options),
+                        static_cast<std::size_t>(parsed.sensors));
+  for (std::size_t g = 0; g < parsed.models.size(); ++g) {
+    *fleet.models_[g] = std::move(parsed.models[g]);
+    // Re-apply the constructor's nested-pool guard to the *restored*
+    // models: a checkpoint saved from a single-lane fleet carries
+    // parallel_bins = true, and resuming it with real lanes would fan each
+    // lane task back out onto (and block on) its own pool.
+    if (fleet.shards_ > 1) {
+      fleet.models_[g]->options_.mrdmd.parallel_bins = false;
+    }
+  }
+  fleet.zscore_stage_.restore(std::move(parsed.stage_state));
+  fleet.chunks_processed_ = static_cast<std::size_t>(parsed.chunks_processed);
+  return {std::move(fleet), parsed.stream_position};
+}
+
+void save_checkpoint(std::ostream& out, const IncrementalMrdmd& model) {
+  CheckpointAccess::put_model(out, model);
+  if (!out) throw Error("checkpoint write failed");
+}
+
+IncrementalMrdmd load_checkpoint(std::istream& raw) {
+  BoundedReader in(raw);
+  return CheckpointAccess::get_model(in);
+}
+
 void save_checkpoint_file(const std::string& path,
                           const IncrementalMrdmd& model) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw Error("cannot open checkpoint for writing: " + path);
-  save_checkpoint(out, model);
+  write_file_atomic(
+      path, [&model](std::ostream& out) { save_checkpoint(out, model); });
 }
 
 IncrementalMrdmd load_checkpoint_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw Error("cannot open checkpoint for reading: " + path);
   return load_checkpoint(in);
+}
+
+void save_pipeline_checkpoint(std::ostream& out,
+                              const OnlineAssessmentPipeline& pipeline) {
+  CheckpointAccess::save_pipeline(out, pipeline);
+}
+
+void save_pipeline_checkpoint_file(const std::string& path,
+                                   const OnlineAssessmentPipeline& pipeline) {
+  write_file_atomic(path, [&pipeline](std::ostream& out) {
+    save_pipeline_checkpoint(out, pipeline);
+  });
+}
+
+RestoredPipeline load_pipeline_checkpoint(std::istream& raw) {
+  BoundedReader in(raw);
+  return CheckpointAccess::assemble_pipeline(parse_any(in));
+}
+
+RestoredPipeline load_pipeline_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open checkpoint for reading: " + path);
+  return load_pipeline_checkpoint(in);
+}
+
+void save_fleet_checkpoint(std::ostream& out, const FleetAssessment& fleet) {
+  CheckpointAccess::save_fleet(out, fleet);
+}
+
+void save_fleet_checkpoint_file(const std::string& path,
+                                const FleetAssessment& fleet) {
+  write_file_atomic(path, [&fleet](std::ostream& out) {
+    save_fleet_checkpoint(out, fleet);
+  });
+}
+
+RestoredFleet load_fleet_checkpoint(std::istream& raw,
+                                    const FleetResumeOptions& resume) {
+  BoundedReader in(raw);
+  return CheckpointAccess::assemble_fleet(parse_any(in), resume);
+}
+
+RestoredFleet load_fleet_checkpoint_file(const std::string& path,
+                                         const FleetResumeOptions& resume) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open checkpoint for reading: " + path);
+  return load_fleet_checkpoint(in, resume);
 }
 
 }  // namespace imrdmd::core

@@ -1,20 +1,47 @@
-// Checkpointing of I-mrDMD state.
+// Checkpointing of I-mrDMD state — single model, pipeline, and fleet.
 //
 // The paper's deployment story is a long-running online analysis; a crash
-// must not force re-ingesting weeks of telemetry. save_checkpoint writes a
-// versioned binary image of the model (options, level-1 grid + incremental
-// SVD factors, every tree node, optional history); load_checkpoint restores
-// a model that continues partial_fit'ing exactly where the original left
-// off (round-trip tested to bit-equality of reconstructions).
+// must not force re-ingesting weeks of telemetry. Three containers, one
+// shared serialization codepath:
 //
-// Format: little-endian, magic "IMRDMD1\n", then length-prefixed sections.
-// The format is an implementation detail — only this module reads it.
+//   * save_checkpoint writes a versioned binary image of one model
+//     (options, level-1 grid + incremental SVD factors, every tree node,
+//     optional history); load_checkpoint restores a model that continues
+//     partial_fit'ing exactly where the original left off (round-trip
+//     tested to bit-equality of reconstructions).
+//   * save_pipeline_checkpoint wraps a model image with the
+//     OnlineAssessmentPipeline's stage options, BaselineZscoreStage state,
+//     chunk counter, and source stream position, so a monolithic run
+//     resumes mid-stream.
+//   * save_fleet_checkpoint holds the same stage/counter/position header
+//     plus the group partition and one length-prefixed model section per
+//     group (serialized in parallel across the fleet's worker lanes,
+//     concatenated in deterministic group order), so a sharded
+//     FleetAssessment run resumes mid-stream — bitwise identical to the
+//     uninterrupted run.
+//
+// Formats: little-endian, magic "IMRDMD1\n" / "IMRDPL1\n" / "IMRDFL1\n",
+// then length-prefixed sections. Every section is bounds-checked against
+// the remaining stream size before it drives an allocation (BoundedReader
+// discipline), so truncated or corrupted inputs fail with ParseError, never
+// a fantasy-sized allocation. The formats are an implementation detail —
+// only this module reads them. File-level writes go through
+// write_file_atomic (common/atomic_file.hpp): the checkpoint path always
+// holds a complete image, even across a crash mid-save.
+//
+// Cross-loading: a single-group, identity-partition fleet checkpoint loads
+// through load_pipeline_checkpoint (and a pipeline checkpoint through
+// load_fleet_checkpoint as a one-group fleet) — the monolithic and sharded
+// paths share one durable representation.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
+#include "core/fleet.hpp"
 #include "core/imrdmd.hpp"
+#include "core/pipeline.hpp"
 
 namespace imrdmd::core {
 
@@ -31,5 +58,71 @@ void save_checkpoint_file(const std::string& path,
 /// to a file (load_checkpoint_file has no such limit).
 IncrementalMrdmd load_checkpoint(std::istream& in);
 IncrementalMrdmd load_checkpoint_file(const std::string& path);
+
+// --- Pipeline checkpoint/resume ----------------------------------------
+
+/// A pipeline restored from a checkpoint plus the stream position (total
+/// snapshots ingested) to hand to ChunkSource::seek before resuming run().
+struct RestoredPipeline {
+  OnlineAssessmentPipeline pipeline;
+  std::uint64_t stream_position = 0;
+};
+
+/// Serializes the pipeline's full resumable state (stage options, baseline
+/// selection state, chunk counter, stream position, model image). The
+/// pipeline must have processed at least one chunk.
+void save_pipeline_checkpoint(std::ostream& out,
+                              const OnlineAssessmentPipeline& pipeline);
+/// Atomic (write-temp-then-rename): `path` never holds a torn image.
+void save_pipeline_checkpoint_file(const std::string& path,
+                                   const OnlineAssessmentPipeline& pipeline);
+
+/// Restores a pipeline mid-stream; accepts a pipeline checkpoint or a
+/// single-group identity-partition fleet checkpoint (the two paths share
+/// one durable representation). ParseError on malformed input, or on a
+/// fleet checkpoint whose partition cannot collapse to the monolithic
+/// pipeline.
+RestoredPipeline load_pipeline_checkpoint(std::istream& in);
+RestoredPipeline load_pipeline_checkpoint_file(const std::string& path);
+
+// --- Fleet checkpoint/resume -------------------------------------------
+
+/// Runtime knobs for a resumed fleet that are deliberately *not* part of
+/// the checkpoint: lane count, prefetch mode, pool, and the re-armed
+/// periodic-checkpoint policy are free to change across a resume — fleet
+/// results are shard-count invariant, so the resumed stream is bitwise
+/// identical regardless.
+struct FleetResumeOptions {
+  std::size_t shards = 0;
+  bool async_prefetch = true;
+  ThreadPool* pool = nullptr;
+  FleetCheckpointPolicy checkpoint;
+};
+
+/// A fleet restored from a checkpoint plus the stream position (total
+/// snapshots ingested) to hand to ChunkSource::seek before resuming run().
+struct RestoredFleet {
+  FleetAssessment fleet;
+  std::uint64_t stream_position = 0;
+};
+
+/// Serializes the fleet's full resumable state: stage options + baseline
+/// selection state + chunk counter + stream position, the group partition,
+/// and one length-prefixed model section per group. Sections are serialized
+/// concurrently across the fleet's worker lanes and written in group order,
+/// so the bytes are deterministic for any lane count. The fleet must have
+/// processed at least one chunk.
+void save_fleet_checkpoint(std::ostream& out, const FleetAssessment& fleet);
+/// Atomic (write-temp-then-rename): `path` never holds a torn image.
+void save_fleet_checkpoint_file(const std::string& path,
+                                const FleetAssessment& fleet);
+
+/// Restores a fleet mid-stream; accepts a fleet checkpoint or a pipeline
+/// checkpoint (restored as a single-group fleet). Every section is bounded
+/// against the remaining stream (ParseError on truncation/corruption).
+RestoredFleet load_fleet_checkpoint(std::istream& in,
+                                    const FleetResumeOptions& resume = {});
+RestoredFleet load_fleet_checkpoint_file(const std::string& path,
+                                         const FleetResumeOptions& resume = {});
 
 }  // namespace imrdmd::core

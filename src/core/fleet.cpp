@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "core/checkpoint.hpp"
 
 namespace imrdmd::core {
 
@@ -89,6 +90,12 @@ const IncrementalMrdmd& FleetAssessment::model(std::size_t group) const {
   return *models_[group];
 }
 
+std::size_t FleetAssessment::snapshots_processed() const {
+  // Every process() feeds all group models the same column count, so any
+  // fitted model's time_steps is the fleet-wide stream position.
+  return models_[0]->fitted() ? models_[0]->time_steps() : 0;
+}
+
 FleetSnapshot FleetAssessment::process(const Mat& chunk) {
   IMRDMD_REQUIRE_ARG(chunk.cols() > 0, "fleet chunk has no snapshot columns");
   IMRDMD_REQUIRE_ARG(chunk.rows() == sensors_,
@@ -155,7 +162,11 @@ FleetSnapshot FleetAssessment::process(const Mat& chunk) {
 
 std::vector<FleetSnapshot> FleetAssessment::run(ChunkSource& source,
                                                 std::size_t max_chunks) {
-  std::vector<FleetSnapshot> snapshots;
+  // Snapshots parked by a previous run() whose checkpoint write failed
+  // after the chunk was already folded into the models: deliver them first
+  // — the analysis results (alarms included) cannot be regenerated.
+  std::vector<FleetSnapshot> snapshots = std::move(carry_snapshots_);
+  carry_snapshots_.clear();
   std::optional<Mat> current =
       carry_.has_value() ? std::exchange(carry_, std::nullopt)
                          : source.next_chunk();
@@ -171,7 +182,24 @@ std::vector<FleetSnapshot> FleetAssessment::run(ChunkSource& source,
     }
     try {
       snapshots.push_back(process(*current));
+      // Periodic durability: after every N-th processed chunk, atomically
+      // replace the checkpoint file with the fleet's current state. The
+      // recorded stream position counts *processed* snapshots, so a chunk
+      // the in-flight prefetch has already pulled is simply re-read on
+      // resume. Inside the try: a failed checkpoint write parks the
+      // prefetched chunk like any other failure, so retrying run() loses
+      // no data.
+      if (options_.checkpoint.every_n > 0 &&
+          !options_.checkpoint.path.empty() &&
+          chunks_processed_ % options_.checkpoint.every_n == 0) {
+        save_fleet_checkpoint_file(options_.checkpoint.path, *this);
+      }
     } catch (...) {
+      // Park everything already produced (carried-in snapshots included):
+      // those chunks are folded into the models, so their snapshots —
+      // alarms included — cannot be regenerated; the next run() delivers
+      // them first instead of losing them with the unwinding vector.
+      carry_snapshots_ = std::move(snapshots);
       // The in-flight prefetch references `source`, so it must finish
       // before unwinding — and it has already consumed a chunk the caller
       // never saw. Park that chunk so a later run() resumes with it,

@@ -35,6 +35,19 @@
 
 namespace imrdmd::core {
 
+/// Periodic durability for long-running fleet streams: when armed (every_n
+/// > 0 and a non-empty path), FleetAssessment::run writes a fleet
+/// checkpoint (core/checkpoint.hpp) to `path` after every `every_n`-th
+/// processed chunk, atomically (write-temp-then-rename) so a kill mid-write
+/// never leaves a torn file — `path` always holds the latest complete
+/// checkpoint.
+struct FleetCheckpointPolicy {
+  /// Checkpoint after every N processed chunks; 0 disables the hook.
+  std::size_t every_n = 0;
+  /// Target file, atomically replaced on each write.
+  std::string path;
+};
+
 struct FleetOptions {
   /// Per-group model options plus the global baseline/z-score stage. With
   /// more than one lane the per-group models force mrdmd.parallel_bins =
@@ -56,6 +69,8 @@ struct FleetOptions {
   bool async_prefetch = true;
   /// Pool the worker lanes run on; null = global_pool().
   ThreadPool* pool = nullptr;
+  /// Periodic checkpointing during run() (disabled by default).
+  FleetCheckpointPolicy checkpoint;
 };
 
 /// Everything produced by one chunk's worth of fleet-wide processing.
@@ -88,10 +103,15 @@ class FleetAssessment {
 
   /// Pulls chunks from `source` until exhaustion (or `max_chunks` > 0),
   /// prefetching the next chunk asynchronously while the current one is
-  /// being processed (FleetOptions::async_prefetch). If process() throws
-  /// mid-run, a chunk the prefetch already consumed is parked and consumed
-  /// first by the next run() call — async mode loses no more data on
-  /// failure than the synchronous path does.
+  /// being processed (FleetOptions::async_prefetch). A mid-run failure
+  /// loses nothing: a chunk the prefetch already consumed is parked and
+  /// consumed first by the next run() call, and snapshots this run already
+  /// computed (their chunks are folded into the models and cannot be
+  /// re-derived) are parked and *delivered first* by the next run(). With
+  /// FleetOptions::checkpoint armed, a fleet checkpoint is written
+  /// atomically after every N-th processed chunk; a run killed at any point
+  /// and resumed from the latest checkpoint (load_fleet_checkpoint +
+  /// ChunkSource::seek) reproduces the uninterrupted run bitwise.
   std::vector<FleetSnapshot> run(ChunkSource& source,
                                  std::size_t max_chunks = 0);
 
@@ -103,8 +123,19 @@ class FleetAssessment {
   /// Worker lanes process() spreads the group updates across.
   std::size_t shards() const { return shards_; }
   const IncrementalMrdmd& model(std::size_t group) const;
+  /// Chunks processed so far (the next snapshot's chunk_index).
+  std::size_t chunks_processed() const { return chunks_processed_; }
+  /// Snapshots folded into the group models so far — the stream position a
+  /// checkpoint records (prefetch-safe: counts processed chunks only, not
+  /// chunks an in-flight prefetch has already pulled from the source).
+  std::size_t snapshots_processed() const;
 
  private:
+  /// Checkpoint/resume (save_fleet_checkpoint / load_fleet_checkpoint in
+  /// core/checkpoint.hpp) reads the models and stage state, and installs
+  /// restored state, through this single access point.
+  friend struct CheckpointAccess;
+
   ThreadPool& pool() const;
 
   FleetOptions options_;
@@ -116,6 +147,11 @@ class FleetAssessment {
   /// Chunk consumed by a prefetch whose process() failed; the next run()
   /// starts here instead of advancing the source.
   std::optional<Mat> carry_;
+  /// Snapshots computed by a run() that failed *after* processing (a
+  /// checkpoint write error); delivered first by the next run() — the
+  /// models have already folded those chunks in, so the results cannot be
+  /// regenerated.
+  std::vector<FleetSnapshot> carry_snapshots_;
   /// unique_ptr: group models are handed to pool tasks by raw pointer and
   /// must not move when the driver itself is moved.
   std::vector<std::unique_ptr<IncrementalMrdmd>> models_;

@@ -130,9 +130,9 @@ class IncrementalMrdmd {
   void add_sensors(const Mat& new_rows_history);
 
  private:
-  friend void save_checkpoint(std::ostream& out,
-                              const IncrementalMrdmd& model);
-  friend IncrementalMrdmd load_checkpoint(std::istream& in);
+  /// Single point of access for the checkpoint module (core/checkpoint.cpp):
+  /// model, pipeline, and fleet serialization all go through it.
+  friend struct CheckpointAccess;
 
   /// Rebuilds the root node's DMD from the current iSVD state.
   void refresh_root();

@@ -15,6 +15,11 @@ MatrixChunkSource::MatrixChunkSource(const Mat& data,
   if (initial_ == 0) initial_ = chunk_;
 }
 
+void ChunkSource::seek(std::size_t snapshot) {
+  (void)snapshot;
+  throw InvalidArgument("this chunk source does not support seek()");
+}
+
 std::optional<Mat> MatrixChunkSource::next_chunk() {
   if (position_ >= data_.cols()) return std::nullopt;
   const std::size_t want = position_ == 0 ? initial_ : chunk_;
@@ -22,6 +27,12 @@ std::optional<Mat> MatrixChunkSource::next_chunk() {
   Mat out = data_.block(0, position_, data_.rows(), count);
   position_ += count;
   return out;
+}
+
+void MatrixChunkSource::seek(std::size_t snapshot) {
+  IMRDMD_REQUIRE_ARG(snapshot <= data_.cols(),
+                     "seek past the end of the replayed matrix");
+  position_ = snapshot;
 }
 
 OnlineAssessmentPipeline::OnlineAssessmentPipeline(PipelineOptions options)

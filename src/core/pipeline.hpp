@@ -19,11 +19,24 @@ namespace imrdmd::core {
 /// A pull-based source of snapshot chunks (P sensors x T_chunk columns).
 class ChunkSource {
  public:
+  /// position() value of a source that cannot report one.
+  static constexpr std::size_t kUnknownPosition = ~std::size_t{0};
+
   virtual ~ChunkSource() = default;
   /// Next chunk, or nullopt when the stream ends. Chunk widths may vary.
   virtual std::optional<Mat> next_chunk() = 0;
   /// Sensor count (constant across chunks).
   virtual std::size_t sensors() const = 0;
+
+  /// Snapshots emitted so far — the position a checkpoint records so a
+  /// resumed run can continue the stream where the killed run left off.
+  /// Sources that cannot report one return kUnknownPosition.
+  virtual std::size_t position() const { return kUnknownPosition; }
+
+  /// Repositions the stream so the next chunk starts at snapshot index
+  /// `snapshot` (as recorded in a checkpoint). A source must opt in to
+  /// resumability; the default throws InvalidArgument.
+  virtual void seek(std::size_t snapshot);
 };
 
 /// ChunkSource replaying a prebuilt in-memory matrix in fixed-width chunks;
@@ -39,7 +52,9 @@ class MatrixChunkSource final : public ChunkSource {
   std::size_t sensors() const override { return data_.rows(); }
 
   /// Snapshots emitted so far.
-  std::size_t position() const { return position_; }
+  std::size_t position() const override { return position_; }
+  /// Seekable: resuming mid-matrix replays from any snapshot index.
+  void seek(std::size_t snapshot) override;
   void rewind() { position_ = 0; }
 
  private:
@@ -113,8 +128,15 @@ class OnlineAssessmentPipeline {
 
   const IncrementalMrdmd& model() const { return model_; }
   const PipelineOptions& options() const { return options_; }
+  /// Chunks processed so far (the next snapshot's chunk_index).
+  std::size_t chunks_processed() const { return chunks_processed_; }
 
  private:
+  /// Checkpoint/resume (save_pipeline_checkpoint / load_pipeline_checkpoint
+  /// in core/checkpoint.hpp) restores the model, stage state, and chunk
+  /// counter through this single access point.
+  friend struct CheckpointAccess;
+
   PipelineOptions options_;
   IncrementalMrdmd model_;
   BaselineZscoreStage zscore_stage_;

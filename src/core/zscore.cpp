@@ -86,6 +86,14 @@ ZscoreAnalysis zscore_from_baseline(std::span<const double> magnitudes,
   return analysis;
 }
 
+void BaselineZscoreStage::restore(State state) {
+  IMRDMD_REQUIRE_ARG(state.selected_once || state.baseline_sensors.empty(),
+                     "zscore stage state has a population but was never "
+                     "selected");
+  selected_once_ = state.selected_once;
+  baseline_sensors_ = std::move(state.baseline_sensors);
+}
+
 ZscoreAnalysis BaselineZscoreStage::apply(
     std::span<const double> magnitudes, std::span<const double> sensor_means) {
   IMRDMD_REQUIRE_DIMS(magnitudes.size() == sensor_means.size(),

@@ -89,6 +89,17 @@ class BaselineZscoreStage {
     return baseline_sensors_;
   }
 
+  /// Mutable selection state, extracted for checkpoint/resume: the options
+  /// (range, thresholds, reselect policy) travel with the pipeline options;
+  /// this is everything else a resumed stage needs to continue identically
+  /// — in particular the sticky population when !reselect_per_chunk.
+  struct State {
+    bool selected_once = false;
+    std::vector<std::size_t> baseline_sensors;
+  };
+  State state() const { return {selected_once_, baseline_sensors_}; }
+  void restore(State state);
+
  private:
   BaselineRange baseline_;
   ZscoreOptions zscore_;

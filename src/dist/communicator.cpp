@@ -12,14 +12,31 @@ int Communicator::size() const { return world_->ranks_; }
 
 void World::barrier_wait() {
   std::unique_lock<std::mutex> lock(mutex_);
+  if (failed_) {
+    throw CollectiveAborted("collective aborted: a peer rank failed");
+  }
   const std::size_t gen = generation_;
   if (++arrived_ == static_cast<std::size_t>(ranks_)) {
     arrived_ = 0;
     ++generation_;
     cv_.notify_all();
-  } else {
-    cv_.wait(lock, [&] { return generation_ != gen; });
+    return;
   }
+  cv_.wait(lock, [&] { return generation_ != gen || failed_; });
+  if (generation_ == gen) {
+    // Woken by poison before the barrier filled: withdraw this rank's
+    // arrival so the count stays coherent, then unwind. (When the barrier
+    // completed concurrently with the poison, fall through — the *next*
+    // collective throws on entry instead.)
+    --arrived_;
+    throw CollectiveAborted("collective aborted: a peer rank failed");
+  }
+}
+
+void World::poison() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  failed_ = true;
+  cv_.notify_all();
 }
 
 void Communicator::barrier() { world_->barrier_wait(); }
@@ -116,6 +133,13 @@ World::World(int ranks) : ranks_(ranks) {
 }
 
 void World::run(const std::function<void(Communicator&)>& fn) {
+  {
+    // A World is reusable across run() calls; clear any poison left by a
+    // previous failed invocation.
+    std::lock_guard<std::mutex> lock(mutex_);
+    failed_ = false;
+    arrived_ = 0;
+  }
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks_));
   threads.reserve(static_cast<std::size_t>(ranks_));
@@ -126,13 +150,33 @@ void World::run(const std::function<void(Communicator&)>& fn) {
         fn(comm);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // First failure poisons every collective so peers blocked between
+        // this rank's past and future collective calls unwind instead of
+        // waiting forever on a barrier this rank will never enter.
+        poison();
       }
     });
   }
   for (auto& t : threads) t.join();
+  // Prefer the lowest-rank *primary* failure; the CollectiveAborted
+  // unwinds it triggered on the peers are secondary noise.
+  std::exception_ptr chosen;
   for (const auto& error : errors) {
-    if (error) std::rethrow_exception(error);
+    if (!error) continue;
+    bool aborted = false;
+    try {
+      std::rethrow_exception(error);
+    } catch (const CollectiveAborted&) {
+      aborted = true;
+    } catch (...) {
+    }
+    if (!aborted) {
+      chosen = error;
+      break;
+    }
+    if (!chosen) chosen = error;
   }
+  if (chosen) std::rethrow_exception(chosen);
 }
 
 }  // namespace imrdmd::dist

@@ -10,10 +10,12 @@
 // ordering contract.
 //
 // All collectives are, as in MPI, *collective*: every rank of the world
-// must call them in the same order with agreeing root arguments. A rank
-// that exits (or throws) between two collectives while its peers are
-// blocked inside one is a program bug, mirrored from the MPI semantics;
-// World::run rethrows the first (lowest-rank) exception after the join.
+// must call them in the same order with agreeing root arguments. Unlike
+// MPI, a rank that throws out of the ranked function *poisons* the world's
+// collectives: peers blocked inside (or later entering) a collective unwind
+// with CollectiveAborted instead of deadlocking the join, and World::run
+// rethrows the lowest-rank *original* exception (poison-unwind exceptions
+// are surfaced only when no rank recorded a primary failure).
 #pragma once
 
 #include <condition_variable>
@@ -23,9 +25,21 @@
 #include <span>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace imrdmd::dist {
 
 class World;
+
+/// Thrown by a collective when a peer rank has already failed: the world's
+/// collectives are poisoned so every surviving rank unwinds instead of
+/// blocking forever on a barrier the failed rank will never enter. SPMD
+/// code may catch it to release local resources, but must not attempt
+/// further collectives on the same World::run invocation.
+class CollectiveAborted : public Error {
+ public:
+  explicit CollectiveAborted(const std::string& what) : Error(what) {}
+};
 
 /// One rank's endpoint into the world's collectives. Created by World::run;
 /// valid only for the duration of the ranked function.
@@ -78,19 +92,26 @@ class World {
   int size() const { return ranks_; }
 
   /// Spawns one thread per rank, runs `fn(comm)` on each, joins all, and
-  /// rethrows the lowest-rank exception if any rank threw.
+  /// rethrows if any rank threw: the first rank failure poisons the world's
+  /// collectives (peers unwind with CollectiveAborted instead of blocking
+  /// forever), and the lowest-rank non-CollectiveAborted exception is
+  /// rethrown — the original failure, not a secondary unwind.
   void run(const std::function<void(Communicator&)>& fn);
 
  private:
   friend class Communicator;
 
   void barrier_wait();
+  /// Marks the world failed and wakes every rank blocked in a barrier.
+  void poison();
 
   int ranks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::size_t arrived_ = 0;
   std::size_t generation_ = 0;
+  /// Set by the first rank to fail; collectives then throw on entry/wake.
+  bool failed_ = false;
   /// Per-rank deposit slots, stable between the two barriers of a
   /// collective (write -> barrier -> read -> barrier).
   std::vector<std::vector<double>> slots_;

@@ -18,6 +18,12 @@ EnvLogStream::EnvLogStream(const SensorModel& model, EnvStreamOptions options)
   }
 }
 
+void EnvLogStream::seek(std::size_t snapshot) {
+  IMRDMD_REQUIRE_ARG(snapshot <= options_.total_snapshots,
+                     "seek past the stream horizon");
+  position_ = snapshot;
+}
+
 std::size_t EnvLogStream::sensors() const {
   return options_.sensor_subset.empty() ? model_.sensors()
                                         : options_.sensor_subset.size();

@@ -33,7 +33,11 @@ class EnvLogStream final : public core::ChunkSource {
   std::size_t sensors() const override;
 
   /// Snapshots emitted so far.
-  std::size_t position() const { return position_; }
+  std::size_t position() const override { return position_; }
+
+  /// Seekable: the sensor model regenerates any window, so a checkpointed
+  /// run resumes mid-stream from the recorded snapshot index.
+  void seek(std::size_t snapshot) override;
 
   /// Resets the stream to the beginning.
   void rewind() { position_ = 0; }

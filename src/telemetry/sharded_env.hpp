@@ -56,7 +56,8 @@ class ShardedEnvSource final : public core::ChunkSource {
   /// from the sensor model without materializing the full machine window.
   Mat group_window(std::size_t g, std::size_t t0, std::size_t count) const;
 
-  std::size_t position() const { return stream_.position(); }
+  std::size_t position() const override { return stream_.position(); }
+  void seek(std::size_t snapshot) override { stream_.seek(snapshot); }
   void rewind() { stream_.rewind(); }
 
  private:

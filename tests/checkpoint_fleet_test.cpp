@@ -1,0 +1,462 @@
+// Fleet/pipeline checkpoint durability: mid-stream kill-and-resume bitwise
+// identity (for any checkpoint index and any resume lane count), the shared
+// pipeline <-> single-group-fleet container, truncation/corruption fuzz on
+// the fleet container, and the atomic write-temp-then-rename discipline.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/checkpoint.hpp"
+#include "core/fleet.hpp"
+#include "core/pipeline.hpp"
+#include "test_util.hpp"
+
+namespace imrdmd {
+namespace {
+
+using core::FleetAssessment;
+using core::FleetOptions;
+using core::FleetResumeOptions;
+using core::FleetSnapshot;
+using core::Mat;
+using core::OnlineAssessmentPipeline;
+using core::PipelineOptions;
+using core::PipelineSnapshot;
+using imrdmd::testing::planted_multiscale;
+
+using MatChunkSource = core::MatrixChunkSource;
+
+PipelineOptions checkpoint_pipeline_options() {
+  PipelineOptions options;
+  options.imrdmd.mrdmd.max_levels = 4;
+  options.imrdmd.mrdmd.dt = 1.0;
+  options.baseline = {-10.0, 10.0};  // planted signal means: keep everyone
+  return options;
+}
+
+Mat checkpoint_data() {
+  Rng rng(11);
+  return planted_multiscale(15, 384, 0.02, rng);
+}
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "index " << i;
+  }
+}
+
+void expect_fleet_snapshot_equal(const FleetSnapshot& a,
+                                 const FleetSnapshot& b) {
+  EXPECT_EQ(a.chunk_index, b.chunk_index);
+  EXPECT_EQ(a.total_snapshots, b.total_snapshots);
+  expect_bitwise_equal(a.magnitudes, b.magnitudes);
+  expect_bitwise_equal(a.sensor_means, b.sensor_means);
+  expect_bitwise_equal(a.zscores.zscores, b.zscores.zscores);
+  EXPECT_EQ(a.zscores.baseline_sensors, b.zscores.baseline_sensors);
+}
+
+/// One uninterrupted reference run over the shared 256+64+64 chunking.
+std::vector<FleetSnapshot> reference_run(const Mat& data,
+                                         const FleetOptions& options) {
+  FleetAssessment fleet(options, data.rows());
+  MatChunkSource source(data, 256, 64);
+  return fleet.run(source);
+}
+
+TEST(FleetCheckpoint, KilledRunResumesBitwiseIdenticalFromAnyCheckpoint) {
+  const Mat data = checkpoint_data();
+  FleetOptions options;
+  options.pipeline = checkpoint_pipeline_options();
+  options.groups = core::contiguous_groups(data.rows(), 5);
+  options.shards = 5;
+  const auto reference = reference_run(data, options);
+  ASSERT_EQ(reference.size(), 3u);
+
+  const std::string path = ::testing::TempDir() + "/fleet.ckpt";
+  for (const std::size_t kill_after : {1u, 2u}) {
+    // The doomed run checkpoints after every chunk; run(max_chunks) stands
+    // in for the kill — everything past the file is lost with the process.
+    FleetOptions doomed = options;
+    doomed.checkpoint.every_n = 1;
+    doomed.checkpoint.path = path;
+    FleetAssessment fleet(doomed, data.rows());
+    MatChunkSource source(data, 256, 64);
+    const auto before = fleet.run(source, kill_after);
+    ASSERT_EQ(before.size(), kill_after);
+
+    // Resume from the latest checkpoint with a *different* lane count: the
+    // restored stream must still be bitwise identical to the reference.
+    FleetResumeOptions resume;
+    resume.shards = kill_after == 1 ? 2 : 1;
+    core::RestoredFleet restored =
+        core::load_fleet_checkpoint_file(path, resume);
+    EXPECT_EQ(restored.fleet.chunks_processed(), kill_after);
+    MatChunkSource rest(data, 256, 64);
+    rest.seek(static_cast<std::size_t>(restored.stream_position));
+    const auto after = restored.fleet.run(rest);
+    ASSERT_EQ(after.size(), reference.size() - kill_after);
+    for (std::size_t i = 0; i < after.size(); ++i) {
+      expect_fleet_snapshot_equal(after[i], reference[kill_after + i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FleetCheckpoint, RoundTripsThroughMemoryAndResaves) {
+  const Mat data = checkpoint_data();
+  FleetOptions options;
+  options.pipeline = checkpoint_pipeline_options();
+  options.groups = core::contiguous_groups(data.rows(), 3);
+  FleetAssessment fleet(options, data.rows());
+  MatChunkSource source(data, 256, 64);
+  fleet.run(source, 2);
+
+  std::stringstream buffer;
+  core::save_fleet_checkpoint(buffer, fleet);
+  core::RestoredFleet restored = core::load_fleet_checkpoint(buffer);
+  EXPECT_EQ(restored.fleet.group_count(), 3u);
+  EXPECT_EQ(restored.fleet.groups(), fleet.groups());
+  EXPECT_EQ(restored.fleet.chunks_processed(), 2u);
+  EXPECT_EQ(restored.stream_position, 256u + 64u);
+
+  // Serialization is a pure function of the restored state: re-saving the
+  // loaded fleet reproduces the container byte for byte.
+  std::stringstream resaved;
+  core::save_fleet_checkpoint(resaved, restored.fleet);
+  EXPECT_EQ(buffer.str(), resaved.str());
+
+  // Both continue with the same chunk and stay bitwise identical.
+  const Mat chunk = data.block(0, 320, data.rows(), 64);
+  const FleetSnapshot a = fleet.process(chunk);
+  const FleetSnapshot b = restored.fleet.process(chunk);
+  expect_fleet_snapshot_equal(a, b);
+}
+
+TEST(FleetCheckpoint, ResumeWithMoreLanesReappliesNestedPoolGuard) {
+  // A checkpoint saved from a single-lane fleet carries models with
+  // parallel_bins still enabled (the lane runs on the caller thread, where
+  // nesting is legal). Resuming with real lanes must force it off on the
+  // *restored* models, or each lane task would fan back out onto — and
+  // block on — its own pool.
+  const Mat data = checkpoint_data();
+  FleetOptions options;
+  options.pipeline = checkpoint_pipeline_options();
+  options.pipeline.imrdmd.mrdmd.parallel_bins = true;
+  options.groups = core::contiguous_groups(data.rows(), 3);
+  options.shards = 1;
+  FleetAssessment fleet(options, data.rows());
+  MatChunkSource source(data, 256, 64);
+  fleet.run(source, 1);
+  ASSERT_TRUE(fleet.model(0).options().mrdmd.parallel_bins);
+
+  std::stringstream buffer;
+  core::save_fleet_checkpoint(buffer, fleet);
+  FleetResumeOptions resume;
+  resume.shards = 3;
+  core::RestoredFleet restored = core::load_fleet_checkpoint(buffer, resume);
+  for (std::size_t g = 0; g < restored.fleet.group_count(); ++g) {
+    EXPECT_FALSE(restored.fleet.model(g).options().mrdmd.parallel_bins);
+  }
+  // And the resumed multi-lane fleet still matches the single-lane
+  // continuation bitwise.
+  const Mat chunk = data.block(0, 320, data.rows(), 64);
+  const FleetSnapshot a = fleet.process(chunk);
+  const FleetSnapshot b = restored.fleet.process(chunk);
+  expect_fleet_snapshot_equal(a, b);
+}
+
+TEST(FleetCheckpoint, UnstartedFleetRejected) {
+  const Mat data = checkpoint_data();
+  FleetOptions options;
+  options.pipeline = checkpoint_pipeline_options();
+  FleetAssessment fleet(options, data.rows());
+  std::stringstream buffer;
+  EXPECT_THROW(core::save_fleet_checkpoint(buffer, fleet), InvalidArgument);
+}
+
+TEST(PipelineCheckpoint, KilledRunResumesBitwiseIdentical) {
+  const Mat data = checkpoint_data();
+  OnlineAssessmentPipeline reference(checkpoint_pipeline_options());
+  MatChunkSource source(data, 256, 64);
+  const auto expected = reference.run(source);
+  ASSERT_EQ(expected.size(), 3u);
+
+  OnlineAssessmentPipeline doomed(checkpoint_pipeline_options());
+  MatChunkSource replay(data, 256, 64);
+  doomed.run(replay, 2);
+  std::stringstream buffer;
+  core::save_pipeline_checkpoint(buffer, doomed);
+
+  core::RestoredPipeline restored = core::load_pipeline_checkpoint(buffer);
+  EXPECT_EQ(restored.pipeline.chunks_processed(), 2u);
+  MatChunkSource rest(data, 256, 64);
+  rest.seek(static_cast<std::size_t>(restored.stream_position));
+  const auto after = restored.pipeline.run(rest);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].chunk_index, expected[2].chunk_index);
+  EXPECT_EQ(after[0].total_snapshots, expected[2].total_snapshots);
+  expect_bitwise_equal(after[0].magnitudes, expected[2].magnitudes);
+  expect_bitwise_equal(after[0].zscores.zscores, expected[2].zscores.zscores);
+}
+
+TEST(PipelineCheckpoint, StickyBaselineSurvivesResume) {
+  // With reselect_baseline_per_chunk = false the stage's one-shot selection
+  // is genuine mutable state: losing it across a resume would re-select on
+  // the next chunk and silently change every z-score.
+  const Mat data = checkpoint_data();
+  PipelineOptions options = checkpoint_pipeline_options();
+  options.reselect_baseline_per_chunk = false;
+  OnlineAssessmentPipeline reference(options);
+  MatChunkSource source(data, 256, 64);
+  const auto expected = reference.run(source);
+
+  OnlineAssessmentPipeline doomed(options);
+  MatChunkSource replay(data, 256, 64);
+  doomed.run(replay, 1);
+  std::stringstream buffer;
+  core::save_pipeline_checkpoint(buffer, doomed);
+  core::RestoredPipeline restored = core::load_pipeline_checkpoint(buffer);
+  MatChunkSource rest(data, 256, 64);
+  rest.seek(static_cast<std::size_t>(restored.stream_position));
+  const auto after = restored.pipeline.run(rest);
+  ASSERT_EQ(after.size(), 2u);
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    expect_bitwise_equal(after[i].zscores.zscores,
+                         expected[1 + i].zscores.zscores);
+    EXPECT_EQ(after[i].zscores.baseline_sensors,
+              expected[1 + i].zscores.baseline_sensors);
+  }
+}
+
+TEST(PipelineCheckpoint, SingleGroupFleetCheckpointLoadsAsPipeline) {
+  // The acceptance bar for the shared representation: a trivial-partition
+  // fleet checkpoint resumes through the pipeline path (and vice versa),
+  // and the resumed pipeline matches the uninterrupted pipeline bitwise.
+  const Mat data = checkpoint_data();
+  OnlineAssessmentPipeline reference(checkpoint_pipeline_options());
+  MatChunkSource source(data, 256, 64);
+  const auto expected = reference.run(source);
+
+  FleetOptions options;
+  options.pipeline = checkpoint_pipeline_options();
+  FleetAssessment fleet(options, data.rows());  // one identity group
+  MatChunkSource replay(data, 256, 64);
+  fleet.run(replay, 2);
+  std::stringstream buffer;
+  core::save_fleet_checkpoint(buffer, fleet);
+
+  core::RestoredPipeline restored = core::load_pipeline_checkpoint(buffer);
+  EXPECT_EQ(restored.pipeline.chunks_processed(), 2u);
+  MatChunkSource rest(data, 256, 64);
+  rest.seek(static_cast<std::size_t>(restored.stream_position));
+  const auto after = restored.pipeline.run(rest);
+  ASSERT_EQ(after.size(), 1u);
+  expect_bitwise_equal(after[0].magnitudes, expected[2].magnitudes);
+  expect_bitwise_equal(after[0].zscores.zscores, expected[2].zscores.zscores);
+
+  // And the reverse: a pipeline checkpoint resumes as a one-group fleet.
+  OnlineAssessmentPipeline doomed(checkpoint_pipeline_options());
+  MatChunkSource replay2(data, 256, 64);
+  doomed.run(replay2, 2);
+  std::stringstream pipeline_buffer;
+  core::save_pipeline_checkpoint(pipeline_buffer, doomed);
+  core::RestoredFleet as_fleet =
+      core::load_fleet_checkpoint(pipeline_buffer);
+  EXPECT_EQ(as_fleet.fleet.group_count(), 1u);
+  MatChunkSource rest2(data, 256, 64);
+  rest2.seek(static_cast<std::size_t>(as_fleet.stream_position));
+  const auto fleet_after = as_fleet.fleet.run(rest2);
+  ASSERT_EQ(fleet_after.size(), 1u);
+  expect_bitwise_equal(fleet_after[0].zscores.zscores,
+                       expected[2].zscores.zscores);
+}
+
+TEST(PipelineCheckpoint, MultiGroupFleetCheckpointRejectedAsPipeline) {
+  const Mat data = checkpoint_data();
+  FleetOptions options;
+  options.pipeline = checkpoint_pipeline_options();
+  options.groups = core::contiguous_groups(data.rows(), 3);
+  FleetAssessment fleet(options, data.rows());
+  MatChunkSource source(data, 256, 64);
+  fleet.run(source, 1);
+  std::stringstream buffer;
+  core::save_fleet_checkpoint(buffer, fleet);
+  EXPECT_THROW(core::load_pipeline_checkpoint(buffer), ParseError);
+}
+
+TEST(PipelineCheckpoint, UnstartedPipelineRejected) {
+  OnlineAssessmentPipeline pipeline(checkpoint_pipeline_options());
+  std::stringstream buffer;
+  EXPECT_THROW(core::save_pipeline_checkpoint(buffer, pipeline),
+               InvalidArgument);
+}
+
+// --- truncation / corruption fuzz on the fleet container ----------------
+
+std::string small_fleet_bytes() {
+  Rng rng(13);
+  const Mat data = planted_multiscale(9, 192, 0.02, rng);
+  FleetOptions options;
+  options.pipeline.imrdmd.mrdmd.max_levels = 3;
+  options.pipeline.imrdmd.mrdmd.dt = 1.0;
+  options.pipeline.baseline = {-10.0, 10.0};
+  options.groups = core::contiguous_groups(data.rows(), 3);
+  FleetAssessment fleet(options, data.rows());
+  MatChunkSource source(data, 128, 64);
+  fleet.run(source);
+  std::stringstream buffer;
+  core::save_fleet_checkpoint(buffer, fleet);
+  return buffer.str();
+}
+
+TEST(FleetCheckpoint, EveryTruncationPointYieldsParseError) {
+  const std::string bytes = small_fleet_bytes();
+  ASSERT_GT(bytes.size(), 64u);
+  const std::size_t step = std::max<std::size_t>(1, bytes.size() / 97);
+  for (std::size_t cut = 0; cut < bytes.size(); cut += step) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    EXPECT_THROW(core::load_fleet_checkpoint(truncated), ParseError)
+        << "prefix of " << cut << " bytes";
+    std::stringstream as_pipeline(bytes.substr(0, cut));
+    EXPECT_THROW(core::load_pipeline_checkpoint(as_pipeline), ParseError)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(FleetCheckpoint, CorruptBaselinePopulationRejectedAtLoad) {
+  // A flipped baseline sensor index must fail at load with ParseError, not
+  // chunks later as a DimensionError inside the resumed stream's first
+  // z-scoring. The first population index sits at a fixed offset: magic
+  // (8) + 8 stage-option words (64) + chunk/position words (16) +
+  // selected_once + count (16) = 104.
+  const std::string bytes = small_fleet_bytes();
+  std::string corrupt = bytes;
+  const std::uint64_t huge = std::uint64_t{1} << 20;
+  std::memcpy(corrupt.data() + 104, &huge, sizeof huge);
+  std::stringstream in(corrupt);
+  EXPECT_THROW(core::load_fleet_checkpoint(in), ParseError);
+}
+
+TEST(FleetCheckpoint, CorruptWordsRejectedWithoutHugeAllocation) {
+  // Fuzz every u64-aligned position with an all-ones word: loads must
+  // either succeed or throw a library Error — never exhaust memory or
+  // crash on a garbage length prefix, section size, or group index.
+  const std::string bytes = small_fleet_bytes();
+  for (std::size_t offset = 8; offset + 8 <= bytes.size(); offset += 8) {
+    std::string corrupt = bytes;
+    const std::uint64_t garbage = ~std::uint64_t{0};
+    std::memcpy(corrupt.data() + offset, &garbage, sizeof garbage);
+    std::stringstream in(corrupt);
+    try {
+      core::load_fleet_checkpoint(in);
+    } catch (const Error&) {
+      // Expected for most offsets.
+    }
+  }
+}
+
+// --- atomic file-level writes -------------------------------------------
+
+TEST(FleetCheckpoint, FileWritesAreAtomicAndLeaveNoTemp) {
+  const Mat data = checkpoint_data();
+  FleetOptions options;
+  options.pipeline = checkpoint_pipeline_options();
+  options.groups = core::contiguous_groups(data.rows(), 3);
+  FleetAssessment fleet(options, data.rows());
+  MatChunkSource source(data, 256, 64);
+  fleet.run(source, 1);
+
+  const std::string path = ::testing::TempDir() + "/atomic_fleet.ckpt";
+  core::save_fleet_checkpoint_file(path, fleet);
+  std::size_t temps = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(::testing::TempDir())) {
+    if (entry.path().filename().string().rfind("atomic_fleet.ckpt.tmp", 0) ==
+        0) {
+      ++temps;
+    }
+  }
+  EXPECT_EQ(temps, 0u) << "temp file left over";
+  core::RestoredFleet restored = core::load_fleet_checkpoint_file(path);
+  EXPECT_EQ(restored.fleet.chunks_processed(), 1u);
+
+  // A failed save must leave the previous complete checkpoint untouched:
+  // saving to a directory that refuses the temp file throws without ever
+  // touching `path`.
+  std::string before;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream copy;
+    copy << in.rdbuf();
+    before = copy.str();
+  }
+  EXPECT_THROW(
+      core::save_fleet_checkpoint_file(
+          ::testing::TempDir() + "/no-such-dir/fleet.ckpt", fleet),
+      Error);
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream copy;
+  copy << in.rdbuf();
+  EXPECT_EQ(copy.str(), before);
+  std::remove(path.c_str());
+}
+
+TEST(FleetCheckpoint, FailedPeriodicWriteParksPrefetchedChunk) {
+  // A checkpoint write that fails mid-run must follow the same no-data-loss
+  // discipline as a processing failure: the chunk the async prefetch
+  // already consumed is parked, and a retry run() continues with it.
+  const Mat data = checkpoint_data();
+  FleetOptions options;
+  options.pipeline = checkpoint_pipeline_options();
+  options.async_prefetch = true;
+  options.checkpoint.every_n = 1;
+  options.checkpoint.path = ::testing::TempDir() + "/no-such-dir/fleet.ckpt";
+  FleetAssessment fleet(options, data.rows());
+  MatChunkSource source(data, 256, 64);
+  // Each attempt processes exactly one chunk, fails on the checkpoint
+  // write, and parks both the chunk the prefetch already pulled and the
+  // snapshot that was computed before the write failed; retries must walk
+  // the stream without skipping anything.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    EXPECT_THROW(fleet.run(source), Error);
+  }
+  EXPECT_EQ(fleet.snapshots_processed(), data.cols());
+  // The stream is fully consumed; a final run() delivers the three parked
+  // snapshots — the already-computed alarms are not lost with the throws.
+  const auto delivered = fleet.run(source);
+  ASSERT_EQ(delivered.size(), 3u);
+  for (std::size_t i = 0; i < delivered.size(); ++i) {
+    EXPECT_EQ(delivered[i].chunk_index, i);
+  }
+}
+
+TEST(ChunkSourceSeek, DefaultThrowsAndMatrixSourceSeeks) {
+  class NoSeekSource final : public core::ChunkSource {
+   public:
+    std::optional<Mat> next_chunk() override { return std::nullopt; }
+    std::size_t sensors() const override { return 1; }
+  };
+  NoSeekSource no_seek;
+  EXPECT_EQ(no_seek.position(), core::ChunkSource::kUnknownPosition);
+  EXPECT_THROW(no_seek.seek(0), InvalidArgument);
+
+  const Mat data = checkpoint_data();
+  MatChunkSource source(data, 256, 64);
+  source.seek(320);
+  EXPECT_EQ(source.position(), 320u);
+  const auto chunk = source.next_chunk();
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->cols(), 64u);
+  EXPECT_EQ((*chunk)(0, 0), data(0, 320));
+  EXPECT_THROW(source.seek(data.cols() + 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace imrdmd

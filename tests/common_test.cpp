@@ -6,10 +6,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <limits>
 #include <set>
+#include <sstream>
 #include <thread>
 
+#include "common/atomic_file.hpp"
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "common/json.hpp"
@@ -298,6 +301,145 @@ TEST(Csv, ArityMismatchThrows) {
   EXPECT_THROW(writer.write_row({"only-one"}), DimensionError);
   writer.close();
   std::remove(path.c_str());
+}
+
+TEST(Csv, SkipsBlankLinesIncludingDoubledTrailingNewline) {
+  // Regression: a blank line set row_started before the character was
+  // inspected and flowed into end_row() as a one-empty-field row, throwing
+  // a spurious "ragged CSV row" — a doubled trailing newline (common from
+  // editors and shell heredocs) broke every multi-column file.
+  const std::string path = ::testing::TempDir() + "/blank_lines.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n1,2\n\n3,4\n\n";
+  }
+  const CsvTable table = read_csv(path);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(table.rows[1], (std::vector<std::string>{"3", "4"}));
+  std::remove(path.c_str());
+}
+
+TEST(Csv, SkipsBlankCrlfLinesAndParsesCrlfRows) {
+  const std::string path = ::testing::TempDir() + "/crlf.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a,b\r\n1,2\r\n\r\n3,4\r\n";
+  }
+  const CsvTable table = read_csv(path);
+  ASSERT_EQ(table.header.size(), 2u);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(table.rows[1], (std::vector<std::string>{"3", "4"}));
+  std::remove(path.c_str());
+}
+
+TEST(Csv, QuotedEmptyAndSeparatorOnlyRowsAreKept) {
+  // Rows that merely *look* empty must not be skipped: a quoted empty
+  // field and a bare separator both start a row.
+  const std::string path = ::testing::TempDir() + "/almost_blank.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n\"\",x\n,\n";
+  }
+  const CsvTable table = read_csv(path);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0], (std::vector<std::string>{"", "x"}));
+  EXPECT_EQ(table.rows[1], (std::vector<std::string>{"", ""}));
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriterSurfacesDiskFullInsteadOfDroppingRows) {
+  // /dev/full accepts the open and fails every flush with ENOSPC (Linux);
+  // the writer must surface that instead of silently dropping telemetry.
+  {
+    std::ofstream probe("/dev/full");
+    if (!probe.is_open()) GTEST_SKIP() << "/dev/full not available";
+  }
+  EXPECT_THROW(
+      {
+        CsvWriter writer("/dev/full", {"x"});
+        // Enough rows to overflow the stream buffer and force a flush.
+        for (int i = 0; i < 100000; ++i) writer.write_row({"0"});
+        writer.close();
+      },
+      Error);
+}
+
+/// Counts directory entries whose filename begins with `prefix` (leftover
+/// temps carry a writer-unique suffix, so a plain existence check misses
+/// them).
+std::size_t files_with_prefix(const std::string& dir,
+                              const std::string& prefix) {
+  std::size_t count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind(prefix, 0) == 0) ++count;
+  }
+  return count;
+}
+
+TEST(AtomicFile, WritesThroughTempAndLeavesNoTemp) {
+  const std::string path = ::testing::TempDir() + "/atomic.txt";
+  write_file_atomic(path, [](std::ostream& out) { out << "first"; });
+  {
+    std::ifstream in(path);
+    std::string content;
+    std::getline(in, content);
+    EXPECT_EQ(content, "first");
+  }
+  EXPECT_EQ(files_with_prefix(::testing::TempDir(), "atomic.txt.tmp"), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, FailedWriteLeavesPreviousFileUntouched) {
+  const std::string path = ::testing::TempDir() + "/atomic_keep.txt";
+  write_file_atomic(path, [](std::ostream& out) { out << "complete"; });
+  // The writer crashes mid-stream; the final path must keep the old
+  // complete content and the torn temp must be cleaned up.
+  EXPECT_THROW(write_file_atomic(path,
+                                 [](std::ostream& out) {
+                                   out << "torn";
+                                   throw std::runtime_error("crash");
+                                 }),
+               std::runtime_error);
+  std::ifstream in(path);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "complete");
+  EXPECT_EQ(files_with_prefix(::testing::TempDir(), "atomic_keep.txt.tmp"),
+            0u);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, ConcurrentWritersNeverPublishATornFile) {
+  // Each writer uses its own temp, so the final path only ever holds one
+  // writer's complete payload — never an interleaving of two.
+  const std::string path = ::testing::TempDir() + "/atomic_race.txt";
+  const std::string a(4096, 'a');
+  const std::string b(4096, 'b');
+  std::thread writer_a([&] {
+    for (int i = 0; i < 50; ++i) {
+      write_file_atomic(path, [&](std::ostream& out) { out << a; });
+    }
+  });
+  std::thread writer_b([&] {
+    for (int i = 0; i < 50; ++i) {
+      write_file_atomic(path, [&](std::ostream& out) { out << b; });
+    }
+  });
+  writer_a.join();
+  writer_b.join();
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_TRUE(content.str() == a || content.str() == b);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, UnwritableTargetThrows) {
+  EXPECT_THROW(write_file_atomic("/no-such-dir-imrdmd/x.txt",
+                                 [](std::ostream& out) { out << "x"; }),
+               Error);
 }
 
 TEST(Json, DoublesRoundTripBitExactly) {

@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 
 #include "dist/communicator.hpp"
 #include "isvd/tsqr.hpp"
@@ -38,6 +41,73 @@ TEST(World, RethrowsRankExceptions) {
 
 TEST(World, RejectsZeroRanks) {
   EXPECT_THROW(dist::World(0), InvalidArgument);
+}
+
+TEST(World, RankFailureBetweenCollectivesPoisonsPeersInsteadOfDeadlocking) {
+  // Regression: rank 2 throws between collectives while its peers block
+  // inside allreduce; before poisoning, the peers waited forever on a
+  // barrier rank 2 would never enter and join() deadlocked. This test must
+  // complete (no timeout) and surface the original exception, not the
+  // secondary CollectiveAborted unwinds.
+  dist::World world(4);
+  try {
+    world.run([](dist::Communicator& comm) {
+      comm.barrier();  // align all ranks once
+      if (comm.rank() == 2) throw std::runtime_error("rank 2 died");
+      std::vector<double> buffer{1.0};
+      comm.allreduce_sum(std::span<double>(buffer.data(), 1));
+      // A rank that catches the poison must keep failing on further
+      // collectives, never resynchronize into a half-dead world.
+      comm.barrier();
+    });
+    FAIL() << "run must rethrow the rank failure";
+  } catch (const dist::CollectiveAborted&) {
+    FAIL() << "run surfaced a secondary unwind instead of the original";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 2 died");
+  }
+
+  // The world stays usable: a later run() starts from a clean slate.
+  std::atomic<int> mask{0};
+  world.run([&](dist::Communicator& comm) {
+    comm.barrier();
+    mask.fetch_or(1 << comm.rank());
+    comm.barrier();
+  });
+  EXPECT_EQ(mask.load(), 0b1111);
+}
+
+TEST(World, PoisonWakesRanksAlreadyBlockedInABarrier) {
+  // The failing rank never reaches any collective; peers are already
+  // asleep inside the barrier when the poison lands and must be woken.
+  dist::World world(3);
+  EXPECT_THROW(world.run([](dist::Communicator& comm) {
+                 if (comm.rank() == 0) {
+                   std::this_thread::sleep_for(
+                       std::chrono::milliseconds(50));
+                   throw std::invalid_argument("rank 0 failed early");
+                 }
+                 comm.barrier();  // rank 0 will never arrive
+               }),
+               std::invalid_argument);
+}
+
+TEST(World, SurvivingRanksSeeCollectiveAborted) {
+  dist::World world(3);
+  std::atomic<int> aborted{0};
+  try {
+    world.run([&](dist::Communicator& comm) {
+      if (comm.rank() == 1) throw std::runtime_error("primary");
+      try {
+        comm.barrier();
+      } catch (const dist::CollectiveAborted&) {
+        aborted.fetch_add(1);
+        throw;
+      }
+    });
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(aborted.load(), 2);
 }
 
 TEST(Communicator, BarrierSynchronizesPhases) {

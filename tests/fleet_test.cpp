@@ -261,10 +261,14 @@ TEST(Fleet, AsyncRunParksPrefetchedChunkWhenProcessingFails) {
   EXPECT_THROW(fleet.run(source), InvalidArgument);
 
   // The good third chunk was prefetched while the malformed one failed;
-  // resuming processes it instead of hitting the drained source's end.
+  // resuming processes it instead of hitting the drained source's end —
+  // and first re-delivers the first chunk's snapshot, which the failed
+  // run() computed but could not return.
   const auto resumed = fleet.run(source);
-  ASSERT_EQ(resumed.size(), 1u);
-  EXPECT_EQ(resumed.front().total_snapshots, 256u + 64u);
+  ASSERT_EQ(resumed.size(), 2u);
+  EXPECT_EQ(resumed.front().chunk_index, 0u);
+  EXPECT_EQ(resumed.front().total_snapshots, 256u);
+  EXPECT_EQ(resumed.back().total_snapshots, 256u + 64u);
 }
 
 TEST(Fleet, RackGroupsFollowMachineTopology) {
