@@ -21,6 +21,7 @@
 #include "common/json.hpp"
 #include "common/timer.hpp"
 #include "core/fleet.hpp"
+#include "dist/communicator.hpp"
 
 using namespace imrdmd;
 
@@ -134,6 +135,55 @@ int main(int argc, char** argv) try {
   std::printf("\nspeedup 4 shards vs 1: %.2fx  (shard-count invariant: %s)\n",
               speedup_4v1, invariant ? "yes" : "NO");
 
+  // Ranks curve: the same fixed partition spread across SPMD ranks of the
+  // distributed driver (one lane per rank, so the concurrency is purely
+  // rank-driven), rank 0 ingesting and broadcasting. The last-chunk
+  // z-scores must stay bitwise identical to the single-process runs above.
+  std::printf("\ndistributed ranks (1 lane per rank):\n");
+  std::vector<ShardResult> rank_results;
+  bool rank_invariant = true;
+  for (const std::size_t rank_count : {std::size_t{1}, std::size_t{2},
+                                       std::size_t{4}}) {
+    ShardResult result;
+    result.shards = rank_count;
+    double total_seconds = 0.0;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      dist::World world(static_cast<int>(rank_count));
+      std::vector<double> z;
+      WallTimer timer;
+      world.run([&](dist::Communicator& comm) {
+        core::FleetOptions options;
+        options.pipeline.imrdmd.mrdmd.max_levels = 4;
+        options.pipeline.imrdmd.mrdmd.dt = 15.0;
+        options.pipeline.baseline = {40.0, 60.0};
+        options.groups = groups;
+        options.shards = 1;
+        core::DistributedFleetAssessment fleet(comm, options, sensors);
+        std::optional<core::MatrixChunkSource> source;
+        if (comm.rank() == 0) source.emplace(data, initial, chunk);
+        const auto snapshots =
+            fleet.run(comm.rank() == 0 ? &*source : nullptr);
+        if (comm.rank() == 0) z = snapshots.back().zscores.zscores;
+      });
+      total_seconds += timer.seconds();
+      if (rep + 1 == repeats) {
+        for (std::size_t i = 0; i < z.size(); ++i) {
+          if (z[i] != reference_z[i]) rank_invariant = false;
+        }
+      }
+    }
+    result.seconds = total_seconds / static_cast<double>(repeats);
+    result.chunks_per_sec =
+        static_cast<double>(1 + stream_chunks) / result.seconds;
+    result.snapshots_per_sec = static_cast<double>(total) / result.seconds;
+    rank_results.push_back(result);
+    std::printf("  ranks=%-3zu  %8.3f s  %8.2f chunks/sec  %10.0f snaps/sec\n",
+                result.shards, result.seconds, result.chunks_per_sec,
+                result.snapshots_per_sec);
+  }
+  std::printf("rank-count invariant vs single-process: %s\n",
+              rank_invariant ? "yes" : "NO");
+
   JsonWriter json;
   json.begin_object();
   json.field("bench", "fleet");
@@ -163,12 +213,25 @@ int main(int argc, char** argv) try {
   json.end_array();
   json.field("speedup_4_vs_1", speedup_4v1);
   json.field("shard_count_invariant", invariant);
+  json.key("rank_curve");
+  json.begin_array();
+  for (const ShardResult& r : rank_results) {
+    json.begin_object();
+    json.field("ranks", r.shards);
+    json.field("seconds", r.seconds);
+    json.field("chunks_per_sec", r.chunks_per_sec);
+    json.field("snapshots_per_sec", r.snapshots_per_sec);
+    json.field("speedup_vs_1", rank_results.front().seconds / r.seconds);
+    json.end_object();
+  }
+  json.end_array();
+  json.field("rank_count_invariant", rank_invariant);
   json.end_object();
   const std::string path = args.out_dir + "/BENCH_fleet.json";
   json.write_file(path);
   std::printf("wrote %s\n", path.c_str());
 
-  return invariant ? 0 : 1;
+  return invariant && rank_invariant ? 0 : 1;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

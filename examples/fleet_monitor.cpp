@@ -7,32 +7,71 @@
 // stage. After every chunk it prints per-rack fit diagnostics and the
 // fleet-wide thermal census.
 //
+// With --ranks N the same assessment runs distributed instead
+// (core::DistributedFleetAssessment over a thread-SPMD dist::World): each
+// rank owns a contiguous slice of the rack groups, rank 0 ingests and
+// broadcasts the chunks, and the per-group magnitudes are allgathered in
+// global group order before every rank's replica of the z-score stage —
+// output is bitwise identical to the single-process run for any N.
+//
 // Durability: with --checkpoint PATH the driver atomically rewrites PATH
 // after every --every N-th chunk; kill the process at any point and rerun
 // with --resume to continue from the latest checkpoint — the resumed run's
-// snapshots are bitwise identical to the uninterrupted run's. Restate the
-// original --chunks on resume: the horizon shapes the simulated stream
-// (fault windows included), so a different value would replay a different
-// machine. Try:
+// snapshots are bitwise identical to the uninterrupted run's, and the
+// checkpoint is portable across --ranks values (written at R ranks, resume
+// at any R'). Restate the original --chunks on resume: the horizon shapes
+// the simulated stream (fault windows included), so a different value
+// would replay a different machine. Try:
 //
 //   fleet_monitor --checkpoint /tmp/fleet.ckpt --every 1 --chunks 2
-//   fleet_monitor --checkpoint /tmp/fleet.ckpt --resume --chunks 2
+//   fleet_monitor --ranks 3 --checkpoint /tmp/fleet.ckpt --resume --chunks 2
 //
-// Usage: fleet_monitor [--shards N] [--chunks N] [--sync]
+// Usage: fleet_monitor [--shards N] [--ranks N] [--chunks N] [--sync]
 //                      [--checkpoint PATH] [--every N] [--resume]
 #include <cstdio>
 #include <cstring>
 #include <optional>
+#include <vector>
 
 #include "common/strings.hpp"
 #include "core/checkpoint.hpp"
 #include "core/fleet.hpp"
+#include "dist/communicator.hpp"
 #include "telemetry/sharded_env.hpp"
 
 using namespace imrdmd;
 
+namespace {
+
+void print_snapshots(const std::vector<core::FleetSnapshot>& snapshots) {
+  for (const core::FleetSnapshot& snapshot : snapshots) {
+    std::printf("\nchunk %zu: %zu snapshots (total %zu), fit %.3fs\n",
+                snapshot.chunk_index, snapshot.chunk_snapshots,
+                snapshot.total_snapshots, snapshot.fit_seconds);
+    for (std::size_t g = 0; g < snapshot.reports.size(); ++g) {
+      std::printf("  rack %zu: +%zu nodes, drift %.3g\n", g,
+                  snapshot.reports[g].new_nodes,
+                  snapshot.reports[g].drift_estimate);
+    }
+    const auto hot =
+        snapshot.zscores.sensors_in_state(core::ThermalState::Hot);
+    const auto cold =
+        snapshot.zscores.sensors_in_state(core::ThermalState::Cold);
+    std::printf("  census: %zu hot, %zu cold, baseline population %zu\n",
+                hot.size(), cold.size(),
+                snapshot.zscores.baseline_sensors.size());
+    for (std::size_t sensor : hot) {
+      std::printf("    HOT sensor %zu  z=%.2f\n", sensor,
+                  snapshot.zscores.zscores[sensor]);
+    }
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) try {
-  std::size_t shards = 0;  // 0 = one lane per rack
+  std::size_t shards = 0;  // 0 = one lane per (local) rack group
+  std::size_t ranks = 1;
   std::size_t chunks = 4;
   bool async = true;
   std::string checkpoint_path;
@@ -41,6 +80,8 @@ int main(int argc, char** argv) try {
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--shards") && i + 1 < argc) {
       shards = static_cast<std::size_t>(parse_long(argv[++i], "--shards"));
+    } else if (!std::strcmp(argv[i], "--ranks") && i + 1 < argc) {
+      ranks = static_cast<std::size_t>(parse_long(argv[++i], "--ranks"));
     } else if (!std::strcmp(argv[i], "--chunks") && i + 1 < argc) {
       chunks = static_cast<std::size_t>(parse_long(argv[++i], "--chunks"));
     } else if (!std::strcmp(argv[i], "--sync")) {
@@ -54,14 +95,18 @@ int main(int argc, char** argv) try {
       resume = true;
     } else {
       std::printf(
-          "usage: %s [--shards N] [--chunks N] [--sync] [--checkpoint PATH] "
-          "[--every N] [--resume]\n",
+          "usage: %s [--shards N] [--ranks N] [--chunks N] [--sync] "
+          "[--checkpoint PATH] [--every N] [--resume]\n",
           argv[0]);
       return 2;
     }
   }
   if (resume && checkpoint_path.empty()) {
     std::fprintf(stderr, "error: --resume requires --checkpoint PATH\n");
+    return 2;
+  }
+  if (ranks == 0) {
+    std::fprintf(stderr, "error: --ranks must be at least 1\n");
     return 2;
   }
 
@@ -92,6 +137,78 @@ int main(int argc, char** argv) try {
   policy.every_n = checkpoint_path.empty() ? 0 : checkpoint_every;
   policy.path = checkpoint_path;
 
+  core::FleetOptions options;
+  options.pipeline.imrdmd.mrdmd.max_levels = 4;
+  options.pipeline.imrdmd.mrdmd.dt = spec.dt_seconds;
+  options.pipeline.baseline = {40.0, 60.0};
+  options.groups = source.groups();
+  options.shards = shards;
+  options.async_prefetch = async;
+  options.checkpoint = policy;
+
+  // --- Distributed path: the same assessment over a thread-SPMD world ---
+  if (ranks > 1) {
+    dist::World world(static_cast<int>(ranks));
+    int status = 0;
+    world.run([&](dist::Communicator& comm) {
+      const bool root = comm.rank() == 0;
+      std::optional<core::DistributedFleetAssessment> fleet;
+      if (resume) {
+        core::FleetResumeOptions resume_options;
+        resume_options.shards = shards;
+        resume_options.async_prefetch = async;
+        resume_options.checkpoint = policy;
+        core::RestoredDistributedFleet restored =
+            core::load_distributed_fleet_checkpoint_file(
+                checkpoint_path, comm, resume_options);
+        if (restored.stream_position > horizon) {
+          if (root) {
+            std::fprintf(
+                stderr,
+                "error: checkpoint is at snapshot %llu but --chunks %zu "
+                "only spans %zu; restate the original run's --chunks\n",
+                static_cast<unsigned long long>(restored.stream_position),
+                chunks, horizon);
+            status = 2;
+          }
+          return;
+        }
+        if (root) {
+          source.seek(static_cast<std::size_t>(restored.stream_position));
+          std::printf("resumed from %s: chunk %zu, snapshot %llu of %zu\n",
+                      checkpoint_path.c_str(),
+                      restored.fleet.chunks_processed(),
+                      static_cast<unsigned long long>(
+                          restored.stream_position),
+                      horizon);
+        }
+        fleet.emplace(std::move(restored.fleet));
+      } else {
+        fleet.emplace(comm, options, source.sensors());
+      }
+      if (root) {
+        std::printf(
+            "fleet: %s, %zu sensors in %zu rack groups, %d SPMD ranks "
+            "(this rank: groups [%zu, %zu), %zu lanes), prefetch %s%s\n",
+            spec.name.c_str(), source.sensors(), fleet->group_count(),
+            fleet->ranks(), fleet->local_groups().first,
+            fleet->local_groups().second, fleet->shards(),
+            async ? "async" : "sync",
+            policy.every_n > 0 ? ", checkpointing" : "");
+      }
+      const auto snapshots = fleet->run(root ? &source : nullptr);
+      if (root) print_snapshots(snapshots);
+    });
+    if (status == 0 && policy.every_n > 0) {
+      std::printf(
+          "\nlatest checkpoint: %s (kill + --resume continues here, at any "
+          "--ranks)\n",
+          checkpoint_path.c_str());
+    }
+    return status;
+  }
+
+  // --- Single-process path ----------------------------------------------
   std::optional<core::FleetAssessment> fleet;
   if (resume) {
     // Continue from the latest complete checkpoint: restore the fleet and
@@ -117,15 +234,7 @@ int main(int argc, char** argv) try {
                 horizon);
     fleet.emplace(std::move(restored.fleet));
   } else {
-    core::FleetOptions options;
-    options.pipeline.imrdmd.mrdmd.max_levels = 4;
-    options.pipeline.imrdmd.mrdmd.dt = spec.dt_seconds;
-    options.pipeline.baseline = {40.0, 60.0};
-    options.groups = source.groups();
-    options.shards = shards;
-    options.async_prefetch = async;
-    options.checkpoint = policy;
-    fleet.emplace(std::move(options), source.sensors());
+    fleet.emplace(options, source.sensors());
   }
 
   std::printf("fleet: %s, %zu sensors in %zu rack groups, %zu shard lanes, "
@@ -135,26 +244,7 @@ int main(int argc, char** argv) try {
               policy.every_n > 0 ? ", checkpointing" : "");
 
   const auto snapshots = fleet->run(source);
-  for (const core::FleetSnapshot& snapshot : snapshots) {
-    std::printf("\nchunk %zu: %zu snapshots (total %zu), fit %.3fs\n",
-                snapshot.chunk_index, snapshot.chunk_snapshots,
-                snapshot.total_snapshots, snapshot.fit_seconds);
-    for (std::size_t g = 0; g < snapshot.reports.size(); ++g) {
-      std::printf("  rack %zu: +%zu nodes, drift %.3g\n", g,
-                  snapshot.reports[g].new_nodes,
-                  snapshot.reports[g].drift_estimate);
-    }
-    const auto hot = snapshot.zscores.sensors_in_state(core::ThermalState::Hot);
-    const auto cold =
-        snapshot.zscores.sensors_in_state(core::ThermalState::Cold);
-    std::printf("  census: %zu hot, %zu cold, baseline population %zu\n",
-                hot.size(), cold.size(),
-                snapshot.zscores.baseline_sensors.size());
-    for (std::size_t sensor : hot) {
-      std::printf("    HOT sensor %zu  z=%.2f\n", sensor,
-                  snapshot.zscores.zscores[sensor]);
-    }
-  }
+  print_snapshots(snapshots);
   if (policy.every_n > 0 && !snapshots.empty()) {
     std::printf("\nlatest checkpoint: %s (kill + --resume continues here)\n",
                 checkpoint_path.c_str());

@@ -105,4 +105,19 @@ void wait_all(std::vector<std::future<void>>& futures) {
   if (failure) std::rethrow_exception(failure);
 }
 
+void run_lanes(std::size_t lanes, const std::function<void(std::size_t)>& fn,
+               ThreadPool* pool) {
+  if (lanes <= 1) {
+    fn(0);
+    return;
+  }
+  ThreadPool& target = pool != nullptr ? *pool : global_pool();
+  std::vector<std::future<void>> futures;
+  futures.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    futures.push_back(target.submit([&fn, lane] { fn(lane); }));
+  }
+  wait_all(futures);  // lanes hold caller state: drain before unwinding
+}
+
 }  // namespace imrdmd

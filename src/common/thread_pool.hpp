@@ -70,4 +70,14 @@ void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   ThreadPool* pool = nullptr, std::size_t grain = 1);
 
+/// Runs fn(lane) for lane in [0, lanes): on the caller thread when lanes
+/// <= 1 (so the callee may legally fan out onto the pool itself),
+/// otherwise as one task per lane on `pool` (or the global pool when
+/// null), waiting for EVERY lane before returning or unwinding — lane
+/// functions typically hold references to caller stack state (wait_all
+/// discipline). This is the fleet drivers' worker-lane dispatch: lane l
+/// owns items l, l + lanes, l + 2*lanes, ... by convention of its fn.
+void run_lanes(std::size_t lanes, const std::function<void(std::size_t)>& fn,
+               ThreadPool* pool = nullptr);
+
 }  // namespace imrdmd

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
-#include <future>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -269,7 +268,15 @@ void get_header(BoundedReader& in, ParsedCheckpoint& parsed) {
 /// and lane structure (FleetAssessment). Defined only in this translation
 /// unit.
 struct CheckpointAccess {
-  static void put_model(std::ostream& out, const IncrementalMrdmd& model);
+  /// `parallel_bins_override`, when non-null, is written in place of the
+  /// model's own mrdmd.parallel_bins. The fleet drivers force that knob
+  /// off on their models as a nested-pool guard — a function of the LOCAL
+  /// lane count, which differs across lane/rank configurations — so fleet
+  /// sections canonicalize it to the configured pipeline value: checkpoint
+  /// bytes stay a pure function of stream + partition + options, invariant
+  /// across lane and rank counts.
+  static void put_model(std::ostream& out, const IncrementalMrdmd& model,
+                        const bool* parallel_bins_override = nullptr);
   static IncrementalMrdmd get_model(BoundedReader& in);
   static void save_pipeline(std::ostream& out,
                             const OnlineAssessmentPipeline& pipeline);
@@ -277,6 +284,11 @@ struct CheckpointAccess {
   static void save_fleet(std::ostream& out, const FleetAssessment& fleet);
   static RestoredFleet assemble_fleet(ParsedCheckpoint parsed,
                                       const FleetResumeOptions& resume);
+  static void save_distributed_fleet(std::ostream* out,
+                                     const DistributedFleetAssessment& fleet);
+  static RestoredDistributedFleet assemble_distributed_fleet(
+      ParsedCheckpoint parsed, dist::Communicator& comm,
+      const FleetResumeOptions& resume);
 };
 
 namespace {
@@ -389,19 +401,23 @@ ParsedCheckpoint parse_any(BoundedReader& in) {
 }  // namespace
 
 void CheckpointAccess::put_model(std::ostream& out,
-                                 const IncrementalMrdmd& model) {
+                                 const IncrementalMrdmd& model,
+                                 const bool* parallel_bins_override) {
   IMRDMD_REQUIRE_ARG(model.fitted(), "cannot checkpoint an unfitted model");
   out.write(kMagic, sizeof kMagic);
 
   // Options.
   const ImrdmdOptions& options = model.options_;
+  const bool parallel_bins = parallel_bins_override != nullptr
+                                 ? *parallel_bins_override
+                                 : options.mrdmd.parallel_bins;
   put_u64(out, options.mrdmd.max_levels);
   put_u64(out, options.mrdmd.max_cycles);
   put_u64(out, options.mrdmd.use_svht ? 1 : 0);
   put_u64(out, options.mrdmd.max_rank);
   put_f64(out, options.mrdmd.dt);
   put_u64(out, static_cast<std::uint64_t>(options.mrdmd.criterion));
-  put_u64(out, options.mrdmd.parallel_bins ? 1 : 0);
+  put_u64(out, parallel_bins ? 1 : 0);
   put_u64(out, static_cast<std::uint64_t>(options.mrdmd.amplitude_fit));
   put_u64(out, options.isvd.max_rank);
   put_f64(out, options.isvd.truncation_tol);
@@ -560,25 +576,19 @@ void CheckpointAccess::save_fleet(std::ostream& out,
   // then concatenated in deterministic group order, so the bytes are
   // identical for any lane count.
   const std::size_t group_count = fleet.groups_.size();
+  const bool canonical_bins =
+      fleet.options_.pipeline.imrdmd.mrdmd.parallel_bins;
   std::vector<std::string> sections(group_count);
-  auto run_lane = [&fleet, &sections, group_count](std::size_t lane) {
-    for (std::size_t g = lane; g < group_count; g += fleet.shards_) {
-      std::ostringstream buffer;
-      put_model(buffer, *fleet.models_[g]);
-      sections[g] = std::move(buffer).str();
-    }
-  };
-  if (fleet.shards_ <= 1) {
-    run_lane(0);
-  } else {
-    std::vector<std::future<void>> lanes;
-    lanes.reserve(fleet.shards_);
-    for (std::size_t lane = 0; lane < fleet.shards_; ++lane) {
-      lanes.push_back(
-          fleet.pool().submit([&run_lane, lane] { run_lane(lane); }));
-    }
-    wait_all(lanes);  // lanes hold stack locals: drain before unwinding
-  }
+  run_lanes(
+      fleet.shards_,
+      [&fleet, &sections, &canonical_bins, group_count](std::size_t lane) {
+        for (std::size_t g = lane; g < group_count; g += fleet.shards_) {
+          std::ostringstream buffer;
+          put_model(buffer, *fleet.models_[g], &canonical_bins);
+          sections[g] = std::move(buffer).str();
+        }
+      },
+      &fleet.pool());
   for (const std::string& section : sections) {
     put_u64(out, section.size());
     out.write(section.data(), static_cast<std::streamsize>(section.size()));
@@ -612,6 +622,149 @@ RestoredFleet CheckpointAccess::assemble_fleet(
   }
   fleet.zscore_stage_.restore(std::move(parsed.stage_state));
   fleet.chunks_processed_ = static_cast<std::size_t>(parsed.chunks_processed);
+  return {std::move(fleet), parsed.stream_position};
+}
+
+namespace {
+
+/// Packs one rank's model sections into the doubles the communicator
+/// speaks: [section_count, then per section: byte_length,
+/// ceil(byte_length/8) words of raw bytes (zero-padded)]. Counts and
+/// lengths ride as exact integers — sections are far below 2^53 bytes.
+std::vector<double> pack_sections(const std::vector<std::string>& sections) {
+  std::size_t words = 1;
+  for (const std::string& s : sections) words += 1 + (s.size() + 7) / 8;
+  std::vector<double> blob;
+  blob.reserve(words);
+  blob.push_back(static_cast<double>(sections.size()));
+  for (const std::string& s : sections) {
+    blob.push_back(static_cast<double>(s.size()));
+    const std::size_t padded = (s.size() + 7) / 8;
+    const std::size_t start = blob.size();
+    blob.resize(start + padded, 0.0);
+    std::memcpy(blob.data() + start, s.data(), s.size());
+  }
+  return blob;
+}
+
+/// Inverse of pack_sections; `expected` is the section count this rank was
+/// supposed to contribute (its owned group count).
+std::vector<std::string> unpack_sections(const std::vector<double>& blob,
+                                         std::size_t expected) {
+  IMRDMD_REQUIRE_DIMS(!blob.empty() &&
+                          blob[0] == static_cast<double>(expected),
+                      "distributed checkpoint rank section count mismatch");
+  std::vector<std::string> sections;
+  sections.reserve(expected);
+  std::size_t cursor = 1;
+  for (std::size_t s = 0; s < expected; ++s) {
+    IMRDMD_REQUIRE_DIMS(cursor < blob.size(),
+                        "distributed checkpoint rank blob truncated");
+    const std::size_t bytes = static_cast<std::size_t>(blob[cursor++]);
+    const std::size_t padded = (bytes + 7) / 8;
+    IMRDMD_REQUIRE_DIMS(cursor + padded <= blob.size(),
+                        "distributed checkpoint rank blob truncated");
+    std::string section(bytes, '\0');
+    std::memcpy(section.data(), blob.data() + cursor, bytes);
+    sections.push_back(std::move(section));
+    cursor += padded;
+  }
+  IMRDMD_REQUIRE_DIMS(cursor == blob.size(),
+                      "distributed checkpoint rank blob has trailing bytes");
+  return sections;
+}
+
+}  // namespace
+
+void CheckpointAccess::save_distributed_fleet(
+    std::ostream* out, const DistributedFleetAssessment& fleet) {
+  dist::Communicator& comm = *fleet.comm_;
+  const bool root = comm.rank() == 0;
+  IMRDMD_REQUIRE_ARG(root == (out != nullptr),
+                     "the checkpoint stream lives on rank 0 only (pass "
+                     "nullptr on the other ranks)");
+  // chunks_processed_ is replicated, so on an unstarted fleet every rank
+  // throws here together — before any collective.
+  IMRDMD_REQUIRE_ARG(fleet.chunks_processed_ >= 1,
+                     "cannot checkpoint a fleet before its first chunk");
+
+  // Serialize the owned groups' model images concurrently across this
+  // rank's local lanes (the same lane structure process() uses), in local
+  // group order.
+  const std::size_t local_count = fleet.local_end_ - fleet.local_begin_;
+  const bool canonical_bins =
+      fleet.options_.pipeline.imrdmd.mrdmd.parallel_bins;
+  std::vector<std::string> sections(local_count);
+  run_lanes(
+      fleet.shards_,
+      [&fleet, &sections, &canonical_bins, local_count](std::size_t lane) {
+        for (std::size_t l = lane; l < local_count; l += fleet.shards_) {
+          std::ostringstream buffer;
+          put_model(buffer, *fleet.models_[l], &canonical_bins);
+          sections[l] = std::move(buffer).str();
+        }
+      },
+      &fleet.pool());
+
+  // One ragged gather moves every rank's sections to the writer. Rank
+  // blocks arrive in rank order and ownership ranges are contiguous, so
+  // concatenation IS global group order — the same order (and bytes) the
+  // single-process save_fleet_checkpoint writes.
+  const std::vector<double> blob = pack_sections(sections);
+  const std::vector<std::vector<double>> blobs =
+      comm.gatherv(std::span<const double>(blob.data(), blob.size()), 0);
+  if (!root) return;
+
+  out->write(kFleetMagic, sizeof kFleetMagic);
+  put_header(*out, fleet.options_.pipeline, fleet.chunks_processed_,
+             fleet.snapshots_seen_, fleet.zscore_stage_.state());
+  put_u64(*out, fleet.sensors_);
+  put_u64(*out, fleet.groups_.size());
+  for (const auto& group : fleet.groups_) {
+    put_u64(*out, group.size());
+    for (std::size_t sensor : group) put_u64(*out, sensor);
+  }
+  const std::size_t ranks = static_cast<std::size_t>(comm.size());
+  for (std::size_t r = 0; r < ranks; ++r) {
+    const auto range = rank_group_range(fleet.groups_.size(), ranks, r);
+    const std::vector<std::string> rank_sections =
+        unpack_sections(blobs[r], range.second - range.first);
+    for (const std::string& section : rank_sections) {
+      put_u64(*out, section.size());
+      out->write(section.data(),
+                 static_cast<std::streamsize>(section.size()));
+    }
+  }
+  if (!*out) throw Error("fleet checkpoint write failed");
+}
+
+RestoredDistributedFleet CheckpointAccess::assemble_distributed_fleet(
+    ParsedCheckpoint parsed, dist::Communicator& comm,
+    const FleetResumeOptions& resume) {
+  FleetOptions options;
+  options.pipeline = parsed.stage_options;
+  options.pipeline.imrdmd = parsed.models[0].options();
+  options.groups = parsed.groups;
+  options.shards = resume.shards;
+  options.async_prefetch = resume.async_prefetch;
+  options.pool = resume.pool;
+  options.checkpoint = resume.checkpoint;
+  // The constructor re-validates the partition and re-derives this rank's
+  // ownership range from the checkpoint's group count — the checkpoint
+  // itself carries nothing about the rank count that wrote it.
+  DistributedFleetAssessment fleet(comm, std::move(options),
+                                   static_cast<std::size_t>(parsed.sensors));
+  const std::size_t local_count = fleet.local_end_ - fleet.local_begin_;
+  for (std::size_t l = 0; l < local_count; ++l) {
+    *fleet.models_[l] = std::move(parsed.models[fleet.local_begin_ + l]);
+    // Same restored-model nested-pool guard as assemble_fleet.
+    if (fleet.shards_ > 1) {
+      fleet.models_[l]->options_.mrdmd.parallel_bins = false;
+    }
+  }
+  fleet.zscore_stage_.restore(std::move(parsed.stage_state));
+  fleet.chunks_processed_ = static_cast<std::size_t>(parsed.chunks_processed);
+  fleet.snapshots_seen_ = static_cast<std::size_t>(parsed.stream_position);
   return {std::move(fleet), parsed.stream_position};
 }
 
@@ -682,6 +835,39 @@ RestoredFleet load_fleet_checkpoint_file(const std::string& path,
   std::ifstream in(path, std::ios::binary);
   if (!in) throw Error("cannot open checkpoint for reading: " + path);
   return load_fleet_checkpoint(in, resume);
+}
+
+void save_distributed_fleet_checkpoint(
+    std::ostream* out, const DistributedFleetAssessment& fleet) {
+  CheckpointAccess::save_distributed_fleet(out, fleet);
+}
+
+void save_distributed_fleet_checkpoint_file(
+    const std::string& path, const DistributedFleetAssessment& fleet) {
+  if (fleet.rank() != 0) {
+    // Peers only feed the gather; the file belongs to rank 0.
+    CheckpointAccess::save_distributed_fleet(nullptr, fleet);
+    return;
+  }
+  write_file_atomic(path, [&fleet](std::ostream& out) {
+    CheckpointAccess::save_distributed_fleet(&out, fleet);
+  });
+}
+
+RestoredDistributedFleet load_distributed_fleet_checkpoint(
+    std::istream& raw, dist::Communicator& comm,
+    const FleetResumeOptions& resume) {
+  BoundedReader in(raw);
+  return CheckpointAccess::assemble_distributed_fleet(parse_any(in), comm,
+                                                      resume);
+}
+
+RestoredDistributedFleet load_distributed_fleet_checkpoint_file(
+    const std::string& path, dist::Communicator& comm,
+    const FleetResumeOptions& resume) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open checkpoint for reading: " + path);
+  return load_distributed_fleet_checkpoint(in, comm, resume);
 }
 
 }  // namespace imrdmd::core

@@ -125,4 +125,41 @@ RestoredFleet load_fleet_checkpoint(std::istream& in,
 RestoredFleet load_fleet_checkpoint_file(const std::string& path,
                                          const FleetResumeOptions& resume = {});
 
+// --- Distributed fleet checkpoint/resume --------------------------------
+
+/// A distributed fleet restored from a checkpoint plus the stream position
+/// to hand to the root's ChunkSource::seek before resuming run().
+struct RestoredDistributedFleet {
+  DistributedFleetAssessment fleet;
+  std::uint64_t stream_position = 0;
+};
+
+/// Collective: every rank serializes its owned groups' model sections
+/// across its local lanes and contributes them through one ragged gather;
+/// rank 0 assembles the sections in deterministic global group order and
+/// writes the SAME `IMRDFL1` container a single-process FleetAssessment
+/// would write from the same state — byte-identical for any rank count, so
+/// the three load paths (fleet, pipeline, distributed) all accept it.
+/// `out` must be non-null on rank 0 and null on every other rank.
+void save_distributed_fleet_checkpoint(std::ostream* out,
+                                       const DistributedFleetAssessment& fleet);
+/// Collective; rank 0 writes atomically (write-temp-then-rename). A write
+/// failure surfaces on rank 0 (the peers have already contributed and
+/// return normally); inside run()'s periodic hook the world's poison then
+/// unwinds the peers with CollectiveAborted.
+void save_distributed_fleet_checkpoint_file(
+    const std::string& path, const DistributedFleetAssessment& fleet);
+
+/// NOT collective (no communication): every rank parses the container
+/// independently and keeps only the models of the groups it owns under
+/// rank_group_range — a checkpoint written at any rank count (including a
+/// single-process fleet or pipeline checkpoint) resumes at any other rank
+/// count. ParseError on truncation/corruption, like load_fleet_checkpoint.
+RestoredDistributedFleet load_distributed_fleet_checkpoint(
+    std::istream& in, dist::Communicator& comm,
+    const FleetResumeOptions& resume = {});
+RestoredDistributedFleet load_distributed_fleet_checkpoint_file(
+    const std::string& path, dist::Communicator& comm,
+    const FleetResumeOptions& resume = {});
+
 }  // namespace imrdmd::core

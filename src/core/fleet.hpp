@@ -28,10 +28,12 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "core/pipeline.hpp"
+#include "dist/communicator.hpp"
 
 namespace imrdmd::core {
 
@@ -163,5 +165,131 @@ class FleetAssessment {
 /// first `sensors % count` groups get one extra sensor).
 std::vector<std::vector<std::size_t>> contiguous_groups(std::size_t sensors,
                                                         std::size_t count);
+
+/// Deterministic contiguous assignment of `groups` global group indices to
+/// `ranks` SPMD ranks: rank r owns the half-open range [first, second) of
+/// group indices, near-equal (the first `groups % ranks` ranks get one
+/// extra). Ranks beyond the group count own the empty range. A pure
+/// function of (groups, ranks, rank) — every rank computes the same map
+/// with no communication, and checkpoint resume at a different rank count
+/// re-derives ownership from the same rule.
+std::pair<std::size_t, std::size_t> rank_group_range(std::size_t groups,
+                                                     std::size_t ranks,
+                                                     std::size_t rank);
+
+/// Cross-node distributed fleet assessment over dist::Communicator
+/// (ROADMAP: cross-node distribution). The sharded FleetAssessment spreads
+/// group updates across thread lanes of ONE process; this driver spreads
+/// the *groups themselves* across the ranks of a thread-SPMD dist::World:
+/// rank r owns the contiguous group range rank_group_range(G, R, r), runs
+/// its groups on its own local lanes (the same lane structure, with the
+/// same double-buffered prefetch on the root's ingestion side), and the
+/// per-group magnitude vectors are allgathered — concatenated in
+/// deterministic global group order — so every rank feeds the same bytes
+/// to its replica of the global BaselineZscoreStage.
+///
+/// Invariance contract (covered by tests/dist_fleet_test.cpp and the
+/// determinism suite): for a fixed group partition, FleetSnapshots are
+/// bitwise identical across any rank count (1/2/4/...), any local lane
+/// count, and identical to the single-process FleetAssessment — and a
+/// fleet checkpoint written at R ranks is byte-identical to the one the
+/// single-process fleet writes from the same stream position, so any rank
+/// count resumes a checkpoint written by any other rank count.
+///
+/// SPMD contract: every rank must construct the driver with the same
+/// options/sensors and call process()/run()/checkpoint entry points
+/// collectively, in the same order. A rank that fails mid-collective
+/// poisons the world (dist::CollectiveAborted) instead of deadlocking.
+class DistributedFleetAssessment {
+ public:
+  /// Collective constructor-shaped validation only (no communication):
+  /// `options.groups` must partition [0, sensors) exactly, like
+  /// FleetAssessment. `comm` must outlive the driver.
+  DistributedFleetAssessment(dist::Communicator& comm, FleetOptions options,
+                             std::size_t sensors);
+
+  /// Collective: every rank passes the same P x T_chunk chunk (run()
+  /// broadcasts it from rank 0; direct callers replicate it themselves).
+  /// Rank disagreement on the chunk — width OR content, checked through a
+  /// bitwise digest on the agreement collective — fails on every rank
+  /// together.
+  FleetSnapshot process(const Mat& chunk);
+
+  /// Collective: rank 0 owns `source` (non-null there, null elsewhere),
+  /// pulls chunks with the double-buffered async prefetch, and broadcasts
+  /// each chunk to the peers; every rank returns the identical snapshot
+  /// stream. Mid-run failures follow FleetAssessment::run's no-data-loss
+  /// discipline: the prefetched chunk is parked on rank 0 and already-
+  /// computed snapshots are parked per rank, both delivered first by the
+  /// next collective run() call. With FleetOptions::checkpoint armed (same
+  /// policy on every rank), rank 0 gathers the per-group model sections
+  /// and atomically writes one IMRDFL1 fleet checkpoint after every N-th
+  /// processed chunk.
+  std::vector<FleetSnapshot> run(ChunkSource* source,
+                                 std::size_t max_chunks = 0);
+
+  int rank() const { return comm_->rank(); }
+  int ranks() const { return comm_->size(); }
+  std::size_t sensors() const { return sensors_; }
+  std::size_t group_count() const { return groups_.size(); }
+  const std::vector<std::vector<std::size_t>>& groups() const {
+    return groups_;
+  }
+  /// This rank's owned global group range [first, second).
+  std::pair<std::size_t, std::size_t> local_groups() const {
+    return {local_begin_, local_end_};
+  }
+  /// Worker lanes this rank's group updates are spread across.
+  std::size_t shards() const { return shards_; }
+  /// Model of owned global group `group` (InvalidArgument when this rank
+  /// does not own it).
+  const IncrementalMrdmd& model(std::size_t group) const;
+  std::size_t chunks_processed() const { return chunks_processed_; }
+  /// Snapshots folded into the group models so far — the stream position a
+  /// checkpoint records.
+  std::size_t snapshots_processed() const { return snapshots_seen_; }
+
+ private:
+  /// save_distributed_fleet_checkpoint / load_distributed_fleet_checkpoint
+  /// (core/checkpoint.hpp) read and install state through this single
+  /// access point.
+  friend struct CheckpointAccess;
+
+  ThreadPool& pool() const;
+  /// Runs this rank's group updates across the local lanes.
+  void update_local_groups(const Mat& chunk,
+                           std::vector<MagnitudeUpdate>& updates);
+
+  dist::Communicator* comm_;
+  FleetOptions options_;
+  std::size_t sensors_ = 0;
+  /// The FULL global partition (every rank knows every group's sensor
+  /// list; only the owned range has models).
+  std::vector<std::vector<std::size_t>> groups_;
+  std::size_t local_begin_ = 0;
+  std::size_t local_end_ = 0;
+  std::size_t shards_ = 1;
+  /// True for the trivial partition {0..P-1}: the owning rank feeds the
+  /// chunk straight through, no per-chunk row-gather copy.
+  bool identity_partition_ = false;
+  /// Chunk consumed by rank 0's prefetch whose process() failed; the next
+  /// run() starts here instead of advancing the source (rank 0 only).
+  std::optional<Mat> carry_;
+  /// Snapshots computed by a run() that failed after processing; delivered
+  /// first by the next run() — the models have already folded those chunks
+  /// in, so the results cannot be regenerated.
+  std::vector<FleetSnapshot> carry_snapshots_;
+  /// Models of the owned groups only, local index l = global group
+  /// local_begin_ + l. unique_ptr: handed to pool tasks by raw pointer.
+  std::vector<std::unique_ptr<IncrementalMrdmd>> models_;
+  /// Replicated: every rank feeds it the same merged bytes, so the state
+  /// stays identical across ranks without communication.
+  BaselineZscoreStage zscore_stage_;
+  std::size_t chunks_processed_ = 0;
+  /// Snapshots folded in so far. FleetAssessment reads this off
+  /// models_[0]->time_steps(); a rank here may own no models, so the
+  /// stream position is tracked explicitly (restored on resume).
+  std::size_t snapshots_seen_ = 0;
+};
 
 }  // namespace imrdmd::core

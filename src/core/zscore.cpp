@@ -90,6 +90,16 @@ void BaselineZscoreStage::restore(State state) {
   IMRDMD_REQUIRE_ARG(state.selected_once || state.baseline_sensors.empty(),
                      "zscore stage state has a population but was never "
                      "selected");
+  // The population is strictly ascending by construction
+  // (select_baseline_sensors walks sensors in order); reject anything else
+  // at the restore boundary rather than surfacing it chunks later inside
+  // the resumed stream's z-scoring. Checkpoint loads additionally bound
+  // the indices against the sensor count — unknown here — before calling.
+  for (std::size_t i = 1; i < state.baseline_sensors.size(); ++i) {
+    IMRDMD_REQUIRE_ARG(
+        state.baseline_sensors[i - 1] < state.baseline_sensors[i],
+        "zscore stage baseline population must be strictly ascending");
+  }
   selected_once_ = state.selected_once;
   baseline_sensors_ = std::move(state.baseline_sensors);
 }

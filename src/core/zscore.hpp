@@ -71,6 +71,12 @@ ZscoreAnalysis zscore_from_baseline(std::span<const double> magnitudes,
 /// from the chunk's per-sensor means on the first call — and on every call
 /// when `reselect_per_chunk` — then every sensor is z-scored against that
 /// population's magnitude statistics.
+///
+/// Replication contract (relied on by core::DistributedFleetAssessment):
+/// apply() is a deterministic function of its inputs and the stage state,
+/// so N replicas fed identical byte streams hold identical state forever —
+/// the distributed fleet keeps one replica per rank and never communicates
+/// stage state, only the merged magnitude/mean vectors.
 class BaselineZscoreStage {
  public:
   BaselineZscoreStage(const BaselineRange& baseline,

@@ -111,6 +111,25 @@ std::vector<double> Communicator::allgather(std::span<const double> local) {
   return all;
 }
 
+std::vector<std::vector<double>> Communicator::allgatherv(
+    std::span<const double> local) {
+  std::vector<std::vector<double>> all;
+  exchange(local, [&](const std::vector<std::vector<double>>& slots) {
+    all = slots;  // copy inside the barriers: slots are reused afterwards
+  });
+  return all;
+}
+
+std::vector<std::vector<double>> Communicator::gatherv(
+    std::span<const double> local, int root) {
+  IMRDMD_REQUIRE_ARG(root >= 0 && root < size(), "gatherv root out of range");
+  std::vector<std::vector<double>> all;
+  exchange(local, [&](const std::vector<std::vector<double>>& slots) {
+    if (rank_ == root) all = slots;
+  });
+  return all;
+}
+
 std::vector<double> Communicator::gather(std::span<const double> local,
                                          int root) {
   IMRDMD_REQUIRE_ARG(root >= 0 && root < size(), "gather root out of range");

@@ -63,11 +63,28 @@ class Communicator {
   double allreduce_max(double value);
 
   /// Concatenates every rank's contribution in rank order, replicated on
-  /// all ranks. Contributions may differ in length.
+  /// all ranks. Contributions may differ in length — but the flat result
+  /// erases the per-rank boundaries, so a caller that needs to know where
+  /// rank r's bytes start (or wants to *validate* per-rank lengths rather
+  /// than assume them uniform) must use allgatherv instead.
   std::vector<double> allgather(std::span<const double> local);
+
+  /// Ragged allgather: every rank's contribution, in rank order, with the
+  /// per-rank boundaries preserved (result[r] is rank r's contribution,
+  /// possibly empty). Replicated on all ranks. This is the primitive for
+  /// collectives whose per-rank payload sizes legitimately differ (e.g. a
+  /// fleet rank owning an uneven share of sensor groups) and for callers
+  /// that must *check* an agreed-uniform-length contract instead of
+  /// silently misparsing a flat concatenation.
+  std::vector<std::vector<double>> allgatherv(std::span<const double> local);
 
   /// Like allgather, but only `root` receives; other ranks get {}.
   std::vector<double> gather(std::span<const double> local, int root);
+
+  /// Ragged gather: only `root` receives the per-rank contributions (with
+  /// boundaries preserved); other ranks get {}.
+  std::vector<std::vector<double>> gatherv(std::span<const double> local,
+                                           int root);
 
  private:
   friend class World;

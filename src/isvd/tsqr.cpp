@@ -18,15 +18,23 @@ TsqrResult tsqr(dist::Communicator& comm, const Mat& local_block) {
 
   // Stage 2: gather all R factors (n x n each, flattened row-major) and
   // re-factor the stack. Every rank performs the identical computation on
-  // identical data, so the replicated R needs no broadcast.
+  // identical data, so the replicated R needs no broadcast. The gather is
+  // ragged-aware (allgatherv): each rank's block is validated individually,
+  // so a rank that disagrees on the column count fails the collective with
+  // a precise error on every rank instead of one rank misparsing a flat
+  // concatenation whose total length happens to match.
   std::vector<double> flat(local.r.data(), local.r.data() + local.r.size());
-  const std::vector<double> all = comm.allgather(flat);
+  const std::vector<std::vector<double>> all = comm.allgatherv(flat);
   const std::size_t ranks = static_cast<std::size_t>(comm.size());
-  IMRDMD_REQUIRE_DIMS(all.size() == ranks * n * n,
-                      "tsqr: ranks disagree on column count");
+  for (const auto& block : all) {
+    IMRDMD_REQUIRE_DIMS(block.size() == n * n,
+                        "tsqr: ranks disagree on column count");
+  }
 
   Mat stacked(ranks * n, n);
-  std::copy(all.begin(), all.end(), stacked.data());
+  for (std::size_t r = 0; r < ranks; ++r) {
+    std::copy(all[r].begin(), all[r].end(), stacked.data() + r * n * n);
+  }
   linalg::QrResult second = linalg::thin_qr(stacked);
 
   // Stage 3: patch the local Q with this rank's n x n slice of stage-2 Q.

@@ -38,6 +38,12 @@ struct ShardedEnvOptions {
   std::size_t group_count = 1;
 };
 
+/// A full core::ChunkSource: position()/seek()/replay obey the seekable-
+/// source contract (seek-then-read ≡ straight read, bitwise; seek past the
+/// horizon throws without corrupting the stream), verified by the shared
+/// conformance harness in tests/chunk_source_conformance.hpp — which is
+/// what lets this source sit under checkpointed fleet runs, including as
+/// the rank-0 ingestion source of core::DistributedFleetAssessment.
 class ShardedEnvSource final : public core::ChunkSource {
  public:
   /// `model` must outlive the source.

@@ -9,11 +9,13 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "core/checkpoint.hpp"
 #include "core/fleet.hpp"
 #include "core/pipeline.hpp"
+#include "dist/communicator.hpp"
 #include "test_util.hpp"
 
 namespace imrdmd {
@@ -362,6 +364,124 @@ TEST(FleetCheckpoint, CorruptWordsRejectedWithoutHugeAllocation) {
   }
 }
 
+// --- mixed-provenance resume fuzz (saved at R ranks, resumed at R') -----
+
+/// The same fleet as small_fleet_bytes, but driven (and checkpointed) by a
+/// distributed run at `ranks` ranks.
+std::string distributed_small_fleet_bytes(int ranks) {
+  Rng rng(13);
+  const Mat data = planted_multiscale(9, 192, 0.02, rng);
+  FleetOptions options;
+  options.pipeline.imrdmd.mrdmd.max_levels = 3;
+  options.pipeline.imrdmd.mrdmd.dt = 1.0;
+  options.pipeline.baseline = {-10.0, 10.0};
+  options.groups = core::contiguous_groups(data.rows(), 3);
+  dist::World world(ranks);
+  std::string bytes;
+  world.run([&](dist::Communicator& comm) {
+    core::DistributedFleetAssessment fleet(comm, options, data.rows());
+    std::optional<MatChunkSource> source;
+    if (comm.rank() == 0) source.emplace(data, 128, 64);
+    fleet.run(comm.rank() == 0 ? &*source : nullptr);
+    std::ostringstream buffer;
+    core::save_distributed_fleet_checkpoint(
+        comm.rank() == 0 ? &buffer : nullptr, fleet);
+    if (comm.rank() == 0) bytes = std::move(buffer).str();
+  });
+  return bytes;
+}
+
+TEST(DistributedFleetCheckpoint, ProvenanceIsInvisibleInTheBytes) {
+  // A checkpoint written at any rank count is byte-for-byte the container
+  // the single-process fleet writes — which is what makes every resume
+  // combination below a pure parser problem, fuzzed once for all writers.
+  const std::string reference = small_fleet_bytes();
+  EXPECT_EQ(distributed_small_fleet_bytes(2), reference);
+  EXPECT_EQ(distributed_small_fleet_bytes(3), reference);
+}
+
+TEST(DistributedFleetCheckpoint, ResumesAtAnyRankCountFromAnyProvenance) {
+  // Saved at 3 ranks; resumed single-process and at 2 ranks — both must
+  // continue the stream bitwise-identically to the uninterrupted fleet.
+  Rng rng(13);
+  const Mat data = planted_multiscale(9, 192, 0.02, rng);
+  FleetOptions options;
+  options.pipeline.imrdmd.mrdmd.max_levels = 3;
+  options.pipeline.imrdmd.mrdmd.dt = 1.0;
+  options.pipeline.baseline = {-10.0, 10.0};
+  options.groups = core::contiguous_groups(data.rows(), 3);
+
+  // Uninterrupted reference, one extra chunk past the checkpoint state.
+  const Mat extra = planted_multiscale(9, 64, 0.02, rng);
+  FleetAssessment reference(options, data.rows());
+  MatChunkSource reference_source(data, 128, 64);
+  reference.run(reference_source);
+  const FleetSnapshot expected = reference.process(extra);
+
+  const std::string bytes = distributed_small_fleet_bytes(3);
+
+  // Single-process resume of the distributed checkpoint.
+  {
+    std::stringstream in(bytes);
+    core::RestoredFleet restored = core::load_fleet_checkpoint(in);
+    EXPECT_EQ(restored.stream_position, 192u);
+    expect_fleet_snapshot_equal(restored.fleet.process(extra), expected);
+  }
+  // 2-rank distributed resume of the same bytes.
+  {
+    dist::World world(2);
+    world.run([&](dist::Communicator& comm) {
+      std::stringstream in(bytes);
+      core::RestoredDistributedFleet restored =
+          core::load_distributed_fleet_checkpoint(in, comm);
+      EXPECT_EQ(restored.stream_position, 192u);
+      expect_fleet_snapshot_equal(restored.fleet.process(extra), expected);
+    });
+  }
+}
+
+TEST(DistributedFleetCheckpoint, TruncationRejectedAtEveryRankCount) {
+  // The fuzz machinery from the single-process suite, pointed at the
+  // distributed load path: every truncation prefix must yield ParseError
+  // on every rank (each rank parses independently — no collective to
+  // deadlock in), at more than one resume rank count.
+  const std::string bytes = small_fleet_bytes();
+  ASSERT_GT(bytes.size(), 64u);
+  const std::size_t step = std::max<std::size_t>(1, bytes.size() / 23);
+  for (std::size_t cut = 0; cut < bytes.size(); cut += step) {
+    dist::World world(2);
+    EXPECT_THROW(world.run([&](dist::Communicator& comm) {
+                   std::stringstream truncated(bytes.substr(0, cut));
+                   core::load_distributed_fleet_checkpoint(truncated, comm);
+                 }),
+                 ParseError)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(DistributedFleetCheckpoint, CorruptWordsRejectedWithoutHugeAllocation) {
+  // Sparse word-flip fuzz on the distributed load path. The parser is the
+  // same parse_any the dense single-process fuzz above hammers at every
+  // offset; this pass samples offsets to keep the world spawns cheap while
+  // still covering the distributed assembly (ownership slicing) on
+  // corrupted parses.
+  const std::string bytes = small_fleet_bytes();
+  for (std::size_t offset = 8; offset + 8 <= bytes.size(); offset += 8 * 23) {
+    std::string corrupt = bytes;
+    const std::uint64_t garbage = ~std::uint64_t{0};
+    std::memcpy(corrupt.data() + offset, &garbage, sizeof garbage);
+    dist::World world(2);
+    try {
+      world.run([&](dist::Communicator& comm) {
+        std::stringstream in(corrupt);
+        core::load_distributed_fleet_checkpoint(in, comm);
+      });
+    } catch (const Error&) {
+      // Expected for most offsets.
+    }
+  }
+}
+
 // --- atomic file-level writes -------------------------------------------
 
 TEST(FleetCheckpoint, FileWritesAreAtomicAndLeaveNoTemp) {
@@ -435,6 +555,42 @@ TEST(FleetCheckpoint, FailedPeriodicWriteParksPrefetchedChunk) {
   for (std::size_t i = 0; i < delivered.size(); ++i) {
     EXPECT_EQ(delivered[i].chunk_index, i);
   }
+}
+
+TEST(FleetCheckpoint, MaxChunksWithParkedSnapshotsDoesNotDropAChunk) {
+  // Regression: run(source, k) used to pull a chunk from the source (or
+  // the carry slot) BEFORE checking whether the parked snapshots already
+  // satisfied max_chunks — destroying the pulled chunk unprocessed and
+  // silently skipping its telemetry on the following call.
+  const Mat data = checkpoint_data();
+  FleetOptions options;
+  options.pipeline = checkpoint_pipeline_options();
+  options.checkpoint.every_n = 1;
+  options.checkpoint.path = ::testing::TempDir() + "/no-such-dir/fleet.ckpt";
+  FleetAssessment fleet(options, data.rows());
+  MatChunkSource source(data, 256, 64);
+
+  // Every checkpoint write fails, so attempts alternate between "process
+  // one chunk, park its snapshot, throw" and "deliver the parked
+  // snapshot". All three chunks must come through, in order, with no gap.
+  std::vector<FleetSnapshot> delivered;
+  for (int attempt = 0; attempt < 8 && delivered.size() < 3; ++attempt) {
+    try {
+      const auto got = fleet.run(source, 1);
+      delivered.insert(delivered.end(), got.begin(), got.end());
+    } catch (const Error&) {
+      // Expected: the checkpoint directory does not exist.
+    }
+  }
+  ASSERT_EQ(delivered.size(), 3u);
+  for (std::size_t i = 0; i < delivered.size(); ++i) {
+    EXPECT_EQ(delivered[i].chunk_index, i);
+  }
+  // Stream continuity — a dropped chunk would leave the totals short.
+  EXPECT_EQ(delivered[0].total_snapshots, 256u);
+  EXPECT_EQ(delivered[1].total_snapshots, 320u);
+  EXPECT_EQ(delivered[2].total_snapshots, 384u);
+  EXPECT_EQ(fleet.snapshots_processed(), data.cols());
 }
 
 TEST(ChunkSourceSeek, DefaultThrowsAndMatrixSourceSeeks) {

@@ -1,0 +1,155 @@
+// Reusable conformance harness for core::ChunkSource implementations.
+//
+// Checkpoint/resume leans on a behavioral contract every seekable source
+// must honor (core/pipeline.hpp): position() counts the snapshots emitted
+// so far, seek(s) repositions so the next chunk starts at snapshot s —
+// including mid-chunk positions a checkpoint may record — seeking past the
+// horizon throws InvalidArgument without corrupting the stream, and a
+// replay from any position is bitwise identical to the straight read. This
+// typed suite states the contract once; instantiating it for a new source
+// takes a Traits type:
+//
+//   struct MySourceTraits {
+//     struct Fixture { ...owned backing state...; MySource source; };
+//     /// Fresh stream over deterministic data (heap-allocated: sources
+//     /// borrow their backing state, so the fixture must not relocate).
+//     static std::unique_ptr<Fixture> make();
+//     static core::ChunkSource& source(Fixture& f) { return f.source; }
+//     static constexpr std::size_t kTotalSnapshots = ...;  // horizon
+//   };
+//   using MyInstance = ::testing::Types<MySourceTraits>;
+//   INSTANTIATE_TYPED_TEST_SUITE_P(MySource, ChunkSourceConformance,
+//                                  MyInstance);
+//
+// See tests/chunk_source_conformance_test.cpp for the library's sources.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/pipeline.hpp"
+
+namespace imrdmd::testing {
+
+template <class Traits>
+class ChunkSourceConformance : public ::testing::Test {
+ protected:
+  /// Reads the stream to exhaustion, concatenating columns into one
+  /// sensors x total matrix (the straight-read reference).
+  static core::Mat read_all(core::ChunkSource& source) {
+    core::Mat full(source.sensors(), Traits::kTotalSnapshots);
+    std::size_t at = 0;
+    while (std::optional<core::Mat> chunk = source.next_chunk()) {
+      EXPECT_EQ(chunk->rows(), source.sensors());
+      EXPECT_LE(at + chunk->cols(), Traits::kTotalSnapshots);
+      full.set_block(0, at, *chunk);
+      at += chunk->cols();
+    }
+    EXPECT_EQ(at, Traits::kTotalSnapshots);
+    return full;
+  }
+};
+
+TYPED_TEST_SUITE_P(ChunkSourceConformance);
+
+TYPED_TEST_P(ChunkSourceConformance, PositionCountsEmittedSnapshots) {
+  auto fixture = TypeParam::make();
+  core::ChunkSource& source = TypeParam::source(*fixture);
+  EXPECT_EQ(source.position(), 0u);
+  std::size_t emitted = 0;
+  while (std::optional<core::Mat> chunk = source.next_chunk()) {
+    ASSERT_GT(chunk->cols(), 0u);
+    ASSERT_EQ(chunk->rows(), source.sensors());
+    emitted += chunk->cols();
+    EXPECT_EQ(source.position(), emitted);
+  }
+  EXPECT_EQ(emitted, TypeParam::kTotalSnapshots);
+  // Exhaustion is stable: further reads yield nothing and do not move the
+  // position.
+  EXPECT_FALSE(source.next_chunk().has_value());
+  EXPECT_EQ(source.position(), TypeParam::kTotalSnapshots);
+}
+
+TYPED_TEST_P(ChunkSourceConformance, SeekThenReadEqualsStraightRead) {
+  auto straight = TypeParam::make();
+  const core::Mat full = this->read_all(TypeParam::source(*straight));
+
+  auto seeked = TypeParam::make();
+  core::ChunkSource& source = TypeParam::source(*seeked);
+  const std::size_t total = TypeParam::kTotalSnapshots;
+  // Mid-chunk positions included: a checkpoint records snapshot counts,
+  // not chunk boundaries.
+  for (const std::size_t target :
+       {std::size_t{0}, std::size_t{1}, total / 3, total - 1, total}) {
+    source.seek(target);
+    EXPECT_EQ(source.position(), target);
+    std::size_t at = target;
+    while (std::optional<core::Mat> chunk = source.next_chunk()) {
+      ASSERT_LE(at + chunk->cols(), total);
+      for (std::size_t p = 0; p < chunk->rows(); ++p) {
+        for (std::size_t t = 0; t < chunk->cols(); ++t) {
+          ASSERT_EQ((*chunk)(p, t), full(p, at + t))
+              << "seek(" << target << "), sensor " << p << ", snapshot "
+              << at + t;
+        }
+      }
+      at += chunk->cols();
+    }
+    EXPECT_EQ(at, total);
+  }
+}
+
+TYPED_TEST_P(ChunkSourceConformance, SeekPastEofThrowsWithoutCorruption) {
+  auto fixture = TypeParam::make();
+  core::ChunkSource& source = TypeParam::source(*fixture);
+  // Seeking TO the horizon is legal (the resume position of a finished
+  // stream); one past it is not.
+  source.seek(TypeParam::kTotalSnapshots);
+  EXPECT_FALSE(source.next_chunk().has_value());
+  EXPECT_THROW(source.seek(TypeParam::kTotalSnapshots + 1), InvalidArgument);
+  // The failed seek left the stream usable: rewind to the start and the
+  // first chunk comes back.
+  EXPECT_EQ(source.position(), TypeParam::kTotalSnapshots);
+  source.seek(0);
+  EXPECT_EQ(source.position(), 0u);
+  const std::optional<core::Mat> chunk = source.next_chunk();
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_GT(chunk->cols(), 0u);
+}
+
+TYPED_TEST_P(ChunkSourceConformance, ReplayAfterSeekToZeroIsBitwise) {
+  auto fixture = TypeParam::make();
+  core::ChunkSource& source = TypeParam::source(*fixture);
+  std::vector<core::Mat> first;
+  while (std::optional<core::Mat> chunk = source.next_chunk()) {
+    first.push_back(std::move(*chunk));
+  }
+  source.seek(0);
+  // Chunk boundaries AND bytes replay identically — resumed runs depend on
+  // the re-read stream matching what the killed run consumed.
+  for (const core::Mat& expected : first) {
+    const std::optional<core::Mat> chunk = source.next_chunk();
+    ASSERT_TRUE(chunk.has_value());
+    ASSERT_EQ(chunk->rows(), expected.rows());
+    ASSERT_EQ(chunk->cols(), expected.cols());
+    for (std::size_t p = 0; p < expected.rows(); ++p) {
+      for (std::size_t t = 0; t < expected.cols(); ++t) {
+        ASSERT_EQ((*chunk)(p, t), expected(p, t));
+      }
+    }
+  }
+  EXPECT_FALSE(source.next_chunk().has_value());
+}
+
+REGISTER_TYPED_TEST_SUITE_P(ChunkSourceConformance,
+                            PositionCountsEmittedSnapshots,
+                            SeekThenReadEqualsStraightRead,
+                            SeekPastEofThrowsWithoutCorruption,
+                            ReplayAfterSeekToZeroIsBitwise);
+
+}  // namespace imrdmd::testing

@@ -1,0 +1,105 @@
+// Instantiates the ChunkSource conformance harness
+// (chunk_source_conformance.hpp) for every seekable source the library
+// ships: the in-memory matrix replay, the simulated environment-log
+// stream, and the fleet's sharded whole-machine source.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+
+#include "chunk_source_conformance.hpp"
+#include "core/pipeline.hpp"
+#include "telemetry/env_stream.hpp"
+#include "telemetry/sharded_env.hpp"
+#include "test_util.hpp"
+
+namespace imrdmd::testing {
+namespace {
+
+// --- MatrixChunkSource: 112 snapshots as 48 + 32 + 32 -------------------
+
+struct MatrixSourceFixture {
+  linalg::Mat data;
+  core::MatrixChunkSource source;
+  MatrixSourceFixture()
+      : data([] {
+          Rng rng(31);
+          return planted_multiscale(6, 112, 0.02, rng);
+        }()),
+        source(data, 48, 32) {}
+};
+
+struct MatrixSourceTraits {
+  using Fixture = MatrixSourceFixture;
+  static constexpr std::size_t kTotalSnapshots = 112;
+  static std::unique_ptr<Fixture> make() {
+    return std::make_unique<Fixture>();
+  }
+  static core::ChunkSource& source(Fixture& f) { return f.source; }
+};
+
+// --- EnvLogStream: 96-snapshot horizon as 40 + 24 + 24 + 8 --------------
+
+struct EnvStreamFixture {
+  telemetry::MachineSpec spec;
+  telemetry::SensorModel model;
+  telemetry::EnvLogStream source;
+  static telemetry::EnvStreamOptions options() {
+    telemetry::EnvStreamOptions o;
+    o.initial_snapshots = 40;
+    o.chunk_snapshots = 24;
+    o.total_snapshots = 96;
+    return o;
+  }
+  EnvStreamFixture()
+      : spec(telemetry::MachineSpec::testbed()),
+        model(spec),
+        source(model, options()) {}
+};
+
+struct EnvStreamTraits {
+  using Fixture = EnvStreamFixture;
+  static constexpr std::size_t kTotalSnapshots = 96;
+  static std::unique_ptr<Fixture> make() {
+    return std::make_unique<Fixture>();
+  }
+  static core::ChunkSource& source(Fixture& f) { return f.source; }
+};
+
+// --- ShardedEnvSource: the fleet's whole-machine stream -----------------
+
+struct ShardedEnvFixture {
+  telemetry::MachineSpec spec;
+  telemetry::SensorModel model;
+  telemetry::ShardedEnvSource source;
+  static telemetry::ShardedEnvOptions options() {
+    telemetry::ShardedEnvOptions o;
+    o.stream.initial_snapshots = 40;
+    o.stream.chunk_snapshots = 24;
+    o.stream.total_snapshots = 96;
+    return o;
+  }
+  ShardedEnvFixture()
+      : spec(telemetry::MachineSpec::testbed()),
+        model(spec),
+        source(model, options()) {}
+};
+
+struct ShardedEnvTraits {
+  using Fixture = ShardedEnvFixture;
+  static constexpr std::size_t kTotalSnapshots = 96;
+  static std::unique_ptr<Fixture> make() {
+    return std::make_unique<Fixture>();
+  }
+  static core::ChunkSource& source(Fixture& f) { return f.source; }
+};
+
+INSTANTIATE_TYPED_TEST_SUITE_P(MatrixSource, ChunkSourceConformance,
+                               ::testing::Types<MatrixSourceTraits>);
+INSTANTIATE_TYPED_TEST_SUITE_P(EnvLogStream, ChunkSourceConformance,
+                               ::testing::Types<EnvStreamTraits>);
+INSTANTIATE_TYPED_TEST_SUITE_P(ShardedEnvSource, ChunkSourceConformance,
+                               ::testing::Types<ShardedEnvTraits>);
+
+}  // namespace
+}  // namespace imrdmd::testing

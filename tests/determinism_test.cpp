@@ -5,10 +5,17 @@
 // floating-point evaluation order never depends on scheduling.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "core/checkpoint.hpp"
+#include "core/fleet.hpp"
 #include "core/imrdmd.hpp"
 #include "core/pipeline.hpp"
+#include "dist/communicator.hpp"
 #include "test_util.hpp"
 
 namespace imrdmd::core {
@@ -100,6 +107,64 @@ TEST(ParallelDeterminism, PipelineSnapshotsMatchSerialBitwise) {
       EXPECT_EQ(parallel[c].zscores.zscores[p], serial[c].zscores.zscores[p]);
     }
     EXPECT_EQ(parallel[c].report.drift_grid, serial[c].report.drift_grid);
+  }
+}
+
+// Rank-count invariance of the distributed fleet: for a fixed group
+// partition, the z-score stream AND the checkpoint bytes are identical —
+// compared at the byte level, stricter than value equality (0.0 vs -0.0
+// or NaN payloads would slip through EXPECT_EQ on doubles) — across every
+// rank x lane combination.
+TEST(RankCountDeterminism, FleetZscoresAndCheckpointsAreByteIdentical) {
+  Rng rng(24);
+  const Mat data = planted_multiscale(12, 384, 0.02, rng);
+  const auto groups = contiguous_groups(data.rows(), 4);
+
+  auto z_bytes = [](const std::vector<double>& z) {
+    return std::string(reinterpret_cast<const char*>(z.data()),
+                       z.size() * sizeof(double));
+  };
+
+  std::optional<std::string> reference_z;
+  std::optional<std::string> reference_ckpt;
+  for (const int ranks : {1, 2, 4}) {
+    for (const std::size_t lanes : {1u, 2u}) {
+      dist::World world(ranks);
+      std::string z;
+      std::string ckpt;
+      world.run([&](dist::Communicator& comm) {
+        FleetOptions options;
+        options.pipeline.imrdmd.mrdmd.max_levels = 4;
+        options.pipeline.imrdmd.mrdmd.dt = 1.0;
+        options.pipeline.baseline = {-10.0, 10.0};
+        options.groups = groups;
+        options.shards = lanes;
+        DistributedFleetAssessment fleet(comm, options, data.rows());
+        std::optional<MatrixChunkSource> source;
+        if (comm.rank() == 0) source.emplace(data, 256, 64);
+        const auto snapshots =
+            fleet.run(comm.rank() == 0 ? &*source : nullptr);
+        std::ostringstream buffer;
+        save_distributed_fleet_checkpoint(
+            comm.rank() == 0 ? &buffer : nullptr, fleet);
+        if (comm.rank() == 0) {
+          ASSERT_EQ(snapshots.size(), 3u);
+          for (const FleetSnapshot& snapshot : snapshots) {
+            z += z_bytes(snapshot.zscores.zscores);
+            z += z_bytes(snapshot.magnitudes);
+          }
+          ckpt = std::move(buffer).str();
+        }
+      });
+      if (!reference_z.has_value()) {
+        reference_z = std::move(z);
+        reference_ckpt = std::move(ckpt);
+        continue;
+      }
+      EXPECT_EQ(z, *reference_z) << "ranks=" << ranks << " lanes=" << lanes;
+      EXPECT_EQ(ckpt, *reference_ckpt)
+          << "ranks=" << ranks << " lanes=" << lanes;
+    }
   }
 }
 

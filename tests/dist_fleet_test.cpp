@@ -1,0 +1,382 @@
+// Distributed fleet driver tests: rank-count invariance (results are
+// bitwise-identical to the single-process FleetAssessment for any rank
+// count and any local lane count), rank-count-invariant checkpoint bytes,
+// cross-rank-count resume, the ownership map, and the rank-failure paths
+// (disagreeing chunks must fail every rank together, never deadlock).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/fleet.hpp"
+#include "dist/communicator.hpp"
+#include "test_util.hpp"
+
+namespace imrdmd {
+namespace {
+
+using core::DistributedFleetAssessment;
+using core::FleetAssessment;
+using core::FleetOptions;
+using core::FleetSnapshot;
+using core::Mat;
+using core::PipelineOptions;
+using imrdmd::testing::planted_multiscale;
+
+using MatChunkSource = core::MatrixChunkSource;
+
+PipelineOptions dist_pipeline_options() {
+  PipelineOptions options;
+  options.imrdmd.mrdmd.max_levels = 4;
+  options.imrdmd.mrdmd.dt = 1.0;
+  options.baseline = {-10.0, 10.0};  // planted signal means: keep everyone
+  return options;
+}
+
+Mat dist_data() {
+  Rng rng(7);
+  return planted_multiscale(15, 384, 0.02, rng);
+}
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "index " << i;
+  }
+}
+
+void expect_snapshots_equal(const std::vector<FleetSnapshot>& a,
+                            const std::vector<FleetSnapshot>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    EXPECT_EQ(a[c].chunk_index, b[c].chunk_index);
+    EXPECT_EQ(a[c].total_snapshots, b[c].total_snapshots);
+    expect_bitwise_equal(a[c].magnitudes, b[c].magnitudes);
+    expect_bitwise_equal(a[c].sensor_means, b[c].sensor_means);
+    expect_bitwise_equal(a[c].zscores.zscores, b[c].zscores.zscores);
+    EXPECT_EQ(a[c].zscores.baseline_sensors, b[c].zscores.baseline_sensors);
+    ASSERT_EQ(a[c].reports.size(), b[c].reports.size());
+    for (std::size_t g = 0; g < a[c].reports.size(); ++g) {
+      EXPECT_EQ(a[c].reports[g].new_snapshots, b[c].reports[g].new_snapshots);
+      EXPECT_EQ(a[c].reports[g].total_snapshots,
+                b[c].reports[g].total_snapshots);
+      EXPECT_EQ(a[c].reports[g].drift_grid, b[c].reports[g].drift_grid);
+      EXPECT_EQ(a[c].reports[g].drift_estimate,
+                b[c].reports[g].drift_estimate);
+      EXPECT_EQ(a[c].reports[g].drift_exceeded,
+                b[c].reports[g].drift_exceeded);
+      EXPECT_EQ(a[c].reports[g].recomputed, b[c].reports[g].recomputed);
+      EXPECT_EQ(a[c].reports[g].new_nodes, b[c].reports[g].new_nodes);
+      EXPECT_EQ(a[c].reports[g].new_grid_columns,
+                b[c].reports[g].new_grid_columns);
+    }
+  }
+}
+
+/// Drives one distributed run over `ranks`, asserting every rank returned
+/// the identical snapshot stream; returns rank 0's.
+std::vector<FleetSnapshot> run_distributed(const Mat& data,
+                                           const FleetOptions& options,
+                                           int ranks,
+                                           std::size_t max_chunks = 0) {
+  dist::World world(ranks);
+  std::vector<std::vector<FleetSnapshot>> per_rank(
+      static_cast<std::size_t>(ranks));
+  world.run([&](dist::Communicator& comm) {
+    DistributedFleetAssessment fleet(comm, options, data.rows());
+    std::optional<MatChunkSource> source;
+    if (comm.rank() == 0) source.emplace(data, 256, 64);
+    per_rank[static_cast<std::size_t>(comm.rank())] =
+        fleet.run(comm.rank() == 0 ? &*source : nullptr, max_chunks);
+  });
+  for (std::size_t r = 1; r < per_rank.size(); ++r) {
+    expect_snapshots_equal(per_rank[r], per_rank[0]);
+  }
+  return per_rank[0];
+}
+
+TEST(DistributedFleet, RankGroupRangeIsAContiguousBalancedPartition) {
+  EXPECT_EQ(core::rank_group_range(5, 3, 0),
+            (std::pair<std::size_t, std::size_t>{0, 2}));
+  EXPECT_EQ(core::rank_group_range(5, 3, 1),
+            (std::pair<std::size_t, std::size_t>{2, 4}));
+  EXPECT_EQ(core::rank_group_range(5, 3, 2),
+            (std::pair<std::size_t, std::size_t>{4, 5}));
+  // More ranks than groups: the spare ranks own the empty range.
+  EXPECT_EQ(core::rank_group_range(2, 4, 1),
+            (std::pair<std::size_t, std::size_t>{1, 2}));
+  EXPECT_EQ(core::rank_group_range(2, 4, 3),
+            (std::pair<std::size_t, std::size_t>{2, 2}));
+  // The ranges tile [0, groups) exactly for any rank count.
+  for (std::size_t groups : {1u, 4u, 7u}) {
+    for (std::size_t ranks : {1u, 2u, 5u}) {
+      std::size_t expect_begin = 0;
+      for (std::size_t r = 0; r < ranks; ++r) {
+        const auto range = core::rank_group_range(groups, ranks, r);
+        EXPECT_EQ(range.first, expect_begin);
+        expect_begin = range.second;
+      }
+      EXPECT_EQ(expect_begin, groups);
+    }
+  }
+  EXPECT_THROW(core::rank_group_range(4, 0, 0), InvalidArgument);
+  EXPECT_THROW(core::rank_group_range(4, 2, 2), InvalidArgument);
+}
+
+TEST(DistributedFleet, MatchesSingleProcessFleetForAnyRankAndLaneCount) {
+  const Mat data = dist_data();
+  const auto groups = core::contiguous_groups(data.rows(), 5);
+
+  FleetOptions reference_options;
+  reference_options.pipeline = dist_pipeline_options();
+  reference_options.groups = groups;
+  FleetAssessment reference_fleet(reference_options, data.rows());
+  MatChunkSource reference_source(data, 256, 64);
+  const auto reference = reference_fleet.run(reference_source);
+  ASSERT_EQ(reference.size(), 3u);
+
+  for (const int ranks : {1, 2, 4}) {
+    for (const std::size_t shards : {1u, 2u}) {
+      FleetOptions options;
+      options.pipeline = dist_pipeline_options();
+      options.groups = groups;
+      options.shards = shards;
+      const auto snapshots = run_distributed(data, options, ranks);
+      expect_snapshots_equal(snapshots, reference);
+    }
+  }
+}
+
+TEST(DistributedFleet, UnevenGroupSizesExerciseTheRaggedGather) {
+  // Deliberately lopsided partition: rank payload lengths differ, so the
+  // merge runs through genuinely ragged allgatherv contributions.
+  const Mat data = dist_data();
+  std::vector<std::vector<std::size_t>> groups(3);
+  for (std::size_t p = 0; p < 9; ++p) groups[0].push_back(p);
+  for (std::size_t p = 9; p < 11; ++p) groups[1].push_back(p);
+  for (std::size_t p = 11; p < 15; ++p) groups[2].push_back(p);
+
+  FleetOptions options;
+  options.pipeline = dist_pipeline_options();
+  options.groups = groups;
+  FleetAssessment reference_fleet(options, data.rows());
+  MatChunkSource reference_source(data, 256, 64);
+  const auto reference = reference_fleet.run(reference_source);
+
+  for (const int ranks : {2, 3}) {
+    expect_snapshots_equal(run_distributed(data, options, ranks), reference);
+  }
+}
+
+TEST(DistributedFleet, SpareRanksBeyondTheGroupCountStayInTheCollective) {
+  const Mat data = dist_data();
+  FleetOptions options;
+  options.pipeline = dist_pipeline_options();
+  options.groups = core::contiguous_groups(data.rows(), 2);
+
+  FleetAssessment reference_fleet(options, data.rows());
+  MatChunkSource reference_source(data, 256, 64);
+  const auto reference = reference_fleet.run(reference_source);
+
+  // 5 ranks, 2 groups: ranks 2-4 own nothing but still participate in
+  // every collective (empty contributions) and return the full stream.
+  expect_snapshots_equal(run_distributed(data, options, 5), reference);
+}
+
+TEST(DistributedFleet, CheckpointBytesAreRankCountInvariant) {
+  const Mat data = dist_data();
+  const auto groups = core::contiguous_groups(data.rows(), 5);
+
+  // Single-process reference bytes after two chunks.
+  FleetOptions options;
+  options.pipeline = dist_pipeline_options();
+  options.groups = groups;
+  FleetAssessment reference_fleet(options, data.rows());
+  MatChunkSource reference_source(data, 256, 64);
+  reference_fleet.run(reference_source, 2);
+  std::stringstream reference_buffer;
+  core::save_fleet_checkpoint(reference_buffer, reference_fleet);
+  const std::string reference_bytes = reference_buffer.str();
+  ASSERT_FALSE(reference_bytes.empty());
+
+  for (const int ranks : {1, 2, 4}) {
+    dist::World world(ranks);
+    std::string bytes;
+    world.run([&](dist::Communicator& comm) {
+      DistributedFleetAssessment fleet(comm, options, data.rows());
+      std::optional<MatChunkSource> source;
+      if (comm.rank() == 0) source.emplace(data, 256, 64);
+      fleet.run(comm.rank() == 0 ? &*source : nullptr, 2);
+      std::ostringstream buffer;
+      core::save_distributed_fleet_checkpoint(
+          comm.rank() == 0 ? &buffer : nullptr, fleet);
+      if (comm.rank() == 0) bytes = std::move(buffer).str();
+    });
+    EXPECT_EQ(bytes, reference_bytes) << "ranks=" << ranks;
+  }
+}
+
+TEST(DistributedFleet, ResumesAcrossRankCounts) {
+  const Mat data = dist_data();
+  const auto groups = core::contiguous_groups(data.rows(), 5);
+  FleetOptions options;
+  options.pipeline = dist_pipeline_options();
+  options.groups = groups;
+
+  const auto reference = run_distributed(data, options, 1);
+  ASSERT_EQ(reference.size(), 3u);
+
+  // Kill after one chunk at 2 ranks, keeping the checkpoint bytes.
+  std::string bytes;
+  std::uint64_t position = 0;
+  {
+    dist::World world(2);
+    world.run([&](dist::Communicator& comm) {
+      DistributedFleetAssessment fleet(comm, options, data.rows());
+      std::optional<MatChunkSource> source;
+      if (comm.rank() == 0) source.emplace(data, 256, 64);
+      fleet.run(comm.rank() == 0 ? &*source : nullptr, 1);
+      std::ostringstream buffer;
+      core::save_distributed_fleet_checkpoint(
+          comm.rank() == 0 ? &buffer : nullptr, fleet);
+      if (comm.rank() == 0) {
+        bytes = std::move(buffer).str();
+        position = fleet.snapshots_processed();
+      }
+    });
+  }
+  ASSERT_EQ(position, 256u);
+
+  // Resume at 3 ranks (and at 1): the continued stream is bitwise
+  // identical to the uninterrupted run.
+  for (const int resume_ranks : {1, 3}) {
+    dist::World world(resume_ranks);
+    std::vector<std::vector<FleetSnapshot>> per_rank(
+        static_cast<std::size_t>(resume_ranks));
+    world.run([&](dist::Communicator& comm) {
+      std::stringstream in(bytes);
+      core::RestoredDistributedFleet restored =
+          core::load_distributed_fleet_checkpoint(in, comm);
+      EXPECT_EQ(restored.fleet.chunks_processed(), 1u);
+      EXPECT_EQ(restored.stream_position, position);
+      std::optional<MatChunkSource> source;
+      if (comm.rank() == 0) {
+        source.emplace(data, 256, 64);
+        source->seek(static_cast<std::size_t>(restored.stream_position));
+      }
+      per_rank[static_cast<std::size_t>(comm.rank())] = restored.fleet.run(
+          comm.rank() == 0 ? &*source : nullptr);
+    });
+    for (const auto& snapshots : per_rank) {
+      ASSERT_EQ(snapshots.size(), 2u);
+      for (std::size_t i = 0; i < snapshots.size(); ++i) {
+        expect_bitwise_equal(snapshots[i].zscores.zscores,
+                             reference[1 + i].zscores.zscores);
+        expect_bitwise_equal(snapshots[i].magnitudes,
+                             reference[1 + i].magnitudes);
+        EXPECT_EQ(snapshots[i].chunk_index, reference[1 + i].chunk_index);
+      }
+    }
+  }
+}
+
+TEST(DistributedFleet, PeriodicCheckpointHookWritesThroughRankZero) {
+  const Mat data = dist_data();
+  const std::string path = ::testing::TempDir() + "/dist_fleet.ckpt";
+  FleetOptions options;
+  options.pipeline = dist_pipeline_options();
+  options.groups = core::contiguous_groups(data.rows(), 3);
+  options.checkpoint.every_n = 1;
+  options.checkpoint.path = path;
+
+  const auto reference = run_distributed(data, options, 2);
+  ASSERT_EQ(reference.size(), 3u);
+
+  // The file holds the final complete state and loads through the plain
+  // single-process path too (the container is the same IMRDFL1).
+  core::RestoredFleet restored = core::load_fleet_checkpoint_file(path);
+  EXPECT_EQ(restored.fleet.chunks_processed(), 3u);
+  EXPECT_EQ(restored.stream_position, 384u);
+  std::remove(path.c_str());
+}
+
+TEST(DistributedFleet, ChunkWidthDisagreementFailsEveryRankTogether) {
+  const Mat data = dist_data();
+  FleetOptions options;
+  options.pipeline = dist_pipeline_options();
+  options.groups = core::contiguous_groups(data.rows(), 3);
+
+  // Must complete (no deadlock) and surface InvalidArgument, not a
+  // secondary CollectiveAborted: every rank sees the same min/max width
+  // and unwinds from the same check.
+  dist::World world(3);
+  EXPECT_THROW(
+      world.run([&](dist::Communicator& comm) {
+        DistributedFleetAssessment fleet(comm, options, data.rows());
+        const std::size_t width = comm.rank() == 1 ? 128u : 256u;
+        fleet.process(data.block(0, 0, data.rows(), width));
+      }),
+      InvalidArgument);
+}
+
+TEST(DistributedFleet, ChunkContentDisagreementFailsEveryRankTogether) {
+  // Same width, different bytes: without the content digest in the
+  // agreement check the ranks would fit different data and silently
+  // desync their replicated z-score stages.
+  const Mat data = dist_data();
+  FleetOptions options;
+  options.pipeline = dist_pipeline_options();
+  options.groups = core::contiguous_groups(data.rows(), 3);
+
+  dist::World world(3);
+  EXPECT_THROW(
+      world.run([&](dist::Communicator& comm) {
+        DistributedFleetAssessment fleet(comm, options, data.rows());
+        Mat chunk = data.block(0, 0, data.rows(), 256);
+        if (comm.rank() == 2) chunk(3, 7) += 1e-9;
+        fleet.process(chunk);
+      }),
+      InvalidArgument);
+}
+
+TEST(DistributedFleet, SourceOutsideRankZeroIsRejected) {
+  const Mat data = dist_data();
+  FleetOptions options;
+  options.pipeline = dist_pipeline_options();
+
+  dist::World world(2);
+  EXPECT_THROW(
+      world.run([&](dist::Communicator& comm) {
+        DistributedFleetAssessment fleet(comm, options, data.rows());
+        // Both ranks pass a source; rank 1 must refuse before any
+        // collective, and rank 0 unwinds via the poisoned broadcast.
+        MatChunkSource source(data, 256, 64);
+        fleet.run(&source);
+      }),
+      InvalidArgument);
+}
+
+TEST(DistributedFleet, RejectsMalformedPartitionsAndChunks) {
+  const Mat data = dist_data();
+  dist::World world(2);
+  world.run([&](dist::Communicator& comm) {
+    FleetOptions bad;
+    bad.pipeline = dist_pipeline_options();
+    bad.groups = {{0, 1}, {1, 2}};  // overlap
+    EXPECT_THROW(DistributedFleetAssessment(comm, bad, 3), InvalidArgument);
+
+    FleetOptions options;
+    options.pipeline = dist_pipeline_options();
+    DistributedFleetAssessment fleet(comm, options, data.rows());
+    // Local validation fires before any collective, so every rank throws
+    // on its own copy of the malformed chunk.
+    EXPECT_THROW(fleet.process(Mat(data.rows(), 0)), InvalidArgument);
+    EXPECT_THROW(fleet.process(Mat(data.rows() + 1, 64)), InvalidArgument);
+  });
+}
+
+}  // namespace
+}  // namespace imrdmd

@@ -170,6 +170,48 @@ TEST(Communicator, AllgatherConcatenatesInRankOrder) {
   });
 }
 
+TEST(Communicator, AllgathervPreservesRankBoundaries) {
+  // The flat allgather erases where one rank's contribution ends and the
+  // next begins — for legitimately ragged payloads (and for callers that
+  // must VALIDATE an assumed-uniform length) allgatherv keeps the per-rank
+  // structure. Rank r contributes r values here, including the empty
+  // contribution from rank 0.
+  dist::World world(4);
+  world.run([&](dist::Communicator& comm) {
+    std::vector<double> local(static_cast<std::size_t>(comm.rank()),
+                              10.0 * comm.rank());
+    const auto all =
+        comm.allgatherv(std::span<const double>(local.data(), local.size()));
+    ASSERT_EQ(all.size(), 4u);
+    for (std::size_t r = 0; r < all.size(); ++r) {
+      ASSERT_EQ(all[r].size(), r) << "rank " << r;
+      for (double v : all[r]) EXPECT_EQ(v, 10.0 * static_cast<double>(r));
+    }
+  });
+}
+
+TEST(Communicator, GathervOnlyRootReceivesWithBoundaries) {
+  dist::World world(3);
+  world.run([&](dist::Communicator& comm) {
+    std::vector<double> local(static_cast<std::size_t>(comm.rank()) + 1,
+                              static_cast<double>(comm.rank()));
+    const auto all =
+        comm.gatherv(std::span<const double>(local.data(), local.size()), 1);
+    if (comm.rank() == 1) {
+      ASSERT_EQ(all.size(), 3u);
+      for (std::size_t r = 0; r < 3; ++r) {
+        ASSERT_EQ(all[r].size(), r + 1);
+        EXPECT_EQ(all[r].front(), static_cast<double>(r));
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+    EXPECT_THROW(
+        comm.gatherv(std::span<const double>(local.data(), local.size()), 7),
+        InvalidArgument);
+  });
+}
+
 TEST(Communicator, GatherOnlyRootReceives) {
   dist::World world(3);
   world.run([&](dist::Communicator& comm) {
@@ -237,6 +279,31 @@ TEST_P(TsqrRanks, MatchesSerialQr) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Ranks, TsqrRanks, ::testing::Values(1, 2, 3, 4, 7));
+
+TEST(TsqrRaggedAudit, ColumnCountDisagreementFailsEveryRankWithoutDeadlock) {
+  // Regression for the uniform-length allgather assumption: tsqr gathers
+  // the per-rank R factors and used to validate only the flat TOTAL
+  // length, so a rank disagreeing on the column count relied on the
+  // lengths not conspiring to match. With allgatherv each rank's block is
+  // checked individually — every rank must unwind with DimensionError
+  // (identical validation on identical slots) and the run must complete
+  // rather than deadlock.
+  dist::World world(3);
+  std::atomic<int> failures{0};
+  EXPECT_THROW(world.run([&](dist::Communicator& comm) {
+                 Rng rng(static_cast<std::uint64_t>(300 + comm.rank()));
+                 const std::size_t cols = comm.rank() == 1 ? 3 : 4;
+                 const Mat local = random_matrix(16, cols, rng);
+                 try {
+                   isvd::tsqr(comm, local);
+                 } catch (const DimensionError&) {
+                   failures.fetch_add(1);
+                   throw;
+                 }
+               }),
+               DimensionError);
+  EXPECT_EQ(failures.load(), 3);
+}
 
 }  // namespace
 }  // namespace imrdmd
