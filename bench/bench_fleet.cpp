@@ -20,6 +20,7 @@
 #include "bench_util.hpp"
 #include "common/json.hpp"
 #include "common/timer.hpp"
+#include "core/assessor.hpp"
 #include "core/fleet.hpp"
 #include "dist/communicator.hpp"
 
@@ -184,6 +185,53 @@ int main(int argc, char** argv) try {
   std::printf("rank-count invariant vs single-process: %s\n",
               rank_invariant ? "yes" : "NO");
 
+  // Prefetch-depth curve: the unified Assessor's bounded ingestion queue
+  // over the same fixed partition at a fixed lane count. Depth 0 is fully
+  // synchronous, 1 the classic double buffer, deeper queues smooth bursty
+  // sources; the last-chunk z-scores must stay bitwise identical to the
+  // shard runs above at every depth (the gate this bench exits nonzero
+  // on).
+  std::printf("\nprefetch depth (4 lanes, bounded queue):\n");
+  const std::size_t depth_lanes = std::min<std::size_t>(4, group_count);
+  std::vector<ShardResult> depth_results;
+  bool depth_invariant = true;
+  for (const std::size_t depth : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{2}, std::size_t{4}}) {
+    ShardResult result;
+    result.shards = depth;
+    double total_seconds = 0.0;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      core::AssessorConfig config;
+      config.pipeline_options.imrdmd.mrdmd.max_levels = 4;
+      config.pipeline_options.imrdmd.mrdmd.dt = 15.0;
+      config.pipeline_options.baseline = {40.0, 60.0};
+      config.sharded(groups, depth_lanes).sensors(sensors);
+      config.ingest_options.prefetch_depth = depth;
+      core::Assessor assessor(config);
+      core::MatrixChunkSource source(data, initial, chunk);
+      core::CollectingSink sink;
+      WallTimer timer;
+      assessor.run(source, sink);
+      total_seconds += timer.seconds();
+      if (rep + 1 == repeats) {
+        const auto& z = sink.snapshots().back().zscores.zscores;
+        for (std::size_t i = 0; i < z.size(); ++i) {
+          if (z[i] != reference_z[i]) depth_invariant = false;
+        }
+      }
+    }
+    result.seconds = total_seconds / static_cast<double>(repeats);
+    result.chunks_per_sec =
+        static_cast<double>(1 + stream_chunks) / result.seconds;
+    result.snapshots_per_sec = static_cast<double>(total) / result.seconds;
+    depth_results.push_back(result);
+    std::printf("  depth=%-3zu  %8.3f s  %8.2f chunks/sec  %10.0f snaps/sec\n",
+                result.shards, result.seconds, result.chunks_per_sec,
+                result.snapshots_per_sec);
+  }
+  std::printf("prefetch-depth invariant vs shard runs: %s\n",
+              depth_invariant ? "yes" : "NO");
+
   JsonWriter json;
   json.begin_object();
   json.field("bench", "fleet");
@@ -226,12 +274,25 @@ int main(int argc, char** argv) try {
   }
   json.end_array();
   json.field("rank_count_invariant", rank_invariant);
+  json.key("prefetch_curve");
+  json.begin_array();
+  for (const ShardResult& r : depth_results) {
+    json.begin_object();
+    json.field("prefetch_depth", r.shards);
+    json.field("seconds", r.seconds);
+    json.field("chunks_per_sec", r.chunks_per_sec);
+    json.field("snapshots_per_sec", r.snapshots_per_sec);
+    json.field("speedup_vs_sync", depth_results.front().seconds / r.seconds);
+    json.end_object();
+  }
+  json.end_array();
+  json.field("prefetch_depth_invariant", depth_invariant);
   json.end_object();
   const std::string path = args.out_dir + "/BENCH_fleet.json";
   json.write_file(path);
   std::printf("wrote %s\n", path.c_str());
 
-  return invariant && rank_invariant ? 0 : 1;
+  return invariant && rank_invariant && depth_invariant ? 0 : 1;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

@@ -9,8 +9,10 @@
 #include <cstdio>
 #include <vector>
 
+#include "core/assessor.hpp"
 #include "core/imrdmd.hpp"
 #include "core/mrdmd.hpp"
+#include "core/sinks.hpp"
 #include "linalg/blas.hpp"
 #include "rack/render.hpp"
 
@@ -98,5 +100,34 @@ int main() {
   std::printf("per-sensor mode magnitude (first 8 sensors):");
   for (std::size_t p = 0; p < 8; ++p) std::printf(" %.2f", magnitudes[p]);
   std::printf("\n");
+
+  // --- Streaming assessment via the unified Assessor API ---------------
+  // One engine behind every topology: configure it (monolithic here; see
+  // examples/fleet_monitor.cpp for the sharded and distributed spellings),
+  // then stream chunks through it and consume snapshots through a
+  // SnapshotSink instead of accumulating a vector.
+  const linalg::Mat stream = make_signal(sensors, 768);
+  core::AssessorConfig config;
+  core::PipelineOptions pipeline;
+  pipeline.imrdmd.mrdmd.max_levels = 5;
+  pipeline.imrdmd.mrdmd.max_cycles = 2;
+  pipeline.imrdmd.mrdmd.dt = 1.0;
+  pipeline.baseline = {45.0, 55.0};  // the toy signal idles around 50
+  config.pipeline(pipeline).monolithic();
+  core::Assessor assessor(config);
+
+  core::MatrixChunkSource chunks(stream, 512, 128);
+  core::LatestOnlySink latest;  // bounded memory, any stream length
+  const core::RunSummary summary = assessor.run(chunks, latest);
+  std::printf(
+      "\nAssessor streamed %zu chunks (%zu snapshots); latest census: "
+      "%zu hot / %zu near-baseline of %zu sensors\n",
+      summary.chunks, summary.snapshots,
+      latest.latest()->zscores.sensors_in_state(core::ThermalState::Hot)
+          .size(),
+      latest.latest()
+          ->zscores.sensors_in_state(core::ThermalState::NearBaseline)
+          .size(),
+      latest.latest()->zscores.zscores.size());
   return 0;
 }

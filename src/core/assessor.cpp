@@ -1,0 +1,702 @@
+#include "core/assessor.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/checkpoint.hpp"
+
+namespace imrdmd::core {
+
+namespace {
+
+/// Gathers the rows listed in `group` out of `chunk` (group order).
+Mat gather_rows(const Mat& chunk, const std::vector<std::size_t>& group) {
+  Mat out(group.size(), chunk.cols());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const double* src = chunk.data() + group[i] * chunk.cols();
+    std::copy(src, src + chunk.cols(), out.data() + i * chunk.cols());
+  }
+  return out;
+}
+
+/// The groups must partition [0, sensors) exactly: every magnitude slot is
+/// written once, so the merged vectors are total and unambiguous.
+void validate_partition(const std::vector<std::vector<std::size_t>>& groups,
+                        std::size_t sensors) {
+  std::vector<bool> covered(sensors, false);
+  for (const auto& group : groups) {
+    IMRDMD_REQUIRE_ARG(!group.empty(), "assessor group is empty");
+    for (std::size_t p : group) {
+      IMRDMD_REQUIRE_ARG(p < sensors,
+                         "assessor group sensor index out of range");
+      IMRDMD_REQUIRE_ARG(!covered[p], "assessor groups overlap");
+      covered[p] = true;
+    }
+  }
+  IMRDMD_REQUIRE_ARG(
+      std::all_of(covered.begin(), covered.end(), [](bool c) { return c; }),
+      "assessor groups do not cover every sensor");
+}
+
+/// Doubles a PartialFitReport travels the wire as. The counters are exact
+/// through double for any realistic stream (< 2^53 snapshots), so the
+/// gathered reports compare bitwise-equal to the single-process engine's.
+constexpr std::size_t kReportWords = 8;
+
+void encode_report(std::vector<double>& out, const PartialFitReport& report) {
+  out.push_back(static_cast<double>(report.new_snapshots));
+  out.push_back(static_cast<double>(report.total_snapshots));
+  out.push_back(report.drift_grid);
+  out.push_back(report.drift_estimate);
+  out.push_back(report.drift_exceeded ? 1.0 : 0.0);
+  out.push_back(report.recomputed ? 1.0 : 0.0);
+  out.push_back(static_cast<double>(report.new_nodes));
+  out.push_back(static_cast<double>(report.new_grid_columns));
+}
+
+PartialFitReport decode_report(const double* words) {
+  PartialFitReport report;
+  report.new_snapshots = static_cast<std::size_t>(words[0]);
+  report.total_snapshots = static_cast<std::size_t>(words[1]);
+  report.drift_grid = words[2];
+  report.drift_estimate = words[3];
+  report.drift_exceeded = words[4] != 0.0;
+  report.recomputed = words[5] != 0.0;
+  report.new_nodes = static_cast<std::size_t>(words[6]);
+  report.new_grid_columns = static_cast<std::size_t>(words[7]);
+  return report;
+}
+
+/// Order-sensitive fold of the chunk's raw bit patterns, squashed into the
+/// mantissa of a normal double in [1, 2) so it travels any collective
+/// without NaN/Inf hazards. Used to verify SPMD chunk agreement: two ranks
+/// disagreeing on the chunk CONTENT (not just its shape) would silently
+/// desync their replicated z-score stages otherwise.
+double chunk_digest(const Mat& chunk) {
+  std::uint64_t acc = 0x9e3779b97f4a7c15ull;
+  const double* data = chunk.data();
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    std::uint64_t bits;
+    std::memcpy(&bits, data + i, sizeof bits);
+    acc ^= bits + 0x9e3779b97f4a7c15ull + (acc << 6) + (acc >> 2);
+  }
+  acc = (acc & 0x000fffffffffffffull) | 0x3ff0000000000000ull;
+  double digest;
+  std::memcpy(&digest, &acc, sizeof digest);
+  return digest;
+}
+
+/// The backpressure-aware ingestion queue: one producer thread pulls chunks
+/// from the source into a bounded queue of `depth` slots, blocking while
+/// the queue is full (so a bursty source never runs more than `depth`
+/// chunks ahead of compute) and stopping once `budget` chunks have been
+/// pulled (so a chunk-bounded run never over-consumes the source). The
+/// producer is deliberately NOT a pool task: sources are free to use
+/// parallel_for themselves, and a pool task fanning back out onto its own
+/// pool would block a worker on work only that worker can run.
+///
+/// A pulled chunk is never dropped: drain() stops the producer and returns
+/// every chunk that was queued but not yet popped, in pull order, so the
+/// run loop can park them for the next call.
+class ChunkPrefetcher {
+ public:
+  ChunkPrefetcher(ChunkSource& source, std::size_t depth, std::size_t budget)
+      : source_(source),
+        depth_(std::max<std::size_t>(depth, 1)),
+        budget_(budget) {
+    worker_ = std::thread([this] { produce(); });
+  }
+
+  ~ChunkPrefetcher() { stop_and_join(); }
+
+  ChunkPrefetcher(const ChunkPrefetcher&) = delete;
+  ChunkPrefetcher& operator=(const ChunkPrefetcher&) = delete;
+
+  /// Next chunk in stream order; blocks until the producer has one.
+  /// Returns nullopt at end of stream (or once the pull budget is spent —
+  /// the caller's own stop condition fires first by construction).
+  /// Rethrows a source exception at the position it occurred.
+  std::optional<Mat> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    data_cv_.wait(lock, [this] {
+      return !queue_.empty() || error_ != nullptr || done_;
+    });
+    if (!queue_.empty()) {
+      Mat chunk = std::move(queue_.front());
+      queue_.pop_front();
+      room_cv_.notify_all();
+      return chunk;
+    }
+    if (error_ != nullptr) {
+      std::rethrow_exception(std::exchange(error_, nullptr));
+    }
+    return std::nullopt;
+  }
+
+  /// Stops the producer and returns the chunks it pulled but the caller
+  /// never popped, in pull order.
+  std::deque<Mat> drain() {
+    stop_and_join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::exchange(queue_, {});
+  }
+
+ private:
+  void produce() {
+    try {
+      while (true) {
+        {
+          std::unique_lock<std::mutex> lock(mutex_);
+          room_cv_.wait(lock,
+                        [this] { return stop_ || queue_.size() < depth_; });
+          if (stop_ || pulled_ >= budget_) break;
+        }
+        // Pull outside the lock; the chunk is pushed unconditionally
+        // afterwards so a stop request can never discard a consumed chunk.
+        std::optional<Mat> chunk = source_.next_chunk();
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++pulled_;
+        if (!chunk.has_value()) break;
+        queue_.push_back(std::move(*chunk));
+        data_cv_.notify_all();
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      error_ = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_ = true;
+    data_cv_.notify_all();
+  }
+
+  void stop_and_join() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+      room_cv_.notify_all();
+    }
+    if (worker_.joinable()) worker_.join();
+  }
+
+  ChunkSource& source_;
+  const std::size_t depth_;
+  const std::size_t budget_;
+  std::thread worker_;
+  std::mutex mutex_;
+  std::condition_variable data_cv_;
+  std::condition_variable room_cv_;
+  std::deque<Mat> queue_;
+  std::exception_ptr error_;
+  std::size_t pulled_ = 0;
+  bool stop_ = false;
+  bool done_ = false;
+};
+
+}  // namespace
+
+MagnitudeUpdate update_magnitudes(IncrementalMrdmd& model, const Mat& chunk,
+                                  const dmd::ModeBand& band) {
+  MagnitudeUpdate update;
+  WallTimer timer;
+  if (!model.fitted()) {
+    model.initial_fit(chunk);
+  } else {
+    update.report = model.partial_fit(chunk);
+  }
+  update.fit_seconds = timer.seconds();
+  update.magnitudes = model.magnitudes(&band);
+  update.sensor_means = row_means(chunk);
+  return update;
+}
+
+Assessor::Assessor(AssessorConfig config)
+    : config_(std::move(config)),
+      comm_(config_.comm),
+      zscore_stage_(config_.pipeline_options.baseline,
+                    config_.pipeline_options.zscore,
+                    config_.pipeline_options.reselect_baseline_per_chunk) {
+  // A checkpoint policy armed without a destination would silently never
+  // write anything; fail fast at configuration time instead.
+  IMRDMD_REQUIRE_ARG(
+      config_.checkpoint_policy.every_n == 0 ||
+          !config_.checkpoint_policy.path.empty(),
+      "checkpoint policy armed (every_n > 0) without a path — the policy "
+      "would be silently disarmed; set a path or every_n = 0");
+  if (config_.sensor_count == 0) {
+    // Deferred sensor count: only the single-process monolithic topology
+    // can infer P from the first chunk (a sharded partition names sensor
+    // indices up front, and distributed peers size their replica buffers
+    // from P before any data arrives).
+    IMRDMD_REQUIRE_ARG(
+        config_.groups.empty() && comm_ == nullptr,
+        "sensor count is required for the sharded and distributed "
+        "topologies (only the monolithic topology can infer it from the "
+        "first chunk)");
+    local_begin_ = 0;
+    local_end_ = 1;
+    lanes_ = 1;
+    identity_partition_ = true;
+    models_.push_back(
+        std::make_unique<IncrementalMrdmd>(config_.pipeline_options.imrdmd));
+  } else {
+    finalize_topology(config_.sensor_count);
+  }
+}
+
+void Assessor::finalize_topology(std::size_t sensors) {
+  IMRDMD_REQUIRE_ARG(sensors > 0, "assessor needs at least one sensor");
+  sensors_ = sensors;
+  groups_ = config_.groups;
+  if (groups_.empty()) {
+    groups_ = contiguous_groups(sensors_, 1);
+  }
+  validate_partition(groups_, sensors_);
+  if (groups_.size() == 1) {
+    identity_partition_ = true;
+    for (std::size_t i = 0; i < groups_[0].size(); ++i) {
+      if (groups_[0][i] != i) identity_partition_ = false;
+    }
+  }
+
+  if (comm_ != nullptr) {
+    const auto range = rank_group_range(
+        groups_.size(), static_cast<std::size_t>(comm_->size()),
+        static_cast<std::size_t>(comm_->rank()));
+    local_begin_ = range.first;
+    local_end_ = range.second;
+  } else {
+    local_begin_ = 0;
+    local_end_ = groups_.size();
+  }
+  const std::size_t local_count = local_end_ - local_begin_;
+
+  // Lane count is a *local* knob: each process spreads only its own
+  // groups. A rank owning no groups still participates in every collective
+  // with an empty contribution.
+  lanes_ = config_.lanes == 0 ? std::max<std::size_t>(local_count, 1)
+                              : config_.lanes;
+  lanes_ = std::min(lanes_, std::max<std::size_t>(local_count, 1));
+
+  ImrdmdOptions model_options = config_.pipeline_options.imrdmd;
+  // A single lane runs on the caller thread, where the model may keep its
+  // parallel-bin fits (bitwise serial-identical per the determinism suite);
+  // with real lanes the updates are pool tasks and must not nest the pool.
+  if (lanes_ > 1) model_options.mrdmd.parallel_bins = false;
+  // The deferred-monolithic constructor path already created the single
+  // model (so model() works before the first chunk, like the legacy
+  // pipeline); every other path creates the owned models here.
+  if (models_.empty()) {
+    models_.reserve(local_count);
+    for (std::size_t l = 0; l < local_count; ++l) {
+      models_.push_back(std::make_unique<IncrementalMrdmd>(model_options));
+    }
+  }
+}
+
+ThreadPool& Assessor::pool() const {
+  return config_.worker_pool != nullptr ? *config_.worker_pool
+                                        : global_pool();
+}
+
+const IncrementalMrdmd& Assessor::model(std::size_t group) const {
+  IMRDMD_REQUIRE_ARG(group >= local_begin_ && group < local_end_,
+                     "this process does not own the requested group");
+  return *models_[group - local_begin_];
+}
+
+void Assessor::update_local_groups(const Mat& chunk,
+                                   std::vector<MagnitudeUpdate>& updates) {
+  const std::size_t local_count = local_end_ - local_begin_;
+  run_lanes(
+      lanes_,
+      [this, &chunk, &updates, local_count](std::size_t lane) {
+        for (std::size_t l = lane; l < local_count; l += lanes_) {
+          // The identity partition (one group of all sensors, in order)
+          // feeds the chunk straight through — no per-chunk gather copy.
+          updates[l] =
+              identity_partition_
+                  ? update_magnitudes(*models_[l], chunk,
+                                      config_.pipeline_options.band)
+                  : update_magnitudes(
+                        *models_[l],
+                        gather_rows(chunk, groups_[local_begin_ + l]),
+                        config_.pipeline_options.band);
+        }
+      },
+      &pool());
+}
+
+AssessmentSnapshot Assessor::process(const Mat& chunk) {
+  if (sensors_ == 0) finalize_topology(chunk.rows());
+  IMRDMD_REQUIRE_ARG(chunk.cols() > 0,
+                     "assessor chunk has no snapshot columns");
+  IMRDMD_REQUIRE_ARG(
+      chunk.rows() == sensors_,
+      "assessor chunk row count differs from the configured sensors");
+
+  if (comm_ != nullptr) {
+    // SPMD agreement: every rank must be processing the same chunk — width
+    // AND content (a content disagreement would silently desync the
+    // replicated z-score stages). One allgather shows every rank every
+    // peer's (width, digest); on any disagreement every rank sees the same
+    // slots and finds some slot differing from its own, so all ranks throw
+    // together instead of deadlocking in a later collective.
+    const double meta[2] = {static_cast<double>(chunk.cols()),
+                            chunk_digest(chunk)};
+    const std::vector<std::vector<double>> metas =
+        comm_->allgatherv(std::span<const double>(meta, 2));
+    for (const auto& slot : metas) {
+      if (slot.size() != 2 ||
+          std::memcmp(slot.data(), meta, sizeof meta) != 0) {
+        throw InvalidArgument(
+            "distributed assessor ranks disagree on the chunk (width or "
+            "content)");
+      }
+    }
+  }
+
+  AssessmentSnapshot snapshot;
+  snapshot.chunk_index = chunks_processed_;
+  snapshot.chunk_snapshots = chunk.cols();
+
+  WallTimer timer;
+  const std::size_t local_count = local_end_ - local_begin_;
+  std::vector<MagnitudeUpdate> updates(local_count);
+  update_local_groups(chunk, updates);
+
+  snapshot.magnitudes.assign(sensors_, 0.0);
+  snapshot.sensor_means.assign(sensors_, 0.0);
+  if (comm_ == nullptr) {
+    // Merge in deterministic group order: scatter each group's magnitudes
+    // and means back to machine sensor indices, then reconcile globally.
+    snapshot.reports.reserve(groups_.size());
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      const auto& group = groups_[g];
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        snapshot.magnitudes[group[i]] = updates[g].magnitudes[i];
+        snapshot.sensor_means[group[i]] = updates[g].sensor_means[i];
+      }
+      snapshot.reports.push_back(updates[g].report);
+    }
+  } else {
+    // One ragged allgather carries this rank's whole contribution: for
+    // each owned group, in global group order, [magnitudes | sensor_means
+    // | report]. Boundaries are recovered from the shared ownership map,
+    // so every rank decodes the identical global sequence.
+    std::vector<double> local_blob;
+    std::size_t local_values = 0;
+    for (std::size_t l = 0; l < local_count; ++l) {
+      local_values += groups_[local_begin_ + l].size();
+    }
+    local_blob.reserve(2 * local_values + kReportWords * local_count);
+    for (std::size_t l = 0; l < local_count; ++l) {
+      local_blob.insert(local_blob.end(), updates[l].magnitudes.begin(),
+                        updates[l].magnitudes.end());
+      local_blob.insert(local_blob.end(), updates[l].sensor_means.begin(),
+                        updates[l].sensor_means.end());
+      encode_report(local_blob, updates[l].report);
+    }
+    const std::vector<std::vector<double>> blobs = comm_->allgatherv(
+        std::span<const double>(local_blob.data(), local_blob.size()));
+
+    snapshot.reports.resize(groups_.size());
+    const std::size_t ranks = static_cast<std::size_t>(comm_->size());
+    for (std::size_t r = 0; r < ranks; ++r) {
+      const auto range = rank_group_range(groups_.size(), ranks, r);
+      const std::vector<double>& blob = blobs[r];
+      std::size_t expected = 0;
+      for (std::size_t g = range.first; g < range.second; ++g) {
+        expected += 2 * groups_[g].size() + kReportWords;
+      }
+      IMRDMD_REQUIRE_DIMS(
+          blob.size() == expected,
+          "distributed assessor rank contribution has the wrong length");
+      const double* cursor = blob.data();
+      for (std::size_t g = range.first; g < range.second; ++g) {
+        const auto& group = groups_[g];
+        for (std::size_t i = 0; i < group.size(); ++i) {
+          snapshot.magnitudes[group[i]] = cursor[i];
+          snapshot.sensor_means[group[i]] = cursor[group.size() + i];
+        }
+        snapshot.reports[g] = decode_report(cursor + 2 * group.size());
+        cursor += 2 * group.size() + kReportWords;
+      }
+    }
+  }
+  snapshot.total_snapshots = snapshots_seen_ + chunk.cols();
+  snapshot.fit_seconds = timer.seconds();
+
+  snapshot.zscores = zscore_stage_.apply(
+      std::span<const double>(snapshot.magnitudes.data(),
+                              snapshot.magnitudes.size()),
+      std::span<const double>(snapshot.sensor_means.data(),
+                              snapshot.sensor_means.size()));
+
+  snapshots_seen_ += chunk.cols();
+  ++chunks_processed_;
+  return snapshot;
+}
+
+bool Assessor::deliver(SnapshotSink& sink, AssessmentSnapshot&& snapshot,
+                       RunSummary& summary) {
+  const std::size_t cols = snapshot.chunk_snapshots;
+  bool keep_going = true;
+  try {
+    keep_going = sink.on_snapshot(std::move(snapshot));
+  } catch (...) {
+    // Exactly-once across runs: the chunk is already folded into the
+    // models, so the snapshot cannot be regenerated — park it for the next
+    // run's sink instead of losing it with the unwind. (An observing sink
+    // leaves the snapshot untouched through the default rvalue forwarder;
+    // see SnapshotSink::on_snapshot.)
+    parked_snapshots_.push_back(std::move(snapshot));
+    throw;
+  }
+  ++summary.chunks;
+  summary.snapshots += cols;
+  return keep_going;
+}
+
+void Assessor::maybe_checkpoint(SnapshotSink& sink, std::size_t chunk_index) {
+  const CheckpointPolicy& policy = config_.checkpoint_policy;
+  if (policy.every_n == 0 || chunks_processed_ % policy.every_n != 0) return;
+  save_assessor_checkpoint_file(policy.path, *this);
+  sink.on_checkpoint_written(policy.path, chunk_index);
+}
+
+RunSummary Assessor::run(ChunkSource& source, SnapshotSink& sink) {
+  return run_until(&source, sink, StopCondition{});
+}
+
+RunSummary Assessor::run_until(ChunkSource& source, SnapshotSink& sink,
+                               const StopCondition& stop) {
+  return run_until(&source, sink, stop);
+}
+
+RunSummary Assessor::run_until(ChunkSource* source, SnapshotSink& sink,
+                               const StopCondition& stop) {
+  const bool root = comm_ == nullptr || comm_->rank() == 0;
+  if (comm_ != nullptr) {
+    IMRDMD_REQUIRE_ARG(root == (source != nullptr),
+                       "the chunk source lives on rank 0 only (pass nullptr "
+                       "on the other ranks)");
+  } else {
+    IMRDMD_REQUIRE_ARG(source != nullptr,
+                       "run needs a chunk source in the single-process "
+                       "topologies");
+  }
+  if (sensors_ == 0 && source != nullptr) {
+    finalize_topology(source->sensors());
+  }
+  // Fail fast on un-resumable checkpointing: an armed policy over a source
+  // that cannot report a position would write checkpoints that can never
+  // be seek'd on resume. Before anything is pulled, so nothing is lost.
+  if (source != nullptr && config_.checkpoint_policy.every_n > 0 &&
+      source->position() == ChunkSource::kUnknownPosition) {
+    throw InvalidArgument(
+        "checkpoint policy armed over a source that cannot report its "
+        "position — the checkpoint could never be resumed; implement "
+        "position()/seek() or disarm the policy");
+  }
+
+  WallTimer run_timer;
+  RunSummary summary;
+  const auto budget_hit = [&]() -> std::optional<StopReason> {
+    if (stop.max_chunks != 0 && summary.chunks >= stop.max_chunks) {
+      return StopReason::MaxChunks;
+    }
+    if (stop.max_snapshots != 0 && summary.snapshots >= stop.max_snapshots) {
+      return StopReason::MaxSnapshots;
+    }
+    return std::nullopt;
+  };
+
+  // Deliver snapshots parked by a previous run whose sink delivery threw:
+  // those chunks are folded into the models, so the results (alarms
+  // included) cannot be regenerated. They count toward this run's stop
+  // budgets, like the legacy drivers' parked-snapshot accounting.
+  while (!parked_snapshots_.empty()) {
+    if (const auto reason = budget_hit()) {
+      summary.reason = *reason;
+      sink.on_end(summary);
+      return summary;
+    }
+    AssessmentSnapshot snapshot = std::move(parked_snapshots_.front());
+    parked_snapshots_.pop_front();
+    const std::size_t cols = snapshot.chunk_snapshots;
+    bool keep_going = true;
+    try {
+      keep_going = sink.on_snapshot(std::move(snapshot));
+    } catch (...) {
+      // Still undelivered: back to the FRONT so order is preserved.
+      parked_snapshots_.push_front(std::move(snapshot));
+      throw;
+    }
+    ++summary.chunks;
+    summary.snapshots += cols;
+    if (!keep_going) {
+      summary.reason = StopReason::SinkRequest;
+      sink.on_end(summary);
+      return summary;
+    }
+  }
+
+  // The prefetch pull budget: of the chunks this run may still process,
+  // the parked carry chunks are consumed first — only the remainder may be
+  // pulled from the source (so a chunk-bounded run never over-consumes
+  // it). Budgets the chunk count cannot bound up front (snapshot columns,
+  // wall clock, sink stop) instead drain any over-pulled chunks back into
+  // the carry queue below.
+  std::unique_ptr<ChunkPrefetcher> prefetcher;
+  if (source != nullptr && config_.ingest_options.prefetch_depth > 0) {
+    std::size_t pull_budget = ~std::size_t{0};
+    if (stop.max_chunks != 0) {
+      const std::size_t chunk_budget = stop.max_chunks - summary.chunks;
+      pull_budget = chunk_budget > carry_chunks_.size()
+                        ? chunk_budget - carry_chunks_.size()
+                        : 0;
+    }
+    if (pull_budget > 0) {
+      prefetcher = std::make_unique<ChunkPrefetcher>(
+          *source, config_.ingest_options.prefetch_depth, pull_budget);
+    }
+  }
+  // No pulled chunk is ever dropped: on every exit path the chunks the
+  // prefetcher consumed but the loop never processed are parked, in
+  // order, for the next run.
+  const auto park_prefetched = [&] {
+    if (prefetcher == nullptr) return;
+    std::deque<Mat> leftovers = prefetcher->drain();
+    for (Mat& chunk : leftovers) carry_chunks_.push_back(std::move(chunk));
+    prefetcher.reset();
+  };
+  const auto pull_next = [&]() -> std::optional<Mat> {
+    if (!carry_chunks_.empty()) {
+      Mat chunk = std::move(carry_chunks_.front());
+      carry_chunks_.pop_front();
+      return chunk;
+    }
+    if (prefetcher != nullptr) return prefetcher->pop();
+    return source->next_chunk();
+  };
+
+  try {
+    while (true) {
+      if (const auto reason = budget_hit()) {
+        summary.reason = *reason;
+        break;
+      }
+      std::optional<Mat> current;
+      StopReason end_reason = StopReason::EndOfStream;
+      if (root) {
+        // Only the ingestion side evaluates the wall clock; in the
+        // distributed topology the verdict travels in the handshake so
+        // ranks never disagree on when the stream ends.
+        if (stop.max_seconds > 0.0 &&
+            run_timer.seconds() >= stop.max_seconds) {
+          end_reason = StopReason::Deadline;
+        } else {
+          current = pull_next();
+        }
+      }
+      if (comm_ != nullptr) {
+        // A zero-column chunk must fail like it does everywhere else
+        // (process() raises InvalidArgument) — never reach the handshake,
+        // where a width of 0 is the end-of-stream sentinel and would
+        // silently truncate the rest of the stream on every rank.
+        IMRDMD_REQUIRE_ARG(!current.has_value() || current->cols() > 0,
+                           "assessor chunk has no snapshot columns");
+        // Chunk handshake: rank 0 announces the next chunk's column count
+        // (0 = no more chunks, with the reason) so peers can size their
+        // replica before the data broadcast.
+        double meta[2] = {
+            root && current.has_value()
+                ? static_cast<double>(current->cols())
+                : 0.0,
+            static_cast<double>(static_cast<int>(end_reason))};
+        comm_->broadcast(std::span<double>(meta, 2), 0);
+        if (meta[0] == 0.0) {
+          summary.reason = static_cast<StopReason>(static_cast<int>(meta[1]));
+          break;
+        }
+        if (!root) {
+          current.emplace(sensors_, static_cast<std::size_t>(meta[0]));
+        }
+        // Replicate the chunk. A root chunk with the wrong row count makes
+        // the buffer sizes disagree, failing on every rank together.
+        comm_->broadcast(
+            std::span<double>(current->data(), current->size()), 0);
+      } else if (!current.has_value()) {
+        summary.reason = end_reason;
+        break;
+      }
+
+      AssessmentSnapshot snapshot = process(*current);
+      const std::size_t chunk_index = snapshot.chunk_index;
+      const bool keep_going = deliver(sink, std::move(snapshot), summary);
+      // Delivery-before-checkpoint: the sink has seen everything a
+      // checkpoint written here counts as past. A failed write parks the
+      // prefetched chunks like any other failure; the snapshot itself was
+      // already delivered, so retrying the run loses nothing.
+      maybe_checkpoint(sink, chunk_index);
+      if (!keep_going) {
+        summary.reason = StopReason::SinkRequest;
+        break;
+      }
+    }
+  } catch (...) {
+    park_prefetched();
+    throw;
+  }
+  park_prefetched();
+  sink.on_end(summary);
+  return summary;
+}
+
+std::vector<AssessmentSnapshot> run_collecting(
+    Assessor& engine, std::vector<AssessmentSnapshot>& carry,
+    ChunkSource* source, std::size_t max_chunks) {
+  if (max_chunks == 0 || carry.size() < max_chunks) {
+    CollectingSink sink(&carry);
+    StopCondition stop;
+    stop.max_chunks = max_chunks == 0 ? 0 : max_chunks - carry.size();
+    engine.run_until(source, sink, stop);
+  }
+  return std::exchange(carry, {});
+}
+
+std::vector<std::vector<std::size_t>> contiguous_groups(std::size_t sensors,
+                                                        std::size_t count) {
+  IMRDMD_REQUIRE_ARG(count > 0 && count <= sensors,
+                     "group count must be in [1, sensors]");
+  std::vector<std::vector<std::size_t>> groups(count);
+  const std::size_t base = sensors / count;
+  const std::size_t extra = sensors % count;
+  std::size_t next = 0;
+  for (std::size_t g = 0; g < count; ++g) {
+    const std::size_t size = base + (g < extra ? 1 : 0);
+    groups[g].reserve(size);
+    for (std::size_t i = 0; i < size; ++i) groups[g].push_back(next++);
+  }
+  return groups;
+}
+
+std::pair<std::size_t, std::size_t> rank_group_range(std::size_t groups,
+                                                     std::size_t ranks,
+                                                     std::size_t rank) {
+  IMRDMD_REQUIRE_ARG(ranks > 0, "rank_group_range needs at least one rank");
+  IMRDMD_REQUIRE_ARG(rank < ranks, "rank_group_range rank out of range");
+  const std::size_t base = groups / ranks;
+  const std::size_t extra = groups % ranks;
+  const std::size_t begin = rank * base + std::min(rank, extra);
+  return {begin, begin + base + (rank < extra ? 1 : 0)};
+}
+
+}  // namespace imrdmd::core

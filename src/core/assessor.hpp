@@ -1,0 +1,457 @@
+// The unified streaming assessment engine (paper Sec. I contribution list
+// and Sec. V): stream -> I-mrDMD -> frequency isolation -> baseline
+// z-scores, behind ONE run loop for every execution topology.
+//
+// The paper contributes one incremental assessment scheme; Peherstorfer et
+// al.'s multifidelity survey frames the monolithic, sharded, and
+// distributed deployments of it as the same scheme at different
+// fidelities/topologies. core::Assessor is that scheme as a single engine:
+//
+//   * an AssessorConfig builder selects the topology — monolithic() (one
+//     model over every sensor), sharded(groups, lanes) (one cheap model per
+//     sensor group, spread across worker lanes), distributed(comm) (groups
+//     spread across SPMD ranks) — plus the checkpoint and ingestion
+//     policies;
+//   * ONE run loop owns prefetch (a backpressure-aware depth-N bounded
+//     queue), the carry/parking no-data-loss discipline, and the periodic
+//     checkpoint hook, for all three topologies;
+//   * results stream out through a push-based SnapshotSink observer instead
+//     of an accumulated std::vector, so an unbounded stream runs in bounded
+//     memory (ROADMAP north star: millions of users, backpressure-aware
+//     ingestion).
+//
+// Invariance contract (tests/assessor_test.cpp + the legacy suites): for a
+// fixed group partition, snapshots are bitwise identical across lane
+// counts, rank counts, prefetch depths, and sync vs async ingestion — and
+// identical to the three legacy drivers (OnlineAssessmentPipeline,
+// FleetAssessment, DistributedFleetAssessment), which are thin shims over
+// this engine.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/imrdmd.hpp"
+#include "core/stream.hpp"
+#include "core/zscore.hpp"
+#include "dist/communicator.hpp"
+#include "dmd/spectrum.hpp"
+
+namespace imrdmd::core {
+
+struct PipelineOptions {
+  ImrdmdOptions imrdmd;
+  /// Frequency/power isolation applied before z-scoring (e.g. 0-60 Hz in
+  /// case study 1).
+  dmd::ModeBand band;
+  /// Value-range rule for the baseline population, applied to each chunk's
+  /// per-sensor mean (the paper re-selects baselines per window).
+  BaselineRange baseline{0.0, 0.0};
+  ZscoreOptions zscore;
+  /// When true, the baseline population is re-selected on every chunk
+  /// (case study 2); when false the initial chunk's population is kept.
+  bool reselect_baseline_per_chunk = true;
+};
+
+/// Result of the shard-local half of a chunk's processing: fit the chunk
+/// into one model and read off the band-filtered magnitudes and per-sensor
+/// chunk means. Exposed separately from the global baseline/z-score stage
+/// so the engine can run one of these per group model and reconcile
+/// globally.
+struct MagnitudeUpdate {
+  /// Partial-fit diagnostics (default-initialized on the initial fit).
+  PartialFitReport report;
+  /// Band-filtered per-sensor mode magnitudes (model row order).
+  std::vector<double> magnitudes;
+  /// Per-sensor chunk means (the values the baseline rule filters).
+  std::vector<double> sensor_means;
+  double fit_seconds = 0.0;
+};
+
+/// Fits `chunk` into `model` (initial fit when unfitted, incremental
+/// otherwise) and computes the band-filtered magnitudes and chunk means.
+MagnitudeUpdate update_magnitudes(IncrementalMrdmd& model, const Mat& chunk,
+                                  const dmd::ModeBand& band);
+
+/// Everything produced by one chunk's worth of engine-wide processing.
+struct AssessmentSnapshot {
+  std::size_t chunk_index = 0;
+  std::size_t chunk_snapshots = 0;
+  std::size_t total_snapshots = 0;
+  /// Per-group partial-fit diagnostics, in group order.
+  std::vector<PartialFitReport> reports;
+  /// Merged band-filtered magnitudes, machine sensor order.
+  std::vector<double> magnitudes;
+  /// Merged per-sensor chunk means, machine sensor order.
+  std::vector<double> sensor_means;
+  /// Global z-scores over the merged magnitudes (machine sensor order).
+  ZscoreAnalysis zscores;
+  /// Wall time of the fit + merge (not per group).
+  double fit_seconds = 0.0;
+};
+
+/// Periodic durability for long-running streams: when armed (every_n > 0;
+/// the path must then be non-empty — an armed policy with no path is
+/// rejected at configuration time as a silently-disarmed checkpoint), the
+/// run loop writes a checkpoint (core/checkpoint.hpp) to `path` after every
+/// `every_n`-th processed chunk, atomically (write-temp-then-rename) so a
+/// kill mid-write never leaves a torn file.
+struct CheckpointPolicy {
+  /// Checkpoint after every N processed chunks; 0 disables the hook.
+  std::size_t every_n = 0;
+  /// Target file, atomically replaced on each write.
+  std::string path;
+};
+
+/// Ingestion policy of the run loop.
+struct IngestOptions {
+  /// How many chunks the run loop pulls ahead of processing, on a dedicated
+  /// producer thread feeding a bounded queue (backpressure: the producer
+  /// blocks while the queue is full, so a bursty source never runs ahead of
+  /// compute by more than `prefetch_depth` chunks). 0 = fully synchronous
+  /// ingestion; 1 = the classic double buffer. Results are bitwise
+  /// invariant across depths — the knob trades memory for burst smoothing
+  /// only.
+  std::size_t prefetch_depth = 1;
+};
+
+/// Why a run returned.
+enum class StopReason {
+  EndOfStream,   // the source reported end of data
+  MaxChunks,     // StopCondition::max_chunks reached
+  MaxSnapshots,  // StopCondition::max_snapshots reached
+  Deadline,      // StopCondition::max_seconds elapsed
+  SinkRequest,   // the sink returned false from on_snapshot
+};
+
+/// Composable stop conditions for run_until; every zero field means
+/// "unbounded". The legacy max_chunks knob is one condition among several.
+struct StopCondition {
+  /// Stop after this many snapshots have been delivered this call
+  /// (re-deliveries of parked snapshots included, matching the legacy
+  /// drivers' max_chunks accounting).
+  std::size_t max_chunks = 0;
+  /// Stop once this many snapshot columns have been delivered this call.
+  std::size_t max_snapshots = 0;
+  /// Stop pulling new chunks once this much wall time has elapsed. In the
+  /// distributed topology only rank 0 evaluates the clock and announces the
+  /// stop through the chunk handshake, so ranks never disagree.
+  double max_seconds = 0.0;
+};
+
+/// What one run call delivered, handed to SnapshotSink::on_end and
+/// returned by run/run_until.
+struct RunSummary {
+  /// Snapshots delivered to the sink this call.
+  std::size_t chunks = 0;
+  /// Snapshot columns delivered to the sink this call.
+  std::size_t snapshots = 0;
+  StopReason reason = StopReason::EndOfStream;
+};
+
+/// Push-based observer of a run's snapshot stream — the bounded-memory
+/// replacement for the legacy vector-return contract.
+///
+/// Delivery contract (tests/snapshot_sink_test.cpp conformance harness):
+/// snapshots arrive in chunk order, exactly once each across successive
+/// run calls (a snapshot whose delivery throws is parked and re-delivered
+/// first by the next run), and always BEFORE the periodic checkpoint hook
+/// for their chunk — so anything a sink has not seen is also not yet part
+/// of any checkpoint's past. In the distributed topology every rank's sink
+/// sees the identical stream; sinks there must behave identically across
+/// ranks (a rank-divergent stop request or throw desyncs the SPMD
+/// collectives).
+class SnapshotSink {
+ public:
+  virtual ~SnapshotSink() = default;
+
+  /// One processed chunk's results. Return false to request a graceful
+  /// stop: the run finishes this chunk's checkpoint hook, parks any
+  /// prefetched chunks for the next run, and returns StopReason::
+  /// SinkRequest — no data is lost.
+  virtual bool on_snapshot(const AssessmentSnapshot& snapshot) = 0;
+
+  /// Rvalue delivery: the engine discards the snapshot after a successful
+  /// delivery, so a sink that stores snapshots may override this overload
+  /// and take ownership instead of copying (CollectingSink does). The
+  /// default observes through the const& overload. Parking note: when
+  /// on_snapshot throws, the engine parks whatever the sink left in the
+  /// snapshot — the default forwarder leaves it untouched, and
+  /// std::vector's strong push_back guarantee makes move-taking sinks
+  /// equally safe; an ownership-taking sink must not throw *after*
+  /// consuming the snapshot.
+  virtual bool on_snapshot(AssessmentSnapshot&& snapshot) {
+    return on_snapshot(static_cast<const AssessmentSnapshot&>(snapshot));
+  }
+
+  /// The periodic checkpoint hook wrote `path` after the chunk whose
+  /// snapshot (already delivered) had `chunk_index`.
+  virtual void on_checkpoint_written(const std::string& path,
+                                     std::size_t chunk_index) {
+    (void)path;
+    (void)chunk_index;
+  }
+
+  /// The run returned normally (not called when it unwinds on an error).
+  virtual void on_end(const RunSummary& summary) { (void)summary; }
+};
+
+/// Sink that appends every snapshot to a vector — the legacy contract as a
+/// sink. Binds an external vector when given one (the legacy shims park
+/// their undelivered results this way), otherwise collects internally.
+class CollectingSink final : public SnapshotSink {
+ public:
+  CollectingSink() : out_(&owned_) {}
+  explicit CollectingSink(std::vector<AssessmentSnapshot>* out)
+      : out_(out != nullptr ? out : &owned_) {}
+
+  bool on_snapshot(const AssessmentSnapshot& snapshot) override {
+    out_->push_back(snapshot);
+    return true;
+  }
+  bool on_snapshot(AssessmentSnapshot&& snapshot) override {
+    out_->push_back(std::move(snapshot));
+    return true;
+  }
+
+  const std::vector<AssessmentSnapshot>& snapshots() const { return *out_; }
+  std::vector<AssessmentSnapshot> take() { return std::move(*out_); }
+
+ private:
+  std::vector<AssessmentSnapshot> owned_;
+  std::vector<AssessmentSnapshot>* out_;
+};
+
+/// Builder for the engine: per-model/stage options plus topology,
+/// checkpointing, and ingestion. Plain fields with fluent setters — set
+/// either way, then hand to Assessor's constructor (which validates).
+struct AssessorConfig {
+  /// Per-group model options plus the global baseline/z-score stage.
+  PipelineOptions pipeline_options;
+  /// Fleet-wide sensor count P. 0 means "infer from the first chunk",
+  /// which is only legal for the single-process monolithic topology (the
+  /// sharded partition and the distributed replica buffers both need P up
+  /// front).
+  std::size_t sensor_count = 0;
+  /// Disjoint sensor groups that together cover [0, P) exactly once.
+  /// Empty means one group of all sensors (the monolithic topology).
+  std::vector<std::vector<std::size_t>> groups;
+  /// Concurrent worker lanes the local group updates are spread across;
+  /// lane l processes local groups l, l + lanes, ... in order. 0 = one
+  /// lane per local group; clamped to the local group count.
+  std::size_t lanes = 0;
+  /// Non-null selects the distributed topology: groups are spread across
+  /// the communicator's ranks (rank r owns rank_group_range(G, R, r)), and
+  /// process/run become collective calls. Must outlive the Assessor.
+  dist::Communicator* comm = nullptr;
+  /// Periodic checkpointing during run() (disabled by default).
+  CheckpointPolicy checkpoint_policy;
+  /// Prefetch policy of the run loop.
+  IngestOptions ingest_options;
+  /// Pool the worker lanes run on; null = global_pool().
+  ThreadPool* worker_pool = nullptr;
+
+  AssessorConfig& pipeline(PipelineOptions options) {
+    pipeline_options = std::move(options);
+    return *this;
+  }
+  AssessorConfig& sensors(std::size_t count) {
+    sensor_count = count;
+    return *this;
+  }
+  /// One model over every sensor (the paper's monolithic pipeline).
+  AssessorConfig& monolithic() {
+    groups.clear();
+    lanes = 1;
+    return *this;
+  }
+  /// One model per sensor group, spread across `lane_count` worker lanes.
+  AssessorConfig& sharded(std::vector<std::vector<std::size_t>> partition,
+                          std::size_t lane_count = 0) {
+    groups = std::move(partition);
+    lanes = lane_count;
+    return *this;
+  }
+  /// Spread the configured groups across the communicator's SPMD ranks.
+  AssessorConfig& distributed(dist::Communicator& communicator) {
+    comm = &communicator;
+    return *this;
+  }
+  AssessorConfig& checkpoint(CheckpointPolicy policy) {
+    checkpoint_policy = std::move(policy);
+    return *this;
+  }
+  AssessorConfig& ingest(IngestOptions options) {
+    ingest_options = options;
+    return *this;
+  }
+  AssessorConfig& pool(ThreadPool* p) {
+    worker_pool = p;
+    return *this;
+  }
+};
+
+/// The unified streaming assessment engine. One instance owns the group
+/// models, the replicated global z-score stage, and the carry/parking
+/// no-data-loss state; process() folds one chunk in, run/run_until drive a
+/// ChunkSource through the single run loop shared by every topology.
+///
+/// SPMD contract (distributed topology): every rank constructs the engine
+/// with the same config and calls process()/run_until()/checkpoint entry
+/// points collectively, in the same order. A rank that fails
+/// mid-collective poisons the world (dist::CollectiveAborted) instead of
+/// deadlocking.
+class Assessor {
+ public:
+  /// Validates the configuration: the groups must partition [0, P); an
+  /// armed checkpoint policy must carry a path; sensor_count may be 0
+  /// (deferred to the first chunk) only for the single-process monolithic
+  /// topology. InvalidArgument otherwise.
+  explicit Assessor(AssessorConfig config);
+
+  /// Processes one P x T_chunk chunk (the first call performs the initial
+  /// fit of every group model). Rejects zero-column chunks and row-count
+  /// changes with InvalidArgument. Collective in the distributed topology:
+  /// every rank passes the same chunk (rank disagreement on width OR
+  /// content — checked through a bitwise digest — fails on every rank
+  /// together).
+  AssessmentSnapshot process(const Mat& chunk);
+
+  /// Pulls chunks from `source` until exhaustion, pushing each snapshot to
+  /// `sink` (see SnapshotSink for the delivery contract). Prefetches up to
+  /// IngestOptions::prefetch_depth chunks ahead on a producer thread. A
+  /// mid-run failure loses nothing: chunks the prefetch already consumed
+  /// are parked and consumed first by the next run, and a snapshot whose
+  /// sink delivery threw is parked and delivered first by the next run.
+  /// With the checkpoint policy armed, a checkpoint is written atomically
+  /// after every N-th processed chunk — and the run fails fast (before
+  /// pulling anything) if `source` cannot report a position to record.
+  RunSummary run(ChunkSource& source, SnapshotSink& sink);
+
+  /// run() with composable stop conditions; max_chunks is one among
+  /// several (snapshot budget, wall-clock deadline, sink-requested stop).
+  RunSummary run_until(ChunkSource& source, SnapshotSink& sink,
+                       const StopCondition& stop);
+
+  /// Distributed entry point: rank 0 owns `source` (non-null there, null
+  /// elsewhere), pulls chunks through the prefetch queue, and broadcasts
+  /// each chunk to the peers; every rank's sink sees the identical
+  /// snapshot stream. Also accepts the single-process topologies (where
+  /// `source` must be non-null).
+  RunSummary run_until(ChunkSource* source, SnapshotSink& sink,
+                       const StopCondition& stop);
+
+  // --- introspection ----------------------------------------------------
+
+  const AssessorConfig& config() const { return config_; }
+  /// 0 until the first chunk fixes a deferred sensor count.
+  std::size_t sensors() const { return sensors_; }
+  /// Empty until a deferred sensor count is fixed.
+  const std::vector<std::vector<std::size_t>>& groups() const {
+    return groups_;
+  }
+  std::size_t group_count() const { return groups_.size(); }
+  /// Worker lanes the local group updates are spread across.
+  std::size_t lanes() const { return lanes_; }
+  bool distributed_topology() const { return comm_ != nullptr; }
+  int rank() const { return comm_ != nullptr ? comm_->rank() : 0; }
+  int ranks() const { return comm_ != nullptr ? comm_->size() : 1; }
+  /// This process's owned global group range [first, second).
+  std::pair<std::size_t, std::size_t> local_groups() const {
+    return {local_begin_, local_end_};
+  }
+  /// Model of owned global group `group` (InvalidArgument when this
+  /// process does not own it).
+  const IncrementalMrdmd& model(std::size_t group) const;
+  /// Chunks processed so far (the next snapshot's chunk_index).
+  std::size_t chunks_processed() const { return chunks_processed_; }
+  /// Snapshots folded into the group models so far — the stream position a
+  /// checkpoint records (prefetch-safe: counts processed chunks only, not
+  /// chunks the prefetch queue has already pulled from the source).
+  std::size_t snapshots_processed() const { return snapshots_seen_; }
+
+ private:
+  /// Checkpoint/resume (core/checkpoint.hpp) reads the models and stage
+  /// state, and installs restored state, through this single access point.
+  friend struct CheckpointAccess;
+
+  /// Fixes the sensor count, builds/validates the partition and ownership
+  /// range, and creates the local group models (kept if already created by
+  /// the deferred-monolithic constructor path).
+  void finalize_topology(std::size_t sensors);
+  ThreadPool& pool() const;
+  /// Runs this process's group updates across the local lanes.
+  void update_local_groups(const Mat& chunk,
+                           std::vector<MagnitudeUpdate>& updates);
+  /// Delivers one snapshot to the sink, parking it for redelivery if the
+  /// sink throws. Returns the sink's keep-going verdict.
+  bool deliver(SnapshotSink& sink, AssessmentSnapshot&& snapshot,
+               RunSummary& summary);
+  /// The periodic checkpoint hook (dispatches on topology).
+  void maybe_checkpoint(SnapshotSink& sink, std::size_t chunk_index);
+
+  AssessorConfig config_;
+  dist::Communicator* comm_ = nullptr;
+  std::size_t sensors_ = 0;
+  /// The FULL global partition (every process knows every group's sensor
+  /// list; only the owned range has models). Empty while a deferred sensor
+  /// count is pending.
+  std::vector<std::vector<std::size_t>> groups_;
+  std::size_t local_begin_ = 0;
+  std::size_t local_end_ = 0;
+  std::size_t lanes_ = 1;
+  /// True for the trivial partition {0..P-1}: chunks bypass the row gather.
+  bool identity_partition_ = false;
+  /// Chunks the prefetch queue consumed before a failure or early stop;
+  /// the next run consumes them, in order, before advancing the source.
+  std::deque<Mat> carry_chunks_;
+  /// Snapshots whose sink delivery threw; delivered first (front to back)
+  /// by the next run — the models have already folded those chunks in, so
+  /// the results cannot be regenerated.
+  std::deque<AssessmentSnapshot> parked_snapshots_;
+  /// Models of the owned groups only, local index l = global group
+  /// local_begin_ + l. unique_ptr: handed to pool tasks by raw pointer and
+  /// must not move when the engine itself is moved.
+  std::vector<std::unique_ptr<IncrementalMrdmd>> models_;
+  /// Replicated in the distributed topology: every rank feeds it the same
+  /// merged bytes, so the state stays identical across ranks.
+  BaselineZscoreStage zscore_stage_;
+  std::size_t chunks_processed_ = 0;
+  std::size_t snapshots_seen_ = 0;
+};
+
+/// The legacy vector-return contract as an adapter over the engine, shared
+/// by the deprecated shims: `carry` holds snapshots a previous failed call
+/// delivered but could not return. When the parked snapshots alone satisfy
+/// `max_chunks` they are returned WITHOUT touching the engine or the
+/// source (pulling a chunk first would destroy one the engine never
+/// processes); otherwise the engine appends into `carry` through a
+/// CollectingSink — so a mid-run failure leaves everything delivered so
+/// far parked in `carry` for the next call — and the whole batch is
+/// returned. `source` may be null only for distributed non-root ranks.
+std::vector<AssessmentSnapshot> run_collecting(
+    Assessor& engine, std::vector<AssessmentSnapshot>& carry,
+    ChunkSource* source, std::size_t max_chunks);
+
+/// Partitions [0, sensors) into `count` contiguous, near-equal groups (the
+/// first `sensors % count` groups get one extra sensor).
+std::vector<std::vector<std::size_t>> contiguous_groups(std::size_t sensors,
+                                                        std::size_t count);
+
+/// Deterministic contiguous assignment of `groups` global group indices to
+/// `ranks` SPMD ranks: rank r owns the half-open range [first, second) of
+/// group indices, near-equal (the first `groups % ranks` ranks get one
+/// extra). Ranks beyond the group count own the empty range. A pure
+/// function of (groups, ranks, rank) — every rank computes the same map
+/// with no communication, and checkpoint resume at a different rank count
+/// re-derives ownership from the same rule.
+std::pair<std::size_t, std::size_t> rank_group_range(std::size_t groups,
+                                                     std::size_t ranks,
+                                                     std::size_t rank);
+
+}  // namespace imrdmd::core

@@ -230,7 +230,7 @@ BaselineZscoreStage::State get_stage_state(BoundedReader& in) {
 
 /// Everything a pipeline or fleet container parses before assembly. A
 /// pipeline-kind parse holds one model and the trivial identity partition,
-/// so either kind can assemble into either driver.
+/// so either kind can assemble into any topology.
 struct ParsedCheckpoint {
   PipelineOptions stage_options;  // band/baseline/zscore/reselect only
   std::uint64_t chunks_processed = 0;
@@ -263,39 +263,49 @@ void get_header(BoundedReader& in, ParsedCheckpoint& parsed) {
 }  // namespace
 
 /// Single access point for every private member the checkpoint module
-/// serializes: the model internals (IncrementalMrdmd), the pipeline's stage
-/// and counters (OnlineAssessmentPipeline), and the fleet's models, stage,
-/// and lane structure (FleetAssessment). Defined only in this translation
-/// unit.
+/// serializes: the model internals (IncrementalMrdmd) and the unified
+/// engine's models, stage, counters, and lane structure (Assessor) — the
+/// legacy shims expose nothing beyond their embedded engine. Defined only
+/// in this translation unit.
 struct CheckpointAccess {
   /// `parallel_bins_override`, when non-null, is written in place of the
-  /// model's own mrdmd.parallel_bins. The fleet drivers force that knob
-  /// off on their models as a nested-pool guard — a function of the LOCAL
-  /// lane count, which differs across lane/rank configurations — so fleet
+  /// model's own mrdmd.parallel_bins. The engine forces that knob off on
+  /// its models as a nested-pool guard — a function of the LOCAL lane
+  /// count, which differs across lane/rank configurations — so model
   /// sections canonicalize it to the configured pipeline value: checkpoint
   /// bytes stay a pure function of stream + partition + options, invariant
   /// across lane and rank counts.
   static void put_model(std::ostream& out, const IncrementalMrdmd& model,
                         const bool* parallel_bins_override = nullptr);
   static IncrementalMrdmd get_model(BoundedReader& in);
-  static void save_pipeline(std::ostream& out,
-                            const OnlineAssessmentPipeline& pipeline);
+  /// The legacy "IMRDPL1" container over a monolithic engine.
+  static void save_pipeline_container(std::ostream& out,
+                                      const Assessor& assessor);
+  /// The "IMRDFL1" container over any single-process engine.
+  static void save_single(std::ostream& out, const Assessor& assessor);
+  /// Collective "IMRDFL1" save of a distributed-topology engine.
+  static void save_distributed(std::ostream* out, const Assessor& assessor);
+  /// Builds an engine of any topology from a parsed container.
+  static RestoredAssessor assemble(ParsedCheckpoint parsed,
+                                   dist::Communicator* comm,
+                                   const AssessorResumeOptions& resume);
   static RestoredPipeline assemble_pipeline(ParsedCheckpoint parsed);
-  static void save_fleet(std::ostream& out, const FleetAssessment& fleet);
-  static RestoredFleet assemble_fleet(ParsedCheckpoint parsed,
-                                      const FleetResumeOptions& resume);
-  static void save_distributed_fleet(std::ostream* out,
-                                     const DistributedFleetAssessment& fleet);
-  static RestoredDistributedFleet assemble_distributed_fleet(
-      ParsedCheckpoint parsed, dist::Communicator& comm,
-      const FleetResumeOptions& resume);
+  static RestoredFleet wrap_fleet(RestoredAssessor restored);
+  static RestoredDistributedFleet wrap_distributed_fleet(
+      RestoredAssessor restored);
+  static const Assessor& engine_of(const OnlineAssessmentPipeline& p) {
+    return p.engine_;
+  }
+  static const Assessor& engine_of(const FleetAssessment& f) {
+    return f.engine_;
+  }
+  static const Assessor& engine_of(const DistributedFleetAssessment& f) {
+    return f.engine_;
+  }
 };
 
 namespace {
 
-/// Reads one length-prefixed model image, bounding the declared length
-/// against the remaining stream before parsing and verifying afterwards
-/// that the parse consumed exactly the declared bytes.
 /// Load-time validation of the restored baseline selection: the fail-fast
 /// contract is ParseError *at load*, not a DimensionError chunks later
 /// inside the resumed stream's first z-scoring. The saved population is
@@ -311,6 +321,9 @@ void check_stage_state(const ParsedCheckpoint& parsed) {
   }
 }
 
+/// Reads one length-prefixed model image, bounding the declared length
+/// against the remaining stream before parsing and verifying afterwards
+/// that the parse consumed exactly the declared bytes.
 IncrementalMrdmd get_model_section(BoundedReader& in, const char* what) {
   const std::uint64_t length = get_u64(in);
   in.require(length, what);
@@ -514,115 +527,66 @@ IncrementalMrdmd CheckpointAccess::get_model(BoundedReader& in) {
   return model;
 }
 
-void CheckpointAccess::save_pipeline(std::ostream& out,
-                                     const OnlineAssessmentPipeline& pipeline) {
-  IMRDMD_REQUIRE_ARG(pipeline.model_.fitted(),
+void CheckpointAccess::save_pipeline_container(std::ostream& out,
+                                               const Assessor& assessor) {
+  IMRDMD_REQUIRE_ARG(assessor.models_.size() == 1 &&
+                         assessor.models_[0]->fitted(),
                      "cannot checkpoint a pipeline before its first chunk");
   out.write(kPipelineMagic, sizeof kPipelineMagic);
-  put_header(out, pipeline.options_, pipeline.chunks_processed_,
-             pipeline.model_.time_steps(), pipeline.zscore_stage_.state());
+  put_header(out, assessor.config_.pipeline_options,
+             assessor.chunks_processed_, assessor.snapshots_seen_,
+             assessor.zscore_stage_.state());
+  // The monolithic engine always runs its single group on the caller
+  // thread, so the model's own parallel_bins is the configured value —
+  // byte-identical to the pre-unification pipeline writer.
   std::ostringstream buffer;
-  put_model(buffer, pipeline.model_);
+  put_model(buffer, *assessor.models_[0]);
   const std::string bytes = std::move(buffer).str();
   put_u64(out, bytes.size());
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   if (!out) throw Error("pipeline checkpoint write failed");
 }
 
-RestoredPipeline CheckpointAccess::assemble_pipeline(ParsedCheckpoint parsed) {
-  if (parsed.models.size() != 1) {
-    throw ParseError(
-        "fleet checkpoint has multiple groups; resume it with "
-        "load_fleet_checkpoint");
-  }
-  bool identity = parsed.groups.size() == 1 &&
-                  parsed.groups[0].size() == parsed.sensors;
-  if (identity) {
-    for (std::size_t p = 0; p < parsed.sensors; ++p) {
-      if (parsed.groups[0][p] != p) identity = false;
-    }
-  }
-  if (!identity) {
-    throw ParseError(
-        "fleet checkpoint partition is not the identity; resume it with "
-        "load_fleet_checkpoint");
-  }
-  PipelineOptions options = parsed.stage_options;
-  options.imrdmd = parsed.models[0].options();
-  OnlineAssessmentPipeline pipeline(options);
-  pipeline.model_ = std::move(parsed.models[0]);
-  pipeline.zscore_stage_.restore(std::move(parsed.stage_state));
-  pipeline.chunks_processed_ =
-      static_cast<std::size_t>(parsed.chunks_processed);
-  return {std::move(pipeline), parsed.stream_position};
-}
-
-void CheckpointAccess::save_fleet(std::ostream& out,
-                                  const FleetAssessment& fleet) {
-  IMRDMD_REQUIRE_ARG(fleet.chunks_processed_ >= 1,
+void CheckpointAccess::save_single(std::ostream& out,
+                                   const Assessor& assessor) {
+  IMRDMD_REQUIRE_ARG(assessor.comm_ == nullptr,
+                     "use the collective save for a distributed engine");
+  IMRDMD_REQUIRE_ARG(assessor.chunks_processed_ >= 1,
                      "cannot checkpoint a fleet before its first chunk");
   out.write(kFleetMagic, sizeof kFleetMagic);
-  put_header(out, fleet.options_.pipeline, fleet.chunks_processed_,
-             fleet.snapshots_processed(), fleet.zscore_stage_.state());
-  put_u64(out, fleet.sensors_);
-  put_u64(out, fleet.groups_.size());
-  for (const auto& group : fleet.groups_) {
+  put_header(out, assessor.config_.pipeline_options,
+             assessor.chunks_processed_, assessor.snapshots_seen_,
+             assessor.zscore_stage_.state());
+  put_u64(out, assessor.sensors_);
+  put_u64(out, assessor.groups_.size());
+  for (const auto& group : assessor.groups_) {
     put_u64(out, group.size());
     for (std::size_t sensor : group) put_u64(out, sensor);
   }
 
-  // Serialize the per-group model images concurrently across the fleet's
+  // Serialize the per-group model images concurrently across the engine's
   // worker lanes (the same lane structure process() uses); the images are
   // then concatenated in deterministic group order, so the bytes are
   // identical for any lane count.
-  const std::size_t group_count = fleet.groups_.size();
+  const std::size_t group_count = assessor.groups_.size();
   const bool canonical_bins =
-      fleet.options_.pipeline.imrdmd.mrdmd.parallel_bins;
+      assessor.config_.pipeline_options.imrdmd.mrdmd.parallel_bins;
   std::vector<std::string> sections(group_count);
   run_lanes(
-      fleet.shards_,
-      [&fleet, &sections, &canonical_bins, group_count](std::size_t lane) {
-        for (std::size_t g = lane; g < group_count; g += fleet.shards_) {
+      assessor.lanes_,
+      [&assessor, &sections, &canonical_bins, group_count](std::size_t lane) {
+        for (std::size_t g = lane; g < group_count; g += assessor.lanes_) {
           std::ostringstream buffer;
-          put_model(buffer, *fleet.models_[g], &canonical_bins);
+          put_model(buffer, *assessor.models_[g], &canonical_bins);
           sections[g] = std::move(buffer).str();
         }
       },
-      &fleet.pool());
+      &assessor.pool());
   for (const std::string& section : sections) {
     put_u64(out, section.size());
     out.write(section.data(), static_cast<std::streamsize>(section.size()));
   }
   if (!out) throw Error("fleet checkpoint write failed");
-}
-
-RestoredFleet CheckpointAccess::assemble_fleet(
-    ParsedCheckpoint parsed, const FleetResumeOptions& resume) {
-  FleetOptions options;
-  options.pipeline = parsed.stage_options;
-  options.pipeline.imrdmd = parsed.models[0].options();
-  options.groups = parsed.groups;
-  options.shards = resume.shards;
-  options.async_prefetch = resume.async_prefetch;
-  options.pool = resume.pool;
-  options.checkpoint = resume.checkpoint;
-  // The constructor re-validates the partition (disjoint, total cover), so
-  // a corrupted-but-parseable partition still cannot assemble.
-  FleetAssessment fleet(std::move(options),
-                        static_cast<std::size_t>(parsed.sensors));
-  for (std::size_t g = 0; g < parsed.models.size(); ++g) {
-    *fleet.models_[g] = std::move(parsed.models[g]);
-    // Re-apply the constructor's nested-pool guard to the *restored*
-    // models: a checkpoint saved from a single-lane fleet carries
-    // parallel_bins = true, and resuming it with real lanes would fan each
-    // lane task back out onto (and block on) its own pool.
-    if (fleet.shards_ > 1) {
-      fleet.models_[g]->options_.mrdmd.parallel_bins = false;
-    }
-  }
-  fleet.zscore_stage_.restore(std::move(parsed.stage_state));
-  fleet.chunks_processed_ = static_cast<std::size_t>(parsed.chunks_processed);
-  return {std::move(fleet), parsed.stream_position};
 }
 
 namespace {
@@ -676,57 +640,60 @@ std::vector<std::string> unpack_sections(const std::vector<double>& blob,
 
 }  // namespace
 
-void CheckpointAccess::save_distributed_fleet(
-    std::ostream* out, const DistributedFleetAssessment& fleet) {
-  dist::Communicator& comm = *fleet.comm_;
+void CheckpointAccess::save_distributed(std::ostream* out,
+                                        const Assessor& assessor) {
+  IMRDMD_REQUIRE_ARG(assessor.comm_ != nullptr,
+                     "this engine is not distributed");
+  dist::Communicator& comm = *assessor.comm_;
   const bool root = comm.rank() == 0;
   IMRDMD_REQUIRE_ARG(root == (out != nullptr),
                      "the checkpoint stream lives on rank 0 only (pass "
                      "nullptr on the other ranks)");
-  // chunks_processed_ is replicated, so on an unstarted fleet every rank
+  // chunks_processed_ is replicated, so on an unstarted engine every rank
   // throws here together — before any collective.
-  IMRDMD_REQUIRE_ARG(fleet.chunks_processed_ >= 1,
+  IMRDMD_REQUIRE_ARG(assessor.chunks_processed_ >= 1,
                      "cannot checkpoint a fleet before its first chunk");
 
   // Serialize the owned groups' model images concurrently across this
   // rank's local lanes (the same lane structure process() uses), in local
   // group order.
-  const std::size_t local_count = fleet.local_end_ - fleet.local_begin_;
+  const std::size_t local_count = assessor.local_end_ - assessor.local_begin_;
   const bool canonical_bins =
-      fleet.options_.pipeline.imrdmd.mrdmd.parallel_bins;
+      assessor.config_.pipeline_options.imrdmd.mrdmd.parallel_bins;
   std::vector<std::string> sections(local_count);
   run_lanes(
-      fleet.shards_,
-      [&fleet, &sections, &canonical_bins, local_count](std::size_t lane) {
-        for (std::size_t l = lane; l < local_count; l += fleet.shards_) {
+      assessor.lanes_,
+      [&assessor, &sections, &canonical_bins, local_count](std::size_t lane) {
+        for (std::size_t l = lane; l < local_count; l += assessor.lanes_) {
           std::ostringstream buffer;
-          put_model(buffer, *fleet.models_[l], &canonical_bins);
+          put_model(buffer, *assessor.models_[l], &canonical_bins);
           sections[l] = std::move(buffer).str();
         }
       },
-      &fleet.pool());
+      &assessor.pool());
 
   // One ragged gather moves every rank's sections to the writer. Rank
   // blocks arrive in rank order and ownership ranges are contiguous, so
   // concatenation IS global group order — the same order (and bytes) the
-  // single-process save_fleet_checkpoint writes.
+  // single-process save_single writes.
   const std::vector<double> blob = pack_sections(sections);
   const std::vector<std::vector<double>> blobs =
       comm.gatherv(std::span<const double>(blob.data(), blob.size()), 0);
   if (!root) return;
 
   out->write(kFleetMagic, sizeof kFleetMagic);
-  put_header(*out, fleet.options_.pipeline, fleet.chunks_processed_,
-             fleet.snapshots_seen_, fleet.zscore_stage_.state());
-  put_u64(*out, fleet.sensors_);
-  put_u64(*out, fleet.groups_.size());
-  for (const auto& group : fleet.groups_) {
+  put_header(*out, assessor.config_.pipeline_options,
+             assessor.chunks_processed_, assessor.snapshots_seen_,
+             assessor.zscore_stage_.state());
+  put_u64(*out, assessor.sensors_);
+  put_u64(*out, assessor.groups_.size());
+  for (const auto& group : assessor.groups_) {
     put_u64(*out, group.size());
     for (std::size_t sensor : group) put_u64(*out, sensor);
   }
   const std::size_t ranks = static_cast<std::size_t>(comm.size());
   for (std::size_t r = 0; r < ranks; ++r) {
-    const auto range = rank_group_range(fleet.groups_.size(), ranks, r);
+    const auto range = rank_group_range(assessor.groups_.size(), ranks, r);
     const std::vector<std::string> rank_sections =
         unpack_sections(blobs[r], range.second - range.first);
     for (const std::string& section : rank_sections) {
@@ -738,35 +705,92 @@ void CheckpointAccess::save_distributed_fleet(
   if (!*out) throw Error("fleet checkpoint write failed");
 }
 
-RestoredDistributedFleet CheckpointAccess::assemble_distributed_fleet(
-    ParsedCheckpoint parsed, dist::Communicator& comm,
-    const FleetResumeOptions& resume) {
-  FleetOptions options;
-  options.pipeline = parsed.stage_options;
-  options.pipeline.imrdmd = parsed.models[0].options();
-  options.groups = parsed.groups;
-  options.shards = resume.shards;
-  options.async_prefetch = resume.async_prefetch;
-  options.pool = resume.pool;
-  options.checkpoint = resume.checkpoint;
-  // The constructor re-validates the partition and re-derives this rank's
-  // ownership range from the checkpoint's group count — the checkpoint
-  // itself carries nothing about the rank count that wrote it.
-  DistributedFleetAssessment fleet(comm, std::move(options),
-                                   static_cast<std::size_t>(parsed.sensors));
-  const std::size_t local_count = fleet.local_end_ - fleet.local_begin_;
+RestoredAssessor CheckpointAccess::assemble(
+    ParsedCheckpoint parsed, dist::Communicator* comm,
+    const AssessorResumeOptions& resume) {
+  AssessorConfig config;
+  config.pipeline_options = parsed.stage_options;
+  config.pipeline_options.imrdmd = parsed.models[0].options();
+  config.sensor_count = static_cast<std::size_t>(parsed.sensors);
+  config.groups = parsed.groups;
+  config.lanes = resume.lanes;
+  config.comm = comm;
+  config.ingest_options = resume.ingest;
+  config.worker_pool = resume.pool;
+  config.checkpoint_policy = resume.checkpoint;
+  // The constructor re-validates the partition (disjoint, total cover) and
+  // re-derives this process's ownership range — the checkpoint itself
+  // carries nothing about the lane or rank count that wrote it.
+  Assessor assessor(std::move(config));
+  const std::size_t local_count = assessor.local_end_ - assessor.local_begin_;
   for (std::size_t l = 0; l < local_count; ++l) {
-    *fleet.models_[l] = std::move(parsed.models[fleet.local_begin_ + l]);
-    // Same restored-model nested-pool guard as assemble_fleet.
-    if (fleet.shards_ > 1) {
-      fleet.models_[l]->options_.mrdmd.parallel_bins = false;
+    *assessor.models_[l] =
+        std::move(parsed.models[assessor.local_begin_ + l]);
+    // Re-apply the constructor's nested-pool guard to the *restored*
+    // models: a checkpoint saved from a single-lane engine carries
+    // parallel_bins = true, and resuming it with real lanes would fan each
+    // lane task back out onto (and block on) its own pool.
+    if (assessor.lanes_ > 1) {
+      assessor.models_[l]->options_.mrdmd.parallel_bins = false;
     }
   }
-  fleet.zscore_stage_.restore(std::move(parsed.stage_state));
-  fleet.chunks_processed_ = static_cast<std::size_t>(parsed.chunks_processed);
-  fleet.snapshots_seen_ = static_cast<std::size_t>(parsed.stream_position);
-  return {std::move(fleet), parsed.stream_position};
+  assessor.zscore_stage_.restore(std::move(parsed.stage_state));
+  assessor.chunks_processed_ =
+      static_cast<std::size_t>(parsed.chunks_processed);
+  assessor.snapshots_seen_ =
+      static_cast<std::size_t>(parsed.stream_position);
+  return {std::move(assessor), parsed.stream_position};
 }
+
+RestoredPipeline CheckpointAccess::assemble_pipeline(ParsedCheckpoint parsed) {
+  if (parsed.models.size() != 1) {
+    throw ParseError(
+        "fleet checkpoint has multiple groups; resume it with "
+        "load_fleet_checkpoint");
+  }
+  bool identity = parsed.groups.size() == 1 &&
+                  parsed.groups[0].size() == parsed.sensors;
+  if (identity) {
+    for (std::size_t p = 0; p < parsed.sensors; ++p) {
+      if (parsed.groups[0][p] != p) identity = false;
+    }
+  }
+  if (!identity) {
+    throw ParseError(
+        "fleet checkpoint partition is not the identity; resume it with "
+        "load_fleet_checkpoint");
+  }
+  AssessorResumeOptions resume;
+  // The legacy pipeline's ingestion profile: synchronous pulls.
+  resume.ingest.prefetch_depth = 0;
+  RestoredAssessor restored = assemble(std::move(parsed), nullptr, resume);
+  return {OnlineAssessmentPipeline(std::move(restored.assessor)),
+          restored.stream_position};
+}
+
+RestoredFleet CheckpointAccess::wrap_fleet(RestoredAssessor restored) {
+  return {FleetAssessment(std::move(restored.assessor)),
+          restored.stream_position};
+}
+
+RestoredDistributedFleet CheckpointAccess::wrap_distributed_fleet(
+    RestoredAssessor restored) {
+  return {DistributedFleetAssessment(std::move(restored.assessor)),
+          restored.stream_position};
+}
+
+namespace {
+
+AssessorResumeOptions to_assessor_resume(const FleetResumeOptions& resume) {
+  AssessorResumeOptions out;
+  out.lanes = resume.shards;
+  out.ingest.prefetch_depth = resume.async_prefetch ? 1 : 0;
+  out.pool = resume.pool;
+  out.checkpoint = resume.checkpoint;
+  return out;
+}
+
+}  // namespace
 
 void save_checkpoint(std::ostream& out, const IncrementalMrdmd& model) {
   CheckpointAccess::put_model(out, model);
@@ -790,9 +814,68 @@ IncrementalMrdmd load_checkpoint_file(const std::string& path) {
   return load_checkpoint(in);
 }
 
+// --- Assessor ------------------------------------------------------------
+
+void save_assessor_checkpoint(std::ostream& out, const Assessor& assessor) {
+  CheckpointAccess::save_single(out, assessor);
+}
+
+void save_assessor_checkpoint(std::ostream* out, const Assessor& assessor) {
+  if (assessor.distributed_topology()) {
+    CheckpointAccess::save_distributed(out, assessor);
+  } else {
+    IMRDMD_REQUIRE_ARG(out != nullptr,
+                       "a single-process save needs an output stream");
+    CheckpointAccess::save_single(*out, assessor);
+  }
+}
+
+void save_assessor_checkpoint_file(const std::string& path,
+                                   const Assessor& assessor) {
+  if (assessor.distributed_topology() && assessor.rank() != 0) {
+    // Peers only feed the gather; the file belongs to rank 0.
+    CheckpointAccess::save_distributed(nullptr, assessor);
+    return;
+  }
+  write_file_atomic(path, [&assessor](std::ostream& out) {
+    save_assessor_checkpoint(&out, assessor);
+  });
+}
+
+RestoredAssessor load_assessor_checkpoint(std::istream& raw,
+                                          const AssessorResumeOptions& resume) {
+  BoundedReader in(raw);
+  return CheckpointAccess::assemble(parse_any(in), nullptr, resume);
+}
+
+RestoredAssessor load_assessor_checkpoint_file(
+    const std::string& path, const AssessorResumeOptions& resume) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open checkpoint for reading: " + path);
+  return load_assessor_checkpoint(in, resume);
+}
+
+RestoredAssessor load_assessor_checkpoint(std::istream& raw,
+                                          dist::Communicator& comm,
+                                          const AssessorResumeOptions& resume) {
+  BoundedReader in(raw);
+  return CheckpointAccess::assemble(parse_any(in), &comm, resume);
+}
+
+RestoredAssessor load_assessor_checkpoint_file(
+    const std::string& path, dist::Communicator& comm,
+    const AssessorResumeOptions& resume) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open checkpoint for reading: " + path);
+  return load_assessor_checkpoint(in, comm, resume);
+}
+
+// --- Pipeline (legacy wrappers) ------------------------------------------
+
 void save_pipeline_checkpoint(std::ostream& out,
                               const OnlineAssessmentPipeline& pipeline) {
-  CheckpointAccess::save_pipeline(out, pipeline);
+  CheckpointAccess::save_pipeline_container(
+      out, CheckpointAccess::engine_of(pipeline));
 }
 
 void save_pipeline_checkpoint_file(const std::string& path,
@@ -813,8 +896,10 @@ RestoredPipeline load_pipeline_checkpoint_file(const std::string& path) {
   return load_pipeline_checkpoint(in);
 }
 
+// --- Fleet (legacy wrappers) ---------------------------------------------
+
 void save_fleet_checkpoint(std::ostream& out, const FleetAssessment& fleet) {
-  CheckpointAccess::save_fleet(out, fleet);
+  CheckpointAccess::save_single(out, CheckpointAccess::engine_of(fleet));
 }
 
 void save_fleet_checkpoint_file(const std::string& path,
@@ -827,7 +912,8 @@ void save_fleet_checkpoint_file(const std::string& path,
 RestoredFleet load_fleet_checkpoint(std::istream& raw,
                                     const FleetResumeOptions& resume) {
   BoundedReader in(raw);
-  return CheckpointAccess::assemble_fleet(parse_any(in), resume);
+  return CheckpointAccess::wrap_fleet(CheckpointAccess::assemble(
+      parse_any(in), nullptr, to_assessor_resume(resume)));
 }
 
 RestoredFleet load_fleet_checkpoint_file(const std::string& path,
@@ -839,27 +925,20 @@ RestoredFleet load_fleet_checkpoint_file(const std::string& path,
 
 void save_distributed_fleet_checkpoint(
     std::ostream* out, const DistributedFleetAssessment& fleet) {
-  CheckpointAccess::save_distributed_fleet(out, fleet);
+  CheckpointAccess::save_distributed(out, CheckpointAccess::engine_of(fleet));
 }
 
 void save_distributed_fleet_checkpoint_file(
     const std::string& path, const DistributedFleetAssessment& fleet) {
-  if (fleet.rank() != 0) {
-    // Peers only feed the gather; the file belongs to rank 0.
-    CheckpointAccess::save_distributed_fleet(nullptr, fleet);
-    return;
-  }
-  write_file_atomic(path, [&fleet](std::ostream& out) {
-    CheckpointAccess::save_distributed_fleet(&out, fleet);
-  });
+  save_assessor_checkpoint_file(path, CheckpointAccess::engine_of(fleet));
 }
 
 RestoredDistributedFleet load_distributed_fleet_checkpoint(
     std::istream& raw, dist::Communicator& comm,
     const FleetResumeOptions& resume) {
   BoundedReader in(raw);
-  return CheckpointAccess::assemble_distributed_fleet(parse_any(in), comm,
-                                                      resume);
+  return CheckpointAccess::wrap_distributed_fleet(CheckpointAccess::assemble(
+      parse_any(in), &comm, to_assessor_resume(resume)));
 }
 
 RestoredDistributedFleet load_distributed_fleet_checkpoint_file(

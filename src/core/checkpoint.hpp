@@ -1,24 +1,25 @@
-// Checkpointing of I-mrDMD state — single model, pipeline, and fleet.
+// Checkpointing of I-mrDMD state — single model, and the unified Assessor
+// engine (with legacy pipeline/fleet wrappers).
 //
 // The paper's deployment story is a long-running online analysis; a crash
-// must not force re-ingesting weeks of telemetry. Three containers, one
-// shared serialization codepath:
+// must not force re-ingesting weeks of telemetry. One shared serialization
+// codepath, three container spellings:
 //
 //   * save_checkpoint writes a versioned binary image of one model
 //     (options, level-1 grid + incremental SVD factors, every tree node,
 //     optional history); load_checkpoint restores a model that continues
 //     partial_fit'ing exactly where the original left off (round-trip
 //     tested to bit-equality of reconstructions).
-//   * save_pipeline_checkpoint wraps a model image with the
-//     OnlineAssessmentPipeline's stage options, BaselineZscoreStage state,
-//     chunk counter, and source stream position, so a monolithic run
-//     resumes mid-stream.
-//   * save_fleet_checkpoint holds the same stage/counter/position header
-//     plus the group partition and one length-prefixed model section per
-//     group (serialized in parallel across the fleet's worker lanes,
-//     concatenated in deterministic group order), so a sharded
-//     FleetAssessment run resumes mid-stream — bitwise identical to the
-//     uninterrupted run.
+//   * save_assessor_checkpoint serializes the engine's full resumable
+//     state (stage options + baseline selection state + chunk counter +
+//     stream position, the group partition, one length-prefixed model
+//     section per group). In the distributed topology the save is a
+//     collective gather to rank 0 that writes the SAME bytes as the
+//     single-process save — byte-identical for any lane or rank count.
+//   * save_pipeline_checkpoint / save_fleet_checkpoint keep the legacy
+//     container spellings ("IMRDPL1" / "IMRDFL1") over the same engine
+//     state, so checkpoints written before the Assessor unification load
+//     byte-compatibly (and resaves reproduce them byte-for-byte).
 //
 // Formats: little-endian, magic "IMRDMD1\n" / "IMRDPL1\n" / "IMRDFL1\n",
 // then length-prefixed sections. Every section is bounds-checked against
@@ -29,16 +30,18 @@
 // write_file_atomic (common/atomic_file.hpp): the checkpoint path always
 // holds a complete image, even across a crash mid-save.
 //
-// Cross-loading: a single-group, identity-partition fleet checkpoint loads
-// through load_pipeline_checkpoint (and a pipeline checkpoint through
-// load_fleet_checkpoint as a one-group fleet) — the monolithic and sharded
-// paths share one durable representation.
+// Cross-loading: every load path accepts either container (a single-group,
+// identity-partition fleet checkpoint loads through
+// load_pipeline_checkpoint, a pipeline checkpoint loads as a one-group
+// fleet/assessor) — the monolithic, sharded, and distributed topologies
+// share one durable representation.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 
+#include "core/assessor.hpp"
 #include "core/fleet.hpp"
 #include "core/imrdmd.hpp"
 #include "core/pipeline.hpp"
@@ -59,7 +62,61 @@ void save_checkpoint_file(const std::string& path,
 IncrementalMrdmd load_checkpoint(std::istream& in);
 IncrementalMrdmd load_checkpoint_file(const std::string& path);
 
-// --- Pipeline checkpoint/resume ----------------------------------------
+// --- Assessor checkpoint/resume -----------------------------------------
+
+/// Runtime knobs for a resumed engine that are deliberately *not* part of
+/// the checkpoint: lane count, ingestion policy, pool, and the re-armed
+/// periodic-checkpoint policy are free to change across a resume — results
+/// are lane/rank/prefetch invariant, so the resumed stream is bitwise
+/// identical regardless.
+struct AssessorResumeOptions {
+  std::size_t lanes = 0;
+  IngestOptions ingest;
+  ThreadPool* pool = nullptr;
+  CheckpointPolicy checkpoint;
+};
+
+/// An engine restored from a checkpoint plus the stream position (total
+/// snapshots ingested) to hand to ChunkSource::seek before resuming.
+struct RestoredAssessor {
+  Assessor assessor;
+  std::uint64_t stream_position = 0;
+};
+
+/// Serializes the engine's full resumable state. Single-process topologies
+/// write directly; the distributed topology is a collective (every rank
+/// serializes its owned groups' sections across its local lanes and
+/// contributes them through one ragged gather; rank 0 assembles in global
+/// group order) — use the pointer overload there, with `out` non-null on
+/// rank 0 only. The bytes are identical for any lane or rank count. The
+/// engine must have processed at least one chunk.
+void save_assessor_checkpoint(std::ostream& out, const Assessor& assessor);
+void save_assessor_checkpoint(std::ostream* out, const Assessor& assessor);
+/// Atomic (write-temp-then-rename) on the writing rank; dispatches on the
+/// engine's topology (this is the periodic checkpoint hook's entry point).
+void save_assessor_checkpoint_file(const std::string& path,
+                                   const Assessor& assessor);
+
+/// Restores a single-process engine mid-stream (the sharded topology, or
+/// monolithic when the container holds one identity group). NOT collective.
+RestoredAssessor load_assessor_checkpoint(
+    std::istream& in, const AssessorResumeOptions& resume = {});
+RestoredAssessor load_assessor_checkpoint_file(
+    const std::string& path, const AssessorResumeOptions& resume = {});
+
+/// Restores a distributed-topology engine. NOT collective (no
+/// communication): every rank parses the container independently and keeps
+/// only the models of the groups it owns under rank_group_range — a
+/// checkpoint written at any rank count (including a single-process or
+/// pipeline checkpoint) resumes at any other rank count.
+RestoredAssessor load_assessor_checkpoint(
+    std::istream& in, dist::Communicator& comm,
+    const AssessorResumeOptions& resume = {});
+RestoredAssessor load_assessor_checkpoint_file(
+    const std::string& path, dist::Communicator& comm,
+    const AssessorResumeOptions& resume = {});
+
+// --- Pipeline checkpoint/resume (legacy wrappers) ------------------------
 
 /// A pipeline restored from a checkpoint plus the stream position (total
 /// snapshots ingested) to hand to ChunkSource::seek before resuming run().
@@ -85,13 +142,10 @@ void save_pipeline_checkpoint_file(const std::string& path,
 RestoredPipeline load_pipeline_checkpoint(std::istream& in);
 RestoredPipeline load_pipeline_checkpoint_file(const std::string& path);
 
-// --- Fleet checkpoint/resume -------------------------------------------
+// --- Fleet checkpoint/resume (legacy wrappers) ---------------------------
 
-/// Runtime knobs for a resumed fleet that are deliberately *not* part of
-/// the checkpoint: lane count, prefetch mode, pool, and the re-armed
-/// periodic-checkpoint policy are free to change across a resume — fleet
-/// results are shard-count invariant, so the resumed stream is bitwise
-/// identical regardless.
+/// Legacy spelling of AssessorResumeOptions (shards = lanes, async_prefetch
+/// = prefetch depth 1 vs 0).
 struct FleetResumeOptions {
   std::size_t shards = 0;
   bool async_prefetch = true;
@@ -106,26 +160,17 @@ struct RestoredFleet {
   std::uint64_t stream_position = 0;
 };
 
-/// Serializes the fleet's full resumable state: stage options + baseline
-/// selection state + chunk counter + stream position, the group partition,
-/// and one length-prefixed model section per group. Sections are serialized
-/// concurrently across the fleet's worker lanes and written in group order,
-/// so the bytes are deterministic for any lane count. The fleet must have
-/// processed at least one chunk.
+/// Legacy wrappers over save_assessor_checkpoint / load_assessor_checkpoint
+/// for the FleetAssessment shim; bytes and acceptance are identical.
 void save_fleet_checkpoint(std::ostream& out, const FleetAssessment& fleet);
-/// Atomic (write-temp-then-rename): `path` never holds a torn image.
 void save_fleet_checkpoint_file(const std::string& path,
                                 const FleetAssessment& fleet);
-
-/// Restores a fleet mid-stream; accepts a fleet checkpoint or a pipeline
-/// checkpoint (restored as a single-group fleet). Every section is bounded
-/// against the remaining stream (ParseError on truncation/corruption).
 RestoredFleet load_fleet_checkpoint(std::istream& in,
                                     const FleetResumeOptions& resume = {});
 RestoredFleet load_fleet_checkpoint_file(const std::string& path,
                                          const FleetResumeOptions& resume = {});
 
-// --- Distributed fleet checkpoint/resume --------------------------------
+// --- Distributed fleet checkpoint/resume (legacy wrappers) ---------------
 
 /// A distributed fleet restored from a checkpoint plus the stream position
 /// to hand to the root's ChunkSource::seek before resuming run().
@@ -134,12 +179,7 @@ struct RestoredDistributedFleet {
   std::uint64_t stream_position = 0;
 };
 
-/// Collective: every rank serializes its owned groups' model sections
-/// across its local lanes and contributes them through one ragged gather;
-/// rank 0 assembles the sections in deterministic global group order and
-/// writes the SAME `IMRDFL1` container a single-process FleetAssessment
-/// would write from the same state — byte-identical for any rank count, so
-/// the three load paths (fleet, pipeline, distributed) all accept it.
+/// Collective: see the distributed notes on save_assessor_checkpoint.
 /// `out` must be non-null on rank 0 and null on every other rank.
 void save_distributed_fleet_checkpoint(std::ostream* out,
                                        const DistributedFleetAssessment& fleet);
@@ -150,11 +190,7 @@ void save_distributed_fleet_checkpoint(std::ostream* out,
 void save_distributed_fleet_checkpoint_file(
     const std::string& path, const DistributedFleetAssessment& fleet);
 
-/// NOT collective (no communication): every rank parses the container
-/// independently and keeps only the models of the groups it owns under
-/// rank_group_range — a checkpoint written at any rank count (including a
-/// single-process fleet or pipeline checkpoint) resumes at any other rank
-/// count. ParseError on truncation/corruption, like load_fleet_checkpoint.
+/// NOT collective: see load_assessor_checkpoint's distributed overload.
 RestoredDistributedFleet load_distributed_fleet_checkpoint(
     std::istream& in, dist::Communicator& comm,
     const FleetResumeOptions& resume = {});

@@ -1,566 +1,49 @@
 #include "core/fleet.hpp"
 
-#include <algorithm>
-#include <cstdint>
-#include <cstring>
-#include <future>
 #include <utility>
 
 #include "common/error.hpp"
-#include "common/timer.hpp"
-#include "core/checkpoint.hpp"
 
 namespace imrdmd::core {
 
 namespace {
 
-/// Gathers the rows listed in `group` out of `chunk` (group order).
-Mat gather_rows(const Mat& chunk, const std::vector<std::size_t>& group) {
-  Mat out(group.size(), chunk.cols());
-  for (std::size_t i = 0; i < group.size(); ++i) {
-    const double* src = chunk.data() + group[i] * chunk.cols();
-    std::copy(src, src + chunk.cols(), out.data() + i * chunk.cols());
-  }
-  return out;
-}
-
-/// Runs source.next_chunk() on a dedicated thread, so ingestion overlaps
-/// compute. Deliberately NOT a pool task: sources are free to use
-/// parallel_for themselves (SensorModel::window does), and a pool task that
-/// fans back out onto its own pool would block a worker on work only that
-/// worker can run. At most one prefetch is in flight per source; the caller
-/// must not touch the source until the future resolves.
-std::future<std::optional<Mat>> prefetch_chunk(ChunkSource& source) {
-  return std::async(std::launch::async,
-                    [&source] { return source.next_chunk(); });
-}
-
-/// The groups must partition [0, sensors) exactly: every magnitude slot is
-/// written once, so the merged vectors are total and unambiguous. Shared by
-/// the single-process and distributed drivers.
-void validate_partition(const std::vector<std::vector<std::size_t>>& groups,
-                        std::size_t sensors) {
-  std::vector<bool> covered(sensors, false);
-  for (const auto& group : groups) {
-    IMRDMD_REQUIRE_ARG(!group.empty(), "fleet group is empty");
-    for (std::size_t p : group) {
-      IMRDMD_REQUIRE_ARG(p < sensors, "fleet group sensor index out of range");
-      IMRDMD_REQUIRE_ARG(!covered[p], "fleet groups overlap");
-      covered[p] = true;
-    }
-  }
-  IMRDMD_REQUIRE_ARG(
-      std::all_of(covered.begin(), covered.end(), [](bool c) { return c; }),
-      "fleet groups do not cover every sensor");
-}
-
-/// Doubles a PartialFitReport travels the wire as. The counters are exact
-/// through double for any realistic stream (< 2^53 snapshots), so the
-/// gathered reports compare bitwise-equal to the single-process fleet's.
-constexpr std::size_t kReportWords = 8;
-
-void encode_report(std::vector<double>& out, const PartialFitReport& report) {
-  out.push_back(static_cast<double>(report.new_snapshots));
-  out.push_back(static_cast<double>(report.total_snapshots));
-  out.push_back(report.drift_grid);
-  out.push_back(report.drift_estimate);
-  out.push_back(report.drift_exceeded ? 1.0 : 0.0);
-  out.push_back(report.recomputed ? 1.0 : 0.0);
-  out.push_back(static_cast<double>(report.new_nodes));
-  out.push_back(static_cast<double>(report.new_grid_columns));
-}
-
-/// Order-sensitive fold of the chunk's raw bit patterns, squashed into the
-/// mantissa of a normal double in [1, 2) so it travels any collective
-/// without NaN/Inf hazards. Used to verify SPMD chunk agreement: two ranks
-/// disagreeing on the chunk CONTENT (not just its shape) would silently
-/// desync their replicated z-score stages otherwise.
-double chunk_digest(const Mat& chunk) {
-  std::uint64_t acc = 0x9e3779b97f4a7c15ull;
-  const double* data = chunk.data();
-  for (std::size_t i = 0; i < chunk.size(); ++i) {
-    std::uint64_t bits;
-    std::memcpy(&bits, data + i, sizeof bits);
-    acc ^= bits + 0x9e3779b97f4a7c15ull + (acc << 6) + (acc >> 2);
-  }
-  acc = (acc & 0x000fffffffffffffull) | 0x3ff0000000000000ull;
-  double digest;
-  std::memcpy(&digest, &acc, sizeof digest);
-  return digest;
-}
-
-PartialFitReport decode_report(const double* words) {
-  PartialFitReport report;
-  report.new_snapshots = static_cast<std::size_t>(words[0]);
-  report.total_snapshots = static_cast<std::size_t>(words[1]);
-  report.drift_grid = words[2];
-  report.drift_estimate = words[3];
-  report.drift_exceeded = words[4] != 0.0;
-  report.recomputed = words[5] != 0.0;
-  report.new_nodes = static_cast<std::size_t>(words[6]);
-  report.new_grid_columns = static_cast<std::size_t>(words[7]);
-  return report;
+AssessorConfig fleet_config(FleetOptions options, std::size_t sensors,
+                            dist::Communicator* comm) {
+  IMRDMD_REQUIRE_ARG(sensors > 0, "fleet needs at least one sensor");
+  AssessorConfig config;
+  config.pipeline(std::move(options.pipeline))
+      .sharded(std::move(options.groups), options.shards)
+      .sensors(sensors)
+      .checkpoint(std::move(options.checkpoint))
+      .pool(options.pool);
+  config.ingest_options.prefetch_depth = options.async_prefetch ? 1 : 0;
+  if (comm != nullptr) config.distributed(*comm);
+  return config;
 }
 
 }  // namespace
 
 FleetAssessment::FleetAssessment(FleetOptions options, std::size_t sensors)
-    : options_(std::move(options)),
-      sensors_(sensors),
-      zscore_stage_(options_.pipeline.baseline, options_.pipeline.zscore,
-                    options_.pipeline.reselect_baseline_per_chunk) {
-  IMRDMD_REQUIRE_ARG(sensors_ > 0, "fleet needs at least one sensor");
-
-  groups_ = options_.groups;
-  if (groups_.empty()) {
-    groups_ = contiguous_groups(sensors_, 1);
-  }
-  validate_partition(groups_, sensors_);
-
-  shards_ = options_.shards == 0 ? groups_.size() : options_.shards;
-  shards_ = std::min(shards_, groups_.size());
-  if (groups_.size() == 1) {
-    identity_partition_ = true;
-    for (std::size_t i = 0; i < groups_[0].size(); ++i) {
-      if (groups_[0][i] != i) identity_partition_ = false;
-    }
-  }
-
-  ImrdmdOptions model_options = options_.pipeline.imrdmd;
-  // A single lane runs on the caller thread, where the model may keep its
-  // parallel-bin fits (bitwise serial-identical per the determinism suite);
-  // with real lanes the updates are pool tasks and must not nest the pool.
-  if (shards_ > 1) model_options.mrdmd.parallel_bins = false;
-  models_.reserve(groups_.size());
-  for (std::size_t g = 0; g < groups_.size(); ++g) {
-    models_.push_back(std::make_unique<IncrementalMrdmd>(model_options));
-  }
-}
-
-ThreadPool& FleetAssessment::pool() const {
-  return options_.pool != nullptr ? *options_.pool : global_pool();
-}
-
-const IncrementalMrdmd& FleetAssessment::model(std::size_t group) const {
-  IMRDMD_REQUIRE_ARG(group < models_.size(), "fleet group index out of range");
-  return *models_[group];
-}
-
-std::size_t FleetAssessment::snapshots_processed() const {
-  // Every process() feeds all group models the same column count, so any
-  // fitted model's time_steps is the fleet-wide stream position.
-  return models_[0]->fitted() ? models_[0]->time_steps() : 0;
-}
-
-FleetSnapshot FleetAssessment::process(const Mat& chunk) {
-  IMRDMD_REQUIRE_ARG(chunk.cols() > 0, "fleet chunk has no snapshot columns");
-  IMRDMD_REQUIRE_ARG(chunk.rows() == sensors_,
-                     "fleet chunk row count differs from the fleet's sensors");
-
-  FleetSnapshot snapshot;
-  snapshot.chunk_index = chunks_processed_;
-  snapshot.chunk_snapshots = chunk.cols();
-
-  WallTimer timer;
-  std::vector<MagnitudeUpdate> updates(groups_.size());
-  // Lane l walks groups l, l + shards, ... serially; lanes run concurrently.
-  // Each group's update touches only its own model and slot, and the merge
-  // below reads the slots in group order, so results do not depend on how
-  // the lanes interleave.
-  run_lanes(
-      shards_,
-      [this, &chunk, &updates](std::size_t lane) {
-        for (std::size_t g = lane; g < groups_.size(); g += shards_) {
-          // The identity partition (one group of all sensors, in order)
-          // feeds the chunk straight through — no per-chunk gather copy.
-          updates[g] =
-              identity_partition_
-                  ? update_magnitudes(*models_[g], chunk,
-                                      options_.pipeline.band)
-                  : update_magnitudes(*models_[g],
-                                      gather_rows(chunk, groups_[g]),
-                                      options_.pipeline.band);
-        }
-      },
-      &pool());
-
-  // Merge in deterministic group order: scatter each group's magnitudes and
-  // means back to machine sensor indices, then reconcile globally.
-  snapshot.magnitudes.assign(sensors_, 0.0);
-  snapshot.sensor_means.assign(sensors_, 0.0);
-  snapshot.reports.reserve(groups_.size());
-  for (std::size_t g = 0; g < groups_.size(); ++g) {
-    const auto& group = groups_[g];
-    for (std::size_t i = 0; i < group.size(); ++i) {
-      snapshot.magnitudes[group[i]] = updates[g].magnitudes[i];
-      snapshot.sensor_means[group[i]] = updates[g].sensor_means[i];
-    }
-    snapshot.reports.push_back(updates[g].report);
-  }
-  snapshot.total_snapshots = models_[0]->time_steps();
-  snapshot.fit_seconds = timer.seconds();
-
-  snapshot.zscores = zscore_stage_.apply(
-      std::span<const double>(snapshot.magnitudes.data(),
-                              snapshot.magnitudes.size()),
-      std::span<const double>(snapshot.sensor_means.data(),
-                              snapshot.sensor_means.size()));
-
-  ++chunks_processed_;
-  return snapshot;
-}
+    : engine_(fleet_config(std::move(options), sensors, nullptr)) {}
 
 std::vector<FleetSnapshot> FleetAssessment::run(ChunkSource& source,
                                                 std::size_t max_chunks) {
-  // Snapshots parked by a previous run() whose checkpoint write failed
-  // after the chunk was already folded into the models: deliver them first
-  // — the analysis results (alarms included) cannot be regenerated.
-  std::vector<FleetSnapshot> snapshots = std::move(carry_snapshots_);
-  carry_snapshots_.clear();
-  // The parked snapshots alone may already satisfy max_chunks: return them
-  // WITHOUT touching the carried chunk or the source — pulling a chunk
-  // first would destroy one the loop below never processes, silently
-  // skipping its telemetry.
-  if (max_chunks != 0 && snapshots.size() >= max_chunks) return snapshots;
-  std::optional<Mat> current =
-      carry_.has_value() ? std::exchange(carry_, std::nullopt)
-                         : source.next_chunk();
-  while (current.has_value() &&
-         (max_chunks == 0 || snapshots.size() < max_chunks)) {
-    const bool want_more =
-        max_chunks == 0 || snapshots.size() + 1 < max_chunks;
-    // Double buffering: the next chunk is produced on its own thread while
-    // the lanes chew on the current one.
-    std::future<std::optional<Mat>> next;
-    if (options_.async_prefetch && want_more) {
-      next = prefetch_chunk(source);
-    }
-    try {
-      snapshots.push_back(process(*current));
-      // Periodic durability: after every N-th processed chunk, atomically
-      // replace the checkpoint file with the fleet's current state. The
-      // recorded stream position counts *processed* snapshots, so a chunk
-      // the in-flight prefetch has already pulled is simply re-read on
-      // resume. Inside the try: a failed checkpoint write parks the
-      // prefetched chunk like any other failure, so retrying run() loses
-      // no data.
-      if (options_.checkpoint.every_n > 0 &&
-          !options_.checkpoint.path.empty() &&
-          chunks_processed_ % options_.checkpoint.every_n == 0) {
-        save_fleet_checkpoint_file(options_.checkpoint.path, *this);
-      }
-    } catch (...) {
-      // Park everything already produced (carried-in snapshots included):
-      // those chunks are folded into the models, so their snapshots —
-      // alarms included — cannot be regenerated; the next run() delivers
-      // them first instead of losing them with the unwinding vector.
-      carry_snapshots_ = std::move(snapshots);
-      // The in-flight prefetch references `source`, so it must finish
-      // before unwinding — and it has already consumed a chunk the caller
-      // never saw. Park that chunk so a later run() resumes with it,
-      // matching the sync path's no-data-loss semantics.
-      if (next.valid()) {
-        try {
-          carry_ = next.get();
-        } catch (...) {
-          // The prefetch itself failed; the processing error below is the
-          // primary failure to surface.
-        }
-      }
-      throw;
-    }
-    if (!want_more) break;
-    current = next.valid() ? next.get() : source.next_chunk();
-  }
-  return snapshots;
-}
-
-std::pair<std::size_t, std::size_t> rank_group_range(std::size_t groups,
-                                                     std::size_t ranks,
-                                                     std::size_t rank) {
-  IMRDMD_REQUIRE_ARG(ranks > 0, "rank_group_range needs at least one rank");
-  IMRDMD_REQUIRE_ARG(rank < ranks, "rank_group_range rank out of range");
-  const std::size_t base = groups / ranks;
-  const std::size_t extra = groups % ranks;
-  const std::size_t begin = rank * base + std::min(rank, extra);
-  return {begin, begin + base + (rank < extra ? 1 : 0)};
+  return run_collecting(engine_, carry_, &source, max_chunks);
 }
 
 DistributedFleetAssessment::DistributedFleetAssessment(
     dist::Communicator& comm, FleetOptions options, std::size_t sensors)
-    : comm_(&comm),
-      options_(std::move(options)),
-      sensors_(sensors),
-      zscore_stage_(options_.pipeline.baseline, options_.pipeline.zscore,
-                    options_.pipeline.reselect_baseline_per_chunk) {
-  IMRDMD_REQUIRE_ARG(sensors_ > 0, "fleet needs at least one sensor");
-  groups_ = options_.groups;
-  if (groups_.empty()) {
-    groups_ = contiguous_groups(sensors_, 1);
-  }
-  validate_partition(groups_, sensors_);
-  if (groups_.size() == 1) {
-    identity_partition_ = true;
-    for (std::size_t i = 0; i < groups_[0].size(); ++i) {
-      if (groups_[0][i] != i) identity_partition_ = false;
-    }
-  }
-
-  const auto range = rank_group_range(
-      groups_.size(), static_cast<std::size_t>(comm_->size()),
-      static_cast<std::size_t>(comm_->rank()));
-  local_begin_ = range.first;
-  local_end_ = range.second;
-  const std::size_t local_count = local_end_ - local_begin_;
-
-  // Lane count is a *local* knob: each rank spreads only its own groups.
-  // A rank owning no groups still participates in every collective with an
-  // empty contribution.
-  shards_ = options_.shards == 0 ? std::max<std::size_t>(local_count, 1)
-                                 : options_.shards;
-  shards_ = std::min(shards_, std::max<std::size_t>(local_count, 1));
-
-  ImrdmdOptions model_options = options_.pipeline.imrdmd;
-  // Same nested-pool guard as FleetAssessment: with real lanes the group
-  // updates are pool tasks and must not fan back out onto their own pool.
-  if (shards_ > 1) model_options.mrdmd.parallel_bins = false;
-  models_.reserve(local_count);
-  for (std::size_t l = 0; l < local_count; ++l) {
-    models_.push_back(std::make_unique<IncrementalMrdmd>(model_options));
-  }
-}
-
-ThreadPool& DistributedFleetAssessment::pool() const {
-  return options_.pool != nullptr ? *options_.pool : global_pool();
-}
-
-const IncrementalMrdmd& DistributedFleetAssessment::model(
-    std::size_t group) const {
-  IMRDMD_REQUIRE_ARG(group >= local_begin_ && group < local_end_,
-                     "this rank does not own the requested fleet group");
-  return *models_[group - local_begin_];
-}
-
-void DistributedFleetAssessment::update_local_groups(
-    const Mat& chunk, std::vector<MagnitudeUpdate>& updates) {
-  const std::size_t local_count = local_end_ - local_begin_;
-  run_lanes(
-      shards_,
-      [this, &chunk, &updates, local_count](std::size_t lane) {
-        for (std::size_t l = lane; l < local_count; l += shards_) {
-          // The identity partition (one group of all sensors, in order)
-          // feeds the chunk straight through — no per-chunk gather copy.
-          updates[l] =
-              identity_partition_
-                  ? update_magnitudes(*models_[l], chunk,
-                                      options_.pipeline.band)
-                  : update_magnitudes(
-                        *models_[l],
-                        gather_rows(chunk, groups_[local_begin_ + l]),
-                        options_.pipeline.band);
-        }
-      },
-      &pool());
-}
-
-FleetSnapshot DistributedFleetAssessment::process(const Mat& chunk) {
-  IMRDMD_REQUIRE_ARG(chunk.cols() > 0, "fleet chunk has no snapshot columns");
-  IMRDMD_REQUIRE_ARG(chunk.rows() == sensors_,
-                     "fleet chunk row count differs from the fleet's sensors");
-  // SPMD agreement: every rank must be processing the same chunk — width
-  // AND content (a content disagreement would silently desync the
-  // replicated z-score stages). One allgather shows every rank every
-  // peer's (width, digest); on any disagreement every rank sees the same
-  // slots and finds some slot differing from its own, so all ranks throw
-  // together instead of deadlocking in a later collective.
-  const double meta[2] = {static_cast<double>(chunk.cols()),
-                          chunk_digest(chunk)};
-  const std::vector<std::vector<double>> metas =
-      comm_->allgatherv(std::span<const double>(meta, 2));
-  for (const auto& slot : metas) {
-    if (slot.size() != 2 ||
-        std::memcmp(slot.data(), meta, sizeof meta) != 0) {
-      throw InvalidArgument(
-          "distributed fleet ranks disagree on the chunk (width or "
-          "content)");
-    }
-  }
-
-  FleetSnapshot snapshot;
-  snapshot.chunk_index = chunks_processed_;
-  snapshot.chunk_snapshots = chunk.cols();
-
-  WallTimer timer;
-  const std::size_t local_count = local_end_ - local_begin_;
-  std::vector<MagnitudeUpdate> updates(local_count);
-  update_local_groups(chunk, updates);
-
-  // One ragged allgather carries this rank's whole contribution: for each
-  // owned group, in global group order, [magnitudes | sensor_means |
-  // report]. Boundaries are recovered from the shared ownership map, so
-  // every rank decodes the identical global sequence.
-  std::vector<double> local_blob;
-  std::size_t local_values = 0;
-  for (std::size_t l = 0; l < local_count; ++l) {
-    local_values += groups_[local_begin_ + l].size();
-  }
-  local_blob.reserve(2 * local_values + kReportWords * local_count);
-  for (std::size_t l = 0; l < local_count; ++l) {
-    local_blob.insert(local_blob.end(), updates[l].magnitudes.begin(),
-                      updates[l].magnitudes.end());
-    local_blob.insert(local_blob.end(), updates[l].sensor_means.begin(),
-                      updates[l].sensor_means.end());
-    encode_report(local_blob, updates[l].report);
-  }
-  const std::vector<std::vector<double>> blobs = comm_->allgatherv(
-      std::span<const double>(local_blob.data(), local_blob.size()));
-
-  // Merge in deterministic global group order: scatter each group's
-  // magnitudes and means back to machine sensor indices, then reconcile
-  // through this rank's replica of the global stage.
-  snapshot.magnitudes.assign(sensors_, 0.0);
-  snapshot.sensor_means.assign(sensors_, 0.0);
-  snapshot.reports.resize(groups_.size());
-  const std::size_t ranks = static_cast<std::size_t>(comm_->size());
-  for (std::size_t r = 0; r < ranks; ++r) {
-    const auto range = rank_group_range(groups_.size(), ranks, r);
-    const std::vector<double>& blob = blobs[r];
-    std::size_t expected = 0;
-    for (std::size_t g = range.first; g < range.second; ++g) {
-      expected += 2 * groups_[g].size() + kReportWords;
-    }
-    IMRDMD_REQUIRE_DIMS(
-        blob.size() == expected,
-        "distributed fleet rank contribution has the wrong length");
-    const double* cursor = blob.data();
-    for (std::size_t g = range.first; g < range.second; ++g) {
-      const auto& group = groups_[g];
-      for (std::size_t i = 0; i < group.size(); ++i) {
-        snapshot.magnitudes[group[i]] = cursor[i];
-        snapshot.sensor_means[group[i]] = cursor[group.size() + i];
-      }
-      snapshot.reports[g] = decode_report(cursor + 2 * group.size());
-      cursor += 2 * group.size() + kReportWords;
-    }
-  }
-  snapshot.total_snapshots = snapshots_seen_ + chunk.cols();
-  snapshot.fit_seconds = timer.seconds();
-
-  snapshot.zscores = zscore_stage_.apply(
-      std::span<const double>(snapshot.magnitudes.data(),
-                              snapshot.magnitudes.size()),
-      std::span<const double>(snapshot.sensor_means.data(),
-                              snapshot.sensor_means.size()));
-
-  snapshots_seen_ += chunk.cols();
-  ++chunks_processed_;
-  return snapshot;
-}
+    : engine_(fleet_config(std::move(options), sensors, &comm)) {}
 
 std::vector<FleetSnapshot> DistributedFleetAssessment::run(
     ChunkSource* source, std::size_t max_chunks) {
-  const bool root = comm_->rank() == 0;
-  IMRDMD_REQUIRE_ARG(root == (source != nullptr),
-                     "the chunk source lives on rank 0 only (pass nullptr "
-                     "on the other ranks)");
-  // Deliver snapshots parked by a previous failed run() first (see
-  // FleetAssessment::run): those chunks are folded into the models, so the
-  // results cannot be regenerated.
-  std::vector<FleetSnapshot> snapshots = std::move(carry_snapshots_);
-  carry_snapshots_.clear();
-  // Parked snapshots alone may already satisfy max_chunks: return them
-  // without touching the carried chunk or the source (pulling first would
-  // drop a chunk the loop never processes). A rank taking this return
-  // performs no collective this call; a peer that parked fewer snapshots
-  // (possible when only rank 0 sees a checkpoint-write failure at the
-  // max_chunks boundary) proceeds to the width handshake and simply pairs
-  // with this rank's NEXT run() — per-rank delivered streams stay
-  // identical and in order, only the per-call grouping shifts.
-  if (max_chunks != 0 && snapshots.size() >= max_chunks) return snapshots;
-  try {
-    std::optional<Mat> current;
-    if (root) {
-      current = carry_.has_value() ? std::exchange(carry_, std::nullopt)
-                                   : source->next_chunk();
-    }
-    while (max_chunks == 0 || snapshots.size() < max_chunks) {
-      // Width handshake: rank 0 announces the next chunk's column count
-      // (0 = stream end) so peers can size their replica before the data
-      // broadcast.
-      double width[1] = {root && current.has_value()
-                             ? static_cast<double>(current->cols())
-                             : 0.0};
-      comm_->broadcast(std::span<double>(width, 1), 0);
-      if (width[0] == 0.0) break;
-      if (!root) {
-        current.emplace(sensors_, static_cast<std::size_t>(width[0]));
-      }
-      // Replicate the chunk. A root chunk with the wrong row count makes
-      // the buffer sizes disagree, failing on every rank together.
-      comm_->broadcast(std::span<double>(current->data(), current->size()),
-                       0);
-
-      const bool want_more =
-          max_chunks == 0 || snapshots.size() + 1 < max_chunks;
-      // Double buffering on the ingestion rank: the next chunk is produced
-      // on its own thread while every rank's lanes chew on the current one.
-      std::future<std::optional<Mat>> next;
-      if (root && options_.async_prefetch && want_more) {
-        next = prefetch_chunk(*source);
-      }
-      try {
-        snapshots.push_back(process(*current));
-        // Periodic durability (collective): every rank contributes its
-        // sections, rank 0 atomically replaces the checkpoint file.
-        if (options_.checkpoint.every_n > 0 &&
-            !options_.checkpoint.path.empty() &&
-            chunks_processed_ % options_.checkpoint.every_n == 0) {
-          save_distributed_fleet_checkpoint_file(options_.checkpoint.path,
-                                                 *this);
-        }
-      } catch (...) {
-        // Park the chunk the in-flight prefetch already consumed so a
-        // later run() resumes with it (rank 0; peers re-receive it via the
-        // broadcast), matching FleetAssessment's no-data-loss semantics.
-        if (next.valid()) {
-          try {
-            carry_ = next.get();
-          } catch (...) {
-            // The prefetch itself failed; surface the primary error below.
-          }
-        }
-        throw;
-      }
-      if (!want_more) break;
-      if (root) {
-        current = next.valid() ? next.get() : source->next_chunk();
-      }
-    }
-  } catch (...) {
-    // Park everything already produced on every rank — including a peer
-    // unwinding with CollectiveAborted after the root failed a checkpoint
-    // write: its models folded the chunk in, so the snapshot must survive
-    // for the next collective run().
-    carry_snapshots_ = std::move(snapshots);
-    throw;
-  }
-  return snapshots;
-}
-
-std::vector<std::vector<std::size_t>> contiguous_groups(std::size_t sensors,
-                                                        std::size_t count) {
-  IMRDMD_REQUIRE_ARG(count > 0 && count <= sensors,
-                     "group count must be in [1, sensors]");
-  std::vector<std::vector<std::size_t>> groups(count);
-  const std::size_t base = sensors / count;
-  const std::size_t extra = sensors % count;
-  std::size_t next = 0;
-  for (std::size_t g = 0; g < count; ++g) {
-    const std::size_t size = base + (g < extra ? 1 : 0);
-    groups[g].reserve(size);
-    for (std::size_t i = 0; i < size; ++i) groups[g].push_back(next++);
-  }
-  return groups;
+  // A rank whose parked snapshots alone satisfy max_chunks performs no
+  // collective this call; a peer that parked fewer proceeds into the
+  // engine loop and simply pairs with this rank's NEXT run() — per-rank
+  // delivered streams stay identical and in order, only the per-call
+  // grouping shifts.
+  return run_collecting(engine_, carry_, source, max_chunks);
 }
 
 }  // namespace imrdmd::core

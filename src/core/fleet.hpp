@@ -1,54 +1,40 @@
-// Sharded fleet-scale assessment driver (ROADMAP: sharding / batching /
-// async).
+// Legacy fleet-scale entry points (ROADMAP: sharding / batching / async /
+// cross-node distribution), now thin shims over the unified streaming
+// engine (core/assessor.hpp).
 //
-// The monolithic OnlineAssessmentPipeline fits one I-mrDMD over every sensor
-// of the machine. FleetAssessment instead partitions the P sensors into
-// disjoint groups (explicit index lists, or rack/contiguous groupings — see
-// telemetry::ShardedEnvSource), maintains one cheap IncrementalMrdmd per
-// group, and spreads the per-group chunk updates across `shards` concurrent
-// worker lanes on a ThreadPool, overlapping ingestion with compute through a
-// double-buffered asynchronous prefetch of the next chunk. This is the
-// multifidelity structure of Peherstorfer et al.'s survey applied to the
-// assessment problem itself: many independent low-cost local models, one
-// global reconciliation.
+// FleetAssessment configures the engine with the sharded topology (one
+// cheap I-mrDMD per sensor group spread across worker lanes, one global
+// BaselineZscoreStage reconciliation); DistributedFleetAssessment adds the
+// distributed topology (groups spread across the ranks of a thread-SPMD
+// dist::World). The engine owns ALL run-loop logic — prefetch,
+// carry/parking, no-data-loss discipline, the periodic checkpoint hook —
+// for both shims; they only adapt the legacy accumulated-vector return on
+// top of a CollectingSink. New code should use core::Assessor with a
+// SnapshotSink directly — see the README's "Assessor API" migration table.
 //
-// Reconciliation stays global: each group's model produces band-filtered
-// mode magnitudes for its rows only; the driver scatters them back into
-// machine sensor order (deterministic group order, independent of lane
-// assignment or completion order) and runs the same BaselineZscoreStage the
-// monolithic pipeline uses, so baseline selection and z-scoring see the
-// whole fleet at once. Consequences, both covered by the shard-count
-// invariance suite:
-//   * for a fixed group partition, FleetSnapshot is bitwise-identical for
-//     any shard (lane) count and for sync vs async-prefetch ingestion;
-//   * with the trivial single-group partition the fleet is bitwise-identical
-//     to OnlineAssessmentPipeline on the same stream, for any shard count.
+// Invariance contracts (unchanged, covered by tests/fleet_test.cpp,
+// tests/dist_fleet_test.cpp, and the determinism suite): for a fixed group
+// partition, snapshots are bitwise identical for any lane count, any rank
+// count, sync vs async ingestion, and identical to the monolithic
+// OnlineAssessmentPipeline under the trivial single-group partition.
 #pragma once
 
 #include <cstddef>
-#include <memory>
-#include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "core/assessor.hpp"
 #include "core/pipeline.hpp"
 #include "dist/communicator.hpp"
 
 namespace imrdmd::core {
 
-/// Periodic durability for long-running fleet streams: when armed (every_n
-/// > 0 and a non-empty path), FleetAssessment::run writes a fleet
-/// checkpoint (core/checkpoint.hpp) to `path` after every `every_n`-th
-/// processed chunk, atomically (write-temp-then-rename) so a kill mid-write
-/// never leaves a torn file — `path` always holds the latest complete
-/// checkpoint.
-struct FleetCheckpointPolicy {
-  /// Checkpoint after every N processed chunks; 0 disables the hook.
-  std::size_t every_n = 0;
-  /// Target file, atomically replaced on each write.
-  std::string path;
-};
+/// Legacy spelling of the engine's CheckpointPolicy.
+using FleetCheckpointPolicy = CheckpointPolicy;
+
+/// Legacy spelling of the engine's AssessmentSnapshot.
+using FleetSnapshot = AssessmentSnapshot;
 
 struct FleetOptions {
   /// Per-group model options plus the global baseline/z-score stage. With
@@ -66,140 +52,78 @@ struct FleetOptions {
   /// 0 = one lane per group; values above the group count are clamped to it
   /// (extra lanes would have no groups to work on).
   std::size_t shards = 0;
-  /// Overlap source.next_chunk() with compute in run(). The prefetch runs
-  /// on its own thread (not the pool): sources may parallel_for internally.
+  /// Overlap source.next_chunk() with compute in run() (the engine's
+  /// prefetch depth 1); false pulls synchronously (depth 0).
   bool async_prefetch = true;
   /// Pool the worker lanes run on; null = global_pool().
   ThreadPool* pool = nullptr;
-  /// Periodic checkpointing during run() (disabled by default).
+  /// Periodic checkpointing during run() (disabled by default). Arming
+  /// every_n > 0 with an empty path is rejected with InvalidArgument at
+  /// construction (it would silently disarm the policy).
   FleetCheckpointPolicy checkpoint;
 };
 
-/// Everything produced by one chunk's worth of fleet-wide processing.
-struct FleetSnapshot {
-  std::size_t chunk_index = 0;
-  std::size_t chunk_snapshots = 0;
-  std::size_t total_snapshots = 0;
-  /// Per-group partial-fit diagnostics, in group order.
-  std::vector<PartialFitReport> reports;
-  /// Merged band-filtered magnitudes, machine sensor order.
-  std::vector<double> magnitudes;
-  /// Merged per-sensor chunk means, machine sensor order.
-  std::vector<double> sensor_means;
-  /// Global z-scores over the merged magnitudes (machine sensor order).
-  ZscoreAnalysis zscores;
-  /// Wall time of the sharded fit + merge (not per group).
-  double fit_seconds = 0.0;
-};
-
+/// [DEPRECATED shim] Sharded single-process driver delegating to
+/// core::Assessor.
 class FleetAssessment {
  public:
   /// `sensors` is the fleet-wide sensor count P; options.groups must
-  /// partition [0, P) (validated here, InvalidArgument otherwise).
+  /// partition [0, P) (validated by the engine, InvalidArgument otherwise).
   FleetAssessment(FleetOptions options, std::size_t sensors);
 
   /// Processes one P x T_chunk chunk (the first call performs the initial
   /// fit of every group model). Rejects zero-column chunks and row-count
   /// changes with InvalidArgument, like the monolithic pipeline.
-  FleetSnapshot process(const Mat& chunk);
+  FleetSnapshot process(const Mat& chunk) { return engine_.process(chunk); }
 
-  /// Pulls chunks from `source` until exhaustion (or `max_chunks` > 0),
-  /// prefetching the next chunk asynchronously while the current one is
-  /// being processed (FleetOptions::async_prefetch). A mid-run failure
-  /// loses nothing: a chunk the prefetch already consumed is parked and
-  /// consumed first by the next run() call, and snapshots this run already
-  /// computed (their chunks are folded into the models and cannot be
-  /// re-derived) are parked and *delivered first* by the next run(). With
-  /// FleetOptions::checkpoint armed, a fleet checkpoint is written
-  /// atomically after every N-th processed chunk; a run killed at any point
-  /// and resumed from the latest checkpoint (load_fleet_checkpoint +
-  /// ChunkSource::seek) reproduces the uninterrupted run bitwise.
+  /// Pulls chunks from `source` until exhaustion (or `max_chunks` > 0)
+  /// through the engine's run loop (prefetch, carry/parking, periodic
+  /// checkpoint hook). A mid-run failure loses nothing: chunks the
+  /// prefetch already consumed are parked in the engine and consumed first
+  /// by the next run() call, and snapshots this run already computed are
+  /// *delivered first* by the next run().
   std::vector<FleetSnapshot> run(ChunkSource& source,
                                  std::size_t max_chunks = 0);
 
-  std::size_t sensors() const { return sensors_; }
-  std::size_t group_count() const { return groups_.size(); }
+  std::size_t sensors() const { return engine_.sensors(); }
+  std::size_t group_count() const { return engine_.group_count(); }
   const std::vector<std::vector<std::size_t>>& groups() const {
-    return groups_;
+    return engine_.groups();
   }
   /// Worker lanes process() spreads the group updates across.
-  std::size_t shards() const { return shards_; }
-  const IncrementalMrdmd& model(std::size_t group) const;
+  std::size_t shards() const { return engine_.lanes(); }
+  const IncrementalMrdmd& model(std::size_t group) const {
+    return engine_.model(group);
+  }
   /// Chunks processed so far (the next snapshot's chunk_index).
-  std::size_t chunks_processed() const { return chunks_processed_; }
+  std::size_t chunks_processed() const { return engine_.chunks_processed(); }
   /// Snapshots folded into the group models so far — the stream position a
-  /// checkpoint records (prefetch-safe: counts processed chunks only, not
-  /// chunks an in-flight prefetch has already pulled from the source).
-  std::size_t snapshots_processed() const;
+  /// checkpoint records.
+  std::size_t snapshots_processed() const {
+    return engine_.snapshots_processed();
+  }
 
  private:
-  /// Checkpoint/resume (save_fleet_checkpoint / load_fleet_checkpoint in
-  /// core/checkpoint.hpp) reads the models and stage state, and installs
-  /// restored state, through this single access point.
+  /// Checkpoint/resume (core/checkpoint.hpp) reads and installs engine
+  /// state through this single access point.
   friend struct CheckpointAccess;
 
-  ThreadPool& pool() const;
+  explicit FleetAssessment(Assessor engine) : engine_(std::move(engine)) {}
 
-  FleetOptions options_;
-  std::size_t sensors_ = 0;
-  std::vector<std::vector<std::size_t>> groups_;
-  std::size_t shards_ = 1;
-  /// True for the trivial partition {0..P-1}: chunks bypass the row gather.
-  bool identity_partition_ = false;
-  /// Chunk consumed by a prefetch whose process() failed; the next run()
-  /// starts here instead of advancing the source.
-  std::optional<Mat> carry_;
-  /// Snapshots computed by a run() that failed *after* processing (a
-  /// checkpoint write error); delivered first by the next run() — the
-  /// models have already folded those chunks in, so the results cannot be
-  /// regenerated.
-  std::vector<FleetSnapshot> carry_snapshots_;
-  /// unique_ptr: group models are handed to pool tasks by raw pointer and
-  /// must not move when the driver itself is moved.
-  std::vector<std::unique_ptr<IncrementalMrdmd>> models_;
-  BaselineZscoreStage zscore_stage_;
-  std::size_t chunks_processed_ = 0;
+  Assessor engine_;
+  /// Snapshots a failed run() delivered but could not return (the vector
+  /// contract's half of the engine's parking discipline); the next run()
+  /// returns them first.
+  std::vector<FleetSnapshot> carry_;
 };
 
-/// Partitions [0, sensors) into `count` contiguous, near-equal groups (the
-/// first `sensors % count` groups get one extra sensor).
-std::vector<std::vector<std::size_t>> contiguous_groups(std::size_t sensors,
-                                                        std::size_t count);
-
-/// Deterministic contiguous assignment of `groups` global group indices to
-/// `ranks` SPMD ranks: rank r owns the half-open range [first, second) of
-/// group indices, near-equal (the first `groups % ranks` ranks get one
-/// extra). Ranks beyond the group count own the empty range. A pure
-/// function of (groups, ranks, rank) — every rank computes the same map
-/// with no communication, and checkpoint resume at a different rank count
-/// re-derives ownership from the same rule.
-std::pair<std::size_t, std::size_t> rank_group_range(std::size_t groups,
-                                                     std::size_t ranks,
-                                                     std::size_t rank);
-
-/// Cross-node distributed fleet assessment over dist::Communicator
-/// (ROADMAP: cross-node distribution). The sharded FleetAssessment spreads
-/// group updates across thread lanes of ONE process; this driver spreads
-/// the *groups themselves* across the ranks of a thread-SPMD dist::World:
-/// rank r owns the contiguous group range rank_group_range(G, R, r), runs
-/// its groups on its own local lanes (the same lane structure, with the
-/// same double-buffered prefetch on the root's ingestion side), and the
-/// per-group magnitude vectors are allgathered — concatenated in
-/// deterministic global group order — so every rank feeds the same bytes
-/// to its replica of the global BaselineZscoreStage.
-///
-/// Invariance contract (covered by tests/dist_fleet_test.cpp and the
-/// determinism suite): for a fixed group partition, FleetSnapshots are
-/// bitwise identical across any rank count (1/2/4/...), any local lane
-/// count, and identical to the single-process FleetAssessment — and a
-/// fleet checkpoint written at R ranks is byte-identical to the one the
-/// single-process fleet writes from the same stream position, so any rank
-/// count resumes a checkpoint written by any other rank count.
-///
-/// SPMD contract: every rank must construct the driver with the same
-/// options/sensors and call process()/run()/checkpoint entry points
-/// collectively, in the same order. A rank that fails mid-collective
-/// poisons the world (dist::CollectiveAborted) instead of deadlocking.
+/// [DEPRECATED shim] Cross-node distributed driver delegating to
+/// core::Assessor with the distributed topology (ROADMAP: cross-node
+/// distribution). Same SPMD contract as the engine: every rank constructs
+/// the driver with the same options/sensors and calls
+/// process()/run()/checkpoint entry points collectively, in the same
+/// order; a rank failing mid-collective poisons the world
+/// (dist::CollectiveAborted) instead of deadlocking.
 class DistributedFleetAssessment {
  public:
   /// Collective constructor-shaped validation only (no communication):
@@ -213,83 +137,52 @@ class DistributedFleetAssessment {
   /// Rank disagreement on the chunk — width OR content, checked through a
   /// bitwise digest on the agreement collective — fails on every rank
   /// together.
-  FleetSnapshot process(const Mat& chunk);
+  FleetSnapshot process(const Mat& chunk) { return engine_.process(chunk); }
 
-  /// Collective: rank 0 owns `source` (non-null there, null elsewhere),
-  /// pulls chunks with the double-buffered async prefetch, and broadcasts
-  /// each chunk to the peers; every rank returns the identical snapshot
-  /// stream. Mid-run failures follow FleetAssessment::run's no-data-loss
-  /// discipline: the prefetched chunk is parked on rank 0 and already-
-  /// computed snapshots are parked per rank, both delivered first by the
-  /// next collective run() call. With FleetOptions::checkpoint armed (same
-  /// policy on every rank), rank 0 gathers the per-group model sections
-  /// and atomically writes one IMRDFL1 fleet checkpoint after every N-th
-  /// processed chunk.
+  /// Collective: rank 0 owns `source` (non-null there, null elsewhere) and
+  /// the engine broadcasts each chunk to the peers; every rank returns the
+  /// identical snapshot stream. Mid-run failures follow the engine's
+  /// no-data-loss discipline on every rank.
   std::vector<FleetSnapshot> run(ChunkSource* source,
                                  std::size_t max_chunks = 0);
 
-  int rank() const { return comm_->rank(); }
-  int ranks() const { return comm_->size(); }
-  std::size_t sensors() const { return sensors_; }
-  std::size_t group_count() const { return groups_.size(); }
+  int rank() const { return engine_.rank(); }
+  int ranks() const { return engine_.ranks(); }
+  std::size_t sensors() const { return engine_.sensors(); }
+  std::size_t group_count() const { return engine_.group_count(); }
   const std::vector<std::vector<std::size_t>>& groups() const {
-    return groups_;
+    return engine_.groups();
   }
   /// This rank's owned global group range [first, second).
   std::pair<std::size_t, std::size_t> local_groups() const {
-    return {local_begin_, local_end_};
+    return engine_.local_groups();
   }
   /// Worker lanes this rank's group updates are spread across.
-  std::size_t shards() const { return shards_; }
+  std::size_t shards() const { return engine_.lanes(); }
   /// Model of owned global group `group` (InvalidArgument when this rank
   /// does not own it).
-  const IncrementalMrdmd& model(std::size_t group) const;
-  std::size_t chunks_processed() const { return chunks_processed_; }
+  const IncrementalMrdmd& model(std::size_t group) const {
+    return engine_.model(group);
+  }
+  std::size_t chunks_processed() const { return engine_.chunks_processed(); }
   /// Snapshots folded into the group models so far — the stream position a
   /// checkpoint records.
-  std::size_t snapshots_processed() const { return snapshots_seen_; }
+  std::size_t snapshots_processed() const {
+    return engine_.snapshots_processed();
+  }
 
  private:
-  /// save_distributed_fleet_checkpoint / load_distributed_fleet_checkpoint
-  /// (core/checkpoint.hpp) read and install state through this single
-  /// access point.
+  /// Checkpoint/resume (core/checkpoint.hpp) reads and installs engine
+  /// state through this single access point.
   friend struct CheckpointAccess;
 
-  ThreadPool& pool() const;
-  /// Runs this rank's group updates across the local lanes.
-  void update_local_groups(const Mat& chunk,
-                           std::vector<MagnitudeUpdate>& updates);
+  explicit DistributedFleetAssessment(Assessor engine)
+      : engine_(std::move(engine)) {}
 
-  dist::Communicator* comm_;
-  FleetOptions options_;
-  std::size_t sensors_ = 0;
-  /// The FULL global partition (every rank knows every group's sensor
-  /// list; only the owned range has models).
-  std::vector<std::vector<std::size_t>> groups_;
-  std::size_t local_begin_ = 0;
-  std::size_t local_end_ = 0;
-  std::size_t shards_ = 1;
-  /// True for the trivial partition {0..P-1}: the owning rank feeds the
-  /// chunk straight through, no per-chunk row-gather copy.
-  bool identity_partition_ = false;
-  /// Chunk consumed by rank 0's prefetch whose process() failed; the next
-  /// run() starts here instead of advancing the source (rank 0 only).
-  std::optional<Mat> carry_;
-  /// Snapshots computed by a run() that failed after processing; delivered
-  /// first by the next run() — the models have already folded those chunks
-  /// in, so the results cannot be regenerated.
-  std::vector<FleetSnapshot> carry_snapshots_;
-  /// Models of the owned groups only, local index l = global group
-  /// local_begin_ + l. unique_ptr: handed to pool tasks by raw pointer.
-  std::vector<std::unique_ptr<IncrementalMrdmd>> models_;
-  /// Replicated: every rank feeds it the same merged bytes, so the state
-  /// stays identical across ranks without communication.
-  BaselineZscoreStage zscore_stage_;
-  std::size_t chunks_processed_ = 0;
-  /// Snapshots folded in so far. FleetAssessment reads this off
-  /// models_[0]->time_steps(); a rank here may own no models, so the
-  /// stream position is tracked explicitly (restored on resume).
-  std::size_t snapshots_seen_ = 0;
+  Assessor engine_;
+  /// Snapshots a failed run() delivered but could not return; the next
+  /// run() returns them first (per rank).
+  std::vector<FleetSnapshot> carry_;
 };
 
 }  // namespace imrdmd::core

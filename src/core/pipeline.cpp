@@ -1,96 +1,54 @@
 #include "core/pipeline.hpp"
 
-#include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
-#include "common/timer.hpp"
 
 namespace imrdmd::core {
 
-MatrixChunkSource::MatrixChunkSource(const Mat& data,
-                                     std::size_t initial_snapshots,
-                                     std::size_t chunk_snapshots)
-    : data_(data), initial_(initial_snapshots), chunk_(chunk_snapshots) {
-  IMRDMD_REQUIRE_ARG(chunk_ > 0, "chunk_snapshots must be positive");
-  if (initial_ == 0) initial_ = chunk_;
-}
+namespace {
 
-void ChunkSource::seek(std::size_t snapshot) {
-  (void)snapshot;
-  throw InvalidArgument("this chunk source does not support seek()");
-}
-
-std::optional<Mat> MatrixChunkSource::next_chunk() {
-  if (position_ >= data_.cols()) return std::nullopt;
-  const std::size_t want = position_ == 0 ? initial_ : chunk_;
-  const std::size_t count = std::min(want, data_.cols() - position_);
-  Mat out = data_.block(0, position_, data_.rows(), count);
-  position_ += count;
+/// The monolithic engine has exactly one group, so its snapshot flattens
+/// losslessly into the legacy pipeline shape.
+PipelineSnapshot to_pipeline_snapshot(AssessmentSnapshot&& snapshot) {
+  PipelineSnapshot out;
+  out.chunk_index = snapshot.chunk_index;
+  out.chunk_snapshots = snapshot.chunk_snapshots;
+  out.total_snapshots = snapshot.total_snapshots;
+  if (!snapshot.reports.empty()) out.report = snapshot.reports.front();
+  out.magnitudes = std::move(snapshot.magnitudes);
+  out.sensor_means = std::move(snapshot.sensor_means);
+  out.zscores = std::move(snapshot.zscores);
+  out.fit_seconds = snapshot.fit_seconds;
   return out;
 }
 
-void MatrixChunkSource::seek(std::size_t snapshot) {
-  IMRDMD_REQUIRE_ARG(snapshot <= data_.cols(),
-                     "seek past the end of the replayed matrix");
-  position_ = snapshot;
+AssessorConfig pipeline_config(PipelineOptions options) {
+  AssessorConfig config;
+  config.pipeline(std::move(options)).monolithic();
+  // The legacy pipeline pulled synchronously; keep that ingestion profile
+  // (results are prefetch-invariant regardless).
+  config.ingest_options.prefetch_depth = 0;
+  return config;
 }
+
+}  // namespace
 
 OnlineAssessmentPipeline::OnlineAssessmentPipeline(PipelineOptions options)
-    : options_(options),
-      model_(options.imrdmd),
-      zscore_stage_(options.baseline, options.zscore,
-                    options.reselect_baseline_per_chunk) {}
-
-MagnitudeUpdate update_magnitudes(IncrementalMrdmd& model, const Mat& chunk,
-                                  const dmd::ModeBand& band) {
-  MagnitudeUpdate update;
-  WallTimer timer;
-  if (!model.fitted()) {
-    model.initial_fit(chunk);
-  } else {
-    update.report = model.partial_fit(chunk);
-  }
-  update.fit_seconds = timer.seconds();
-  update.magnitudes = model.magnitudes(&band);
-  update.sensor_means = row_means(chunk);
-  return update;
-}
+    : engine_(pipeline_config(std::move(options))) {}
 
 PipelineSnapshot OnlineAssessmentPipeline::process(const Mat& chunk) {
-  IMRDMD_REQUIRE_ARG(chunk.cols() > 0,
-                     "pipeline chunk has no snapshot columns");
-  IMRDMD_REQUIRE_ARG(!model_.fitted() || chunk.rows() == model_.sensors(),
-                     "pipeline chunk row count differs from the first chunk");
-
-  PipelineSnapshot snapshot;
-  snapshot.chunk_index = chunks_processed_;
-  snapshot.chunk_snapshots = chunk.cols();
-
-  MagnitudeUpdate update = update_magnitudes(model_, chunk, options_.band);
-  snapshot.report = update.report;
-  snapshot.fit_seconds = update.fit_seconds;
-  snapshot.total_snapshots = model_.time_steps();
-  snapshot.magnitudes = std::move(update.magnitudes);
-  snapshot.sensor_means = std::move(update.sensor_means);
-  snapshot.zscores = zscore_stage_.apply(
-      std::span<const double>(snapshot.magnitudes.data(),
-                              snapshot.magnitudes.size()),
-      std::span<const double>(snapshot.sensor_means.data(),
-                              snapshot.sensor_means.size()));
-
-  ++chunks_processed_;
-  return snapshot;
+  return to_pipeline_snapshot(engine_.process(chunk));
 }
 
 std::vector<PipelineSnapshot> OnlineAssessmentPipeline::run(
     ChunkSource& source, std::size_t max_chunks) {
+  std::vector<AssessmentSnapshot> delivered =
+      run_collecting(engine_, carry_, &source, max_chunks);
   std::vector<PipelineSnapshot> snapshots;
-  while (max_chunks == 0 || snapshots.size() < max_chunks) {
-    std::optional<Mat> chunk = source.next_chunk();
-    if (!chunk.has_value()) break;
-    IMRDMD_REQUIRE_DIMS(chunk->rows() == source.sensors(),
-                        "source chunk sensor count changed mid-stream");
-    snapshots.push_back(process(*chunk));
+  snapshots.reserve(delivered.size());
+  for (AssessmentSnapshot& snapshot : delivered) {
+    snapshots.push_back(to_pipeline_snapshot(std::move(snapshot)));
   }
   return snapshots;
 }

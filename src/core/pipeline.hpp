@@ -1,104 +1,33 @@
-// The end-to-end online assessment pipeline (paper Sec. I contribution list
-// and Sec. V): stream -> I-mrDMD -> frequency isolation -> baseline z-scores.
+// The legacy monolithic entry point of the online assessment workflow
+// (paper Sec. I contribution list and Sec. V): stream -> I-mrDMD ->
+// frequency isolation -> baseline z-scores.
 //
-// The pipeline is substrate-agnostic: telemetry sources implement
-// ChunkSource, visualization consumes the per-chunk PipelineSnapshot (sensor
-// z-scores + states); neither direction couples core to telemetry/rack.
+// OnlineAssessmentPipeline is now a thin shim over the unified streaming
+// engine (core/assessor.hpp) configured with the monolithic topology; it
+// keeps the original constructor/process/run surface (including the
+// accumulated-vector return) for existing callers. New code should use
+// core::Assessor with a SnapshotSink directly — see the README's
+// "Assessor API" migration table.
+//
+// ChunkSource/MatrixChunkSource and PipelineOptions/MagnitudeUpdate moved
+// to core/stream.hpp and core/assessor.hpp respectively; this header
+// re-exports them, so existing includes keep compiling.
 #pragma once
 
 #include <cstddef>
-#include <optional>
+#include <utility>
 #include <vector>
 
+#include "core/assessor.hpp"
 #include "core/imrdmd.hpp"
+#include "core/stream.hpp"
 #include "core/zscore.hpp"
 #include "dmd/spectrum.hpp"
 
 namespace imrdmd::core {
 
-/// A pull-based source of snapshot chunks (P sensors x T_chunk columns).
-class ChunkSource {
- public:
-  /// position() value of a source that cannot report one.
-  static constexpr std::size_t kUnknownPosition = ~std::size_t{0};
-
-  virtual ~ChunkSource() = default;
-  /// Next chunk, or nullopt when the stream ends. Chunk widths may vary.
-  virtual std::optional<Mat> next_chunk() = 0;
-  /// Sensor count (constant across chunks).
-  virtual std::size_t sensors() const = 0;
-
-  /// Snapshots emitted so far — the position a checkpoint records so a
-  /// resumed run can continue the stream where the killed run left off.
-  /// Sources that cannot report one return kUnknownPosition.
-  virtual std::size_t position() const { return kUnknownPosition; }
-
-  /// Repositions the stream so the next chunk starts at snapshot index
-  /// `snapshot` (as recorded in a checkpoint). A source must opt in to
-  /// resumability; the default throws InvalidArgument.
-  virtual void seek(std::size_t snapshot);
-};
-
-/// ChunkSource replaying a prebuilt in-memory matrix in fixed-width chunks;
-/// the first chunk may use a different width (the initial-fit window).
-/// `data` is borrowed and must outlive the source. Shared by the fleet
-/// bench and the shard-invariance tests so both replay identical streams.
-class MatrixChunkSource final : public ChunkSource {
- public:
-  MatrixChunkSource(const Mat& data, std::size_t initial_snapshots,
-                    std::size_t chunk_snapshots);
-
-  std::optional<Mat> next_chunk() override;
-  std::size_t sensors() const override { return data_.rows(); }
-
-  /// Snapshots emitted so far.
-  std::size_t position() const override { return position_; }
-  /// Seekable: resuming mid-matrix replays from any snapshot index.
-  void seek(std::size_t snapshot) override;
-  void rewind() { position_ = 0; }
-
- private:
-  const Mat& data_;
-  std::size_t initial_;
-  std::size_t chunk_;
-  std::size_t position_ = 0;
-};
-
-struct PipelineOptions {
-  ImrdmdOptions imrdmd;
-  /// Frequency/power isolation applied before z-scoring (e.g. 0-60 Hz in
-  /// case study 1).
-  dmd::ModeBand band;
-  /// Value-range rule for the baseline population, applied to each chunk's
-  /// per-sensor mean (the paper re-selects baselines per window).
-  BaselineRange baseline{0.0, 0.0};
-  ZscoreOptions zscore;
-  /// When true, the baseline population is re-selected on every chunk
-  /// (case study 2); when false the initial chunk's population is kept.
-  bool reselect_baseline_per_chunk = true;
-};
-
-/// Result of the shard-local half of a chunk's processing: fit the chunk
-/// into one model and read off the band-filtered magnitudes and per-sensor
-/// chunk means. Exposed separately from the global baseline/z-score stage so
-/// the sharded fleet driver (core/fleet.hpp) can run one of these per shard
-/// model and reconcile globally.
-struct MagnitudeUpdate {
-  /// Partial-fit diagnostics (default-initialized on the initial fit).
-  PartialFitReport report;
-  /// Band-filtered per-sensor mode magnitudes (model row order).
-  std::vector<double> magnitudes;
-  /// Per-sensor chunk means (the values the baseline rule filters).
-  std::vector<double> sensor_means;
-  double fit_seconds = 0.0;
-};
-
-/// Fits `chunk` into `model` (initial fit when unfitted, incremental
-/// otherwise) and computes the band-filtered magnitudes and chunk means.
-MagnitudeUpdate update_magnitudes(IncrementalMrdmd& model, const Mat& chunk,
-                                  const dmd::ModeBand& band);
-
-/// Everything produced by one chunk's worth of processing.
+/// Everything produced by one chunk's worth of processing — the monolithic
+/// view of AssessmentSnapshot (one model, so one flat report).
 struct PipelineSnapshot {
   std::size_t chunk_index = 0;
   std::size_t chunk_snapshots = 0;
@@ -113,6 +42,8 @@ struct PipelineSnapshot {
   double fit_seconds = 0.0;
 };
 
+/// [DEPRECATED shim] Monolithic driver delegating to core::Assessor; the
+/// engine owns the run loop (ingestion, carry/parking, checkpoint hook).
 class OnlineAssessmentPipeline {
  public:
   explicit OnlineAssessmentPipeline(PipelineOptions options);
@@ -123,24 +54,33 @@ class OnlineAssessmentPipeline {
   PipelineSnapshot process(const Mat& chunk);
 
   /// Pulls chunks from `source` until exhaustion (or `max_chunks` > 0).
+  /// Mid-run failures follow the engine's no-data-loss discipline:
+  /// snapshots a failed run computed but could not return are delivered
+  /// first by the next run() call.
   std::vector<PipelineSnapshot> run(ChunkSource& source,
                                     std::size_t max_chunks = 0);
 
-  const IncrementalMrdmd& model() const { return model_; }
-  const PipelineOptions& options() const { return options_; }
+  const IncrementalMrdmd& model() const { return engine_.model(0); }
+  const PipelineOptions& options() const {
+    return engine_.config().pipeline_options;
+  }
   /// Chunks processed so far (the next snapshot's chunk_index).
-  std::size_t chunks_processed() const { return chunks_processed_; }
+  std::size_t chunks_processed() const { return engine_.chunks_processed(); }
 
  private:
   /// Checkpoint/resume (save_pipeline_checkpoint / load_pipeline_checkpoint
-  /// in core/checkpoint.hpp) restores the model, stage state, and chunk
-  /// counter through this single access point.
+  /// in core/checkpoint.hpp) restores the engine state through this single
+  /// access point.
   friend struct CheckpointAccess;
 
-  PipelineOptions options_;
-  IncrementalMrdmd model_;
-  BaselineZscoreStage zscore_stage_;
-  std::size_t chunks_processed_ = 0;
+  explicit OnlineAssessmentPipeline(Assessor engine)
+      : engine_(std::move(engine)) {}
+
+  Assessor engine_;
+  /// Snapshots a failed run() delivered but could not return (the vector
+  /// contract's half of the engine's parking discipline); the next run()
+  /// returns them first.
+  std::vector<AssessmentSnapshot> carry_;
 };
 
 }  // namespace imrdmd::core

@@ -1,0 +1,125 @@
+#include "core/sinks.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace imrdmd::core {
+
+namespace {
+
+const char* state_name(ThermalState state) {
+  switch (state) {
+    case ThermalState::Cold: return "cold";
+    case ThermalState::NearBaseline: return "near_baseline";
+    case ThermalState::Elevated: return "elevated";
+    case ThermalState::Hot: return "hot";
+  }
+  return "unknown";
+}
+
+const char* reason_name(StopReason reason) {
+  switch (reason) {
+    case StopReason::EndOfStream: return "end_of_stream";
+    case StopReason::MaxChunks: return "max_chunks";
+    case StopReason::MaxSnapshots: return "max_snapshots";
+    case StopReason::Deadline: return "deadline";
+    case StopReason::SinkRequest: return "sink_request";
+  }
+  return "unknown";
+}
+
+void append_sensor_list(JsonWriter& json, const char* key,
+                        const std::vector<std::size_t>& sensors) {
+  json.key(key);
+  json.begin_array();
+  for (std::size_t sensor : sensors) json.value(sensor);
+  json.end_array();
+}
+
+}  // namespace
+
+JsonlSink::JsonlSink(std::ostream& out, Options options)
+    : options_(options), out_(&out) {}
+
+JsonlSink::JsonlSink(const std::string& path, Options options)
+    : options_(options),
+      owned_(std::make_unique<std::ofstream>(path, std::ios::binary)),
+      out_(owned_.get()),
+      path_(path) {
+  if (!*out_) throw Error("cannot open jsonl sink for writing: " + path);
+}
+
+void JsonlSink::write_line(const std::string& line) {
+  out_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  out_->put('\n');
+  // Per-line flush: a consumer tailing the file (or a post-crash reader)
+  // only ever sees whole records.
+  out_->flush();
+  if (!*out_) {
+    throw Error("jsonl sink write failed" +
+                (path_.empty() ? std::string() : ": " + path_));
+  }
+  ++lines_;
+}
+
+bool JsonlSink::on_snapshot(const AssessmentSnapshot& snapshot) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("event", "snapshot");
+  json.field("chunk_index", snapshot.chunk_index);
+  json.field("chunk_snapshots", snapshot.chunk_snapshots);
+  json.field("total_snapshots", snapshot.total_snapshots);
+  json.field("fit_seconds", snapshot.fit_seconds);
+  json.field("baseline_mean", snapshot.zscores.baseline_mean);
+  json.field("baseline_stddev", snapshot.zscores.baseline_stddev);
+  json.field("baseline_population",
+             snapshot.zscores.baseline_sensors.size());
+  json.key("census");
+  json.begin_object();
+  for (const ThermalState state :
+       {ThermalState::Cold, ThermalState::NearBaseline,
+        ThermalState::Elevated, ThermalState::Hot}) {
+    json.field(state_name(state),
+               snapshot.zscores.sensors_in_state(state).size());
+  }
+  json.end_object();
+  append_sensor_list(json, "hot_sensors",
+                     snapshot.zscores.sensors_in_state(ThermalState::Hot));
+  append_sensor_list(json, "cold_sensors",
+                     snapshot.zscores.sensors_in_state(ThermalState::Cold));
+  if (options_.zscores) {
+    json.key("zscores");
+    json.begin_array();
+    for (double z : snapshot.zscores.zscores) json.value(z);
+    json.end_array();
+  }
+  json.end_object();
+  write_line(json.str());
+  return true;
+}
+
+void JsonlSink::on_checkpoint_written(const std::string& path,
+                                      std::size_t chunk_index) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("event", "checkpoint");
+  json.field("path", path);
+  json.field("chunk_index", chunk_index);
+  json.end_object();
+  write_line(json.str());
+}
+
+void JsonlSink::on_end(const RunSummary& summary) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("event", "end");
+  json.field("chunks", summary.chunks);
+  json.field("snapshots", summary.snapshots);
+  json.field("reason", reason_name(summary.reason));
+  json.end_object();
+  write_line(json.str());
+}
+
+}  // namespace imrdmd::core

@@ -1,0 +1,118 @@
+// SnapshotSink implementations for the common consumption patterns of the
+// unified Assessor engine (core/assessor.hpp): collect into a vector
+// (CollectingSink, declared next to the engine), forward to a callback,
+// keep only the latest snapshot in bounded memory, or append one JSON line
+// per snapshot to a stream/file for external tooling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "core/assessor.hpp"
+
+namespace imrdmd::core {
+
+/// Forwards every delivery to std::function callbacks — the quickest way
+/// to write an ad-hoc consumer (examples/fleet_monitor.cpp prints through
+/// one). A null snapshot callback accepts everything.
+class CallbackSink final : public SnapshotSink {
+ public:
+  using SnapshotFn = std::function<bool(const AssessmentSnapshot&)>;
+  using CheckpointFn = std::function<void(const std::string&, std::size_t)>;
+  using EndFn = std::function<void(const RunSummary&)>;
+
+  explicit CallbackSink(SnapshotFn on_snapshot,
+                        CheckpointFn on_checkpoint = nullptr,
+                        EndFn on_end = nullptr)
+      : snapshot_(std::move(on_snapshot)),
+        checkpoint_(std::move(on_checkpoint)),
+        end_(std::move(on_end)) {}
+
+  using SnapshotSink::on_snapshot;
+  bool on_snapshot(const AssessmentSnapshot& snapshot) override {
+    return snapshot_ ? snapshot_(snapshot) : true;
+  }
+  void on_checkpoint_written(const std::string& path,
+                             std::size_t chunk_index) override {
+    if (checkpoint_) checkpoint_(path, chunk_index);
+  }
+  void on_end(const RunSummary& summary) override {
+    if (end_) end_(summary);
+  }
+
+ private:
+  SnapshotFn snapshot_;
+  CheckpointFn checkpoint_;
+  EndFn end_;
+};
+
+/// Bounded-memory sink: keeps only the most recent snapshot (plus delivery
+/// counters), whatever the stream length — the dashboard/polling pattern
+/// the ROADMAP's unbounded streams need. Not thread-safe: read it between
+/// runs or from the delivering thread.
+class LatestOnlySink final : public SnapshotSink {
+ public:
+  using SnapshotSink::on_snapshot;
+  bool on_snapshot(const AssessmentSnapshot& snapshot) override {
+    latest_ = snapshot;
+    ++delivered_;
+    return true;
+  }
+
+  /// Most recent snapshot, or nullopt before the first delivery.
+  const std::optional<AssessmentSnapshot>& latest() const { return latest_; }
+  /// Total snapshots delivered over the sink's lifetime.
+  std::size_t delivered() const { return delivered_; }
+
+ private:
+  std::optional<AssessmentSnapshot> latest_;
+  std::size_t delivered_ = 0;
+};
+
+/// Streams one JSON object per snapshot (JSON Lines) to an ostream or
+/// file, flushed per line so a tail -f (or a crash) always sees complete
+/// records. Each record carries the chunk/stream counters, the baseline
+/// statistics, the thermal census, and the hot/cold sensor lists; set
+/// Options::zscores to also embed the full per-sensor z-score vector.
+/// Checkpoint writes are recorded as {"event":"checkpoint",...} lines.
+class JsonlSink final : public SnapshotSink {
+ public:
+  struct Options {
+    /// Emit the full per-sensor z-score vector in every record (off by
+    /// default: it is O(P) per line).
+    bool zscores = false;
+  };
+
+  /// Borrows `out` (must outlive the sink).
+  JsonlSink(std::ostream& out, Options options);
+  explicit JsonlSink(std::ostream& out) : JsonlSink(out, Options{}) {}
+  /// Opens (truncates) `path`; throws Error when it cannot be opened.
+  JsonlSink(const std::string& path, Options options);
+  explicit JsonlSink(const std::string& path)
+      : JsonlSink(path, Options{}) {}
+
+  using SnapshotSink::on_snapshot;
+  bool on_snapshot(const AssessmentSnapshot& snapshot) override;
+  void on_checkpoint_written(const std::string& path,
+                             std::size_t chunk_index) override;
+  void on_end(const RunSummary& summary) override;
+
+  /// Lines written so far (snapshot + checkpoint + end records).
+  std::size_t lines_written() const { return lines_; }
+
+ private:
+  void write_line(const std::string& line);
+
+  Options options_;
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_;
+  /// Names the destination in errors when writing to a file.
+  std::string path_;
+  std::size_t lines_ = 0;
+};
+
+}  // namespace imrdmd::core

@@ -1,0 +1,37 @@
+#include "core/stream.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace imrdmd::core {
+
+void ChunkSource::seek(std::size_t snapshot) {
+  (void)snapshot;
+  throw InvalidArgument("this chunk source does not support seek()");
+}
+
+MatrixChunkSource::MatrixChunkSource(const Mat& data,
+                                     std::size_t initial_snapshots,
+                                     std::size_t chunk_snapshots)
+    : data_(data), initial_(initial_snapshots), chunk_(chunk_snapshots) {
+  IMRDMD_REQUIRE_ARG(chunk_ > 0, "chunk_snapshots must be positive");
+  if (initial_ == 0) initial_ = chunk_;
+}
+
+std::optional<Mat> MatrixChunkSource::next_chunk() {
+  if (position_ >= data_.cols()) return std::nullopt;
+  const std::size_t want = position_ == 0 ? initial_ : chunk_;
+  const std::size_t count = std::min(want, data_.cols() - position_);
+  Mat out = data_.block(0, position_, data_.rows(), count);
+  position_ += count;
+  return out;
+}
+
+void MatrixChunkSource::seek(std::size_t snapshot) {
+  IMRDMD_REQUIRE_ARG(snapshot <= data_.cols(),
+                     "seek past the end of the replayed matrix");
+  position_ = snapshot;
+}
+
+}  // namespace imrdmd::core

@@ -1,0 +1,70 @@
+// Streaming ingestion primitives shared by every assessment driver.
+//
+// ChunkSource is the pull side of the paper's online workflow: telemetry
+// arrives as P x T_chunk snapshot windows, and the assessment engine
+// (core/assessor.hpp) pulls them one at a time. Sources opt in to
+// resumability through position()/seek(), which is what makes checkpointed
+// runs able to continue a stream exactly where a killed run left off.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace imrdmd::core {
+
+using linalg::Mat;
+
+/// A pull-based source of snapshot chunks (P sensors x T_chunk columns).
+class ChunkSource {
+ public:
+  /// position() value of a source that cannot report one.
+  static constexpr std::size_t kUnknownPosition = ~std::size_t{0};
+
+  virtual ~ChunkSource() = default;
+  /// Next chunk, or nullopt when the stream ends. Chunk widths may vary.
+  virtual std::optional<Mat> next_chunk() = 0;
+  /// Sensor count (constant across chunks).
+  virtual std::size_t sensors() const = 0;
+
+  /// Snapshots emitted so far — the position a checkpoint records so a
+  /// resumed run can continue the stream where the killed run left off.
+  /// Sources that cannot report one return kUnknownPosition.
+  virtual std::size_t position() const { return kUnknownPosition; }
+
+  /// Repositions the stream so the next chunk starts at snapshot index
+  /// `snapshot` (as recorded in a checkpoint). A source must opt in to
+  /// resumability; the default throws InvalidArgument.
+  virtual void seek(std::size_t snapshot);
+};
+
+/// ChunkSource replaying a prebuilt in-memory matrix in fixed-width chunks;
+/// the first chunk may use a different width (the initial-fit window).
+/// `data` is borrowed and must outlive the source. Shared by the fleet
+/// bench and the shard-invariance tests so both replay identical streams.
+class MatrixChunkSource final : public ChunkSource {
+ public:
+  MatrixChunkSource(const Mat& data, std::size_t initial_snapshots,
+                    std::size_t chunk_snapshots);
+
+  std::optional<Mat> next_chunk() override;
+  std::size_t sensors() const override { return data_.rows(); }
+
+  /// Snapshots emitted so far.
+  std::size_t position() const override { return position_; }
+  /// Seekable: resuming mid-matrix replays from any snapshot index.
+  void seek(std::size_t snapshot) override;
+  [[deprecated("rewind() is folded into the seek() contract; use seek(0)")]]
+  void rewind() {
+    seek(0);
+  }
+
+ private:
+  const Mat& data_;
+  std::size_t initial_;
+  std::size_t chunk_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace imrdmd::core

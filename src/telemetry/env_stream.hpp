@@ -40,7 +40,10 @@ class EnvLogStream final : public core::ChunkSource {
   void seek(std::size_t snapshot) override;
 
   /// Resets the stream to the beginning.
-  void rewind() { position_ = 0; }
+  [[deprecated("rewind() is folded into the seek() contract; use seek(0)")]]
+  void rewind() {
+    seek(0);
+  }
 
  private:
   const SensorModel& model_;

@@ -64,7 +64,10 @@ class ShardedEnvSource final : public core::ChunkSource {
 
   std::size_t position() const override { return stream_.position(); }
   void seek(std::size_t snapshot) override { stream_.seek(snapshot); }
-  void rewind() { stream_.rewind(); }
+  [[deprecated("rewind() is folded into the seek() contract; use seek(0)")]]
+  void rewind() {
+    stream_.seek(0);
+  }
 
  private:
   const SensorModel& model_;

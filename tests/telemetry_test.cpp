@@ -278,7 +278,7 @@ TEST(EnvStream, ChunksTileTheHorizon) {
   }
   EXPECT_EQ(widths, (std::vector<std::size_t>{128, 50, 50, 50, 22}));
   EXPECT_FALSE(stream.next_chunk().has_value());
-  stream.rewind();
+  stream.seek(0);
   EXPECT_TRUE(stream.next_chunk().has_value());
 }
 
