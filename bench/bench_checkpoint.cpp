@@ -2,7 +2,7 @@
 // container as the group count grows over a fixed sensor population.
 //
 // Workload: the bench_fleet-style synthetic stream partitioned into G
-// contiguous groups, streamed into a FleetAssessment, then checkpointed.
+// contiguous groups, streamed into a core::Assessor, then checkpointed.
 // Per-group model images are serialized concurrently across the fleet's
 // worker lanes and concatenated in deterministic group order, so more
 // groups mean more lane parallelism during save (and smaller per-group
@@ -20,8 +20,8 @@
 #include "bench_util.hpp"
 #include "common/json.hpp"
 #include "common/timer.hpp"
+#include "core/assessor.hpp"
 #include "core/checkpoint.hpp"
-#include "core/fleet.hpp"
 
 using namespace imrdmd;
 
@@ -89,14 +89,16 @@ int main(int argc, char** argv) try {
   std::vector<GroupResult> results;
   bool resave_identical = true;
   for (std::size_t group_count : group_counts) {
-    core::FleetOptions options;
-    options.pipeline.imrdmd.mrdmd.max_levels = 4;
-    options.pipeline.imrdmd.mrdmd.dt = 15.0;
-    options.pipeline.baseline = {40.0, 60.0};
-    options.groups = core::contiguous_groups(sensors, group_count);
-    core::FleetAssessment fleet(options, sensors);
+    core::AssessorConfig config;
+    config.pipeline_options.imrdmd.mrdmd.max_levels = 4;
+    config.pipeline_options.imrdmd.mrdmd.dt = 15.0;
+    config.pipeline_options.baseline = {40.0, 60.0};
+    config.sharded(core::contiguous_groups(sensors, group_count))
+        .sensors(sensors);
+    core::Assessor assessor(config);
     core::MatrixChunkSource source(data, initial, chunk);
-    fleet.run(source);
+    core::CollectingSink sink;
+    assessor.run(source, sink);
 
     GroupResult result;
     result.groups = group_count;
@@ -106,7 +108,7 @@ int main(int argc, char** argv) try {
       for (std::size_t rep = 0; rep < repeats; ++rep) {
         std::ostringstream buffer;
         WallTimer timer;
-        core::save_fleet_checkpoint(buffer, fleet);
+        core::save_assessor_checkpoint(buffer, assessor);
         save_total += timer.seconds();
         if (rep + 1 == repeats) bytes = buffer.str();
       }
@@ -118,11 +120,12 @@ int main(int argc, char** argv) try {
       for (std::size_t rep = 0; rep < repeats; ++rep) {
         std::istringstream buffer(bytes);
         WallTimer timer;
-        core::RestoredFleet restored = core::load_fleet_checkpoint(buffer);
+        core::RestoredAssessor restored =
+            core::load_assessor_checkpoint(buffer);
         load_total += timer.seconds();
         if (rep + 1 == repeats) {
           std::ostringstream resaved;
-          core::save_fleet_checkpoint(resaved, restored.fleet);
+          core::save_assessor_checkpoint(resaved, restored.assessor);
           if (resaved.str() != bytes) resave_identical = false;
         }
       }

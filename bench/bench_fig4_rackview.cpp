@@ -12,7 +12,7 @@
 #include "bench_util.hpp"
 #include "common/csv.hpp"
 #include "core/align.hpp"
-#include "core/pipeline.hpp"
+#include "core/assessor.hpp"
 #include "rack/render.hpp"
 #include "telemetry/env_stream.hpp"
 #include "telemetry/scenario.hpp"
@@ -37,15 +37,17 @@ int main(int argc, char** argv) {
   options.imrdmd.mrdmd.dt = scenario.machine.dt_seconds;
   options.baseline = {46.0, 57.0};  // the paper's 46-57 C rule
   options.band.max_frequency_hz = 60.0;
-  core::OnlineAssessmentPipeline pipeline(options);
+  core::Assessor assessor(
+      core::AssessorConfig().pipeline(options).monolithic());
 
   telemetry::EnvStreamOptions stream_options;
   stream_options.initial_snapshots = 1000;
   stream_options.chunk_snapshots = 1000;
   stream_options.total_snapshots = 2000;
   telemetry::EnvLogStream stream(*scenario.sensors, stream_options);
-  const auto snapshots = pipeline.run(stream);
-  const auto& last = snapshots.back();
+  core::CollectingSink sink;
+  assessor.run(stream, sink);
+  const auto& last = sink.snapshots().back();
   const std::vector<double>& z = last.zscores.zscores;
 
   // (a) Spatial coherence: neighbor-pair vs random-pair |z difference|.

@@ -1,5 +1,5 @@
-// Fleet sharding bench: chunk throughput of the sharded FleetAssessment
-// driver as the shard (lane) count grows over a fixed group partition.
+// Fleet sharding bench: chunk throughput of the sharded core::Assessor
+// topology as the shard (lane) count grows over a fixed group partition.
 //
 // Workload: G independent sensor groups streaming together as one machine
 // (low-rank-plus-noise structure per group, like the telemetry the paper
@@ -21,7 +21,6 @@
 #include "common/json.hpp"
 #include "common/timer.hpp"
 #include "core/assessor.hpp"
-#include "core/fleet.hpp"
 #include "dist/communicator.hpp"
 
 using namespace imrdmd;
@@ -97,19 +96,19 @@ int main(int argc, char** argv) try {
     result.shards = shards;
     double total_seconds = 0.0;
     for (std::size_t rep = 0; rep < repeats; ++rep) {
-      core::FleetOptions options;
-      options.pipeline.imrdmd.mrdmd.max_levels = 4;
-      options.pipeline.imrdmd.mrdmd.dt = 15.0;
-      options.pipeline.baseline = {40.0, 60.0};
-      options.groups = groups;
-      options.shards = shards;
-      core::FleetAssessment fleet(options, sensors);
+      core::AssessorConfig config;
+      config.pipeline_options.imrdmd.mrdmd.max_levels = 4;
+      config.pipeline_options.imrdmd.mrdmd.dt = 15.0;
+      config.pipeline_options.baseline = {40.0, 60.0};
+      config.sharded(groups, shards).sensors(sensors);
+      core::Assessor assessor(config);
       core::MatrixChunkSource source(data, initial, chunk);
+      core::CollectingSink sink;
       WallTimer timer;
-      const auto snapshots = fleet.run(source);
+      assessor.run(source, sink);
       total_seconds += timer.seconds();
       if (rep + 1 == repeats) {
-        const auto& z = snapshots.back().zscores.zscores;
+        const auto& z = sink.snapshots().back().zscores.zscores;
         if (reference_z.empty()) {
           reference_z = z;
         } else {
@@ -153,18 +152,18 @@ int main(int argc, char** argv) try {
       std::vector<double> z;
       WallTimer timer;
       world.run([&](dist::Communicator& comm) {
-        core::FleetOptions options;
-        options.pipeline.imrdmd.mrdmd.max_levels = 4;
-        options.pipeline.imrdmd.mrdmd.dt = 15.0;
-        options.pipeline.baseline = {40.0, 60.0};
-        options.groups = groups;
-        options.shards = 1;
-        core::DistributedFleetAssessment fleet(comm, options, sensors);
+        core::AssessorConfig config;
+        config.pipeline_options.imrdmd.mrdmd.max_levels = 4;
+        config.pipeline_options.imrdmd.mrdmd.dt = 15.0;
+        config.pipeline_options.baseline = {40.0, 60.0};
+        config.sharded(groups, 1).sensors(sensors).distributed(comm);
+        core::Assessor assessor(config);
         std::optional<core::MatrixChunkSource> source;
         if (comm.rank() == 0) source.emplace(data, initial, chunk);
-        const auto snapshots =
-            fleet.run(comm.rank() == 0 ? &*source : nullptr);
-        if (comm.rank() == 0) z = snapshots.back().zscores.zscores;
+        core::CollectingSink sink;
+        assessor.run_until(comm.rank() == 0 ? &*source : nullptr, sink,
+                           core::StopCondition{});
+        if (comm.rank() == 0) z = sink.snapshots().back().zscores.zscores;
       });
       total_seconds += timer.seconds();
       if (rep + 1 == repeats) {

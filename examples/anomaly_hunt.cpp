@@ -14,7 +14,7 @@
 
 #include "common/strings.hpp"
 #include "core/align.hpp"
-#include "core/pipeline.hpp"
+#include "core/assessor.hpp"
 #include "rack/render.hpp"
 #include "telemetry/env_stream.hpp"
 #include "telemetry/log_io.hpp"
@@ -48,7 +48,8 @@ int main(int argc, char** argv) {
   options.imrdmd.mrdmd.dt = scenario.machine.dt_seconds;
   options.baseline = {44.0, 58.0};
   options.band.max_frequency_hz = 1.0;
-  core::OnlineAssessmentPipeline pipeline(options);
+  core::Assessor assessor(
+      core::AssessorConfig().pipeline(options).monolithic());
 
   telemetry::EnvStreamOptions stream_options;
   stream_options.initial_snapshots = 512;
@@ -56,8 +57,9 @@ int main(int argc, char** argv) {
   stream_options.total_snapshots = scenario.horizon;
   stream_options.sensor_subset = scenario.analyzed_nodes;
   telemetry::EnvLogStream stream(*scenario.sensors, stream_options);
-  const auto snapshots = pipeline.run(stream);
-  const core::PipelineSnapshot& last = snapshots.back();
+  core::CollectingSink sink;
+  assessor.run(stream, sink);
+  const core::AssessmentSnapshot& last = sink.snapshots().back();
 
   // Gather suspects: anything not near baseline.
   struct Suspect {

@@ -11,7 +11,7 @@
 #include <cstring>
 
 #include "common/strings.hpp"
-#include "core/pipeline.hpp"
+#include "core/assessor.hpp"
 #include "rack/render.hpp"
 #include "telemetry/env_stream.hpp"
 #include "telemetry/machine.hpp"
@@ -62,7 +62,8 @@ int main(int argc, char** argv) {
   options.imrdmd.mrdmd.dt = machine.dt_seconds;
   options.baseline = {48.0, 62.0};
   options.band.max_frequency_hz = 0.2;
-  core::OnlineAssessmentPipeline pipeline(options);
+  core::Assessor assessor(
+      core::AssessorConfig().pipeline(options).monolithic());
 
   telemetry::EnvStreamOptions stream_options;
   stream_options.initial_snapshots = 1024;
@@ -75,11 +76,13 @@ int main(int argc, char** argv) {
               1 + (stream_options.total_snapshots -
                    stream_options.initial_snapshots) /
                       stream_options.chunk_snapshots);
-  std::vector<core::PipelineSnapshot> snapshots = pipeline.run(stream);
+  core::CollectingSink sink;
+  assessor.run(stream, sink);
+  const std::vector<core::AssessmentSnapshot>& snapshots = sink.snapshots();
   for (const auto& snapshot : snapshots) {
     std::printf("  chunk %zu: fit %.2fs, %zu total modes\n",
                 snapshot.chunk_index, snapshot.fit_seconds,
-                pipeline.model().total_modes());
+                assessor.model(0).total_modes());
   }
 
   // Per-GPU anomaly report: aggregate channel z-scores per node.

@@ -13,7 +13,7 @@
 
 #include "common/strings.hpp"
 #include "core/align.hpp"
-#include "core/pipeline.hpp"
+#include "core/assessor.hpp"
 #include "rack/render.hpp"
 #include "telemetry/env_stream.hpp"
 #include "telemetry/scenario.hpp"
@@ -55,7 +55,8 @@ int main(int argc, char** argv) {
   options.imrdmd.mrdmd.dt = scenario.machine.dt_seconds;
   options.baseline = {44.0, 58.0};
   options.band.max_frequency_hz = 1.0;
-  core::OnlineAssessmentPipeline pipeline(options);
+  core::Assessor assessor(
+      core::AssessorConfig().pipeline(options).monolithic());
 
   telemetry::EnvStreamOptions stream_options;
   stream_options.initial_snapshots = 512;
@@ -67,12 +68,12 @@ int main(int argc, char** argv) {
       rack::parse_layout(scenario.machine.layout_string);
 
   while (auto chunk = stream.next_chunk()) {
-    const core::PipelineSnapshot snapshot = pipeline.process(*chunk);
+    const core::AssessmentSnapshot snapshot = assessor.process(*chunk);
     std::printf("\n== chunk %zu: +%zu snapshots (total %zu), fit %.2fs, "
                 "drift %.2f ==\n",
                 snapshot.chunk_index, snapshot.chunk_snapshots,
                 snapshot.total_snapshots, snapshot.fit_seconds,
-                snapshot.report.drift_estimate);
+                snapshot.reports.front().drift_estimate);
 
     rack::RackViewData view;
     view.values = snapshot.zscores.zscores;
@@ -106,7 +107,7 @@ int main(int argc, char** argv) {
 
   // Final report: the injected hot nodes with their z-scores — the
   // ground-truth check the paper's visual inspection performs by eye.
-  const auto magnitudes = pipeline.model().magnitudes(&options.band);
+  const auto magnitudes = assessor.model(0).magnitudes(&options.band);
   const linalg::Mat last_window = scenario.sensors->window(
       scenario.horizon - 128, 128);
   const auto means = core::row_means(last_window);

@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "core/checkpoint.hpp"
+#include "linalg/backend.hpp"
 
 namespace imrdmd::core {
 
@@ -222,6 +223,11 @@ Assessor::Assessor(AssessorConfig config)
       zscore_stage_(config_.pipeline_options.baseline,
                     config_.pipeline_options.zscore,
                     config_.pipeline_options.reselect_baseline_per_chunk) {
+  // Backend selection first: it can throw (unknown name), and nothing
+  // below should have touched process-wide state by then.
+  if (!config_.linalg_backend.empty()) {
+    linalg::set_active_backend(config_.linalg_backend);
+  }
   // A checkpoint policy armed without a destination would silently never
   // write anything; fail fast at configuration time instead.
   IMRDMD_REQUIRE_ARG(

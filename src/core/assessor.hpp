@@ -255,6 +255,13 @@ struct AssessorConfig {
   IngestOptions ingest_options;
   /// Pool the worker lanes run on; null = global_pool().
   ThreadPool* worker_pool = nullptr;
+  /// Non-empty selects the process-wide linalg backend at construction via
+  /// linalg::set_active_backend ("reference", "avx2", "openblas", or a
+  /// register_backend() name). Explicit selection here beats the
+  /// IMRDMD_LINALG_BACKEND environment variable; empty leaves whatever is
+  /// already active. Unknown names throw InvalidArgument from the
+  /// constructor.
+  std::string linalg_backend;
 
   AssessorConfig& pipeline(PipelineOptions options) {
     pipeline_options = std::move(options);
@@ -292,6 +299,10 @@ struct AssessorConfig {
   }
   AssessorConfig& pool(ThreadPool* p) {
     worker_pool = p;
+    return *this;
+  }
+  AssessorConfig& linalg(std::string backend_name) {
+    linalg_backend = std::move(backend_name);
     return *this;
   }
 };

@@ -63,8 +63,12 @@ struct FleetOptions {
   FleetCheckpointPolicy checkpoint;
 };
 
-/// [DEPRECATED shim] Sharded single-process driver delegating to
-/// core::Assessor.
+/// [DEPRECATED shim — slated for removal] Sharded single-process driver
+/// delegating to core::Assessor. Replacement:
+///   Assessor(AssessorConfig().pipeline(options).sensors(P)
+///                .sharded(groups, lanes))
+/// with snapshots delivered through a SnapshotSink (core/sinks.hpp). Only
+/// the shim-equivalence tests may still construct this class.
 class FleetAssessment {
  public:
   /// `sensors` is the fleet-wide sensor count P; options.groups must
@@ -117,9 +121,12 @@ class FleetAssessment {
   std::vector<FleetSnapshot> carry_;
 };
 
-/// [DEPRECATED shim] Cross-node distributed driver delegating to
-/// core::Assessor with the distributed topology (ROADMAP: cross-node
-/// distribution). Same SPMD contract as the engine: every rank constructs
+/// [DEPRECATED shim — slated for removal] Cross-node distributed driver
+/// delegating to core::Assessor with the distributed topology (ROADMAP:
+/// cross-node distribution). Replacement:
+///   Assessor(AssessorConfig().pipeline(options).sensors(P)
+///                .sharded(groups).distributed(comm))
+/// Same SPMD contract as the engine: every rank constructs
 /// the driver with the same options/sensors and calls
 /// process()/run()/checkpoint entry points collectively, in the same
 /// order; a rank failing mid-collective poisons the world

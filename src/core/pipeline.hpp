@@ -42,8 +42,12 @@ struct PipelineSnapshot {
   double fit_seconds = 0.0;
 };
 
-/// [DEPRECATED shim] Monolithic driver delegating to core::Assessor; the
-/// engine owns the run loop (ingestion, carry/parking, checkpoint hook).
+/// [DEPRECATED shim — slated for removal] Monolithic driver delegating to
+/// core::Assessor; the engine owns the run loop (ingestion, carry/parking,
+/// checkpoint hook). Replacement:
+///   Assessor(AssessorConfig().pipeline(options).monolithic())
+/// with snapshots delivered through a SnapshotSink (core/sinks.hpp). Only
+/// the shim-equivalence tests may still construct this class.
 class OnlineAssessmentPipeline {
  public:
   explicit OnlineAssessmentPipeline(PipelineOptions options);

@@ -55,10 +55,6 @@ class MatrixChunkSource final : public ChunkSource {
   std::size_t position() const override { return position_; }
   /// Seekable: resuming mid-matrix replays from any snapshot index.
   void seek(std::size_t snapshot) override;
-  [[deprecated("rewind() is folded into the seek() contract; use seek(0)")]]
-  void rewind() {
-    seek(0);
-  }
 
  private:
   const Mat& data_;

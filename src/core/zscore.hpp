@@ -66,13 +66,13 @@ ZscoreAnalysis zscore_from_baseline(std::span<const double> magnitudes,
 
 /// The stateful baseline-selection + z-scoring stage of the assessment
 /// pipeline, factored out so the monolithic OnlineAssessmentPipeline and the
-/// sharded FleetAssessment driver run the *same* global reconciliation over
+/// sharded Assessor topology run the *same* global reconciliation over
 /// a per-sensor magnitude vector: the baseline population is (re)selected
 /// from the chunk's per-sensor means on the first call — and on every call
 /// when `reselect_per_chunk` — then every sensor is z-scored against that
 /// population's magnitude statistics.
 ///
-/// Replication contract (relied on by core::DistributedFleetAssessment):
+/// Replication contract (relied on by the distributed core::Assessor):
 /// apply() is a deterministic function of its inputs and the stage state,
 /// so N replicas fed identical byte streams hold identical state forever —
 /// the distributed fleet keeps one replica per rank and never communicates

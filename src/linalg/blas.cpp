@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "linalg/backend.hpp"
+#include "linalg/kernels.hpp"
+
 namespace imrdmd::linalg {
 
 namespace {
@@ -10,10 +13,9 @@ namespace {
 // k-j loop order streams B rows sequentially, which is the cache-friendly
 // order for row-major storage. Each output row is owned by exactly one
 // thread, so results are bitwise deterministic for any thread count.
+// `c` arrives pre-shaped and zero-filled (Backend kernel contract).
 template <typename T>
 void matmul_into_impl(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c) {
-  IMRDMD_REQUIRE_DIMS(a.cols() == b.rows(), "matmul inner dimension mismatch");
-  c.assign_zero(a.rows(), b.cols());
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
@@ -32,31 +34,20 @@ void matmul_into_impl(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c) {
   }
 }
 
-template <typename T>
-Matrix<T> matmul_impl(const Matrix<T>& a, const Matrix<T>& b) {
-  Matrix<T> c;
-  matmul_into_impl(a, b, c);
-  return c;
-}
-
 }  // namespace
 
-Mat matmul(const Mat& a, const Mat& b) { return matmul_impl(a, b); }
-CMat matmul(const CMat& a, const CMat& b) { return matmul_impl(a, b); }
+// --- Reference kernels (the "reference" backend; see kernels.hpp) --------
+
+namespace ref {
 
 void matmul_into(const Mat& a, const Mat& b, Mat& out) {
   matmul_into_impl(a, b, out);
 }
-void matmul_into(const CMat& a, const CMat& b, CMat& out) {
-  matmul_into_impl(a, b, out);
-}
 
 void matmul_at_b_into(const Mat& a, const Mat& b, Mat& out) {
-  IMRDMD_REQUIRE_DIMS(a.rows() == b.rows(), "matmul_at_b dimension mismatch");
   const std::size_t m = a.cols();
   const std::size_t k = a.rows();
   const std::size_t n = b.cols();
-  out.assign_zero(m, n);
   if (m == 0 || k == 0 || n == 0) return;
   // C += a_row(kk)^T * b_row(kk): rank-1 accumulation keeps both inputs in
   // row-major streaming order. Parallelizing over kk would race on C, so we
@@ -75,11 +66,9 @@ void matmul_at_b_into(const Mat& a, const Mat& b, Mat& out) {
 }
 
 void matmul_a_bt_into(const Mat& a, const Mat& b, Mat& out) {
-  IMRDMD_REQUIRE_DIMS(a.cols() == b.cols(), "matmul_a_bt dimension mismatch");
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.rows();
-  out.assign_zero(m, n);
   if (m == 0 || k == 0 || n == 0) return;
 #pragma omp parallel for schedule(static) if (m * n * k > 1u << 14)
   for (std::size_t i = 0; i < m; ++i) {
@@ -95,9 +84,6 @@ void matmul_a_bt_into(const Mat& a, const Mat& b, Mat& out) {
 }
 
 void matmul_sub(const Mat& a, const Mat& b, Mat& out) {
-  IMRDMD_REQUIRE_DIMS(a.cols() == b.rows(), "matmul inner dimension mismatch");
-  IMRDMD_REQUIRE_DIMS(out.rows() == a.rows() && out.cols() == b.cols(),
-                      "matmul_sub output shape mismatch");
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
@@ -116,11 +102,62 @@ void matmul_sub(const Mat& a, const Mat& b, Mat& out) {
   }
 }
 
+}  // namespace ref
+
+// --- Dispatching entry points --------------------------------------------
+// Validation and output shaping stay here, in exactly one place, so every
+// backend sees the same contract (backend.hpp). The complex overloads are
+// not part of the seam: no hot path funnels complex GEMMs.
+
+Mat matmul(const Mat& a, const Mat& b) {
+  Mat c;
+  matmul_into(a, b, c);
+  return c;
+}
+CMat matmul(const CMat& a, const CMat& b) {
+  CMat c;
+  matmul_into(a, b, c);
+  return c;
+}
+
+void matmul_into(const Mat& a, const Mat& b, Mat& out) {
+  IMRDMD_REQUIRE_DIMS(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  out.assign_zero(a.rows(), b.cols());
+  active_backend().matmul_into(a, b, out);
+}
+void matmul_into(const CMat& a, const CMat& b, CMat& out) {
+  IMRDMD_REQUIRE_DIMS(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  out.assign_zero(a.rows(), b.cols());
+  matmul_into_impl(a, b, out);
+}
+
+void matmul_at_b_into(const Mat& a, const Mat& b, Mat& out) {
+  IMRDMD_REQUIRE_DIMS(a.rows() == b.rows(), "matmul_at_b dimension mismatch");
+  out.assign_zero(a.cols(), b.cols());
+  active_backend().matmul_at_b_into(a, b, out);
+}
+
+void matmul_a_bt_into(const Mat& a, const Mat& b, Mat& out) {
+  IMRDMD_REQUIRE_DIMS(a.cols() == b.cols(), "matmul_a_bt dimension mismatch");
+  out.assign_zero(a.rows(), b.rows());
+  active_backend().matmul_a_bt_into(a, b, out);
+}
+
+void matmul_sub(const Mat& a, const Mat& b, Mat& out) {
+  IMRDMD_REQUIRE_DIMS(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  IMRDMD_REQUIRE_DIMS(out.rows() == a.rows() && out.cols() == b.cols(),
+                      "matmul_sub output shape mismatch");
+  active_backend().matmul_sub(a, b, out);
+}
+
 void project_out(const Mat& u, Mat& residual, Mat& coeff_accum,
                  Mat& coeff_ws) {
-  matmul_at_b_into(u, residual, coeff_ws);
-  matmul_sub(u, coeff_ws, residual);
-  coeff_accum += coeff_ws;
+  IMRDMD_REQUIRE_DIMS(u.rows() == residual.rows(),
+                      "matmul_at_b dimension mismatch");
+  IMRDMD_REQUIRE_DIMS(coeff_accum.rows() == u.cols() &&
+                          coeff_accum.cols() == residual.cols(),
+                      "operator+= shape mismatch");
+  active_backend().project_out(u, residual, coeff_accum, coeff_ws);
 }
 
 Mat matmul_at_b(const Mat& a, const Mat& b) {

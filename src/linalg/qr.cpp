@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "linalg/backend.hpp"
 #include "linalg/blas.hpp"
+#include "linalg/kernels.hpp"
 
 namespace imrdmd::linalg {
 
@@ -80,8 +82,8 @@ void extract_r_into(const Mat& work, std::vector<double>& signs, Mat& r) {
 
 }  // namespace
 
-void thin_qr_into(const Mat& a, QrResult& out, QrWorkspace& ws) {
-  IMRDMD_REQUIRE_DIMS(a.rows() >= a.cols(), "thin_qr requires rows >= cols");
+// Reference Householder kernel (the "reference" backend; see kernels.hpp).
+void ref::thin_qr_into(const Mat& a, QrResult& out, QrWorkspace& ws) {
   ws.work = a;
   householder_factor(ws.work, ws.taus);
   extract_r_into(ws.work, ws.signs, out.r);
@@ -90,6 +92,11 @@ void thin_qr_into(const Mat& a, QrResult& out, QrWorkspace& ws) {
   for (std::size_t j = 0; j < out.q.cols(); ++j) {
     if (ws.signs[j] < 0.0) scale_col(out.q, j, -1.0);
   }
+}
+
+void thin_qr_into(const Mat& a, QrResult& out, QrWorkspace& ws) {
+  IMRDMD_REQUIRE_DIMS(a.rows() >= a.cols(), "thin_qr requires rows >= cols");
+  active_backend().thin_qr_into(a, out, ws);
 }
 
 QrResult thin_qr(const Mat& a) {

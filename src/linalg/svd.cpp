@@ -5,7 +5,9 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "linalg/backend.hpp"
 #include "linalg/blas.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/qr.hpp"
 
 namespace imrdmd::linalg {
@@ -127,8 +129,8 @@ void jacobi_svd_tall_into(const Mat& input, SvdResult& result,
 
 }  // namespace
 
-void svd_into(const Mat& x, SvdResult& out, SvdWorkspace& ws) {
-  IMRDMD_REQUIRE_DIMS(!x.empty(), "svd of an empty matrix");
+// Reference Jacobi kernel (the "reference" backend; see kernels.hpp).
+void ref::svd_into(const Mat& x, SvdResult& out, SvdWorkspace& ws) {
   if (x.rows() >= x.cols()) {
     jacobi_svd_tall_into(x, out, ws);
     return;
@@ -137,6 +139,11 @@ void svd_into(const Mat& x, SvdResult& out, SvdWorkspace& ws) {
   x.transposed_into(ws.xt);
   jacobi_svd_tall_into(ws.xt, out, ws);
   std::swap(out.u, out.v);
+}
+
+void svd_into(const Mat& x, SvdResult& out, SvdWorkspace& ws) {
+  IMRDMD_REQUIRE_DIMS(!x.empty(), "svd of an empty matrix");
+  active_backend().svd_into(x, out, ws);
 }
 
 SvdResult svd(const Mat& x) {

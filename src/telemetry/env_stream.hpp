@@ -39,12 +39,6 @@ class EnvLogStream final : public core::ChunkSource {
   /// run resumes mid-stream from the recorded snapshot index.
   void seek(std::size_t snapshot) override;
 
-  /// Resets the stream to the beginning.
-  [[deprecated("rewind() is folded into the seek() contract; use seek(0)")]]
-  void rewind() {
-    seek(0);
-  }
-
  private:
   const SensorModel& model_;
   EnvStreamOptions options_;

@@ -43,7 +43,7 @@ struct ShardedEnvOptions {
 /// horizon throws without corrupting the stream), verified by the shared
 /// conformance harness in tests/chunk_source_conformance.hpp — which is
 /// what lets this source sit under checkpointed fleet runs, including as
-/// the rank-0 ingestion source of core::DistributedFleetAssessment.
+/// the rank-0 ingestion source of the distributed core::Assessor topology.
 class ShardedEnvSource final : public core::ChunkSource {
  public:
   /// `model` must outlive the source.
@@ -64,10 +64,6 @@ class ShardedEnvSource final : public core::ChunkSource {
 
   std::size_t position() const override { return stream_.position(); }
   void seek(std::size_t snapshot) override { stream_.seek(snapshot); }
-  [[deprecated("rewind() is folded into the seek() contract; use seek(0)")]]
-  void rewind() {
-    stream_.seek(0);
-  }
 
  private:
   const SensorModel& model_;

@@ -1,0 +1,193 @@
+// Backend seam tests: the typed conformance suite instantiated for every
+// in-tree backend, the registry / selection-precedence surface, and an
+// end-to-end gate that the accelerated backend keeps Assessor z-score
+// decisions inside the banded contract.
+//
+// Every test that changes the active backend restores the previous one on
+// exit (the selection is process-global), so this file composes with CI
+// runs that pin a backend through IMRDMD_LINALG_BACKEND for the whole
+// suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/assessor.hpp"
+#include "linalg/backend.hpp"
+#include "linalg_backend_conformance.hpp"
+#include "test_util.hpp"
+
+namespace imrdmd::testing {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Conformance instantiations. Reference is held to bitwise identity with
+// the ref:: kernels; avx2 (FMA contraction, lane reassociation) and
+// openblas (different factorization pivoting entirely) get the banded
+// gates. Absent backends (openblas outside IMRDMD_WITH_OPENBLAS builds,
+// or on non-BLAS hosts) skip rather than fail.
+// ---------------------------------------------------------------------------
+
+struct ReferenceTraits {
+  static constexpr const char* kName = "reference";
+  static constexpr bool kBitwise = true;
+};
+
+struct Avx2Traits {
+  static constexpr const char* kName = "avx2";
+  static constexpr bool kBitwise = false;
+};
+
+struct OpenBlasTraits {
+  static constexpr const char* kName = "openblas";
+  static constexpr bool kBitwise = false;
+};
+
+using BackendTraits =
+    ::testing::Types<ReferenceTraits, Avx2Traits, OpenBlasTraits>;
+INSTANTIATE_TYPED_TEST_SUITE_P(LinalgBackends, LinalgBackendConformance,
+                               BackendTraits);
+
+// ---------------------------------------------------------------------------
+// Registry and selection precedence.
+// ---------------------------------------------------------------------------
+
+/// Restores the active backend on scope exit so selection tests cannot
+/// leak state into the rest of the binary.
+class BackendGuard {
+ public:
+  BackendGuard() : previous_(linalg::active_backend().name()) {}
+  ~BackendGuard() { linalg::set_active_backend(previous_); }
+
+ private:
+  std::string previous_;
+};
+
+TEST(LinalgBackendRegistry, BuiltinBackendsAreRegistered) {
+  const std::vector<std::string> names = linalg::backend_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "reference"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "avx2"), names.end());
+  EXPECT_NE(linalg::find_backend("reference"), nullptr);
+  EXPECT_NE(linalg::find_backend("avx2"), nullptr);
+  EXPECT_EQ(linalg::find_backend("no-such-backend"), nullptr);
+}
+
+TEST(LinalgBackendRegistry, ActiveBackendHonorsEnvironmentDefault) {
+  // CI runs the whole suite under IMRDMD_LINALG_BACKEND=<name>; with the
+  // variable unset or empty the default applies. Selection tests restore
+  // the active backend, so this holds wherever this test lands in the run
+  // order.
+  const char* env = std::getenv("IMRDMD_LINALG_BACKEND");
+  const std::string expected =
+      (env != nullptr && *env != '\0') ? env : linalg::default_backend_name();
+  EXPECT_EQ(std::string(linalg::active_backend().name()), expected);
+}
+
+TEST(LinalgBackendRegistry, SetActiveBackendSwitchesAndThrowsOnUnknown) {
+  BackendGuard guard;
+  linalg::set_active_backend("avx2");
+  EXPECT_STREQ(linalg::active_backend().name(), "avx2");
+  linalg::set_active_backend("reference");
+  EXPECT_STREQ(linalg::active_backend().name(), "reference");
+  // The error names the registered backends so a typo is self-diagnosing.
+  try {
+    linalg::set_active_backend("no-such-backend");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("reference"), std::string::npos);
+  }
+}
+
+TEST(LinalgBackendRegistry, CapabilitiesAreReported) {
+  for (const std::string& name : linalg::backend_names()) {
+    linalg::Backend* backend = linalg::find_backend(name);
+    ASSERT_NE(backend, nullptr) << name;
+    EXPECT_FALSE(backend->capabilities().empty()) << name;
+  }
+}
+
+TEST(LinalgBackendConfig, AssessorConfigSelectsBackend) {
+  BackendGuard guard;
+  core::PipelineOptions options;
+  options.imrdmd.mrdmd.max_levels = 3;
+  options.imrdmd.mrdmd.dt = 1.0;
+  core::Assessor assessor(
+      core::AssessorConfig().pipeline(options).monolithic().linalg("avx2"));
+  EXPECT_STREQ(linalg::active_backend().name(), "avx2");
+}
+
+TEST(LinalgBackendConfig, UnknownBackendNameFailsConstruction) {
+  BackendGuard guard;
+  core::PipelineOptions options;
+  options.imrdmd.mrdmd.max_levels = 3;
+  options.imrdmd.mrdmd.dt = 1.0;
+  EXPECT_THROW(core::Assessor(core::AssessorConfig()
+                                  .pipeline(options)
+                                  .monolithic()
+                                  .linalg("no-such-backend")),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end banded gate: the paper's decisions (per-sensor thermal
+// states) must be identical between reference and avx2 on a stream whose
+// z-scores sit well away from the thresholds, and the z-scores themselves
+// must agree to a tight band.
+// ---------------------------------------------------------------------------
+
+std::vector<core::AssessmentSnapshot> run_stream_under(
+    const std::string& backend_name) {
+  BackendGuard guard;
+  linalg::set_active_backend(backend_name);
+
+  Rng rng(11);
+  // Strongly structured low-rank data: rank selection (svht cutoff) and
+  // baseline membership are then stable under few-ULP kernel differences,
+  // so the comparison below isolates genuine contract violations instead
+  // of benign decision flips at a knife's-edge threshold.
+  const core::Mat data = planted_multiscale(12, 320, 0.01, rng);
+
+  core::PipelineOptions options;
+  options.imrdmd.mrdmd.max_levels = 4;
+  options.imrdmd.mrdmd.dt = 1.0;
+  options.baseline = {-10.0, 10.0};
+  core::Assessor assessor(
+      core::AssessorConfig().pipeline(options).monolithic());
+
+  core::MatrixChunkSource source(data, 128, 64);
+  core::CollectingSink sink;
+  assessor.run(source, sink);
+  return sink.take();
+}
+
+TEST(LinalgBackendEndToEnd, Avx2KeepsAssessmentDecisionsInBand) {
+  if (linalg::find_backend("avx2") == nullptr) {
+    GTEST_SKIP() << "avx2 backend not registered in this build";
+  }
+  const auto ref_snapshots = run_stream_under("reference");
+  const auto avx_snapshots = run_stream_under("avx2");
+  ASSERT_EQ(ref_snapshots.size(), avx_snapshots.size());
+  ASSERT_FALSE(ref_snapshots.empty());
+
+  for (std::size_t c = 0; c < ref_snapshots.size(); ++c) {
+    const auto& ref = ref_snapshots[c];
+    const auto& avx = avx_snapshots[c];
+    EXPECT_EQ(ref.zscores.baseline_sensors, avx.zscores.baseline_sensors)
+        << "chunk " << c;
+    ASSERT_EQ(ref.zscores.zscores.size(), avx.zscores.zscores.size());
+    for (std::size_t s = 0; s < ref.zscores.zscores.size(); ++s) {
+      // The decision band: z-scores agree far tighter than the hot/cold
+      // thresholds are spaced, so thermal states cannot flip.
+      EXPECT_NEAR(ref.zscores.zscores[s], avx.zscores.zscores[s], 1e-6)
+          << "chunk " << c << " sensor " << s;
+      EXPECT_EQ(ref.zscores.state(s), avx.zscores.state(s))
+          << "chunk " << c << " sensor " << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace imrdmd::testing

@@ -1,6 +1,9 @@
 // Unit tests for Matrix and the BLAS-like kernels.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+
 #include "linalg/blas.hpp"
 #include "linalg/matrix.hpp"
 #include "test_util.hpp"
@@ -34,6 +37,33 @@ TEST(Matrix, IdentityHasUnitDiagonal) {
       EXPECT_EQ(eye(i, j), i == j ? 1.0 : 0.0);
     }
   }
+}
+
+TEST(Matrix, BackingStoreStays32ByteAligned) {
+  // Vector backends load panels straight from data(); the AlignedAllocator
+  // must hold the 32-byte guarantee through every reallocation path,
+  // including the shrink_cols in-place repack followed by regrowth (the
+  // iSVD steady-state churn).
+  const auto aligned = [](const Mat& m) {
+    return reinterpret_cast<std::uintptr_t>(m.data()) % kMatrixAlignment == 0;
+  };
+  Mat m(3, 5);
+  EXPECT_TRUE(aligned(m));
+  m.reserve(64 * 64);
+  EXPECT_TRUE(aligned(m));
+  m.assign_zero(64, 64);
+  EXPECT_TRUE(aligned(m));
+  m.shrink_cols(7);
+  EXPECT_TRUE(aligned(m));
+  m.assign_zero(128, 33);
+  EXPECT_TRUE(aligned(m));
+  m.shrink_cols(1);
+  m.reserve(256 * 9);
+  EXPECT_TRUE(aligned(m));
+  Mat copy = m;
+  EXPECT_TRUE(aligned(copy));
+  Mat moved = std::move(copy);
+  EXPECT_TRUE(aligned(moved));
 }
 
 TEST(Matrix, AtChecksBounds) {
