@@ -4,7 +4,7 @@
 // Workload: G independent sensor groups streaming together as one machine
 // (low-rank-plus-noise structure per group, like the telemetry the paper
 // ingests). The group partition is held fixed — so every run computes the
-// bitwise-identical FleetSnapshots, verified here — and only the number of
+// bitwise-identical snapshots, verified here — and only the number of
 // concurrent worker lanes varies: 1, 2, 4, ... up to the group count.
 // Emits BENCH_fleet.json with the shards-vs-throughput curve; the headline
 // figure is speedup at 4 shards vs 1 (expect ~min(4, cores) on an idle

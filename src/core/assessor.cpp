@@ -1,8 +1,10 @@
 #include "core/assessor.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <thread>
@@ -73,6 +75,22 @@ PartialFitReport decode_report(const double* words) {
   report.new_nodes = static_cast<std::size_t>(words[6]);
   report.new_grid_columns = static_cast<std::size_t>(words[7]);
   return report;
+}
+
+/// IMRDMD_HIERARCHY_STRIDE supplies the default coarse stride when the
+/// config never called hierarchy() — the same opt-in shape as
+/// IMRDMD_LINALG_BACKEND, so CI can re-run entire suites with the
+/// hierarchy enabled. Unset/empty means flat; anything unparsable throws
+/// (a typo must not silently run flat).
+std::size_t hierarchy_stride_from_env() {
+  const char* value = std::getenv("IMRDMD_HIERARCHY_STRIDE");
+  if (value == nullptr || *value == '\0') return 0;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  IMRDMD_REQUIRE_ARG(errno == 0 && end != value && *end == '\0',
+                     "IMRDMD_HIERARCHY_STRIDE is not a non-negative integer");
+  return static_cast<std::size_t>(parsed);
 }
 
 /// Order-sensitive fold of the chunk's raw bit patterns, squashed into the
@@ -235,6 +253,13 @@ Assessor::Assessor(AssessorConfig config)
           !config_.checkpoint_policy.path.empty(),
       "checkpoint policy armed (every_n > 0) without a path — the policy "
       "would be silently disarmed; set a path or every_n = 0");
+  // Resolve the effective stride once, at construction: an explicit
+  // hierarchy() call (including checkpoint resume) pins it; otherwise the
+  // environment default applies.
+  if (!config_.hierarchy_set) {
+    config_.coarse_stride = hierarchy_stride_from_env();
+    config_.hierarchy_set = true;
+  }
   if (config_.sensor_count == 0) {
     // Deferred sensor count: only the single-process monolithic topology
     // can infer P from the first chunk (a sharded partition names sensor
@@ -249,8 +274,7 @@ Assessor::Assessor(AssessorConfig config)
     local_end_ = 1;
     lanes_ = 1;
     identity_partition_ = true;
-    models_.push_back(
-        std::make_unique<IncrementalMrdmd>(config_.pipeline_options.imrdmd));
+    stack_.add_fine(config_.pipeline_options.imrdmd);
   } else {
     finalize_topology(config_.sensor_count);
   }
@@ -296,13 +320,19 @@ void Assessor::finalize_topology(std::size_t sensors) {
   // with real lanes the updates are pool tasks and must not nest the pool.
   if (lanes_ > 1) model_options.mrdmd.parallel_bins = false;
   // The deferred-monolithic constructor path already created the single
-  // model (so model() works before the first chunk, like the legacy
-  // pipeline); every other path creates the owned models here.
-  if (models_.empty()) {
-    models_.reserve(local_count);
+  // model (so model() works before the first chunk); every other path
+  // creates the owned fine models here.
+  if (stack_.fine_count() == 0) {
     for (std::size_t l = 0; l < local_count; ++l) {
-      models_.push_back(std::make_unique<IncrementalMrdmd>(model_options));
+      stack_.add_fine(model_options);
     }
+  }
+  // The coarse facility model runs unsharded on the caller thread of every
+  // engine replica, so it keeps the configured options as-is (its
+  // parallel-bin fits never nest the pool).
+  if (config_.coarse_stride > 0 && !stack_.hierarchical()) {
+    stack_.enable_coarse(groups_, sensors_, config_.coarse_stride,
+                         config_.pipeline_options.imrdmd);
   }
 }
 
@@ -314,7 +344,7 @@ ThreadPool& Assessor::pool() const {
 const IncrementalMrdmd& Assessor::model(std::size_t group) const {
   IMRDMD_REQUIRE_ARG(group >= local_begin_ && group < local_end_,
                      "this process does not own the requested group");
-  return *models_[group - local_begin_];
+  return stack_.fine(group - local_begin_);
 }
 
 void Assessor::update_local_groups(const Mat& chunk,
@@ -328,10 +358,10 @@ void Assessor::update_local_groups(const Mat& chunk,
           // feeds the chunk straight through — no per-chunk gather copy.
           updates[l] =
               identity_partition_
-                  ? update_magnitudes(*models_[l], chunk,
+                  ? update_magnitudes(stack_.fine(l), chunk,
                                       config_.pipeline_options.band)
                   : update_magnitudes(
-                        *models_[l],
+                        stack_.fine(l),
                         gather_rows(chunk, groups_[local_begin_ + l]),
                         config_.pipeline_options.band);
         }
@@ -375,7 +405,20 @@ AssessmentSnapshot Assessor::process(const Mat& chunk) {
   WallTimer timer;
   const std::size_t local_count = local_end_ - local_begin_;
   std::vector<MagnitudeUpdate> updates(local_count);
-  update_local_groups(chunk, updates);
+
+  // Coarse level first (hierarchy mode): one deterministic update per
+  // engine replica, on the caller thread — after the SPMD digest agreement
+  // above, every rank holds identical chunk bytes, so the replicated
+  // coarse models (and the residual they produce) stay bitwise identical
+  // with no extra collective. The fine models then fit the residual.
+  const bool hierarchical = stack_.hierarchical();
+  Mat residual;
+  CoarseUpdate coarse;
+  if (hierarchical) {
+    coarse = stack_.update_coarse(chunk, config_.pipeline_options.band,
+                                  residual);
+  }
+  update_local_groups(hierarchical ? residual : chunk, updates);
 
   snapshot.magnitudes.assign(sensors_, 0.0);
   snapshot.sensor_means.assign(sensors_, 0.0);
@@ -439,11 +482,32 @@ AssessmentSnapshot Assessor::process(const Mat& chunk) {
   snapshot.total_snapshots = snapshots_seen_ + chunk.cols();
   snapshot.fit_seconds = timer.seconds();
 
-  snapshot.zscores = zscore_stage_.apply(
-      std::span<const double>(snapshot.magnitudes.data(),
-                              snapshot.magnitudes.size()),
-      std::span<const double>(snapshot.sensor_means.data(),
-                              snapshot.sensor_means.size()));
+  if (hierarchical) {
+    // The merged means above were computed on the residual; the baseline
+    // value-range rule reads physical temperatures, so recompute them from
+    // the raw chunk (full-width row means are bitwise identical to the
+    // flat engine's per-group merge of the same chunk).
+    snapshot.sensor_means = row_means(chunk);
+    snapshot.coarse_magnitudes = std::move(coarse.magnitudes);
+    snapshot.coarse_report = coarse.report;
+    snapshot.coarse_fit_seconds = coarse.fit_seconds;
+    ReconciledZscores reconciled = zscore_stage_.apply_reconciled(
+        std::span<const double>(snapshot.magnitudes.data(),
+                                snapshot.magnitudes.size()),
+        std::span<const double>(snapshot.coarse_magnitudes.data(),
+                                snapshot.coarse_magnitudes.size()),
+        std::span<const double>(snapshot.sensor_means.data(),
+                                snapshot.sensor_means.size()));
+    snapshot.zscores = std::move(reconciled.combined);
+    snapshot.coarse_zscores = std::move(reconciled.coarse_zscores);
+    snapshot.residual_zscores = std::move(reconciled.residual_zscores);
+  } else {
+    snapshot.zscores = zscore_stage_.apply(
+        std::span<const double>(snapshot.magnitudes.data(),
+                                snapshot.magnitudes.size()),
+        std::span<const double>(snapshot.sensor_means.data(),
+                                snapshot.sensor_means.size()));
+  }
 
   snapshots_seen_ += chunk.cols();
   ++chunks_processed_;
@@ -664,18 +728,6 @@ RunSummary Assessor::run_until(ChunkSource* source, SnapshotSink& sink,
   park_prefetched();
   sink.on_end(summary);
   return summary;
-}
-
-std::vector<AssessmentSnapshot> run_collecting(
-    Assessor& engine, std::vector<AssessmentSnapshot>& carry,
-    ChunkSource* source, std::size_t max_chunks) {
-  if (max_chunks == 0 || carry.size() < max_chunks) {
-    CollectingSink sink(&carry);
-    StopCondition stop;
-    stop.max_chunks = max_chunks == 0 ? 0 : max_chunks - carry.size();
-    engine.run_until(source, sink, stop);
-  }
-  return std::exchange(carry, {});
 }
 
 std::vector<std::vector<std::size_t>> contiguous_groups(std::size_t sensors,

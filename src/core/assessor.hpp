@@ -20,23 +20,28 @@
 //     memory (ROADMAP north star: millions of users, backpressure-aware
 //     ingestion).
 //
-// Invariance contract (tests/assessor_test.cpp + the legacy suites): for a
-// fixed group partition, snapshots are bitwise identical across lane
-// counts, rank counts, prefetch depths, and sync vs async ingestion — and
-// identical to the three legacy drivers (OnlineAssessmentPipeline,
-// FleetAssessment, DistributedFleetAssessment), which are thin shims over
-// this engine.
+// Model layer: a composable two-level ModelStack (core/model_stack.hpp) —
+// an optional coarse facility model over a subsampled sensor grid whose
+// reconstruction is subtracted before the per-group models fit the
+// residual (AssessorConfig::hierarchy; flat when coarse_stride == 0). The
+// coarse update is replicated per engine replica on the caller thread, so
+// it rides the existing chunk broadcast with no new collectives.
+//
+// Invariance contract (tests/assessor_test.cpp, tests/hierarchy_test.cpp):
+// for a fixed group partition and stride, snapshots are bitwise identical
+// across lane counts, rank counts, prefetch depths, and sync vs async
+// ingestion; flat mode is bitwise identical to the pre-hierarchy engine.
 #pragma once
 
 #include <cstddef>
 #include <deque>
-#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "core/imrdmd.hpp"
+#include "core/model_stack.hpp"
 #include "core/stream.hpp"
 #include "core/zscore.hpp"
 #include "dist/communicator.hpp"
@@ -85,14 +90,34 @@ struct AssessmentSnapshot {
   std::size_t total_snapshots = 0;
   /// Per-group partial-fit diagnostics, in group order.
   std::vector<PartialFitReport> reports;
-  /// Merged band-filtered magnitudes, machine sensor order.
+  /// Merged band-filtered magnitudes, machine sensor order. In hierarchy
+  /// mode these are the RESIDUAL-level magnitudes (after the coarse
+  /// reconstruction was subtracted).
   std::vector<double> magnitudes;
-  /// Merged per-sensor chunk means, machine sensor order.
+  /// Merged per-sensor chunk means, machine sensor order — always the raw
+  /// chunk's means (the baseline rule reads physical values, so hierarchy
+  /// mode recomputes them from the unsubtracted chunk).
   std::vector<double> sensor_means;
-  /// Global z-scores over the merged magnitudes (machine sensor order).
+  /// Global z-scores (machine sensor order). Flat mode: z-scores of
+  /// `magnitudes`. Hierarchy mode: the reconciled per-sensor combination
+  /// of the residual- and coarse-level z-scores (larger |z| wins).
   ZscoreAnalysis zscores;
-  /// Wall time of the fit + merge (not per group).
+  /// Wall time of the fit + merge (not per group), coarse level included.
   double fit_seconds = 0.0;
+
+  // --- per-level fields, populated only in hierarchy mode ---------------
+
+  /// Coarse-level magnitudes interpolated to full width; empty when flat.
+  std::vector<double> coarse_magnitudes;
+  /// Each level's own z-scores against the shared baseline population;
+  /// empty when flat (zscores.zscores is then the only vector).
+  std::vector<double> coarse_zscores;
+  std::vector<double> residual_zscores;
+  /// Coarse-model partial-fit diagnostics (default on the initial fit and
+  /// in flat mode).
+  PartialFitReport coarse_report;
+  /// Wall time of the coarse fit + residual subtraction; 0 when flat.
+  double coarse_fit_seconds = 0.0;
 };
 
 /// Periodic durability for long-running streams: when armed (every_n > 0;
@@ -201,9 +226,8 @@ class SnapshotSink {
   virtual void on_end(const RunSummary& summary) { (void)summary; }
 };
 
-/// Sink that appends every snapshot to a vector — the legacy contract as a
-/// sink. Binds an external vector when given one (the legacy shims park
-/// their undelivered results this way), otherwise collects internally.
+/// Sink that appends every snapshot to a vector. Binds an external vector
+/// when given one, otherwise collects internally.
 class CollectingSink final : public SnapshotSink {
  public:
   CollectingSink() : out_(&owned_) {}
@@ -255,6 +279,17 @@ struct AssessorConfig {
   IngestOptions ingest_options;
   /// Pool the worker lanes run on; null = global_pool().
   ThreadPool* worker_pool = nullptr;
+  /// Multifidelity hierarchy: > 0 enables the coarse facility model over
+  /// every coarse_stride-th sensor of each group (core/model_stack.hpp);
+  /// 0 is flat mode, bitwise identical to the pre-hierarchy engine. When
+  /// hierarchy() is never called explicitly, the IMRDMD_HIERARCHY_STRIDE
+  /// environment variable supplies the default (mirrors
+  /// IMRDMD_LINALG_BACKEND, so CI can re-run whole suites hierarchical).
+  std::size_t coarse_stride = 0;
+  /// True once hierarchy() ran — the environment default then stays inert
+  /// (checkpoint resume always sets it explicitly, so a restored stride
+  /// can never be overridden by the environment).
+  bool hierarchy_set = false;
   /// Non-empty selects the process-wide linalg backend at construction via
   /// linalg::set_active_backend ("reference", "avx2", "openblas", or a
   /// register_backend() name). Explicit selection here beats the
@@ -299,6 +334,13 @@ struct AssessorConfig {
   }
   AssessorConfig& pool(ThreadPool* p) {
     worker_pool = p;
+    return *this;
+  }
+  /// Two-level multifidelity hierarchy; stride 0 = flat (and pins flat
+  /// against the environment default).
+  AssessorConfig& hierarchy(std::size_t stride) {
+    coarse_stride = stride;
+    hierarchy_set = true;
     return *this;
   }
   AssessorConfig& linalg(std::string backend_name) {
@@ -377,8 +419,16 @@ class Assessor {
     return {local_begin_, local_end_};
   }
   /// Model of owned global group `group` (InvalidArgument when this
-  /// process does not own it).
+  /// process does not own it). In hierarchy mode this is the group's
+  /// residual-level model.
   const IncrementalMrdmd& model(std::size_t group) const;
+  /// True when the two-level hierarchy is enabled (effective stride > 0).
+  bool hierarchical() const { return stack_.hierarchical(); }
+  /// Effective coarse stride (config, or the environment default); 0 flat.
+  std::size_t coarse_stride() const { return stack_.coarse_stride(); }
+  /// The coarse facility model (InvalidArgument in flat mode). Replicated:
+  /// identical on every rank of a distributed engine.
+  const IncrementalMrdmd& coarse_model() const { return stack_.coarse(); }
   /// Chunks processed so far (the next snapshot's chunk_index).
   std::size_t chunks_processed() const { return chunks_processed_; }
   /// Snapshots folded into the group models so far — the stream position a
@@ -425,29 +475,17 @@ class Assessor {
   /// by the next run — the models have already folded those chunks in, so
   /// the results cannot be regenerated.
   std::deque<AssessmentSnapshot> parked_snapshots_;
-  /// Models of the owned groups only, local index l = global group
-  /// local_begin_ + l. unique_ptr: handed to pool tasks by raw pointer and
-  /// must not move when the engine itself is moved.
-  std::vector<std::unique_ptr<IncrementalMrdmd>> models_;
+  /// The two-level model stack: fine models of the owned groups only
+  /// (local index l = global group local_begin_ + l; stable addresses, so
+  /// pool tasks may hold raw pointers across an engine move) plus the
+  /// optional coarse facility model, replicated per engine replica.
+  ModelStack stack_;
   /// Replicated in the distributed topology: every rank feeds it the same
   /// merged bytes, so the state stays identical across ranks.
   BaselineZscoreStage zscore_stage_;
   std::size_t chunks_processed_ = 0;
   std::size_t snapshots_seen_ = 0;
 };
-
-/// The legacy vector-return contract as an adapter over the engine, shared
-/// by the deprecated shims: `carry` holds snapshots a previous failed call
-/// delivered but could not return. When the parked snapshots alone satisfy
-/// `max_chunks` they are returned WITHOUT touching the engine or the
-/// source (pulling a chunk first would destroy one the engine never
-/// processes); otherwise the engine appends into `carry` through a
-/// CollectingSink — so a mid-run failure leaves everything delivered so
-/// far parked in `carry` for the next call — and the whole batch is
-/// returned. `source` may be null only for distributed non-root ranks.
-std::vector<AssessmentSnapshot> run_collecting(
-    Assessor& engine, std::vector<AssessmentSnapshot>& carry,
-    ChunkSource* source, std::size_t max_chunks);
 
 /// Partitions [0, sensors) into `count` contiguous, near-equal groups (the
 /// first `sensors % count` groups get one extra sensor).

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -19,6 +20,11 @@ namespace {
 constexpr char kMagic[8] = {'I', 'M', 'R', 'D', 'M', 'D', '1', '\n'};
 constexpr char kPipelineMagic[8] = {'I', 'M', 'R', 'D', 'P', 'L', '1', '\n'};
 constexpr char kFleetMagic[8] = {'I', 'M', 'R', 'D', 'F', 'L', '1', '\n'};
+// V2 = V1 plus a hierarchy section (coarse stride + one coarse-model
+// section) between the group partition and the per-group model sections.
+// Written only by hierarchical engines, so every flat save stays
+// byte-identical to the V1 generation.
+constexpr char kFleetMagic2[8] = {'I', 'M', 'R', 'D', 'F', 'L', '2', '\n'};
 
 // --- primitive writers/readers (little-endian native; the format is not
 // exchanged across architectures) -------------------------------------
@@ -239,6 +245,9 @@ struct ParsedCheckpoint {
   std::uint64_t sensors = 0;
   std::vector<std::vector<std::size_t>> groups;
   std::vector<IncrementalMrdmd> models;
+  /// Hierarchy section (V2 containers only): 0 = flat stack.
+  std::uint64_t coarse_stride = 0;
+  std::optional<IncrementalMrdmd> coarse_model;
 };
 
 void put_header(std::ostream& out, const PipelineOptions& options,
@@ -264,9 +273,8 @@ void get_header(BoundedReader& in, ParsedCheckpoint& parsed) {
 
 /// Single access point for every private member the checkpoint module
 /// serializes: the model internals (IncrementalMrdmd) and the unified
-/// engine's models, stage, counters, and lane structure (Assessor) — the
-/// legacy shims expose nothing beyond their embedded engine. Defined only
-/// in this translation unit.
+/// engine's model stack, stage, counters, and lane structure (Assessor /
+/// ModelStack). Defined only in this translation unit.
 struct CheckpointAccess {
   /// `parallel_bins_override`, when non-null, is written in place of the
   /// model's own mrdmd.parallel_bins. The engine forces that knob off on
@@ -278,29 +286,19 @@ struct CheckpointAccess {
   static void put_model(std::ostream& out, const IncrementalMrdmd& model,
                         const bool* parallel_bins_override = nullptr);
   static IncrementalMrdmd get_model(BoundedReader& in);
-  /// The legacy "IMRDPL1" container over a monolithic engine.
+  /// The legacy "IMRDPL1" container over a flat monolithic engine.
   static void save_pipeline_container(std::ostream& out,
                                       const Assessor& assessor);
-  /// The "IMRDFL1" container over any single-process engine.
+  /// The "IMRDFL1"/"IMRDFL2" container over any single-process engine.
   static void save_single(std::ostream& out, const Assessor& assessor);
-  /// Collective "IMRDFL1" save of a distributed-topology engine.
+  /// Collective save of a distributed-topology engine (same bytes).
   static void save_distributed(std::ostream* out, const Assessor& assessor);
   /// Builds an engine of any topology from a parsed container.
   static RestoredAssessor assemble(ParsedCheckpoint parsed,
                                    dist::Communicator* comm,
                                    const AssessorResumeOptions& resume);
-  static RestoredPipeline assemble_pipeline(ParsedCheckpoint parsed);
-  static RestoredFleet wrap_fleet(RestoredAssessor restored);
-  static RestoredDistributedFleet wrap_distributed_fleet(
-      RestoredAssessor restored);
-  static const Assessor& engine_of(const OnlineAssessmentPipeline& p) {
-    return p.engine_;
-  }
-  static const Assessor& engine_of(const FleetAssessment& f) {
-    return f.engine_;
-  }
-  static const Assessor& engine_of(const DistributedFleetAssessment& f) {
-    return f.engine_;
+  static BaselineZscoreStage::State stage_state(const Assessor& assessor) {
+    return assessor.zscore_stage_.state();
   }
 };
 
@@ -353,7 +351,7 @@ ParsedCheckpoint parse_pipeline_body(BoundedReader& in) {
   return parsed;
 }
 
-ParsedCheckpoint parse_fleet_body(BoundedReader& in) {
+ParsedCheckpoint parse_fleet_body(BoundedReader& in, bool v2) {
   ParsedCheckpoint parsed;
   get_header(in, parsed);
   parsed.sensors = get_u64(in);
@@ -384,6 +382,32 @@ ParsedCheckpoint parse_fleet_body(BoundedReader& in) {
       }
     }
   }
+  if (v2) {
+    // Hierarchy section: the stride and the replicated coarse model. A V2
+    // container with a disabled stride would be a V1 spelled wrong (and
+    // would break resave byte-identity), so it is rejected as corrupt.
+    parsed.coarse_stride = get_u64(in);
+    if (parsed.coarse_stride == 0 ||
+        parsed.coarse_stride > (std::uint64_t{1} << 32)) {
+      throw ParseError("fleet checkpoint coarse stride implausible");
+    }
+    parsed.coarse_model =
+        get_model_section(in, "fleet coarse model section");
+    const std::size_t coarse_rows =
+        ModelStack::coarse_grid(parsed.groups,
+                                static_cast<std::size_t>(
+                                    parsed.coarse_stride))
+            .size();
+    if (parsed.coarse_model->sensors() != coarse_rows) {
+      throw ParseError(
+          "fleet coarse section row count disagrees with the partition");
+    }
+    if (parsed.coarse_model->time_steps() != parsed.stream_position) {
+      throw ParseError(
+          "fleet checkpoint stream position disagrees with the coarse "
+          "model");
+    }
+  }
   parsed.models.reserve(group_count);
   for (std::uint64_t g = 0; g < group_count; ++g) {
     parsed.models.push_back(get_model_section(in, "fleet model section"));
@@ -406,7 +430,10 @@ ParsedCheckpoint parse_any(BoundedReader& in) {
     return parse_pipeline_body(in);
   }
   if (std::memcmp(magic, kFleetMagic, sizeof magic) == 0) {
-    return parse_fleet_body(in);
+    return parse_fleet_body(in, /*v2=*/false);
+  }
+  if (std::memcmp(magic, kFleetMagic2, sizeof magic) == 0) {
+    return parse_fleet_body(in, /*v2=*/true);
   }
   throw ParseError("not an imrdmd pipeline/fleet checkpoint (bad magic)");
 }
@@ -529,9 +556,12 @@ IncrementalMrdmd CheckpointAccess::get_model(BoundedReader& in) {
 
 void CheckpointAccess::save_pipeline_container(std::ostream& out,
                                                const Assessor& assessor) {
-  IMRDMD_REQUIRE_ARG(assessor.models_.size() == 1 &&
-                         assessor.models_[0]->fitted(),
+  IMRDMD_REQUIRE_ARG(assessor.stack_.fine_count() == 1 &&
+                         assessor.stack_.fine(0).fitted(),
                      "cannot checkpoint a pipeline before its first chunk");
+  IMRDMD_REQUIRE_ARG(
+      !assessor.stack_.hierarchical(),
+      "the legacy pipeline container cannot hold a hierarchy");
   out.write(kPipelineMagic, sizeof kPipelineMagic);
   put_header(out, assessor.config_.pipeline_options,
              assessor.chunks_processed_, assessor.snapshots_seen_,
@@ -540,12 +570,44 @@ void CheckpointAccess::save_pipeline_container(std::ostream& out,
   // thread, so the model's own parallel_bins is the configured value —
   // byte-identical to the pre-unification pipeline writer.
   std::ostringstream buffer;
-  put_model(buffer, *assessor.models_[0]);
+  put_model(buffer, assessor.stack_.fine(0));
   const std::string bytes = std::move(buffer).str();
   put_u64(out, bytes.size());
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   if (!out) throw Error("pipeline checkpoint write failed");
 }
+
+namespace {
+
+/// The container preamble shared by the single-process and distributed
+/// writers: version magic (V2 exactly when hierarchical), stage header,
+/// partition, and — V2 only — the hierarchy section with the replicated
+/// coarse model (canonicalized like every model section).
+void put_fleet_preamble(std::ostream& out, const Assessor& assessor,
+                        bool canonical_bins) {
+  const bool hierarchical = assessor.hierarchical();
+  out.write(hierarchical ? kFleetMagic2 : kFleetMagic, sizeof kFleetMagic);
+  put_header(out, assessor.config().pipeline_options,
+             assessor.chunks_processed(), assessor.snapshots_processed(),
+             CheckpointAccess::stage_state(assessor));
+  put_u64(out, assessor.sensors());
+  put_u64(out, assessor.groups().size());
+  for (const auto& group : assessor.groups()) {
+    put_u64(out, group.size());
+    for (std::size_t sensor : group) put_u64(out, sensor);
+  }
+  if (hierarchical) {
+    put_u64(out, assessor.coarse_stride());
+    std::ostringstream buffer;
+    CheckpointAccess::put_model(buffer, assessor.coarse_model(),
+                                &canonical_bins);
+    const std::string bytes = std::move(buffer).str();
+    put_u64(out, bytes.size());
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+}
+
+}  // namespace
 
 void CheckpointAccess::save_single(std::ostream& out,
                                    const Assessor& assessor) {
@@ -553,31 +615,22 @@ void CheckpointAccess::save_single(std::ostream& out,
                      "use the collective save for a distributed engine");
   IMRDMD_REQUIRE_ARG(assessor.chunks_processed_ >= 1,
                      "cannot checkpoint a fleet before its first chunk");
-  out.write(kFleetMagic, sizeof kFleetMagic);
-  put_header(out, assessor.config_.pipeline_options,
-             assessor.chunks_processed_, assessor.snapshots_seen_,
-             assessor.zscore_stage_.state());
-  put_u64(out, assessor.sensors_);
-  put_u64(out, assessor.groups_.size());
-  for (const auto& group : assessor.groups_) {
-    put_u64(out, group.size());
-    for (std::size_t sensor : group) put_u64(out, sensor);
-  }
+  const bool canonical_bins =
+      assessor.config_.pipeline_options.imrdmd.mrdmd.parallel_bins;
+  put_fleet_preamble(out, assessor, canonical_bins);
 
   // Serialize the per-group model images concurrently across the engine's
   // worker lanes (the same lane structure process() uses); the images are
   // then concatenated in deterministic group order, so the bytes are
   // identical for any lane count.
   const std::size_t group_count = assessor.groups_.size();
-  const bool canonical_bins =
-      assessor.config_.pipeline_options.imrdmd.mrdmd.parallel_bins;
   std::vector<std::string> sections(group_count);
   run_lanes(
       assessor.lanes_,
       [&assessor, &sections, &canonical_bins, group_count](std::size_t lane) {
         for (std::size_t g = lane; g < group_count; g += assessor.lanes_) {
           std::ostringstream buffer;
-          put_model(buffer, *assessor.models_[g], &canonical_bins);
+          put_model(buffer, assessor.stack_.fine(g), &canonical_bins);
           sections[g] = std::move(buffer).str();
         }
       },
@@ -666,7 +719,7 @@ void CheckpointAccess::save_distributed(std::ostream* out,
       [&assessor, &sections, &canonical_bins, local_count](std::size_t lane) {
         for (std::size_t l = lane; l < local_count; l += assessor.lanes_) {
           std::ostringstream buffer;
-          put_model(buffer, *assessor.models_[l], &canonical_bins);
+          put_model(buffer, assessor.stack_.fine(l), &canonical_bins);
           sections[l] = std::move(buffer).str();
         }
       },
@@ -681,16 +734,11 @@ void CheckpointAccess::save_distributed(std::ostream* out,
       comm.gatherv(std::span<const double>(blob.data(), blob.size()), 0);
   if (!root) return;
 
-  out->write(kFleetMagic, sizeof kFleetMagic);
-  put_header(*out, assessor.config_.pipeline_options,
-             assessor.chunks_processed_, assessor.snapshots_seen_,
-             assessor.zscore_stage_.state());
-  put_u64(*out, assessor.sensors_);
-  put_u64(*out, assessor.groups_.size());
-  for (const auto& group : assessor.groups_) {
-    put_u64(*out, group.size());
-    for (std::size_t sensor : group) put_u64(*out, sensor);
-  }
+  // Rank 0's coarse replica is every rank's coarse replica (the coarse
+  // update is deterministic over the digest-agreed broadcast chunk), so
+  // the hierarchy section needs no gather and the bytes stay rank-count
+  // invariant.
+  put_fleet_preamble(*out, assessor, canonical_bins);
   const std::size_t ranks = static_cast<std::size_t>(comm.size());
   for (std::size_t r = 0; r < ranks; ++r) {
     const auto range = rank_group_range(assessor.groups_.size(), ranks, r);
@@ -718,21 +766,32 @@ RestoredAssessor CheckpointAccess::assemble(
   config.ingest_options = resume.ingest;
   config.worker_pool = resume.pool;
   config.checkpoint_policy = resume.checkpoint;
+  // The stride always comes from the container — explicitly, through
+  // hierarchy(), so the IMRDMD_HIERARCHY_STRIDE environment default can
+  // never override a resumed stream's topology ("IMRDFL1"/"IMRDPL1" files
+  // load as stride-disabled flat stacks).
+  config.hierarchy(static_cast<std::size_t>(parsed.coarse_stride));
   // The constructor re-validates the partition (disjoint, total cover) and
   // re-derives this process's ownership range — the checkpoint itself
   // carries nothing about the lane or rank count that wrote it.
   Assessor assessor(std::move(config));
   const std::size_t local_count = assessor.local_end_ - assessor.local_begin_;
   for (std::size_t l = 0; l < local_count; ++l) {
-    *assessor.models_[l] =
+    *assessor.stack_.fine_[l] =
         std::move(parsed.models[assessor.local_begin_ + l]);
     // Re-apply the constructor's nested-pool guard to the *restored*
     // models: a checkpoint saved from a single-lane engine carries
     // parallel_bins = true, and resuming it with real lanes would fan each
     // lane task back out onto (and block on) its own pool.
     if (assessor.lanes_ > 1) {
-      assessor.models_[l]->options_.mrdmd.parallel_bins = false;
+      assessor.stack_.fine_[l]->options_.mrdmd.parallel_bins = false;
     }
+  }
+  if (parsed.coarse_model.has_value()) {
+    // Every rank restores the full coarse replica (it is replicated at
+    // runtime, so every rank needs it regardless of group ownership); the
+    // coarse model runs on the caller thread and keeps its own options.
+    *assessor.stack_.coarse_ = std::move(*parsed.coarse_model);
   }
   assessor.zscore_stage_.restore(std::move(parsed.stage_state));
   assessor.chunks_processed_ =
@@ -741,56 +800,6 @@ RestoredAssessor CheckpointAccess::assemble(
       static_cast<std::size_t>(parsed.stream_position);
   return {std::move(assessor), parsed.stream_position};
 }
-
-RestoredPipeline CheckpointAccess::assemble_pipeline(ParsedCheckpoint parsed) {
-  if (parsed.models.size() != 1) {
-    throw ParseError(
-        "fleet checkpoint has multiple groups; resume it with "
-        "load_fleet_checkpoint");
-  }
-  bool identity = parsed.groups.size() == 1 &&
-                  parsed.groups[0].size() == parsed.sensors;
-  if (identity) {
-    for (std::size_t p = 0; p < parsed.sensors; ++p) {
-      if (parsed.groups[0][p] != p) identity = false;
-    }
-  }
-  if (!identity) {
-    throw ParseError(
-        "fleet checkpoint partition is not the identity; resume it with "
-        "load_fleet_checkpoint");
-  }
-  AssessorResumeOptions resume;
-  // The legacy pipeline's ingestion profile: synchronous pulls.
-  resume.ingest.prefetch_depth = 0;
-  RestoredAssessor restored = assemble(std::move(parsed), nullptr, resume);
-  return {OnlineAssessmentPipeline(std::move(restored.assessor)),
-          restored.stream_position};
-}
-
-RestoredFleet CheckpointAccess::wrap_fleet(RestoredAssessor restored) {
-  return {FleetAssessment(std::move(restored.assessor)),
-          restored.stream_position};
-}
-
-RestoredDistributedFleet CheckpointAccess::wrap_distributed_fleet(
-    RestoredAssessor restored) {
-  return {DistributedFleetAssessment(std::move(restored.assessor)),
-          restored.stream_position};
-}
-
-namespace {
-
-AssessorResumeOptions to_assessor_resume(const FleetResumeOptions& resume) {
-  AssessorResumeOptions out;
-  out.lanes = resume.shards;
-  out.ingest.prefetch_depth = resume.async_prefetch ? 1 : 0;
-  out.pool = resume.pool;
-  out.checkpoint = resume.checkpoint;
-  return out;
-}
-
-}  // namespace
 
 void save_checkpoint(std::ostream& out, const IncrementalMrdmd& model) {
   CheckpointAccess::put_model(out, model);
@@ -870,83 +879,11 @@ RestoredAssessor load_assessor_checkpoint_file(
   return load_assessor_checkpoint(in, comm, resume);
 }
 
-// --- Pipeline (legacy wrappers) ------------------------------------------
+// --- Legacy container coverage -------------------------------------------
 
-void save_pipeline_checkpoint(std::ostream& out,
-                              const OnlineAssessmentPipeline& pipeline) {
-  CheckpointAccess::save_pipeline_container(
-      out, CheckpointAccess::engine_of(pipeline));
-}
-
-void save_pipeline_checkpoint_file(const std::string& path,
-                                   const OnlineAssessmentPipeline& pipeline) {
-  write_file_atomic(path, [&pipeline](std::ostream& out) {
-    save_pipeline_checkpoint(out, pipeline);
-  });
-}
-
-RestoredPipeline load_pipeline_checkpoint(std::istream& raw) {
-  BoundedReader in(raw);
-  return CheckpointAccess::assemble_pipeline(parse_any(in));
-}
-
-RestoredPipeline load_pipeline_checkpoint_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open checkpoint for reading: " + path);
-  return load_pipeline_checkpoint(in);
-}
-
-// --- Fleet (legacy wrappers) ---------------------------------------------
-
-void save_fleet_checkpoint(std::ostream& out, const FleetAssessment& fleet) {
-  CheckpointAccess::save_single(out, CheckpointAccess::engine_of(fleet));
-}
-
-void save_fleet_checkpoint_file(const std::string& path,
-                                const FleetAssessment& fleet) {
-  write_file_atomic(path, [&fleet](std::ostream& out) {
-    save_fleet_checkpoint(out, fleet);
-  });
-}
-
-RestoredFleet load_fleet_checkpoint(std::istream& raw,
-                                    const FleetResumeOptions& resume) {
-  BoundedReader in(raw);
-  return CheckpointAccess::wrap_fleet(CheckpointAccess::assemble(
-      parse_any(in), nullptr, to_assessor_resume(resume)));
-}
-
-RestoredFleet load_fleet_checkpoint_file(const std::string& path,
-                                         const FleetResumeOptions& resume) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open checkpoint for reading: " + path);
-  return load_fleet_checkpoint(in, resume);
-}
-
-void save_distributed_fleet_checkpoint(
-    std::ostream* out, const DistributedFleetAssessment& fleet) {
-  CheckpointAccess::save_distributed(out, CheckpointAccess::engine_of(fleet));
-}
-
-void save_distributed_fleet_checkpoint_file(
-    const std::string& path, const DistributedFleetAssessment& fleet) {
-  save_assessor_checkpoint_file(path, CheckpointAccess::engine_of(fleet));
-}
-
-RestoredDistributedFleet load_distributed_fleet_checkpoint(
-    std::istream& raw, dist::Communicator& comm,
-    const FleetResumeOptions& resume) {
-  BoundedReader in(raw);
-  return CheckpointAccess::wrap_distributed_fleet(CheckpointAccess::assemble(
-      parse_any(in), &comm, to_assessor_resume(resume)));
-}
-
-RestoredDistributedFleet load_distributed_fleet_checkpoint_file(
-    const std::string& path, dist::Communicator& comm,
-    const FleetResumeOptions& resume) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open checkpoint for reading: " + path);
-  return load_distributed_fleet_checkpoint(in, comm, resume);
+void save_legacy_pipeline_checkpoint(std::ostream& out,
+                                     const Assessor& assessor) {
+  CheckpointAccess::save_pipeline_container(out, assessor);
 }
 
 }  // namespace imrdmd::core

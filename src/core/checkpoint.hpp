@@ -1,9 +1,9 @@
 // Checkpointing of I-mrDMD state — single model, and the unified Assessor
-// engine (with legacy pipeline/fleet wrappers).
+// engine.
 //
 // The paper's deployment story is a long-running online analysis; a crash
 // must not force re-ingesting weeks of telemetry. One shared serialization
-// codepath, three container spellings:
+// codepath, versioned container spellings:
 //
 //   * save_checkpoint writes a versioned binary image of one model
 //     (options, level-1 grid + incremental SVD factors, every tree node,
@@ -13,28 +13,32 @@
 //   * save_assessor_checkpoint serializes the engine's full resumable
 //     state (stage options + baseline selection state + chunk counter +
 //     stream position, the group partition, one length-prefixed model
-//     section per group). In the distributed topology the save is a
+//     section per group). A flat engine writes the "IMRDFL1" container;
+//     a hierarchical engine writes "IMRDFL2", which inserts the coarse
+//     stride and one coarse-model section between the partition and the
+//     per-group sections. In the distributed topology the save is a
 //     collective gather to rank 0 that writes the SAME bytes as the
 //     single-process save — byte-identical for any lane or rank count.
-//   * save_pipeline_checkpoint / save_fleet_checkpoint keep the legacy
-//     container spellings ("IMRDPL1" / "IMRDFL1") over the same engine
-//     state, so checkpoints written before the Assessor unification load
-//     byte-compatibly (and resaves reproduce them byte-for-byte).
+//   * Loads accept every container generation: "IMRDPL1" (the retired
+//     monolithic pipeline writer, still producible via
+//     save_legacy_pipeline_checkpoint for coverage) and "IMRDFL1" load as
+//     stride-disabled flat stacks; "IMRDFL2" restores the hierarchy.
 //
-// Formats: little-endian, magic "IMRDMD1\n" / "IMRDPL1\n" / "IMRDFL1\n",
-// then length-prefixed sections. Every section is bounds-checked against
-// the remaining stream size before it drives an allocation (BoundedReader
-// discipline), so truncated or corrupted inputs fail with ParseError, never
-// a fantasy-sized allocation. The formats are an implementation detail —
-// only this module reads them. File-level writes go through
-// write_file_atomic (common/atomic_file.hpp): the checkpoint path always
-// holds a complete image, even across a crash mid-save.
+// Formats: little-endian, magic "IMRDMD1\n" / "IMRDPL1\n" / "IMRDFL1\n" /
+// "IMRDFL2\n", then length-prefixed sections. Every section is
+// bounds-checked against the remaining stream size before it drives an
+// allocation (BoundedReader discipline), so truncated or corrupted inputs
+// fail with ParseError, never a fantasy-sized allocation. The formats are
+// an implementation detail — only this module reads them. File-level
+// writes go through write_file_atomic (common/atomic_file.hpp): the
+// checkpoint path always holds a complete image, even across a crash
+// mid-save.
 //
-// Cross-loading: every load path accepts either container (a single-group,
-// identity-partition fleet checkpoint loads through
-// load_pipeline_checkpoint, a pipeline checkpoint loads as a one-group
-// fleet/assessor) — the monolithic, sharded, and distributed topologies
-// share one durable representation.
+// Cross-loading: a pipeline checkpoint loads as a one-group flat assessor,
+// and any flat container resumes into any topology — the monolithic,
+// sharded, and distributed topologies share one durable representation.
+// The resumed stride always comes from the container (never from the
+// IMRDMD_HIERARCHY_STRIDE environment default).
 #pragma once
 
 #include <cstdint>
@@ -42,9 +46,7 @@
 #include <string>
 
 #include "core/assessor.hpp"
-#include "core/fleet.hpp"
 #include "core/imrdmd.hpp"
-#include "core/pipeline.hpp"
 
 namespace imrdmd::core {
 
@@ -116,86 +118,14 @@ RestoredAssessor load_assessor_checkpoint_file(
     const std::string& path, dist::Communicator& comm,
     const AssessorResumeOptions& resume = {});
 
-// --- Pipeline checkpoint/resume (legacy wrappers) ------------------------
+// --- Legacy container coverage -------------------------------------------
 
-/// A pipeline restored from a checkpoint plus the stream position (total
-/// snapshots ingested) to hand to ChunkSource::seek before resuming run().
-struct RestoredPipeline {
-  OnlineAssessmentPipeline pipeline;
-  std::uint64_t stream_position = 0;
-};
-
-/// Serializes the pipeline's full resumable state (stage options, baseline
-/// selection state, chunk counter, stream position, model image). The
-/// pipeline must have processed at least one chunk.
-void save_pipeline_checkpoint(std::ostream& out,
-                              const OnlineAssessmentPipeline& pipeline);
-/// Atomic (write-temp-then-rename): `path` never holds a torn image.
-void save_pipeline_checkpoint_file(const std::string& path,
-                                   const OnlineAssessmentPipeline& pipeline);
-
-/// Restores a pipeline mid-stream; accepts a pipeline checkpoint or a
-/// single-group identity-partition fleet checkpoint (the two paths share
-/// one durable representation). ParseError on malformed input, or on a
-/// fleet checkpoint whose partition cannot collapse to the monolithic
-/// pipeline.
-RestoredPipeline load_pipeline_checkpoint(std::istream& in);
-RestoredPipeline load_pipeline_checkpoint_file(const std::string& path);
-
-// --- Fleet checkpoint/resume (legacy wrappers) ---------------------------
-
-/// Legacy spelling of AssessorResumeOptions (shards = lanes, async_prefetch
-/// = prefetch depth 1 vs 0).
-struct FleetResumeOptions {
-  std::size_t shards = 0;
-  bool async_prefetch = true;
-  ThreadPool* pool = nullptr;
-  FleetCheckpointPolicy checkpoint;
-};
-
-/// A fleet restored from a checkpoint plus the stream position (total
-/// snapshots ingested) to hand to ChunkSource::seek before resuming run().
-struct RestoredFleet {
-  FleetAssessment fleet;
-  std::uint64_t stream_position = 0;
-};
-
-/// Legacy wrappers over save_assessor_checkpoint / load_assessor_checkpoint
-/// for the FleetAssessment shim; bytes and acceptance are identical.
-void save_fleet_checkpoint(std::ostream& out, const FleetAssessment& fleet);
-void save_fleet_checkpoint_file(const std::string& path,
-                                const FleetAssessment& fleet);
-RestoredFleet load_fleet_checkpoint(std::istream& in,
-                                    const FleetResumeOptions& resume = {});
-RestoredFleet load_fleet_checkpoint_file(const std::string& path,
-                                         const FleetResumeOptions& resume = {});
-
-// --- Distributed fleet checkpoint/resume (legacy wrappers) ---------------
-
-/// A distributed fleet restored from a checkpoint plus the stream position
-/// to hand to the root's ChunkSource::seek before resuming run().
-struct RestoredDistributedFleet {
-  DistributedFleetAssessment fleet;
-  std::uint64_t stream_position = 0;
-};
-
-/// Collective: see the distributed notes on save_assessor_checkpoint.
-/// `out` must be non-null on rank 0 and null on every other rank.
-void save_distributed_fleet_checkpoint(std::ostream* out,
-                                       const DistributedFleetAssessment& fleet);
-/// Collective; rank 0 writes atomically (write-temp-then-rename). A write
-/// failure surfaces on rank 0 (the peers have already contributed and
-/// return normally); inside run()'s periodic hook the world's poison then
-/// unwinds the peers with CollectiveAborted.
-void save_distributed_fleet_checkpoint_file(
-    const std::string& path, const DistributedFleetAssessment& fleet);
-
-/// NOT collective: see load_assessor_checkpoint's distributed overload.
-RestoredDistributedFleet load_distributed_fleet_checkpoint(
-    std::istream& in, dist::Communicator& comm,
-    const FleetResumeOptions& resume = {});
-RestoredDistributedFleet load_distributed_fleet_checkpoint_file(
-    const std::string& path, dist::Communicator& comm,
-    const FleetResumeOptions& resume = {});
+/// Writes the retired monolithic drivers' "IMRDPL1" container over a flat
+/// monolithic engine (one identity group, no hierarchy) — kept so the
+/// pre-Assessor on-disk generation stays producible for the format-compat
+/// round-trip tests; every load path above accepts it. InvalidArgument for
+/// a sharded, distributed, hierarchical, or unstarted engine.
+void save_legacy_pipeline_checkpoint(std::ostream& out,
+                                     const Assessor& assessor);
 
 }  // namespace imrdmd::core

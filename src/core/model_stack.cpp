@@ -1,0 +1,126 @@
+#include "core/model_stack.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace imrdmd::core {
+
+std::vector<std::size_t> ModelStack::coarse_grid(
+    const std::vector<std::vector<std::size_t>>& groups, std::size_t stride) {
+  IMRDMD_REQUIRE_ARG(stride > 0, "coarse grid needs a positive stride");
+  std::vector<std::size_t> rows;
+  for (const auto& group : groups) {
+    for (std::size_t i = 0; i < group.size(); i += stride) {
+      rows.push_back(group[i]);
+    }
+  }
+  return rows;
+}
+
+void ModelStack::enable_coarse(
+    const std::vector<std::vector<std::size_t>>& groups, std::size_t sensors,
+    std::size_t coarse_stride, const ImrdmdOptions& options) {
+  IMRDMD_REQUIRE_ARG(coarse_stride > 0,
+                     "hierarchy needs a positive coarse stride");
+  IMRDMD_REQUIRE_ARG(coarse_ == nullptr, "coarse level already enabled");
+  stride_ = coarse_stride;
+  rows_ = coarse_grid(groups, coarse_stride);
+
+  // Interpolation map, built per group so reconstruction never blends
+  // across a group boundary: sensor at position i of a group sits between
+  // the coarse rows at positions (i / stride) * stride and the next coarse
+  // position, with constant extrapolation past the group's last coarse
+  // sensor. Coarse row indices are recovered from the running offset of
+  // each group's block inside the grid.
+  interp_.assign(sensors, Interp{});
+  std::vector<bool> seen(sensors, false);
+  std::size_t offset = 0;  // first coarse row of the current group
+  for (const auto& group : groups) {
+    const std::size_t group_rows = (group.size() + stride_ - 1) / stride_;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const std::size_t sensor = group[i];
+      IMRDMD_REQUIRE_ARG(sensor < sensors && !seen[sensor],
+                         "hierarchy groups do not partition the sensors");
+      seen[sensor] = true;
+      const std::size_t slot = i / stride_;
+      Interp ip;
+      ip.lo = offset + slot;
+      if (i % stride_ == 0 || slot + 1 >= group_rows) {
+        ip.hi = ip.lo;  // exact coarse sensor, or clamped tail
+        ip.w = 0.0;
+      } else {
+        ip.hi = ip.lo + 1;
+        ip.w = static_cast<double>(i - slot * stride_) /
+               static_cast<double>(stride_);
+      }
+      interp_[sensor] = ip;
+    }
+    offset += group_rows;
+  }
+  IMRDMD_REQUIRE_ARG(
+      std::all_of(seen.begin(), seen.end(), [](bool s) { return s; }),
+      "hierarchy groups do not cover every sensor");
+  coarse_ = std::make_unique<IncrementalMrdmd>(options);
+}
+
+const IncrementalMrdmd& ModelStack::coarse() const {
+  IMRDMD_REQUIRE_ARG(coarse_ != nullptr,
+                     "this stack has no coarse level (flat mode)");
+  return *coarse_;
+}
+
+CoarseUpdate ModelStack::update_coarse(const Mat& chunk,
+                                       const dmd::ModeBand& band,
+                                       Mat& residual) {
+  IMRDMD_REQUIRE_ARG(coarse_ != nullptr,
+                     "update_coarse on a flat stack");
+  IMRDMD_REQUIRE_DIMS(chunk.rows() == interp_.size(),
+                      "chunk row count differs from the hierarchy's sensors");
+  const std::size_t cols = chunk.cols();
+
+  Mat coarse_chunk(rows_.size(), cols);
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const double* src = chunk.data() + rows_[r] * cols;
+    std::copy(src, src + cols, coarse_chunk.data() + r * cols);
+  }
+
+  CoarseUpdate update;
+  WallTimer timer;
+  std::size_t window_begin = 0;
+  if (!coarse_->fitted()) {
+    coarse_->initial_fit(coarse_chunk);
+  } else {
+    window_begin = coarse_->time_steps();
+    update.report = coarse_->partial_fit(coarse_chunk);
+  }
+  // The coarse level's best estimate of this chunk's window (all levels,
+  // unfiltered); the fine models see only what it could not explain.
+  const Mat recon =
+      coarse_->reconstruct(window_begin, coarse_->time_steps());
+
+  residual = Mat(chunk.rows(), cols);
+  for (std::size_t p = 0; p < interp_.size(); ++p) {
+    const Interp& ip = interp_[p];
+    const double* raw = chunk.data() + p * cols;
+    const double* lo = recon.data() + ip.lo * cols;
+    const double* hi = recon.data() + ip.hi * cols;
+    double* out = residual.data() + p * cols;
+    for (std::size_t t = 0; t < cols; ++t) {
+      out[t] = raw[t] - ((1.0 - ip.w) * lo[t] + ip.w * hi[t]);
+    }
+  }
+  update.fit_seconds = timer.seconds();
+
+  const std::vector<double> coarse_mags = coarse_->magnitudes(&band);
+  update.magnitudes.resize(interp_.size());
+  for (std::size_t p = 0; p < interp_.size(); ++p) {
+    const Interp& ip = interp_[p];
+    update.magnitudes[p] =
+        (1.0 - ip.w) * coarse_mags[ip.lo] + ip.w * coarse_mags[ip.hi];
+  }
+  return update;
+}
+
+}  // namespace imrdmd::core

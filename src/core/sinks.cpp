@@ -95,6 +95,25 @@ bool JsonlSink::on_snapshot(const AssessmentSnapshot& snapshot) {
     for (double z : snapshot.zscores.zscores) json.value(z);
     json.end_array();
   }
+  // Per-level fields exist only on hierarchy-mode snapshots, so flat-mode
+  // output stays byte-identical to the pre-hierarchy sink.
+  if (!snapshot.coarse_magnitudes.empty()) {
+    json.field("coarse_fit_seconds", snapshot.coarse_fit_seconds);
+    ZscoreAnalysis coarse = snapshot.zscores;
+    coarse.zscores = snapshot.coarse_zscores;
+    append_sensor_list(json, "coarse_hot_sensors",
+                       coarse.sensors_in_state(ThermalState::Hot));
+    if (options_.zscores) {
+      json.key("coarse_zscores");
+      json.begin_array();
+      for (double z : snapshot.coarse_zscores) json.value(z);
+      json.end_array();
+      json.key("residual_zscores");
+      json.begin_array();
+      for (double z : snapshot.residual_zscores) json.value(z);
+      json.end_array();
+    }
+  }
   json.end_object();
   write_line(json.str());
   return true;

@@ -78,7 +78,11 @@ class LatestOnlySink final : public SnapshotSink {
 /// records. Each record carries the chunk/stream counters, the baseline
 /// statistics, the thermal census, and the hot/cold sensor lists; set
 /// Options::zscores to also embed the full per-sensor z-score vector.
-/// Checkpoint writes are recorded as {"event":"checkpoint",...} lines.
+/// Hierarchy-mode snapshots additionally carry the coarse level
+/// (coarse_fit_seconds, coarse_hot_sensors, and — with Options::zscores —
+/// the coarse/residual z-score vectors); flat-mode output is byte-identical
+/// to the pre-hierarchy sink. Checkpoint writes are recorded as
+/// {"event":"checkpoint",...} lines.
 class JsonlSink final : public SnapshotSink {
  public:
   struct Options {

@@ -119,4 +119,34 @@ ZscoreAnalysis BaselineZscoreStage::apply(
       zscore_);
 }
 
+ReconciledZscores BaselineZscoreStage::apply_reconciled(
+    std::span<const double> residual_magnitudes,
+    std::span<const double> coarse_magnitudes,
+    std::span<const double> sensor_means) {
+  IMRDMD_REQUIRE_DIMS(
+      residual_magnitudes.size() == coarse_magnitudes.size(),
+      "residual / coarse magnitude length mismatch");
+  ReconciledZscores out;
+  // The residual-level apply() performs the shared selection state
+  // transition; the coarse level is then scored against the population it
+  // selected (zscore_from_baseline is stateless).
+  out.combined = apply(residual_magnitudes, sensor_means);
+  out.residual_zscores = out.combined.zscores;
+  out.coarse_zscores =
+      zscore_from_baseline(
+          coarse_magnitudes,
+          std::span<const std::size_t>(baseline_sensors_.data(),
+                                       baseline_sensors_.size()),
+          zscore_)
+          .zscores;
+  for (std::size_t p = 0; p < out.combined.zscores.size(); ++p) {
+    const double zc = out.coarse_zscores[p];
+    const double zr = out.residual_zscores[p];
+    // Strict >: ties (and a non-finite coarse z, which fails every
+    // comparison) keep the residual level's verdict.
+    if (std::abs(zc) > std::abs(zr)) out.combined.zscores[p] = zc;
+  }
+  return out;
+}
+
 }  // namespace imrdmd::core

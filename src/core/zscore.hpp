@@ -64,9 +64,21 @@ ZscoreAnalysis zscore_from_baseline(std::span<const double> magnitudes,
                                     std::span<const std::size_t> baseline,
                                     const ZscoreOptions& options = {});
 
+/// Two-level z-scoring (multifidelity hierarchy): each level's magnitudes
+/// z-scored against the SAME baseline population, plus the per-sensor
+/// combination that flags a sensor anomalous at either scale.
+struct ReconciledZscores {
+  /// Per-sensor combined analysis: for each sensor, the level with the
+  /// larger |z| wins (ties and non-finite coarse values fall to the
+  /// residual level); baseline_mean/stddev are the residual level's.
+  ZscoreAnalysis combined;
+  std::vector<double> coarse_zscores;
+  std::vector<double> residual_zscores;
+};
+
 /// The stateful baseline-selection + z-scoring stage of the assessment
-/// pipeline, factored out so the monolithic OnlineAssessmentPipeline and the
-/// sharded Assessor topology run the *same* global reconciliation over
+/// pipeline, factored out so the monolithic and sharded Assessor
+/// topologies run the *same* global reconciliation over
 /// a per-sensor magnitude vector: the baseline population is (re)selected
 /// from the chunk's per-sensor means on the first call — and on every call
 /// when `reselect_per_chunk` — then every sensor is z-scored against that
@@ -89,6 +101,20 @@ class BaselineZscoreStage {
   /// are indexed by sensor (machine order) and must agree in length.
   ZscoreAnalysis apply(std::span<const double> magnitudes,
                        std::span<const double> sensor_means);
+
+  /// Hierarchy reconciliation: selects (or reuses) the baseline population
+  /// exactly like apply() — same state transition, so a flat and a
+  /// hierarchical stage fed the same means stay interchangeable — then
+  /// z-scores the residual-level and coarse-level magnitudes separately
+  /// against that one population and combines them per sensor by larger
+  /// |z|. A sensor anomalous at either scale is flagged: a facility-wide
+  /// coherent drift lives in the coarse z, a single hot node in the
+  /// residual z. `sensor_means` must be the RAW chunk means (the value
+  /// range rule reads physical temperatures, not residuals).
+  ReconciledZscores apply_reconciled(
+      std::span<const double> residual_magnitudes,
+      std::span<const double> coarse_magnitudes,
+      std::span<const double> sensor_means);
 
   /// Baseline population of the most recent apply().
   const std::vector<std::size_t>& baseline_sensors() const {

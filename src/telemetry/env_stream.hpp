@@ -8,7 +8,7 @@
 #include <optional>
 #include <vector>
 
-#include "core/pipeline.hpp"
+#include "core/stream.hpp"
 #include "telemetry/sensor_model.hpp"
 
 namespace imrdmd::telemetry {

@@ -183,4 +183,79 @@ Scenario make_case_study_2(ScenarioOptions options) {
   return scenario;
 }
 
+Scenario make_coherent_drift(ScenarioOptions options) {
+  Scenario scenario;
+  scenario.machine = scale_machine(MachineSpec::theta(), options.machine_scale);
+  scenario.horizon = options.horizon;
+
+  SensorModelOptions sensor_options;
+  sensor_options.seed = options.seed * 1000003 + 2;
+  // Heterogeneous per-sensor swings keep every rack's variance dominated
+  // by its own dynamics, so the shared drift stays below any single
+  // group's truncation floor (the Fig. 8 setting).
+  sensor_options.oscillation_amplitude_spread = 0.4;
+  scenario.sensors =
+      std::make_unique<SensorModel>(scenario.machine, sensor_options);
+
+  for (std::size_t n = 0; n < scenario.machine.node_count; ++n) {
+    scenario.analyzed_nodes.push_back(n);
+  }
+
+  // The drift band: the leading ~20% of racks warm together by ~1 degree
+  // — under the 0.8 C oscillation and the noise terms per sensor, but
+  // coherent across hundreds of sensors. The majority of racks stay at
+  // baseline and anchor the z-score population.
+  const std::size_t drift_racks =
+      std::max<std::size_t>(1, scenario.machine.racks / 5);
+  const std::size_t drift_begin = options.horizon / 3;
+  for (std::size_t node = 0; node < scenario.machine.node_count; ++node) {
+    if (place_of(scenario.machine, node).rack >= drift_racks) continue;
+    scenario.drift_nodes.push_back(node);
+    scenario.sensors->add_fault({FaultSpec::Kind::Overheat, node, drift_begin,
+                                 options.horizon, 1.2});
+  }
+
+  scenario.hardware = std::make_unique<HardwareLogSimulator>(
+      *scenario.sensors, options.horizon);
+  return scenario;
+}
+
+Scenario make_multi_rack_event(ScenarioOptions options) {
+  Scenario scenario;
+  scenario.machine = scale_machine(MachineSpec::theta(), options.machine_scale);
+  scenario.horizon = options.horizon;
+
+  SensorModelOptions sensor_options;
+  sensor_options.seed = options.seed * 1000003 + 3;
+  scenario.sensors =
+      std::make_unique<SensorModel>(scenario.machine, sensor_options);
+
+  for (std::size_t n = 0; n < scenario.machine.node_count; ++n) {
+    scenario.analyzed_nodes.push_back(n);
+  }
+
+  // A cooling failure spanning a contiguous band of adjacent racks: every
+  // node of the band overheats together over one mid-horizon window. Large
+  // enough per node to flag on its own; the spatial and temporal coherence
+  // is what distinguishes the event from scattered single-node faults.
+  const std::size_t event_racks = std::min<std::size_t>(
+      std::max<std::size_t>(1, scenario.machine.racks - 1),
+      std::max<std::size_t>(2, scenario.machine.racks / 8));
+  const std::size_t first_rack = std::min<std::size_t>(
+      scenario.machine.racks / 4, scenario.machine.racks - event_racks);
+  const std::size_t t_begin = (options.horizon * 2) / 5;
+  const std::size_t t_end = (options.horizon * 3) / 4;
+  for (std::size_t node = 0; node < scenario.machine.node_count; ++node) {
+    const std::size_t rack = place_of(scenario.machine, node).rack;
+    if (rack < first_rack || rack >= first_rack + event_racks) continue;
+    scenario.hot_nodes.push_back(node);
+    scenario.sensors->add_fault(
+        {FaultSpec::Kind::Overheat, node, t_begin, t_end, 6.0});
+  }
+
+  scenario.hardware = std::make_unique<HardwareLogSimulator>(
+      *scenario.sensors, options.horizon);
+  return scenario;
+}
+
 }  // namespace imrdmd::telemetry

@@ -9,6 +9,17 @@
 // Scenario 2 ("case study 2"): the full machine over two 8-hour windows —
 // a hot, busy first window and a cooler, less-utilized second window (the
 // Fig. 6(a)/(b) contrast), with per-window baseline ranges.
+//
+// Coherent-drift scenario: a facility-wide thermal drift — a small,
+// sustained warm-up coherent across a broad band of racks. Per rack it
+// hides below the rack's own dynamics; only a facility-level model that
+// pools sensors across groups sees the shared mode (the multifidelity
+// hierarchy's motivating case).
+//
+// Multi-rack-event scenario: a correlated thermal event hitting every node
+// of several adjacent racks at once — large enough per node to flag, and
+// spatially coherent so the coarse facility model confirms it as one
+// event rather than scattered coincidences.
 #pragma once
 
 #include <cstddef>
@@ -37,6 +48,9 @@ struct Scenario {
   std::vector<std::size_t> hot_nodes;
   std::vector<std::size_t> stalled_nodes;
   std::vector<std::size_t> memory_error_nodes;
+  /// Nodes carrying the facility-wide coherent drift (coherent-drift
+  /// scenario only; per node the drift is below the local noise floor).
+  std::vector<std::size_t> drift_nodes;
 };
 
 struct ScenarioOptions {
@@ -54,6 +68,16 @@ Scenario make_case_study_1(ScenarioOptions options = {});
 /// Case study 2: whole machine, hot-then-cool regime across two windows of
 /// horizon/2 snapshots each.
 Scenario make_case_study_2(ScenarioOptions options = {});
+
+/// Facility-wide coherent thermal drift: a small sustained warm-up shared
+/// by a contiguous band of racks (`drift_nodes`), starting a third of the
+/// way into the horizon. Per sensor the drift is below the oscillation and
+/// noise amplitudes; the undrifted racks anchor the baseline.
+Scenario make_coherent_drift(ScenarioOptions options = {});
+
+/// Correlated multi-rack event: every node of a few adjacent racks
+/// overheats together over a mid-horizon window (`hot_nodes`).
+Scenario make_multi_rack_event(ScenarioOptions options = {});
 
 /// Shrinks a MachineSpec by `scale` (keeps the hierarchy, reduces racks).
 MachineSpec scale_machine(const MachineSpec& spec, double scale);

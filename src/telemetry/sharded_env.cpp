@@ -1,7 +1,7 @@
 #include "telemetry/sharded_env.hpp"
 
 #include "common/error.hpp"
-#include "core/fleet.hpp"
+#include "core/assessor.hpp"
 
 namespace imrdmd::telemetry {
 

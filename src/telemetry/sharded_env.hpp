@@ -1,5 +1,5 @@
-// Sensor-group slicing adapter over SensorModel for the fleet driver
-// (core/fleet.hpp): derives shard groupings from the machine topology and
+// Sensor-group slicing adapter over SensorModel for the unified engine
+// (core/assessor.hpp): derives shard groupings from the machine topology and
 // streams whole-machine chunks, while also exposing per-group windows so a
 // consumer can materialize just one shard's rows.
 //
@@ -16,7 +16,7 @@
 #include <optional>
 #include <vector>
 
-#include "core/pipeline.hpp"
+#include "core/stream.hpp"
 #include "telemetry/env_stream.hpp"
 #include "telemetry/sensor_model.hpp"
 
@@ -53,7 +53,7 @@ class ShardedEnvSource final : public core::ChunkSource {
   std::optional<Mat> next_chunk() override;
   std::size_t sensors() const override;
 
-  /// The derived sensor partition, ready for FleetOptions::groups.
+  /// The derived sensor partition, ready for AssessorConfig::groups.
   const std::vector<std::vector<std::size_t>>& groups() const {
     return groups_;
   }

@@ -1,9 +1,9 @@
-// Unified Assessor engine tests: bitwise equivalence with every legacy
-// driver (pipeline / fleet / distributed fleet), prefetch-depth invariance
-// of the bounded ingestion queue, the run_until stop-condition surface,
-// the fail-fast unresumable-checkpoint and armed-policy-without-path
-// validations, and the new assessor checkpoint API (byte-compatible with
-// the legacy IMRDPL1/IMRDFL1 containers).
+// Unified Assessor engine tests: prefetch-depth invariance of the bounded
+// ingestion queue, topology invariance (monolithic / sharded / distributed
+// produce one bitwise-identical stream), the run_until stop-condition
+// surface, the fail-fast unresumable-checkpoint and armed-policy-without-
+// path validations, and the assessor checkpoint API (including the legacy
+// IMRDPL1 container, still producible for format coverage).
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -15,8 +15,6 @@
 
 #include "core/assessor.hpp"
 #include "core/checkpoint.hpp"
-#include "core/fleet.hpp"
-#include "core/pipeline.hpp"
 #include "dist/communicator.hpp"
 #include "test_util.hpp"
 
@@ -28,10 +26,7 @@ using core::Assessor;
 using core::AssessorConfig;
 using core::ChunkSource;
 using core::CollectingSink;
-using core::FleetAssessment;
-using core::FleetOptions;
 using core::Mat;
-using core::OnlineAssessmentPipeline;
 using core::PipelineOptions;
 using core::StopCondition;
 using core::StopReason;
@@ -69,6 +64,9 @@ void expect_snapshot_equal(const AssessmentSnapshot& a,
   expect_bitwise_equal(a.sensor_means, b.sensor_means);
   expect_bitwise_equal(a.zscores.zscores, b.zscores.zscores);
   EXPECT_EQ(a.zscores.baseline_sensors, b.zscores.baseline_sensors);
+  expect_bitwise_equal(a.coarse_magnitudes, b.coarse_magnitudes);
+  expect_bitwise_equal(a.coarse_zscores, b.coarse_zscores);
+  expect_bitwise_equal(a.residual_zscores, b.residual_zscores);
 }
 
 std::vector<AssessmentSnapshot> collect_run(Assessor& assessor,
@@ -97,14 +95,18 @@ class CountingSource final : public ChunkSource {
   std::size_t pulls_ = 0;
 };
 
-TEST(Assessor, MonolithicMatchesLegacyPipelineBitwiseAcrossDepths) {
+TEST(Assessor, MonolithicIsPrefetchDepthInvariantBitwise) {
   const Mat data = assessor_data();
+  // Reference: fully synchronous ingestion (depth 0).
   MatChunkSource source(data, 256, 64);
-  OnlineAssessmentPipeline pipeline(assessor_pipeline_options());
-  const auto reference = pipeline.run(source);
+  AssessorConfig reference_config;
+  reference_config.pipeline(assessor_pipeline_options()).monolithic();
+  reference_config.ingest_options.prefetch_depth = 0;
+  Assessor reference_engine(reference_config);
+  const auto reference = collect_run(reference_engine, source);
   ASSERT_EQ(reference.size(), 3u);
 
-  for (const std::size_t depth : {0u, 1u, 2u, 4u}) {
+  for (const std::size_t depth : {1u, 2u, 4u}) {
     AssessorConfig config;
     config.pipeline(assessor_pipeline_options()).monolithic();
     config.ingest_options.prefetch_depth = depth;
@@ -116,33 +118,31 @@ TEST(Assessor, MonolithicMatchesLegacyPipelineBitwiseAcrossDepths) {
     EXPECT_EQ(assessor.sensors(), data.rows());
     ASSERT_EQ(snapshots.size(), reference.size());
     for (std::size_t c = 0; c < snapshots.size(); ++c) {
-      EXPECT_EQ(snapshots[c].chunk_index, reference[c].chunk_index);
-      EXPECT_EQ(snapshots[c].total_snapshots, reference[c].total_snapshots);
-      expect_bitwise_equal(snapshots[c].magnitudes,
-                           reference[c].magnitudes);
-      expect_bitwise_equal(snapshots[c].sensor_means,
-                           reference[c].sensor_means);
-      expect_bitwise_equal(snapshots[c].zscores.zscores,
-                           reference[c].zscores.zscores);
-      EXPECT_EQ(snapshots[c].zscores.baseline_sensors,
-                reference[c].zscores.baseline_sensors);
+      expect_snapshot_equal(snapshots[c], reference[c]);
       ASSERT_EQ(snapshots[c].reports.size(), 1u);
       EXPECT_EQ(snapshots[c].reports[0].drift_estimate,
-                reference[c].report.drift_estimate);
+                reference[c].reports[0].drift_estimate);
     }
   }
 }
 
-TEST(Assessor, ShardedMatchesLegacyFleetBitwiseAcrossLanesAndDepths) {
+TEST(Assessor, ShardedMatchesMonolithicBitwiseAcrossLanesAndDepths) {
+  // The scatter/merge seam is invisible: a sharded engine over any lane
+  // count and prefetch depth reproduces the monolithic engine's stream
+  // bitwise (the trivial one-group partition and a real partition both run
+  // through the same merge). Holds under the session's hierarchy default
+  // too — the coarse model is replicated identically either way.
   const Mat data = assessor_data();
   const auto groups = core::contiguous_groups(data.rows(), 5);
 
-  FleetOptions legacy;
-  legacy.pipeline = assessor_pipeline_options();
-  legacy.groups = groups;
-  FleetAssessment fleet(legacy, data.rows());
+  AssessorConfig reference_config;
+  reference_config.pipeline(assessor_pipeline_options())
+      .sharded(groups, 1)
+      .sensors(data.rows());
+  reference_config.ingest_options.prefetch_depth = 0;
+  Assessor reference_engine(reference_config);
   MatChunkSource source(data, 256, 64);
-  const auto reference = fleet.run(source);
+  const auto reference = collect_run(reference_engine, source);
   ASSERT_EQ(reference.size(), 3u);
 
   for (const std::size_t lanes : {1u, 2u, 5u}) {
@@ -331,17 +331,11 @@ TEST(Assessor, FailsFastWhenCheckpointPolicyIsUnresumable) {
 
 TEST(Assessor, ArmedCheckpointPolicyWithoutPathRejected) {
   // every_n > 0 with an empty path used to silently disarm the periodic
-  // hook; it is now a typed configuration error — through the new config
-  // and through the legacy FleetOptions spelling.
+  // hook; it is a typed configuration error.
   AssessorConfig config;
   config.pipeline(assessor_pipeline_options()).monolithic();
   config.checkpoint_policy.every_n = 2;
   EXPECT_THROW(Assessor{config}, InvalidArgument);
-
-  FleetOptions options;
-  options.pipeline = assessor_pipeline_options();
-  options.checkpoint.every_n = 2;
-  EXPECT_THROW(FleetAssessment(options, 8), InvalidArgument);
 }
 
 TEST(Assessor, SensorCountRequiredOutsideMonolithicTopology) {
@@ -351,22 +345,14 @@ TEST(Assessor, SensorCountRequiredOutsideMonolithicTopology) {
   EXPECT_THROW(Assessor{config}, InvalidArgument);
 }
 
-TEST(Assessor, CheckpointBytesMatchLegacyFleetContainer) {
-  // The new assessor checkpoint API writes byte-for-byte the container the
-  // legacy fleet writer produced, and legacy bytes resume through the new
-  // engine with a byte-identical resave and a bitwise-identical
-  // continuation.
+TEST(Assessor, CheckpointRoundTripsAndResavesByteIdentically) {
+  // Serialization is a pure function of the engine's resumable state: a
+  // load-then-resave reproduces the container byte for byte, and the
+  // restored engine continues the stream bitwise-identically. Runs under
+  // the session's hierarchy default, so the CI hierarchy row exercises the
+  // IMRDFL2 container through the same assertions.
   const Mat data = assessor_data();
   const auto groups = core::contiguous_groups(data.rows(), 3);
-
-  FleetOptions legacy;
-  legacy.pipeline = assessor_pipeline_options();
-  legacy.groups = groups;
-  FleetAssessment fleet(legacy, data.rows());
-  MatChunkSource source(data, 256, 64);
-  fleet.run(source, 2);
-  std::stringstream legacy_bytes;
-  core::save_fleet_checkpoint(legacy_bytes, fleet);
 
   AssessorConfig config;
   config.pipeline(assessor_pipeline_options())
@@ -380,13 +366,13 @@ TEST(Assessor, CheckpointBytesMatchLegacyFleetContainer) {
   assessor.run_until(replay, sink, stop);
   std::stringstream engine_bytes;
   core::save_assessor_checkpoint(engine_bytes, assessor);
-  EXPECT_EQ(engine_bytes.str(), legacy_bytes.str());
 
-  // Resume the legacy bytes through the new API.
   core::RestoredAssessor restored =
-      core::load_assessor_checkpoint(legacy_bytes);
+      core::load_assessor_checkpoint(engine_bytes);
   EXPECT_EQ(restored.assessor.chunks_processed(), 2u);
   EXPECT_EQ(restored.stream_position, 256u + 64u);
+  EXPECT_EQ(restored.assessor.hierarchical(), assessor.hierarchical());
+  EXPECT_EQ(restored.assessor.coarse_stride(), assessor.coarse_stride());
   std::stringstream resaved;
   core::save_assessor_checkpoint(resaved, restored.assessor);
   EXPECT_EQ(resaved.str(), engine_bytes.str());
@@ -397,20 +383,30 @@ TEST(Assessor, CheckpointBytesMatchLegacyFleetContainer) {
 }
 
 TEST(Assessor, LegacyPipelineCheckpointResumesThroughTheEngine) {
+  // The retired monolithic drivers' IMRDPL1 container still loads: bytes
+  // written by save_legacy_pipeline_checkpoint resume as a one-group flat
+  // engine whose continuation matches the uninterrupted flat reference.
   const Mat data = assessor_data();
-  OnlineAssessmentPipeline reference(assessor_pipeline_options());
+  Assessor reference(
+      AssessorConfig{}.pipeline(assessor_pipeline_options()).hierarchy(0));
   MatChunkSource source(data, 256, 64);
-  const auto expected = reference.run(source);
+  const auto expected = collect_run(reference, source);
   ASSERT_EQ(expected.size(), 3u);
 
-  OnlineAssessmentPipeline doomed(assessor_pipeline_options());
+  Assessor doomed(
+      AssessorConfig{}.pipeline(assessor_pipeline_options()).hierarchy(0));
   MatChunkSource replay(data, 256, 64);
-  doomed.run(replay, 2);
+  CollectingSink doomed_sink;
+  StopCondition two;
+  two.max_chunks = 2;
+  doomed.run_until(replay, doomed_sink, two);
   std::stringstream buffer;
-  core::save_pipeline_checkpoint(buffer, doomed);
+  core::save_legacy_pipeline_checkpoint(buffer, doomed);
+  EXPECT_EQ(buffer.str().substr(0, 8), "IMRDPL1\n");
 
   core::RestoredAssessor restored = core::load_assessor_checkpoint(buffer);
   EXPECT_EQ(restored.assessor.chunks_processed(), 2u);
+  EXPECT_FALSE(restored.assessor.hierarchical());
   MatChunkSource rest(data, 256, 64);
   rest.seek(static_cast<std::size_t>(restored.stream_position));
   const auto after = collect_run(restored.assessor, rest);
@@ -418,6 +414,34 @@ TEST(Assessor, LegacyPipelineCheckpointResumesThroughTheEngine) {
   expect_bitwise_equal(after[0].magnitudes, expected[2].magnitudes);
   expect_bitwise_equal(after[0].zscores.zscores,
                        expected[2].zscores.zscores);
+}
+
+TEST(Assessor, LegacyPipelineContainerRefusesNonFlatEngines) {
+  const Mat data = assessor_data();
+  // Sharded engine: the one-model container cannot hold the partition.
+  Assessor sharded(AssessorConfig{}
+                       .pipeline(assessor_pipeline_options())
+                       .sharded(core::contiguous_groups(data.rows(), 3))
+                       .sensors(data.rows())
+                       .hierarchy(0));
+  sharded.process(data.block(0, 0, data.rows(), 256));
+  std::stringstream buffer;
+  EXPECT_THROW(core::save_legacy_pipeline_checkpoint(buffer, sharded),
+               InvalidArgument);
+
+  // Hierarchical engine: the legacy container predates the coarse level.
+  Assessor hierarchical(AssessorConfig{}
+                            .pipeline(assessor_pipeline_options())
+                            .hierarchy(4));
+  hierarchical.process(data.block(0, 0, data.rows(), 256));
+  EXPECT_THROW(core::save_legacy_pipeline_checkpoint(buffer, hierarchical),
+               InvalidArgument);
+
+  // Unstarted engine: nothing to serialize yet.
+  Assessor unstarted(
+      AssessorConfig{}.pipeline(assessor_pipeline_options()).hierarchy(0));
+  EXPECT_THROW(core::save_legacy_pipeline_checkpoint(buffer, unstarted),
+               InvalidArgument);
 }
 
 TEST(DistributedAssessor, ZeroColumnChunkMidStreamFailsInsteadOfTruncating) {

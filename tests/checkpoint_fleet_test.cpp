@@ -1,7 +1,7 @@
-// Fleet/pipeline checkpoint durability: mid-stream kill-and-resume bitwise
-// identity (for any checkpoint index and any resume lane count), the shared
-// pipeline <-> single-group-fleet container, truncation/corruption fuzz on
-// the fleet container, and the atomic write-temp-then-rename discipline.
+// Assessor checkpoint durability: mid-stream kill-and-resume bitwise
+// identity (for any checkpoint index and any resume lane count), the legacy
+// IMRDPL1 pipeline container, truncation/corruption fuzz on the engine
+// container, and the atomic write-temp-then-rename discipline.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -12,23 +12,22 @@
 #include <optional>
 #include <sstream>
 
+#include "core/assessor.hpp"
 #include "core/checkpoint.hpp"
-#include "core/fleet.hpp"
-#include "core/pipeline.hpp"
 #include "dist/communicator.hpp"
 #include "test_util.hpp"
 
 namespace imrdmd {
 namespace {
 
-using core::FleetAssessment;
-using core::FleetOptions;
-using core::FleetResumeOptions;
-using core::FleetSnapshot;
+using core::AssessmentSnapshot;
+using core::Assessor;
+using core::AssessorConfig;
+using core::AssessorResumeOptions;
+using core::CollectingSink;
 using core::Mat;
-using core::OnlineAssessmentPipeline;
 using core::PipelineOptions;
-using core::PipelineSnapshot;
+using core::StopCondition;
 using imrdmd::testing::planted_multiscale;
 
 using MatChunkSource = core::MatrixChunkSource;
@@ -54,58 +53,71 @@ void expect_bitwise_equal(const std::vector<double>& a,
   }
 }
 
-void expect_fleet_snapshot_equal(const FleetSnapshot& a,
-                                 const FleetSnapshot& b) {
+void expect_snapshot_equal(const AssessmentSnapshot& a,
+                           const AssessmentSnapshot& b) {
   EXPECT_EQ(a.chunk_index, b.chunk_index);
   EXPECT_EQ(a.total_snapshots, b.total_snapshots);
   expect_bitwise_equal(a.magnitudes, b.magnitudes);
   expect_bitwise_equal(a.sensor_means, b.sensor_means);
   expect_bitwise_equal(a.zscores.zscores, b.zscores.zscores);
   EXPECT_EQ(a.zscores.baseline_sensors, b.zscores.baseline_sensors);
+  expect_bitwise_equal(a.coarse_magnitudes, b.coarse_magnitudes);
+  expect_bitwise_equal(a.coarse_zscores, b.coarse_zscores);
+  expect_bitwise_equal(a.residual_zscores, b.residual_zscores);
+}
+
+std::vector<AssessmentSnapshot> run_collect(Assessor& engine,
+                                            core::ChunkSource& stream,
+                                            std::size_t max_chunks = 0) {
+  CollectingSink sink;
+  StopCondition stop;
+  stop.max_chunks = max_chunks;
+  engine.run_until(stream, sink, stop);
+  return sink.take();
 }
 
 /// One uninterrupted reference run over the shared 256+64+64 chunking.
-std::vector<FleetSnapshot> reference_run(const Mat& data,
-                                         const FleetOptions& options) {
-  FleetAssessment fleet(options, data.rows());
+std::vector<AssessmentSnapshot> reference_run(const Mat& data,
+                                              const AssessorConfig& config) {
+  AssessorConfig local = config;
+  Assessor engine(local);
   MatChunkSource source(data, 256, 64);
-  return fleet.run(source);
+  return run_collect(engine, source);
 }
 
 TEST(FleetCheckpoint, KilledRunResumesBitwiseIdenticalFromAnyCheckpoint) {
   const Mat data = checkpoint_data();
-  FleetOptions options;
-  options.pipeline = checkpoint_pipeline_options();
-  options.groups = core::contiguous_groups(data.rows(), 5);
-  options.shards = 5;
-  const auto reference = reference_run(data, options);
+  AssessorConfig config;
+  config.pipeline(checkpoint_pipeline_options())
+      .sharded(core::contiguous_groups(data.rows(), 5), 5)
+      .sensors(data.rows());
+  const auto reference = reference_run(data, config);
   ASSERT_EQ(reference.size(), 3u);
 
   const std::string path = ::testing::TempDir() + "/fleet.ckpt";
   for (const std::size_t kill_after : {1u, 2u}) {
-    // The doomed run checkpoints after every chunk; run(max_chunks) stands
-    // in for the kill — everything past the file is lost with the process.
-    FleetOptions doomed = options;
-    doomed.checkpoint.every_n = 1;
-    doomed.checkpoint.path = path;
-    FleetAssessment fleet(doomed, data.rows());
+    // The doomed run checkpoints after every chunk; max_chunks stands in
+    // for the kill — everything past the file is lost with the process.
+    AssessorConfig doomed = config;
+    doomed.checkpoint({1, path});
+    Assessor engine(doomed);
     MatChunkSource source(data, 256, 64);
-    const auto before = fleet.run(source, kill_after);
+    const auto before = run_collect(engine, source, kill_after);
     ASSERT_EQ(before.size(), kill_after);
 
     // Resume from the latest checkpoint with a *different* lane count: the
     // restored stream must still be bitwise identical to the reference.
-    FleetResumeOptions resume;
-    resume.shards = kill_after == 1 ? 2 : 1;
-    core::RestoredFleet restored =
-        core::load_fleet_checkpoint_file(path, resume);
-    EXPECT_EQ(restored.fleet.chunks_processed(), kill_after);
+    AssessorResumeOptions resume;
+    resume.lanes = kill_after == 1 ? 2 : 1;
+    core::RestoredAssessor restored =
+        core::load_assessor_checkpoint_file(path, resume);
+    EXPECT_EQ(restored.assessor.chunks_processed(), kill_after);
     MatChunkSource rest(data, 256, 64);
     rest.seek(static_cast<std::size_t>(restored.stream_position));
-    const auto after = restored.fleet.run(rest);
+    const auto after = run_collect(restored.assessor, rest);
     ASSERT_EQ(after.size(), reference.size() - kill_after);
     for (std::size_t i = 0; i < after.size(); ++i) {
-      expect_fleet_snapshot_equal(after[i], reference[kill_after + i]);
+      expect_snapshot_equal(after[i], reference[kill_after + i]);
     }
   }
   std::remove(path.c_str());
@@ -113,94 +125,105 @@ TEST(FleetCheckpoint, KilledRunResumesBitwiseIdenticalFromAnyCheckpoint) {
 
 TEST(FleetCheckpoint, RoundTripsThroughMemoryAndResaves) {
   const Mat data = checkpoint_data();
-  FleetOptions options;
-  options.pipeline = checkpoint_pipeline_options();
-  options.groups = core::contiguous_groups(data.rows(), 3);
-  FleetAssessment fleet(options, data.rows());
+  AssessorConfig config;
+  config.pipeline(checkpoint_pipeline_options())
+      .sharded(core::contiguous_groups(data.rows(), 3))
+      .sensors(data.rows());
+  Assessor engine(config);
   MatChunkSource source(data, 256, 64);
-  fleet.run(source, 2);
+  run_collect(engine, source, 2);
 
   std::stringstream buffer;
-  core::save_fleet_checkpoint(buffer, fleet);
-  core::RestoredFleet restored = core::load_fleet_checkpoint(buffer);
-  EXPECT_EQ(restored.fleet.group_count(), 3u);
-  EXPECT_EQ(restored.fleet.groups(), fleet.groups());
-  EXPECT_EQ(restored.fleet.chunks_processed(), 2u);
+  core::save_assessor_checkpoint(buffer, engine);
+  core::RestoredAssessor restored = core::load_assessor_checkpoint(buffer);
+  EXPECT_EQ(restored.assessor.group_count(), 3u);
+  EXPECT_EQ(restored.assessor.groups(), engine.groups());
+  EXPECT_EQ(restored.assessor.chunks_processed(), 2u);
   EXPECT_EQ(restored.stream_position, 256u + 64u);
+  EXPECT_EQ(restored.assessor.hierarchical(), engine.hierarchical());
+  EXPECT_EQ(restored.assessor.coarse_stride(), engine.coarse_stride());
 
   // Serialization is a pure function of the restored state: re-saving the
-  // loaded fleet reproduces the container byte for byte.
+  // loaded engine reproduces the container byte for byte.
   std::stringstream resaved;
-  core::save_fleet_checkpoint(resaved, restored.fleet);
+  core::save_assessor_checkpoint(resaved, restored.assessor);
   EXPECT_EQ(buffer.str(), resaved.str());
 
   // Both continue with the same chunk and stay bitwise identical.
   const Mat chunk = data.block(0, 320, data.rows(), 64);
-  const FleetSnapshot a = fleet.process(chunk);
-  const FleetSnapshot b = restored.fleet.process(chunk);
-  expect_fleet_snapshot_equal(a, b);
+  const AssessmentSnapshot a = engine.process(chunk);
+  const AssessmentSnapshot b = restored.assessor.process(chunk);
+  expect_snapshot_equal(a, b);
 }
 
 TEST(FleetCheckpoint, ResumeWithMoreLanesReappliesNestedPoolGuard) {
-  // A checkpoint saved from a single-lane fleet carries models with
+  // A checkpoint saved from a single-lane engine carries models with
   // parallel_bins still enabled (the lane runs on the caller thread, where
   // nesting is legal). Resuming with real lanes must force it off on the
   // *restored* models, or each lane task would fan back out onto — and
   // block on — its own pool.
   const Mat data = checkpoint_data();
-  FleetOptions options;
-  options.pipeline = checkpoint_pipeline_options();
-  options.pipeline.imrdmd.mrdmd.parallel_bins = true;
-  options.groups = core::contiguous_groups(data.rows(), 3);
-  options.shards = 1;
-  FleetAssessment fleet(options, data.rows());
+  PipelineOptions pipeline = checkpoint_pipeline_options();
+  pipeline.imrdmd.mrdmd.parallel_bins = true;
+  AssessorConfig config;
+  config.pipeline(pipeline)
+      .sharded(core::contiguous_groups(data.rows(), 3), 1)
+      .sensors(data.rows());
+  Assessor engine(config);
   MatChunkSource source(data, 256, 64);
-  fleet.run(source, 1);
-  ASSERT_TRUE(fleet.model(0).options().mrdmd.parallel_bins);
+  run_collect(engine, source, 1);
+  ASSERT_TRUE(engine.model(0).options().mrdmd.parallel_bins);
 
   std::stringstream buffer;
-  core::save_fleet_checkpoint(buffer, fleet);
-  FleetResumeOptions resume;
-  resume.shards = 3;
-  core::RestoredFleet restored = core::load_fleet_checkpoint(buffer, resume);
-  for (std::size_t g = 0; g < restored.fleet.group_count(); ++g) {
-    EXPECT_FALSE(restored.fleet.model(g).options().mrdmd.parallel_bins);
+  core::save_assessor_checkpoint(buffer, engine);
+  AssessorResumeOptions resume;
+  resume.lanes = 3;
+  core::RestoredAssessor restored =
+      core::load_assessor_checkpoint(buffer, resume);
+  for (std::size_t g = 0; g < restored.assessor.group_count(); ++g) {
+    EXPECT_FALSE(restored.assessor.model(g).options().mrdmd.parallel_bins);
   }
-  // And the resumed multi-lane fleet still matches the single-lane
+  // And the resumed multi-lane engine still matches the single-lane
   // continuation bitwise.
   const Mat chunk = data.block(0, 320, data.rows(), 64);
-  const FleetSnapshot a = fleet.process(chunk);
-  const FleetSnapshot b = restored.fleet.process(chunk);
-  expect_fleet_snapshot_equal(a, b);
+  const AssessmentSnapshot a = engine.process(chunk);
+  const AssessmentSnapshot b = restored.assessor.process(chunk);
+  expect_snapshot_equal(a, b);
 }
 
-TEST(FleetCheckpoint, UnstartedFleetRejected) {
+TEST(FleetCheckpoint, UnstartedEngineRejected) {
   const Mat data = checkpoint_data();
-  FleetOptions options;
-  options.pipeline = checkpoint_pipeline_options();
-  FleetAssessment fleet(options, data.rows());
+  AssessorConfig config;
+  config.pipeline(checkpoint_pipeline_options()).sensors(data.rows());
+  Assessor engine(config);
   std::stringstream buffer;
-  EXPECT_THROW(core::save_fleet_checkpoint(buffer, fleet), InvalidArgument);
+  EXPECT_THROW(core::save_assessor_checkpoint(buffer, engine),
+               InvalidArgument);
 }
 
 TEST(PipelineCheckpoint, KilledRunResumesBitwiseIdentical) {
+  // The legacy IMRDPL1 container still round-trips a flat monolithic
+  // engine (hierarchy pinned off: the one-model container predates the
+  // coarse level).
   const Mat data = checkpoint_data();
-  OnlineAssessmentPipeline reference(checkpoint_pipeline_options());
+  Assessor reference(
+      AssessorConfig{}.pipeline(checkpoint_pipeline_options()).hierarchy(0));
   MatChunkSource source(data, 256, 64);
-  const auto expected = reference.run(source);
+  const auto expected = run_collect(reference, source);
   ASSERT_EQ(expected.size(), 3u);
 
-  OnlineAssessmentPipeline doomed(checkpoint_pipeline_options());
+  Assessor doomed(
+      AssessorConfig{}.pipeline(checkpoint_pipeline_options()).hierarchy(0));
   MatChunkSource replay(data, 256, 64);
-  doomed.run(replay, 2);
+  run_collect(doomed, replay, 2);
   std::stringstream buffer;
-  core::save_pipeline_checkpoint(buffer, doomed);
+  core::save_legacy_pipeline_checkpoint(buffer, doomed);
 
-  core::RestoredPipeline restored = core::load_pipeline_checkpoint(buffer);
-  EXPECT_EQ(restored.pipeline.chunks_processed(), 2u);
+  core::RestoredAssessor restored = core::load_assessor_checkpoint(buffer);
+  EXPECT_EQ(restored.assessor.chunks_processed(), 2u);
   MatChunkSource rest(data, 256, 64);
   rest.seek(static_cast<std::size_t>(restored.stream_position));
-  const auto after = restored.pipeline.run(rest);
+  const auto after = run_collect(restored.assessor, rest);
   ASSERT_EQ(after.size(), 1u);
   EXPECT_EQ(after[0].chunk_index, expected[2].chunk_index);
   EXPECT_EQ(after[0].total_snapshots, expected[2].total_snapshots);
@@ -215,19 +238,19 @@ TEST(PipelineCheckpoint, StickyBaselineSurvivesResume) {
   const Mat data = checkpoint_data();
   PipelineOptions options = checkpoint_pipeline_options();
   options.reselect_baseline_per_chunk = false;
-  OnlineAssessmentPipeline reference(options);
+  Assessor reference(AssessorConfig{}.pipeline(options).hierarchy(0));
   MatChunkSource source(data, 256, 64);
-  const auto expected = reference.run(source);
+  const auto expected = run_collect(reference, source);
 
-  OnlineAssessmentPipeline doomed(options);
+  Assessor doomed(AssessorConfig{}.pipeline(options).hierarchy(0));
   MatChunkSource replay(data, 256, 64);
-  doomed.run(replay, 1);
+  run_collect(doomed, replay, 1);
   std::stringstream buffer;
-  core::save_pipeline_checkpoint(buffer, doomed);
-  core::RestoredPipeline restored = core::load_pipeline_checkpoint(buffer);
+  core::save_legacy_pipeline_checkpoint(buffer, doomed);
+  core::RestoredAssessor restored = core::load_assessor_checkpoint(buffer);
   MatChunkSource rest(data, 256, 64);
   rest.seek(static_cast<std::size_t>(restored.stream_position));
-  const auto after = restored.pipeline.run(rest);
+  const auto after = run_collect(restored.assessor, rest);
   ASSERT_EQ(after.size(), 2u);
   for (std::size_t i = 0; i < after.size(); ++i) {
     expect_bitwise_equal(after[i].zscores.zscores,
@@ -237,84 +260,53 @@ TEST(PipelineCheckpoint, StickyBaselineSurvivesResume) {
   }
 }
 
-TEST(PipelineCheckpoint, SingleGroupFleetCheckpointLoadsAsPipeline) {
-  // The acceptance bar for the shared representation: a trivial-partition
-  // fleet checkpoint resumes through the pipeline path (and vice versa),
-  // and the resumed pipeline matches the uninterrupted pipeline bitwise.
+TEST(PipelineCheckpoint, LegacyAndUnifiedContainersResumeIdentically) {
+  // The shared-representation acceptance bar, restated for the unified
+  // engine: the same flat monolithic state saved through the legacy
+  // IMRDPL1 container and the unified IMRDFL1 container resumes to the
+  // same engine — both continuations are bitwise identical.
   const Mat data = checkpoint_data();
-  OnlineAssessmentPipeline reference(checkpoint_pipeline_options());
+  Assessor engine(
+      AssessorConfig{}.pipeline(checkpoint_pipeline_options()).hierarchy(0));
   MatChunkSource source(data, 256, 64);
-  const auto expected = reference.run(source);
+  run_collect(engine, source, 2);
 
-  FleetOptions options;
-  options.pipeline = checkpoint_pipeline_options();
-  FleetAssessment fleet(options, data.rows());  // one identity group
-  MatChunkSource replay(data, 256, 64);
-  fleet.run(replay, 2);
-  std::stringstream buffer;
-  core::save_fleet_checkpoint(buffer, fleet);
+  std::stringstream legacy_bytes;
+  core::save_legacy_pipeline_checkpoint(legacy_bytes, engine);
+  std::stringstream unified_bytes;
+  core::save_assessor_checkpoint(unified_bytes, engine);
+  EXPECT_EQ(legacy_bytes.str().substr(0, 8), "IMRDPL1\n");
+  EXPECT_EQ(unified_bytes.str().substr(0, 8), "IMRDFL1\n");
+  ASSERT_NE(legacy_bytes.str(), unified_bytes.str());
 
-  core::RestoredPipeline restored = core::load_pipeline_checkpoint(buffer);
-  EXPECT_EQ(restored.pipeline.chunks_processed(), 2u);
-  MatChunkSource rest(data, 256, 64);
-  rest.seek(static_cast<std::size_t>(restored.stream_position));
-  const auto after = restored.pipeline.run(rest);
-  ASSERT_EQ(after.size(), 1u);
-  expect_bitwise_equal(after[0].magnitudes, expected[2].magnitudes);
-  expect_bitwise_equal(after[0].zscores.zscores, expected[2].zscores.zscores);
-
-  // And the reverse: a pipeline checkpoint resumes as a one-group fleet.
-  OnlineAssessmentPipeline doomed(checkpoint_pipeline_options());
-  MatChunkSource replay2(data, 256, 64);
-  doomed.run(replay2, 2);
-  std::stringstream pipeline_buffer;
-  core::save_pipeline_checkpoint(pipeline_buffer, doomed);
-  core::RestoredFleet as_fleet =
-      core::load_fleet_checkpoint(pipeline_buffer);
-  EXPECT_EQ(as_fleet.fleet.group_count(), 1u);
-  MatChunkSource rest2(data, 256, 64);
-  rest2.seek(static_cast<std::size_t>(as_fleet.stream_position));
-  const auto fleet_after = as_fleet.fleet.run(rest2);
-  ASSERT_EQ(fleet_after.size(), 1u);
-  expect_bitwise_equal(fleet_after[0].zscores.zscores,
-                       expected[2].zscores.zscores);
+  core::RestoredAssessor from_legacy =
+      core::load_assessor_checkpoint(legacy_bytes);
+  core::RestoredAssessor from_unified =
+      core::load_assessor_checkpoint(unified_bytes);
+  EXPECT_EQ(from_legacy.stream_position, from_unified.stream_position);
+  const Mat chunk = data.block(0, 320, data.rows(), 64);
+  expect_snapshot_equal(from_legacy.assessor.process(chunk),
+                        from_unified.assessor.process(chunk));
 }
 
-TEST(PipelineCheckpoint, MultiGroupFleetCheckpointRejectedAsPipeline) {
-  const Mat data = checkpoint_data();
-  FleetOptions options;
-  options.pipeline = checkpoint_pipeline_options();
-  options.groups = core::contiguous_groups(data.rows(), 3);
-  FleetAssessment fleet(options, data.rows());
-  MatChunkSource source(data, 256, 64);
-  fleet.run(source, 1);
-  std::stringstream buffer;
-  core::save_fleet_checkpoint(buffer, fleet);
-  EXPECT_THROW(core::load_pipeline_checkpoint(buffer), ParseError);
-}
-
-TEST(PipelineCheckpoint, UnstartedPipelineRejected) {
-  OnlineAssessmentPipeline pipeline(checkpoint_pipeline_options());
-  std::stringstream buffer;
-  EXPECT_THROW(core::save_pipeline_checkpoint(buffer, pipeline),
-               InvalidArgument);
-}
-
-// --- truncation / corruption fuzz on the fleet container ----------------
+// --- truncation / corruption fuzz on the engine container ----------------
 
 std::string small_fleet_bytes() {
   Rng rng(13);
   const Mat data = planted_multiscale(9, 192, 0.02, rng);
-  FleetOptions options;
-  options.pipeline.imrdmd.mrdmd.max_levels = 3;
-  options.pipeline.imrdmd.mrdmd.dt = 1.0;
-  options.pipeline.baseline = {-10.0, 10.0};
-  options.groups = core::contiguous_groups(data.rows(), 3);
-  FleetAssessment fleet(options, data.rows());
+  PipelineOptions pipeline;
+  pipeline.imrdmd.mrdmd.max_levels = 3;
+  pipeline.imrdmd.mrdmd.dt = 1.0;
+  pipeline.baseline = {-10.0, 10.0};
+  AssessorConfig config;
+  config.pipeline(pipeline)
+      .sharded(core::contiguous_groups(data.rows(), 3))
+      .sensors(data.rows());
+  Assessor engine(config);
   MatChunkSource source(data, 128, 64);
-  fleet.run(source);
+  run_collect(engine, source);
   std::stringstream buffer;
-  core::save_fleet_checkpoint(buffer, fleet);
+  core::save_assessor_checkpoint(buffer, engine);
   return buffer.str();
 }
 
@@ -324,10 +316,7 @@ TEST(FleetCheckpoint, EveryTruncationPointYieldsParseError) {
   const std::size_t step = std::max<std::size_t>(1, bytes.size() / 97);
   for (std::size_t cut = 0; cut < bytes.size(); cut += step) {
     std::stringstream truncated(bytes.substr(0, cut));
-    EXPECT_THROW(core::load_fleet_checkpoint(truncated), ParseError)
-        << "prefix of " << cut << " bytes";
-    std::stringstream as_pipeline(bytes.substr(0, cut));
-    EXPECT_THROW(core::load_pipeline_checkpoint(as_pipeline), ParseError)
+    EXPECT_THROW(core::load_assessor_checkpoint(truncated), ParseError)
         << "prefix of " << cut << " bytes";
   }
 }
@@ -337,13 +326,15 @@ TEST(FleetCheckpoint, CorruptBaselinePopulationRejectedAtLoad) {
   // chunks later as a DimensionError inside the resumed stream's first
   // z-scoring. The first population index sits at a fixed offset: magic
   // (8) + 8 stage-option words (64) + chunk/position words (16) +
-  // selected_once + count (16) = 104.
+  // selected_once + count (16) = 104. (The V2 hierarchy section is
+  // appended after the groups section, so the offset holds for both
+  // container versions.)
   const std::string bytes = small_fleet_bytes();
   std::string corrupt = bytes;
   const std::uint64_t huge = std::uint64_t{1} << 20;
   std::memcpy(corrupt.data() + 104, &huge, sizeof huge);
   std::stringstream in(corrupt);
-  EXPECT_THROW(core::load_fleet_checkpoint(in), ParseError);
+  EXPECT_THROW(core::load_assessor_checkpoint(in), ParseError);
 }
 
 TEST(FleetCheckpoint, CorruptWordsRejectedWithoutHugeAllocation) {
@@ -357,7 +348,7 @@ TEST(FleetCheckpoint, CorruptWordsRejectedWithoutHugeAllocation) {
     std::memcpy(corrupt.data() + offset, &garbage, sizeof garbage);
     std::stringstream in(corrupt);
     try {
-      core::load_fleet_checkpoint(in);
+      core::load_assessor_checkpoint(in);
     } catch (const Error&) {
       // Expected for most offsets.
     }
@@ -366,26 +357,32 @@ TEST(FleetCheckpoint, CorruptWordsRejectedWithoutHugeAllocation) {
 
 // --- mixed-provenance resume fuzz (saved at R ranks, resumed at R') -----
 
-/// The same fleet as small_fleet_bytes, but driven (and checkpointed) by a
-/// distributed run at `ranks` ranks.
+/// The same engine state as small_fleet_bytes, but driven (and
+/// checkpointed) by a distributed run at `ranks` ranks.
 std::string distributed_small_fleet_bytes(int ranks) {
   Rng rng(13);
   const Mat data = planted_multiscale(9, 192, 0.02, rng);
-  FleetOptions options;
-  options.pipeline.imrdmd.mrdmd.max_levels = 3;
-  options.pipeline.imrdmd.mrdmd.dt = 1.0;
-  options.pipeline.baseline = {-10.0, 10.0};
-  options.groups = core::contiguous_groups(data.rows(), 3);
+  PipelineOptions pipeline;
+  pipeline.imrdmd.mrdmd.max_levels = 3;
+  pipeline.imrdmd.mrdmd.dt = 1.0;
+  pipeline.baseline = {-10.0, 10.0};
   dist::World world(ranks);
   std::string bytes;
   world.run([&](dist::Communicator& comm) {
-    core::DistributedFleetAssessment fleet(comm, options, data.rows());
+    AssessorConfig config;
+    config.pipeline(pipeline)
+        .sharded(core::contiguous_groups(data.rows(), 3))
+        .sensors(data.rows())
+        .distributed(comm);
+    Assessor engine(config);
     std::optional<MatChunkSource> source;
     if (comm.rank() == 0) source.emplace(data, 128, 64);
-    fleet.run(comm.rank() == 0 ? &*source : nullptr);
+    CollectingSink sink;
+    engine.run_until(comm.rank() == 0 ? &*source : nullptr, sink,
+                     StopCondition{});
     std::ostringstream buffer;
-    core::save_distributed_fleet_checkpoint(
-        comm.rank() == 0 ? &buffer : nullptr, fleet);
+    core::save_assessor_checkpoint(comm.rank() == 0 ? &buffer : nullptr,
+                                   engine);
     if (comm.rank() == 0) bytes = std::move(buffer).str();
   });
   return bytes;
@@ -393,7 +390,7 @@ std::string distributed_small_fleet_bytes(int ranks) {
 
 TEST(DistributedFleetCheckpoint, ProvenanceIsInvisibleInTheBytes) {
   // A checkpoint written at any rank count is byte-for-byte the container
-  // the single-process fleet writes — which is what makes every resume
+  // the single-process engine writes — which is what makes every resume
   // combination below a pure parser problem, fuzzed once for all writers.
   const std::string reference = small_fleet_bytes();
   EXPECT_EQ(distributed_small_fleet_bytes(2), reference);
@@ -402,40 +399,43 @@ TEST(DistributedFleetCheckpoint, ProvenanceIsInvisibleInTheBytes) {
 
 TEST(DistributedFleetCheckpoint, ResumesAtAnyRankCountFromAnyProvenance) {
   // Saved at 3 ranks; resumed single-process and at 2 ranks — both must
-  // continue the stream bitwise-identically to the uninterrupted fleet.
+  // continue the stream bitwise-identically to the uninterrupted engine.
   Rng rng(13);
   const Mat data = planted_multiscale(9, 192, 0.02, rng);
-  FleetOptions options;
-  options.pipeline.imrdmd.mrdmd.max_levels = 3;
-  options.pipeline.imrdmd.mrdmd.dt = 1.0;
-  options.pipeline.baseline = {-10.0, 10.0};
-  options.groups = core::contiguous_groups(data.rows(), 3);
+  PipelineOptions pipeline;
+  pipeline.imrdmd.mrdmd.max_levels = 3;
+  pipeline.imrdmd.mrdmd.dt = 1.0;
+  pipeline.baseline = {-10.0, 10.0};
+  AssessorConfig config;
+  config.pipeline(pipeline)
+      .sharded(core::contiguous_groups(data.rows(), 3))
+      .sensors(data.rows());
 
   // Uninterrupted reference, one extra chunk past the checkpoint state.
   const Mat extra = planted_multiscale(9, 64, 0.02, rng);
-  FleetAssessment reference(options, data.rows());
+  Assessor reference(config);
   MatChunkSource reference_source(data, 128, 64);
-  reference.run(reference_source);
-  const FleetSnapshot expected = reference.process(extra);
+  run_collect(reference, reference_source);
+  const AssessmentSnapshot expected = reference.process(extra);
 
   const std::string bytes = distributed_small_fleet_bytes(3);
 
   // Single-process resume of the distributed checkpoint.
   {
     std::stringstream in(bytes);
-    core::RestoredFleet restored = core::load_fleet_checkpoint(in);
+    core::RestoredAssessor restored = core::load_assessor_checkpoint(in);
     EXPECT_EQ(restored.stream_position, 192u);
-    expect_fleet_snapshot_equal(restored.fleet.process(extra), expected);
+    expect_snapshot_equal(restored.assessor.process(extra), expected);
   }
   // 2-rank distributed resume of the same bytes.
   {
     dist::World world(2);
     world.run([&](dist::Communicator& comm) {
       std::stringstream in(bytes);
-      core::RestoredDistributedFleet restored =
-          core::load_distributed_fleet_checkpoint(in, comm);
+      core::RestoredAssessor restored =
+          core::load_assessor_checkpoint(in, comm);
       EXPECT_EQ(restored.stream_position, 192u);
-      expect_fleet_snapshot_equal(restored.fleet.process(extra), expected);
+      expect_snapshot_equal(restored.assessor.process(extra), expected);
     });
   }
 }
@@ -452,7 +452,7 @@ TEST(DistributedFleetCheckpoint, TruncationRejectedAtEveryRankCount) {
     dist::World world(2);
     EXPECT_THROW(world.run([&](dist::Communicator& comm) {
                    std::stringstream truncated(bytes.substr(0, cut));
-                   core::load_distributed_fleet_checkpoint(truncated, comm);
+                   core::load_assessor_checkpoint(truncated, comm);
                  }),
                  ParseError)
         << "prefix of " << cut << " bytes";
@@ -474,7 +474,7 @@ TEST(DistributedFleetCheckpoint, CorruptWordsRejectedWithoutHugeAllocation) {
     try {
       world.run([&](dist::Communicator& comm) {
         std::stringstream in(corrupt);
-        core::load_distributed_fleet_checkpoint(in, comm);
+        core::load_assessor_checkpoint(in, comm);
       });
     } catch (const Error&) {
       // Expected for most offsets.
@@ -486,15 +486,16 @@ TEST(DistributedFleetCheckpoint, CorruptWordsRejectedWithoutHugeAllocation) {
 
 TEST(FleetCheckpoint, FileWritesAreAtomicAndLeaveNoTemp) {
   const Mat data = checkpoint_data();
-  FleetOptions options;
-  options.pipeline = checkpoint_pipeline_options();
-  options.groups = core::contiguous_groups(data.rows(), 3);
-  FleetAssessment fleet(options, data.rows());
+  AssessorConfig config;
+  config.pipeline(checkpoint_pipeline_options())
+      .sharded(core::contiguous_groups(data.rows(), 3))
+      .sensors(data.rows());
+  Assessor engine(config);
   MatChunkSource source(data, 256, 64);
-  fleet.run(source, 1);
+  run_collect(engine, source, 1);
 
   const std::string path = ::testing::TempDir() + "/atomic_fleet.ckpt";
-  core::save_fleet_checkpoint_file(path, fleet);
+  core::save_assessor_checkpoint_file(path, engine);
   std::size_t temps = 0;
   for (const auto& entry :
        std::filesystem::directory_iterator(::testing::TempDir())) {
@@ -504,8 +505,9 @@ TEST(FleetCheckpoint, FileWritesAreAtomicAndLeaveNoTemp) {
     }
   }
   EXPECT_EQ(temps, 0u) << "temp file left over";
-  core::RestoredFleet restored = core::load_fleet_checkpoint_file(path);
-  EXPECT_EQ(restored.fleet.chunks_processed(), 1u);
+  core::RestoredAssessor restored =
+      core::load_assessor_checkpoint_file(path);
+  EXPECT_EQ(restored.assessor.chunks_processed(), 1u);
 
   // A failed save must leave the previous complete checkpoint untouched:
   // saving to a directory that refuses the temp file throws without ever
@@ -518,8 +520,8 @@ TEST(FleetCheckpoint, FileWritesAreAtomicAndLeaveNoTemp) {
     before = copy.str();
   }
   EXPECT_THROW(
-      core::save_fleet_checkpoint_file(
-          ::testing::TempDir() + "/no-such-dir/fleet.ckpt", fleet),
+      core::save_assessor_checkpoint_file(
+          ::testing::TempDir() + "/no-such-dir/fleet.ckpt", engine),
       Error);
   std::ifstream in(path, std::ios::binary);
   std::stringstream copy;
@@ -533,55 +535,65 @@ TEST(FleetCheckpoint, FailedPeriodicWriteParksPrefetchedChunk) {
   // discipline as a processing failure: the chunk the async prefetch
   // already consumed is parked, and a retry run() continues with it.
   const Mat data = checkpoint_data();
-  FleetOptions options;
-  options.pipeline = checkpoint_pipeline_options();
-  options.async_prefetch = true;
-  options.checkpoint.every_n = 1;
-  options.checkpoint.path = ::testing::TempDir() + "/no-such-dir/fleet.ckpt";
-  FleetAssessment fleet(options, data.rows());
+  AssessorConfig config;
+  config.pipeline(checkpoint_pipeline_options())
+      .sharded(core::contiguous_groups(data.rows(), 3))
+      .sensors(data.rows())
+      .checkpoint({1, ::testing::TempDir() + "/no-such-dir/fleet.ckpt"});
+  config.ingest_options.prefetch_depth = 1;
+  Assessor engine(config);
   MatChunkSource source(data, 256, 64);
-  // Each attempt processes exactly one chunk, fails on the checkpoint
-  // write, and parks both the chunk the prefetch already pulled and the
-  // snapshot that was computed before the write failed; retries must walk
-  // the stream without skipping anything.
+  // Each attempt processes exactly one chunk, DELIVERS its snapshot (the
+  // sink sees everything before the checkpoint write), fails on the write,
+  // and parks the chunk the prefetch already pulled; retries must walk the
+  // stream without skipping or re-delivering anything.
+  CollectingSink sink;
   for (int attempt = 0; attempt < 3; ++attempt) {
-    EXPECT_THROW(fleet.run(source), Error);
+    EXPECT_THROW(engine.run(source, sink), Error);
+    ASSERT_EQ(sink.snapshots().size(), static_cast<std::size_t>(attempt + 1));
   }
-  EXPECT_EQ(fleet.snapshots_processed(), data.cols());
-  // The stream is fully consumed; a final run() delivers the three parked
-  // snapshots — the already-computed alarms are not lost with the throws.
-  const auto delivered = fleet.run(source);
+  EXPECT_EQ(engine.snapshots_processed(), data.cols());
+  const auto delivered = sink.take();
   ASSERT_EQ(delivered.size(), 3u);
   for (std::size_t i = 0; i < delivered.size(); ++i) {
     EXPECT_EQ(delivered[i].chunk_index, i);
   }
+  EXPECT_EQ(delivered[2].total_snapshots, data.cols());
+  // The stream is fully consumed: a final run() delivers nothing more.
+  const auto rest = run_collect(engine, source);
+  EXPECT_TRUE(rest.empty());
 }
 
 TEST(FleetCheckpoint, MaxChunksWithParkedSnapshotsDoesNotDropAChunk) {
-  // Regression: run(source, k) used to pull a chunk from the source (or
-  // the carry slot) BEFORE checking whether the parked snapshots already
+  // Regression: the run loop used to pull a chunk from the source (or the
+  // carry slot) BEFORE checking whether the parked snapshots already
   // satisfied max_chunks — destroying the pulled chunk unprocessed and
   // silently skipping its telemetry on the following call.
   const Mat data = checkpoint_data();
-  FleetOptions options;
-  options.pipeline = checkpoint_pipeline_options();
-  options.checkpoint.every_n = 1;
-  options.checkpoint.path = ::testing::TempDir() + "/no-such-dir/fleet.ckpt";
-  FleetAssessment fleet(options, data.rows());
+  AssessorConfig config;
+  config.pipeline(checkpoint_pipeline_options())
+      .sharded(core::contiguous_groups(data.rows(), 3))
+      .sensors(data.rows())
+      .checkpoint({1, ::testing::TempDir() + "/no-such-dir/fleet.ckpt"});
+  Assessor engine(config);
   MatChunkSource source(data, 256, 64);
 
-  // Every checkpoint write fails, so attempts alternate between "process
-  // one chunk, park its snapshot, throw" and "deliver the parked
-  // snapshot". All three chunks must come through, in order, with no gap.
-  std::vector<FleetSnapshot> delivered;
-  for (int attempt = 0; attempt < 8 && delivered.size() < 3; ++attempt) {
+  // Every checkpoint write fails AFTER the chunk's snapshot was delivered
+  // to the sink. All three chunks must come through, in order, with no gap
+  // and no re-delivery — a retry must never pull-and-destroy a chunk that
+  // the budget check would have refused anyway.
+  CollectingSink sink;
+  for (int attempt = 0; attempt < 8 && sink.snapshots().size() < 3;
+       ++attempt) {
     try {
-      const auto got = fleet.run(source, 1);
-      delivered.insert(delivered.end(), got.begin(), got.end());
+      StopCondition one;
+      one.max_chunks = 1;
+      engine.run_until(source, sink, one);
     } catch (const Error&) {
       // Expected: the checkpoint directory does not exist.
     }
   }
+  const auto delivered = sink.take();
   ASSERT_EQ(delivered.size(), 3u);
   for (std::size_t i = 0; i < delivered.size(); ++i) {
     EXPECT_EQ(delivered[i].chunk_index, i);
@@ -590,7 +602,7 @@ TEST(FleetCheckpoint, MaxChunksWithParkedSnapshotsDoesNotDropAChunk) {
   EXPECT_EQ(delivered[0].total_snapshots, 256u);
   EXPECT_EQ(delivered[1].total_snapshots, 320u);
   EXPECT_EQ(delivered[2].total_snapshots, 384u);
-  EXPECT_EQ(fleet.snapshots_processed(), data.cols());
+  EXPECT_EQ(engine.snapshots_processed(), data.cols());
 }
 
 TEST(ChunkSourceSeek, DefaultThrowsAndMatrixSourceSeeks) {

@@ -1,7 +1,7 @@
 // Reusable conformance harness for core::ChunkSource implementations.
 //
 // Checkpoint/resume leans on a behavioral contract every seekable source
-// must honor (core/pipeline.hpp): position() counts the snapshots emitted
+// must honor (core/stream.hpp): position() counts the snapshots emitted
 // so far, seek(s) repositions so the next chunk starts at snapshot s —
 // including mid-chunk positions a checkpoint may record — seeking past the
 // horizon throws InvalidArgument without corrupting the stream, and a
@@ -32,7 +32,7 @@
 #include <vector>
 
 #include "common/error.hpp"
-#include "core/pipeline.hpp"
+#include "core/stream.hpp"
 
 namespace imrdmd::testing {
 

@@ -8,7 +8,7 @@
 #include <memory>
 
 #include "chunk_source_conformance.hpp"
-#include "core/pipeline.hpp"
+#include "core/stream.hpp"
 #include "telemetry/env_stream.hpp"
 #include "telemetry/sharded_env.hpp"
 #include "test_util.hpp"

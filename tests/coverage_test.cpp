@@ -1,5 +1,5 @@
 // Final coverage pass: paths not exercised elsewhere — spectrum power
-// filtering, pipeline baseline-pinning mode, checkpoint-after-extension,
+// filtering, the engine's baseline-pinning mode, checkpoint-after-extension,
 // chunked wide updates of the distributed iSVD, and renderer options.
 #include <gtest/gtest.h>
 
@@ -7,7 +7,7 @@
 #include <sstream>
 
 #include "core/checkpoint.hpp"
-#include "core/pipeline.hpp"
+#include "core/assessor.hpp"
 #include "dist/communicator.hpp"
 #include "dmd/spectrum.hpp"
 #include "isvd/distributed_isvd.hpp"
@@ -66,14 +66,14 @@ TEST(Pipeline, PinnedBaselinePopulationStaysFixed) {
   options.imrdmd.mrdmd.max_levels = 3;
   options.baseline = {45.0, 55.0};
   options.reselect_baseline_per_chunk = false;
-  core::OnlineAssessmentPipeline pinned(options);
+  core::Assessor pinned(core::AssessorConfig{}.pipeline(options));
   const auto first = pinned.process(data.block(0, 0, 12, 512));
   const auto second = pinned.process(data.block(0, 512, 12, 256));
   EXPECT_EQ(second.zscores.baseline_sensors, first.zscores.baseline_sensors);
 
   core::PipelineOptions reselect = options;
   reselect.reselect_baseline_per_chunk = true;
-  core::OnlineAssessmentPipeline moving(reselect);
+  core::Assessor moving(core::AssessorConfig{}.pipeline(reselect));
   moving.process(data.block(0, 0, 12, 512));
   const auto moved = moving.process(data.block(0, 512, 12, 256));
   // The heated sensor 3 leaves the re-selected population.

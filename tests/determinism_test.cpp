@@ -11,10 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "core/assessor.hpp"
 #include "core/checkpoint.hpp"
-#include "core/fleet.hpp"
 #include "core/imrdmd.hpp"
-#include "core/pipeline.hpp"
 #include "dist/communicator.hpp"
 #include "test_util.hpp"
 
@@ -77,28 +76,29 @@ TEST(ParallelDeterminism, ParallelMatchesSerialBitwise) {
   }
 }
 
-// End-to-end: the full assessment pipeline (stream -> I-mrDMD -> band
-// isolation -> z-scores) must emit identical PipelineSnapshots whether the
-// descendant bins were fitted serially or in parallel.
-TEST(ParallelDeterminism, PipelineSnapshotsMatchSerialBitwise) {
+// End-to-end: the full assessment engine (stream -> I-mrDMD -> band
+// isolation -> z-scores) must emit identical snapshots whether the
+// descendant bins were fitted serially or in parallel — at every level of
+// the hierarchy (the coarse model runs with the same options).
+TEST(ParallelDeterminism, EngineSnapshotsMatchSerialBitwise) {
   Rng rng(23);
   const Mat data = planted_multiscale(12, 640, 0.02, rng);
 
-  auto run_pipeline = [&](bool parallel) {
+  auto run_engine = [&](bool parallel) {
     PipelineOptions options;
     options.imrdmd = imrdmd_options(parallel);
     options.baseline = {-10.0, 10.0};
-    std::vector<PipelineSnapshot> snapshots;
-    OnlineAssessmentPipeline pipeline(options);
+    std::vector<AssessmentSnapshot> snapshots;
+    Assessor engine(AssessorConfig{}.pipeline(options));
     for (std::size_t t0 = 0; t0 + 128 <= data.cols(); t0 += 128) {
       snapshots.push_back(
-          pipeline.process(data.block(0, t0, data.rows(), 128)));
+          engine.process(data.block(0, t0, data.rows(), 128)));
     }
     return snapshots;
   };
 
-  const auto parallel = run_pipeline(true);
-  const auto serial = run_pipeline(false);
+  const auto parallel = run_engine(true);
+  const auto serial = run_engine(false);
   ASSERT_EQ(parallel.size(), serial.size());
   for (std::size_t c = 0; c < parallel.size(); ++c) {
     ASSERT_EQ(parallel[c].magnitudes.size(), serial[c].magnitudes.size());
@@ -106,15 +106,19 @@ TEST(ParallelDeterminism, PipelineSnapshotsMatchSerialBitwise) {
       EXPECT_EQ(parallel[c].magnitudes[p], serial[c].magnitudes[p]);
       EXPECT_EQ(parallel[c].zscores.zscores[p], serial[c].zscores.zscores[p]);
     }
-    EXPECT_EQ(parallel[c].report.drift_grid, serial[c].report.drift_grid);
+    ASSERT_EQ(parallel[c].reports.size(), 1u);
+    EXPECT_EQ(parallel[c].reports[0].drift_grid,
+              serial[c].reports[0].drift_grid);
   }
 }
 
-// Rank-count invariance of the distributed fleet: for a fixed group
+// Rank-count invariance of the distributed engine: for a fixed group
 // partition, the z-score stream AND the checkpoint bytes are identical —
 // compared at the byte level, stricter than value equality (0.0 vs -0.0
 // or NaN payloads would slip through EXPECT_EQ on doubles) — across every
-// rank x lane combination.
+// rank x lane combination. Runs under the session's hierarchy default, so
+// the CI hierarchy row checks the same invariance with the coarse level
+// in play (and its IMRDFL2 container).
 TEST(RankCountDeterminism, FleetZscoresAndCheckpointsAreByteIdentical) {
   Rng rng(24);
   const Mat data = planted_multiscale(12, 384, 0.02, rng);
@@ -133,23 +137,26 @@ TEST(RankCountDeterminism, FleetZscoresAndCheckpointsAreByteIdentical) {
       std::string z;
       std::string ckpt;
       world.run([&](dist::Communicator& comm) {
-        FleetOptions options;
-        options.pipeline.imrdmd.mrdmd.max_levels = 4;
-        options.pipeline.imrdmd.mrdmd.dt = 1.0;
-        options.pipeline.baseline = {-10.0, 10.0};
-        options.groups = groups;
-        options.shards = lanes;
-        DistributedFleetAssessment fleet(comm, options, data.rows());
+        PipelineOptions pipeline;
+        pipeline.imrdmd.mrdmd.max_levels = 4;
+        pipeline.imrdmd.mrdmd.dt = 1.0;
+        pipeline.baseline = {-10.0, 10.0};
+        Assessor engine(AssessorConfig{}
+                            .pipeline(pipeline)
+                            .sharded(groups, lanes)
+                            .sensors(data.rows())
+                            .distributed(comm));
         std::optional<MatrixChunkSource> source;
         if (comm.rank() == 0) source.emplace(data, 256, 64);
-        const auto snapshots =
-            fleet.run(comm.rank() == 0 ? &*source : nullptr);
+        CollectingSink sink;
+        engine.run_until(comm.rank() == 0 ? &*source : nullptr, sink,
+                         StopCondition{});
         std::ostringstream buffer;
-        save_distributed_fleet_checkpoint(
-            comm.rank() == 0 ? &buffer : nullptr, fleet);
+        save_assessor_checkpoint(comm.rank() == 0 ? &buffer : nullptr,
+                                 engine);
         if (comm.rank() == 0) {
-          ASSERT_EQ(snapshots.size(), 3u);
-          for (const FleetSnapshot& snapshot : snapshots) {
+          ASSERT_EQ(sink.snapshots().size(), 3u);
+          for (const AssessmentSnapshot& snapshot : sink.snapshots()) {
             z += z_bytes(snapshot.zscores.zscores);
             z += z_bytes(snapshot.magnitudes);
           }

@@ -1,28 +1,30 @@
-// Distributed fleet driver tests: rank-count invariance (results are
-// bitwise-identical to the single-process FleetAssessment for any rank
+// Distributed engine tests: rank-count invariance (results are
+// bitwise-identical to the single-process sharded Assessor for any rank
 // count and any local lane count), rank-count-invariant checkpoint bytes,
 // cross-rank-count resume, the ownership map, and the rank-failure paths
 // (disagreeing chunks must fail every rank together, never deadlock).
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <optional>
 #include <sstream>
 #include <vector>
 
+#include "core/assessor.hpp"
 #include "core/checkpoint.hpp"
-#include "core/fleet.hpp"
 #include "dist/communicator.hpp"
 #include "test_util.hpp"
 
 namespace imrdmd {
 namespace {
 
-using core::DistributedFleetAssessment;
-using core::FleetAssessment;
-using core::FleetOptions;
-using core::FleetSnapshot;
+using core::AssessmentSnapshot;
+using core::Assessor;
+using core::AssessorConfig;
+using core::CollectingSink;
 using core::Mat;
 using core::PipelineOptions;
+using core::StopCondition;
 using imrdmd::testing::planted_multiscale;
 
 using MatChunkSource = core::MatrixChunkSource;
@@ -40,6 +42,14 @@ Mat dist_data() {
   return planted_multiscale(15, 384, 0.02, rng);
 }
 
+AssessorConfig dist_config(const PipelineOptions& pipeline,
+                           const std::vector<std::vector<std::size_t>>& groups,
+                           std::size_t sensors, std::size_t lanes = 1) {
+  AssessorConfig config;
+  config.pipeline(pipeline).sharded(groups, lanes).sensors(sensors);
+  return config;
+}
+
 void expect_bitwise_equal(const std::vector<double>& a,
                           const std::vector<double>& b) {
   ASSERT_EQ(a.size(), b.size());
@@ -48,8 +58,8 @@ void expect_bitwise_equal(const std::vector<double>& a,
   }
 }
 
-void expect_snapshots_equal(const std::vector<FleetSnapshot>& a,
-                            const std::vector<FleetSnapshot>& b) {
+void expect_snapshots_equal(const std::vector<AssessmentSnapshot>& a,
+                            const std::vector<AssessmentSnapshot>& b) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t c = 0; c < a.size(); ++c) {
     EXPECT_EQ(a[c].chunk_index, b[c].chunk_index);
@@ -58,6 +68,9 @@ void expect_snapshots_equal(const std::vector<FleetSnapshot>& a,
     expect_bitwise_equal(a[c].sensor_means, b[c].sensor_means);
     expect_bitwise_equal(a[c].zscores.zscores, b[c].zscores.zscores);
     EXPECT_EQ(a[c].zscores.baseline_sensors, b[c].zscores.baseline_sensors);
+    expect_bitwise_equal(a[c].coarse_magnitudes, b[c].coarse_magnitudes);
+    expect_bitwise_equal(a[c].coarse_zscores, b[c].coarse_zscores);
+    expect_bitwise_equal(a[c].residual_zscores, b[c].residual_zscores);
     ASSERT_EQ(a[c].reports.size(), b[c].reports.size());
     for (std::size_t g = 0; g < a[c].reports.size(); ++g) {
       EXPECT_EQ(a[c].reports[g].new_snapshots, b[c].reports[g].new_snapshots);
@@ -78,24 +91,38 @@ void expect_snapshots_equal(const std::vector<FleetSnapshot>& a,
 
 /// Drives one distributed run over `ranks`, asserting every rank returned
 /// the identical snapshot stream; returns rank 0's.
-std::vector<FleetSnapshot> run_distributed(const Mat& data,
-                                           const FleetOptions& options,
-                                           int ranks,
-                                           std::size_t max_chunks = 0) {
+std::vector<AssessmentSnapshot> run_distributed(const Mat& data,
+                                                const AssessorConfig& config,
+                                                int ranks,
+                                                std::size_t max_chunks = 0) {
   dist::World world(ranks);
-  std::vector<std::vector<FleetSnapshot>> per_rank(
+  std::vector<std::vector<AssessmentSnapshot>> per_rank(
       static_cast<std::size_t>(ranks));
   world.run([&](dist::Communicator& comm) {
-    DistributedFleetAssessment fleet(comm, options, data.rows());
+    AssessorConfig local = config;
+    Assessor assessor(local.distributed(comm));
     std::optional<MatChunkSource> source;
     if (comm.rank() == 0) source.emplace(data, 256, 64);
-    per_rank[static_cast<std::size_t>(comm.rank())] =
-        fleet.run(comm.rank() == 0 ? &*source : nullptr, max_chunks);
+    CollectingSink sink;
+    StopCondition stop;
+    stop.max_chunks = max_chunks;
+    assessor.run_until(comm.rank() == 0 ? &*source : nullptr, sink, stop);
+    per_rank[static_cast<std::size_t>(comm.rank())] = sink.take();
   });
   for (std::size_t r = 1; r < per_rank.size(); ++r) {
     expect_snapshots_equal(per_rank[r], per_rank[0]);
   }
   return per_rank[0];
+}
+
+std::vector<AssessmentSnapshot> run_single(const Mat& data,
+                                           const AssessorConfig& config) {
+  AssessorConfig local = config;
+  Assessor assessor(local);
+  MatChunkSource source(data, 256, 64);
+  CollectingSink sink;
+  assessor.run(source, sink);
+  return sink.take();
 }
 
 TEST(DistributedFleet, RankGroupRangeIsAContiguousBalancedPartition) {
@@ -126,25 +153,21 @@ TEST(DistributedFleet, RankGroupRangeIsAContiguousBalancedPartition) {
   EXPECT_THROW(core::rank_group_range(4, 2, 2), InvalidArgument);
 }
 
-TEST(DistributedFleet, MatchesSingleProcessFleetForAnyRankAndLaneCount) {
+TEST(DistributedFleet, MatchesSingleProcessEngineForAnyRankAndLaneCount) {
   const Mat data = dist_data();
   const auto groups = core::contiguous_groups(data.rows(), 5);
 
-  FleetOptions reference_options;
-  reference_options.pipeline = dist_pipeline_options();
-  reference_options.groups = groups;
-  FleetAssessment reference_fleet(reference_options, data.rows());
-  MatChunkSource reference_source(data, 256, 64);
-  const auto reference = reference_fleet.run(reference_source);
+  const auto reference =
+      run_single(data, dist_config(dist_pipeline_options(), groups,
+                                   data.rows()));
   ASSERT_EQ(reference.size(), 3u);
 
   for (const int ranks : {1, 2, 4}) {
-    for (const std::size_t shards : {1u, 2u}) {
-      FleetOptions options;
-      options.pipeline = dist_pipeline_options();
-      options.groups = groups;
-      options.shards = shards;
-      const auto snapshots = run_distributed(data, options, ranks);
+    for (const std::size_t lanes : {1u, 2u}) {
+      const auto snapshots = run_distributed(
+          data,
+          dist_config(dist_pipeline_options(), groups, data.rows(), lanes),
+          ranks);
       expect_snapshots_equal(snapshots, reference);
     }
   }
@@ -159,46 +182,44 @@ TEST(DistributedFleet, UnevenGroupSizesExerciseTheRaggedGather) {
   for (std::size_t p = 9; p < 11; ++p) groups[1].push_back(p);
   for (std::size_t p = 11; p < 15; ++p) groups[2].push_back(p);
 
-  FleetOptions options;
-  options.pipeline = dist_pipeline_options();
-  options.groups = groups;
-  FleetAssessment reference_fleet(options, data.rows());
-  MatChunkSource reference_source(data, 256, 64);
-  const auto reference = reference_fleet.run(reference_source);
+  const auto config = dist_config(dist_pipeline_options(), groups,
+                                  data.rows());
+  const auto reference = run_single(data, config);
 
   for (const int ranks : {2, 3}) {
-    expect_snapshots_equal(run_distributed(data, options, ranks), reference);
+    expect_snapshots_equal(run_distributed(data, config, ranks), reference);
   }
 }
 
 TEST(DistributedFleet, SpareRanksBeyondTheGroupCountStayInTheCollective) {
   const Mat data = dist_data();
-  FleetOptions options;
-  options.pipeline = dist_pipeline_options();
-  options.groups = core::contiguous_groups(data.rows(), 2);
+  const auto config =
+      dist_config(dist_pipeline_options(),
+                  core::contiguous_groups(data.rows(), 2), data.rows());
 
-  FleetAssessment reference_fleet(options, data.rows());
-  MatChunkSource reference_source(data, 256, 64);
-  const auto reference = reference_fleet.run(reference_source);
+  const auto reference = run_single(data, config);
 
   // 5 ranks, 2 groups: ranks 2-4 own nothing but still participate in
   // every collective (empty contributions) and return the full stream.
-  expect_snapshots_equal(run_distributed(data, options, 5), reference);
+  expect_snapshots_equal(run_distributed(data, config, 5), reference);
 }
 
 TEST(DistributedFleet, CheckpointBytesAreRankCountInvariant) {
   const Mat data = dist_data();
   const auto groups = core::contiguous_groups(data.rows(), 5);
+  const auto config =
+      dist_config(dist_pipeline_options(), groups, data.rows());
 
   // Single-process reference bytes after two chunks.
-  FleetOptions options;
-  options.pipeline = dist_pipeline_options();
-  options.groups = groups;
-  FleetAssessment reference_fleet(options, data.rows());
+  AssessorConfig reference_config = config;
+  Assessor reference_engine(reference_config);
   MatChunkSource reference_source(data, 256, 64);
-  reference_fleet.run(reference_source, 2);
+  CollectingSink reference_sink;
+  StopCondition two;
+  two.max_chunks = 2;
+  reference_engine.run_until(reference_source, reference_sink, two);
   std::stringstream reference_buffer;
-  core::save_fleet_checkpoint(reference_buffer, reference_fleet);
+  core::save_assessor_checkpoint(reference_buffer, reference_engine);
   const std::string reference_bytes = reference_buffer.str();
   ASSERT_FALSE(reference_bytes.empty());
 
@@ -206,13 +227,15 @@ TEST(DistributedFleet, CheckpointBytesAreRankCountInvariant) {
     dist::World world(ranks);
     std::string bytes;
     world.run([&](dist::Communicator& comm) {
-      DistributedFleetAssessment fleet(comm, options, data.rows());
+      AssessorConfig local = config;
+      Assessor assessor(local.distributed(comm));
       std::optional<MatChunkSource> source;
       if (comm.rank() == 0) source.emplace(data, 256, 64);
-      fleet.run(comm.rank() == 0 ? &*source : nullptr, 2);
+      CollectingSink sink;
+      assessor.run_until(comm.rank() == 0 ? &*source : nullptr, sink, two);
       std::ostringstream buffer;
-      core::save_distributed_fleet_checkpoint(
-          comm.rank() == 0 ? &buffer : nullptr, fleet);
+      core::save_assessor_checkpoint(comm.rank() == 0 ? &buffer : nullptr,
+                                     assessor);
       if (comm.rank() == 0) bytes = std::move(buffer).str();
     });
     EXPECT_EQ(bytes, reference_bytes) << "ranks=" << ranks;
@@ -222,11 +245,10 @@ TEST(DistributedFleet, CheckpointBytesAreRankCountInvariant) {
 TEST(DistributedFleet, ResumesAcrossRankCounts) {
   const Mat data = dist_data();
   const auto groups = core::contiguous_groups(data.rows(), 5);
-  FleetOptions options;
-  options.pipeline = dist_pipeline_options();
-  options.groups = groups;
+  const auto config =
+      dist_config(dist_pipeline_options(), groups, data.rows());
 
-  const auto reference = run_distributed(data, options, 1);
+  const auto reference = run_distributed(data, config, 1);
   ASSERT_EQ(reference.size(), 3u);
 
   // Kill after one chunk at 2 ranks, keeping the checkpoint bytes.
@@ -235,16 +257,20 @@ TEST(DistributedFleet, ResumesAcrossRankCounts) {
   {
     dist::World world(2);
     world.run([&](dist::Communicator& comm) {
-      DistributedFleetAssessment fleet(comm, options, data.rows());
+      AssessorConfig local = config;
+      Assessor assessor(local.distributed(comm));
       std::optional<MatChunkSource> source;
       if (comm.rank() == 0) source.emplace(data, 256, 64);
-      fleet.run(comm.rank() == 0 ? &*source : nullptr, 1);
+      CollectingSink sink;
+      StopCondition one;
+      one.max_chunks = 1;
+      assessor.run_until(comm.rank() == 0 ? &*source : nullptr, sink, one);
       std::ostringstream buffer;
-      core::save_distributed_fleet_checkpoint(
-          comm.rank() == 0 ? &buffer : nullptr, fleet);
+      core::save_assessor_checkpoint(comm.rank() == 0 ? &buffer : nullptr,
+                                     assessor);
       if (comm.rank() == 0) {
         bytes = std::move(buffer).str();
-        position = fleet.snapshots_processed();
+        position = assessor.snapshots_processed();
       }
     });
   }
@@ -254,21 +280,23 @@ TEST(DistributedFleet, ResumesAcrossRankCounts) {
   // identical to the uninterrupted run.
   for (const int resume_ranks : {1, 3}) {
     dist::World world(resume_ranks);
-    std::vector<std::vector<FleetSnapshot>> per_rank(
+    std::vector<std::vector<AssessmentSnapshot>> per_rank(
         static_cast<std::size_t>(resume_ranks));
     world.run([&](dist::Communicator& comm) {
       std::stringstream in(bytes);
-      core::RestoredDistributedFleet restored =
-          core::load_distributed_fleet_checkpoint(in, comm);
-      EXPECT_EQ(restored.fleet.chunks_processed(), 1u);
+      core::RestoredAssessor restored =
+          core::load_assessor_checkpoint(in, comm);
+      EXPECT_EQ(restored.assessor.chunks_processed(), 1u);
       EXPECT_EQ(restored.stream_position, position);
       std::optional<MatChunkSource> source;
       if (comm.rank() == 0) {
         source.emplace(data, 256, 64);
         source->seek(static_cast<std::size_t>(restored.stream_position));
       }
-      per_rank[static_cast<std::size_t>(comm.rank())] = restored.fleet.run(
-          comm.rank() == 0 ? &*source : nullptr);
+      CollectingSink sink;
+      restored.assessor.run_until(comm.rank() == 0 ? &*source : nullptr,
+                                  sink, StopCondition{});
+      per_rank[static_cast<std::size_t>(comm.rank())] = sink.take();
     });
     for (const auto& snapshots : per_rank) {
       ASSERT_EQ(snapshots.size(), 2u);
@@ -286,28 +314,28 @@ TEST(DistributedFleet, ResumesAcrossRankCounts) {
 TEST(DistributedFleet, PeriodicCheckpointHookWritesThroughRankZero) {
   const Mat data = dist_data();
   const std::string path = ::testing::TempDir() + "/dist_fleet.ckpt";
-  FleetOptions options;
-  options.pipeline = dist_pipeline_options();
-  options.groups = core::contiguous_groups(data.rows(), 3);
-  options.checkpoint.every_n = 1;
-  options.checkpoint.path = path;
+  AssessorConfig config =
+      dist_config(dist_pipeline_options(),
+                  core::contiguous_groups(data.rows(), 3), data.rows());
+  config.checkpoint({1, path});
 
-  const auto reference = run_distributed(data, options, 2);
+  const auto reference = run_distributed(data, config, 2);
   ASSERT_EQ(reference.size(), 3u);
 
   // The file holds the final complete state and loads through the plain
-  // single-process path too (the container is the same IMRDFL1).
-  core::RestoredFleet restored = core::load_fleet_checkpoint_file(path);
-  EXPECT_EQ(restored.fleet.chunks_processed(), 3u);
+  // single-process path too (the container bytes carry no provenance).
+  core::RestoredAssessor restored =
+      core::load_assessor_checkpoint_file(path);
+  EXPECT_EQ(restored.assessor.chunks_processed(), 3u);
   EXPECT_EQ(restored.stream_position, 384u);
   std::remove(path.c_str());
 }
 
 TEST(DistributedFleet, ChunkWidthDisagreementFailsEveryRankTogether) {
   const Mat data = dist_data();
-  FleetOptions options;
-  options.pipeline = dist_pipeline_options();
-  options.groups = core::contiguous_groups(data.rows(), 3);
+  const auto config =
+      dist_config(dist_pipeline_options(),
+                  core::contiguous_groups(data.rows(), 3), data.rows());
 
   // Must complete (no deadlock) and surface InvalidArgument, not a
   // secondary CollectiveAborted: every rank sees the same min/max width
@@ -315,9 +343,10 @@ TEST(DistributedFleet, ChunkWidthDisagreementFailsEveryRankTogether) {
   dist::World world(3);
   EXPECT_THROW(
       world.run([&](dist::Communicator& comm) {
-        DistributedFleetAssessment fleet(comm, options, data.rows());
+        AssessorConfig local = config;
+        Assessor assessor(local.distributed(comm));
         const std::size_t width = comm.rank() == 1 ? 128u : 256u;
-        fleet.process(data.block(0, 0, data.rows(), width));
+        assessor.process(data.block(0, 0, data.rows(), width));
       }),
       InvalidArgument);
 }
@@ -327,34 +356,38 @@ TEST(DistributedFleet, ChunkContentDisagreementFailsEveryRankTogether) {
   // agreement check the ranks would fit different data and silently
   // desync their replicated z-score stages.
   const Mat data = dist_data();
-  FleetOptions options;
-  options.pipeline = dist_pipeline_options();
-  options.groups = core::contiguous_groups(data.rows(), 3);
+  const auto config =
+      dist_config(dist_pipeline_options(),
+                  core::contiguous_groups(data.rows(), 3), data.rows());
 
   dist::World world(3);
   EXPECT_THROW(
       world.run([&](dist::Communicator& comm) {
-        DistributedFleetAssessment fleet(comm, options, data.rows());
+        AssessorConfig local = config;
+        Assessor assessor(local.distributed(comm));
         Mat chunk = data.block(0, 0, data.rows(), 256);
         if (comm.rank() == 2) chunk(3, 7) += 1e-9;
-        fleet.process(chunk);
+        assessor.process(chunk);
       }),
       InvalidArgument);
 }
 
 TEST(DistributedFleet, SourceOutsideRankZeroIsRejected) {
   const Mat data = dist_data();
-  FleetOptions options;
-  options.pipeline = dist_pipeline_options();
 
   dist::World world(2);
   EXPECT_THROW(
       world.run([&](dist::Communicator& comm) {
-        DistributedFleetAssessment fleet(comm, options, data.rows());
+        AssessorConfig config;
+        config.pipeline(dist_pipeline_options())
+            .sensors(data.rows())
+            .distributed(comm);
+        Assessor assessor(config);
         // Both ranks pass a source; rank 1 must refuse before any
         // collective, and rank 0 unwinds via the poisoned broadcast.
         MatChunkSource source(data, 256, 64);
-        fleet.run(&source);
+        CollectingSink sink;
+        assessor.run_until(&source, sink, StopCondition{});
       }),
       InvalidArgument);
 }
@@ -363,18 +396,22 @@ TEST(DistributedFleet, RejectsMalformedPartitionsAndChunks) {
   const Mat data = dist_data();
   dist::World world(2);
   world.run([&](dist::Communicator& comm) {
-    FleetOptions bad;
-    bad.pipeline = dist_pipeline_options();
-    bad.groups = {{0, 1}, {1, 2}};  // overlap
-    EXPECT_THROW(DistributedFleetAssessment(comm, bad, 3), InvalidArgument);
+    AssessorConfig bad;
+    bad.pipeline(dist_pipeline_options())
+        .sharded({{0, 1}, {1, 2}})  // overlap
+        .sensors(3)
+        .distributed(comm);
+    EXPECT_THROW(Assessor{bad}, InvalidArgument);
 
-    FleetOptions options;
-    options.pipeline = dist_pipeline_options();
-    DistributedFleetAssessment fleet(comm, options, data.rows());
+    AssessorConfig config;
+    config.pipeline(dist_pipeline_options())
+        .sensors(data.rows())
+        .distributed(comm);
+    Assessor assessor(config);
     // Local validation fires before any collective, so every rank throws
     // on its own copy of the malformed chunk.
-    EXPECT_THROW(fleet.process(Mat(data.rows(), 0)), InvalidArgument);
-    EXPECT_THROW(fleet.process(Mat(data.rows() + 1, 64)), InvalidArgument);
+    EXPECT_THROW(assessor.process(Mat(data.rows(), 0)), InvalidArgument);
+    EXPECT_THROW(assessor.process(Mat(data.rows() + 1, 64)), InvalidArgument);
   });
 }
 

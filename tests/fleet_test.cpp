@@ -1,27 +1,27 @@
-// Sharded fleet driver tests: shard-count invariance (fleet results are
-// bitwise-identical to the unsharded pipeline / the serial per-group
-// reference for any shard count, sync or async-prefetch), group validation,
+// Sharded engine tests: lane-count invariance (sharded results are
+// bitwise-identical to the monolithic engine / the serial per-group
+// reference for any lane count, sync or async-prefetch), group validation,
 // and the topology-derived grouping adapter.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <optional>
 
-#include "core/fleet.hpp"
-#include "core/pipeline.hpp"
+#include "core/assessor.hpp"
 #include "telemetry/sharded_env.hpp"
 #include "test_util.hpp"
 
 namespace imrdmd {
 namespace {
 
+using core::Assessor;
+using core::AssessorConfig;
+using core::AssessmentSnapshot;
 using core::BaselineZscoreStage;
 using core::ChunkSource;
-using core::FleetAssessment;
-using core::FleetOptions;
-using core::FleetSnapshot;
+using core::CollectingSink;
+using core::IngestOptions;
 using core::Mat;
-using core::OnlineAssessmentPipeline;
 using core::PipelineOptions;
 using imrdmd::testing::planted_multiscale;
 
@@ -40,6 +40,19 @@ Mat fleet_data() {
   return planted_multiscale(15, 384, 0.02, rng);
 }
 
+IngestOptions prefetch(bool async) {
+  IngestOptions ingest;
+  ingest.prefetch_depth = async ? 1 : 0;
+  return ingest;
+}
+
+std::vector<AssessmentSnapshot> run_collect(Assessor& engine,
+                                            ChunkSource& stream) {
+  CollectingSink sink;
+  engine.run(stream, sink);
+  return sink.take();
+}
+
 /// Element-wise equality of two double vectors, bitwise.
 void expect_bitwise_equal(const std::vector<double>& a,
                           const std::vector<double>& b) {
@@ -49,8 +62,8 @@ void expect_bitwise_equal(const std::vector<double>& a,
   }
 }
 
-void expect_snapshots_equal(const std::vector<FleetSnapshot>& a,
-                            const std::vector<FleetSnapshot>& b) {
+void expect_snapshots_equal(const std::vector<AssessmentSnapshot>& a,
+                            const std::vector<AssessmentSnapshot>& b) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t c = 0; c < a.size(); ++c) {
     expect_bitwise_equal(a[c].magnitudes, b[c].magnitudes);
@@ -71,56 +84,50 @@ TEST(Fleet, ContiguousGroupsPartitionEvenly) {
   EXPECT_THROW(core::contiguous_groups(4, 0), InvalidArgument);
 }
 
-TEST(Fleet, TrivialGroupMatchesUnshardedPipelineForAnyShardCount) {
+TEST(Fleet, TrivialGroupMatchesMonolithicEngineForAnyLaneCount) {
   const Mat data = fleet_data();
 
-  // Reference: the monolithic pipeline over the same chunk boundaries.
+  // Reference: the monolithic engine over the same chunk boundaries. Both
+  // sides take the session's hierarchy default (flat, or the CI row's
+  // IMRDMD_HIERARCHY_STRIDE), so the invariance holds in either mode.
   MatChunkSource source(data, 256, 64);
-  OnlineAssessmentPipeline pipeline(fleet_pipeline_options());
-  const auto reference = pipeline.run(source);
+  Assessor reference_engine(
+      AssessorConfig{}.pipeline(fleet_pipeline_options()));
+  const auto reference = run_collect(reference_engine, source);
   ASSERT_EQ(reference.size(), 3u);
 
-  for (const std::size_t shards : {1u, 2u, 5u}) {
+  for (const std::size_t lanes : {1u, 2u, 5u}) {
     for (const bool async : {false, true}) {
-      FleetOptions options;
-      options.pipeline = fleet_pipeline_options();
-      options.shards = shards;
-      options.async_prefetch = async;
-      FleetAssessment fleet(options, data.rows());
+      Assessor engine(AssessorConfig{}
+                          .pipeline(fleet_pipeline_options())
+                          .sharded({}, lanes)
+                          .ingest(prefetch(async)));
       MatChunkSource replay(data, 256, 64);
-      const auto snapshots = fleet.run(replay);
+      const auto snapshots = run_collect(engine, replay);
       ASSERT_EQ(snapshots.size(), reference.size());
-      for (std::size_t c = 0; c < snapshots.size(); ++c) {
-        expect_bitwise_equal(snapshots[c].magnitudes,
-                             reference[c].magnitudes);
-        expect_bitwise_equal(snapshots[c].sensor_means,
-                             reference[c].sensor_means);
-        expect_bitwise_equal(snapshots[c].zscores.zscores,
-                             reference[c].zscores.zscores);
-        EXPECT_EQ(snapshots[c].zscores.baseline_sensors,
-                  reference[c].zscores.baseline_sensors);
-        EXPECT_EQ(snapshots[c].total_snapshots,
-                  reference[c].total_snapshots);
-      }
+      expect_snapshots_equal(snapshots, reference);
     }
   }
 }
 
-TEST(Fleet, ShardCountInvarianceAcrossLanesAndPrefetch) {
+TEST(Fleet, LaneCountInvarianceAcrossLanesAndPrefetch) {
   const Mat data = fleet_data();
   const auto groups = core::contiguous_groups(data.rows(), 5);
 
-  std::optional<std::vector<FleetSnapshot>> reference;
-  for (const std::size_t shards : {1u, 2u, 5u}) {
+  // The serial reference below models the flat engine, so every engine in
+  // this test pins hierarchy(0); hierarchy-mode invariance is covered by
+  // tests/hierarchy_test.cpp.
+  std::optional<std::vector<AssessmentSnapshot>> reference;
+  for (const std::size_t lanes : {1u, 2u, 5u}) {
     for (const bool async : {false, true}) {
-      FleetOptions options;
-      options.pipeline = fleet_pipeline_options();
-      options.groups = groups;
-      options.shards = shards;
-      options.async_prefetch = async;
-      FleetAssessment fleet(options, data.rows());
+      Assessor engine(AssessorConfig{}
+                          .pipeline(fleet_pipeline_options())
+                          .sharded(groups, lanes)
+                          .sensors(data.rows())
+                          .ingest(prefetch(async))
+                          .hierarchy(0));
       MatChunkSource replay(data, 256, 64);
-      auto snapshots = fleet.run(replay);
+      auto snapshots = run_collect(engine, replay);
       ASSERT_EQ(snapshots.size(), 3u);
       if (!reference.has_value()) {
         reference = std::move(snapshots);
@@ -130,9 +137,9 @@ TEST(Fleet, ShardCountInvarianceAcrossLanesAndPrefetch) {
     }
   }
 
-  // The fleet also matches a hand-rolled serial per-group reference: one
-  // model per group run in order, magnitudes scattered to machine order,
-  // then the shared global baseline/z-score stage.
+  // The sharded engine also matches a hand-rolled serial per-group
+  // reference: one model per group run in order, magnitudes scattered to
+  // machine order, then the shared global baseline/z-score stage.
   const PipelineOptions pipeline_options = fleet_pipeline_options();
   core::ImrdmdOptions model_options = pipeline_options.imrdmd;
   model_options.mrdmd.parallel_bins = false;
@@ -179,16 +186,15 @@ TEST(Fleet, AsyncPrefetchPathIsStableUnderRepetition) {
   // the prefetch task against the shard lanes.
   const Mat data = fleet_data();
   const auto groups = core::contiguous_groups(data.rows(), 5);
-  std::optional<std::vector<FleetSnapshot>> first;
+  std::optional<std::vector<AssessmentSnapshot>> first;
   for (int repeat = 0; repeat < 5; ++repeat) {
-    FleetOptions options;
-    options.pipeline = fleet_pipeline_options();
-    options.groups = groups;
-    options.shards = 5;
-    options.async_prefetch = true;
-    FleetAssessment fleet(options, data.rows());
+    Assessor engine(AssessorConfig{}
+                        .pipeline(fleet_pipeline_options())
+                        .sharded(groups, 5)
+                        .sensors(data.rows())
+                        .ingest(prefetch(true)));
     MatChunkSource replay(data, 256, 64);
-    auto snapshots = fleet.run(replay);
+    auto snapshots = run_collect(engine, replay);
     if (!first.has_value()) {
       first = std::move(snapshots);
     } else {
@@ -198,35 +204,38 @@ TEST(Fleet, AsyncPrefetchPathIsStableUnderRepetition) {
 }
 
 TEST(Fleet, RejectsMalformedGroupPartitions) {
-  FleetOptions options;
-  options.pipeline = fleet_pipeline_options();
+  const PipelineOptions options = fleet_pipeline_options();
+  auto config = [&](std::vector<std::vector<std::size_t>> groups,
+                    std::size_t sensors) {
+    return AssessorConfig{}
+        .pipeline(options)
+        .sharded(std::move(groups), 1)
+        .sensors(sensors);
+  };
 
-  options.groups = {{0, 1}, {1, 2, 3}};  // overlap
-  EXPECT_THROW(FleetAssessment(options, 4), InvalidArgument);
-
-  options.groups = {{0, 1}};  // sensors 2, 3 uncovered
-  EXPECT_THROW(FleetAssessment(options, 4), InvalidArgument);
-
-  options.groups = {{0, 1, 2, 7}};  // out of range
-  EXPECT_THROW(FleetAssessment(options, 4), InvalidArgument);
-
-  options.groups = {{0, 1, 2, 3}, {}};  // empty group
-  EXPECT_THROW(FleetAssessment(options, 4), InvalidArgument);
-
-  options.groups.clear();
-  EXPECT_THROW(FleetAssessment(options, 0), InvalidArgument);
+  EXPECT_THROW(Assessor(config({{0, 1}, {1, 2, 3}}, 4)),  // overlap
+               InvalidArgument);
+  EXPECT_THROW(Assessor(config({{0, 1}}, 4)),  // sensors 2, 3 uncovered
+               InvalidArgument);
+  EXPECT_THROW(Assessor(config({{0, 1, 2, 7}}, 4)),  // out of range
+               InvalidArgument);
+  EXPECT_THROW(Assessor(config({{0, 1, 2, 3}, {}}, 4)),  // empty group
+               InvalidArgument);
+  // A sharded partition needs the sensor count up front — only the
+  // monolithic topology may infer it from the first chunk.
+  EXPECT_THROW(Assessor(config({{0}}, 0)), InvalidArgument);
 }
 
 TEST(Fleet, RejectsMalformedChunks) {
   const Mat data = fleet_data();
-  FleetOptions options;
-  options.pipeline = fleet_pipeline_options();
-  FleetAssessment fleet(options, data.rows());
+  Assessor engine(AssessorConfig{}
+                      .pipeline(fleet_pipeline_options())
+                      .sensors(data.rows()));
 
-  EXPECT_THROW(fleet.process(Mat(data.rows(), 0)), InvalidArgument);
-  EXPECT_THROW(fleet.process(Mat(data.rows() + 1, 64)), InvalidArgument);
-  fleet.process(data.block(0, 0, data.rows(), 256));
-  EXPECT_THROW(fleet.process(Mat(data.rows() - 1, 64)), InvalidArgument);
+  EXPECT_THROW(engine.process(Mat(data.rows(), 0)), InvalidArgument);
+  EXPECT_THROW(engine.process(Mat(data.rows() + 1, 64)), InvalidArgument);
+  engine.process(data.block(0, 0, data.rows(), 256));
+  EXPECT_THROW(engine.process(Mat(data.rows() - 1, 64)), InvalidArgument);
 }
 
 TEST(Fleet, AsyncRunParksPrefetchedChunkWhenProcessingFails) {
@@ -254,21 +263,25 @@ TEST(Fleet, AsyncRunParksPrefetchedChunkWhenProcessingFails) {
   chunks.push_back(data.block(0, 256, data.rows(), 64));
   ScriptedSource source(std::move(chunks));
 
-  FleetOptions options;
-  options.pipeline = fleet_pipeline_options();
-  options.async_prefetch = true;
-  FleetAssessment fleet(options, data.rows());
-  EXPECT_THROW(fleet.run(source), InvalidArgument);
+  Assessor engine(AssessorConfig{}
+                      .pipeline(fleet_pipeline_options())
+                      .ingest(prefetch(true)));
+  // The first chunk's snapshot is delivered before the malformed second
+  // chunk fails the run — delivery happens as snapshots are produced.
+  CollectingSink failed;
+  EXPECT_THROW(engine.run(source, failed), InvalidArgument);
+  ASSERT_EQ(failed.snapshots().size(), 1u);
+  EXPECT_EQ(failed.snapshots().front().chunk_index, 0u);
+  EXPECT_EQ(failed.snapshots().front().total_snapshots, 256u);
 
   // The good third chunk was prefetched while the malformed one failed;
-  // resuming processes it instead of hitting the drained source's end —
-  // and first re-delivers the first chunk's snapshot, which the failed
-  // run() computed but could not return.
-  const auto resumed = fleet.run(source);
-  ASSERT_EQ(resumed.size(), 2u);
-  EXPECT_EQ(resumed.front().chunk_index, 0u);
-  EXPECT_EQ(resumed.front().total_snapshots, 256u);
-  EXPECT_EQ(resumed.back().total_snapshots, 256u + 64u);
+  // resuming processes it instead of hitting the drained source's end.
+  CollectingSink sink;
+  engine.run(source, sink);
+  const auto& resumed = sink.snapshots();
+  ASSERT_EQ(resumed.size(), 1u);
+  EXPECT_EQ(resumed.front().chunk_index, 1u);
+  EXPECT_EQ(resumed.front().total_snapshots, 256u + 64u);
 }
 
 TEST(Fleet, RackGroupsFollowMachineTopology) {
@@ -330,16 +343,18 @@ TEST(Fleet, RunsOverRackShardedTelemetry) {
   source_options.stream.total_snapshots = 160;
   telemetry::ShardedEnvSource source(model, source_options);
 
-  FleetOptions options;
-  options.pipeline.imrdmd.mrdmd.max_levels = 3;
-  options.pipeline.imrdmd.mrdmd.dt = spec.dt_seconds;
-  options.pipeline.baseline = {40.0, 60.0};
-  options.groups = source.groups();
-  FleetAssessment fleet(options, source.sensors());
-  const auto snapshots = fleet.run(source);
+  PipelineOptions pipeline_options;
+  pipeline_options.imrdmd.mrdmd.max_levels = 3;
+  pipeline_options.imrdmd.mrdmd.dt = spec.dt_seconds;
+  pipeline_options.baseline = {40.0, 60.0};
+  Assessor engine(AssessorConfig{}
+                      .pipeline(pipeline_options)
+                      .sharded(source.groups(), 1)
+                      .sensors(spec.sensor_count()));
+  const auto snapshots = run_collect(engine, source);
   ASSERT_EQ(snapshots.size(), 3u);
-  EXPECT_EQ(fleet.group_count(), spec.racks);
-  const FleetSnapshot& last = snapshots.back();
+  EXPECT_EQ(engine.group_count(), spec.racks);
+  const AssessmentSnapshot& last = snapshots.back();
   EXPECT_EQ(last.zscores.zscores.size(), spec.sensor_count());
   EXPECT_EQ(last.reports.size(), spec.racks);
   // The overheating node carries one of the fleet's largest z-scores.

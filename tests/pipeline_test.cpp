@@ -1,13 +1,13 @@
-// Integration tests: telemetry -> streaming pipeline -> z-scores ->
-// multifidelity alignment -> rack rendering. Exercises the whole paper
-// workflow end to end on a seeded scenario.
+// Integration tests: telemetry -> monolithic streaming engine -> z-scores
+// -> multifidelity alignment -> rack rendering. Exercises the whole paper
+// workflow end to end on a seeded scenario through the unified Assessor.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
 
 #include "core/align.hpp"
-#include "core/pipeline.hpp"
+#include "core/assessor.hpp"
 #include "rack/render.hpp"
 #include "telemetry/env_stream.hpp"
 #include "telemetry/scenario.hpp"
@@ -15,9 +15,11 @@
 namespace imrdmd {
 namespace {
 
-using core::OnlineAssessmentPipeline;
+using core::Assessor;
+using core::AssessorConfig;
+using core::AssessmentSnapshot;
+using core::CollectingSink;
 using core::PipelineOptions;
-using core::PipelineSnapshot;
 using core::ThermalState;
 using telemetry::EnvLogStream;
 using telemetry::EnvStreamOptions;
@@ -33,6 +35,13 @@ PipelineOptions scenario_pipeline_options() {
   return options;
 }
 
+std::vector<AssessmentSnapshot> run_collect(Assessor& engine,
+                                            core::ChunkSource& stream) {
+  CollectingSink sink;
+  engine.run(stream, sink);
+  return sink.take();
+}
+
 TEST(PipelineIntegration, DetectsInjectedHotNodes) {
   ScenarioOptions scenario_options;
   scenario_options.machine_scale = 0.05;  // ~220 nodes
@@ -46,13 +55,14 @@ TEST(PipelineIntegration, DetectsInjectedHotNodes) {
   stream_options.sensor_subset = scenario.analyzed_nodes;
   EnvLogStream stream(*scenario.sensors, stream_options);
 
-  OnlineAssessmentPipeline pipeline(scenario_pipeline_options());
-  const std::vector<PipelineSnapshot> snapshots = pipeline.run(stream);
+  Assessor engine(AssessorConfig{}.pipeline(scenario_pipeline_options()));
+  const std::vector<AssessmentSnapshot> snapshots =
+      run_collect(engine, stream);
   ASSERT_EQ(snapshots.size(), 3u);  // 512 + 128 + 128
 
   // In the final snapshot, injected hot nodes must carry the largest
   // z-scores among analyzed nodes.
-  const PipelineSnapshot& last = snapshots.back();
+  const AssessmentSnapshot& last = snapshots.back();
   ASSERT_EQ(last.zscores.zscores.size(), scenario.analyzed_nodes.size());
   // Map machine node id -> analyzed row.
   auto row_of = [&](std::size_t node) -> std::optional<std::size_t> {
@@ -91,8 +101,8 @@ TEST(PipelineIntegration, MemoryErrorNodesAreNotThermallyFlagged) {
   stream_options.sensor_subset = scenario.analyzed_nodes;
   EnvLogStream stream(*scenario.sensors, stream_options);
 
-  OnlineAssessmentPipeline pipeline(scenario_pipeline_options());
-  const auto snapshots = pipeline.run(stream);
+  Assessor engine(AssessorConfig{}.pipeline(scenario_pipeline_options()));
+  const auto snapshots = run_collect(engine, stream);
   const auto& last = snapshots.back();
 
   const auto hot_rows = last.zscores.sensors_in_state(ThermalState::Hot);
@@ -120,8 +130,8 @@ TEST(PipelineIntegration, AlignmentStatsSeparateFaultClasses) {
   stream_options.sensor_subset = scenario.analyzed_nodes;
   EnvLogStream stream(*scenario.sensors, stream_options);
 
-  OnlineAssessmentPipeline pipeline(scenario_pipeline_options());
-  const auto snapshots = pipeline.run(stream);
+  Assessor engine(AssessorConfig{}.pipeline(scenario_pipeline_options()));
+  const auto snapshots = run_collect(engine, stream);
   const auto& last = snapshots.back();
 
   // Thermal flags vs thermal ground truth: strong association.
@@ -179,8 +189,8 @@ TEST(PipelineIntegration, ZscoresRenderToRackView) {
   stream_options.total_snapshots = 512;
   EnvLogStream stream(*scenario.sensors, stream_options);
 
-  OnlineAssessmentPipeline pipeline(scenario_pipeline_options());
-  const auto snapshots = pipeline.run(stream);
+  Assessor engine(AssessorConfig{}.pipeline(scenario_pipeline_options()));
+  const auto snapshots = run_collect(engine, stream);
 
   // Render whole-machine z-scores onto the machine's layout.
   const rack::LayoutSpec layout =
@@ -209,10 +219,11 @@ TEST(PipelineIntegration, DriftReportsAccumulateSanely) {
   stream_options.sensor_subset = scenario.analyzed_nodes;
   EnvLogStream stream(*scenario.sensors, stream_options);
 
-  OnlineAssessmentPipeline pipeline(scenario_pipeline_options());
-  const auto snapshots = pipeline.run(stream);
+  Assessor engine(AssessorConfig{}.pipeline(scenario_pipeline_options()));
+  const auto snapshots = run_collect(engine, stream);
   for (std::size_t i = 1; i < snapshots.size(); ++i) {
-    EXPECT_TRUE(std::isfinite(snapshots[i].report.drift_estimate));
+    ASSERT_EQ(snapshots[i].reports.size(), 1u);
+    EXPECT_TRUE(std::isfinite(snapshots[i].reports[0].drift_estimate));
     EXPECT_GT(snapshots[i].total_snapshots,
               snapshots[i - 1].total_snapshots);
     EXPECT_GT(snapshots[i].fit_seconds, 0.0);
@@ -221,32 +232,30 @@ TEST(PipelineIntegration, DriftReportsAccumulateSanely) {
 
 TEST(PipelineIntegration, MidStreamSensorCountChangeRejected) {
   // Typed rejection at the API boundary, not a shape error deep in the fit.
-  core::PipelineOptions options = scenario_pipeline_options();
-  OnlineAssessmentPipeline pipeline(options);
+  Assessor engine(AssessorConfig{}.pipeline(scenario_pipeline_options()));
   Rng rng(3);
   linalg::Mat first(8, 512);
   for (std::size_t i = 0; i < first.size(); ++i) {
     first.data()[i] = 50.0 + rng.normal();
   }
-  pipeline.process(first);
+  engine.process(first);
   linalg::Mat bad(9, 64);
-  EXPECT_THROW(pipeline.process(bad), InvalidArgument);
+  EXPECT_THROW(engine.process(bad), InvalidArgument);
   linalg::Mat fewer(7, 64);
-  EXPECT_THROW(pipeline.process(fewer), InvalidArgument);
+  EXPECT_THROW(engine.process(fewer), InvalidArgument);
 }
 
 TEST(PipelineIntegration, ZeroColumnChunkRejected) {
-  core::PipelineOptions options = scenario_pipeline_options();
-  OnlineAssessmentPipeline pipeline(options);
-  EXPECT_THROW(pipeline.process(linalg::Mat(8, 0)), InvalidArgument);
+  Assessor engine(AssessorConfig{}.pipeline(scenario_pipeline_options()));
+  EXPECT_THROW(engine.process(linalg::Mat(8, 0)), InvalidArgument);
   // Also rejected after a successful initial fit.
   Rng rng(4);
   linalg::Mat first(8, 512);
   for (std::size_t i = 0; i < first.size(); ++i) {
     first.data()[i] = 50.0 + rng.normal();
   }
-  pipeline.process(first);
-  EXPECT_THROW(pipeline.process(linalg::Mat(8, 0)), InvalidArgument);
+  engine.process(first);
+  EXPECT_THROW(engine.process(linalg::Mat(8, 0)), InvalidArgument);
 }
 
 }  // namespace

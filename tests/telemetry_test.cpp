@@ -380,6 +380,71 @@ TEST(Scenario, CaseStudy2FirstWindowIsHotter) {
   EXPECT_GT(mean_first, mean_second + 0.5 * static_cast<double>(first.size()));
 }
 
+TEST(Scenario, CoherentDriftIsSmallPerNodeButSharedAcrossTheBand) {
+  ScenarioOptions options;
+  options.machine_scale = 0.1;
+  options.horizon = 600;
+  const Scenario scenario = make_coherent_drift(options);
+  ASSERT_FALSE(scenario.drift_nodes.empty());
+  EXPECT_TRUE(scenario.hot_nodes.empty());
+  // The band is a strict subset: some racks stay at baseline.
+  EXPECT_LT(scenario.drift_nodes.size(), scenario.machine.node_count);
+  // The drift band is contiguous in node order (rack-major ids).
+  for (std::size_t i = 1; i < scenario.drift_nodes.size(); ++i) {
+    EXPECT_EQ(scenario.drift_nodes[i], scenario.drift_nodes[i - 1] + 1);
+  }
+  // Per node the drift is a sub-noise-scale sustained offset: every
+  // injected fault is a small Overheat covering exactly the drift band,
+  // from a third of the way in through the end of the horizon.
+  ASSERT_EQ(scenario.sensors->faults().size(), scenario.drift_nodes.size());
+  for (const FaultSpec& fault : scenario.sensors->faults()) {
+    EXPECT_EQ(fault.kind, FaultSpec::Kind::Overheat);
+    EXPECT_LE(fault.magnitude, 1.5);
+    EXPECT_EQ(fault.t_begin, options.horizon / 3);
+    EXPECT_EQ(fault.t_end, options.horizon);
+  }
+  EXPECT_EQ(scenario.sensors->fault_nodes(FaultSpec::Kind::Overheat, 0,
+                                          options.horizon),
+            scenario.drift_nodes);
+}
+
+TEST(Scenario, MultiRackEventCoversWholeAdjacentRacks) {
+  ScenarioOptions options;
+  options.machine_scale = 0.2;
+  options.horizon = 600;
+  const Scenario scenario = make_multi_rack_event(options);
+  ASSERT_FALSE(scenario.hot_nodes.empty());
+  EXPECT_TRUE(scenario.drift_nodes.empty());
+  EXPECT_LT(scenario.hot_nodes.size(), scenario.machine.node_count);
+  // Every node of each affected rack is in the event — whole racks, not
+  // scattered singles.
+  std::vector<std::size_t> event_racks;
+  for (std::size_t node : scenario.hot_nodes) {
+    event_racks.push_back(place_of(scenario.machine, node).rack);
+  }
+  std::sort(event_racks.begin(), event_racks.end());
+  event_racks.erase(std::unique(event_racks.begin(), event_racks.end()),
+                    event_racks.end());
+  ASSERT_GE(event_racks.size(), 1u);
+  for (std::size_t i = 1; i < event_racks.size(); ++i) {
+    EXPECT_EQ(event_racks[i], event_racks[i - 1] + 1);
+  }
+  for (std::size_t node = 0; node < scenario.machine.node_count; ++node) {
+    const std::size_t rack = place_of(scenario.machine, node).rack;
+    const bool in_band =
+        std::find(event_racks.begin(), event_racks.end(), rack) !=
+        event_racks.end();
+    const bool flagged = std::find(scenario.hot_nodes.begin(),
+                                   scenario.hot_nodes.end(),
+                                   node) != scenario.hot_nodes.end();
+    EXPECT_EQ(in_band, flagged) << "node " << node;
+  }
+  // The ground truth matches the sensor model's own fault bookkeeping.
+  const auto reported = scenario.sensors->fault_nodes(
+      FaultSpec::Kind::Overheat, 0, options.horizon);
+  EXPECT_EQ(reported, scenario.hot_nodes);
+}
+
 TEST(Scenario, MachineScaleShrinks) {
   const MachineSpec full = MachineSpec::theta();
   const MachineSpec half = scale_machine(full, 0.5);
