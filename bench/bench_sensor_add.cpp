@@ -11,11 +11,20 @@
 //      vs a batch SVD of the extended factor — the part the extension
 //      actually accelerates. Shape claim: row update << batch SVD, at
 //      matched end-to-end accuracy in (1).
+//  (3) Elastic engine: Assessor::add_sensors growing a live sharded fleet
+//      mid-stream — flat and hierarchical, single-process and distributed.
+//      Emits BENCH_elastic.json; the gate is that the distributed grown
+//      engine stays bitwise identical to the single-process one.
+#include <vector>
+
 #include "bench_util.hpp"
 #include "common/csv.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "core/assessor.hpp"
 #include "core/imrdmd.hpp"
+#include "dist/communicator.hpp"
 #include "isvd/isvd.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/svd.hpp"
@@ -113,6 +122,132 @@ int main(int argc, char** argv) {
   }
   std::printf("  spectrum agreement: max relative diff %.2e\n", worst);
 
+  // --- (3) elastic growth through the fleet engine ----------------------
+  // A sharded machine streams two chunks, then a fresh blade's sensors
+  // join one group mid-stream with their raw history; the stream continues
+  // at the grown width. Timed flat and hierarchical; the distributed run
+  // (2 ranks) must stay bitwise identical to the single-process one.
+  const std::size_t fleet_sensors = args.full ? 384 : 96;
+  const std::size_t join_width = args.full ? 24 : 8;
+  const std::size_t fleet_groups = 6;
+  const std::size_t fleet_initial = args.full ? 512 : 256;
+  const std::size_t fleet_chunk = args.full ? 256 : 128;
+  const std::size_t grown = fleet_sensors + join_width;
+  linalg::Mat fleet_data(grown, fleet_initial + 2 * fleet_chunk);
+  {
+    Rng fleet_rng(17);
+    linalg::Mat left(grown, 5), right(5, fleet_data.cols());
+    for (std::size_t i = 0; i < left.size(); ++i) {
+      left.data()[i] = fleet_rng.normal();
+    }
+    for (std::size_t i = 0; i < right.size(); ++i) {
+      right.data()[i] = fleet_rng.normal();
+    }
+    fleet_data = linalg::matmul(left, right);
+    for (std::size_t i = 0; i < fleet_data.size(); ++i) {
+      fleet_data.data()[i] += 0.02 * fleet_rng.normal();
+    }
+  }
+
+  auto elastic_config = [&](std::size_t stride) {
+    core::AssessorConfig config;
+    config.pipeline_options.imrdmd.mrdmd.max_levels = 4;
+    config.pipeline_options.imrdmd.mrdmd.dt = 1.0;
+    config.pipeline_options.imrdmd.keep_history = true;
+    config.pipeline_options.baseline = {-1e6, 1e6};
+    config.sharded(core::contiguous_groups(fleet_sensors, fleet_groups))
+        .sensors(fleet_sensors)
+        .hierarchy(stride);
+    return config;
+  };
+
+  struct ElasticResult {
+    std::size_t stride = 0;
+    double add_seconds = 0.0;
+    double post_chunk_seconds = 0.0;
+    bool distributed_identical = true;
+  };
+  std::vector<ElasticResult> elastic;
+  std::printf("\nelastic fleet growth (%zu sensors + %zu joining):\n",
+              fleet_sensors, join_width);
+  for (const std::size_t stride : {std::size_t{0}, std::size_t{2}}) {
+    ElasticResult result;
+    result.stride = stride;
+    core::AssessorConfig config = elastic_config(stride);
+    core::Assessor engine(config);
+    engine.process(
+        fleet_data.block(0, 0, fleet_sensors, fleet_initial));
+    timer.reset();
+    engine.add_sensors(fleet_groups - 1,
+                       fleet_data.block(fleet_sensors, 0, join_width,
+                                        fleet_initial));
+    result.add_seconds = timer.seconds();
+    timer.reset();
+    const auto snapshot = engine.process(
+        fleet_data.block(0, fleet_initial, grown, fleet_chunk));
+    result.post_chunk_seconds = timer.seconds();
+
+    // Distributed replica of the same elastic run.
+    dist::World world(2);
+    std::vector<std::vector<double>> rank_z(2);
+    world.run([&](dist::Communicator& comm) {
+      core::AssessorConfig local = elastic_config(stride);
+      core::Assessor replica(local.distributed(comm));
+      replica.process(
+          fleet_data.block(0, 0, fleet_sensors, fleet_initial));
+      replica.add_sensors(fleet_groups - 1,
+                          fleet_data.block(fleet_sensors, 0, join_width,
+                                           fleet_initial));
+      const auto s = replica.process(
+          fleet_data.block(0, fleet_initial, grown, fleet_chunk));
+      rank_z[static_cast<std::size_t>(comm.rank())] = s.zscores.zscores;
+    });
+    for (const auto& z : rank_z) {
+      if (z != snapshot.zscores.zscores) result.distributed_identical = false;
+    }
+    elastic.push_back(result);
+    std::printf("  stride=%zu  add_sensors %8.3f ms  next chunk %8.3f ms  "
+                "distributed bitwise: %s\n",
+                stride, result.add_seconds * 1e3,
+                result.post_chunk_seconds * 1e3,
+                result.distributed_identical ? "yes" : "NO");
+  }
+  bool elastic_identical = true;
+  for (const ElasticResult& r : elastic) {
+    if (!r.distributed_identical) elastic_identical = false;
+  }
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "elastic");
+  json.field("mode", args.full ? "full" : "default");
+  json.key("workload");
+  json.begin_object();
+  json.field("sensors", fleet_sensors);
+  json.field("joining_sensors", join_width);
+  json.field("groups", fleet_groups);
+  json.field("initial_snapshots", fleet_initial);
+  json.field("chunk_snapshots", fleet_chunk);
+  json.end_object();
+  json.key("curve");
+  json.begin_array();
+  for (const ElasticResult& r : elastic) {
+    json.begin_object();
+    json.field("coarse_stride", r.stride);
+    json.field("add_sensors_seconds", r.add_seconds);
+    json.field("post_growth_chunk_seconds", r.post_chunk_seconds);
+    json.field("distributed_identical", r.distributed_identical);
+    json.end_object();
+  }
+  json.end_array();
+  json.field("kernel_add_seconds", kernel_add_s);
+  json.field("kernel_batch_svd_seconds", kernel_batch_s);
+  json.field("elastic_identical", elastic_identical);
+  json.end_object();
+  const std::string elastic_path = args.out_dir + "/BENCH_elastic.json";
+  json.write_file(elastic_path);
+  std::printf("wrote %s\n", elastic_path.c_str());
+
   CsvWriter csv(args.out_dir + "/sensor_add.csv",
                 {"add_s", "refit_s", "err_add", "err_refit", "kernel_add_s",
                  "kernel_batch_s", "spectrum_diff"});
@@ -122,7 +257,8 @@ int main(int argc, char** argv) {
   std::printf("\nwrote %s/sensor_add.csv\n", args.out_dir.c_str());
 
   const bool shape_holds = kernel_add_s < kernel_batch_s &&
-                           err_add < err_refit * 1.5 + 1e-9 && worst < 1e-3;
+                           err_add < err_refit * 1.5 + 1e-9 && worst < 1e-3 &&
+                           elastic_identical;
   std::printf("shape claim %s\n", shape_holds ? "HOLDS" : "VIOLATED");
   return shape_holds ? 0 : 1;
 }

@@ -43,6 +43,16 @@ class ParseError : public Error {
   explicit ParseError(const std::string& what) : Error(what) {}
 };
 
+/// A streaming replica's chunk source is at a different position than its
+/// peers (or than the engine's recorded stream position) — e.g. a resumed
+/// rank that was never seek'd to the checkpoint position. Raised by the
+/// distributed run loop's per-chunk agreement so the desync fails fast
+/// instead of folding divergent data into replicated state.
+class StreamDesync : public Error {
+ public:
+  explicit StreamDesync(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_dimension_error(const char* expr, const char* file,
                                         int line, const std::string& msg);

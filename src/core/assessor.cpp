@@ -93,6 +93,47 @@ std::size_t hierarchy_stride_from_env() {
   return static_cast<std::size_t>(parsed);
 }
 
+/// IMRDMD_INGEST_MODE supplies the default chunk delivery when the config
+/// never called IngestOptions::with_mode(). Unset/empty means broadcast;
+/// a typo throws instead of silently running the wrong mode.
+IngestMode ingest_mode_from_env() {
+  const char* value = std::getenv("IMRDMD_INGEST_MODE");
+  if (value == nullptr || *value == '\0') return IngestMode::Broadcast;
+  const std::string name(value);
+  if (name == "broadcast") return IngestMode::Broadcast;
+  if (name == "scatterv") return IngestMode::Scatterv;
+  if (name == "per_rank") return IngestMode::PerRank;
+  throw InvalidArgument(
+      "IMRDMD_INGEST_MODE must be broadcast, scatterv, or per_rank");
+}
+
+/// IMRDMD_CHECKPOINT_DELTA supplies the default delta-checkpoint setting
+/// when the policy never called with_delta(). Unset/empty/"0" means off.
+bool checkpoint_delta_from_env() {
+  const char* value = std::getenv("IMRDMD_CHECKPOINT_DELTA");
+  if (value == nullptr || *value == '\0') return false;
+  const std::string name(value);
+  if (name == "0") return false;
+  if (name == "1") return true;
+  throw InvalidArgument("IMRDMD_CHECKPOINT_DELTA must be 0 or 1");
+}
+
+/// "no row here" marker of local_row_of_sensor_.
+constexpr std::size_t kNoRow = ~std::size_t{0};
+
+/// Stream positions travel the per-chunk agreement as doubles; unknown is
+/// encoded as -1 (a position is exact through double below 2^53).
+double encode_position(std::size_t position) {
+  return position == ChunkSource::kUnknownPosition
+             ? -1.0
+             : static_cast<double>(position);
+}
+
+std::size_t decode_position(double value) {
+  return value < 0.0 ? ChunkSource::kUnknownPosition
+                     : static_cast<std::size_t>(value);
+}
+
 /// Order-sensitive fold of the chunk's raw bit patterns, squashed into the
 /// mantissa of a normal double in [1, 2) so it travels any collective
 /// without NaN/Inf hazards. Used to verify SPMD chunk agreement: two ranks
@@ -111,6 +152,15 @@ double chunk_digest(const Mat& chunk) {
   std::memcpy(&digest, &acc, sizeof digest);
   return digest;
 }
+
+/// A prefetched chunk with the stream position it started at (read from
+/// the source immediately before the pull; kUnknownPosition for sources
+/// that cannot report one) — the distributed per-chunk agreement verifies
+/// these starts across replicas.
+struct Pulled {
+  std::size_t start = ChunkSource::kUnknownPosition;
+  Mat chunk;
+};
 
 /// The backpressure-aware ingestion queue: one producer thread pulls chunks
 /// from the source into a bounded queue of `depth` slots, blocking while
@@ -142,16 +192,16 @@ class ChunkPrefetcher {
   /// Returns nullopt at end of stream (or once the pull budget is spent —
   /// the caller's own stop condition fires first by construction).
   /// Rethrows a source exception at the position it occurred.
-  std::optional<Mat> pop() {
+  std::optional<Pulled> pop() {
     std::unique_lock<std::mutex> lock(mutex_);
     data_cv_.wait(lock, [this] {
       return !queue_.empty() || error_ != nullptr || done_;
     });
     if (!queue_.empty()) {
-      Mat chunk = std::move(queue_.front());
+      Pulled pulled = std::move(queue_.front());
       queue_.pop_front();
       room_cv_.notify_all();
-      return chunk;
+      return pulled;
     }
     if (error_ != nullptr) {
       std::rethrow_exception(std::exchange(error_, nullptr));
@@ -161,7 +211,7 @@ class ChunkPrefetcher {
 
   /// Stops the producer and returns the chunks it pulled but the caller
   /// never popped, in pull order.
-  std::deque<Mat> drain() {
+  std::deque<Pulled> drain() {
     stop_and_join();
     std::lock_guard<std::mutex> lock(mutex_);
     return std::exchange(queue_, {});
@@ -179,11 +229,12 @@ class ChunkPrefetcher {
         }
         // Pull outside the lock; the chunk is pushed unconditionally
         // afterwards so a stop request can never discard a consumed chunk.
+        const std::size_t start = source_.position();
         std::optional<Mat> chunk = source_.next_chunk();
         std::lock_guard<std::mutex> lock(mutex_);
         ++pulled_;
         if (!chunk.has_value()) break;
-        queue_.push_back(std::move(*chunk));
+        queue_.push_back(Pulled{start, std::move(*chunk)});
         data_cv_.notify_all();
       }
     } catch (...) {
@@ -211,7 +262,7 @@ class ChunkPrefetcher {
   std::mutex mutex_;
   std::condition_variable data_cv_;
   std::condition_variable room_cv_;
-  std::deque<Mat> queue_;
+  std::deque<Pulled> queue_;
   std::exception_ptr error_;
   std::size_t pulled_ = 0;
   bool stop_ = false;
@@ -255,10 +306,19 @@ Assessor::Assessor(AssessorConfig config)
       "would be silently disarmed; set a path or every_n = 0");
   // Resolve the effective stride once, at construction: an explicit
   // hierarchy() call (including checkpoint resume) pins it; otherwise the
-  // environment default applies.
+  // environment default applies. Ingest mode and delta checkpointing
+  // follow the same pin-against-environment shape.
   if (!config_.hierarchy_set) {
     config_.coarse_stride = hierarchy_stride_from_env();
     config_.hierarchy_set = true;
+  }
+  if (!config_.ingest_options.mode_set) {
+    config_.ingest_options.mode = ingest_mode_from_env();
+    config_.ingest_options.mode_set = true;
+  }
+  if (!config_.checkpoint_policy.delta_set) {
+    config_.checkpoint_policy.delta = checkpoint_delta_from_env();
+    config_.checkpoint_policy.delta_set = true;
   }
   if (config_.sensor_count == 0) {
     // Deferred sensor count: only the single-process monolithic topology
@@ -334,6 +394,60 @@ void Assessor::finalize_topology(std::size_t sensors) {
     stack_.enable_coarse(groups_, sensors_, config_.coarse_stride,
                          config_.pipeline_options.imrdmd);
   }
+
+  rebuild_owned_maps();
+  group_cost_ewma_.assign(local_count, 0.0);
+  rebalance_lanes();
+}
+
+void Assessor::rebuild_owned_maps() {
+  owned_rows_.clear();
+  group_of_sensor_.assign(sensors_, 0);
+  local_row_of_sensor_.assign(sensors_, kNoRow);
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (std::size_t sensor : groups_[g]) group_of_sensor_[sensor] = g;
+  }
+  for (std::size_t g = local_begin_; g < local_end_; ++g) {
+    for (std::size_t sensor : groups_[g]) {
+      local_row_of_sensor_[sensor] = owned_rows_.size();
+      owned_rows_.push_back(sensor);
+    }
+  }
+}
+
+void Assessor::rebalance_lanes() {
+  const std::size_t local_count = local_end_ - local_begin_;
+  lane_groups_.assign(lanes_, {});
+  if (local_count == 0) return;
+  // LPT greedy over the cost model: group width scaled by the observed
+  // update-seconds EWMA once one exists (before the first chunk every
+  // EWMA is 0 and width alone balances). Deterministic: ties broken by
+  // lower group index, then lower lane index.
+  std::vector<std::pair<double, std::size_t>> order(local_count);
+  for (std::size_t l = 0; l < local_count; ++l) {
+    const double width =
+        static_cast<double>(groups_[local_begin_ + l].size());
+    const double ewma = group_cost_ewma_[l];
+    order[l] = {ewma > 0.0 ? width * ewma : width, l};
+  }
+  std::sort(order.begin(), order.end(),
+            [](const std::pair<double, std::size_t>& a,
+               const std::pair<double, std::size_t>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::vector<double> load(lanes_, 0.0);
+  for (const auto& [cost, l] : order) {
+    std::size_t lane = 0;
+    for (std::size_t k = 1; k < lanes_; ++k) {
+      if (load[k] < load[lane]) lane = k;
+    }
+    lane_groups_[lane].push_back(l);
+    load[lane] += cost;
+  }
+  // In-lane order is ascending local index (the merge is global-group
+  // ordered regardless; this just keeps per-lane traversal predictable).
+  for (auto& lane : lane_groups_) std::sort(lane.begin(), lane.end());
 }
 
 ThreadPool& Assessor::pool() const {
@@ -349,11 +463,10 @@ const IncrementalMrdmd& Assessor::model(std::size_t group) const {
 
 void Assessor::update_local_groups(const Mat& chunk,
                                    std::vector<MagnitudeUpdate>& updates) {
-  const std::size_t local_count = local_end_ - local_begin_;
   run_lanes(
       lanes_,
-      [this, &chunk, &updates, local_count](std::size_t lane) {
-        for (std::size_t l = lane; l < local_count; l += lanes_) {
+      [this, &chunk, &updates](std::size_t lane) {
+        for (std::size_t l : lane_groups_[lane]) {
           // The identity partition (one group of all sensors, in order)
           // feeds the chunk straight through — no per-chunk gather copy.
           updates[l] =
@@ -398,10 +511,10 @@ AssessmentSnapshot Assessor::process(const Mat& chunk) {
     }
   }
 
-  AssessmentSnapshot snapshot;
-  snapshot.chunk_index = chunks_processed_;
-  snapshot.chunk_snapshots = chunk.cols();
+  return process_chunk_full(chunk);
+}
 
+AssessmentSnapshot Assessor::process_chunk_full(const Mat& chunk) {
   WallTimer timer;
   const std::size_t local_count = local_end_ - local_begin_;
   std::vector<MagnitudeUpdate> updates(local_count);
@@ -419,6 +532,85 @@ AssessmentSnapshot Assessor::process(const Mat& chunk) {
                                   residual);
   }
   update_local_groups(hierarchical ? residual : chunk, updates);
+  if (hierarchical) {
+    // The per-group updates above computed means of the RESIDUAL blocks;
+    // the baseline value-range rule reads physical values, so substitute
+    // the raw chunk's per-row means before the merge (row_means is
+    // per-row independent, so the merged full-width vector is bitwise
+    // row_means(chunk) — and the sliced path can substitute the same
+    // values from its raw slice alone).
+    const std::vector<double> raw = row_means(chunk);
+    for (std::size_t l = 0; l < local_count; ++l) {
+      const auto& group = groups_[local_begin_ + l];
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        updates[l].sensor_means[i] = raw[group[i]];
+      }
+    }
+  }
+  Mat journal;
+  if (config_.checkpoint_policy.delta) {
+    journal = gather_rows(chunk, owned_rows_);
+  }
+  return merge_and_score(updates, std::move(coarse), journal, chunk.cols(),
+                         timer);
+}
+
+AssessmentSnapshot Assessor::process_chunk_sliced(const Mat& local_rows,
+                                                  const Mat& coarse_chunk,
+                                                  std::size_t cols) {
+  IMRDMD_REQUIRE_DIMS(
+      local_rows.rows() == owned_rows_.size() && local_rows.cols() == cols,
+      "sliced chunk row count differs from this rank's owned sensor rows");
+  WallTimer timer;
+  const std::size_t local_count = local_end_ - local_begin_;
+  std::vector<MagnitudeUpdate> updates(local_count);
+
+  const bool hierarchical = stack_.hierarchical();
+  CoarseUpdate coarse;
+  Mat residual_rows;
+  if (hierarchical) {
+    coarse = stack_.update_coarse_sliced(coarse_chunk,
+                                         config_.pipeline_options.band,
+                                         owned_rows_, local_rows,
+                                         residual_rows);
+  }
+  // Owned-slice layout: the rows of local group l occupy the contiguous
+  // block starting at the prefix sum of the earlier owned groups' widths.
+  std::vector<std::size_t> offsets(local_count, 0);
+  for (std::size_t l = 1; l < local_count; ++l) {
+    offsets[l] = offsets[l - 1] + groups_[local_begin_ + l - 1].size();
+  }
+  const Mat& fine_input = hierarchical ? residual_rows : local_rows;
+  run_lanes(
+      lanes_,
+      [this, &fine_input, &local_rows, &updates, &offsets, hierarchical,
+       cols](std::size_t lane) {
+        for (std::size_t l : lane_groups_[lane]) {
+          const std::size_t width = groups_[local_begin_ + l].size();
+          updates[l] = update_magnitudes(
+              stack_.fine(l), fine_input.block(offsets[l], 0, width, cols),
+              config_.pipeline_options.band);
+          if (hierarchical) {
+            // Raw means for the baseline rule, as in the full path.
+            updates[l].sensor_means =
+                row_means(local_rows.block(offsets[l], 0, width, cols));
+          }
+        }
+      },
+      &pool());
+  Mat journal;
+  if (config_.checkpoint_policy.delta) journal = local_rows;
+  return merge_and_score(updates, std::move(coarse), journal, cols, timer);
+}
+
+AssessmentSnapshot Assessor::merge_and_score(
+    std::vector<MagnitudeUpdate>& updates, CoarseUpdate&& coarse,
+    const Mat& raw_rows, std::size_t cols, WallTimer timer) {
+  AssessmentSnapshot snapshot;
+  snapshot.chunk_index = chunks_processed_;
+  snapshot.chunk_snapshots = cols;
+  const std::size_t local_count = local_end_ - local_begin_;
+  const bool hierarchical = stack_.hierarchical();
 
   snapshot.magnitudes.assign(sensors_, 0.0);
   snapshot.sensor_means.assign(sensors_, 0.0);
@@ -479,15 +671,14 @@ AssessmentSnapshot Assessor::process(const Mat& chunk) {
       }
     }
   }
-  snapshot.total_snapshots = snapshots_seen_ + chunk.cols();
+  snapshot.total_snapshots = snapshots_seen_ + cols;
   snapshot.fit_seconds = timer.seconds();
 
   if (hierarchical) {
-    // The merged means above were computed on the residual; the baseline
-    // value-range rule reads physical temperatures, so recompute them from
-    // the raw chunk (full-width row means are bitwise identical to the
-    // flat engine's per-group merge of the same chunk).
-    snapshot.sensor_means = row_means(chunk);
+    // The merged sensor_means already carry RAW per-row means (substituted
+    // by the process paths before the merge — bitwise row_means(chunk)
+    // since row means are per-row independent), so the baseline value-range
+    // rule reads physical temperatures here with no full chunk in sight.
     snapshot.coarse_magnitudes = std::move(coarse.magnitudes);
     snapshot.coarse_report = coarse.report;
     snapshot.coarse_fit_seconds = coarse.fit_seconds;
@@ -509,9 +700,147 @@ AssessmentSnapshot Assessor::process(const Mat& chunk) {
                                 snapshot.sensor_means.size()));
   }
 
-  snapshots_seen_ += chunk.cols();
+  // Feed the cost model: each local group's observed update seconds fold
+  // into its EWMA (first observation seeds it). rebalance_lanes() reads
+  // these at checkpoint boundaries only, so mid-interval snapshots stay
+  // bitwise independent of the timings.
+  for (std::size_t l = 0; l < local_count; ++l) {
+    const double fit = updates[l].fit_seconds;
+    group_cost_ewma_[l] = group_cost_ewma_[l] == 0.0
+                              ? fit
+                              : 0.7 * group_cost_ewma_[l] + 0.3 * fit;
+  }
+  if (config_.checkpoint_policy.delta) delta_pending_.push_back(raw_rows);
+
+  snapshots_seen_ += cols;
   ++chunks_processed_;
   return snapshot;
+}
+
+void Assessor::check_stream_position(std::size_t start, std::size_t cols) {
+  if (start == ChunkSource::kUnknownPosition) {
+    // A source that cannot report positions disables the check from here
+    // on (resuming it into checkpointing already fails fast elsewhere).
+    stream_expect_ = ChunkSource::kUnknownPosition;
+    return;
+  }
+  if (stream_expect_ != ChunkSource::kUnknownPosition &&
+      stream_expect_ != start) {
+    throw StreamDesync(
+        "chunk starts at stream position " + std::to_string(start) +
+        " but the engine expected " + std::to_string(stream_expect_) +
+        " — was the source seek'd to the wrong snapshot after resume?");
+  }
+  stream_expect_ = start + cols;
+}
+
+Mat Assessor::assemble_coarse(const Mat& local_rows, std::size_t cols) {
+  // Each rank contributes the coarse grid rows it owns, in ascending grid
+  // order; one allgatherv then lets every rank reassemble the full coarse
+  // chunk (coarse row order) bitwise identically.
+  const std::vector<std::size_t>& grid = stack_.coarse_rows();
+  std::vector<double> mine;
+  for (std::size_t j = 0; j < grid.size(); ++j) {
+    const std::size_t row = local_row_of_sensor_[grid[j]];
+    if (row == kNoRow) continue;
+    const double* src = local_rows.data() + row * cols;
+    mine.insert(mine.end(), src, src + cols);
+  }
+  const std::vector<std::vector<double>> all = comm_->allgatherv(
+      std::span<const double>(mine.data(), mine.size()));
+
+  const std::size_t ranks = static_cast<std::size_t>(comm_->size());
+  std::vector<std::size_t> owner_of_group(groups_.size(), 0);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    const auto range = rank_group_range(groups_.size(), ranks, r);
+    for (std::size_t g = range.first; g < range.second; ++g) {
+      owner_of_group[g] = r;
+    }
+  }
+  Mat coarse_chunk(grid.size(), cols);
+  std::vector<std::size_t> cursor(ranks, 0);
+  for (std::size_t j = 0; j < grid.size(); ++j) {
+    const std::size_t r = owner_of_group[group_of_sensor_[grid[j]]];
+    IMRDMD_REQUIRE_DIMS(cursor[r] + cols <= all[r].size(),
+                        "coarse grid contribution shorter than the grid "
+                        "rows its rank owns");
+    std::copy(all[r].data() + cursor[r], all[r].data() + cursor[r] + cols,
+              coarse_chunk.data() + j * cols);
+    cursor[r] += cols;
+  }
+  for (std::size_t r = 0; r < ranks; ++r) {
+    IMRDMD_REQUIRE_DIMS(cursor[r] == all[r].size(),
+                        "coarse grid contribution longer than the grid rows "
+                        "its rank owns");
+  }
+  return coarse_chunk;
+}
+
+std::vector<std::size_t> Assessor::owned_sensor_rows() const {
+  return owned_rows_;
+}
+
+void Assessor::add_sensors(std::size_t group, const Mat& new_rows_history) {
+  IMRDMD_REQUIRE_ARG(sensors_ > 0,
+                     "add_sensors before the topology is finalized");
+  IMRDMD_REQUIRE_ARG(group < groups_.size(), "add_sensors group out of range");
+  IMRDMD_REQUIRE_ARG(new_rows_history.rows() > 0,
+                     "add_sensors needs at least one new sensor row");
+  IMRDMD_REQUIRE_ARG(chunks_processed_ >= 1,
+                     "add_sensors needs at least one processed chunk (the "
+                     "joined sensors extend a fitted model)");
+  IMRDMD_REQUIRE_DIMS(
+      new_rows_history.cols() == snapshots_seen_,
+      "add_sensors history column count differs from the snapshots the "
+      "engine has seen");
+  if (comm_ != nullptr) {
+    // Collective agreement: growth changes every rank's buffer sizes and
+    // merge layout, so all ranks must request the identical growth — group,
+    // shape, AND history content — or all throw together.
+    const double meta[4] = {static_cast<double>(group),
+                            static_cast<double>(new_rows_history.rows()),
+                            static_cast<double>(new_rows_history.cols()),
+                            chunk_digest(new_rows_history)};
+    const std::vector<std::vector<double>> metas =
+        comm_->allgatherv(std::span<const double>(meta, 4));
+    for (const auto& slot : metas) {
+      if (slot.size() != 4 ||
+          std::memcmp(slot.data(), meta, sizeof meta) != 0) {
+        throw InvalidArgument(
+            "distributed assessor ranks disagree on the sensor growth "
+            "(group, shape, or history content)");
+      }
+    }
+  }
+
+  const std::size_t width = new_rows_history.rows();
+  std::vector<std::size_t> new_sensors(width);
+  for (std::size_t j = 0; j < width; ++j) new_sensors[j] = sensors_ + j;
+  groups_[group].insert(groups_[group].end(), new_sensors.begin(),
+                        new_sensors.end());
+  sensors_ += width;
+  config_.sensor_count = sensors_;
+  config_.groups = groups_;
+  identity_partition_ = false;
+  rebuild_owned_maps();
+
+  const bool owned = group >= local_begin_ && group < local_end_;
+  if (stack_.hierarchical()) {
+    // Every replica grows its coarse model (it is replicated); only the
+    // owning rank extends the group's fine model, with the RESIDUAL
+    // history the grown coarse level hands back.
+    Mat residual_history =
+        stack_.grow_coarse(new_sensors, sensors_, new_rows_history);
+    if (owned) {
+      stack_.fine(group - local_begin_).add_sensors(residual_history);
+    }
+  } else if (owned) {
+    stack_.fine(group - local_begin_).add_sensors(new_rows_history);
+  }
+  // The next delta checkpoint must rewrite its base: the journaled chunks
+  // before the growth have the old width, so replay could not cross it.
+  delta_force_compact_ = true;
+  rebalance_lanes();
 }
 
 bool Assessor::deliver(SnapshotSink& sink, AssessmentSnapshot&& snapshot,
@@ -539,6 +868,11 @@ void Assessor::maybe_checkpoint(SnapshotSink& sink, std::size_t chunk_index) {
   if (policy.every_n == 0 || chunks_processed_ % policy.every_n != 0) return;
   save_assessor_checkpoint_file(policy.path, *this);
   sink.on_checkpoint_written(policy.path, chunk_index);
+  // Checkpoint boundaries are the only place lane assignment may move:
+  // in between, the assignment is frozen so snapshots stay bitwise
+  // independent of wall-clock timings (a checkpoint is already a resume
+  // boundary, so a resumed engine rebalancing here matches).
+  rebalance_lanes();
 }
 
 RunSummary Assessor::run(ChunkSource& source, SnapshotSink& sink) {
@@ -553,10 +887,25 @@ RunSummary Assessor::run_until(ChunkSource& source, SnapshotSink& sink,
 RunSummary Assessor::run_until(ChunkSource* source, SnapshotSink& sink,
                                const StopCondition& stop) {
   const bool root = comm_ == nullptr || comm_->rank() == 0;
+  const IngestMode mode =
+      comm_ != nullptr ? config_.ingest_options.mode : IngestMode::Broadcast;
   if (comm_ != nullptr) {
-    IMRDMD_REQUIRE_ARG(root == (source != nullptr),
-                       "the chunk source lives on rank 0 only (pass nullptr "
-                       "on the other ranks)");
+    if (mode == IngestMode::PerRank) {
+      // Per-rank ingestion: EVERY rank pulls its own slice from its own
+      // source (e.g. a RowSliceSource over this rank's owned_sensor_rows(),
+      // or a rank-sharded reader) — rank 0 never sees the peers' bytes.
+      IMRDMD_REQUIRE_ARG(source != nullptr,
+                         "per-rank ingestion needs a chunk source on every "
+                         "rank");
+      IMRDMD_REQUIRE_ARG(
+          source->sensors() == owned_rows_.size(),
+          "per-rank source row count differs from this rank's owned sensor "
+          "rows (slice it with owned_sensor_rows())");
+    } else {
+      IMRDMD_REQUIRE_ARG(root == (source != nullptr),
+                         "the chunk source lives on rank 0 only (pass "
+                         "nullptr on the other ranks)");
+    }
   } else {
     IMRDMD_REQUIRE_ARG(source != nullptr,
                        "run needs a chunk source in the single-process "
@@ -643,18 +992,28 @@ RunSummary Assessor::run_until(ChunkSource* source, SnapshotSink& sink,
   // order, for the next run.
   const auto park_prefetched = [&] {
     if (prefetcher == nullptr) return;
-    std::deque<Mat> leftovers = prefetcher->drain();
-    for (Mat& chunk : leftovers) carry_chunks_.push_back(std::move(chunk));
+    std::deque<Pulled> leftovers = prefetcher->drain();
+    for (Pulled& pulled : leftovers) {
+      carry_chunks_.push_back(
+          CarriedChunk{pulled.start, std::move(pulled.chunk)});
+    }
     prefetcher.reset();
   };
-  const auto pull_next = [&]() -> std::optional<Mat> {
+  const auto pull_next = [&]() -> std::optional<CarriedChunk> {
     if (!carry_chunks_.empty()) {
-      Mat chunk = std::move(carry_chunks_.front());
+      CarriedChunk carried = std::move(carry_chunks_.front());
       carry_chunks_.pop_front();
-      return chunk;
+      return carried;
     }
-    if (prefetcher != nullptr) return prefetcher->pop();
-    return source->next_chunk();
+    if (prefetcher != nullptr) {
+      std::optional<Pulled> pulled = prefetcher->pop();
+      if (!pulled.has_value()) return std::nullopt;
+      return CarriedChunk{pulled->start, std::move(pulled->chunk)};
+    }
+    const std::size_t start = source->position();
+    std::optional<Mat> chunk = source->next_chunk();
+    if (!chunk.has_value()) return std::nullopt;
+    return CarriedChunk{start, std::move(*chunk)};
   };
 
   try {
@@ -663,52 +1022,189 @@ RunSummary Assessor::run_until(ChunkSource* source, SnapshotSink& sink,
         summary.reason = *reason;
         break;
       }
-      std::optional<Mat> current;
+      std::optional<CarriedChunk> current;
       StopReason end_reason = StopReason::EndOfStream;
       if (root) {
-        // Only the ingestion side evaluates the wall clock; in the
-        // distributed topology the verdict travels in the handshake so
-        // ranks never disagree on when the stream ends.
+        // Only rank 0 evaluates the wall clock; in the distributed
+        // topology the verdict travels in the handshake so ranks never
+        // disagree on when the stream ends (per-rank mode included —
+        // peers that already pulled a chunk park it for the next run).
         if (stop.max_seconds > 0.0 &&
             run_timer.seconds() >= stop.max_seconds) {
           end_reason = StopReason::Deadline;
         } else {
           current = pull_next();
         }
+      } else if (mode == IngestMode::PerRank && source != nullptr) {
+        current = pull_next();
       }
       if (comm_ != nullptr) {
         // A zero-column chunk must fail like it does everywhere else
         // (process() raises InvalidArgument) — never reach the handshake,
         // where a width of 0 is the end-of-stream sentinel and would
         // silently truncate the rest of the stream on every rank.
-        IMRDMD_REQUIRE_ARG(!current.has_value() || current->cols() > 0,
+        IMRDMD_REQUIRE_ARG(!current.has_value() || current->chunk.cols() > 0,
                            "assessor chunk has no snapshot columns");
-        // Chunk handshake: rank 0 announces the next chunk's column count
-        // (0 = no more chunks, with the reason) so peers can size their
-        // replica before the data broadcast.
-        double meta[2] = {
-            root && current.has_value()
-                ? static_cast<double>(current->cols())
+      }
+      AssessmentSnapshot snapshot;
+      if (comm_ == nullptr) {
+        if (!current.has_value()) {
+          summary.reason = end_reason;
+          break;
+        }
+        check_stream_position(current->start_position,
+                              current->chunk.cols());
+        snapshot = process(current->chunk);
+      } else if (mode == IngestMode::PerRank) {
+        // Per-chunk agreement: every rank announces (width, end reason,
+        // stream position) of the slice it pulled; widths and known
+        // positions must agree or the replica streams have drifted apart
+        // and every rank throws StreamDesync together.
+        const double my_meta[3] = {
+            current.has_value()
+                ? static_cast<double>(current->chunk.cols())
                 : 0.0,
-            static_cast<double>(static_cast<int>(end_reason))};
-        comm_->broadcast(std::span<double>(meta, 2), 0);
+            static_cast<double>(static_cast<int>(end_reason)),
+            current.has_value() ? encode_position(current->start_position)
+                                : -1.0};
+        const std::vector<std::vector<double>> metas =
+            comm_->allgatherv(std::span<const double>(my_meta, 3));
+        std::optional<StopReason> ended;
+        std::size_t cols = 0;
+        std::size_t agreed_start = ChunkSource::kUnknownPosition;
+        for (const auto& slot : metas) {
+          IMRDMD_REQUIRE_DIMS(slot.size() == 3,
+                              "per-rank chunk agreement slot has the wrong "
+                              "length");
+          const std::size_t slot_cols = static_cast<std::size_t>(slot[0]);
+          if (slot_cols == 0) {
+            if (!ended.has_value()) {
+              ended = static_cast<StopReason>(static_cast<int>(slot[1]));
+            }
+            continue;
+          }
+          if (cols != 0 && slot_cols != cols) {
+            throw StreamDesync(
+                "per-rank replica streams produced chunks of different "
+                "widths (" + std::to_string(cols) + " vs " +
+                std::to_string(slot_cols) + ")");
+          }
+          cols = slot_cols;
+          const std::size_t slot_start = decode_position(slot[2]);
+          if (slot_start == ChunkSource::kUnknownPosition) continue;
+          if (agreed_start != ChunkSource::kUnknownPosition &&
+              agreed_start != slot_start) {
+            throw StreamDesync(
+                "per-rank replica streams are at different positions (" +
+                std::to_string(agreed_start) + " vs " +
+                std::to_string(slot_start) + ")");
+          }
+          agreed_start = slot_start;
+        }
+        if (ended.has_value()) {
+          // Every rank computed the same (ended, cols) from the shared
+          // metas, so on a genuine length mismatch ALL ranks throw
+          // together — not just the ones still holding data.
+          if (cols != 0 && *ended != StopReason::Deadline) {
+            throw StreamDesync(
+                "some per-rank replica streams ended while others still "
+                "have data — the replicas are not the same stream");
+          }
+          if (current.has_value()) {
+            // Rank 0 hit the deadline after this rank already pulled;
+            // park the chunk (front — it is the next one) for the next
+            // run so nothing is lost.
+            carry_chunks_.push_front(std::move(*current));
+          }
+          summary.reason = *ended;
+          break;
+        }
+        check_stream_position(agreed_start, cols);
+        snapshot = process_chunk_sliced(
+            current->chunk,
+            stack_.hierarchical() ? assemble_coarse(current->chunk, cols)
+                                  : Mat(),
+            cols);
+      } else {
+        // Chunk handshake: rank 0 announces the next chunk's column count
+        // (0 = no more chunks, with the reason) and its stream position so
+        // peers can size their replica and verify stream continuity before
+        // any data moves.
+        double meta[3] = {
+            root && current.has_value()
+                ? static_cast<double>(current->chunk.cols())
+                : 0.0,
+            static_cast<double>(static_cast<int>(end_reason)),
+            root && current.has_value()
+                ? encode_position(current->start_position)
+                : -1.0};
+        comm_->broadcast(std::span<double>(meta, 3), 0);
         if (meta[0] == 0.0) {
           summary.reason = static_cast<StopReason>(static_cast<int>(meta[1]));
           break;
         }
-        if (!root) {
-          current.emplace(sensors_, static_cast<std::size_t>(meta[0]));
+        const std::size_t cols = static_cast<std::size_t>(meta[0]);
+        check_stream_position(decode_position(meta[2]), cols);
+        if (mode == IngestMode::Scatterv) {
+          // Row-sliced delivery: each rank receives only the rows of the
+          // groups it owns — O(P x T) total wire bytes per chunk instead
+          // of the broadcast's O(P x T x R). The send buffer is packed in
+          // rank-block order (per rank, per owned group, per sensor row),
+          // and every rank derives the identical counts from the shared
+          // ownership map.
+          std::vector<std::size_t> counts(
+              static_cast<std::size_t>(comm_->size()), 0);
+          for (std::size_t r = 0; r < counts.size(); ++r) {
+            const auto range =
+                rank_group_range(groups_.size(), counts.size(), r);
+            for (std::size_t g = range.first; g < range.second; ++g) {
+              counts[r] += groups_[g].size() * cols;
+            }
+          }
+          std::vector<double> send;
+          if (root) {
+            const Mat& chunk = current->chunk;
+            IMRDMD_REQUIRE_DIMS(
+                chunk.rows() == sensors_,
+                "assessor chunk row count differs from the configured "
+                "sensors");
+            send.reserve(static_cast<std::size_t>(sensors_) * cols);
+            for (std::size_t r = 0; r < counts.size(); ++r) {
+              const auto range =
+                  rank_group_range(groups_.size(), counts.size(), r);
+              for (std::size_t g = range.first; g < range.second; ++g) {
+                for (std::size_t sensor : groups_[g]) {
+                  const double* row = chunk.data() + sensor * cols;
+                  send.insert(send.end(), row, row + cols);
+                }
+              }
+            }
+          }
+          const std::vector<double> mine = comm_->scatterv(
+              std::span<const double>(send.data(), send.size()), counts, 0);
+          Mat local_rows(owned_rows_.size(), cols);
+          if (!mine.empty()) {
+            std::copy(mine.begin(), mine.end(), local_rows.data());
+          }
+          snapshot = process_chunk_sliced(
+              local_rows,
+              stack_.hierarchical() ? assemble_coarse(local_rows, cols)
+                                    : Mat(),
+              cols);
+        } else {
+          if (!root) {
+            current = CarriedChunk{ChunkSource::kUnknownPosition,
+                                   Mat(sensors_, cols)};
+          }
+          // Replicate the chunk. A root chunk with the wrong row count
+          // makes the buffer sizes disagree, failing on every rank
+          // together.
+          comm_->broadcast(std::span<double>(current->chunk.data(),
+                                             current->chunk.size()),
+                           0);
+          snapshot = process(current->chunk);
         }
-        // Replicate the chunk. A root chunk with the wrong row count makes
-        // the buffer sizes disagree, failing on every rank together.
-        comm_->broadcast(
-            std::span<double>(current->data(), current->size()), 0);
-      } else if (!current.has_value()) {
-        summary.reason = end_reason;
-        break;
       }
-
-      AssessmentSnapshot snapshot = process(*current);
       const std::size_t chunk_index = snapshot.chunk_index;
       const bool keep_going = deliver(sink, std::move(snapshot), summary);
       // Delivery-before-checkpoint: the sink has seen everything a

@@ -34,12 +34,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "common/timer.hpp"
 #include "core/imrdmd.hpp"
 #include "core/model_stack.hpp"
 #include "core/stream.hpp"
@@ -131,6 +133,48 @@ struct CheckpointPolicy {
   std::size_t every_n = 0;
   /// Target file, atomically replaced on each write.
   std::string path;
+  /// True selects the rank-local delta container ("IMRDFL3"): each process
+  /// appends the raw rows it ingested since the last save to its own
+  /// sidecar part file (<path>.r<rank>.e<epoch>) instead of gathering every
+  /// model's bytes to rank 0, so the save cost is O(rows since last save),
+  /// not O(model history). The engine then journals each processed chunk's
+  /// owned raw rows in memory between saves — bounded by every_n chunks
+  /// when the periodic hook is armed. When delta() is never called
+  /// explicitly, the IMRDMD_CHECKPOINT_DELTA environment variable ("1"/"0")
+  /// supplies the default (mirrors IMRDMD_HIERARCHY_STRIDE, so CI can
+  /// re-run whole suites through the delta writer).
+  bool delta = false;
+  /// True once delta() ran — the environment default then stays inert.
+  bool delta_set = false;
+
+  CheckpointPolicy& with_delta(bool enabled) {
+    delta = enabled;
+    delta_set = true;
+    return *this;
+  }
+};
+
+/// How a distributed run loop moves each chunk from ingestion to the ranks.
+/// Single-process topologies ignore the mode (there is nothing to ship).
+/// Results are bitwise identical across modes — the choice trades wire
+/// bytes only.
+enum class IngestMode {
+  /// Rank 0 pulls the full P x T chunk and broadcasts it whole: every rank
+  /// receives O(P*T) per chunk. Simple, and the only mode that lets
+  /// direct process() calls carry full chunks.
+  Broadcast,
+  /// Rank 0 pulls the full chunk and scatters each rank exactly the rows
+  /// of the groups it owns: a rank receives O(P*T / R) per chunk. In
+  /// hierarchy mode the coarse grid rows ride a small allgathered
+  /// side-slice (O(P*T / stride)) so every rank can replicate the coarse
+  /// update.
+  Scatterv,
+  /// Every rank owns a ChunkSource yielding exactly its owned sensor rows
+  /// (wrap a full stream in RowSliceSource over owned_sensor_rows(), or
+  /// use a natively per-rank source): no chunk payload is shipped at all —
+  /// only the per-chunk width/position agreement collective and, in
+  /// hierarchy mode, the coarse side-slice.
+  PerRank,
 };
 
 /// Ingestion policy of the run loop.
@@ -143,6 +187,18 @@ struct IngestOptions {
   /// invariant across depths — the knob trades memory for burst smoothing
   /// only.
   std::size_t prefetch_depth = 1;
+  /// Chunk delivery of the distributed run loop. When with_mode() is never
+  /// called, the IMRDMD_INGEST_MODE environment variable ("broadcast",
+  /// "scatterv", "per_rank") supplies the default.
+  IngestMode mode = IngestMode::Broadcast;
+  /// True once with_mode() ran — the environment default then stays inert.
+  bool mode_set = false;
+
+  IngestOptions& with_mode(IngestMode delivery) {
+    mode = delivery;
+    mode_set = true;
+    return *this;
+  }
 };
 
 /// Why a run returned.
@@ -391,13 +447,38 @@ class Assessor {
   RunSummary run_until(ChunkSource& source, SnapshotSink& sink,
                        const StopCondition& stop);
 
-  /// Distributed entry point: rank 0 owns `source` (non-null there, null
-  /// elsewhere), pulls chunks through the prefetch queue, and broadcasts
-  /// each chunk to the peers; every rank's sink sees the identical
-  /// snapshot stream. Also accepts the single-process topologies (where
-  /// `source` must be non-null).
+  /// Distributed entry point. Under IngestMode::Broadcast and Scatterv,
+  /// rank 0 owns `source` (non-null there, null elsewhere) and the chunk
+  /// payload is shipped per the mode; under IngestMode::PerRank every rank
+  /// passes its own source, which must yield exactly this rank's owned
+  /// sensor rows (owned_sensor_rows() order — RowSliceSource over a full
+  /// replica does). Every rank's sink sees the identical snapshot stream.
+  /// Each chunk's agreement collective carries the source's stream
+  /// position; a replica whose source has drifted (e.g. a resumed rank
+  /// that was never seek'd) raises StreamDesync on every rank together
+  /// instead of folding divergent data into replicated state. Also accepts
+  /// the single-process topologies (where `source` must be non-null).
   RunSummary run_until(ChunkSource* source, SnapshotSink& sink,
                        const StopCondition& stop);
+
+  /// Elastic growth: appends `new_rows_history.rows()` new sensors to
+  /// global group `group`, mid-stream. The new sensors take the next
+  /// machine indices [sensors(), sensors() + w); `new_rows_history` is
+  /// their raw history, w x snapshots_processed() (the models require
+  /// keep_history and at least one processed chunk). In hierarchy mode the
+  /// replicated coarse model grows on every rank (the new block's coarse
+  /// rows append at the END of the grid; see ModelStack::grow_coarse) and
+  /// the owning rank extends its fine model with the residual history.
+  /// Collective in the distributed topology: every rank passes the same
+  /// arguments (checked through a digest agreement — disagreement fails on
+  /// every rank together). Subsequent chunks must carry the grown width.
+  void add_sensors(std::size_t group, const Mat& new_rows_history);
+
+  /// The machine sensor indices this process owns, concatenated in global
+  /// group order then group-list order — the row layout of the sliced
+  /// ingestion modes, and the row list to hand RowSliceSource for
+  /// IngestMode::PerRank.
+  std::vector<std::size_t> owned_sensor_rows() const;
 
   // --- introspection ----------------------------------------------------
 
@@ -441,19 +522,63 @@ class Assessor {
   /// state, and installs restored state, through this single access point.
   friend struct CheckpointAccess;
 
+  /// A pulled chunk traveling with the stream position it started at
+  /// (kUnknownPosition when the source cannot report one) — what the
+  /// distributed per-chunk agreement verifies across replicas.
+  struct CarriedChunk {
+    std::size_t start_position = ChunkSource::kUnknownPosition;
+    Mat chunk;
+  };
+
   /// Fixes the sensor count, builds/validates the partition and ownership
   /// range, and creates the local group models (kept if already created by
   /// the deferred-monolithic constructor path).
   void finalize_topology(std::size_t sensors);
   ThreadPool& pool() const;
-  /// Runs this process's group updates across the local lanes.
+  /// Runs this process's group updates across the local lanes (the
+  /// cost-balanced lane_groups_ assignment).
   void update_local_groups(const Mat& chunk,
                            std::vector<MagnitudeUpdate>& updates);
+  /// The full-chunk processing path (every single-process call, and the
+  /// distributed Broadcast mode).
+  AssessmentSnapshot process_chunk_full(const Mat& chunk);
+  /// The row-sliced processing path (Scatterv/PerRank): `local_rows` is
+  /// this rank's owned raw rows (owned_sensor_rows() order) and
+  /// `coarse_chunk` the assembled coarse grid rows (empty in flat mode).
+  AssessmentSnapshot process_chunk_sliced(const Mat& local_rows,
+                                          const Mat& coarse_chunk,
+                                          std::size_t cols);
+  /// The shared tail of both paths: merge the per-group updates in
+  /// deterministic group order (allgatherv in the distributed topology),
+  /// run the replicated z-score stage, fold the lane cost model, capture
+  /// the delta journal record (`raw_rows`: the owned raw rows; empty when
+  /// the journal is disarmed), and advance the counters. `timer` is the
+  /// caller's running fit timer (fit_seconds spans fit + merge).
+  AssessmentSnapshot merge_and_score(std::vector<MagnitudeUpdate>& updates,
+                                     CoarseUpdate&& coarse, const Mat& raw_rows,
+                                     std::size_t cols, WallTimer timer);
+  /// Rebuilds owned_rows_ / group_of_sensor_ / local_row_of_sensor_ from
+  /// the current partition and ownership range.
+  void rebuild_owned_maps();
+  /// Verifies a chunk's agreed start position against the replicated
+  /// expected stream position (StreamDesync on mismatch — deterministic,
+  /// so every rank throws together) and advances the expectation.
+  void check_stream_position(std::size_t start, std::size_t cols);
+  /// Assembles the full coarse grid rows from each rank's owned slice
+  /// (one allgatherv; grid row order, bitwise what update_coarse would
+  /// subsample from the full chunk).
+  Mat assemble_coarse(const Mat& local_rows, std::size_t cols);
+  /// Recomputes the cost-balanced lane assignment (LPT greedy over
+  /// width x observed-update-time EWMA; width alone before the first
+  /// chunk). Deterministic given the cost vector; outputs are bitwise
+  /// invariant under ANY assignment, so rebalancing never changes results.
+  void rebalance_lanes();
   /// Delivers one snapshot to the sink, parking it for redelivery if the
   /// sink throws. Returns the sink's keep-going verdict.
   bool deliver(SnapshotSink& sink, AssessmentSnapshot&& snapshot,
                RunSummary& summary);
-  /// The periodic checkpoint hook (dispatches on topology).
+  /// The periodic checkpoint hook (dispatches on topology), followed by a
+  /// lane rebalance at the same boundary.
   void maybe_checkpoint(SnapshotSink& sink, std::size_t chunk_index);
 
   AssessorConfig config_;
@@ -468,9 +593,51 @@ class Assessor {
   std::size_t lanes_ = 1;
   /// True for the trivial partition {0..P-1}: chunks bypass the row gather.
   bool identity_partition_ = false;
+  /// Owned machine sensor indices, group order then group-list order — the
+  /// row layout of the sliced ingestion modes and the delta journal.
+  std::vector<std::size_t> owned_rows_;
+  /// Machine sensor index -> owning global group (replicated).
+  std::vector<std::size_t> group_of_sensor_;
+  /// Machine sensor index -> row offset inside this rank's owned slice
+  /// (npos when not owned).
+  std::vector<std::size_t> local_row_of_sensor_;
+  /// Cost-balanced lane assignment: lane_groups_[lane] lists the LOCAL
+  /// group indices that lane updates, ascending. Recomputed at checkpoint
+  /// boundaries from group_cost_ewma_; results are bitwise invariant under
+  /// any assignment (merge order is global group order regardless).
+  std::vector<std::vector<std::size_t>> lane_groups_;
+  /// Per-local-group EWMA of the observed model-update seconds (0 until
+  /// the first chunk; the initial assignment then balances width alone).
+  std::vector<double> group_cost_ewma_;
+  /// The replicated expected stream position of the next chunk
+  /// (kUnknownPosition until a position is first observed or a resume sets
+  /// it); the distributed per-chunk agreement raises StreamDesync when a
+  /// chunk's agreed start disagrees.
+  std::size_t stream_expect_ = ChunkSource::kUnknownPosition;
   /// Chunks the prefetch queue consumed before a failure or early stop;
   /// the next run consumes them, in order, before advancing the source.
-  std::deque<Mat> carry_chunks_;
+  std::deque<CarriedChunk> carry_chunks_;
+  // --- delta-checkpoint journal (CheckpointPolicy::delta; bookkeeping is
+  // mutable because the container writer folds it under a const engine) ---
+  /// Owned raw rows of each chunk processed since the last delta save.
+  mutable std::vector<Mat> delta_pending_;
+  /// True once this engine wrote its base record into the current epoch's
+  /// part file; saves then append the pending records instead.
+  mutable bool delta_base_written_ = false;
+  /// Forces the next delta save to rewrite the base (set by add_sensors:
+  /// the row layout changed, so pending records cannot extend the old
+  /// base).
+  mutable bool delta_force_compact_ = false;
+  /// chunks_processed_/snapshots_seen_ at the moment the base was written.
+  mutable std::size_t delta_base_chunks_ = 0;
+  mutable std::size_t delta_base_position_ = 0;
+  /// Epoch id (chunks_processed_ at base write) naming the part files.
+  mutable std::size_t delta_epoch_ = 0;
+  /// Bytes written to this rank's part file so far, and the running
+  /// FNV-1a64 digest over them — recorded in the main file so a torn
+  /// append is truncated away on load.
+  mutable std::uint64_t delta_part_bytes_ = 0;
+  mutable std::uint64_t delta_part_digest_ = 0;
   /// Snapshots whose sink delivery threw; delivered first (front to back)
   /// by the next run — the models have already folded those chunks in, so
   /// the results cannot be regenerated.

@@ -71,6 +71,30 @@ const IncrementalMrdmd& ModelStack::coarse() const {
   return *coarse_;
 }
 
+Mat ModelStack::fit_coarse(const Mat& coarse_chunk, CoarseUpdate& update) {
+  std::size_t window_begin = 0;
+  if (!coarse_->fitted()) {
+    coarse_->initial_fit(coarse_chunk);
+  } else {
+    window_begin = coarse_->time_steps();
+    update.report = coarse_->partial_fit(coarse_chunk);
+  }
+  // The coarse level's best estimate of this chunk's window (all levels,
+  // unfiltered); the fine models see only what it could not explain.
+  return coarse_->reconstruct(window_begin, coarse_->time_steps());
+}
+
+void ModelStack::subtract_interpolated(std::size_t sensor, const double* raw,
+                                       const Mat& recon, double* out,
+                                       std::size_t cols) const {
+  const Interp& ip = interp_[sensor];
+  const double* lo = recon.data() + ip.lo * cols;
+  const double* hi = recon.data() + ip.hi * cols;
+  for (std::size_t t = 0; t < cols; ++t) {
+    out[t] = raw[t] - ((1.0 - ip.w) * lo[t] + ip.w * hi[t]);
+  }
+}
+
 CoarseUpdate ModelStack::update_coarse(const Mat& chunk,
                                        const dmd::ModeBand& band,
                                        Mat& residual) {
@@ -88,28 +112,12 @@ CoarseUpdate ModelStack::update_coarse(const Mat& chunk,
 
   CoarseUpdate update;
   WallTimer timer;
-  std::size_t window_begin = 0;
-  if (!coarse_->fitted()) {
-    coarse_->initial_fit(coarse_chunk);
-  } else {
-    window_begin = coarse_->time_steps();
-    update.report = coarse_->partial_fit(coarse_chunk);
-  }
-  // The coarse level's best estimate of this chunk's window (all levels,
-  // unfiltered); the fine models see only what it could not explain.
-  const Mat recon =
-      coarse_->reconstruct(window_begin, coarse_->time_steps());
+  const Mat recon = fit_coarse(coarse_chunk, update);
 
   residual = Mat(chunk.rows(), cols);
   for (std::size_t p = 0; p < interp_.size(); ++p) {
-    const Interp& ip = interp_[p];
-    const double* raw = chunk.data() + p * cols;
-    const double* lo = recon.data() + ip.lo * cols;
-    const double* hi = recon.data() + ip.hi * cols;
-    double* out = residual.data() + p * cols;
-    for (std::size_t t = 0; t < cols; ++t) {
-      out[t] = raw[t] - ((1.0 - ip.w) * lo[t] + ip.w * hi[t]);
-    }
+    subtract_interpolated(p, chunk.data() + p * cols, recon,
+                          residual.data() + p * cols, cols);
   }
   update.fit_seconds = timer.seconds();
 
@@ -121,6 +129,105 @@ CoarseUpdate ModelStack::update_coarse(const Mat& chunk,
         (1.0 - ip.w) * coarse_mags[ip.lo] + ip.w * coarse_mags[ip.hi];
   }
   return update;
+}
+
+CoarseUpdate ModelStack::update_coarse_sliced(
+    const Mat& coarse_chunk, const dmd::ModeBand& band,
+    const std::vector<std::size_t>& sensors, const Mat& raw_rows,
+    Mat& residual_rows) {
+  IMRDMD_REQUIRE_ARG(coarse_ != nullptr,
+                     "update_coarse_sliced on a flat stack");
+  IMRDMD_REQUIRE_DIMS(coarse_chunk.rows() == rows_.size(),
+                      "coarse chunk row count differs from the grid");
+  IMRDMD_REQUIRE_DIMS(raw_rows.rows() == sensors.size() &&
+                          raw_rows.cols() == coarse_chunk.cols(),
+                      "sliced raw rows disagree with the sensor list");
+  const std::size_t cols = coarse_chunk.cols();
+
+  CoarseUpdate update;
+  WallTimer timer;
+  const Mat recon = fit_coarse(coarse_chunk, update);
+
+  residual_rows = Mat(sensors.size(), cols);
+  for (std::size_t i = 0; i < sensors.size(); ++i) {
+    IMRDMD_REQUIRE_ARG(sensors[i] < interp_.size(),
+                       "sliced sensor index out of the hierarchy's range");
+    subtract_interpolated(sensors[i], raw_rows.data() + i * cols, recon,
+                          residual_rows.data() + i * cols, cols);
+  }
+  update.fit_seconds = timer.seconds();
+
+  const std::vector<double> coarse_mags = coarse_->magnitudes(&band);
+  update.magnitudes.resize(interp_.size());
+  for (std::size_t p = 0; p < interp_.size(); ++p) {
+    const Interp& ip = interp_[p];
+    update.magnitudes[p] =
+        (1.0 - ip.w) * coarse_mags[ip.lo] + ip.w * coarse_mags[ip.hi];
+  }
+  return update;
+}
+
+Mat ModelStack::grow_coarse(const std::vector<std::size_t>& new_sensors,
+                            std::size_t new_sensor_total,
+                            const Mat& new_rows_history) {
+  IMRDMD_REQUIRE_ARG(coarse_ != nullptr, "grow_coarse on a flat stack");
+  IMRDMD_REQUIRE_ARG(!new_sensors.empty(), "grow_coarse needs new sensors");
+  IMRDMD_REQUIRE_DIMS(new_rows_history.rows() == new_sensors.size() &&
+                          new_rows_history.cols() == coarse_->time_steps(),
+                      "new-sensor history shape disagrees with the coarse "
+                      "model");
+  IMRDMD_REQUIRE_ARG(new_sensor_total >= interp_.size() + new_sensors.size(),
+                     "grow_coarse sensor total smaller than the grown grid");
+  const std::size_t cols = new_rows_history.cols();
+
+  // The appended block's coarse rows: every stride-th of the new list (the
+  // block always contributes its first sensor), added at the END of the
+  // grid so existing coarse rows — and the replicated coarse model's row
+  // order — never shift.
+  const std::size_t base = rows_.size();
+  Mat coarse_history((new_sensors.size() + stride_ - 1) / stride_, cols);
+  std::size_t appended = 0;
+  for (std::size_t j = 0; j < new_sensors.size(); j += stride_) {
+    rows_.push_back(new_sensors[j]);
+    const double* src = new_rows_history.data() + j * cols;
+    std::copy(src, src + cols, coarse_history.data() + appended * cols);
+    ++appended;
+  }
+  canonical_grid_ = false;
+
+  // Self-contained interpolation map for the block (existing sensors keep
+  // their frozen map): the same per-position rule enable_coarse applies to
+  // a group, clamped at the block's tail.
+  interp_.resize(new_sensor_total, Interp{});
+  const std::size_t block_rows = appended;
+  for (std::size_t j = 0; j < new_sensors.size(); ++j) {
+    const std::size_t slot = j / stride_;
+    Interp ip;
+    ip.lo = base + slot;
+    if (j % stride_ == 0 || slot + 1 >= block_rows) {
+      ip.hi = ip.lo;
+      ip.w = 0.0;
+    } else {
+      ip.hi = ip.lo + 1;
+      ip.w = static_cast<double>(j - slot * stride_) /
+             static_cast<double>(stride_);
+    }
+    interp_[new_sensors[j]] = ip;
+  }
+
+  // Grow the replicated coarse model, then hand back the new sensors'
+  // residual history against it — computed with today's coarse
+  // reconstruction (the pre-growth chunks' residuals were computed against
+  // the evolving historical coarse states; an elastic join can only use
+  // the model as it stands).
+  coarse_->add_sensors(coarse_history);
+  const Mat recon = coarse_->reconstruct(0, coarse_->time_steps());
+  Mat residual_history(new_sensors.size(), cols);
+  for (std::size_t j = 0; j < new_sensors.size(); ++j) {
+    subtract_interpolated(new_sensors[j], new_rows_history.data() + j * cols,
+                          recon, residual_history.data() + j * cols, cols);
+  }
+  return residual_history;
 }
 
 }  // namespace imrdmd::core

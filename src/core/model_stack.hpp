@@ -87,6 +87,42 @@ class ModelStack {
   CoarseUpdate update_coarse(const Mat& chunk, const dmd::ModeBand& band,
                              Mat& residual);
 
+  /// Row-sliced variant for the scatterv/per-rank ingestion modes, where no
+  /// replica holds the full chunk: `coarse_chunk` is the pre-assembled
+  /// coarse grid rows (coarse row order — byte-identical to what
+  /// update_coarse would subsample), `sensors`/`raw_rows` are the machine
+  /// indices and raw values of the rows this replica owns, and
+  /// `residual_rows` receives their residual. The coarse fit, the
+  /// per-sensor residual arithmetic, and the interpolated magnitudes are
+  /// the same operations as update_coarse, so a sliced replica stays
+  /// bitwise identical to a full-chunk one.
+  CoarseUpdate update_coarse_sliced(const Mat& coarse_chunk,
+                                    const dmd::ModeBand& band,
+                                    const std::vector<std::size_t>& sensors,
+                                    const Mat& raw_rows, Mat& residual_rows);
+
+  /// Elastic growth: extends the coarse level for `new_sensors` (machine
+  /// indices, appended to one group by the engine) whose raw history is
+  /// `new_rows_history` (|new_sensors| x coarse time_steps). The appended
+  /// block's coarse rows (every stride-th of the list) are added at the END
+  /// of the grid — the grid is no longer the pure coarse_grid(groups,
+  /// stride) function afterwards (coarse_grid_canonical() turns false, and
+  /// checkpoints must carry the explicit grid) — and the block's
+  /// interpolation map is self-contained (existing sensors keep their
+  /// frozen map; the block clamps at its own tail, like a group does).
+  /// Returns the new sensors' RESIDUAL history against the grown coarse
+  /// model — what a fine model extends with. `new_sensor_total` is the
+  /// machine sensor count after the growth.
+  Mat grow_coarse(const std::vector<std::size_t>& new_sensors,
+                  std::size_t new_sensor_total, const Mat& new_rows_history);
+
+  /// True while the grid is still the pure coarse_grid(groups, stride)
+  /// function of the engine's partition — i.e. no elastic growth happened.
+  /// The IMRDFL1/IMRDFL2 containers re-derive the grid on load, so only a
+  /// canonical stack may write them; a grown stack needs IMRDFL3's
+  /// explicit grid.
+  bool coarse_grid_canonical() const { return canonical_grid_; }
+
   /// The deterministic coarse grid for (groups, stride): for each group in
   /// order, sensors at positions 0, stride, 2*stride, ... of the group's
   /// list. Pure function — checkpoint loads re-derive it to validate a
@@ -108,9 +144,20 @@ class ModelStack {
     double w = 0.0;
   };
 
+  /// Fits `coarse_chunk` into the coarse model and returns the
+  /// reconstruction of the chunk's own window — the shared head of
+  /// update_coarse and update_coarse_sliced.
+  Mat fit_coarse(const Mat& coarse_chunk, CoarseUpdate& update);
+  /// Residual of one sensor's raw row against the interpolated coarse
+  /// reconstruction — the shared per-row arithmetic of both variants.
+  void subtract_interpolated(std::size_t sensor, const double* raw,
+                             const Mat& recon, double* out,
+                             std::size_t cols) const;
+
   std::size_t stride_ = 0;
   std::vector<std::size_t> rows_;
   std::vector<Interp> interp_;
+  bool canonical_grid_ = true;
   std::unique_ptr<IncrementalMrdmd> coarse_;
   std::vector<std::unique_ptr<IncrementalMrdmd>> fine_;
 };

@@ -34,4 +34,24 @@ void MatrixChunkSource::seek(std::size_t snapshot) {
   position_ = snapshot;
 }
 
+RowSliceSource::RowSliceSource(ChunkSource& inner,
+                               std::vector<std::size_t> rows)
+    : inner_(inner), rows_(std::move(rows)) {
+  for (const std::size_t row : rows_) {
+    IMRDMD_REQUIRE_ARG(row < inner_.sensors(),
+                       "row slice index out of the inner source's range");
+  }
+}
+
+std::optional<Mat> RowSliceSource::next_chunk() {
+  std::optional<Mat> full = inner_.next_chunk();
+  if (!full.has_value()) return std::nullopt;
+  Mat out(rows_.size(), full->cols());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const double* src = full->data() + rows_[i] * full->cols();
+    std::copy(src, src + full->cols(), out.data() + i * full->cols());
+  }
+  return out;
+}
+
 }  // namespace imrdmd::core

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <vector>
 
 #include "linalg/matrix.hpp"
 
@@ -61,6 +62,31 @@ class MatrixChunkSource final : public ChunkSource {
   std::size_t initial_;
   std::size_t chunk_;
   std::size_t position_ = 0;
+};
+
+/// Row-slicing adapter over another source: yields only the listed rows
+/// (in list order) of every chunk `inner` produces. This is the per-rank
+/// ingestion adapter of the distributed Assessor (IngestMode::PerRank) —
+/// each rank wraps its own replica of the full stream in the rows it owns
+/// (Assessor::owned_sensor_rows), so no rank ever materializes rows it
+/// will not fit. `inner` is borrowed and must outlive the source;
+/// position()/seek() forward to it, so the adapter is exactly as resumable
+/// as the stream it slices.
+class RowSliceSource final : public ChunkSource {
+ public:
+  /// `rows` lists machine sensor indices (duplicates allowed, order kept);
+  /// every index must be < inner.sensors().
+  RowSliceSource(ChunkSource& inner, std::vector<std::size_t> rows);
+
+  std::optional<Mat> next_chunk() override;
+  std::size_t sensors() const override { return rows_.size(); }
+
+  std::size_t position() const override { return inner_.position(); }
+  void seek(std::size_t snapshot) override { inner_.seek(snapshot); }
+
+ private:
+  ChunkSource& inner_;
+  std::vector<std::size_t> rows_;
 };
 
 }  // namespace imrdmd::core

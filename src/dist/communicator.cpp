@@ -65,6 +65,54 @@ void Communicator::broadcast(std::span<double> buffer, int root) {
     const auto& src = slots[static_cast<std::size_t>(root)];
     std::copy(src.begin(), src.end(), buffer.begin());
   });
+  if (rank_ != root) wire_bytes_ += buffer.size() * sizeof(double);
+}
+
+std::vector<double> Communicator::scatterv(std::span<const double> send,
+                                           const std::vector<std::size_t>& counts,
+                                           int root) {
+  IMRDMD_REQUIRE_ARG(root >= 0 && root < size(), "scatterv root out of range");
+  IMRDMD_REQUIRE_ARG(counts.size() == static_cast<std::size_t>(size()),
+                     "scatterv counts must have one entry per rank");
+  std::size_t total = 0;
+  for (const std::size_t c : counts) total += c;
+  // Slot layout: [counts as doubles..., payload (root only)]. Depositing
+  // the counts from every rank lets the combine validate the agreement
+  // collectively — a desynced rank makes all ranks throw together instead
+  // of one rank misparsing the root's payload.
+  std::vector<double> deposit;
+  deposit.reserve(counts.size() +
+                  (rank_ == root ? send.size() : std::size_t{0}));
+  for (const std::size_t c : counts) {
+    deposit.push_back(static_cast<double>(c));
+  }
+  if (rank_ == root) {
+    IMRDMD_REQUIRE_DIMS(send.size() == total,
+                        "scatterv send buffer does not match counts");
+    deposit.insert(deposit.end(), send.begin(), send.end());
+  }
+  std::vector<double> mine;
+  exchange(deposit, [&](const std::vector<std::vector<double>>& slots) {
+    for (int r = 0; r < size(); ++r) {
+      const auto& slot = slots[static_cast<std::size_t>(r)];
+      const std::size_t expected =
+          counts.size() + (r == root ? total : std::size_t{0});
+      IMRDMD_REQUIRE_DIMS(slot.size() == expected,
+                          "scatterv slot sizes disagree across ranks");
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        IMRDMD_REQUIRE_DIMS(slot[i] == static_cast<double>(counts[i]),
+                            "scatterv counts disagree across ranks");
+      }
+    }
+    const auto& src = slots[static_cast<std::size_t>(root)];
+    std::size_t offset = counts.size();
+    for (int r = 0; r < rank_; ++r) offset += counts[static_cast<std::size_t>(r)];
+    const std::size_t count = counts[static_cast<std::size_t>(rank_)];
+    mine.assign(src.begin() + static_cast<std::ptrdiff_t>(offset),
+                src.begin() + static_cast<std::ptrdiff_t>(offset + count));
+  });
+  if (rank_ != root) wire_bytes_ += mine.size() * sizeof(double);
+  return mine;
 }
 
 void Communicator::allreduce_sum(std::span<double> buffer) {
@@ -76,6 +124,28 @@ void Communicator::allreduce_sum(std::span<double> buffer) {
       for (std::size_t i = 0; i < buffer.size(); ++i) buffer[i] += slot[i];
     }
   });
+  wire_bytes_ += static_cast<std::uint64_t>(size() - 1) * buffer.size() *
+                 sizeof(double);
+}
+
+void Communicator::reduce_sum(std::span<double> buffer, int root) {
+  IMRDMD_REQUIRE_ARG(root >= 0 && root < size(),
+                     "reduce_sum root out of range");
+  exchange(buffer, [&](const std::vector<std::vector<double>>& slots) {
+    for (const auto& slot : slots) {
+      IMRDMD_REQUIRE_DIMS(slot.size() == buffer.size(),
+                          "reduce_sum buffer sizes disagree across ranks");
+    }
+    if (rank_ != root) return;
+    std::fill(buffer.begin(), buffer.end(), 0.0);
+    for (const auto& slot : slots) {  // rank order: matches allreduce_sum
+      for (std::size_t i = 0; i < buffer.size(); ++i) buffer[i] += slot[i];
+    }
+  });
+  if (rank_ == root) {
+    wire_bytes_ += static_cast<std::uint64_t>(size() - 1) * buffer.size() *
+                   sizeof(double);
+  }
 }
 
 double Communicator::allreduce_min(double value) {
@@ -85,6 +155,7 @@ double Communicator::allreduce_min(double value) {
                value = std::min(value, slot.at(0));
              }
            });
+  wire_bytes_ += static_cast<std::uint64_t>(size() - 1) * sizeof(double);
   return value;
 }
 
@@ -95,6 +166,7 @@ double Communicator::allreduce_max(double value) {
                value = std::max(value, slot.at(0));
              }
            });
+  wire_bytes_ += static_cast<std::uint64_t>(size() - 1) * sizeof(double);
   return value;
 }
 
@@ -108,6 +180,7 @@ std::vector<double> Communicator::allgather(std::span<const double> local) {
       all.insert(all.end(), slot.begin(), slot.end());
     }
   });
+  wire_bytes_ += (all.size() - local.size()) * sizeof(double);
   return all;
 }
 
@@ -117,6 +190,10 @@ std::vector<std::vector<double>> Communicator::allgatherv(
   exchange(local, [&](const std::vector<std::vector<double>>& slots) {
     all = slots;  // copy inside the barriers: slots are reused afterwards
   });
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    wire_bytes_ += all[static_cast<std::size_t>(r)].size() * sizeof(double);
+  }
   return all;
 }
 
@@ -127,6 +204,10 @@ std::vector<std::vector<double>> Communicator::gatherv(
   exchange(local, [&](const std::vector<std::vector<double>>& slots) {
     if (rank_ == root) all = slots;
   });
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_ || rank_ != root) continue;
+    wire_bytes_ += all[static_cast<std::size_t>(r)].size() * sizeof(double);
+  }
   return all;
 }
 
@@ -143,6 +224,9 @@ std::vector<double> Communicator::gather(std::span<const double> local,
       all.insert(all.end(), slot.begin(), slot.end());
     }
   });
+  if (rank_ == root && all.size() >= local.size()) {
+    wire_bytes_ += (all.size() - local.size()) * sizeof(double);
+  }
   return all;
 }
 

@@ -20,6 +20,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <span>
@@ -86,6 +87,31 @@ class Communicator {
   std::vector<std::vector<double>> gatherv(std::span<const double> local,
                                            int root);
 
+  /// Ragged scatter: `root` supplies `send` as the rank-order concatenation
+  /// of per-rank slices whose lengths are `counts` (counts.size() == world
+  /// size, sum(counts) == send.size() at root; `send` is ignored
+  /// elsewhere). Every rank passes the same `counts` — the agreement is
+  /// validated collectively so a desynced rank makes all ranks throw
+  /// together — and receives its own slice. This is the O(P·T) ingestion
+  /// primitive: each rank's wire cost is its slice, not the whole buffer.
+  std::vector<double> scatterv(std::span<const double> send,
+                               const std::vector<std::size_t>& counts,
+                               int root);
+
+  /// Element-wise sum over ranks delivered to `root` only (other ranks'
+  /// buffers are left untouched). Contributions are added in rank order,
+  /// so the root's result is bitwise identical to allreduce_sum's.
+  void reduce_sum(std::span<double> buffer, int root);
+
+  /// Bytes this rank has *received* from remote ranks across all
+  /// collectives since construction (or the last reset). Models the wire
+  /// cost an MPI backend would pay: broadcast charges non-roots the full
+  /// buffer, scatterv charges non-roots only their slice, gathers charge
+  /// the root the sum of remote contributions, allgathers charge everyone
+  /// the sum of remote contributions. Barriers are free.
+  std::uint64_t wire_bytes() const { return wire_bytes_; }
+  void reset_wire_bytes() { wire_bytes_ = 0; }
+
  private:
   friend class World;
   Communicator(World& world, int rank) : world_(&world), rank_(rank) {}
@@ -98,6 +124,7 @@ class Communicator {
 
   World* world_;
   int rank_;
+  std::uint64_t wire_bytes_ = 0;
 };
 
 /// Owns the shared collective state for `ranks` SPMD participants.

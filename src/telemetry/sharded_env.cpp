@@ -19,7 +19,8 @@ std::vector<std::vector<std::size_t>> rack_groups(const MachineSpec& spec) {
 
 ShardedEnvSource::ShardedEnvSource(const SensorModel& model,
                                    ShardedEnvOptions options)
-    : model_(model), stream_(model, options.stream) {
+    : model_(model), stream_options_(options.stream),
+      stream_(model, options.stream) {
   IMRDMD_REQUIRE_ARG(options.stream.sensor_subset.empty(),
                      "ShardedEnvSource streams the whole machine; restrict "
                      "sensors through the groups instead");
@@ -34,6 +35,20 @@ std::optional<Mat> ShardedEnvSource::next_chunk() {
 }
 
 std::size_t ShardedEnvSource::sensors() const { return model_.sensors(); }
+
+EnvLogStream ShardedEnvSource::rank_source(std::size_t ranks,
+                                           std::size_t rank) const {
+  IMRDMD_REQUIRE_ARG(ranks > 0 && rank < ranks,
+                     "rank_source rank out of range");
+  const auto [g0, g1] = core::rank_group_range(groups_.size(), ranks, rank);
+  EnvStreamOptions options = stream_options_;
+  options.sensor_subset.clear();
+  for (std::size_t g = g0; g < g1; ++g) {
+    options.sensor_subset.insert(options.sensor_subset.end(),
+                                 groups_[g].begin(), groups_[g].end());
+  }
+  return EnvLogStream(model_, std::move(options));
+}
 
 Mat ShardedEnvSource::group_window(std::size_t g, std::size_t t0,
                                    std::size_t count) const {

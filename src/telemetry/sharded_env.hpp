@@ -62,12 +62,22 @@ class ShardedEnvSource final : public core::ChunkSource {
   /// from the sensor model without materializing the full machine window.
   Mat group_window(std::size_t g, std::size_t t0, std::size_t count) const;
 
+  /// Per-rank ingestion source (core::IngestMode::PerRank): a seekable
+  /// EnvLogStream restricted to exactly the sensor rows rank `rank` of
+  /// `ranks` owns under the engine's contiguous ownership rule
+  /// (core::rank_group_range over groups(), rows in owned_sensor_rows()
+  /// order), generated straight from the sensor model — no process ever
+  /// materializes rows it will not fit. Same chunking/horizon as this
+  /// source, so the replicas advance in lockstep.
+  EnvLogStream rank_source(std::size_t ranks, std::size_t rank) const;
+
   std::size_t position() const override { return stream_.position(); }
   void seek(std::size_t snapshot) override { stream_.seek(snapshot); }
 
  private:
   const SensorModel& model_;
   std::vector<std::vector<std::size_t>> groups_;
+  EnvStreamOptions stream_options_;
   EnvLogStream stream_;
 };
 

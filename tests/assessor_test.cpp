@@ -489,6 +489,11 @@ TEST(DistributedAssessor, PeriodicCheckpointHookWritesPortableBytes) {
   // The engine's own periodic hook, driven through the distributed
   // topology, writes the same container the single-process hook writes —
   // and a single-process engine resumes it bitwise.
+  //
+  // Byte-identity across rank counts is a claim about the *full*
+  // containers, so delta is pinned off here (the IMRDFL3 manifest names
+  // one rank-local part per writer by design; its portability claim —
+  // resume at any rank count — is covered by the FL3 fleet tests).
   const Mat data = assessor_data();
   const auto groups = core::contiguous_groups(data.rows(), 3);
   const std::string dist_path = ::testing::TempDir() + "/dist_assessor.ckpt";
@@ -499,7 +504,7 @@ TEST(DistributedAssessor, PeriodicCheckpointHookWritesPortableBytes) {
   single.pipeline(assessor_pipeline_options())
       .sharded(groups)
       .sensors(data.rows())
-      .checkpoint({1, single_path});
+      .checkpoint(core::CheckpointPolicy{1, single_path}.with_delta(false));
   Assessor single_engine(single);
   MatChunkSource single_source(data, 256, 64);
   CollectingSink single_sink;
@@ -514,7 +519,7 @@ TEST(DistributedAssessor, PeriodicCheckpointHookWritesPortableBytes) {
         .sharded(groups, 1)
         .sensors(data.rows())
         .distributed(comm)
-        .checkpoint({1, dist_path});
+        .checkpoint(core::CheckpointPolicy{1, dist_path}.with_delta(false));
     Assessor assessor(config);
     std::optional<MatChunkSource> source;
     if (comm.rank() == 0) source.emplace(data, 256, 64);

@@ -6,8 +6,11 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "chunk_source_conformance.hpp"
+#include "core/assessor.hpp"
 #include "core/stream.hpp"
 #include "telemetry/env_stream.hpp"
 #include "telemetry/sharded_env.hpp"
@@ -94,12 +97,83 @@ struct ShardedEnvTraits {
   static core::ChunkSource& source(Fixture& f) { return f.source; }
 };
 
+// --- RowSliceSource: the PerRank ingestion adapter ----------------------
+
+struct RowSliceFixture {
+  linalg::Mat data;
+  core::MatrixChunkSource inner;
+  core::RowSliceSource source;
+  RowSliceFixture()
+      : data([] {
+          Rng rng(47);
+          return planted_multiscale(8, 112, 0.02, rng);
+        }()),
+        inner(data, 48, 32),
+        // Out-of-order, non-contiguous rows: the adapter must keep list
+        // order, exactly as owned_sensor_rows() hands it a rank's rows.
+        source(inner, {5, 1, 6, 2}) {}
+};
+
+struct RowSliceTraits {
+  using Fixture = RowSliceFixture;
+  static constexpr std::size_t kTotalSnapshots = 112;
+  static std::unique_ptr<Fixture> make() {
+    return std::make_unique<Fixture>();
+  }
+  static core::ChunkSource& source(Fixture& f) { return f.source; }
+};
+
 INSTANTIATE_TYPED_TEST_SUITE_P(MatrixSource, ChunkSourceConformance,
                                ::testing::Types<MatrixSourceTraits>);
 INSTANTIATE_TYPED_TEST_SUITE_P(EnvLogStream, ChunkSourceConformance,
                                ::testing::Types<EnvStreamTraits>);
 INSTANTIATE_TYPED_TEST_SUITE_P(ShardedEnvSource, ChunkSourceConformance,
                                ::testing::Types<ShardedEnvTraits>);
+INSTANTIATE_TYPED_TEST_SUITE_P(RowSliceSource, ChunkSourceConformance,
+                               ::testing::Types<RowSliceTraits>);
+
+// The per-rank sources a fleet run would hand to IngestMode::PerRank:
+// ShardedEnvSource::rank_source(R, r) rows, concatenated across ranks in
+// rank order, reproduce the whole-machine stream row-for-row.
+TEST(RankSource, SlicesCoverTheMachineInOwnershipOrder) {
+  telemetry::MachineSpec spec = telemetry::MachineSpec::testbed();
+  telemetry::SensorModel model(spec);
+  telemetry::ShardedEnvOptions options = ShardedEnvFixture::options();
+  telemetry::ShardedEnvSource whole(model, options);
+  const std::size_t ranks = 3;
+
+  std::vector<telemetry::EnvLogStream> parts;
+  std::size_t covered = 0;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    parts.push_back(whole.rank_source(ranks, r));
+    covered += parts.back().sensors();
+  }
+  ASSERT_EQ(covered, whole.sensors());
+
+  while (true) {
+    std::optional<core::Mat> full = whole.next_chunk();
+    for (auto& part : parts) {
+      std::optional<core::Mat> slice = part.next_chunk();
+      ASSERT_EQ(slice.has_value(), full.has_value());
+      if (!full) continue;
+      ASSERT_EQ(slice->cols(), full->cols());
+      // Slice rows are the owned groups' machine rows, in group order.
+      std::size_t i = 0;
+      const auto [b, e] = core::rank_group_range(
+          whole.groups().size(), ranks, std::size_t(&part - parts.data()));
+      for (std::size_t g = b; g < e; ++g) {
+        for (const std::size_t sensor : whole.groups()[g]) {
+          for (std::size_t t = 0; t < full->cols(); ++t) {
+            ASSERT_EQ((*slice)(i, t), (*full)(sensor, t));
+          }
+          ++i;
+        }
+      }
+      ASSERT_EQ(i, slice->rows());
+    }
+    if (!full) break;
+  }
+}
 
 }  // namespace
 }  // namespace imrdmd::testing
