@@ -1,0 +1,220 @@
+// Serving-layer bench: multi-tenant throughput of AssessorService as the
+// tenant count grows over one shared worker pool.
+//
+// Workload: N identical-shape (distinct-seed) synthetic facility streams,
+// each its own tenant with the default lossless AsyncSink in the delivery
+// chain, all started together and drained. Reports wall seconds and
+// aggregate snapshot-columns/s for the concurrent service run against the
+// sum of the same configs run solo, so the curve shows how much of the
+// multi-tenant wall time the shared pool hides. Gates (exit status): every
+// tenant's streamed snapshots are bitwise identical to its solo run, and
+// the shared registry saw every chunk. Emits BENCH_serve.json.
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "common/timer.hpp"
+#include "core/assessor.hpp"
+#include "serve/service.hpp"
+
+using namespace imrdmd;
+
+namespace {
+
+linalg::Mat make_tenant_stream(std::size_t sensors, std::size_t cols,
+                               std::uint64_t seed) {
+  linalg::Mat data(sensors, cols);
+  std::uint64_t state = seed * 0x9e3779b97f4a7c15ull + 1;
+  auto noise = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<double>(state >> 11) / 9007199254740992.0 - 0.5;
+  };
+  for (std::size_t p = 0; p < sensors; ++p) {
+    const double phase = 0.13 * static_cast<double>(p);
+    for (std::size_t t = 0; t < cols; ++t) {
+      const double x = static_cast<double>(t) / 192.0;
+      double value = 48.0 + 4.0 * std::sin(2.0 * M_PI * 0.35 * x + phase);
+      value += 1.2 * std::sin(2.0 * M_PI * 5.0 * x + 2.0 * phase);
+      value += 0.3 * noise();
+      data(p, t) = value;
+    }
+  }
+  return data;
+}
+
+struct TenantPoint {
+  std::size_t tenants = 0;
+  double service_seconds = 0.0;
+  double solo_seconds = 0.0;
+  double service_columns_per_sec = 0.0;
+  double speedup_vs_sequential = 0.0;
+  bool bitwise_identical = true;
+};
+
+bool snapshots_identical(const std::vector<core::AssessmentSnapshot>& a,
+                         const std::vector<core::AssessmentSnapshot>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].chunk_index != b[i].chunk_index ||
+        a[i].magnitudes != b[i].magnitudes ||
+        a[i].sensor_means != b[i].sensor_means ||
+        a[i].zscores.zscores != b[i].zscores.zscores) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::banner(
+      "Assessor-as-a-service: N tenants over one shared pool "
+      "(ROADMAP item 2)",
+      "tenant streams through AssessorService + AsyncSink stay bitwise "
+      "identical to solo runs while the shared pool overlaps their compute");
+
+  const std::size_t sensors = args.full ? 512 : 128;
+  const std::size_t groups = 4;
+  const std::size_t initial = args.full ? 384 : 192;
+  const std::size_t chunk = args.full ? 128 : 64;
+  const std::size_t stream_chunks = args.full ? 6 : 3;
+  const std::size_t total = initial + chunk * stream_chunks;
+
+  std::printf("workload per tenant: %zu sensors x %zu groups, %zu+%zux%zu "
+              "snapshots, hardware_concurrency=%u\n",
+              sensors, groups, initial, stream_chunks, chunk,
+              std::thread::hardware_concurrency());
+
+  const auto make_config = [&] {
+    core::AssessorConfig config;
+    config.pipeline_options.imrdmd.mrdmd.max_levels = 4;
+    config.pipeline_options.imrdmd.mrdmd.dt = 15.0;
+    config.pipeline_options.baseline = {40.0, 60.0};
+    config.sharded(core::contiguous_groups(sensors, groups))
+        .sensors(sensors);
+    return config;
+  };
+
+  bool all_bitwise = true;
+  bool metrics_complete = true;
+  std::vector<TenantPoint> points;
+  for (const std::size_t tenant_count : {std::size_t{1}, std::size_t{2},
+                                         std::size_t{4}, std::size_t{8}}) {
+    std::vector<linalg::Mat> streams;
+    streams.reserve(tenant_count);
+    for (std::size_t i = 0; i < tenant_count; ++i) {
+      streams.push_back(make_tenant_stream(sensors, total, 11 + i));
+    }
+
+    // Reference: the same configs run solo, sequentially.
+    std::vector<std::vector<core::AssessmentSnapshot>> reference;
+    double solo_seconds = 0.0;
+    for (std::size_t i = 0; i < tenant_count; ++i) {
+      core::Assessor assessor(make_config());
+      core::MatrixChunkSource source(streams[i], initial, chunk);
+      core::CollectingSink sink;
+      WallTimer timer;
+      assessor.run(source, sink);
+      solo_seconds += timer.seconds();
+      reference.push_back(sink.take());
+    }
+
+    serve::AssessorService service;
+    std::vector<std::unique_ptr<core::MatrixChunkSource>> sources;
+    std::vector<std::unique_ptr<core::CollectingSink>> sinks;
+    for (std::size_t i = 0; i < tenant_count; ++i) {
+      sources.push_back(std::make_unique<core::MatrixChunkSource>(
+          streams[i], initial, chunk));
+      sinks.push_back(std::make_unique<core::CollectingSink>());
+      serve::TenantOptions options;
+      options.config = make_config();
+      options.source = sources.back().get();
+      options.sink = sinks.back().get();
+      service.add_tenant("t" + std::to_string(i), options);
+    }
+    WallTimer timer;
+    service.start_all();
+    service.drain_all();
+    const double service_seconds = timer.seconds();
+
+    TenantPoint point;
+    point.tenants = tenant_count;
+    point.service_seconds = service_seconds;
+    point.solo_seconds = solo_seconds;
+    point.service_columns_per_sec =
+        static_cast<double>(total * tenant_count) / service_seconds;
+    point.speedup_vs_sequential = solo_seconds / service_seconds;
+    for (std::size_t i = 0; i < tenant_count; ++i) {
+      if (!snapshots_identical(sinks[i]->snapshots(), reference[i])) {
+        point.bitwise_identical = false;
+      }
+      const double chunks_seen = service.metrics().value(
+          "imrdmd_tenant_chunks_total", {{"tenant", "t" + std::to_string(i)}});
+      if (chunks_seen != static_cast<double>(reference[i].size())) {
+        metrics_complete = false;
+      }
+    }
+    all_bitwise = all_bitwise && point.bitwise_identical;
+    points.push_back(point);
+    std::printf("  tenants=%-2zu service %8.3f s (%9.0f cols/s)  "
+                "sequential-solo %8.3f s  speedup %5.2fx  bitwise %s\n",
+                point.tenants, point.service_seconds,
+                point.service_columns_per_sec, point.solo_seconds,
+                point.speedup_vs_sequential,
+                point.bitwise_identical ? "yes" : "NO");
+  }
+
+  std::printf("\nall tenant streams bitwise identical to solo: %s\n",
+              all_bitwise ? "yes" : "NO");
+  std::printf("per-tenant chunk counters complete: %s\n",
+              metrics_complete ? "yes" : "NO");
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "serve");
+  json.field("mode", args.full ? "full" : "default");
+  json.key("workload");
+  json.begin_object();
+  json.field("sensors", sensors);
+  json.field("groups", groups);
+  json.field("initial_snapshots", initial);
+  json.field("chunk_snapshots", chunk);
+  json.field("stream_chunks", stream_chunks);
+  json.end_object();
+  json.field("hardware_concurrency",
+             static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  json.key("curve");
+  json.begin_array();
+  for (const TenantPoint& p : points) {
+    json.begin_object();
+    json.field("tenants", p.tenants);
+    json.field("service_seconds", p.service_seconds);
+    json.field("sequential_solo_seconds", p.solo_seconds);
+    json.field("service_columns_per_sec", p.service_columns_per_sec);
+    json.field("speedup_vs_sequential", p.speedup_vs_sequential);
+    json.field("bitwise_identical", p.bitwise_identical);
+    json.end_object();
+  }
+  json.end_array();
+  json.field("all_bitwise_identical", all_bitwise);
+  json.field("metrics_complete", metrics_complete);
+  json.end_object();
+  const std::string path = args.out_dir + "/BENCH_serve.json";
+  json.write_file(path);
+  std::printf("wrote %s\n", path.c_str());
+
+  return all_bitwise && metrics_complete ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

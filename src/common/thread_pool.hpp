@@ -53,7 +53,12 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Process-wide pool shared by library components (lazily constructed).
+/// Process-wide pool shared by library components. Lazily constructed and
+/// intentionally never destroyed (a leaked singleton): joining the workers
+/// during static destruction would race — or block exit behind — any
+/// thread still using the pool at exit (e.g. a serve::AsyncSink worker or
+/// an AssessorService tenant). Pools a caller owns (AssessorConfig::pool)
+/// still drain and join normally in ~ThreadPool.
 ThreadPool& global_pool();
 
 /// Waits for every future, then rethrows the first captured exception (if

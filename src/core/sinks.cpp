@@ -45,7 +45,9 @@ JsonlSink::JsonlSink(std::ostream& out, Options options)
 
 JsonlSink::JsonlSink(const std::string& path, Options options)
     : options_(options),
-      owned_(std::make_unique<std::ofstream>(path, std::ios::binary)),
+      owned_(std::make_unique<std::ofstream>(
+          path, options.append ? std::ios::binary | std::ios::app
+                               : std::ios::binary | std::ios::trunc)),
       out_(owned_.get()),
       path_(path) {
   if (!*out_) throw Error("cannot open jsonl sink for writing: " + path);

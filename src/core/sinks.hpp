@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -52,23 +53,42 @@ class CallbackSink final : public SnapshotSink {
 
 /// Bounded-memory sink: keeps only the most recent snapshot (plus delivery
 /// counters), whatever the stream length — the dashboard/polling pattern
-/// the ROADMAP's unbounded streams need. Not thread-safe: read it between
-/// runs or from the delivering thread.
+/// the ROADMAP's unbounded streams need. Thread-safe: latest() may be
+/// polled from any thread while a run (or an AsyncSink worker) is
+/// delivering, which is the serving layer's poll-while-delivering pattern;
+/// both sides synchronize on an internal mutex and latest() hands back a
+/// copy, never a reference into state the writer may be replacing.
 class LatestOnlySink final : public SnapshotSink {
  public:
   using SnapshotSink::on_snapshot;
   bool on_snapshot(const AssessmentSnapshot& snapshot) override {
+    std::lock_guard<std::mutex> lock(mutex_);
     latest_ = snapshot;
     ++delivered_;
     return true;
   }
+  bool on_snapshot(AssessmentSnapshot&& snapshot) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    latest_ = std::move(snapshot);
+    ++delivered_;
+    return true;
+  }
 
-  /// Most recent snapshot, or nullopt before the first delivery.
-  const std::optional<AssessmentSnapshot>& latest() const { return latest_; }
+  /// Copy of the most recent snapshot, or nullopt before the first
+  /// delivery. A copy-out (not a reference): the delivering thread may
+  /// replace the stored snapshot at any moment.
+  std::optional<AssessmentSnapshot> latest() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return latest_;
+  }
   /// Total snapshots delivered over the sink's lifetime.
-  std::size_t delivered() const { return delivered_; }
+  std::size_t delivered() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return delivered_;
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::optional<AssessmentSnapshot> latest_;
   std::size_t delivered_ = 0;
 };
@@ -89,12 +109,18 @@ class JsonlSink final : public SnapshotSink {
     /// Emit the full per-sensor z-score vector in every record (off by
     /// default: it is O(P) per line).
     bool zscores = false;
+    /// Open the file in append mode instead of truncating. The default is
+    /// an explicit truncate — a fresh run replaces the file — but a
+    /// service resuming a tenant from a checkpoint must append, or the
+    /// restart clobbers the tenant's prior JSONL history.
+    bool append = false;
   };
 
   /// Borrows `out` (must outlive the sink).
   JsonlSink(std::ostream& out, Options options);
   explicit JsonlSink(std::ostream& out) : JsonlSink(out, Options{}) {}
-  /// Opens (truncates) `path`; throws Error when it cannot be opened.
+  /// Opens `path` — truncating it unless Options::append is set — and
+  /// throws Error when it cannot be opened.
   JsonlSink(const std::string& path, Options options);
   explicit JsonlSink(const std::string& path)
       : JsonlSink(path, Options{}) {}

@@ -1,0 +1,147 @@
+#include "serve/async_sink.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace imrdmd::serve {
+
+AsyncSink::AsyncSink(core::SnapshotSink& inner, Options options)
+    : inner_(inner), options_(options) {
+  IMRDMD_REQUIRE_ARG(options_.capacity >= 1, "AsyncSink capacity must be >= 1");
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+AsyncSink::~AsyncSink() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  worker_.join();
+}
+
+bool AsyncSink::enqueue(Event event, bool droppable) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (failure_) {
+    std::exception_ptr failure = std::exchange(failure_, nullptr);
+    std::rethrow_exception(failure);
+  }
+  if (stop_requested_) return false;
+  if (queued_snapshots_ >= options_.capacity && droppable) {
+    if (options_.overflow == Overflow::Block) {
+      not_full_.wait(lock, [this] {
+        return queued_snapshots_ < options_.capacity || stopping_ ||
+               stop_requested_ || failure_ != nullptr;
+      });
+      if (failure_) {
+        std::exception_ptr failure = std::exchange(failure_, nullptr);
+        std::rethrow_exception(failure);
+      }
+      if (stopping_ || stop_requested_) return false;
+    } else {
+      // DropOldest: discard the oldest queued snapshot (checkpoint/end
+      // events are never dropped — skip over them).
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (std::holds_alternative<core::AssessmentSnapshot>(*it)) {
+          queue_.erase(it);
+          --queued_snapshots_;
+          ++dropped_;
+          break;
+        }
+      }
+    }
+  }
+  if (droppable) ++queued_snapshots_;
+  queue_.push_back(std::move(event));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool AsyncSink::on_snapshot(const core::AssessmentSnapshot& snapshot) {
+  return enqueue(Event(snapshot), /*droppable=*/true);
+}
+
+bool AsyncSink::on_snapshot(core::AssessmentSnapshot&& snapshot) {
+  return enqueue(Event(std::move(snapshot)), /*droppable=*/true);
+}
+
+void AsyncSink::on_checkpoint_written(const std::string& path,
+                                      std::size_t chunk_index) {
+  enqueue(Event(CheckpointEvent{path, chunk_index}), /*droppable=*/false);
+}
+
+void AsyncSink::on_end(const core::RunSummary& summary) {
+  enqueue(Event(summary), /*droppable=*/false);
+}
+
+void AsyncSink::flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [this] {
+    return (queue_.empty() && in_flight_ == 0) || failure_ != nullptr;
+  });
+  if (failure_) {
+    std::exception_ptr failure = std::exchange(failure_, nullptr);
+    std::rethrow_exception(failure);
+  }
+}
+
+std::size_t AsyncSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::size_t AsyncSink::forwarded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return forwarded_;
+}
+
+void AsyncSink::worker_loop() {
+  for (;;) {
+    Event event{core::RunSummary{}};
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      event = std::move(queue_.front());
+      queue_.pop_front();
+      if (std::holds_alternative<core::AssessmentSnapshot>(event)) {
+        --queued_snapshots_;
+      }
+      ++in_flight_;
+    }
+    not_full_.notify_one();
+
+    bool keep_going = true;
+    std::exception_ptr failure;
+    try {
+      if (auto* snapshot = std::get_if<core::AssessmentSnapshot>(&event)) {
+        keep_going = inner_.on_snapshot(std::move(*snapshot));
+      } else if (auto* checkpoint = std::get_if<CheckpointEvent>(&event)) {
+        inner_.on_checkpoint_written(checkpoint->path,
+                                     checkpoint->chunk_index);
+      } else {
+        inner_.on_end(std::get<core::RunSummary>(event));
+      }
+    } catch (...) {
+      failure = std::current_exception();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      ++forwarded_;
+      if (failure && !failure_) failure_ = failure;
+      if (!keep_going) stop_requested_ = true;
+      if (queue_.empty() && in_flight_ == 0) drained_.notify_all();
+      if (failure_ != nullptr || stop_requested_) {
+        drained_.notify_all();
+        not_full_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace imrdmd::serve

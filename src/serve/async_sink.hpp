@@ -1,0 +1,119 @@
+// AsyncSink: a SnapshotSink adapter that decouples the engine's delivery
+// from a slow consumer — the sink-side mirror of the ingestion layer's
+// bounded prefetch queue (core/assessor.hpp IngestOptions).
+//
+// The engine's deliver() call only enqueues the event into a bounded queue;
+// a dedicated worker thread dequeues and forwards to the wrapped sink. The
+// overflow policy decides what happens when the consumer falls behind and
+// the queue fills:
+//
+//   * Overflow::Block (default) — the delivering thread blocks until the
+//     worker frees a slot: lossless backpressure, exactly the contract the
+//     multi-tenant bitwise gate needs (the inner sink sees the identical
+//     in-order, exactly-once event stream a synchronous run delivers).
+//     Compute can stall behind the consumer by at most `capacity` events.
+//   * Overflow::DropOldest — the oldest queued *snapshot* is discarded to
+//     make room, and dropped() counts it: a live dashboard stays current
+//     and compute NEVER stalls, at the cost of losing intermediate frames.
+//     Checkpoint/end events are never dropped (they are O(1) per run and
+//     sinks rely on seeing them), so the queue may transiently exceed
+//     capacity by the in-flight non-snapshot events.
+//
+// Error and stop propagation are necessarily asynchronous: when the inner
+// sink throws, the worker parks the exception and the NEXT delivery into
+// the adapter (or flush()) rethrows it — the engine then parks THAT
+// snapshot for exactly-once redelivery, but the snapshot whose forwarding
+// threw is not redelivered to the inner sink: an async consumer that
+// throws is treated as failed, and the serving layer surfaces the error as
+// a tenant failure. When the inner sink requests a stop (returns false),
+// deliveries after the worker observes it return false, so the engine
+// stops one queue-depth later than a synchronous sink would.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <variant>
+
+#include "core/assessor.hpp"
+
+namespace imrdmd::serve {
+
+class AsyncSink final : public core::SnapshotSink {
+ public:
+  enum class Overflow { Block, DropOldest };
+
+  struct Options {
+    /// Maximum queued events before the overflow policy applies (>= 1).
+    std::size_t capacity = 64;
+    Overflow overflow = Overflow::Block;
+  };
+
+  /// Wraps `inner` (borrowed; must outlive the adapter) and starts the
+  /// worker thread.
+  AsyncSink(core::SnapshotSink& inner, Options options);
+  explicit AsyncSink(core::SnapshotSink& inner)
+      : AsyncSink(inner, Options{}) {}
+
+  /// Drains the queue (best effort — a parked inner-sink failure stops the
+  /// drain) and joins the worker.
+  ~AsyncSink() override;
+
+  using core::SnapshotSink::on_snapshot;
+  bool on_snapshot(const core::AssessmentSnapshot& snapshot) override;
+  bool on_snapshot(core::AssessmentSnapshot&& snapshot) override;
+  void on_checkpoint_written(const std::string& path,
+                             std::size_t chunk_index) override;
+  void on_end(const core::RunSummary& summary) override;
+
+  /// Blocks until every event enqueued so far has been forwarded to the
+  /// inner sink, then rethrows any parked inner-sink exception. Call this
+  /// before reading state the inner sink accumulates (the multi-tenant
+  /// tests flush before comparing streams).
+  void flush();
+
+  /// Snapshots discarded by Overflow::DropOldest so far.
+  std::size_t dropped() const;
+  /// Events forwarded to the inner sink so far.
+  std::size_t forwarded() const;
+
+ private:
+  struct CheckpointEvent {
+    std::string path;
+    std::size_t chunk_index;
+  };
+  using Event = std::variant<core::AssessmentSnapshot, CheckpointEvent,
+                             core::RunSummary>;
+
+  /// Enqueues one event per the overflow policy; returns the keep-going
+  /// verdict and rethrows a parked inner-sink exception.
+  bool enqueue(Event event, bool droppable);
+  void worker_loop();
+
+  core::SnapshotSink& inner_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::condition_variable drained_;
+  std::deque<Event> queue_;
+  /// Queued snapshot events (the droppable subset of queue_).
+  std::size_t queued_snapshots_ = 0;
+  bool stopping_ = false;
+  /// The inner sink returned false; subsequent deliveries return false.
+  bool stop_requested_ = false;
+  /// The inner sink threw; rethrown by the next delivery or flush().
+  std::exception_ptr failure_;
+  std::size_t dropped_ = 0;
+  std::size_t forwarded_ = 0;
+  std::size_t in_flight_ = 0;
+
+  std::thread worker_;
+};
+
+}  // namespace imrdmd::serve

@@ -1,0 +1,151 @@
+#include "serve/http_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace imrdmd::serve {
+
+namespace {
+
+/// Writes the whole buffer, ignoring a peer that hung up (EPIPE is the
+/// scraper's problem, not ours). MSG_NOSIGNAL keeps a dead peer from
+/// raising SIGPIPE process-wide.
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string make_response(const std::string& status,
+                          const std::string& content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 " + status + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(const MetricsRegistry& registry, std::uint16_t port)
+    : registry_(registry) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw Error(std::string("HttpExporter: socket() failed: ") +
+                std::strerror(errno));
+  }
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw Error("HttpExporter: cannot listen on 127.0.0.1:" +
+                std::to_string(port) + ": " + why);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  listen_fd_.store(fd);
+
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+HttpExporter::~HttpExporter() { stop(); }
+
+void HttpExporter::stop() {
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    // shutdown() unblocks a blocked accept(); close() alone does not on
+    // every kernel.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+}
+
+void HttpExporter::accept_loop() {
+  for (;;) {
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) return;  // retired by stop()
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listening socket closed by stop()
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpExporter::handle_connection(int fd) {
+  // Read until the end of the request headers (or a size cap — this is a
+  // scrape endpoint, not a general server).
+  std::string request;
+  char buffer[1024];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 8192) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buffer, static_cast<std::size_t>(n));
+  }
+
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    send_all(fd, make_response("400 Bad Request", "text/plain",
+                               "malformed request line\n"));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    send_all(fd, make_response("405 Method Not Allowed", "text/plain",
+                               "only GET is served here\n"));
+    return;
+  }
+  if (target == "/metrics") {
+    send_all(fd, make_response(
+                     "200 OK",
+                     "application/openmetrics-text; version=1.0.0; "
+                     "charset=utf-8",
+                     registry_.render_openmetrics()));
+  } else if (target == "/") {
+    send_all(fd, make_response("200 OK", "text/plain",
+                               "imrdmd assessor exporter — scrape /metrics\n"));
+  } else {
+    send_all(fd, make_response("404 Not Found", "text/plain",
+                               "unknown path (try /metrics)\n"));
+  }
+}
+
+}  // namespace imrdmd::serve

@@ -1,0 +1,55 @@
+// HttpExporter: a minimal blocking HTTP/1.1 listener that serves the
+// MetricsRegistry's OpenMetrics rendering at GET /metrics — just enough
+// protocol for a Prometheus scraper or `curl`, deliberately not a web
+// framework: one accept loop on a dedicated thread, one short-lived
+// connection per request, no keep-alive, no TLS.
+//
+// Routes: GET /metrics -> 200 with the OpenMetrics text (Content-Type
+// application/openmetrics-text); GET / -> a one-line text pointer to
+// /metrics; anything else -> 404. Malformed requests get 400. Every
+// response closes the connection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "serve/metrics.hpp"
+
+namespace imrdmd::serve {
+
+class HttpExporter {
+ public:
+  /// Binds 127.0.0.1:`port` (port 0 picks an ephemeral port — tests use
+  /// this; read the actual one back with port()), starts listening, and
+  /// spawns the accept loop. Throws Error when the socket cannot be bound.
+  /// `registry` is borrowed and must outlive the exporter.
+  HttpExporter(const MetricsRegistry& registry, std::uint16_t port);
+
+  /// stop()s if still running.
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// The bound TCP port (the actual one when constructed with port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Closes the listening socket and joins the accept loop. Idempotent.
+  /// In-flight responses finish; no new connections are accepted.
+  void stop();
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  const MetricsRegistry& registry_;
+  /// Atomic: stop() retires the fd from the caller's thread while the
+  /// accept loop reads it.
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+};
+
+}  // namespace imrdmd::serve

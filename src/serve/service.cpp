@@ -1,0 +1,305 @@
+#include "serve/service.hpp"
+
+#include <exception>
+#include <filesystem>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/checkpoint.hpp"
+#include "core/zscore.hpp"
+
+namespace imrdmd::serve {
+
+const char* tenant_state_name(TenantState state) {
+  switch (state) {
+    case TenantState::Idle: return "idle";
+    case TenantState::Running: return "running";
+    case TenantState::Completed: return "completed";
+    case TenantState::Stopped: return "stopped";
+    case TenantState::Failed: return "failed";
+  }
+  return "unknown";
+}
+
+/// The head of a tenant's delivery chain, run on the tenant's run-loop
+/// thread: updates the shared registry, feeds the optional ring buffer,
+/// forwards to the downstream sink (the AsyncSink, or the tenant's own),
+/// and turns a stop() request into a graceful sink-verdict stop — AFTER
+/// forwarding, so the in-flight snapshot is never lost.
+class AssessorService::TenantSink final : public core::SnapshotSink {
+ public:
+  TenantSink(MetricsRegistry& metrics, std::string tenant,
+             RingBufferSink* ring, core::SnapshotSink* downstream,
+             const std::atomic<bool>& stop_requested)
+      : metrics_(metrics),
+        labels_({{"tenant", std::move(tenant)}}),
+        ring_(ring),
+        downstream_(downstream),
+        stop_requested_(stop_requested) {}
+
+  using core::SnapshotSink::on_snapshot;
+  bool on_snapshot(const core::AssessmentSnapshot& snapshot) override {
+    if (ring_ != nullptr) ring_->on_snapshot(snapshot);
+    bool keep_going = true;
+    if (downstream_ != nullptr) {
+      keep_going = downstream_->on_snapshot(snapshot);
+    }
+    metrics_.counter_add("imrdmd_tenant_chunks_total", labels_, 1.0,
+                         "Chunks processed and delivered.");
+    metrics_.counter_add("imrdmd_tenant_snapshots_total", labels_,
+                         static_cast<double>(snapshot.chunk_snapshots),
+                         "Snapshot columns processed and delivered.");
+    metrics_.counter_add("imrdmd_tenant_fit_seconds_total", labels_,
+                         snapshot.fit_seconds,
+                         "Wall seconds spent fitting and merging.");
+    metrics_.gauge_set(
+        "imrdmd_tenant_hot_sensors", labels_,
+        static_cast<double>(
+            snapshot.zscores.sensors_in_state(core::ThermalState::Hot)
+                .size()),
+        "Sensors above the hot threshold in the latest snapshot.");
+    return keep_going && !stop_requested_.load(std::memory_order_relaxed);
+  }
+
+  void on_checkpoint_written(const std::string& path,
+                             std::size_t chunk_index) override {
+    metrics_.counter_add("imrdmd_tenant_checkpoints_total", labels_, 1.0,
+                         "Checkpoints written.");
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(path, ec);
+    if (!ec) {
+      metrics_.counter_add("imrdmd_tenant_checkpoint_bytes_total", labels_,
+                           static_cast<double>(bytes),
+                           "Bytes of checkpoint images written.");
+    }
+    if (downstream_ != nullptr) {
+      downstream_->on_checkpoint_written(path, chunk_index);
+    }
+  }
+
+  void on_end(const core::RunSummary& summary) override {
+    if (downstream_ != nullptr) downstream_->on_end(summary);
+  }
+
+ private:
+  MetricsRegistry& metrics_;
+  MetricLabels labels_;
+  RingBufferSink* ring_;
+  core::SnapshotSink* downstream_;
+  const std::atomic<bool>& stop_requested_;
+};
+
+struct AssessorService::Tenant {
+  std::string name;
+  TenantOptions options;
+
+  /// Created at start(); stable address for the run thread.
+  std::unique_ptr<core::Assessor> assessor;
+  std::unique_ptr<RingBufferSink> ring;
+  std::unique_ptr<AsyncSink> async;
+  std::unique_ptr<TenantSink> head;
+  std::thread runner;
+
+  std::atomic<bool> stop_requested{false};
+  /// Serializes start/stop/drain/join against each other (per tenant, so
+  /// stopping one tenant never blocks operating on another).
+  std::mutex lifecycle_mutex;
+  /// Guards state/error/summary (written by the run thread at exit, read
+  /// by status() from anywhere).
+  mutable std::mutex state_mutex;
+  TenantState state = TenantState::Idle;
+  std::string error;
+  core::RunSummary summary;
+};
+
+AssessorService::AssessorService(Options options)
+    : pool_(options.pool != nullptr ? options.pool : &global_pool()),
+      metrics_(options.metrics) {
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+}
+
+AssessorService::~AssessorService() {
+  std::vector<Tenant*> all;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, tenant] : tenants_) all.push_back(tenant.get());
+  }
+  for (Tenant* tenant : all) {
+    tenant->stop_requested.store(true, std::memory_order_relaxed);
+  }
+  for (Tenant* tenant : all) join_tenant(*tenant);
+}
+
+void AssessorService::add_tenant(const std::string& name,
+                                 TenantOptions options) {
+  IMRDMD_REQUIRE_ARG(!name.empty(), "tenant name must be non-empty");
+  IMRDMD_REQUIRE_ARG(options.source != nullptr,
+                     "tenant '" + name + "' needs a ChunkSource");
+  IMRDMD_REQUIRE_ARG(
+      options.config.comm == nullptr,
+      "tenant '" + name +
+          "' is configured distributed; AssessorService serves "
+          "single-process topologies (run SPMD ranks as their own "
+          "processes instead)");
+  if (options.config.worker_pool == nullptr) {
+    options.config.worker_pool = pool_;
+  }
+  auto tenant = std::make_unique<Tenant>();
+  tenant->name = name;
+  tenant->options = std::move(options);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool inserted =
+      tenants_.emplace(name, std::move(tenant)).second;
+  IMRDMD_REQUIRE_ARG(inserted, "tenant '" + name + "' already registered");
+  metrics_->gauge_set("imrdmd_service_tenants", {},
+                      static_cast<double>(tenants_.size()),
+                      "Registered tenants.");
+}
+
+AssessorService::Tenant& AssessorService::find(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(name);
+  IMRDMD_REQUIRE_ARG(it != tenants_.end(), "unknown tenant '" + name + "'");
+  return *it->second;
+}
+
+const AssessorService::Tenant& AssessorService::find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(name);
+  IMRDMD_REQUIRE_ARG(it != tenants_.end(), "unknown tenant '" + name + "'");
+  return *it->second;
+}
+
+void AssessorService::start(const std::string& name) {
+  Tenant& tenant = find(name);
+  std::lock_guard<std::mutex> lifecycle(tenant.lifecycle_mutex);
+  {
+    std::lock_guard<std::mutex> state(tenant.state_mutex);
+    IMRDMD_REQUIRE_ARG(tenant.state == TenantState::Idle,
+                       "tenant '" + name + "' is " +
+                           tenant_state_name(tenant.state) +
+                           "; start() needs idle");
+  }
+  // Construct the engine on the caller's thread so configuration errors
+  // throw here, synchronously, instead of surfacing as a Failed status.
+  tenant.assessor = std::make_unique<core::Assessor>(tenant.options.config);
+  if (tenant.options.ring_capacity > 0) {
+    tenant.ring =
+        std::make_unique<RingBufferSink>(tenant.options.ring_capacity);
+  }
+  core::SnapshotSink* downstream = tenant.options.sink;
+  if (tenant.options.sink != nullptr && tenant.options.async_capacity > 0) {
+    AsyncSink::Options async_options;
+    async_options.capacity = tenant.options.async_capacity;
+    async_options.overflow = tenant.options.overflow;
+    tenant.async =
+        std::make_unique<AsyncSink>(*tenant.options.sink, async_options);
+    downstream = tenant.async.get();
+  }
+  tenant.head = std::make_unique<TenantSink>(*metrics_, tenant.name,
+                                             tenant.ring.get(), downstream,
+                                             tenant.stop_requested);
+  {
+    std::lock_guard<std::mutex> state(tenant.state_mutex);
+    tenant.state = TenantState::Running;
+  }
+  metrics_->gauge_set("imrdmd_tenant_up", {{"tenant", tenant.name}}, 1.0,
+                      "1 while the tenant's run loop is live.");
+  tenant.runner = std::thread([this, &tenant] { run_tenant(tenant); });
+}
+
+void AssessorService::start_all() {
+  for (const std::string& name : tenants()) {
+    if (status(name).state == TenantState::Idle) start(name);
+  }
+}
+
+void AssessorService::run_tenant(Tenant& tenant) {
+  TenantState terminal = TenantState::Completed;
+  std::string error;
+  core::RunSummary summary;
+  try {
+    summary = tenant.assessor->run_until(*tenant.options.source, *tenant.head,
+                                         tenant.options.stop);
+    // Make the tenant's own sink fully caught up before the state flips to
+    // terminal: after drain()/stop() return, the sink is readable.
+    if (tenant.async != nullptr) tenant.async->flush();
+    if (tenant.stop_requested.load(std::memory_order_relaxed)) {
+      terminal = TenantState::Stopped;
+      // Checkpoint on stop: leave a resumable image behind (the periodic
+      // hook only fires every N chunks; this captures the rest).
+      const core::CheckpointPolicy& policy =
+          tenant.options.config.checkpoint_policy;
+      if (!policy.path.empty() &&
+          tenant.assessor->snapshots_processed() > 0) {
+        core::save_assessor_checkpoint_file(policy.path, *tenant.assessor);
+        tenant.head->on_checkpoint_written(
+            policy.path, tenant.assessor->chunks_processed());
+        if (tenant.async != nullptr) tenant.async->flush();
+      }
+    }
+  } catch (const std::exception& e) {
+    terminal = TenantState::Failed;
+    error = e.what();
+    metrics_->counter_add(
+        "imrdmd_tenant_failures_total", {{"tenant", tenant.name}}, 1.0,
+        "Run-loop failures (the tenant is isolated; neighbors keep "
+        "running).");
+  }
+  // Retire the async worker on EVERY exit path — including failure, which
+  // skips the flushes above. Once drain()/stop() return, no service thread
+  // may touch the tenant's sink again (the caller is free to destroy it).
+  tenant.async.reset();
+  metrics_->gauge_set("imrdmd_tenant_up", {{"tenant", tenant.name}}, 0.0);
+  std::lock_guard<std::mutex> state(tenant.state_mutex);
+  tenant.state = terminal;
+  tenant.error = std::move(error);
+  tenant.summary = summary;
+}
+
+void AssessorService::join_tenant(Tenant& tenant) {
+  std::lock_guard<std::mutex> lifecycle(tenant.lifecycle_mutex);
+  if (tenant.runner.joinable()) tenant.runner.join();
+}
+
+void AssessorService::stop(const std::string& name) {
+  Tenant& tenant = find(name);
+  tenant.stop_requested.store(true, std::memory_order_relaxed);
+  join_tenant(tenant);
+}
+
+void AssessorService::drain(const std::string& name) {
+  join_tenant(find(name));
+}
+
+void AssessorService::drain_all() {
+  for (const std::string& name : tenants()) drain(name);
+}
+
+TenantStatus AssessorService::status(const std::string& name) const {
+  const Tenant& tenant = find(name);
+  std::lock_guard<std::mutex> state(tenant.state_mutex);
+  TenantStatus status;
+  status.state = tenant.state;
+  status.error = tenant.error;
+  status.summary = tenant.summary;
+  return status;
+}
+
+std::vector<std::string> AssessorService::tenants() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  return names;
+}
+
+RingBufferSink* AssessorService::ring(const std::string& name) {
+  return find(name).ring.get();
+}
+
+}  // namespace imrdmd::serve

@@ -1,0 +1,163 @@
+// AssessorService: the multi-tenant serving layer — N concurrent Assessor
+// engines (one per tenant/facility stream) multiplexed over one shared
+// ThreadPool, with per-tenant lifecycle, error isolation, and a shared
+// MetricsRegistry (ROADMAP open item 2, "Assessor-as-a-service").
+//
+// Shape: each tenant registers an AssessorConfig + a borrowed ChunkSource
+// and SnapshotSink. start() constructs the tenant's engine and spawns ONE
+// lightweight run-loop thread driving Assessor::run_until; the engine's
+// worker lanes all land on the service's shared pool, so compute
+// parallelism is pooled across tenants while each tenant keeps its own
+// models, z-score stage, and delivery chain. The delivery chain the engine
+// pushes into is
+//
+//   engine -> [service sink: metrics + optional RingBufferSink]
+//          -> [AsyncSink (bounded queue + worker), unless async_capacity=0]
+//          -> tenant's own SnapshotSink
+//
+// and with the default lossless AsyncSink policy the tenant's sink
+// receives a stream bitwise identical to a solo single-Assessor run of the
+// same config (tests/serve_test.cpp gates N in {1, 4, 8}).
+//
+// Lifecycle: Idle -> Running -> {Completed, Stopped, Failed}.
+//   * stop(name) requests a graceful stop through the sink verdict (the
+//     engine finishes the in-flight chunk, loses nothing), joins the run
+//     thread, and — when the tenant's checkpoint policy names a path —
+//     writes a final checkpoint so a successor process can resume the
+//     stream (pair with JsonlSink::Options::append on resume).
+//   * drain(name) joins without requesting a stop (waits for end of
+//     stream or the tenant's StopCondition).
+//   * Error isolation: an exception on one tenant's run thread (a
+//     StreamDesync, a sink failure, a numerical breakdown) marks THAT
+//     tenant Failed — with the message in status() and a failure counter
+//     in the registry — and touches nothing else; neighbors keep running.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/assessor.hpp"
+#include "serve/async_sink.hpp"
+#include "serve/metrics.hpp"
+#include "serve/ring_sink.hpp"
+
+namespace imrdmd::serve {
+
+enum class TenantState { Idle, Running, Completed, Stopped, Failed };
+
+const char* tenant_state_name(TenantState state);
+
+/// One tenant's registration: the engine config plus the stream ends.
+struct TenantOptions {
+  /// Engine configuration. Must be a single-process topology (a
+  /// distributed engine needs SPMD ranks, not a service thread); the
+  /// worker pool defaults to the service's shared pool when unset.
+  core::AssessorConfig config;
+  /// Borrowed; must outlive the service (or the tenant's terminal join).
+  core::ChunkSource* source = nullptr;
+  /// Borrowed terminal sink; may be null when metrics/ring polling is the
+  /// only consumer.
+  core::SnapshotSink* sink = nullptr;
+  /// Optional bounds for the run (0-fields = run to end of stream).
+  core::StopCondition stop;
+  /// Bounded queue depth of the AsyncSink decoupling the engine from
+  /// `sink`; 0 delivers synchronously (no AsyncSink in the chain).
+  std::size_t async_capacity = 64;
+  /// What a full queue does to the delivering engine (see AsyncSink):
+  /// Block = lossless backpressure (default), DropOldest = never stall.
+  AsyncSink::Overflow overflow = AsyncSink::Overflow::Block;
+  /// > 0 attaches a RingBufferSink of that capacity, pollable via
+  /// AssessorService::ring() — the live-heatmap feed.
+  std::size_t ring_capacity = 0;
+};
+
+/// Copy-out view of one tenant's lifecycle state.
+struct TenantStatus {
+  TenantState state = TenantState::Idle;
+  /// The failure message (Failed only).
+  std::string error;
+  /// The run's summary (Completed/Stopped only).
+  core::RunSummary summary;
+};
+
+class AssessorService {
+ public:
+  struct Options {
+    /// Shared worker pool for every tenant's engine lanes; null =
+    /// global_pool(). Borrowed; must outlive the service.
+    ThreadPool* pool = nullptr;
+    /// External registry (e.g. shared with other exporters); null = the
+    /// service owns one. Borrowed; must outlive the service.
+    MetricsRegistry* metrics = nullptr;
+  };
+
+  AssessorService() : AssessorService(Options{}) {}
+  explicit AssessorService(Options options);
+
+  /// Requests a stop on every running tenant and joins all run threads
+  /// (checkpoint-on-stop included, per tenant policy).
+  ~AssessorService();
+
+  AssessorService(const AssessorService&) = delete;
+  AssessorService& operator=(const AssessorService&) = delete;
+
+  /// Registers a tenant (state Idle). Validates the registration: unique
+  /// name, non-null source, single-process topology, armed checkpoint
+  /// policies must name a path (engine rules apply at start()).
+  void add_tenant(const std::string& name, TenantOptions options);
+
+  /// Constructs the tenant's Assessor (configuration errors throw here,
+  /// synchronously) and spawns its run thread. Idle -> Running.
+  void start(const std::string& name);
+  /// start() for every Idle tenant.
+  void start_all();
+
+  /// Requests a graceful stop, joins the run thread, and (when the
+  /// tenant's checkpoint policy names a path and at least one chunk was
+  /// processed) writes a final checkpoint. Running -> Stopped; a tenant
+  /// already terminal just joins. No-op transitions are safe.
+  void stop(const std::string& name);
+  /// Waits for the tenant to finish on its own (end of stream, its
+  /// StopCondition, or a failure) and joins.
+  void drain(const std::string& name);
+  /// drain() for every started tenant.
+  void drain_all();
+
+  TenantStatus status(const std::string& name) const;
+  /// Registered tenant names, in name order.
+  std::vector<std::string> tenants() const;
+  /// The tenant's ring buffer, or null when ring_capacity was 0.
+  RingBufferSink* ring(const std::string& name);
+
+  MetricsRegistry& metrics() { return *metrics_; }
+  const MetricsRegistry& metrics() const { return *metrics_; }
+  ThreadPool& pool() { return *pool_; }
+
+ private:
+  class TenantSink;
+  struct Tenant;
+
+  Tenant& find(const std::string& name);
+  const Tenant& find(const std::string& name) const;
+  /// The tenant run thread's body: drive the engine, flush the async
+  /// chain, settle the terminal state, checkpoint on stop.
+  void run_tenant(Tenant& tenant);
+  void join_tenant(Tenant& tenant);
+
+  ThreadPool* pool_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+
+  mutable std::mutex mutex_;
+  /// Append-only (unique_ptr keeps tenant addresses stable across rehash).
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace imrdmd::serve

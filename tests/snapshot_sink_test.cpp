@@ -255,5 +255,43 @@ TEST(Sinks, JsonlSinkFileVariantWritesAndFailsLoudly) {
                Error);
 }
 
+TEST(Sinks, JsonlSinkAppendModePreservesPriorRecords) {
+  const Mat data = sink_data();
+  const std::string path = ::testing::TempDir() + "/snapshots_append.jsonl";
+  const auto line_count = [&path] {
+    std::ifstream in(path);
+    std::string line;
+    std::size_t count = 0;
+    while (std::getline(in, line)) ++count;
+    return count;
+  };
+  {
+    Assessor assessor = make_monolithic();
+    core::MatrixChunkSource source(data, 128, 64);
+    JsonlSink sink(path);
+    assessor.run(source, sink);
+  }
+  ASSERT_EQ(line_count(), 4u);
+  // A restarted run with append keeps the prior history...
+  {
+    Assessor assessor = make_monolithic();
+    core::MatrixChunkSource source(data, 128, 64);
+    JsonlSink::Options options;
+    options.append = true;
+    JsonlSink sink(path, options);
+    assessor.run(source, sink);
+  }
+  EXPECT_EQ(line_count(), 8u);
+  // ...while the default stays an explicit truncate-on-open.
+  {
+    Assessor assessor = make_monolithic();
+    core::MatrixChunkSource source(data, 128, 64);
+    JsonlSink sink(path);
+    assessor.run(source, sink);
+  }
+  EXPECT_EQ(line_count(), 4u);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace imrdmd::testing
