@@ -109,7 +109,7 @@ int run_figure_benches(const std::string& self, const std::string& out_dir,
       "bench_fig6_case2",    "bench_fig7_spectrum2", "bench_fig8_embeddings",
       "bench_fig9_scaling",  "bench_q2_accuracy",  "bench_table1",
       "bench_ablation",      "bench_fleet",        "bench_checkpoint",
-      "bench_micro_linalg",  "bench_serve",
+      "bench_micro_linalg",  "bench_serve",        "bench_net",
   };
   std::string dir = ".";
   const std::size_t slash = self.find_last_of('/');

@@ -1,0 +1,251 @@
+// Network ingestion bench: localhost throughput of the IMRDWP1 wire
+// (shipper -> listener -> journaled TcpChunkSource) as the chunk width
+// grows, plus the recovery latency of a mid-stream listener outage
+// (connection killed, listener restarted on the same port, shipper
+// reconnects-with-resume).
+//
+// Gates (exit status): for every point the journaled stream drained back
+// out of the TcpChunkSource is bitwise identical to the shipped matrix —
+// over the happy path AND across the forced reconnect — and the outage run
+// actually reconnected. Emits BENCH_net.json.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "common/timer.hpp"
+#include "core/stream.hpp"
+#include "net/listener.hpp"
+#include "net/shipper.hpp"
+#include "net/tcp_source.hpp"
+
+using namespace imrdmd;
+
+namespace {
+
+linalg::Mat make_stream(std::size_t sensors, std::size_t cols) {
+  linalg::Mat data(sensors, cols);
+  std::uint64_t state = 0x51ee9ull;
+  auto noise = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<double>(state >> 11) / 9007199254740992.0 - 0.5;
+  };
+  for (std::size_t p = 0; p < sensors; ++p) {
+    const double phase = 0.11 * static_cast<double>(p);
+    for (std::size_t t = 0; t < cols; ++t) {
+      const double x = static_cast<double>(t) / 256.0;
+      data(p, t) = 42.0 + 4.0 * std::sin(2.0 * M_PI * 0.5 * x + phase) +
+                   0.3 * noise();
+    }
+  }
+  return data;
+}
+
+bool drain_matches(net::TcpChunkSource& source, const linalg::Mat& data) {
+  std::size_t at = 0;
+  while (std::optional<linalg::Mat> chunk = source.next_chunk()) {
+    if (chunk->rows() != data.rows() || at + chunk->cols() > data.cols()) {
+      return false;
+    }
+    for (std::size_t r = 0; r < chunk->rows(); ++r) {
+      for (std::size_t c = 0; c < chunk->cols(); ++c) {
+        if ((*chunk)(r, c) != data(r, at + c)) return false;
+      }
+    }
+    at += chunk->cols();
+  }
+  return at == data.cols();
+}
+
+struct ThroughputPoint {
+  std::size_t chunk_cols = 0;
+  double seconds = 0.0;
+  double snapshots_per_sec = 0.0;
+  double mbytes_per_sec = 0.0;
+  std::size_t wire_bytes = 0;
+  bool bitwise_identical = false;
+};
+
+/// MatrixChunkSource with a per-chunk delay so a mid-stream outage lands
+/// mid-stream (the recovery measurement).
+class PacedSource final : public core::ChunkSource {
+ public:
+  PacedSource(const linalg::Mat& data, std::size_t initial,
+              std::size_t chunk, std::chrono::milliseconds delay)
+      : inner_(data, initial, chunk), delay_(delay) {}
+  std::optional<linalg::Mat> next_chunk() override {
+    std::this_thread::sleep_for(delay_);
+    return inner_.next_chunk();
+  }
+  std::size_t sensors() const override { return inner_.sensors(); }
+  std::size_t position() const override { return inner_.position(); }
+  void seek(std::size_t snapshot) override { inner_.seek(snapshot); }
+
+ private:
+  core::MatrixChunkSource inner_;
+  std::chrono::milliseconds delay_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::banner(
+      "Network ingestion: IMRDWP1 localhost throughput + outage recovery",
+      "the socket-fed stream is bitwise identical to the shipped matrix, "
+      "reconnect included");
+
+  const std::size_t sensors = args.full ? 512 : 96;
+  const std::size_t streamed = args.full ? 16384 : 2048;
+  const std::size_t chunk_widths[] = {16, 64, 256};
+  std::printf("workload: %zu sensors, %zu streamed snapshots, %zu repeats\n",
+              sensors, streamed, args.repeats);
+
+  const linalg::Mat data = make_stream(sensors, streamed);
+  int failures = 0;
+
+  std::vector<ThroughputPoint> points;
+  for (const std::size_t chunk_cols : chunk_widths) {
+    ThroughputPoint point;
+    point.chunk_cols = chunk_cols;
+    double total = 0.0;
+    for (std::size_t rep = 0; rep < args.repeats; ++rep) {
+      const std::string journal_path = args.out_dir + "/bench_net_" +
+                                       std::to_string(chunk_cols) + "_" +
+                                       std::to_string(rep) + ".jl";
+      std::remove(journal_path.c_str());
+      net::TcpChunkSource::Options source_options;
+      source_options.journal_path = journal_path;
+      net::TcpChunkSource received(sensors, source_options);
+      net::IngestListener listener(net::IngestListenerOptions{});
+      listener.register_stream("bench", &received);
+
+      core::MatrixChunkSource source(data, chunk_cols, chunk_cols);
+      net::ShipperOptions ship_options;
+      ship_options.port = listener.port();
+      ship_options.stream_id = "bench";
+      net::ChunkShipper shipper(ship_options);
+      WallTimer timer;
+      const net::ShipSummary summary = shipper.ship(source);
+      total += timer.seconds();
+      point.wire_bytes = summary.wire_bytes;
+      point.bitwise_identical = drain_matches(received, data);
+      listener.stop();
+      std::remove(journal_path.c_str());
+    }
+    point.seconds = total / static_cast<double>(args.repeats);
+    point.snapshots_per_sec =
+        static_cast<double>(streamed) / point.seconds;
+    point.mbytes_per_sec = static_cast<double>(point.wire_bytes) /
+                           point.seconds / (1024.0 * 1024.0);
+    if (!point.bitwise_identical) ++failures;
+    std::printf("  chunk=%-4zu %8.3f ms %12.0f snapshots/s %9.1f MiB/s  %s\n",
+                point.chunk_cols, point.seconds * 1e3,
+                point.snapshots_per_sec, point.mbytes_per_sec,
+                point.bitwise_identical ? "bitwise OK" : "MISMATCH");
+    points.push_back(point);
+  }
+
+  // --- outage recovery: kill the listener mid-stream, restart, resume ----
+  const std::string journal_path = args.out_dir + "/bench_net_recovery.jl";
+  std::remove(journal_path.c_str());
+  net::TcpChunkSource::Options source_options;
+  source_options.journal_path = journal_path;
+  net::TcpChunkSource received(sensors, source_options);
+
+  auto listener = std::make_unique<net::IngestListener>(
+      net::IngestListenerOptions{});
+  const std::uint16_t port = listener->port();
+  listener->register_stream("bench", &received);
+
+  const std::size_t recovery_chunk = 32;
+  const std::uint64_t total_chunks = streamed / recovery_chunk;
+  std::atomic<double> recovery_seconds{0.0};
+  std::thread controller([&] {
+    // Outage once half the stream is journaled; recovery = first new ack
+    // after the replacement listener binds the same port.
+    while (received.acked_seq() < total_chunks / 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const std::uint64_t watermark = received.acked_seq();
+    listener->stop();
+    listener.reset();
+    WallTimer timer;
+    listener = std::make_unique<net::IngestListener>(
+        net::IngestListenerOptions{port});
+    listener->register_stream("bench", &received);
+    while (received.acked_seq() <= watermark && !received.ended()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    recovery_seconds.store(timer.seconds());
+  });
+
+  PacedSource paced(data, recovery_chunk, recovery_chunk,
+                    std::chrono::milliseconds(1));
+  net::ShipperOptions ship_options;
+  ship_options.port = port;
+  ship_options.stream_id = "bench";
+  ship_options.backoff_base_seconds = 0.005;
+  ship_options.backoff_cap_seconds = 0.1;
+  ship_options.max_attempts = 64;
+  net::ChunkShipper shipper(ship_options);
+  const net::ShipSummary summary = shipper.ship(paced);
+  controller.join();
+  const bool recovered_bitwise = drain_matches(received, data);
+  if (summary.reconnects < 1 || !recovered_bitwise) ++failures;
+  std::printf("\noutage recovery: %.1f ms to first post-restart ack, "
+              "%zu reconnects, resume %s\n",
+              recovery_seconds.load() * 1e3, summary.reconnects,
+              recovered_bitwise ? "bitwise OK" : "MISMATCH");
+  listener->stop();
+  std::remove(journal_path.c_str());
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "net_ingestion");
+  json.field("mode", args.full ? "full" : "default");
+  json.key("workload");
+  json.begin_object();
+  json.field("sensors", sensors);
+  json.field("streamed_snapshots", streamed);
+  json.field("repeats", args.repeats);
+  json.end_object();
+  json.key("throughput");
+  json.begin_array();
+  for (const ThroughputPoint& point : points) {
+    json.begin_object();
+    json.field("chunk_cols", point.chunk_cols);
+    json.field("seconds", point.seconds);
+    json.field("snapshots_per_sec", point.snapshots_per_sec);
+    json.field("mbytes_per_sec", point.mbytes_per_sec);
+    json.field("wire_bytes", point.wire_bytes);
+    json.field("bitwise_identical", point.bitwise_identical);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("recovery");
+  json.begin_object();
+  json.field("recovery_seconds", recovery_seconds.load());
+  json.field("reconnects", summary.reconnects);
+  json.field("bitwise_identical", recovered_bitwise);
+  json.end_object();
+  json.field("gates_passed", failures == 0);
+  json.end_object();
+  const std::string json_path = args.out_dir + "/BENCH_net.json";
+  json.write_file(json_path);
+  std::printf("wrote %s\n", json_path.c_str());
+  return failures == 0 ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

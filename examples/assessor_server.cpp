@@ -11,12 +11,23 @@
 // the streams drain the server lingers (--linger) so a scraper can read
 // the final counters, then prints each tenant's terminal status.
 //
+// With --listen the server additionally accepts framed TCP telemetry
+// (IMRDWP1, net/): each first hello on a new stream id mints a journaled
+// TcpChunkSource plus a tenant assessing it, so remote shippers become
+// tenants on the same /metrics endpoint as the built-in ones:
+//
+//   assessor_server --tenants 0 --listen 9465 &
+//   telemetry_shipper --port 9465 --stream testbed-0
+//   curl -s http://127.0.0.1:9464/metrics | grep imrdmd_net_
+//
 // Usage: assessor_server [--port P] [--tenants N] [--chunks C] [--linger S]
+//                        [--listen P] [--journal-dir D]
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +36,8 @@
 #include "common/strings.hpp"
 #include "core/assessor.hpp"
 #include "core/sinks.hpp"
+#include "net/listener.hpp"
+#include "net/tcp_source.hpp"
 #include "serve/http_exporter.hpp"
 #include "serve/service.hpp"
 
@@ -57,6 +70,8 @@ int main(int argc, char** argv) {
   std::size_t tenants = 4;
   std::size_t chunks = 6;
   double linger = 2.0;
+  long listen = 0;  // 0 = no socket ingestion
+  std::string journal_dir = ".";
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--port") && i + 1 < argc) {
       port = static_cast<std::size_t>(parse_long(argv[++i], "--port"));
@@ -66,9 +81,14 @@ int main(int argc, char** argv) {
       chunks = static_cast<std::size_t>(parse_long(argv[++i], "--chunks"));
     } else if (!std::strcmp(argv[i], "--linger") && i + 1 < argc) {
       linger = parse_double(argv[++i], "--linger");
+    } else if (!std::strcmp(argv[i], "--listen") && i + 1 < argc) {
+      listen = parse_long(argv[++i], "--listen");
+    } else if (!std::strcmp(argv[i], "--journal-dir") && i + 1 < argc) {
+      journal_dir = argv[++i];
     } else {
       std::printf(
-          "usage: %s [--port P] [--tenants N] [--chunks C] [--linger S]\n",
+          "usage: %s [--port P] [--tenants N] [--chunks C] [--linger S] "
+          "[--listen P] [--journal-dir D]\n",
           argv[0]);
       return 2;
     }
@@ -112,13 +132,79 @@ int main(int argc, char** argv) {
     io.push_back(std::move(tenant));
   }
 
+  // Socket ingestion: the first hello on a new stream id mints a journaled
+  // TcpChunkSource and a monolithic tenant assessing it, started on the
+  // spot (the factory runs on the connection's handler thread, so the
+  // tenant book is guarded by its own mutex). The listener shares the
+  // service's MetricsRegistry, so imrdmd_net_* and the socket tenants'
+  // imrdmd_tenant_* series land on the same /metrics endpoint.
+  struct SocketIo {
+    std::unique_ptr<net::TcpChunkSource> source;
+    core::LatestOnlySink sink;
+  };
+  std::mutex socket_mutex;
+  std::vector<std::unique_ptr<SocketIo>> socket_io;
+  std::unique_ptr<net::IngestListener> ingest;
+  if (listen > 0) {
+    net::IngestListenerOptions listen_options;
+    listen_options.port = static_cast<std::uint16_t>(listen);
+    listen_options.metrics = &service.metrics();
+    listen_options.on_new_stream =
+        [&](const std::string& stream_id,
+            std::size_t sensors) -> net::TcpChunkSource* {
+      net::TcpChunkSource::Options source_options;
+      source_options.journal_path = journal_dir + "/" + stream_id + ".jl";
+      // A shipper that goes silent for good becomes a typed tenant
+      // failure instead of a forever-blocked engine.
+      source_options.idle_timeout_seconds = 30.0;
+      auto entry = std::make_unique<SocketIo>();
+      entry->source =
+          std::make_unique<net::TcpChunkSource>(sensors, source_options);
+      net::TcpChunkSource* source = entry->source.get();
+
+      core::PipelineOptions options;
+      options.imrdmd.mrdmd.max_levels = 4;
+      options.imrdmd.mrdmd.dt = 1.0;
+      options.baseline = {-10.0, 10.0};
+      serve::TenantOptions registration;
+      registration.config.pipeline(options).sensors(sensors).monolithic();
+      registration.source = source;
+      registration.sink = &entry->sink;
+      registration.ring_capacity = 4;
+      service.add_tenant(stream_id, registration);
+      service.start(stream_id);
+      std::lock_guard<std::mutex> lock(socket_mutex);
+      socket_io.push_back(std::move(entry));
+      return source;
+    };
+    ingest = std::make_unique<net::IngestListener>(listen_options);
+    std::printf("ingesting IMRDWP1 telemetry on 127.0.0.1:%u "
+                "(journals in %s)\n",
+                ingest->port(), journal_dir.c_str());
+  }
+
   service.start_all();
   service.drain_all();
 
   // The streams are drained; keep serving so a scraper can collect the
-  // final counters before the process exits.
+  // final counters (and socket tenants can arrive) before the process
+  // exits.
   std::printf("streams drained; lingering %.1fs for scrapes...\n", linger);
   std::this_thread::sleep_for(std::chrono::duration<double>(linger));
+
+  if (ingest) {
+    // Shutdown discipline: stop accepting/appending first, then close the
+    // sources so any tenant still waiting on the network drains what is
+    // journaled and completes (the journals stay resumable on disk).
+    ingest->stop();
+    {
+      std::lock_guard<std::mutex> lock(socket_mutex);
+      for (const std::unique_ptr<SocketIo>& entry : socket_io) {
+        entry->source->close();
+      }
+    }
+    service.drain_all();
+  }
 
   for (const std::string& name : service.tenants()) {
     const serve::TenantStatus status = service.status(name);

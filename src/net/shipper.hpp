@@ -1,0 +1,94 @@
+// ChunkShipper: the telemetry producer's side of the IMRDWP1 wire — the
+// log-shipper that drains ANY core::ChunkSource (a replayed env log, a
+// collector's file tail, a test matrix) and ships it to an ingest
+// listener over TCP.
+//
+// Robustness model (the paper's telemetry arrives from flaky collectors
+// on monitored racks):
+//   * every chunk frame carries a monotonic sequence number and an
+//     FNV-1a64 payload digest;
+//   * up to `window` frames ride unacked (pipelining); acks are
+//     cumulative, so one ack can retire several frames;
+//   * any socket error, timeout, or server-reported digest mismatch tears
+//     the connection down and reconnects with exponential backoff +
+//     deterministic jitter;
+//   * on reconnect the server's HelloAck names the resume point (last
+//     journaled sequence + snapshot position); the shipper seek()s the
+//     source back and resends exactly what the server missed — which is
+//     why reconnect-with-resume needs a seekable source (the repo-wide
+//     position()/seek() contract) and why the received stream is bitwise
+//     identical to the sent one, kills mid-frame included.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/stream.hpp"
+#include "serve/metrics.hpp"
+
+namespace imrdmd::net {
+
+struct ShipperOptions {
+  /// Ingest listener port on 127.0.0.1 (required).
+  std::uint16_t port = 0;
+  /// Stream identity announced in the hello — the ingest listener routes
+  /// frames to the TcpChunkSource registered (or created) under this id.
+  std::string stream_id = "stream-0";
+  /// Per-operation socket deadlines (seconds). Connect shares the send
+  /// deadline; 0 = wait forever.
+  double send_timeout_seconds = 10.0;
+  /// How long to wait for an ack before declaring the connection dead.
+  double recv_timeout_seconds = 10.0;
+  /// Max chunk frames in flight without an ack (>= 1).
+  std::size_t window = 8;
+  /// Consecutive failed attempts before ship() gives up and rethrows the
+  /// last network error. An attempt that completes a handshake resets the
+  /// counter (steady progress never exhausts the budget).
+  std::size_t max_attempts = 8;
+  /// Exponential backoff between attempts: base * 2^(attempt-1), capped,
+  /// with up to +25% deterministic jitter from `jitter_seed` (so a fleet
+  /// of restarting shippers does not reconnect in lockstep).
+  double backoff_base_seconds = 0.05;
+  double backoff_cap_seconds = 2.0;
+  std::uint64_t jitter_seed = 0x5eed;
+  /// Send a Checkpoint marker frame every N shipped chunks (0 = never) —
+  /// a liveness beacon carrying the source position.
+  std::size_t checkpoint_marker_every = 0;
+  /// Optional client-side metrics (borrowed; may be null): the shipper
+  /// adds to imrdmd_net_frames_total / _bytes_total / _reconnects_total
+  /// with labels {stream, side="shipper"}.
+  serve::MetricsRegistry* metrics = nullptr;
+};
+
+/// What one ship() call moved.
+struct ShipSummary {
+  /// Chunk frames the server newly acked (duplicates resent on a resume
+  /// are not counted twice).
+  std::size_t chunks = 0;
+  /// Snapshot columns those chunks carried.
+  std::size_t snapshots = 0;
+  /// Wire bytes written (headers + payloads, resends included).
+  std::size_t wire_bytes = 0;
+  /// Reconnect attempts that followed a connection failure.
+  std::size_t reconnects = 0;
+};
+
+class ChunkShipper {
+ public:
+  explicit ChunkShipper(ShipperOptions options);
+
+  /// Drains `source` to end-of-stream over TCP and returns once the
+  /// server acked everything (End frame included). Reconnects on network
+  /// faults; throws NetError once max_attempts consecutive attempts fail,
+  /// and ProtocolError immediately on a non-retryable server rejection
+  /// (unknown stream, sensor mismatch, framing violation).
+  ShipSummary ship(core::ChunkSource& source);
+
+ private:
+  ShipperOptions options_;
+  Rng jitter_;
+};
+
+}  // namespace imrdmd::net

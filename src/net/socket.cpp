@@ -1,0 +1,170 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+namespace imrdmd::net {
+
+namespace {
+
+timeval to_timeval(double seconds) {
+  timeval tv{};
+  if (seconds > 0.0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - std::floor(seconds)) * 1e6);
+  }
+  return tv;
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+void Socket::set_timeouts(double send_seconds, double recv_seconds) {
+  IMRDMD_REQUIRE_ARG(valid(), "Socket::set_timeouts: empty handle");
+  const timeval send_tv = to_timeval(send_seconds);
+  const timeval recv_tv = to_timeval(recv_seconds);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &send_tv, sizeof(send_tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &recv_tv, sizeof(recv_tv));
+}
+
+void Socket::send_all(const void* data, std::size_t size) {
+  IMRDMD_REQUIRE_ARG(valid(), "Socket::send_all: empty handle");
+  const char* bytes = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd_, bytes + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw NetError("Socket::send_all: send timed out");
+      }
+      throw NetError(std::string("Socket::send_all: ") +
+                     std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::recv_all(void* data, std::size_t size) {
+  IMRDMD_REQUIRE_ARG(valid(), "Socket::recv_all: empty handle");
+  char* bytes = static_cast<char*>(data);
+  std::size_t received = 0;
+  while (received < size) {
+    const ssize_t n = ::recv(fd_, bytes + received, size - received, 0);
+    if (n == 0) {
+      throw ConnectionClosed("Socket::recv_all: peer closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw NetError("Socket::recv_all: recv timed out");
+      }
+      throw NetError(std::string("Socket::recv_all: ") +
+                     std::strerror(errno));
+    }
+    received += static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket connect_loopback(std::uint16_t port, double timeout_seconds) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw NetError(std::string("connect_loopback: socket() failed: ") +
+                   std::strerror(errno));
+  }
+  Socket socket(fd);
+  // SO_SNDTIMEO bounds a blocking connect() on Linux; arm it before the
+  // handshake so an unreachable port fails within the deadline.
+  socket.set_timeouts(timeout_seconds, timeout_seconds);
+  const sockaddr_in addr = loopback_addr(port);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINPROGRESS) {
+      throw NetError("connect_loopback: connect to 127.0.0.1:" +
+                     std::to_string(port) + " timed out");
+    }
+    throw NetError("connect_loopback: connect to 127.0.0.1:" +
+                   std::to_string(port) + " failed: " +
+                   std::strerror(errno));
+  }
+  return socket;
+}
+
+Listener::Listener(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw NetError(std::string("Listener: socket() failed: ") +
+                   std::strerror(errno));
+  }
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, backlog) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw NetError("Listener: cannot listen on 127.0.0.1:" +
+                   std::to_string(port) + ": " + why);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  fd_.store(fd);
+}
+
+Socket Listener::accept() {
+  for (;;) {
+    const int listen_fd = fd_.load();
+    if (listen_fd < 0) return Socket{};  // retired by stop()
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return Socket{};  // listening socket closed by stop()
+  }
+}
+
+void Listener::stop() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    // shutdown() unblocks a blocked accept(); close() alone does not on
+    // every kernel.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+}  // namespace imrdmd::net

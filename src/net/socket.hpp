@@ -1,0 +1,136 @@
+// Shared RAII POSIX socket layer for every TCP subsystem in the library:
+// the OpenMetrics exporter (serve/http_exporter.hpp) and the telemetry
+// ingestion wire (net/listener.hpp, net/shipper.hpp) sit on these two
+// types instead of each hand-rolling socket()/bind()/listen()/accept().
+//
+//   * Socket — a move-only connected-socket handle with whole-buffer
+//     send/recv helpers (the framed wire protocol reads exact byte counts,
+//     so short reads/writes are looped here, once) and SO_SNDTIMEO/
+//     SO_RCVTIMEO deadlines so a dead peer turns into a typed NetError
+//     instead of a hung thread.
+//   * Listener — a loopback listening socket with the atomic-fd stop
+//     discipline the HttpExporter pioneered: stop() retires the fd from
+//     the caller's thread (shutdown() + close(), because close() alone
+//     does not unblock a parked accept() on every kernel) while the accept
+//     loop reads it, so shutdown is race-free and idempotent.
+//
+// Errors: NetError for I/O failures and timeouts, ConnectionClosed (a
+// NetError) when the peer hung up cleanly — callers that treat EOF as a
+// normal event catch the narrower type.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace imrdmd::net {
+
+/// Network-layer failure: connect/bind/send/recv errors and timeouts.
+class NetError : public Error {
+ public:
+  explicit NetError(const std::string& what) : Error(what) {}
+};
+
+/// The peer closed the connection (recv saw EOF). A NetError so generic
+/// handlers still catch it; its own type so reconnect logic can tell a
+/// clean hangup from a timeout.
+class ConnectionClosed : public NetError {
+ public:
+  explicit ConnectionClosed(const std::string& what) : NetError(what) {}
+};
+
+/// Move-only RAII wrapper of a connected TCP socket fd.
+class Socket {
+ public:
+  /// An invalid (empty) handle.
+  Socket() = default;
+  /// Adopts `fd` (takes ownership; -1 is the empty handle).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.release()) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Arms SO_SNDTIMEO / SO_RCVTIMEO (seconds; 0 = wait forever). A blocked
+  /// send/recv past the deadline raises NetError("... timed out").
+  void set_timeouts(double send_seconds, double recv_seconds);
+
+  /// Writes the whole buffer (MSG_NOSIGNAL, EINTR-looped). Throws NetError
+  /// on failure or timeout.
+  void send_all(const void* data, std::size_t size);
+
+  /// Reads exactly `size` bytes. Throws ConnectionClosed on EOF, NetError
+  /// on failure or timeout.
+  void recv_all(void* data, std::size_t size);
+
+  /// shutdown(SHUT_RDWR): unblocks a peer (or our own other thread)
+  /// parked in recv on this socket. No-op on an empty handle.
+  void shutdown_both();
+
+  /// Closes the fd; idempotent.
+  void close();
+
+  /// Releases ownership of the fd without closing it.
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to 127.0.0.1:`port` with a connect deadline. Throws NetError
+/// when the connection cannot be established within `timeout_seconds`
+/// (0 = the kernel default).
+Socket connect_loopback(std::uint16_t port, double timeout_seconds = 0.0);
+
+/// RAII loopback listening socket: binds 127.0.0.1:`port` (port 0 picks an
+/// ephemeral port; read it back with port()) with SO_REUSEADDR, listens,
+/// and hands out accepted connections. stop() retires the fd atomically so
+/// it is safe to call from any thread while accept() blocks.
+class Listener {
+ public:
+  /// Throws NetError when the socket cannot be bound.
+  explicit Listener(std::uint16_t port, int backlog = 16);
+  /// stop()s if still listening.
+  ~Listener() { stop(); }
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// The bound TCP port (the actual one when constructed with port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection. Returns an empty Socket once stop()
+  /// retired the listening fd (the accept-loop exit signal); transient
+  /// accept errors (EINTR, aborted handshakes) are retried internally.
+  Socket accept();
+
+  /// Shuts down and closes the listening socket, unblocking any accept()
+  /// in flight. Idempotent; safe from any thread.
+  void stop();
+
+ private:
+  /// Atomic: stop() retires the fd from the caller's thread while the
+  /// accept loop reads it.
+  std::atomic<int> fd_{-1};
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace imrdmd::net

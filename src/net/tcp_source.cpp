@@ -1,0 +1,108 @@
+#include "net/tcp_source.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+#include "net/socket.hpp"
+
+namespace imrdmd::net {
+
+TcpChunkSource::TcpChunkSource(std::size_t sensors, Options options)
+    : journal_(options.journal_path, sensors),
+      options_(std::move(options)) {}
+
+TcpChunkSource::Append TcpChunkSource::append_chunk(
+    std::uint64_t seq, const linalg::Mat& chunk) {
+  // mutex_ serializes the seq check with the append, so two connection
+  // handlers racing a reconnect handoff cannot interleave the journal.
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t journaled = journal_.chunks();
+  if (seq <= journaled) return Append::Duplicate;
+  if (seq != journaled + 1) return Append::Gap;
+  journal_.append(chunk);
+  data_cv_.notify_all();
+  return Append::Accepted;
+}
+
+void TcpChunkSource::mark_end() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  journal_.append_end();
+  data_cv_.notify_all();
+}
+
+void TcpChunkSource::fail(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  error_ = std::move(error);
+  data_cv_.notify_all();
+}
+
+void TcpChunkSource::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  data_cv_.notify_all();
+}
+
+std::uint64_t TcpChunkSource::acked_seq() const { return journal_.chunks(); }
+
+std::size_t TcpChunkSource::journaled_snapshots() const {
+  return journal_.snapshots();
+}
+
+bool TcpChunkSource::ended() const { return journal_.ended(); }
+
+std::optional<core::Mat> TcpChunkSource::next_chunk() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto ready = [this] {
+    return error_ != nullptr || closed_ || journal_.ended() ||
+           position_ < journal_.snapshots();
+  };
+  if (options_.idle_timeout_seconds > 0.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options_.idle_timeout_seconds));
+    if (!data_cv_.wait_until(lock, deadline, ready)) {
+      throw NetError("TcpChunkSource: no frames for " +
+                     std::to_string(options_.idle_timeout_seconds) +
+                     " s on " + journal_.path());
+    }
+  } else {
+    data_cv_.wait(lock, ready);
+  }
+  if (error_ != nullptr) {
+    std::rethrow_exception(std::exchange(error_, nullptr));
+  }
+  if (position_ >= journal_.snapshots()) {
+    return std::nullopt;  // ended or closed with everything consumed
+  }
+  // Emit the journaled record containing position_ — the tail of it after
+  // a mid-chunk seek, the whole record otherwise, so an un-seeked stream
+  // replays the exact chunk boundaries the shipper sent.
+  const std::size_t index = journal_.find_chunk(position_);
+  const std::size_t start = journal_.chunk_start(index);
+  linalg::Mat chunk = journal_.read_chunk(index);
+  const std::size_t offset = position_ - start;
+  if (offset > 0) {
+    chunk = chunk.block(0, offset, chunk.rows(), chunk.cols() - offset);
+  }
+  position_ += chunk.cols();
+  return chunk;
+}
+
+std::size_t TcpChunkSource::position() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return position_;
+}
+
+void TcpChunkSource::seek(std::size_t snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  IMRDMD_REQUIRE_ARG(
+      snapshot <= journal_.snapshots(),
+      "TcpChunkSource: seek past the journaled horizon (snapshot " +
+          std::to_string(snapshot) + " > " +
+          std::to_string(journal_.snapshots()) + " received)");
+  position_ = snapshot;
+}
+
+}  // namespace imrdmd::net

@@ -1,0 +1,108 @@
+// TcpChunkSource: the receiving end of the IMRDWP1 wire as a real
+// core::ChunkSource. The ingest listener (net/listener.hpp) appends every
+// verified chunk frame into the source's on-disk journal
+// (net/journal.hpp); the consuming engine pulls chunks back out through
+// the ordinary next_chunk()/position()/seek() contract — blocking while
+// the network is ahead of compute, replaying from the journal when a
+// checkpointed tenant rewinds. Because the journal holds the full
+// received history, a socket-fed tenant checkpoints-on-stop and resumes
+// bitwise identically to a file-fed one: the successor process reopens
+// the same journal path, seeks to the checkpoint position, and replays —
+// no live shipper connection required for the already-received span.
+//
+// Threading: the listener's connection handler is the producer
+// (append_chunk/mark_end/fail), the engine's prefetch thread is the
+// consumer (next_chunk); both synchronize on one internal mutex + condvar.
+// close() unblocks a waiting consumer with end-of-stream, which is how a
+// server shuts down a tenant whose shipper went silent.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/stream.hpp"
+#include "net/journal.hpp"
+
+namespace imrdmd::net {
+
+class TcpChunkSource final : public core::ChunkSource {
+ public:
+  struct Options {
+    /// Journal file backing the stream (required). An existing journal is
+    /// resumed: its chunks count as already received (and acked).
+    std::string journal_path;
+    /// How long next_chunk() waits for the network before giving up
+    /// (seconds; 0 = wait forever). On expiry next_chunk throws NetError —
+    /// a stuck shipper becomes a typed tenant failure, not a hung engine.
+    double idle_timeout_seconds = 0.0;
+  };
+
+  /// Sequence-checked append verdicts (the listener's dedupe/ordering
+  /// discipline lives here so two racing connection handlers cannot
+  /// interleave appends inconsistently).
+  enum class Append { Accepted, Duplicate, Gap };
+
+  TcpChunkSource(std::size_t sensors, Options options);
+
+  // --- producer side (ingest listener / tests) ---------------------------
+
+  /// Journals chunk frame `seq` when it is the next expected one
+  /// (journaled chunks + 1). Returns Duplicate for an already-journaled
+  /// sequence (a reconnect replay — ack it again, append nothing) and Gap
+  /// for a sequence from the future (a protocol violation).
+  Append append_chunk(std::uint64_t seq, const linalg::Mat& chunk);
+
+  /// Journals the end-of-stream marker and wakes the consumer. Idempotent.
+  void mark_end();
+
+  /// Fails the stream: the consumer's next_chunk rethrows `error`.
+  /// The journal stays intact (a resume may still replay it).
+  void fail(std::exception_ptr error);
+
+  /// Stops waiting for the network WITHOUT journaling an end marker: the
+  /// consumer drains whatever is already journaled and then sees
+  /// end-of-stream, but a reopened journal resumes as live. Shutdown path
+  /// for servers.
+  void close();
+
+  /// Chunks journaled so far — the cumulative ack sequence.
+  std::uint64_t acked_seq() const;
+  /// Snapshot columns journaled so far (HelloAck's resume position).
+  std::size_t journaled_snapshots() const;
+  /// True once the end marker is journaled.
+  bool ended() const;
+  const std::string& journal_path() const { return journal_.path(); }
+
+  // --- core::ChunkSource --------------------------------------------------
+
+  /// Next journaled chunk, blocking while the network is behind. Returns
+  /// nullopt at end-of-stream (or after close()); rethrows a fail() error;
+  /// throws NetError when idle_timeout_seconds expires with no data.
+  std::optional<core::Mat> next_chunk() override;
+  std::size_t sensors() const override { return journal_.sensors(); }
+
+  std::size_t position() const override;
+  /// Seekable over the journaled history: any snapshot <= journaled (the
+  /// horizon once ended). Seeking past what was received throws
+  /// InvalidArgument — a checkpoint can only record consumed positions, so
+  /// a well-formed resume never does.
+  void seek(std::size_t snapshot) override;
+
+ private:
+  ChunkJournal journal_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable data_cv_;
+  std::size_t position_ = 0;
+  bool closed_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace imrdmd::net

@@ -1,15 +1,11 @@
 #include "serve/http_exporter.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <string>
-
-#include "common/error.hpp"
+#include <utility>
 
 namespace imrdmd::serve {
 
@@ -44,60 +40,24 @@ std::string make_response(const std::string& status,
 
 }  // namespace
 
-HttpExporter::HttpExporter(const MetricsRegistry& registry, std::uint16_t port)
-    : registry_(registry) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    throw Error(std::string("HttpExporter: socket() failed: ") +
-                std::strerror(errno));
-  }
-  const int reuse = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-          0 ||
-      ::listen(fd, 16) != 0) {
-    const std::string why = std::strerror(errno);
-    ::close(fd);
-    throw Error("HttpExporter: cannot listen on 127.0.0.1:" +
-                std::to_string(port) + ": " + why);
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  listen_fd_.store(fd);
-
+HttpExporter::HttpExporter(const MetricsRegistry& registry,
+                           std::uint16_t port)
+    : registry_(registry), listener_(port) {
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
 HttpExporter::~HttpExporter() { stop(); }
 
 void HttpExporter::stop() {
-  const int fd = listen_fd_.exchange(-1);
-  if (fd >= 0) {
-    // shutdown() unblocks a blocked accept(); close() alone does not on
-    // every kernel.
-    ::shutdown(fd, SHUT_RDWR);
-    ::close(fd);
-  }
+  listener_.stop();
   if (acceptor_.joinable()) acceptor_.join();
 }
 
 void HttpExporter::accept_loop() {
   for (;;) {
-    const int listen_fd = listen_fd_.load();
-    if (listen_fd < 0) return;  // retired by stop()
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listening socket closed by stop()
-    }
-    handle_connection(fd);
-    ::close(fd);
+    net::Socket connection = listener_.accept();
+    if (!connection.valid()) return;  // retired by stop()
+    handle_connection(connection.fd());
   }
 }
 

@@ -10,11 +10,10 @@
 // response closes the connection.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <string>
 #include <thread>
 
+#include "net/socket.hpp"
 #include "serve/metrics.hpp"
 
 namespace imrdmd::serve {
@@ -34,7 +33,7 @@ class HttpExporter {
   HttpExporter& operator=(const HttpExporter&) = delete;
 
   /// The bound TCP port (the actual one when constructed with port 0).
-  std::uint16_t port() const { return port_; }
+  std::uint16_t port() const { return listener_.port(); }
 
   /// Closes the listening socket and joins the accept loop. Idempotent.
   /// In-flight responses finish; no new connections are accepted.
@@ -45,10 +44,10 @@ class HttpExporter {
   void handle_connection(int fd);
 
   const MetricsRegistry& registry_;
-  /// Atomic: stop() retires the fd from the caller's thread while the
-  /// accept loop reads it.
-  std::atomic<int> listen_fd_{-1};
-  std::uint16_t port_ = 0;
+  /// The shared RAII listener (net/socket.hpp): its atomic-fd stop() is
+  /// what lets stop() retire the socket from any thread while the accept
+  /// loop blocks on it.
+  net::Listener listener_;
   std::thread acceptor_;
 };
 

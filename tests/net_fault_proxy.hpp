@@ -1,0 +1,190 @@
+// FaultProxy: a loopback TCP man-in-the-middle for the IMRDWP1 fault
+// battery (tests/net_test.cpp). A ChunkShipper connects to the proxy, the
+// proxy connects to the real IngestListener, and the configured FaultPlan
+// is applied to the first `faulty_connections` sessions:
+//
+//   * kill_after_bytes  — forward only N shipper->server bytes, then tear
+//                         both directions down (a kill mid-frame);
+//   * split_bytes       — forward shipper->server traffic in slivers of at
+//                         most N bytes (exercises the exact-count recv
+//                         loop against pathological segmentation);
+//   * forward_delay     — sleep before each shipper->server forward;
+//   * ack_delay         — sleep before each server->shipper forward
+//                         (starves the shipper of acks past its timeout);
+//   * corrupt_at        — XOR 0xFF into the shipper->server byte at that
+//                         absolute stream offset (digest-mismatch bait).
+//
+// Connections after the faulty quota are forwarded verbatim — that is the
+// reconnect path the shipper recovers on.
+#pragma once
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace imrdmd::testing {
+
+struct FaultPlan {
+  std::size_t kill_after_bytes = 0;  // 0 = never kill
+  std::size_t split_bytes = 0;       // 0 = forward as received
+  std::chrono::milliseconds forward_delay{0};
+  std::chrono::milliseconds ack_delay{0};
+  bool corrupt = false;
+  std::size_t corrupt_at = 0;  // shipper->server stream offset, when corrupt
+};
+
+class FaultProxy {
+ public:
+  FaultProxy(std::uint16_t upstream_port, FaultPlan plan,
+             std::size_t faulty_connections = 1)
+      : upstream_port_(upstream_port),
+        plan_(plan),
+        faulty_connections_(faulty_connections),
+        listener_(0) {
+    acceptor_ = std::thread([this] { accept_loop(); });
+  }
+
+  ~FaultProxy() { stop(); }
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// The port the shipper should connect to.
+  std::uint16_t port() const { return listener_.port(); }
+
+  std::size_t connections() const { return accepted_.load(); }
+
+  void stop() {
+    listener_.stop();
+    if (acceptor_.joinable()) acceptor_.join();
+    std::vector<std::unique_ptr<Link>> links;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      links.swap(links_);
+    }
+    // Shutdown unblocks the pumps; the Link owns both sockets until the
+    // pumps are joined, so no fd is closed under a live recv.
+    for (std::unique_ptr<Link>& link : links) {
+      link->client.shutdown_both();
+      link->server.shutdown_both();
+      if (link->up.joinable()) link->up.join();
+      if (link->down.joinable()) link->down.join();
+    }
+  }
+
+ private:
+  /// One proxied connection: the two sockets plus the two pump threads.
+  struct Link {
+    net::Socket client;
+    net::Socket server;
+    std::thread up;    // shipper -> server (fault plan applies)
+    std::thread down;  // server -> shipper (ack_delay applies)
+  };
+
+  void accept_loop() {
+    for (;;) {
+      net::Socket client = listener_.accept();
+      if (!client.valid()) return;
+      const std::size_t index = accepted_.fetch_add(1);
+      const bool faulty = index < faulty_connections_;
+      auto link = std::make_unique<Link>();
+      Link& slot = *link;
+      slot.client = std::move(client);
+      try {
+        slot.server = net::connect_loopback(upstream_port_, 5.0);
+      } catch (const net::NetError&) {
+        continue;  // upstream down: drop the client, let it retry
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        links_.push_back(std::move(link));
+      }
+      slot.up = std::thread([this, &slot, faulty] { pump_up(slot, faulty); });
+      slot.down =
+          std::thread([this, &slot, faulty] { pump_down(slot, faulty); });
+    }
+  }
+
+  /// Raw partial-read forward loop, shipper -> server, with the plan.
+  void pump_up(Link& link, bool faulty) {
+    std::uint8_t buffer[4096];
+    std::size_t offset = 0;  // absolute shipper->server stream offset
+    for (;;) {
+      const ssize_t got = ::recv(link.client.fd(), buffer, sizeof buffer, 0);
+      if (got <= 0) break;
+      std::size_t n = static_cast<std::size_t>(got);
+      if (faulty && plan_.corrupt && plan_.corrupt_at >= offset &&
+          plan_.corrupt_at < offset + n) {
+        buffer[plan_.corrupt_at - offset] ^= 0xFF;
+      }
+      bool kill = false;
+      if (faulty && plan_.kill_after_bytes > 0 &&
+          offset + n >= plan_.kill_after_bytes) {
+        n = plan_.kill_after_bytes - offset;  // partial frame, then the axe
+        kill = true;
+      }
+      offset += n;
+      if (faulty && plan_.forward_delay.count() > 0) {
+        std::this_thread::sleep_for(plan_.forward_delay);
+      }
+      if (!forward(link.server, buffer, n,
+                   faulty ? plan_.split_bytes : std::size_t{0})) {
+        break;
+      }
+      if (kill) break;
+    }
+    link.client.shutdown_both();
+    link.server.shutdown_both();
+  }
+
+  void pump_down(Link& link, bool faulty) {
+    std::uint8_t buffer[4096];
+    for (;;) {
+      const ssize_t got = ::recv(link.server.fd(), buffer, sizeof buffer, 0);
+      if (got <= 0) break;
+      if (faulty && plan_.ack_delay.count() > 0) {
+        std::this_thread::sleep_for(plan_.ack_delay);
+      }
+      if (!forward(link.client, buffer, static_cast<std::size_t>(got), 0)) {
+        break;
+      }
+    }
+    link.client.shutdown_both();
+    link.server.shutdown_both();
+  }
+
+  /// Sends `size` bytes, optionally in slivers of at most `split` bytes.
+  static bool forward(net::Socket& out, const std::uint8_t* data,
+                      std::size_t size, std::size_t split) {
+    std::size_t at = 0;
+    while (at < size) {
+      const std::size_t piece =
+          split > 0 ? std::min(split, size - at) : size - at;
+      const ssize_t sent =
+          ::send(out.fd(), data + at, piece, MSG_NOSIGNAL);
+      if (sent <= 0) return false;
+      at += static_cast<std::size_t>(sent);
+    }
+    return true;
+  }
+
+  std::uint16_t upstream_port_;
+  FaultPlan plan_;
+  std::size_t faulty_connections_;
+  net::Listener listener_;
+  std::thread acceptor_;
+  std::atomic<std::size_t> accepted_{0};
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace imrdmd::testing
